@@ -1,0 +1,31 @@
+//! E4 companion: end-to-end cost of the Theorem 3 pipeline
+//! (3-set packing + augmenting completion) as instances grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_core::multi_interval::approx_min_power;
+use gaps_workloads::multi_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_min_power");
+    for &n in &[10usize, 20, 40] {
+        let mut rng = StdRng::seed_from_u64(7_000 + n as u64);
+        let inst = multi_interval::feasible_slots(&mut rng, n, (3 * n) as i64, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| approx_min_power(inst, 2.0, 16).expect("feasible").power)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_approx
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E14 companion: Baptiste's single-processor DP scaling in n, compared
+//! head-to-head with the general DP at p = 1 (the specialization should
+//! be faster thanks to boolean edge states).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_core::{baptiste, multiproc_dp};
+use gaps_workloads::one_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_baptiste(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baptiste_vs_general");
+    for &n in &[8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(4_000 + n as u64);
+        let inst = one_interval::feasible(&mut rng, n, (2 * n) as i64, 4, 1);
+        group.bench_with_input(BenchmarkId::new("baptiste", n), &inst, |b, inst| {
+            b.iter(|| baptiste::min_spans_value(inst).expect("feasible"))
+        });
+        group.bench_with_input(BenchmarkId::new("general_p1", n), &inst, |b, inst| {
+            b.iter(|| multiproc_dp::min_span_value(inst).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_baptiste
+}
+criterion_main!(benches);

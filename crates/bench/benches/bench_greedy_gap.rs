@@ -1,0 +1,34 @@
+//! E6 companion: the [FHKN06] greedy baseline vs the exact DP at p = 1 —
+//! the approximation should be much faster while staying within factor 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_core::{baptiste, greedy_gap};
+use gaps_workloads::one_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_gap_vs_exact");
+    for &n in &[8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(9_000 + n as u64);
+        let inst = one_interval::feasible(&mut rng, n, (3 * n) as i64, 2, 1);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
+            b.iter(|| greedy_gap::greedy_gap_schedule(inst).expect("feasible").gaps)
+        });
+        group.bench_with_input(BenchmarkId::new("exact_dp", n), &inst, |b, inst| {
+            b.iter(|| baptiste::min_gaps_value(inst).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_greedy
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Substrate benchmark: Hopcroft–Karp vs Kuhn on job×slot graphs (the
+//! feasibility primitive every algorithm in the paper leans on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_matching::{hopcroft_karp, kuhn, BipartiteGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_graph(n: usize, degree: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * degree);
+    for u in 0..n as u32 {
+        for _ in 0..degree {
+            edges.push((u, rng.gen_range(0..n as u32)));
+        }
+    }
+    BipartiteGraph::from_edges(n, n, edges)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for &n in &[100usize, 400, 1600] {
+        let g = random_graph(n, 5, 5_000 + n as u64);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &g, |b, g| {
+            b.iter(|| hopcroft_karp(g).size())
+        });
+        group.bench_with_input(BenchmarkId::new("kuhn", n), &g, |b, g| {
+            b.iter(|| kuhn(g).size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_matching
+}
+criterion_main!(benches);

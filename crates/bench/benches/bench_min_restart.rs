@@ -1,0 +1,35 @@
+//! E11 companion: the Theorem 11 greedy's cost per round (matching probes
+//! over all candidate intervals dominate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_core::min_restart::greedy_min_restart;
+use gaps_workloads::multi_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_min_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_restart");
+    for &n in &[10usize, 20, 40] {
+        let mut rng = StdRng::seed_from_u64(8_000 + n as u64);
+        let inst = multi_interval::random_slots(&mut rng, n, (2 * n) as i64, 3);
+        for &k in &[2u64, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("k{k}")),
+                &inst,
+                |b, inst| b.iter(|| greedy_min_restart(inst, k).scheduled),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_min_restart
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E2 companion: Theorem 1 DP running time as a function of n and p.
+//!
+//! The claim being benchmarked: the DP is polynomial in both n and p
+//! (the paper's surprise is that it is *not* n^O(p)). The Criterion series
+//! over p at fixed n should grow by bounded factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_core::multiproc_dp::min_span_schedule;
+use gaps_workloads::one_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiproc_dp");
+    for &n in &[8usize, 16, 24] {
+        for &p in &[1u32, 2, 4] {
+            let mut rng = StdRng::seed_from_u64(2_000 + n as u64 + p as u64);
+            let inst = one_interval::feasible(&mut rng, n, (2 * n) as i64, 4, p);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("p{p}")),
+                &inst,
+                |b, inst| b.iter(|| min_span_schedule(inst).expect("feasible").spans),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_dp
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 companion: Theorem 2 power DP running time over n and alpha
+//! (alpha only changes arc costs, so times should be flat in alpha).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_core::power_dp::min_power_schedule;
+use gaps_workloads::one_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_power(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_dp");
+    for &n in &[8usize, 16] {
+        for &alpha in &[1u64, 8] {
+            let mut rng = StdRng::seed_from_u64(3_000 + n as u64);
+            let inst = one_interval::feasible(&mut rng, n, (2 * n) as i64, 4, 2);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("alpha{alpha}")),
+                &inst,
+                |b, inst| b.iter(|| min_power_schedule(inst, alpha).expect("feasible").power),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_power
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E13 companion: cost of the Hurkens–Schrijver local search vs plain
+//! greedy packing on random 3-set systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_setcover::packing::{greedy_packing, local_search_packing};
+use gaps_setcover::SetPackingInstance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_packing(base: u32, sets: usize, seed: u64) -> SetPackingInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let collection = (0..sets)
+        .map(|_| (0..3).map(|_| rng.gen_range(0..base)).collect())
+        .collect();
+    SetPackingInstance::new(base, collection)
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_packing");
+    for &(base, sets) in &[(50u32, 120usize), (150, 400), (400, 1200)] {
+        let inst = random_packing(base, sets, 6_000 + sets as u64);
+        group.bench_with_input(BenchmarkId::new("greedy", sets), &inst, |b, inst| {
+            b.iter(|| greedy_packing(inst).len())
+        });
+        group.bench_with_input(BenchmarkId::new("local_search", sets), &inst, |b, inst| {
+            b.iter(|| local_search_packing(inst, 32).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_packing
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E15/E17 companion: simulator throughput (slots simulated per second)
+//! under different power policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_core::edf;
+use gaps_sim::{simulate_schedule, Clairvoyant, SleepImmediately, Timeout};
+use gaps_workloads::one_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let alpha = 4u64;
+    for &n in &[50usize, 200] {
+        let mut rng = StdRng::seed_from_u64(10_000 + n as u64);
+        let inst = one_interval::feasible(&mut rng, n, (4 * n) as i64, 3, 2);
+        let sched = edf::edf(&inst).expect("feasible");
+        group.bench_with_input(BenchmarkId::new("clairvoyant", n), &(), |b, _| {
+            b.iter(|| simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha }).energy)
+        });
+        group.bench_with_input(BenchmarkId::new("timeout", n), &(), |b, _| {
+            b.iter(|| {
+                simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sleep_now", n), &(), |b, _| {
+            b.iter(|| simulate_schedule(&inst, &sched, alpha, &SleepImmediately).energy)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(10);
+    targets = bench_sim
+}
+criterion_main!(benches);

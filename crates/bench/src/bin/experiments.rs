@@ -1,0 +1,33 @@
+//! Experiment driver: regenerates every table of the reproduction.
+//!
+//! Usage:
+//!   experiments              # run everything
+//!   experiments e4 e16       # run selected experiments
+//!   experiments --list       # show the catalog
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        println!("available experiments:");
+        for (id, desc) in gaps_bench::catalog() {
+            println!("  {id:<4} {desc}");
+        }
+        return;
+    }
+    let start = Instant::now();
+    let tables = gaps_bench::run(&args);
+    if tables.is_empty() {
+        eprintln!("no experiment matches {args:?}; try --list");
+        std::process::exit(2);
+    }
+    for t in &tables {
+        println!("{t}");
+    }
+    println!(
+        "ran {} experiment(s) in {:.1}s",
+        tables.len(),
+        start.elapsed().as_secs_f64()
+    );
+}

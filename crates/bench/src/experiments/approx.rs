@@ -1,0 +1,331 @@
+//! Experiments for the approximation algorithms (Theorems 3, 11; Lemma 3;
+//! the greedy baseline; Hurkens–Schrijver packing).
+
+use crate::Table;
+use gaps_core::schedule::MultiSchedule;
+use gaps_core::{baptiste, brute_force, greedy_gap, min_restart, multi_interval};
+use gaps_setcover::packing::{exact_max_packing, greedy_packing, local_search_packing};
+use gaps_setcover::SetPackingInstance;
+use gaps_workloads::{multi_interval as wl_multi, one_interval as wl_one};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// E4: Theorem 3 ratio sweep over α, against exhaustive optima, with the
+/// trivial (1 + α) baseline for contrast.
+pub fn e4() -> Table {
+    let mut table = Table::new(
+        "E4",
+        "Theorem 3 approximation ratio vs alpha",
+        "power(approx) <= (1 + (2/3 + eps) * alpha) * OPT; any schedule is (1 + alpha)-approx",
+        &["alpha", "cases", "mean ratio", "max ratio", "bound 1+2/3a", "trivial bound 1+a"],
+    );
+    let mut within = true;
+    for &alpha in &[0.0f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let results = Mutex::new(Vec::<f64>::new());
+        let cases = 24u64;
+        crossbeam::scope(|scope| {
+            for seed in 0..cases {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(9000 + seed);
+                    let inst = wl_multi::feasible_slots(&mut rng, 7, 13, 2);
+                    // Exhaustive optimum with integer-scaled alpha when
+                    // fractional: scale costs by 2 (alpha in half-units).
+                    let opt = exact_power_f(&inst, alpha);
+                    let res = multi_interval::approx_min_power(&inst, alpha, 32)
+                        .expect("feasible");
+                    results.lock().push(res.power / opt.max(1e-9));
+                });
+            }
+        })
+        .expect("threads join");
+        let rs = results.lock();
+        let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        let max = rs.iter().cloned().fold(0.0, f64::max);
+        let bound = multi_interval::theorem3_bound(alpha, 0.05);
+        within &= max <= bound + 1e-9;
+        table.row([
+            format!("{alpha:.2}"),
+            cases.to_string(),
+            format!("{mean:.3}"),
+            format!("{max:.3}"),
+            format!("{bound:.3}"),
+            format!("{:.3}", 1.0 + alpha),
+        ]);
+    }
+    table.verdict(if within {
+        "confirmed: measured ratios within the Theorem 3 bound (well below the trivial 1+alpha)"
+    } else {
+        "measured ratio exceeded the bound — investigate packing share"
+    });
+    table
+}
+
+/// Exhaustive optimum for real alpha: doubles the timeline cost scale so
+/// alpha in half-units stays integral (alphas in this suite are multiples
+/// of 0.5).
+fn exact_power_f(inst: &gaps_core::instance::MultiInstance, alpha: f64) -> f64 {
+    let alpha2 = (alpha * 2.0).round() as u64;
+    assert!((alpha * 2.0 - alpha2 as f64).abs() < 1e-9, "alpha must be a half-integer");
+    // power = busy + spans*alpha + bridges... brute force with doubled
+    // units: cost2 = 2*busy + sum min(2*gap, 2*alpha) + 2*alpha*... —
+    // easiest correct route: enumerate optimum via min over schedules of
+    // the f64 cost using the integer brute-force solver on 2x scale:
+    // every slot doubled would distort gaps; instead reuse min_power_multi
+    // twice when alpha is integral, else compute via custom search below.
+    if alpha.fract() == 0.0 {
+        return brute_force::min_power_multi(inst, alpha as u64)
+            .expect("feasible")
+            .0 as f64;
+    }
+    // Half-integer alpha: minimize 2*cost (integers) by scaling the cost
+    // function, not the timeline: 2*power = 2*n + sum over gaps
+    // min(2*g, 2*alpha) + 2*alpha per wakeup — all integers.
+    let (cost2, _) = brute_force_min_power_scaled(inst, alpha2);
+    cost2 as f64 / 2.0
+}
+
+/// Exhaustive minimum of `2 * power` where alpha is given in half-units.
+fn brute_force_min_power_scaled(
+    inst: &gaps_core::instance::MultiInstance,
+    alpha2: u64,
+) -> (u64, MultiSchedule) {
+    // Small instances only (same limits as gaps_core::brute_force).
+    let slots = inst.slot_union();
+    let n = inst.job_count();
+    let mut best = (u64::MAX, vec![]);
+    let mut times: Vec<i64> = vec![0; n];
+    fn cost2(occupied: &mut Vec<i64>, alpha2: u64) -> u64 {
+        occupied.sort_unstable();
+        let runs = gaps_core::time::runs_of(occupied);
+        if runs.is_empty() {
+            return 0;
+        }
+        let mut c = 2 * occupied.len() as u64 + alpha2;
+        for w in runs.windows(2) {
+            let gap = 2 * (w[1].start - w[0].end - 1) as u64;
+            c += gap.min(alpha2);
+        }
+        c
+    }
+    fn rec(
+        inst: &gaps_core::instance::MultiInstance,
+        slots: &[i64],
+        j: usize,
+        used: &mut Vec<i64>,
+        times: &mut Vec<i64>,
+        alpha2: u64,
+        best: &mut (u64, Vec<i64>),
+    ) {
+        if j == inst.job_count() {
+            let c = cost2(&mut used.clone(), alpha2);
+            if c < best.0 {
+                *best = (c, times.clone());
+            }
+            return;
+        }
+        for &t in inst.jobs()[j].times() {
+            if !used.contains(&t) {
+                used.push(t);
+                times[j] = t;
+                rec(inst, slots, j + 1, used, times, alpha2, best);
+                used.pop();
+            }
+        }
+    }
+    let mut used = Vec::new();
+    rec(inst, &slots, 0, &mut used, &mut times, alpha2, &mut best);
+    assert_ne!(best.0, u64::MAX, "instance must be feasible");
+    (best.0, MultiSchedule::new(best.1))
+}
+
+/// E5: Lemma 3 — completing a partial schedule of g gaps with m more jobs
+/// yields at most g + m gaps; measure the slack.
+pub fn e5() -> Table {
+    let mut table = Table::new(
+        "E5",
+        "Lemma 3 completion growth",
+        "a partial schedule with g gaps extends to all n jobs with <= g + (n − n') gaps",
+        &["pinned", "added", "cases", "bound holds", "mean slack"],
+    );
+    let mut rng = StdRng::seed_from_u64(555);
+    let mut all_hold = true;
+    for &pinned in &[0usize, 2, 4, 6] {
+        let cases = 30;
+        let mut holds = 0u64;
+        let mut slack_sum = 0i64;
+        let mut added_total = 0usize;
+        for _ in 0..cases {
+            let inst = wl_multi::feasible_slots(&mut rng, 8, 15, 2);
+            let mut partial = vec![None; 8];
+            let mut used = Vec::new();
+            for j in 0..pinned.min(8) {
+                let t = inst.jobs()[j].times()[0];
+                if !used.contains(&t) {
+                    partial[j] = Some(t);
+                    used.push(t);
+                }
+            }
+            let pinned_times: Vec<i64> = partial.iter().flatten().copied().collect();
+            let g = MultiSchedule::new(pinned_times.clone()).gap_count() as i64;
+            let added = 8 - pinned_times.len();
+            added_total += added;
+            let full = multi_interval::complete_schedule(&inst, &partial)
+                .expect("feasible by construction");
+            let slack = g + added as i64 - full.gap_count() as i64;
+            holds += (slack >= 0) as u64;
+            slack_sum += slack;
+        }
+        all_hold &= holds == cases;
+        table.row([
+            pinned.to_string(),
+            format!("{:.1}", added_total as f64 / cases as f64),
+            cases.to_string(),
+            format!("{holds}/{cases}"),
+            format!("{:.2}", slack_sum as f64 / cases as f64),
+        ]);
+    }
+    table.verdict(if all_hold {
+        "confirmed: the g + (n − n') bound holds in every trial (usually with slack)"
+    } else {
+        "FALSIFIED"
+    });
+    table
+}
+
+/// E6: the greedy [FHKN06] baseline vs Baptiste's exact optimum.
+pub fn e6() -> Table {
+    let mut table = Table::new(
+        "E6",
+        "[FHKN06] greedy 3-approximation",
+        "greedy gap count <= 3 * OPT (one-interval, single processor)",
+        &["n", "cases", "mean greedy", "mean OPT", "max ratio", "<= 3?"],
+    );
+    let mut ok = true;
+    for &n in &[5usize, 8, 11] {
+        let cases = 30u64;
+        let mut sum_g = 0u64;
+        let mut sum_o = 0u64;
+        let mut max_ratio: f64 = 1.0;
+        for seed in 0..cases {
+            let mut rng = StdRng::seed_from_u64(60 * n as u64 + seed);
+            let inst = wl_one::feasible(&mut rng, n, (3 * n) as i64, 2, 1);
+            let opt = baptiste::min_gaps_value(&inst).expect("feasible");
+            let res = greedy_gap::greedy_gap_schedule(&inst).expect("feasible");
+            sum_g += res.gaps;
+            sum_o += opt;
+            // Ratio on the span objective avoids division by zero and is
+            // what the 3-approximation analyses bound.
+            let ratio = (res.gaps + 1) as f64 / (opt + 1) as f64;
+            max_ratio = max_ratio.max(ratio);
+            ok &= res.gaps <= 3 * opt.max(1);
+        }
+        table.row([
+            n.to_string(),
+            cases.to_string(),
+            format!("{:.2}", sum_g as f64 / cases as f64),
+            format!("{:.2}", sum_o as f64 / cases as f64),
+            format!("{max_ratio:.2}"),
+            if ok { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    table.verdict(if ok {
+        "confirmed: greedy within factor 3 (typically much closer to optimal)"
+    } else {
+        "FALSIFIED"
+    });
+    table
+}
+
+/// E11: Theorem 11 greedy throughput vs the exhaustive optimum, across
+/// gap budgets; the ratio stays far inside the 2·√n envelope.
+pub fn e11() -> Table {
+    let mut table = Table::new(
+        "E11",
+        "Theorem 11 greedy (minimum-restart throughput)",
+        "greedy schedules at least OPT / O(sqrt n) jobs under a gap budget k",
+        &["n", "k", "cases", "mean greedy", "mean OPT", "worst OPT/greedy", "2*sqrt(n)"],
+    );
+    let mut ok = true;
+    for &n in &[6usize, 8] {
+        for k in 1..=3u64 {
+            let cases = 20u64;
+            let mut sum_g = 0usize;
+            let mut sum_o = 0usize;
+            let mut worst: f64 = 1.0;
+            for seed in 0..cases {
+                let mut rng = StdRng::seed_from_u64(110 * n as u64 + 7 * k + seed);
+                let inst = wl_multi::random_slots(&mut rng, n, (2 * n) as i64, 3);
+                let greedy = min_restart::greedy_min_restart(&inst, k);
+                let (opt, _) = brute_force::max_throughput_spans(&inst, k);
+                sum_g += greedy.scheduled;
+                sum_o += opt;
+                if opt > 0 {
+                    worst = worst.max(opt as f64 / greedy.scheduled.max(1) as f64);
+                }
+            }
+            let envelope = min_restart::sqrt_bound(n);
+            ok &= worst <= envelope;
+            table.row([
+                n.to_string(),
+                k.to_string(),
+                cases.to_string(),
+                format!("{:.2}", sum_g as f64 / cases as f64),
+                format!("{:.2}", sum_o as f64 / cases as f64),
+                format!("{worst:.2}"),
+                format!("{envelope:.2}"),
+            ]);
+        }
+    }
+    table.verdict(if ok {
+        "confirmed: worst observed ratio well inside the O(sqrt n) envelope"
+    } else {
+        "FALSIFIED"
+    });
+    table
+}
+
+/// E13: Hurkens–Schrijver local-search share on random 3-set systems —
+/// the engine quality behind Theorem 3's constant.
+pub fn e13() -> Table {
+    let mut table = Table::new(
+        "E13",
+        "[HS89] set-packing local search",
+        "local search with (1,2)- and (2,3)-swaps achieves a large share of the optimum (k/2-approx; >= 1/2, near 2/3 target for k = 3)",
+        &["base", "sets", "cases", "greedy share", "LS share", "min LS share"],
+    );
+    let mut rng = StdRng::seed_from_u64(1313);
+    let mut min_overall: f64 = 1.0;
+    for &(base, sets) in &[(12u32, 14usize), (15, 20), (18, 26)] {
+        let cases = 25;
+        let mut g_share = 0.0;
+        let mut l_share = 0.0;
+        let mut min_share: f64 = 1.0;
+        for _ in 0..cases {
+            let collection: Vec<Vec<u32>> = (0..sets)
+                .map(|_| (0..3).map(|_| rng.gen_range(0..base)).collect())
+                .collect();
+            let inst = SetPackingInstance::new(base, collection);
+            let opt = exact_max_packing(&inst).len().max(1);
+            let g = greedy_packing(&inst).len();
+            let l = local_search_packing(&inst, 64).len();
+            g_share += g as f64 / opt as f64;
+            l_share += l as f64 / opt as f64;
+            min_share = min_share.min(l as f64 / opt as f64);
+        }
+        min_overall = min_overall.min(min_share);
+        table.row([
+            base.to_string(),
+            sets.to_string(),
+            cases.to_string(),
+            format!("{:.3}", g_share / cases as f64),
+            format!("{:.3}", l_share / cases as f64),
+            format!("{min_share:.3}"),
+        ]);
+    }
+    table.verdict(format!(
+        "local search share >= {min_overall:.3} everywhere (guarantee 1/2; 2/3 is the HS limit)"
+    ));
+    table
+}

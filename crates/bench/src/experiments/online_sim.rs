@@ -1,0 +1,121 @@
+//! Experiments for the online lower bound (Section 1) and the simulator
+//! (energy accounting and power-down policies).
+
+use crate::Table;
+use gaps_core::online;
+use gaps_core::power::power_cost_multiproc;
+use gaps_core::{edf, multiproc_dp};
+use gaps_sim::{simulate_schedule, Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout};
+use gaps_workloads::{adversarial, one_interval as wl_one};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E12: the online lower-bound family — non-lazy EDF pays Θ(n) gaps, the
+/// offline optimum pays 0, so competitive ratios grow without bound.
+pub fn e12() -> Table {
+    let mut table = Table::new(
+        "E12",
+        "Section 1 online lower bound",
+        "any feasibility-guaranteeing online algorithm pays n−1 gaps where offline pays 0",
+        &["n", "online gaps (EDF)", "offline gaps (DP)", "ratio (spans)"],
+    );
+    let mut ok = true;
+    for &n in &[4usize, 8, 16, 32] {
+        let inst = adversarial::online_lower_bound(n);
+        let (online_gaps, offline_gaps) =
+            online::online_vs_offline_gaps(&inst).expect("family is feasible");
+        ok &= online_gaps == n as u64 - 1 && offline_gaps == 0;
+        table.row([
+            n.to_string(),
+            online_gaps.to_string(),
+            offline_gaps.to_string(),
+            format!("{:.0}x", (online_gaps + 1) as f64 / (offline_gaps + 1) as f64),
+        ]);
+    }
+    table.verdict(if ok {
+        "confirmed: online/offline gap ratio grows linearly in n"
+    } else {
+        "FALSIFIED"
+    });
+    table
+}
+
+/// E15: the simulator's measured energy equals the analytic power cost
+/// under the clairvoyant policy, across random schedules and alphas.
+pub fn e15() -> Table {
+    let mut table = Table::new(
+        "E15",
+        "Simulator vs analytic power",
+        "executing a schedule with clairvoyant sleeping measures exactly active + alpha * wakeups with per-gap min(len, alpha)",
+        &["p", "alpha", "cases", "exact matches"],
+    );
+    let mut all = true;
+    for &p in &[1u32, 2, 3] {
+        for &alpha in &[0u64, 1, 3, 7] {
+            let cases = 20u64;
+            let mut matches = 0u64;
+            for seed in 0..cases {
+                let mut rng = StdRng::seed_from_u64(150 * p as u64 + 10 * alpha + seed);
+                let inst = wl_one::feasible(&mut rng, 10, 18, 3, p);
+                let sched = edf::edf(&inst).expect("feasible");
+                let report = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
+                matches +=
+                    (report.energy == power_cost_multiproc(&sched, p, alpha)) as u64;
+            }
+            all &= matches == cases;
+            table.row([
+                p.to_string(),
+                alpha.to_string(),
+                cases.to_string(),
+                format!("{matches}/{cases}"),
+            ]);
+        }
+    }
+    table.verdict(if all {
+        "confirmed: simulated energy == analytic cost in every run"
+    } else {
+        "FALSIFIED"
+    });
+    table
+}
+
+/// E17: power-down policies on gap-rich schedules: clairvoyant is the
+/// floor; timeout(alpha) stays within 2x of it (ski rental); the
+/// extremes lose on the opposite gap regimes.
+pub fn e17() -> Table {
+    let mut table = Table::new(
+        "E17",
+        "Online power-down policies (extension)",
+        "timeout(alpha) is 2-competitive against the clairvoyant min(gap, alpha) optimum",
+        &["alpha", "clairvoyant", "timeout(a)", "sleep-now", "never-sleep", "timeout/clair"],
+    );
+    let mut worst: f64 = 0.0;
+    for &alpha in &[1u64, 2, 4, 8] {
+        // Gap-rich workload: sparse pinned jobs over a long horizon, made
+        // gap-optimal first so the spans are meaningful.
+        let mut rng = StdRng::seed_from_u64(1700 + alpha);
+        let inst = wl_one::feasible(&mut rng, 12, 60, 1, 1);
+        let sched = multiproc_dp::min_span_schedule(&inst).expect("feasible").schedule;
+        let energy = |policy: &dyn PowerPolicy| -> u64 {
+            simulate_schedule(&inst, &sched, alpha, policy).energy
+        };
+        let clair = energy(&Clairvoyant { alpha });
+        let timeout = energy(&Timeout { threshold: alpha });
+        let now = energy(&SleepImmediately);
+        let never = energy(&NeverSleep);
+        let ratio = timeout as f64 / clair.max(1) as f64;
+        worst = worst.max(ratio);
+        table.row([
+            alpha.to_string(),
+            clair.to_string(),
+            timeout.to_string(),
+            now.to_string(),
+            never.to_string(),
+            format!("{ratio:.3}"),
+        ]);
+    }
+    table.verdict(format!(
+        "confirmed: worst timeout/clairvoyant ratio {worst:.3} <= 2 (ski rental)"
+    ));
+    table
+}

@@ -1,0 +1,41 @@
+//! # gaps-bench
+//!
+//! The experiment harness regenerating every quantitative claim of the
+//! paper (the paper has no tables or figures of its own — it is a theory
+//! paper — so the experiment index E1–E17 defined in `DESIGN.md` plays
+//! that role; `EXPERIMENTS.md` records claimed-vs-measured outcomes).
+//!
+//! * `cargo run -p gaps-bench --release --bin experiments` runs everything;
+//!   pass experiment ids (`e1 e4 e16 …`) to filter.
+//! * `cargo bench -p gaps-bench` runs the Criterion microbenchmarks (one
+//!   per performance-shaped claim, e.g. the polynomial scaling of the
+//!   Theorem 1 DP).
+//!
+//! Seed-sweeps inside experiments fan out over threads with
+//! `crossbeam::scope`, collecting into `parking_lot::Mutex`ed accumulators.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Run the named experiments (or all, if `filter` is empty) and return the
+/// rendered tables in order.
+pub fn run(filter: &[String]) -> Vec<Table> {
+    let wanted = |id: &str| {
+        filter.is_empty() || filter.iter().any(|f| f.eq_ignore_ascii_case(id))
+    };
+    experiments::REGISTRY
+        .iter()
+        .filter(|(id, _, _)| wanted(id))
+        .map(|(_, _, f)| f())
+        .collect()
+}
+
+/// List the available experiment ids and descriptions.
+pub fn catalog() -> Vec<(&'static str, &'static str)> {
+    experiments::REGISTRY
+        .iter()
+        .map(|(id, desc, _)| (*id, *desc))
+        .collect()
+}

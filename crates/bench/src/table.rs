@@ -1,0 +1,113 @@
+//! Minimal aligned-text tables for experiment output.
+
+use std::fmt;
+
+/// A titled table with a header row and string cells.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. `"E4"`.
+    pub id: String,
+    /// Human title (one line).
+    pub title: String,
+    /// The claim being tested, quoted/paraphrased from the paper.
+    pub claim: String,
+    /// One-line verdict filled by the experiment (e.g. "confirmed: 240/240
+    /// agreements").
+    pub verdict: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(
+        id: &str,
+        title: &str,
+        claim: &str,
+        headers: &[&str],
+    ) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            verdict: String::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringifies anything `Display`).
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: fmt::Display,
+    {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Set the verdict line.
+    pub fn verdict(&mut self, v: impl Into<String>) {
+        self.verdict = v.into();
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        writeln!(f, "   claim: {}", self.claim)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "   ")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, "{cell:>w$}  ", w = w)?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        write!(f, "   ")?;
+        for w in &widths {
+            write!(f, "{}  ", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "   verdict: {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", "x = x", &["n", "value"]);
+        t.row(["3", "12"]);
+        t.row(["100", "7"]);
+        t.verdict("confirmed");
+        let s = t.to_string();
+        assert!(s.contains("E0"));
+        assert!(s.contains("confirmed"));
+        assert!(s.contains("value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("E0", "demo", "", &["a", "b"]);
+        t.row(["only-one"]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Instance analysis: the structural statistics that predict how hard an
+//! instance is for each algorithm. Used by the CLI's `info` command and
+//! the workload documentation; the experiment harness reports them next to
+//! measured running times.
+
+use crate::instance::{Instance, MultiInstance};
+use crate::time::runs_of;
+
+/// Summary statistics of a one-interval instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of processors.
+    pub processors: u32,
+    /// Horizon length in slots (0 for an empty instance).
+    pub horizon: u64,
+    /// Load factor `n / (p · horizon)` — above 1.0 is trivially infeasible.
+    pub load: f64,
+    /// Minimum, mean, and maximum window length (slack + 1).
+    pub window_min: u64,
+    /// Mean window length.
+    pub window_mean: f64,
+    /// Maximum window length.
+    pub window_max: u64,
+    /// Number of distinct release times (arrival burstiness indicator).
+    pub distinct_releases: usize,
+}
+
+/// Compute [`InstanceStats`].
+pub fn analyze_instance(inst: &Instance) -> InstanceStats {
+    let jobs = inst.job_count();
+    let horizon = inst.horizon().map_or(0, |h| h.len());
+    let lens: Vec<u64> = inst.jobs().iter().map(|j| j.window_len()).collect();
+    let mut releases: Vec<i64> = inst.jobs().iter().map(|j| j.release).collect();
+    releases.sort_unstable();
+    releases.dedup();
+    InstanceStats {
+        jobs,
+        processors: inst.processors(),
+        horizon,
+        load: if horizon == 0 {
+            0.0
+        } else {
+            jobs as f64 / (inst.processors() as u64 * horizon) as f64
+        },
+        window_min: lens.iter().copied().min().unwrap_or(0),
+        window_mean: if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<u64>() as f64 / lens.len() as f64
+        },
+        window_max: lens.iter().copied().max().unwrap_or(0),
+        distinct_releases: releases.len(),
+    }
+}
+
+/// Summary statistics of a multi-interval instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Distinct allowed slots.
+    pub slots: usize,
+    /// Maximal runs of the slot union (the span upper structure).
+    pub slot_runs: usize,
+    /// Mean allowed-set size per job.
+    pub mean_choices: f64,
+    /// The `k` of "k-interval job": max maximal-interval count.
+    pub max_intervals: usize,
+    /// Unit-interval instance (Section 5 families)?
+    pub unit: bool,
+    /// Pairwise-disjoint allowed sets (Section 5 families)?
+    pub disjoint: bool,
+    /// Slack ratio `slots / jobs` — below 1.0 is trivially infeasible.
+    pub slack: f64,
+}
+
+/// Compute [`MultiStats`].
+pub fn analyze_multi(inst: &MultiInstance) -> MultiStats {
+    let slots = inst.slot_union();
+    let runs = runs_of(&slots);
+    let jobs = inst.job_count();
+    let total_choices: usize = inst.jobs().iter().map(|j| j.times().len()).sum();
+    MultiStats {
+        jobs,
+        slots: slots.len(),
+        slot_runs: runs.len(),
+        mean_choices: if jobs == 0 { 0.0 } else { total_choices as f64 / jobs as f64 },
+        max_intervals: inst.max_intervals_per_job(),
+        unit: inst.is_unit_interval(),
+        disjoint: inst.is_disjoint(),
+        slack: if jobs == 0 { f64::INFINITY } else { slots.len() as f64 / jobs as f64 },
+    }
+}
+
+impl std::fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} jobs on {} processors over {} slots (load {:.2})",
+            self.jobs, self.processors, self.horizon, self.load
+        )?;
+        writeln!(
+            f,
+            "window lengths: min {} / mean {:.1} / max {}; {} distinct releases",
+            self.window_min, self.window_mean, self.window_max, self.distinct_releases
+        )
+    }
+}
+
+impl std::fmt::Display for MultiStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} jobs over {} slots in {} runs (slack {:.2})",
+            self.jobs, self.slots, self.slot_runs, self.slack
+        )?;
+        writeln!(
+            f,
+            "choices/job: {:.1} mean, ≤ {} intervals; unit: {}, disjoint: {}",
+            self.mean_choices, self.max_intervals, self.unit, self.disjoint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_interval_stats() {
+        let inst = Instance::from_windows([(0, 4), (2, 2), (5, 9)], 2).unwrap();
+        let s = analyze_instance(&inst);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.horizon, 10);
+        assert_eq!(s.window_min, 1);
+        assert_eq!(s.window_max, 5);
+        assert!((s.window_mean - 11.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.distinct_releases, 3);
+        assert!((s.load - 3.0 / 20.0).abs() < 1e-9);
+        assert!(s.to_string().contains("3 jobs"));
+    }
+
+    #[test]
+    fn multi_stats() {
+        let inst =
+            MultiInstance::from_times([vec![0, 1, 5], vec![6], vec![0, 6]]).unwrap();
+        let s = analyze_multi(&inst);
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.slots, 4); // {0,1,5,6}
+        assert_eq!(s.slot_runs, 2); // {0,1} and {5,6}
+        assert!((s.mean_choices - 2.0).abs() < 1e-9);
+        assert!(!s.disjoint);
+        assert!((s.slack - 4.0 / 3.0).abs() < 1e-9);
+        assert!(s.to_string().contains("2 runs"));
+    }
+
+    #[test]
+    fn empty_instances() {
+        let s = analyze_instance(&Instance::new(vec![], 3).unwrap());
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.horizon, 0);
+        let m = analyze_multi(&MultiInstance::new(vec![]).unwrap());
+        assert_eq!(m.jobs, 0);
+        assert!(m.slack.is_infinite());
+    }
+
+    #[test]
+    fn overload_is_visible_in_load_factor() {
+        let inst = Instance::from_windows([(0, 0), (0, 0), (0, 0)], 1).unwrap();
+        let s = analyze_instance(&inst);
+        assert!(s.load > 1.0, "load {} should exceed 1", s.load);
+    }
+}

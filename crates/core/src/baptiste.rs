@@ -1,0 +1,410 @@
+//! **\[Bap06\] substrate**: Baptiste's single-processor dynamic program,
+//! the algorithm the paper's Theorem 1 generalizes.
+//!
+//! For `p = 1` the span/gap distinction is trivial (`gaps = spans − 1` for
+//! any non-empty schedule), so Baptiste's "minimum number of idle periods"
+//! is exactly the span objective. This module provides an **independently
+//! coded** specialization of the window DP with boolean edge states —
+//! single-processor occupancy at a column is 0 or 1, which collapses the
+//! boundary bookkeeping (a column adjacent to the peeled job can never
+//! start a new span: `(X − 1)⁺ = 0` for `X ≤ 1`). The values are
+//! cross-checked against both the general multiprocessor DP at `p = 1`
+//! and exhaustive search in the test suite; witness schedules delegate to
+//! [`crate::multiproc_dp`] / [`crate::power_dp`].
+
+use crate::instance::Instance;
+use std::collections::HashMap;
+
+const INF: u64 = u64::MAX;
+
+fn add(a: u64, b: u64) -> u64 {
+    if a == INF || b == INF {
+        INF
+    } else {
+        a + b
+    }
+}
+
+/// Minimum number of gaps (idle periods strictly between busy periods) on
+/// one processor — Baptiste's objective. `None` iff infeasible.
+///
+/// # Panics
+/// Panics if the instance has more than one processor.
+///
+/// ```
+/// use gaps_core::instance::Instance;
+/// use gaps_core::baptiste::min_gaps_value;
+/// let inst = Instance::from_windows([(0, 0), (2, 5), (5, 5)], 1).unwrap();
+/// // Schedule {0, 4, 5}: one gap. Nothing can glue 0 to the rest.
+/// assert_eq!(min_gaps_value(&inst), Some(1));
+/// ```
+pub fn min_gaps_value(inst: &Instance) -> Option<u64> {
+    min_spans_value(inst).map(|s| s.saturating_sub(1))
+}
+
+/// Minimum number of spans (= wake-up transitions) on one processor.
+/// `None` iff infeasible.
+pub fn min_spans_value(inst: &Instance) -> Option<u64> {
+    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+    if inst.job_count() == 0 {
+        return Some(0);
+    }
+    crate::edf::edf(inst).ok()?;
+    let ctx = Ctx::new(inst, 0);
+    let mut memo = HashMap::new();
+    let v = ctx.spans(ctx.top(), &mut memo);
+    assert_ne!(v, INF, "EDF said feasible, DP must agree");
+    Some(v)
+}
+
+/// Minimum power on one processor with transition cost `alpha`
+/// (gap of length `g` costs `min(g, α)`; the first wake-up costs `α`).
+/// `None` iff infeasible.
+pub fn min_power_value(inst: &Instance, alpha: u64) -> Option<u64> {
+    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+    if inst.job_count() == 0 {
+        return Some(0);
+    }
+    crate::edf::edf(inst).ok()?;
+    let ctx = Ctx::new(inst, alpha);
+    let mut memo = HashMap::new();
+    let v = ctx.power(ctx.top(), &mut memo);
+    assert_ne!(v, INF, "EDF said feasible, DP must agree");
+    Some(v)
+}
+
+/// Witness schedule for [`min_gaps_value`] (delegates to the general DP).
+pub fn min_gaps_schedule(inst: &Instance) -> Option<(u64, crate::schedule::Schedule)> {
+    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+    let sol = crate::multiproc_dp::min_gap_schedule(inst)?;
+    Some((sol.gaps, sol.schedule))
+}
+
+/// Witness schedule for [`min_power_value`] (delegates to the general DP).
+pub fn min_power_schedule(
+    inst: &Instance,
+    alpha: u64,
+) -> Option<(u64, crate::schedule::Schedule)> {
+    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+    let sol = crate::power_dp::min_power_schedule(inst, alpha)?;
+    Some((sol.power, sol.schedule))
+}
+
+/// State of the boolean-edge window DP. Booleans are packed as 0/1:
+/// for the span DP, `e1`/`e2` say whether a *job* occupies `t1`/`t2`
+/// (with `anc` = 1 if an ancestor job sits at `t2`); for the power DP they
+/// say whether the processor is *active* there.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct St {
+    t1: u16,
+    t2: u16,
+    k: u16,
+    anc: bool,
+    e1: bool,
+    e2: bool,
+}
+
+fn key(s: St) -> u64 {
+    (s.t1 as u64)
+        | (s.t2 as u64) << 14
+        | (s.k as u64) << 28
+        | (s.anc as u64) << 42
+        | (s.e1 as u64) << 43
+        | (s.e2 as u64) << 44
+}
+
+struct Ctx {
+    t_max: u16,
+    alpha: u64,
+    /// `(release, deadline)` in padded indices, deadline order.
+    jobs: Vec<(u16, u16)>,
+}
+
+impl Ctx {
+    fn new(inst: &Instance, alpha: u64) -> Ctx {
+        let horizon = inst.horizon().expect("non-empty");
+        let t0 = horizon.start - 1;
+        let len = horizon.end - horizon.start + 3;
+        assert!(len <= 16000, "horizon too long; compress the instance first");
+        let jobs = inst
+            .deadline_order()
+            .iter()
+            .map(|&i| {
+                let j = &inst.jobs()[i];
+                ((j.release - t0) as u16, (j.deadline - t0) as u16)
+            })
+            .collect();
+        Ctx { t_max: (len - 1) as u16, alpha, jobs }
+    }
+
+    fn top(&self) -> St {
+        St { t1: 0, t2: self.t_max, k: self.jobs.len() as u16, anc: false, e1: false, e2: false }
+    }
+
+    fn window(&self, t1: u16, t2: u16) -> Vec<u16> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(r, _))| t1 <= r && r <= t2)
+            .map(|(i, _)| i as u16)
+            .collect()
+    }
+
+    // ---------------- span objective ----------------
+
+    fn spans(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
+        if let Some(&v) = memo.get(&key(s)) {
+            return v;
+        }
+        let v = self.spans_compute(s, memo);
+        memo.insert(key(s), v);
+        v
+    }
+
+    fn spans_compute(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
+        let St { t1, t2, k, anc, e1, e2 } = s;
+        if anc && e2 {
+            return INF; // one processor: t2 cannot hold two jobs
+        }
+        let window = self.window(t1, t2);
+        if (k as usize) > window.len() {
+            return INF;
+        }
+        if t1 == t2 {
+            let occ = k == 1;
+            return if k <= 1 && e1 == occ && e2 == occ && !(anc && occ) { 0 } else { INF };
+        }
+        if k == 0 {
+            return if !e1 && !e2 { anc as u64 } else { INF };
+        }
+
+        let jk = window[(k - 1) as usize];
+        let (rk, dk) = self.jobs[jk as usize];
+        let mut best = INF;
+
+        // jk at t2 (joins as the ancestor).
+        if e2 && !anc && dk >= t2 {
+            best = best.min(self.spans(St { t1, t2, k: k - 1, anc: true, e1, e2: false }, memo));
+        }
+
+        let releases: Vec<u16> = {
+            let mut r: Vec<u16> =
+                window[..k as usize].iter().map(|&j| self.jobs[j as usize].0).collect();
+            r.sort_unstable();
+            r
+        };
+        let lo = t1.max(rk);
+        let hi = dk.min(t2 - 1);
+        for tp in lo..=hi {
+            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let k1 = k - 1 - i;
+            // Left part: jobs strictly left of jk's column.
+            let sub1 = if tp == t1 {
+                if !e1 || k1 != 0 {
+                    continue; // p = 1: jk alone occupies t1
+                }
+                0
+            } else {
+                self.spans(St { t1, t2: tp, k: k1, anc: true, e1, e2: false }, memo)
+            };
+            if sub1 == INF {
+                continue;
+            }
+            // Right part. The column after jk never *starts* a span beyond
+            // what the child counts: (X − 1)⁺ = 0 on one processor, because
+            // jk keeps column t′ busy.
+            let sub2 = if tp + 1 == t2 {
+                self.spans(St { t1: t2, t2, k: i, anc, e1: e2, e2 }, memo)
+            } else {
+                let mut b = INF;
+                for x in [false, true] {
+                    let v = self.spans(St { t1: tp + 1, t2, k: i, anc, e1: x, e2 }, memo);
+                    b = b.min(v);
+                }
+                b
+            };
+            if sub2 == INF {
+                continue;
+            }
+            best = best.min(add(sub1, sub2));
+        }
+        best
+    }
+
+    // ---------------- power objective ----------------
+
+    fn power(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
+        if let Some(&v) = memo.get(&key(s)) {
+            return v;
+        }
+        let v = self.power_compute(s, memo);
+        memo.insert(key(s), v);
+        v
+    }
+
+    fn power_compute(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
+        let St { t1, t2, k, anc, e1, e2 } = s;
+        if anc && e2 {
+            return INF;
+        }
+        let window = self.window(t1, t2);
+        if (k as usize) > window.len() {
+            return INF;
+        }
+        if t1 == t2 {
+            // Own active bit e2 must cover the k ≤ 1 own jobs; e1 == e2.
+            return if k <= 1 && e1 == e2 && (k == 0 || e2) { 0 } else { INF };
+        }
+        if k == 0 {
+            // Empty window: right column is active iff anc || e2.
+            let right = (anc || e2) as u64;
+            let left = e1 as u64;
+            let interior = (t2 - t1 - 1) as u64;
+            let cont = left.min(right);
+            let fresh = right - cont;
+            return right + cont * interior.min(self.alpha) + fresh * self.alpha;
+        }
+
+        let jk = window[(k - 1) as usize];
+        let (rk, dk) = self.jobs[jk as usize];
+        let mut best = INF;
+
+        if e2 && !anc && dk >= t2 {
+            best = best.min(self.power(St { t1, t2, k: k - 1, anc: true, e1, e2: false }, memo));
+        }
+
+        let releases: Vec<u16> = {
+            let mut r: Vec<u16> =
+                window[..k as usize].iter().map(|&j| self.jobs[j as usize].0).collect();
+            r.sort_unstable();
+            r
+        };
+        let lo = t1.max(rk);
+        let hi = dk.min(t2 - 1);
+        for tp in lo..=hi {
+            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let k1 = k - 1 - i;
+            let sub1 = if tp == t1 {
+                if !e1 || k1 != 0 {
+                    continue;
+                }
+                0
+            } else {
+                self.power(St { t1, t2: tp, k: k1, anc: true, e1, e2: false }, memo)
+            };
+            if sub1 == INF {
+                continue;
+            }
+            // Right child; parent pays the t′+1 column (wake-up impossible:
+            // t′ is active).
+            if tp + 1 == t2 {
+                let right_active = anc || e2;
+                let sub2 = self.power(St { t1: t2, t2, k: i, anc, e1: e2, e2 }, memo);
+                if sub2 != INF {
+                    best = best.min(add(add(sub1, sub2), right_active as u64));
+                }
+            } else {
+                for x in [false, true] {
+                    let sub2 = self.power(St { t1: tp + 1, t2, k: i, anc, e1: x, e2 }, memo);
+                    if sub2 != INF {
+                        best = best.min(add(add(sub1, sub2), x as u64));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+    use crate::instance::Instance;
+
+    fn single(windows: &[(i64, i64)]) -> Instance {
+        Instance::from_windows(windows.iter().copied(), 1).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_gaps() {
+        for windows in [
+            vec![(0, 0), (2, 5), (5, 5)],
+            vec![(0, 3), (1, 2), (2, 5), (4, 4), (0, 5)],
+            vec![(0, 7), (2, 3), (5, 5), (1, 6), (0, 0)],
+            vec![(0, 0), (2, 2), (4, 4)],
+            vec![(0, 10), (9, 10)],
+            vec![(1, 1)],
+        ] {
+            let inst = single(&windows);
+            let multi = inst.to_multi_interval(1000);
+            let bf = brute_force::min_gaps_multi(&multi).map(|(g, _)| g);
+            assert_eq!(min_gaps_value(&inst), bf, "windows {windows:?}");
+        }
+    }
+
+    #[test]
+    fn matches_general_dp_at_p1() {
+        for windows in [
+            vec![(0, 4), (2, 2), (6, 9), (7, 8)],
+            vec![(0, 1), (1, 2), (4, 6), (5, 6), (6, 6)],
+            vec![(0, 2), (0, 2), (0, 2)],
+        ] {
+            let inst = single(&windows);
+            assert_eq!(
+                min_spans_value(&inst),
+                crate::multiproc_dp::min_span_value(&inst),
+                "windows {windows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_matches_brute_force() {
+        for alpha in [0u64, 1, 2, 3, 7] {
+            for windows in [
+                vec![(0, 0), (3, 3)],
+                vec![(0, 0), (2, 5), (5, 5)],
+                vec![(0, 4), (2, 2), (6, 9)],
+                vec![(0, 1), (0, 1), (4, 4)],
+            ] {
+                let inst = single(&windows);
+                let multi = inst.to_multi_interval(1000);
+                let bf = brute_force::min_power_multi(&multi, alpha).map(|(c, _)| c);
+                assert_eq!(min_power_value(&inst, alpha), bf, "{windows:?} α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let inst = single(&[(0, 0), (0, 0)]);
+        assert_eq!(min_gaps_value(&inst), None);
+        assert_eq!(min_power_value(&inst, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-processor")]
+    fn rejects_multiprocessor_instances() {
+        let inst = Instance::from_windows([(0, 1)], 2).unwrap();
+        min_gaps_value(&inst);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 1).unwrap();
+        assert_eq!(min_gaps_value(&inst), Some(0));
+        assert_eq!(min_power_value(&inst, 5), Some(0));
+    }
+
+    #[test]
+    fn schedule_wrappers_agree_with_values() {
+        let inst = single(&[(0, 0), (2, 5), (5, 5)]);
+        let (gaps, sched) = min_gaps_schedule(&inst).unwrap();
+        assert_eq!(Some(gaps), min_gaps_value(&inst));
+        sched.verify(&inst).unwrap();
+        let (power, psched) = min_power_schedule(&inst, 2).unwrap();
+        assert_eq!(Some(power), min_power_value(&inst, 2));
+        psched.verify(&inst).unwrap();
+    }
+}

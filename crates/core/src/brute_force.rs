@@ -1,0 +1,525 @@
+//! Exhaustive reference solvers for small instances.
+//!
+//! Every approximation ratio and every DP in this workspace is validated
+//! against the solvers in this module. They are exponential-time by design
+//! (the problems are NP-hard in their multi-interval forms) and intended
+//! for `n ≲ 10` jobs and `≲ 96` distinct slots; they memoize on
+//! `(job index, occupied-slot bitmask)`, which keeps typical test instances
+//! in the tens of thousands of states.
+
+use crate::instance::{Instance, MultiInstance};
+use crate::power::processor_power;
+use crate::schedule::{Assignment, MultiSchedule, Schedule};
+use crate::time::{run_count, Time};
+use std::collections::HashMap;
+
+/// Hard cap on distinct slots for the bitmask solvers.
+const MAX_SLOTS: usize = 128;
+
+/// Minimum-gap schedule of a multi-interval instance (Theorem 6's problem),
+/// or `None` if infeasible. Gaps are counted as spans − 1.
+pub fn min_gaps_multi(inst: &MultiInstance) -> Option<(u64, MultiSchedule)> {
+    min_cost_multi(inst, |occupied| {
+        (run_count(occupied) as u64).saturating_sub(1)
+    })
+}
+
+/// Minimum number of spans (Section 5 convention: one infinite side counts
+/// as a gap, so "gaps" = spans).
+pub fn min_spans_multi(inst: &MultiInstance) -> Option<(u64, MultiSchedule)> {
+    min_cost_multi(inst, |occupied| run_count(occupied) as u64)
+}
+
+/// Minimum-power schedule of a multi-interval instance under transition
+/// cost `alpha` (Theorem 3's problem), or `None` if infeasible.
+pub fn min_power_multi(inst: &MultiInstance, alpha: u64) -> Option<(u64, MultiSchedule)> {
+    min_cost_multi(inst, |occupied| processor_power(occupied, alpha))
+}
+
+/// Generic exact solver: minimize `cost(occupied slots)` over all feasible
+/// complete schedules.
+fn min_cost_multi(
+    inst: &MultiInstance,
+    cost: impl Fn(&[Time]) -> u64,
+) -> Option<(u64, MultiSchedule)> {
+    let slots = inst.slot_union();
+    assert!(
+        slots.len() <= MAX_SLOTS,
+        "brute force supports at most {MAX_SLOTS} distinct slots, got {}",
+        slots.len()
+    );
+    let n = inst.job_count();
+    if n == 0 {
+        return Some((cost(&[]), MultiSchedule::new(vec![])));
+    }
+
+    // Most-constrained-first ordering shrinks the search tree.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| inst.jobs()[i].times().len());
+    let allowed: Vec<Vec<usize>> = order
+        .iter()
+        .map(|&i| {
+            inst.jobs()[i]
+                .times()
+                .iter()
+                .map(|t| slots.binary_search(t).expect("slot in union"))
+                .collect()
+        })
+        .collect();
+
+    let mut memo: HashMap<(usize, u128), u64> = HashMap::new();
+    let best = search_min(&allowed, 0, 0u128, &slots, &cost, &mut memo)?;
+
+    // Reconstruct by following memo-optimal branches.
+    let mut times = vec![0; n];
+    let mut mask = 0u128;
+    for (depth, &job) in order.iter().enumerate() {
+        let target = search_min(&allowed, depth, mask, &slots, &cost, &mut memo)
+            .expect("feasible by outer check");
+        let mut placed = false;
+        for &s in &allowed[depth] {
+            let bit = 1u128 << s;
+            if mask & bit != 0 {
+                continue;
+            }
+            if search_min(&allowed, depth + 1, mask | bit, &slots, &cost, &mut memo)
+                == Some(target)
+            {
+                times[job] = slots[s];
+                mask |= bit;
+                placed = true;
+                break;
+            }
+        }
+        assert!(placed, "reconstruction must follow an optimal branch");
+    }
+    let sched = MultiSchedule::new(times);
+    debug_assert!(sched.verify(inst).is_ok());
+    Some((best, sched))
+}
+
+fn search_min(
+    allowed: &[Vec<usize>],
+    depth: usize,
+    mask: u128,
+    slots: &[Time],
+    cost: &impl Fn(&[Time]) -> u64,
+    memo: &mut HashMap<(usize, u128), u64>,
+) -> Option<u64> {
+    if depth == allowed.len() {
+        let occupied: Vec<Time> = slots
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| mask & (1u128 << s) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        return Some(cost(&occupied));
+    }
+    if let Some(&v) = memo.get(&(depth, mask)) {
+        return (v != u64::MAX).then_some(v);
+    }
+    let mut best: Option<u64> = None;
+    for &s in &allowed[depth] {
+        let bit = 1u128 << s;
+        if mask & bit != 0 {
+            continue;
+        }
+        if let Some(v) = search_min(allowed, depth + 1, mask | bit, slots, cost, memo) {
+            best = Some(best.map_or(v, |b: u64| b.min(v)));
+        }
+    }
+    memo.insert((depth, mask), best.unwrap_or(u64::MAX));
+    best
+}
+
+/// Exact minimum-span schedule of a one-interval instance on `p` processors
+/// — the transition-count objective that the paper's Theorem 1 DP actually
+/// minimizes — or `None` if infeasible. The returned witness is
+/// prefix-structured.
+///
+/// The cost of a complete occupancy profile `ℓ` is the number of span
+/// starts `Σ_t (ℓ_t − ℓ_{t−1})⁺`, which is arrangement-independent (it is a
+/// lower bound on the runs of any arrangement and the prefix arrangement
+/// attains it).
+pub fn min_spans_multiproc(inst: &Instance) -> Option<(u64, Schedule)> {
+    min_cost_multiproc(inst, |profile| profile_starts(profile))
+}
+
+/// Exact minimum-gap schedule (finite maximal idle intervals, the paper's
+/// literal Section 2 objective) of a one-interval instance on `p`
+/// processors, or `None` if infeasible.
+///
+/// For a fixed occupancy profile with `R` span starts, any arrangement has
+/// `R` runs or more and can use at most `min(p, R)` processors, so the best
+/// achievable gap count is `max(0, R − p)`; run spreading attains it (see
+/// [`Schedule::spread_for_min_gaps`] and the Lemma 1 discussion in
+/// DESIGN.md). The witness returned here is run-spread.
+pub fn min_gaps_multiproc(inst: &Instance) -> Option<(u64, Schedule)> {
+    let p = inst.processors() as u64;
+    let (gaps, sched) =
+        min_cost_multiproc(inst, |profile| profile_starts(profile).saturating_sub(p))?;
+    let spread = sched.spread_for_min_gaps(inst.processors());
+    debug_assert_eq!(spread.gap_count(inst.processors()), gaps);
+    Some((gaps, spread))
+}
+
+/// Exact minimum-power schedule of a one-interval instance on `p`
+/// processors (Theorem 2's problem). Processors may stay active through
+/// gaps; a gap of length `g` on one processor costs `min(g, α)`.
+pub fn min_power_multiproc(inst: &Instance, alpha: u64) -> Option<(u64, Schedule)> {
+    min_cost_multiproc(inst, |profile| profile_power(profile, alpha))
+}
+
+/// Span starts of an occupancy profile: `Σ_t (ℓ_t − ℓ_{t−1})⁺`.
+fn profile_starts(profile: &[u8]) -> u64 {
+    let mut prev = 0u8;
+    let mut starts = 0u64;
+    for &l in profile {
+        starts += l.saturating_sub(prev) as u64;
+        prev = l;
+    }
+    starts
+}
+
+/// Power of a profile under the prefix arrangement: level `q` of the
+/// staircase is busy exactly where `ℓ(t) ≥ q`; each level is an independent
+/// single processor.
+fn profile_power(profile: &[u8], alpha: u64) -> u64 {
+    let peak = profile.iter().copied().max().unwrap_or(0);
+    let mut total = 0u64;
+    for q in 1..=peak {
+        let busy: Vec<Time> = profile
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l >= q)
+            .map(|(t, _)| t as Time)
+            .collect();
+        total += processor_power(&busy, alpha);
+    }
+    total
+}
+
+fn min_cost_multiproc(
+    inst: &Instance,
+    cost: impl Fn(&[u8]) -> u64,
+) -> Option<(u64, Schedule)> {
+    let n = inst.job_count();
+    if n == 0 {
+        return Some((cost(&[]), Schedule::new(vec![])));
+    }
+    let horizon = inst.horizon().expect("non-empty");
+    let t0 = horizon.start;
+    let horizon_len = (horizon.end - horizon.start + 1) as usize;
+    assert!(
+        horizon_len <= MAX_SLOTS,
+        "brute force supports horizons up to {MAX_SLOTS} slots, got {horizon_len}"
+    );
+    assert!(inst.processors() < 250, "processor count too large for u8 profile");
+
+    let order = inst.deadline_order();
+    let windows: Vec<(usize, usize)> = order
+        .iter()
+        .map(|&i| {
+            let j = &inst.jobs()[i];
+            ((j.release - t0) as usize, (j.deadline - t0) as usize)
+        })
+        .collect();
+    let p = inst.processors() as u8;
+
+    let mut memo: HashMap<(usize, Vec<u8>), u64> = HashMap::new();
+    let mut profile = vec![0u8; horizon_len];
+    let best = search_profile(&windows, 0, &mut profile, p, &cost, &mut memo)?;
+
+    // Reconstruct.
+    let mut times: Vec<Time> = vec![0; n];
+    let mut prof = vec![0u8; horizon_len];
+    for (depth, &job) in order.iter().enumerate() {
+        let target = search_profile(&windows, depth, &mut prof, p, &cost, &mut memo)
+            .expect("feasible by outer check");
+        let (lo, hi) = windows[depth];
+        let mut placed = false;
+        for t in lo..=hi {
+            if prof[t] >= p {
+                continue;
+            }
+            prof[t] += 1;
+            if search_profile(&windows, depth + 1, &mut prof, p, &cost, &mut memo)
+                == Some(target)
+            {
+                times[job] = t0 + t as Time;
+                placed = true;
+                break;
+            }
+            prof[t] -= 1;
+        }
+        assert!(placed, "reconstruction must follow an optimal branch");
+    }
+
+    // Prefix processor assignment: jobs at equal times stack from P0 up.
+    let mut used_at: HashMap<Time, u32> = HashMap::new();
+    let assignments = times
+        .iter()
+        .map(|&t| {
+            let q = used_at.entry(t).or_insert(0);
+            let a = Assignment { time: t, processor: *q };
+            *q += 1;
+            a
+        })
+        .collect();
+    let sched = Schedule::new(assignments);
+    debug_assert!(sched.verify(inst).is_ok());
+    debug_assert!(sched.is_prefix_structured());
+    Some((best, sched))
+}
+
+fn search_profile(
+    windows: &[(usize, usize)],
+    depth: usize,
+    profile: &mut Vec<u8>,
+    p: u8,
+    cost: &impl Fn(&[u8]) -> u64,
+    memo: &mut HashMap<(usize, Vec<u8>), u64>,
+) -> Option<u64> {
+    if depth == windows.len() {
+        return Some(cost(profile));
+    }
+    if let Some(&v) = memo.get(&(depth, profile.clone())) {
+        return (v != u64::MAX).then_some(v);
+    }
+    let (lo, hi) = windows[depth];
+    let mut best: Option<u64> = None;
+    for t in lo..=hi {
+        if profile[t] >= p {
+            continue;
+        }
+        profile[t] += 1;
+        if let Some(v) = search_profile(windows, depth + 1, profile, p, cost, memo) {
+            best = Some(best.map_or(v, |b: u64| b.min(v)));
+        }
+        profile[t] -= 1;
+    }
+    memo.insert((depth, profile.clone()), best.unwrap_or(u64::MAX));
+    best
+}
+
+/// Exact maximum throughput under a span budget (Theorem 11's problem,
+/// Section 5 gap convention: the budget bounds the number of spans):
+/// the most jobs schedulable with at most `k` spans, plus a witness
+/// (per-job `Some(time)` or `None` if dropped).
+pub fn max_throughput_spans(inst: &MultiInstance, k: u64) -> (usize, Vec<Option<Time>>) {
+    let slots = inst.slot_union();
+    assert!(
+        slots.len() <= MAX_SLOTS,
+        "brute force supports at most {MAX_SLOTS} distinct slots"
+    );
+    let n = inst.job_count();
+    let allowed: Vec<Vec<usize>> = inst
+        .jobs()
+        .iter()
+        .map(|j| {
+            j.times()
+                .iter()
+                .map(|t| slots.binary_search(t).expect("slot in union"))
+                .collect()
+        })
+        .collect();
+
+    let mut memo: HashMap<(usize, u128), usize> = HashMap::new();
+    let best = search_max(&allowed, 0, 0u128, &slots, k, &mut memo);
+
+    // Reconstruct.
+    let mut choice = vec![None; n];
+    let mut mask = 0u128;
+    for depth in 0..n {
+        let target = search_max(&allowed, depth, mask, &slots, k, &mut memo);
+        // Try scheduling this job somewhere on an optimal branch.
+        let mut done = false;
+        for &s in &allowed[depth] {
+            let bit = 1u128 << s;
+            if mask & bit != 0 {
+                continue;
+            }
+            let sub = search_max(&allowed, depth + 1, mask | bit, &slots, k, &mut memo);
+            if sub != usize::MAX && sub + 1 == target {
+                choice[depth] = Some(slots[s]);
+                mask |= bit;
+                done = true;
+                break;
+            }
+        }
+        if !done {
+            debug_assert_eq!(
+                search_max(&allowed, depth + 1, mask, &slots, k, &mut memo),
+                target
+            );
+        }
+    }
+    (best, choice)
+}
+
+fn search_max(
+    allowed: &[Vec<usize>],
+    depth: usize,
+    mask: u128,
+    slots: &[Time],
+    k: u64,
+    memo: &mut HashMap<(usize, u128), usize>,
+) -> usize {
+    if depth == allowed.len() {
+        let occupied: Vec<Time> = slots
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| mask & (1u128 << s) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        return if run_count(&occupied) as u64 <= k { 0 } else { usize::MAX };
+    }
+    if let Some(&v) = memo.get(&(depth, mask)) {
+        return v;
+    }
+    // Option 1: skip this job.
+    let mut best = search_max(allowed, depth + 1, mask, slots, k, memo);
+    // Option 2: schedule it.
+    for &s in &allowed[depth] {
+        let bit = 1u128 << s;
+        if mask & bit != 0 {
+            continue;
+        }
+        let sub = search_max(allowed, depth + 1, mask | bit, slots, k, memo);
+        if sub != usize::MAX {
+            best = if best == usize::MAX { sub + 1 } else { best.max(sub + 1) };
+        }
+    }
+    memo.insert((depth, mask), best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_cost_single;
+
+    #[test]
+    fn min_gaps_multi_prefers_contiguous() {
+        // Job 1 is pinned at 5; job 0 can join it or sit at 0.
+        let inst = MultiInstance::from_times([vec![0, 4], vec![5]]).unwrap();
+        let (gaps, sched) = min_gaps_multi(&inst).unwrap();
+        sched.verify(&inst).unwrap();
+        assert_eq!(gaps, 0);
+        assert_eq!(sched.times(), &[4, 5]);
+    }
+
+    #[test]
+    fn min_gaps_multi_detects_infeasible() {
+        let inst = MultiInstance::from_times([vec![0], vec![0]]).unwrap();
+        assert_eq!(min_gaps_multi(&inst), None);
+    }
+
+    #[test]
+    fn min_spans_is_gaps_plus_one() {
+        let inst =
+            MultiInstance::from_times([vec![0, 10], vec![1, 11], vec![5]]).unwrap();
+        let (gaps, _) = min_gaps_multi(&inst).unwrap();
+        let (spans, _) = min_spans_multi(&inst).unwrap();
+        assert_eq!(spans, gaps + 1);
+    }
+
+    #[test]
+    fn min_power_multi_tradeoff_with_alpha() {
+        // Jobs at {0} and {3 or 1}: adjacent placement avoids the gap.
+        let inst = MultiInstance::from_times([vec![0], vec![1, 3]]).unwrap();
+        let (cost, sched) = min_power_multi(&inst, 5).unwrap();
+        sched.verify(&inst).unwrap();
+        assert_eq!(sched.times(), &[0, 1]);
+        assert_eq!(cost, 2 + 5);
+        assert_eq!(cost, power_cost_single(&sched, 5));
+    }
+
+    #[test]
+    fn min_power_respects_min_len_alpha() {
+        // Forced gap of 3 between 0 and 4: cost n + α + min(3, α).
+        let inst = MultiInstance::from_times([vec![0], vec![4]]).unwrap();
+        for alpha in 0..7 {
+            let (cost, _) = min_power_multi(&inst, alpha).unwrap();
+            assert_eq!(cost, 2 + alpha + 3.min(alpha), "alpha = {alpha}");
+        }
+    }
+
+    #[test]
+    fn multiproc_uses_second_processor_to_kill_gap() {
+        // Two jobs pinned at time 0, one at time 2. With p = 1 infeasible;
+        // with p = 2 the profile is [2, 0, 1]: starts 3, peak 2 → 1 gap.
+        let inst = Instance::from_windows([(0, 0), (0, 0), (2, 2)], 2).unwrap();
+        let (gaps, sched) = min_gaps_multiproc(&inst).unwrap();
+        sched.verify(&inst).unwrap();
+        assert_eq!(gaps, 1);
+        assert_eq!(gaps, sched.gap_count(2));
+    }
+
+    #[test]
+    fn multiproc_gap_count_matches_schedule_metric() {
+        let inst = Instance::from_windows([(0, 3), (0, 3), (1, 2), (3, 4)], 2).unwrap();
+        let (gaps, sched) = min_gaps_multiproc(&inst).unwrap();
+        sched.verify(&inst).unwrap();
+        assert_eq!(gaps, sched.gap_count(2));
+        assert_eq!(gaps, 0);
+    }
+
+    #[test]
+    fn multiproc_infeasible_detected() {
+        let inst = Instance::from_windows([(0, 0), (0, 0), (0, 0)], 2).unwrap();
+        assert_eq!(min_gaps_multiproc(&inst), None);
+    }
+
+    #[test]
+    fn multiproc_power_matches_schedule_metric() {
+        let inst = Instance::from_windows([(0, 4), (0, 4), (4, 4)], 2).unwrap();
+        for alpha in 0..5 {
+            let (cost, sched) = min_power_multiproc(&inst, alpha).unwrap();
+            sched.verify(&inst).unwrap();
+            assert_eq!(
+                cost,
+                crate::power::power_cost_multiproc(&sched, 2, alpha),
+                "alpha = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_respects_span_budget() {
+        // Three far-apart unit slots; one span can hold only one job.
+        let inst = MultiInstance::from_times([vec![0], vec![10], vec![20]]).unwrap();
+        let (count, choice) = max_throughput_spans(&inst, 1);
+        assert_eq!(count, 1);
+        assert_eq!(choice.iter().flatten().count(), 1);
+        let (count2, _) = max_throughput_spans(&inst, 2);
+        assert_eq!(count2, 2);
+        let (count3, _) = max_throughput_spans(&inst, 3);
+        assert_eq!(count3, 3);
+    }
+
+    #[test]
+    fn throughput_packs_contiguous_block() {
+        let inst =
+            MultiInstance::from_times([vec![0, 1], vec![1, 2], vec![2, 3], vec![50]]).unwrap();
+        let (count, choice) = max_throughput_spans(&inst, 1);
+        assert_eq!(count, 3);
+        // The witness respects allowed sets and distinctness.
+        let mut used = Vec::new();
+        for (j, c) in choice.iter().enumerate() {
+            if let Some(t) = c {
+                assert!(inst.jobs()[j].allows(*t));
+                assert!(!used.contains(t));
+                used.push(*t);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_span_budget_schedules_nothing() {
+        let inst = MultiInstance::from_times([vec![0]]).unwrap();
+        let (count, choice) = max_throughput_spans(&inst, 0);
+        assert_eq!(count, 0);
+        assert_eq!(choice, vec![None]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Earliest-deadline-first scheduling for unit jobs on `p` processors.
+//!
+//! For one-interval unit jobs, non-lazy EDF (run the `≤ p` released pending
+//! jobs with earliest deadlines at every step, never idling while work is
+//! pending) finds a feasible schedule whenever one exists — the classic
+//! exchange argument. The paper uses EDF in two roles:
+//!
+//! * the baseline "most basic scheduling algorithm" (Section 1), oblivious
+//!   to gaps, against which the gap-aware DPs are compared;
+//! * the canonical **online** algorithm: any online algorithm that
+//!   guarantees feasibility must execute pending jobs immediately, so its
+//!   gap cost on the adversarial family of Section 1 is Ω(n) times optimal
+//!   (experiment E12).
+
+use crate::instance::Instance;
+use crate::schedule::{Assignment, Schedule};
+use crate::time::Time;
+use std::collections::BinaryHeap;
+
+/// Why EDF failed: some job's deadline passed before it could be run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdfFailure {
+    /// The job whose deadline was missed.
+    pub job: usize,
+    /// The first time at which the miss became unavoidable.
+    pub time: Time,
+}
+
+/// Run non-lazy EDF. Returns the schedule, or the first deadline miss.
+///
+/// For unit jobs this is exact for feasibility: `edf` fails iff the
+/// instance is infeasible.
+pub fn edf(inst: &Instance) -> Result<Schedule, EdfFailure> {
+    let n = inst.job_count();
+    let p = inst.processors() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| inst.jobs()[i].release);
+
+    // Min-heap on (deadline, index) via Reverse.
+    let mut pending: BinaryHeap<std::cmp::Reverse<(Time, usize)>> = BinaryHeap::new();
+    let mut assignments = vec![Assignment { time: 0, processor: 0 }; n];
+    let mut next = 0usize;
+    let mut t = match order.first() {
+        Some(&i) => inst.jobs()[i].release,
+        None => return Ok(Schedule::new(Vec::new())),
+    };
+
+    while next < n || !pending.is_empty() {
+        if pending.is_empty() {
+            // Idle period: jump to the next release.
+            t = t.max(inst.jobs()[order[next]].release);
+        }
+        while next < n && inst.jobs()[order[next]].release <= t {
+            let i = order[next];
+            pending.push(std::cmp::Reverse((inst.jobs()[i].deadline, i)));
+            next += 1;
+        }
+        for q in 0..p {
+            let Some(std::cmp::Reverse((d, i))) = pending.pop() else {
+                break;
+            };
+            if d < t {
+                return Err(EdfFailure { job: i, time: t });
+            }
+            assignments[i] = Assignment { time: t, processor: q as u32 };
+        }
+        t += 1;
+    }
+    let sched = Schedule::new(assignments);
+    debug_assert!(sched.verify(inst).is_ok());
+    Ok(sched)
+}
+
+/// Feasibility test for one-interval multiprocessor instances via EDF.
+pub fn is_feasible(inst: &Instance) -> bool {
+    edf(inst).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edf_schedules_simple_chain() {
+        let inst = Instance::from_windows([(0, 2), (0, 2), (0, 2)], 1).unwrap();
+        let s = edf(&inst).unwrap();
+        s.verify(&inst).unwrap();
+        assert_eq!(s.gap_count(1), 0);
+    }
+
+    #[test]
+    fn edf_detects_infeasible() {
+        // Three unit jobs due by time 1 on one processor.
+        let inst = Instance::from_windows([(0, 1), (0, 1), (0, 1)], 1).unwrap();
+        let err = edf(&inst).unwrap_err();
+        assert_eq!(err.time, 2);
+        // Two processors make it feasible.
+        assert!(is_feasible(&inst.with_processors(2).unwrap()));
+    }
+
+    #[test]
+    fn edf_uses_multiple_processors() {
+        let inst = Instance::from_windows([(0, 0), (0, 0), (1, 1)], 2).unwrap();
+        let s = edf(&inst).unwrap();
+        s.verify(&inst).unwrap();
+        assert_eq!(s.assignments()[0].time, 0);
+        assert_eq!(s.assignments()[1].time, 0);
+        assert_ne!(s.assignments()[0].processor, s.assignments()[1].processor);
+    }
+
+    #[test]
+    fn edf_jumps_over_idle_stretches() {
+        let inst = Instance::from_windows([(0, 0), (1_000_000, 1_000_000)], 1).unwrap();
+        let s = edf(&inst).unwrap();
+        s.verify(&inst).unwrap();
+        assert_eq!(s.gap_count(1), 1);
+    }
+
+    #[test]
+    fn edf_prioritizes_tight_deadline() {
+        // Job 0 has slack, job 1 must run now.
+        let inst = Instance::from_windows([(0, 5), (0, 0)], 1).unwrap();
+        let s = edf(&inst).unwrap();
+        assert_eq!(s.assignments()[1].time, 0);
+        assert_eq!(s.assignments()[0].time, 1);
+    }
+
+    #[test]
+    fn edf_is_greedy_not_gap_optimal() {
+        // The Section 1 phenomenon in miniature: EDF runs the flexible job
+        // immediately, creating a gap; the optimum runs it adjacent to the
+        // tight job.
+        let inst = Instance::from_windows([(0, 10), (9, 10)], 1).unwrap();
+        let s = edf(&inst).unwrap();
+        assert_eq!(s.gap_count(1), 1); // runs at 0 and 9
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 3).unwrap();
+        let s = edf(&inst).unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Feasibility of instances via bipartite matching, with Hall certificates.
+//!
+//! A multi-interval instance is feasible iff the job×slot bipartite graph
+//! has a left-perfect matching (each job gets a distinct allowed slot). For
+//! one-interval multiprocessor instances, feasibility is equivalent to
+//! earliest-deadline-first succeeding (see [`crate::edf`]), but the matching
+//! view additionally yields an explicit infeasibility certificate: a set of
+//! jobs whose joint slots are too few (Hall violator).
+
+use crate::instance::MultiInstance;
+use crate::schedule::MultiSchedule;
+use crate::time::Time;
+use gaps_matching::{hall_violator_from, hopcroft_karp, BipartiteGraph};
+
+/// The job×slot graph of a multi-interval instance, plus the slot-index →
+/// time translation table (sorted). Jobs are left vertices (instance
+/// order), distinct allowed times are right vertices.
+pub fn slot_graph(inst: &MultiInstance) -> (BipartiteGraph, Vec<Time>) {
+    let slots = inst.slot_union();
+    let mut graph = BipartiteGraph::new(inst.job_count(), slots.len());
+    for (j, job) in inst.jobs().iter().enumerate() {
+        for &t in job.times() {
+            let s = slots.binary_search(&t).expect("slot union contains all job times");
+            graph.add_edge(j as u32, s as u32);
+        }
+    }
+    graph.dedup();
+    (graph, slots)
+}
+
+/// An explicit reason an instance is infeasible: `jobs` can only use
+/// `slots`, and there are fewer slots than jobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InfeasibilityCertificate {
+    /// Indices of the over-constrained jobs.
+    pub jobs: Vec<usize>,
+    /// The union of their allowed slots; strictly fewer than `jobs.len()`.
+    pub slots: Vec<Time>,
+}
+
+/// Find a feasible schedule (any one), or a certificate that none exists.
+///
+/// ```
+/// use gaps_core::instance::MultiInstance;
+/// use gaps_core::feasibility::feasible_schedule;
+/// let inst = MultiInstance::from_times([vec![0, 1], vec![0]]).unwrap();
+/// let sched = feasible_schedule(&inst).unwrap();
+/// sched.verify(&inst).unwrap();
+/// ```
+pub fn feasible_schedule(
+    inst: &MultiInstance,
+) -> Result<MultiSchedule, InfeasibilityCertificate> {
+    let (graph, slots) = slot_graph(inst);
+    let matching = hopcroft_karp(&graph);
+    if matching.is_left_perfect() {
+        let times = (0..inst.job_count() as u32)
+            .map(|j| slots[matching.partner_of_left(j).expect("perfect") as usize])
+            .collect();
+        Ok(MultiSchedule::new(times))
+    } else {
+        let w = hall_violator_from(&graph, &matching).expect("imperfect matching has violator");
+        Err(InfeasibilityCertificate {
+            jobs: w.lefts.iter().map(|&u| u as usize).collect(),
+            slots: w.rights.iter().map(|&v| slots[v as usize]).collect(),
+        })
+    }
+}
+
+/// Is the instance feasible at all?
+pub fn is_feasible(inst: &MultiInstance) -> bool {
+    feasible_schedule(inst).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_instance_schedules_everything() {
+        let inst =
+            MultiInstance::from_times([vec![0, 1, 2], vec![1], vec![0, 2]]).unwrap();
+        let s = feasible_schedule(&inst).unwrap();
+        s.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn infeasible_instance_yields_certificate() {
+        // Three jobs share two slots.
+        let inst = MultiInstance::from_times([vec![3, 7], vec![3, 7], vec![3, 7]]).unwrap();
+        let cert = feasible_schedule(&inst).unwrap_err();
+        assert_eq!(cert.jobs.len(), 3);
+        assert_eq!(cert.slots, vec![3, 7]);
+        assert!(cert.slots.len() < cert.jobs.len());
+        assert!(!is_feasible(&inst));
+    }
+
+    #[test]
+    fn certificate_is_local() {
+        // Jobs 0,1 fight over slot 0; job 2 is fine at slot 9 and must not
+        // appear in the certificate.
+        let inst = MultiInstance::from_times([vec![0], vec![0], vec![9]]).unwrap();
+        let cert = feasible_schedule(&inst).unwrap_err();
+        assert_eq!(cert.jobs, vec![0, 1]);
+        assert_eq!(cert.slots, vec![0]);
+    }
+
+    #[test]
+    fn slot_graph_translation() {
+        let inst = MultiInstance::from_times([vec![10, 30], vec![20]]).unwrap();
+        let (graph, slots) = slot_graph(&inst);
+        assert_eq!(slots, vec![10, 20, 30]);
+        assert_eq!(graph.neighbors(0), &[0, 2]);
+        assert_eq!(graph.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn empty_instance_is_feasible() {
+        let inst = MultiInstance::new(vec![]).unwrap();
+        let s = feasible_schedule(&inst).unwrap();
+        assert!(s.is_empty());
+    }
+}

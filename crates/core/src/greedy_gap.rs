@@ -1,0 +1,222 @@
+//! **\[FHKN06\] baseline**: the greedy 3-approximation for one-interval
+//! gap scheduling on a single processor.
+//!
+//! The paper describes it in Section 1: *"The algorithm tries all possible
+//! gaps and chooses the largest gap that still leaves a feasible schedule
+//! (whose existence can be checked by maximum-cardinality matching). Then
+//! it removes this interval of time and repeats the process until no more
+//! gaps can be introduced."* Feige, Hajiaghayi, Khanna and Naor prove a
+//! ratio of 3; experiment E6 measures the actual ratio against Baptiste's
+//! exact DP.
+//!
+//! Implementation: we keep an [`IncrementalMatching`] of jobs into slots;
+//! declaring `[a, b]` a gap is `try_disable_many` over its slots (which
+//! rematches displaced jobs or rolls back). The loop stops when every
+//! still-enabled slot is matched — then no further slot can be idled.
+
+use crate::instance::Instance;
+use crate::schedule::{Assignment, Schedule};
+use crate::time::Time;
+use gaps_matching::{BipartiteGraph, IncrementalMatching};
+
+/// Result of the greedy gap scheduler.
+#[derive(Clone, Debug)]
+pub struct GreedyGapResult {
+    /// Number of gaps of the final schedule (finite idle intervals).
+    pub gaps: u64,
+    /// Number of spans of the final schedule.
+    pub spans: u64,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// The gap intervals the greedy committed, in pick order (informative;
+    /// adjacent picks merge in the final schedule).
+    pub picked: Vec<(Time, Time)>,
+}
+
+/// Which candidate gap the greedy commits each round. The paper's
+/// algorithm (and its 3-approximation proof) uses [`PickOrder::LargestFirst`];
+/// [`PickOrder::SmallestFirst`] exists as an ablation (experiment E18)
+/// showing the ordering is load-bearing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PickOrder {
+    /// The paper's rule: the largest interval that keeps feasibility.
+    #[default]
+    LargestFirst,
+    /// Ablation: the smallest (non-trivial) disableable interval.
+    SmallestFirst,
+}
+
+/// Run the greedy 3-approximation. Returns `None` iff infeasible.
+///
+/// # Panics
+/// Panics if the instance has more than one processor (the cited
+/// baseline is single-processor).
+///
+/// ```
+/// use gaps_core::instance::Instance;
+/// use gaps_core::greedy_gap::greedy_gap_schedule;
+/// let inst = Instance::from_windows([(0, 0), (0, 9), (9, 9)], 1).unwrap();
+/// let res = greedy_gap_schedule(&inst).unwrap();
+/// assert!(res.gaps <= 3 * 1); // OPT = 1 here; greedy is 3-approximate
+/// res.schedule.verify(&inst).unwrap();
+/// ```
+pub fn greedy_gap_schedule(inst: &Instance) -> Option<GreedyGapResult> {
+    greedy_gap_schedule_with_order(inst, PickOrder::LargestFirst)
+}
+
+/// [`greedy_gap_schedule`] with an explicit pick order (see [`PickOrder`]).
+pub fn greedy_gap_schedule_with_order(
+    inst: &Instance,
+    order: PickOrder,
+) -> Option<GreedyGapResult> {
+    assert_eq!(inst.processors(), 1, "greedy gap baseline is single-processor");
+    let n = inst.job_count();
+    if n == 0 {
+        return Some(GreedyGapResult {
+            gaps: 0,
+            spans: 0,
+            schedule: Schedule::new(vec![]),
+            picked: vec![],
+        });
+    }
+    let horizon = inst.horizon().expect("non-empty");
+    let t0 = horizon.start;
+    let t_len = (horizon.end - horizon.start + 1) as usize;
+    assert!(t_len <= 100_000, "horizon too long; compress the instance first");
+
+    let mut graph = BipartiteGraph::new(n, t_len);
+    for (j, job) in inst.jobs().iter().enumerate() {
+        for t in job.window().iter() {
+            graph.add_edge(j as u32, (t - t0) as u32);
+        }
+    }
+    graph.dedup();
+    let mut inc = IncrementalMatching::new(&graph);
+    if inc.maximize() < n {
+        return None;
+    }
+
+    let mut enabled = vec![true; t_len];
+    let mut picked: Vec<(Time, Time)> = Vec::new();
+    let lengths: Vec<usize> = match order {
+        PickOrder::LargestFirst => (1..=t_len).rev().collect(),
+        PickOrder::SmallestFirst => (1..=t_len).collect(),
+    };
+    loop {
+        // Find the first disableable interval in the configured order.
+        let mut committed = false;
+        'lengths: for &len in &lengths {
+            for a in 0..=(t_len - len) {
+                let b = a + len - 1;
+                if !(a..=b).all(|s| enabled[s]) {
+                    continue;
+                }
+                let slots: Vec<u32> = (a..=b).map(|s| s as u32).collect();
+                if inc.try_disable_many(&slots) {
+                    for s in a..=b {
+                        enabled[s] = false;
+                    }
+                    picked.push((t0 + a as Time, t0 + b as Time));
+                    committed = true;
+                    break 'lengths;
+                }
+            }
+        }
+        if !committed {
+            break;
+        }
+        // Fast exit: if every enabled slot is matched, nothing more can go.
+        let all_busy = (0..t_len)
+            .all(|s| !enabled[s] || inc.matching().partner_of_right(s as u32).is_some());
+        if all_busy {
+            break;
+        }
+    }
+
+    let assignments = (0..n as u32)
+        .map(|j| {
+            let s = inc.matching().partner_of_left(j).expect("perfect matching maintained");
+            Assignment { time: t0 + s as Time, processor: 0 }
+        })
+        .collect();
+    let schedule = Schedule::new(assignments);
+    debug_assert_eq!(schedule.verify(inst), Ok(()));
+    Some(GreedyGapResult {
+        gaps: schedule.gap_count(1),
+        spans: schedule.span_count(1),
+        schedule,
+        picked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baptiste;
+
+    fn single(windows: &[(i64, i64)]) -> Instance {
+        Instance::from_windows(windows.iter().copied(), 1).unwrap()
+    }
+
+    #[test]
+    fn greedy_matches_optimum_on_easy_cases() {
+        // All jobs can pack contiguously.
+        let inst = single(&[(0, 3), (0, 3), (0, 3), (0, 3)]);
+        let res = greedy_gap_schedule(&inst).unwrap();
+        assert_eq!(res.gaps, 0);
+    }
+
+    #[test]
+    fn greedy_respects_factor_three() {
+        let cases = [
+            vec![(0, 0), (2, 5), (5, 5)],
+            vec![(0, 10), (9, 10)],
+            vec![(0, 0), (3, 3), (6, 6), (0, 6)],
+            vec![(0, 7), (2, 3), (5, 5), (1, 6), (0, 0)],
+            vec![(0, 12), (2, 2), (6, 6), (10, 10), (0, 12)],
+        ];
+        for windows in cases {
+            let inst = single(&windows);
+            let opt = baptiste::min_gaps_value(&inst).unwrap();
+            let res = greedy_gap_schedule(&inst).unwrap();
+            assert!(
+                res.gaps <= 3 * opt.max(1),
+                "greedy {} vs opt {opt} on {windows:?}",
+                res.gaps
+            );
+            res.schedule.verify(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_finds_the_single_big_gap() {
+        // One job at each end; everything between can be one huge gap.
+        let inst = single(&[(0, 1), (99, 100)]);
+        let res = greedy_gap_schedule(&inst).unwrap();
+        assert_eq!(res.gaps, 1);
+        assert_eq!(res.spans, 2);
+        // The first committed gap should be the big middle stretch.
+        let (a, b) = res.picked[0];
+        assert!(b - a + 1 >= 97, "first pick should be the large middle interval");
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let inst = single(&[(4, 4), (4, 4)]);
+        assert!(greedy_gap_schedule(&inst).is_none());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::new(vec![], 1).unwrap();
+        let res = greedy_gap_schedule(&inst).unwrap();
+        assert_eq!(res.gaps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-processor")]
+    fn rejects_multiproc() {
+        let inst = Instance::from_windows([(0, 1)], 2).unwrap();
+        greedy_gap_schedule(&inst);
+    }
+}

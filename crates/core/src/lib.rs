@@ -1,0 +1,60 @@
+//! # gaps-core
+//!
+//! Algorithms from *“Scheduling to Minimize Gaps and Power Consumption”*
+//! (Demaine, Ghodsi, Hajiaghayi, Sayedi-Roshkhar, Zadimoghaddam; SPAA 2007):
+//! scheduling unit jobs on processors that can sleep, minimizing either the
+//! number of **gaps** (idle periods) or the total **power**
+//! (active time + α per wake-up).
+//!
+//! ## Map of the crate
+//!
+//! | paper result | module |
+//! |--------------|--------|
+//! | model & metrics | [`time`], [`instance`], [`schedule`], [`power`] |
+//! | Lemma 1/2 (prefix structure) | [`schedule::Schedule::canonicalize_prefix`] |
+//! | Theorem 1 (multiprocessor gap DP) | [`multiproc_dp`] |
+//! | Theorem 2 (multiprocessor power DP) | [`power_dp`] |
+//! | Theorem 3 ((1+(2/3+ε)α)-approx) + Lemma 3 | [`multi_interval`] |
+//! | Theorem 11 (O(√n) throughput greedy) | [`min_restart`] |
+//! | \[Bap06\] single-processor DP | [`baptiste`] |
+//! | \[FHKN06\] greedy 3-approximation | [`greedy_gap`] |
+//! | Section 1 online lower bound | [`online`] |
+//! | feasibility / EDF substrate | [`feasibility`], [`edf`] |
+//! | exact reference solvers | [`brute_force`] |
+//! | dead-zone compression | [`compress`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gaps_core::instance::Instance;
+//! use gaps_core::multiproc_dp::min_gap_schedule;
+//!
+//! // Four unit jobs on two processors.
+//! let inst = Instance::from_windows([(0, 3), (0, 3), (2, 5), (5, 5)], 2).unwrap();
+//! let solution = min_gap_schedule(&inst).expect("feasible");
+//! assert_eq!(solution.gaps, 0); // everything packs contiguously
+//! solution.schedule.verify(&inst).unwrap();
+//! ```
+
+pub mod analysis;
+pub mod baptiste;
+pub mod brute_force;
+pub mod compress;
+pub mod edf;
+pub mod feasibility;
+pub mod greedy_gap;
+pub mod instance;
+pub mod lower_bounds;
+pub mod min_restart;
+pub mod multi_interval;
+pub mod multiproc_dp;
+pub mod online;
+pub mod power;
+pub mod power_dp;
+pub mod render;
+pub mod schedule;
+pub mod time;
+
+pub use instance::{Instance, InstanceError, Job, MultiInstance, MultiJob};
+pub use schedule::{Assignment, MultiSchedule, Schedule, ScheduleError};
+pub use time::{Time, TimeInterval};

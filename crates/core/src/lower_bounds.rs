@@ -1,0 +1,252 @@
+//! Combinatorial lower bounds on the gap/span/power optima.
+//!
+//! The exhaustive solvers in [`crate::brute_force`] certify optimality
+//! only at toy sizes. For larger multi-interval instances (where the
+//! problems are NP-hard and only the Theorem 3 approximation runs), these
+//! bounds sandwich the optimum from below, which the experiment harness
+//! uses to report honest optimality *gaps* instead of unverifiable ratios.
+//!
+//! All bounds exploit the **run structure** of the slot union: the allowed
+//! slots of an instance split into maximal runs `R_1, …, R_m` separated by
+//! dead zones, and no span of any schedule can cross a dead zone.
+
+use crate::feasibility::slot_graph;
+use crate::instance::MultiInstance;
+use crate::time::{runs_of, TimeInterval};
+use gaps_matching::{hopcroft_karp, BipartiteGraph};
+
+/// Lower bound on the minimum number of **spans** of any complete
+/// schedule: the best of
+///
+/// 1. `⌈n / max run length⌉` (a span fits inside one run), and
+/// 2. the minimum number of runs that can host all jobs (each occupied
+///    run hosts ≥ 1 span), found by branch and bound over run subsets
+///    with matching feasibility — exact when the run count is ≤ 20,
+///    else falls back to a greedy relaxation which remains a valid bound
+///    only through part 1 (the function then returns part 1 alone).
+pub fn min_spans_lower_bound(inst: &MultiInstance) -> u64 {
+    let n = inst.job_count() as u64;
+    if n == 0 {
+        return 0;
+    }
+    let slots = inst.slot_union();
+    let runs = runs_of(&slots);
+    let longest = runs.iter().map(|r| r.len()).max().unwrap_or(1);
+    let by_capacity = n.div_ceil(longest);
+
+    if runs.len() > 20 {
+        return by_capacity;
+    }
+    match min_hosting_runs(inst, &runs) {
+        Some(k) => by_capacity.max(k),
+        None => by_capacity, // infeasible instance: any bound is vacuous
+    }
+}
+
+/// Lower bound on the minimum number of **gaps** (spans − 1 convention).
+pub fn min_gaps_lower_bound(inst: &MultiInstance) -> u64 {
+    min_spans_lower_bound(inst).saturating_sub(1)
+}
+
+/// Lower bound on the minimum **power** with transition cost `alpha`:
+///
+/// `n + α + (k* − 1) · min(α, w_min)` where `k*` is the hosting-runs bound
+/// and `w_min` the narrowest dead zone — any schedule occupying `k* ≥ 2`
+/// runs crosses `k* − 1` dead zones, paying at least `min(α, zone width)`
+/// for each (idle-active bridge or sleep/wake).
+pub fn min_power_lower_bound(inst: &MultiInstance, alpha: u64) -> u64 {
+    let n = inst.job_count() as u64;
+    if n == 0 {
+        return 0;
+    }
+    let slots = inst.slot_union();
+    let runs = runs_of(&slots);
+    let k = min_spans_lower_bound(inst);
+    let w_min = runs
+        .windows(2)
+        .map(|w| (w[1].start - w[0].end - 1) as u64)
+        .min()
+        .unwrap_or(0);
+    n + alpha + k.saturating_sub(1) * alpha.min(w_min)
+}
+
+/// Exact minimum number of runs that can host a complete schedule
+/// (`None` if the instance is infeasible). Branch and bound over run
+/// subsets in decreasing-capacity order, feasibility via matching
+/// restricted to the chosen runs.
+fn min_hosting_runs(inst: &MultiInstance, runs: &[TimeInterval]) -> Option<u64> {
+    let (graph, slots) = slot_graph(inst);
+    // Map each slot index to its run index.
+    let run_of_slot: Vec<usize> = slots
+        .iter()
+        .map(|&t| runs.iter().position(|r| r.contains(t)).expect("slot in a run"))
+        .collect();
+    let n = inst.job_count();
+
+    let feasible_with = |chosen: &[bool]| -> bool {
+        let mut g = BipartiteGraph::new(n, slots.len());
+        for u in 0..n as u32 {
+            for &v in graph.neighbors(u) {
+                if chosen[run_of_slot[v as usize]] {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g.dedup();
+        hopcroft_karp(&g).size() == n
+    };
+
+    if !feasible_with(&vec![true; runs.len()]) {
+        return None;
+    }
+
+    // Order runs by decreasing capacity so good solutions appear early.
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(runs[i].len()));
+
+    let mut best = runs.len() as u64;
+    // Iterative deepening on the subset size: for small run counts this
+    // is fast and exact.
+    'sizes: for size in 1..=runs.len() {
+        if size as u64 >= best {
+            break;
+        }
+        // Capacity prune: the `size` biggest runs must fit n slots.
+        let cap: u64 = order.iter().take(size).map(|&i| runs[i].len()).sum();
+        if cap < n as u64 {
+            continue;
+        }
+        let mut chosen = vec![false; runs.len()];
+        if search_subsets(&order, 0, size, &mut chosen, &feasible_with) {
+            best = size as u64;
+            break 'sizes;
+        }
+    }
+    Some(best)
+}
+
+fn search_subsets(
+    order: &[usize],
+    from: usize,
+    remaining: usize,
+    chosen: &mut Vec<bool>,
+    feasible: &impl Fn(&[bool]) -> bool,
+) -> bool {
+    if remaining == 0 {
+        return feasible(chosen);
+    }
+    if order.len() - from < remaining {
+        return false;
+    }
+    for i in from..order.len() {
+        chosen[order[i]] = true;
+        if search_subsets(order, i + 1, remaining - 1, chosen, feasible) {
+            chosen[order[i]] = false;
+            return true;
+        }
+        chosen[order[i]] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::{min_power_multi, min_spans_multi};
+
+    #[test]
+    fn bounds_are_tight_on_forced_instances() {
+        // Three far-apart pinned jobs: 3 runs, all mandatory.
+        let inst =
+            MultiInstance::from_times([vec![0], vec![10], vec![20]]).unwrap();
+        assert_eq!(min_spans_lower_bound(&inst), 3);
+        assert_eq!(min_gaps_lower_bound(&inst), 2);
+        let (opt, _) = min_spans_multi(&inst).unwrap();
+        assert_eq!(opt, 3);
+    }
+
+    #[test]
+    fn hosting_bound_beats_capacity_bound() {
+        // Two runs of length 3 each, 3 jobs; capacity bound says 1 but
+        // jobs 0 and 2 live in different runs: hosting bound = 2.
+        let inst = MultiInstance::from_times([
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            vec![10, 11, 12],
+        ])
+        .unwrap();
+        assert_eq!(min_spans_lower_bound(&inst), 2);
+    }
+
+    #[test]
+    fn capacity_bound_beats_hosting_bound() {
+        // One run of length 2 can't host 2 jobs in one span... it can.
+        // Use: run lengths 1 and 1 and 1 but all jobs flexible — hosting
+        // bound may be n/1: 3 unit runs, 3 jobs each allowed anywhere:
+        // hosting = 3, capacity = ceil(3/1) = 3; tie. Make capacity win:
+        // single long run, many jobs: capacity = 1, hosting = 1. Tie too.
+        // Capacity strictly wins when one run must hold several spans...
+        // impossible: spans merge inside a run. So capacity bound's role
+        // is runs > 20 fallback; just check consistency here.
+        let inst = MultiInstance::from_times([
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2, 3],
+            vec![2, 3],
+        ])
+        .unwrap();
+        let lb = min_spans_lower_bound(&inst);
+        let (opt, _) = min_spans_multi(&inst).unwrap();
+        assert!(lb <= opt);
+        assert_eq!(lb, 1);
+        assert_eq!(opt, 1);
+    }
+
+    #[test]
+    fn bounds_never_exceed_optimum_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let jobs: Vec<Vec<i64>> = (0..rng.gen_range(1..=6))
+                .map(|_| (0..rng.gen_range(1..=3)).map(|_| rng.gen_range(0..14)).collect())
+                .collect();
+            let inst = MultiInstance::from_times(jobs).unwrap();
+            let Some((opt_spans, _)) = min_spans_multi(&inst) else { continue };
+            assert!(
+                min_spans_lower_bound(&inst) <= opt_spans,
+                "seed {seed}: spans LB unsound"
+            );
+            for alpha in [0u64, 1, 3] {
+                let (opt_power, _) = min_power_multi(&inst, alpha).unwrap();
+                assert!(
+                    min_power_lower_bound(&inst, alpha) <= opt_power,
+                    "seed {seed}, alpha {alpha}: power LB unsound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_bound_counts_dead_zone_crossings() {
+        // Two mandatory runs separated by a width-2 dead zone, α = 5:
+        // power ≥ 2 + 5 + min(5, 2) = 9; optimum = 2 + 5 + 2 = 9 (bridge).
+        let inst = MultiInstance::from_times([vec![0], vec![3]]).unwrap();
+        assert_eq!(min_power_lower_bound(&inst, 5), 9);
+        let (opt, _) = min_power_multi(&inst, 5).unwrap();
+        assert_eq!(opt, 9);
+    }
+
+    #[test]
+    fn empty_instance_bounds_are_zero() {
+        let inst = MultiInstance::new(vec![]).unwrap();
+        assert_eq!(min_spans_lower_bound(&inst), 0);
+        assert_eq!(min_power_lower_bound(&inst, 9), 0);
+    }
+
+    #[test]
+    fn infeasible_instance_degrades_gracefully() {
+        let inst = MultiInstance::from_times([vec![0], vec![0]]).unwrap();
+        // The bound is vacuous but must not panic.
+        let _ = min_spans_lower_bound(&inst);
+    }
+}

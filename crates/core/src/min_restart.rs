@@ -1,0 +1,267 @@
+//! **Theorem 11**: the greedy O(√n)-approximation for maximizing
+//! throughput under a budget of `k` gaps (the *minimum-restart* problem).
+//!
+//! The model (Section 6, using Section 5's convention that one infinite
+//! idle side counts as a gap): a budget of `k` gaps buys `k` *working
+//! intervals* — the consultant of the paper's running example bills `k`
+//! days and each day is one contiguous stretch of work. In each of `k`
+//! rounds the greedy picks the **largest** time interval `[a, b]` that can
+//! be *completely filled* with `b − a + 1` distinct unscheduled jobs
+//! (checked by maximum matching of slots into jobs), schedules them, and
+//! repeats. The paper proves the total number of scheduled jobs is an
+//! O(√n) approximation of the optimum; experiment E11 measures the actual
+//! ratio against exhaustive search.
+
+use crate::instance::MultiInstance;
+use crate::time::{runs_of, Time, TimeInterval};
+use gaps_matching::{hopcroft_karp, BipartiteGraph};
+
+/// Result of the greedy minimum-restart scheduler.
+#[derive(Clone, Debug)]
+pub struct MinRestartResult {
+    /// Per-job assigned time, `None` if the job was left unscheduled.
+    pub assignment: Vec<Option<Time>>,
+    /// Number of jobs scheduled.
+    pub scheduled: usize,
+    /// The working intervals chosen, in pick order (sizes non-increasing).
+    pub intervals: Vec<TimeInterval>,
+}
+
+impl MinRestartResult {
+    /// Check the result against its instance: assigned times allowed and
+    /// distinct, every scheduled job inside one of the intervals.
+    pub fn verify(&self, inst: &MultiInstance) -> Result<(), String> {
+        let mut used: Vec<Time> = Vec::new();
+        for (j, t) in self.assignment.iter().enumerate() {
+            let Some(t) = t else { continue };
+            if !inst.jobs()[j].allows(*t) {
+                return Err(format!("job {j} at disallowed time {t}"));
+            }
+            if used.contains(t) {
+                return Err(format!("time {t} used twice"));
+            }
+            if !self.intervals.iter().any(|iv| iv.contains(*t)) {
+                return Err(format!("job {j} at {t} outside all working intervals"));
+            }
+            used.push(*t);
+        }
+        if used.len() != self.scheduled {
+            return Err("scheduled count mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+/// Run the Theorem 11 greedy with a budget of `k` working intervals.
+///
+/// ```
+/// use gaps_core::instance::MultiInstance;
+/// use gaps_core::min_restart::greedy_min_restart;
+/// // Three contiguous jobs and one far loner: with k = 1 the greedy takes
+/// // the length-3 block.
+/// let inst = MultiInstance::from_times([
+///     vec![0, 1], vec![1, 2], vec![0, 2], vec![50],
+/// ]).unwrap();
+/// let res = greedy_min_restart(&inst, 1);
+/// assert_eq!(res.scheduled, 3);
+/// ```
+pub fn greedy_min_restart(inst: &MultiInstance, k: u64) -> MinRestartResult {
+    let n = inst.job_count();
+    let mut assignment: Vec<Option<Time>> = vec![None; n];
+    let mut intervals = Vec::new();
+    let mut used_slots: Vec<Time> = Vec::new();
+    let mut scheduled = 0usize;
+
+    for _ in 0..k {
+        // Free slots, grouped into maximal runs.
+        let free: Vec<Time> = inst
+            .slot_union()
+            .into_iter()
+            .filter(|t| used_slots.binary_search(t).is_err())
+            .collect();
+        let runs = runs_of(&free);
+        // Largest fully-packable interval over all runs and sub-intervals,
+        // scanning lengths downward so the first hit wins.
+        let max_len = runs.iter().map(|r| r.len()).max().unwrap_or(0) as usize;
+        let mut found: Option<(TimeInterval, Vec<(usize, Time)>)> = None;
+        'len: for len in (1..=max_len).rev() {
+            for run in &runs {
+                if (run.len() as usize) < len {
+                    continue;
+                }
+                for a in run.start..=(run.end - len as Time + 1) {
+                    let iv = TimeInterval::new(a, a + len as Time - 1);
+                    if let Some(pack) = try_pack(inst, &assignment, iv) {
+                        found = Some((iv, pack));
+                        break 'len;
+                    }
+                }
+            }
+        }
+        let Some((iv, pack)) = found else { break };
+        for (j, t) in pack {
+            debug_assert!(assignment[j].is_none());
+            assignment[j] = Some(t);
+            scheduled += 1;
+            used_slots.push(t);
+        }
+        used_slots.sort_unstable();
+        intervals.push(iv);
+    }
+
+    let res = MinRestartResult { assignment, scheduled, intervals };
+    debug_assert_eq!(res.verify(inst), Ok(()));
+    res
+}
+
+/// Can interval `iv` be perfectly filled with distinct *unscheduled* jobs?
+/// Returns the packing as `(job, time)` pairs if so.
+fn try_pack(
+    inst: &MultiInstance,
+    assignment: &[Option<Time>],
+    iv: TimeInterval,
+) -> Option<Vec<(usize, Time)>> {
+    let len = iv.len() as usize;
+    // Left side: the slots of the interval; right side: unscheduled jobs.
+    let unscheduled: Vec<usize> = (0..inst.job_count())
+        .filter(|&j| assignment[j].is_none())
+        .collect();
+    if unscheduled.len() < len {
+        return None;
+    }
+    let mut graph = BipartiteGraph::new(len, unscheduled.len());
+    for (si, t) in iv.iter().enumerate() {
+        for (ji, &j) in unscheduled.iter().enumerate() {
+            if inst.jobs()[j].allows(t) {
+                graph.add_edge(si as u32, ji as u32);
+            }
+        }
+    }
+    graph.dedup();
+    let m = hopcroft_karp(&graph);
+    if !m.is_left_perfect() {
+        return None;
+    }
+    Some(
+        m.pairs()
+            .map(|(si, ji)| (unscheduled[ji as usize], iv.start + si as Time))
+            .collect(),
+    )
+}
+
+/// The paper's approximation guarantee for reporting: with n jobs the
+/// greedy is within a factor `2·√n` of the optimum (Theorem 11's analysis
+/// concludes O(√n); the constant from the proof is 2 plus lower-order
+/// terms).
+pub fn sqrt_bound(n: usize) -> f64 {
+    2.0 * (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::max_throughput_spans;
+
+    #[test]
+    fn takes_largest_block_first() {
+        let inst = MultiInstance::from_times([
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+            vec![50],
+        ])
+        .unwrap();
+        let res = greedy_min_restart(&inst, 2);
+        assert_eq!(res.scheduled, 4);
+        assert_eq!(res.intervals.len(), 2);
+        assert!(res.intervals[0].len() >= res.intervals[1].len());
+        res.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_schedules_nothing() {
+        let inst = MultiInstance::from_times([vec![0]]).unwrap();
+        let res = greedy_min_restart(&inst, 0);
+        assert_eq!(res.scheduled, 0);
+        assert!(res.intervals.is_empty());
+    }
+
+    #[test]
+    fn stops_early_when_no_jobs_remain() {
+        let inst = MultiInstance::from_times([vec![0], vec![5]]).unwrap();
+        let res = greedy_min_restart(&inst, 10);
+        assert_eq!(res.scheduled, 2);
+        assert_eq!(res.intervals.len(), 2);
+    }
+
+    #[test]
+    fn respects_sqrt_bound_vs_exact() {
+        let cases = [
+            MultiInstance::from_times([
+                vec![0, 1, 2],
+                vec![0, 1, 2],
+                vec![0, 1, 2],
+                vec![10],
+                vec![12],
+            ])
+            .unwrap(),
+            MultiInstance::from_times([
+                vec![0, 5],
+                vec![1, 6],
+                vec![2, 7],
+                vec![0, 1],
+                vec![6, 7],
+            ])
+            .unwrap(),
+        ];
+        for inst in cases {
+            for k in 1..=3u64 {
+                let greedy = greedy_min_restart(&inst, k);
+                let (opt, _) = max_throughput_spans(&inst, k);
+                assert!(greedy.scheduled > 0 || opt == 0);
+                let bound = sqrt_bound(inst.job_count());
+                assert!(
+                    (opt as f64) <= bound * greedy.scheduled.max(1) as f64,
+                    "opt {opt} vs greedy {} exceeds √n bound",
+                    greedy.scheduled
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_valid() {
+        // Greedy takes the middle length-3 block, splitting two length-2
+        // blocks it can no longer afford; optimum with k = 2 is 4 jobs.
+        let inst = MultiInstance::from_times([
+            vec![0, 1],
+            vec![0, 1],
+            vec![3, 4, 5],
+            vec![3, 4, 5],
+            vec![3, 4, 5],
+            vec![7, 8],
+            vec![7, 8],
+        ])
+        .unwrap();
+        let res = greedy_min_restart(&inst, 2);
+        res.verify(&inst).unwrap();
+        let (opt, _) = max_throughput_spans(&inst, 2);
+        assert!(res.scheduled <= opt);
+        assert!(opt <= 5);
+    }
+
+    #[test]
+    fn interval_is_fully_packed() {
+        let inst = MultiInstance::from_times([vec![0, 1, 2], vec![1], vec![2, 3]]).unwrap();
+        let res = greedy_min_restart(&inst, 1);
+        // The chosen interval must be exactly filled.
+        let iv = res.intervals[0];
+        let inside = res
+            .assignment
+            .iter()
+            .flatten()
+            .filter(|&&t| iv.contains(t))
+            .count() as u64;
+        assert_eq!(inside, iv.len());
+    }
+}

@@ -1,0 +1,540 @@
+//! **Theorem 3**: the (1 + (2/3 + ε)α)-approximation for multi-interval
+//! power minimization, and **Lemma 3**: completing partial schedules by
+//! augmenting paths.
+//!
+//! # Pipeline (Lemmas 3–5 of the paper)
+//!
+//! 1. For each parity `i ∈ {0, 1}`, build a **3-set packing** instance: for
+//!    every consecutive slot pair `(t, t+1)` with `t ≡ i (mod 2)` and every
+//!    pair of distinct jobs `(a, b)` with `t ∈ T_a`, `t+1 ∈ T_b`, add the
+//!    set `{a, b, block_t}` over the base set *jobs ∪ block-starts*. The
+//!    parity restriction makes chosen blocks time-disjoint; Lemma 4
+//!    guarantees one parity admits a packing of size ≥ (n − M)/2 when an
+//!    optimal schedule uses M spans.
+//! 2. Pack with Hurkens–Schrijver local search
+//!    ([`gaps_setcover::packing::local_search_packing`]) — each packed set
+//!    schedules two jobs in one 2-block (Lemma 5).
+//! 3. Complete the partial schedule with augmenting paths: each remaining
+//!    job adds exactly one occupied slot, hence at most one gap (Lemma 3).
+//! 4. Apply optimal sleep decisions per gap (cost `min(len, α)`).
+//!
+//! The α ≤ 1 / α > 1 case analysis in the paper's Theorem 3 proof then
+//! bounds the result by (1 + (2/3 + ε)α) times the optimum; experiment E4
+//! measures the actual ratio against exhaustive optima.
+
+use crate::feasibility::slot_graph;
+use crate::instance::MultiInstance;
+use crate::power::power_cost_single_f;
+use crate::schedule::MultiSchedule;
+use crate::time::Time;
+use gaps_matching::IncrementalMatching;
+use gaps_setcover::packing::local_search_packing;
+use gaps_setcover::SetPackingInstance;
+
+/// **Lemma 3.** Extend a partial schedule (per-job `Some(time)` or `None`)
+/// to a complete feasible schedule by augmenting paths, or return `None`
+/// if the instance is infeasible.
+///
+/// Each augmentation adds exactly **one** new occupied slot (jobs may swap
+/// slots along the path, but the set of busy times grows by one element),
+/// so the completed schedule has at most `gaps(partial) + #added` gaps.
+///
+/// # Panics
+/// Panics if the partial schedule itself is invalid (disallowed time or
+/// duplicate slot).
+pub fn complete_schedule(
+    inst: &MultiInstance,
+    partial: &[Option<Time>],
+) -> Option<MultiSchedule> {
+    assert_eq!(partial.len(), inst.job_count(), "partial schedule has wrong length");
+    let (graph, slots) = slot_graph(inst);
+    let mut inc = IncrementalMatching::new(&graph);
+    for (j, t) in partial.iter().enumerate() {
+        if let Some(t) = t {
+            let s = slots
+                .binary_search(t)
+                .unwrap_or_else(|_| panic!("job {j} pinned to unknown slot {t}"));
+            inc.force_link(j as u32, s as u32); // panics on conflicts
+        }
+    }
+    for j in 0..inst.job_count() as u32 {
+        if inc.matching().partner_of_left(j).is_none() && !inc.augment(j) {
+            return None; // no perfect matching exists at all
+        }
+    }
+    let times = (0..inst.job_count() as u32)
+        .map(|j| slots[inc.matching().partner_of_left(j).expect("perfect") as usize])
+        .collect();
+    let sched = MultiSchedule::new(times);
+    debug_assert_eq!(sched.verify(inst), Ok(()));
+    Some(sched)
+}
+
+/// Result of the Theorem 3 approximation.
+#[derive(Clone, Debug)]
+pub struct ApproxPowerResult {
+    /// The schedule produced.
+    pub schedule: MultiSchedule,
+    /// Its power (optimal sleep decisions, real-valued α).
+    pub power: f64,
+    /// Number of 2-blocks the set packing scheduled.
+    pub packed_blocks: usize,
+    /// The parity (0 or 1) of block starts that won.
+    pub parity: u8,
+}
+
+/// **Theorem 3**: approximate multi-interval power minimization.
+///
+/// `swap_rounds` bounds the local-search effort of the set packing (the
+/// paper's ε: more rounds → closer to the 2/3 share; 64 is plenty for the
+/// instance sizes the experiments use). Returns `None` iff infeasible.
+///
+/// ```
+/// use gaps_core::instance::MultiInstance;
+/// use gaps_core::multi_interval::approx_min_power;
+/// let inst = MultiInstance::from_times([
+///     vec![0, 1], vec![0, 1], vec![10, 11], vec![10, 11],
+/// ]).unwrap();
+/// let res = approx_min_power(&inst, 4.0, 64).unwrap();
+/// // Two 2-blocks, two spans: power = 4 + 2α = 12.
+/// assert_eq!(res.power, 12.0);
+/// ```
+pub fn approx_min_power(
+    inst: &MultiInstance,
+    alpha: f64,
+    swap_rounds: usize,
+) -> Option<ApproxPowerResult> {
+    assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+    let n = inst.job_count();
+    // Baseline: any feasible schedule (this alone is (1 + α)-approximate).
+    let trivial = complete_schedule(inst, &vec![None; n])?;
+    let mut best = ApproxPowerResult {
+        power: power_cost_single_f(&trivial, alpha),
+        schedule: trivial,
+        packed_blocks: 0,
+        parity: 0,
+    };
+
+    for parity in 0..2u8 {
+        let partial = pack_blocks(inst, parity, swap_rounds);
+        let packed_blocks = partial.iter().flatten().count() / 2;
+        let schedule = complete_schedule(inst, &partial)
+            .expect("feasible instance: augmentation cannot get stuck");
+        let power = power_cost_single_f(&schedule, alpha);
+        // On ties prefer the more-packed schedule — it is the object the
+        // theorem analyzes (and ties with the trivial baseline are common
+        // on easy instances).
+        if power < best.power || (power == best.power && packed_blocks > best.packed_blocks) {
+            best = ApproxPowerResult { schedule, power, packed_blocks, parity };
+        }
+    }
+    Some(best)
+}
+
+/// Build and solve the parity-`i` 3-set packing; returns a partial schedule
+/// placing each packed pair of jobs into its 2-block.
+fn pack_blocks(inst: &MultiInstance, parity: u8, swap_rounds: usize) -> Vec<Option<Time>> {
+    let n = inst.job_count();
+    let slots = inst.slot_union();
+
+    // Jobs allowed at each slot.
+    let jobs_at = |t: Time| -> Vec<u32> {
+        (0..n as u32).filter(|&j| inst.jobs()[j as usize].allows(t)).collect()
+    };
+
+    // Candidate block starts: t ≡ parity (mod 2) with both t and t+1 usable.
+    let mut block_starts: Vec<Time> = Vec::new();
+    let mut sets: Vec<Vec<u32>> = Vec::new();
+    let mut set_blocks: Vec<(Time, u32, u32)> = Vec::new(); // (t, job_a, job_b)
+    for &t in &slots {
+        if t.rem_euclid(2) != parity as i64 || slots.binary_search(&(t + 1)).is_err() {
+            continue;
+        }
+        let at_t = jobs_at(t);
+        let at_t1 = jobs_at(t + 1);
+        if at_t.is_empty() || at_t1.is_empty() {
+            continue;
+        }
+        let block_id = n as u32 + block_starts.len() as u32;
+        block_starts.push(t);
+        for &a in &at_t {
+            for &b in &at_t1 {
+                if a != b {
+                    sets.push(vec![a, b, block_id]);
+                    set_blocks.push((t, a, b));
+                }
+            }
+        }
+    }
+    let mut partial = vec![None; n];
+    if sets.is_empty() {
+        return partial;
+    }
+    let packing = SetPackingInstance::new((n + block_starts.len()) as u32, sets);
+    let chosen = local_search_packing(&packing, swap_rounds);
+    for idx in chosen {
+        let (t, a, b) = set_blocks[idx];
+        debug_assert!(partial[a as usize].is_none() && partial[b as usize].is_none());
+        partial[a as usize] = Some(t);
+        partial[b as usize] = Some(t + 1);
+    }
+    partial
+}
+
+/// The paper's a-priori performance bound for the schedule produced by the
+/// k = 2 pipeline: any schedule with all n jobs in at most
+/// `(2/3 + ε)·n + (1/3 − ε)·M` spans has power at most
+/// `(1 + (2/3 + ε)·α) · OPT` (Theorem 3's case analysis). Exposed for the
+/// experiment harness.
+pub fn theorem3_bound(alpha: f64, epsilon: f64) -> f64 {
+    1.0 + (2.0 / 3.0 + epsilon) * alpha
+}
+
+/// The generalized bound for block length `k` (Corollary 1 + the Theorem 3
+/// case analysis): the α coefficient is `1 − 2(k−1)/(k(k+1))`, which
+/// equals 2/3 at **both** k = 2 and k = 3 and worsens from k = 4 on.
+/// The paper's choice of k = 2 is therefore optimal but not uniquely so
+/// in the limit — it wins on the ε side (the Hurkens–Schrijver share
+/// `2/(k+1) − ε` is easier to approach for smaller set sizes) and on
+/// gadget size. Exposed for ablation E21.
+pub fn theorem3_bound_k(alpha: f64, k: usize, epsilon: f64) -> f64 {
+    assert!(k >= 2);
+    let kf = k as f64;
+    1.0 + (1.0 - 2.0 * (kf - 1.0) / (kf * (kf + 1.0)) + epsilon) * alpha
+}
+
+/// **Lemma 4**, directly: given a feasible schedule `S` with `M` spans and
+/// a block length `k`, there is a residue `i` such that at least
+/// `(n − M(k−1)) / k` block starts `t ≡ i (mod k)` have all of
+/// `t, …, t+k−1` occupied. Returns `(best_i, count_of_full_blocks)`.
+///
+/// The pipeline itself does not need this scan (the set packing finds the
+/// blocks), but the experiment suite verifies the lemma's bound on random
+/// schedules — it is the combinatorial heart of Theorem 3's analysis.
+pub fn lemma4_best_residue(schedule: &MultiSchedule, k: usize) -> (usize, usize) {
+    assert!(k >= 2);
+    let occupied = schedule.occupied();
+    let mut best = (0usize, 0usize);
+    for i in 0..k {
+        let count = occupied
+            .iter()
+            .filter(|&&t| {
+                t.rem_euclid(k as i64) == i as i64
+                    && (0..k as i64).all(|m| occupied.binary_search(&(t + m)).is_ok())
+            })
+            .count();
+        if count > best.1 {
+            best = (i, count);
+        }
+    }
+    best
+}
+
+/// Lemma 4's guaranteed count for a schedule of `n` jobs in `m` spans:
+/// `max(0, ⌈(n − m(k−1)) / k⌉)` — the floor the measured count must meet.
+pub fn lemma4_guarantee(n: usize, m: u64, k: usize) -> usize {
+    let numer = n as i64 - m as i64 * (k as i64 - 1);
+    if numer <= 0 {
+        0
+    } else {
+        (numer as usize).div_ceil(k)
+    }
+}
+
+/// **Theorem 3, generalized block length** (ablation E21): schedule jobs
+/// in k-blocks found by (k+1)-set packing, then complete via Lemma 3.
+/// `approx_min_power` is the paper's `k = 2` case and remains the method
+/// of record; larger `k` has a worse guarantee (see [`theorem3_bound_k`]).
+///
+/// Block enumeration is exponential in `k`; intended for small k (≤ 4)
+/// and experiment-scale instances.
+pub fn approx_min_power_k(
+    inst: &MultiInstance,
+    alpha: f64,
+    k: usize,
+    swap_rounds: usize,
+) -> Option<ApproxPowerResult> {
+    assert!((2..=4).contains(&k), "block length k must be in 2..=4");
+    assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+    let n = inst.job_count();
+    let trivial = complete_schedule(inst, &vec![None; n])?;
+    let mut best = ApproxPowerResult {
+        power: power_cost_single_f(&trivial, alpha),
+        schedule: trivial,
+        packed_blocks: 0,
+        parity: 0,
+    };
+    for residue in 0..k as u8 {
+        let partial = pack_k_blocks(inst, residue, k, swap_rounds);
+        let packed_blocks = partial.iter().flatten().count() / k;
+        let schedule = complete_schedule(inst, &partial)
+            .expect("feasible instance: augmentation cannot get stuck");
+        let power = power_cost_single_f(&schedule, alpha);
+        if power < best.power || (power == best.power && packed_blocks > best.packed_blocks) {
+            best = ApproxPowerResult { schedule, power, packed_blocks, parity: residue };
+        }
+    }
+    Some(best)
+}
+
+/// Build and solve the residue-`i` (k+1)-set packing: sets are
+/// `{job_0, …, job_{k−1}, block_t}` for every start `t ≡ i (mod k)` whose
+/// k consecutive slots can each take a distinct job.
+fn pack_k_blocks(
+    inst: &MultiInstance,
+    residue: u8,
+    k: usize,
+    swap_rounds: usize,
+) -> Vec<Option<Time>> {
+    let n = inst.job_count();
+    let slots = inst.slot_union();
+    let jobs_at = |t: Time| -> Vec<u32> {
+        (0..n as u32).filter(|&j| inst.jobs()[j as usize].allows(t)).collect()
+    };
+
+    let mut block_count = 0u32;
+    let mut sets: Vec<Vec<u32>> = Vec::new();
+    let mut set_blocks: Vec<(Time, Vec<u32>)> = Vec::new();
+    for &t in &slots {
+        if t.rem_euclid(k as i64) != residue as i64 {
+            continue;
+        }
+        if !(1..k as i64).all(|m| slots.binary_search(&(t + m)).is_ok()) {
+            continue;
+        }
+        let per_offset: Vec<Vec<u32>> = (0..k as i64).map(|m| jobs_at(t + m)).collect();
+        if per_offset.iter().any(Vec::is_empty) {
+            continue;
+        }
+        let block_id = n as u32 + block_count;
+        block_count += 1;
+        // Enumerate distinct-job tuples across the offsets (bounded: the
+        // caller keeps k ≤ 4 and instances experiment-sized).
+        let mut tuples: Vec<Vec<u32>> = vec![vec![]];
+        for offset in &per_offset {
+            let mut next = Vec::new();
+            for prefix in &tuples {
+                for &j in offset {
+                    if !prefix.contains(&j) {
+                        let mut t2 = prefix.clone();
+                        t2.push(j);
+                        next.push(t2);
+                    }
+                }
+            }
+            tuples = next;
+            if tuples.len() > 20_000 {
+                break; // cap the enumeration; packing quality degrades
+                       // gracefully with fewer candidate sets
+            }
+        }
+        for tuple in tuples {
+            if tuple.len() == k {
+                let mut set = tuple.clone();
+                set.push(block_id);
+                sets.push(set);
+                set_blocks.push((t, tuple));
+            }
+        }
+    }
+    let mut partial = vec![None; n];
+    if sets.is_empty() {
+        return partial;
+    }
+    let packing = SetPackingInstance::new(n as u32 + block_count, sets);
+    let chosen = local_search_packing(&packing, swap_rounds);
+    for idx in chosen {
+        let (t, ref tuple) = set_blocks[idx];
+        for (m, &j) in tuple.iter().enumerate() {
+            debug_assert!(partial[j as usize].is_none());
+            partial[j as usize] = Some(t + m as Time);
+        }
+    }
+    partial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::min_power_multi;
+
+    #[test]
+    fn complete_from_empty_is_feasible_schedule() {
+        let inst = MultiInstance::from_times([vec![0, 1], vec![1, 2], vec![0, 2]]).unwrap();
+        let s = complete_schedule(&inst, &[None, None, None]).unwrap();
+        s.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn complete_respects_pins() {
+        let inst = MultiInstance::from_times([vec![0, 5], vec![0, 5]]).unwrap();
+        let s = complete_schedule(&inst, &[Some(5), None]).unwrap();
+        assert_eq!(s.times()[0], 5);
+        assert_eq!(s.times()[1], 0);
+    }
+
+    #[test]
+    fn complete_detects_infeasible() {
+        let inst = MultiInstance::from_times([vec![0], vec![0]]).unwrap();
+        assert_eq!(complete_schedule(&inst, &[None, None]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned to unknown slot")]
+    fn complete_rejects_bad_pin() {
+        let inst = MultiInstance::from_times([vec![0]]).unwrap();
+        complete_schedule(&inst, &[Some(9)]);
+    }
+
+    #[test]
+    fn lemma3_gap_growth_bound() {
+        // Partial schedule with g gaps; each augmentation adds ≤ 1 gap.
+        let inst = MultiInstance::from_times([
+            vec![0],
+            vec![1],
+            vec![10],
+            vec![20, 21],
+            vec![20, 21],
+        ])
+        .unwrap();
+        let partial = vec![Some(0), Some(1), Some(10), None, None];
+        let partial_sched = MultiSchedule::new(vec![0, 1, 10]);
+        let g = partial_sched.gap_count();
+        let s = complete_schedule(&inst, &partial).unwrap();
+        assert!(s.gap_count() <= g + 2, "gaps {} > {} + 2", s.gap_count(), g);
+    }
+
+    #[test]
+    fn approx_packs_obvious_blocks() {
+        let inst = MultiInstance::from_times([
+            vec![0, 1],
+            vec![0, 1],
+            vec![10, 11],
+            vec![10, 11],
+        ])
+        .unwrap();
+        let res = approx_min_power(&inst, 4.0, 64).unwrap();
+        assert_eq!(res.packed_blocks, 2);
+        assert_eq!(res.power, 12.0);
+        res.schedule.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn approx_matches_exact_on_small_instances() {
+        // Ratio must respect 1 + (2/3 + ε)α; on these easy instances the
+        // pipeline should actually find the optimum or be very close.
+        let cases = [
+            MultiInstance::from_times([vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]]).unwrap(),
+            MultiInstance::from_times([vec![0], vec![1, 5], vec![2, 6], vec![7]]).unwrap(),
+            MultiInstance::from_times([vec![0, 10], vec![1, 11], vec![2, 12]]).unwrap(),
+        ];
+        for inst in cases {
+            for alpha in [0u64, 1, 2, 5] {
+                let exact = min_power_multi(&inst, alpha).unwrap().0 as f64;
+                let approx = approx_min_power(&inst, alpha as f64, 64).unwrap();
+                let bound = theorem3_bound(alpha as f64, 0.05) * exact;
+                assert!(
+                    approx.power <= bound + 1e-9,
+                    "approx {} exceeds bound {bound} (exact {exact}, α={alpha})",
+                    approx.power
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_never_worse_than_one_plus_alpha() {
+        let inst = MultiInstance::from_times([
+            vec![0, 7],
+            vec![3],
+            vec![8, 9],
+            vec![4, 5],
+            vec![12],
+        ])
+        .unwrap();
+        for alpha in [0.5, 1.0, 2.5] {
+            let res = approx_min_power(&inst, alpha, 64).unwrap();
+            let n = inst.job_count() as f64;
+            // Power lower bound: n + α (one wake-up at least).
+            let lb = n + alpha;
+            assert!(res.power <= (1.0 + alpha) * lb + 1e-9);
+        }
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let inst = MultiInstance::from_times([vec![3], vec![3]]).unwrap();
+        assert!(approx_min_power(&inst, 1.0, 8).is_none());
+        assert!(approx_min_power_k(&inst, 1.0, 3, 8).is_none());
+    }
+
+    #[test]
+    fn k3_blocks_pack_triples() {
+        // Six jobs forming two clean 3-blocks.
+        let inst = MultiInstance::from_times([
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![30],
+            vec![31],
+            vec![32],
+        ])
+        .unwrap();
+        let res = approx_min_power_k(&inst, 4.0, 3, 32).unwrap();
+        res.schedule.verify(&inst).unwrap();
+        assert_eq!(res.packed_blocks, 2);
+        assert_eq!(res.power, 6.0 + 2.0 * 4.0);
+    }
+
+    #[test]
+    fn k2_generalization_matches_special_case_shape() {
+        let inst = MultiInstance::from_times([
+            vec![0, 1],
+            vec![0, 1],
+            vec![10, 11],
+            vec![10, 11],
+        ])
+        .unwrap();
+        let k2 = approx_min_power_k(&inst, 4.0, 2, 32).unwrap();
+        let special = approx_min_power(&inst, 4.0, 32).unwrap();
+        assert_eq!(k2.power, special.power);
+    }
+
+    #[test]
+    fn theorem3_bound_k_shape() {
+        for alpha in [0.5, 1.0, 4.0] {
+            let b2 = theorem3_bound_k(alpha, 2, 0.0);
+            assert!((b2 - theorem3_bound(alpha, 0.0)).abs() < 1e-12);
+            // k = 3 ties k = 2 exactly (both coefficients are 2/3)...
+            assert!((theorem3_bound_k(alpha, 3, 0.0) - b2).abs() < 1e-12);
+            // ... and k = 4 is strictly worse (7/10 > 2/3).
+            assert!(theorem3_bound_k(alpha, 4, 0.0) > b2 + 1e-12 * alpha.max(1.0));
+        }
+    }
+
+    #[test]
+    fn lemma4_bound_holds_on_contiguous_schedule() {
+        // 9 jobs in one span: for k = 3 the best residue must yield at
+        // least ceil((9 − 2)/3) = 3 full blocks.
+        let sched = MultiSchedule::new((0..9).collect());
+        let (_, count) = lemma4_best_residue(&sched, 3);
+        assert!(count >= lemma4_guarantee(9, 1, 3));
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn lemma4_bound_holds_on_fragmented_schedule() {
+        // Spans {0,1}, {5,6,7}, {20}: n = 6, M = 3, k = 2 →
+        // guarantee ceil((6 − 3)/2) = 2.
+        let sched = MultiSchedule::new(vec![0, 1, 5, 6, 7, 20]);
+        let (_, count) = lemma4_best_residue(&sched, 2);
+        assert!(count >= lemma4_guarantee(6, 3, 2), "count {count}");
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = MultiInstance::new(vec![]).unwrap();
+        let res = approx_min_power(&inst, 2.0, 8).unwrap();
+        assert_eq!(res.power, 0.0);
+    }
+}

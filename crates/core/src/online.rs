@@ -1,0 +1,83 @@
+//! **Section 1**: online gap scheduling and its Ω(n) lower bound.
+//!
+//! An online algorithm sees each job only at its release time. The paper
+//! argues that any online algorithm that *guarantees feasibility whenever
+//! possible* must run pending jobs immediately (non-lazy EDF): idling
+//! while work is pending risks a burst of tight jobs arriving later. On
+//! the adversarial family below, the forced eagerness costs `n` gaps while
+//! the offline optimum pays O(1) — so no online algorithm has competitive
+//! ratio better than n.
+//!
+//! The family (paper, Section 1): `n` flexible jobs arrive at time 0 with
+//! deadline `3n`, and `n` tight jobs arrive at times `n, n+2, n+4, …`,
+//! each due one unit after arrival. Offline, the flexible jobs fill the
+//! holes between the tight ones (O(1) gaps); online, they must be executed
+//! during `[0, n)` and every tight job then stands alone — `n` gaps.
+
+use crate::edf;
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Run the canonical online algorithm (non-lazy EDF) and report its gap
+/// count along with the schedule. `None` iff the instance is infeasible.
+pub fn online_gap_schedule(inst: &Instance) -> Option<(u64, Schedule)> {
+    let sched = edf::edf(inst).ok()?;
+    let gaps = sched.gap_count(inst.processors());
+    Some((gaps, sched))
+}
+
+/// Measured competitive ratio on one instance: online (non-lazy EDF) gaps
+/// versus the offline optimum (exact DP). Returns `None` if infeasible.
+/// The ratio reported is `(online_gaps, offline_gaps)`; divide with care
+/// when the optimum is 0.
+pub fn online_vs_offline_gaps(inst: &Instance) -> Option<(u64, u64)> {
+    let (online, _) = online_gap_schedule(inst)?;
+    let offline = crate::multiproc_dp::min_gap_schedule(inst)?.gaps;
+    Some((online, offline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Section 1 adversarial family (also available in
+    /// `gaps-workloads`): n flexible + n tight jobs.
+    fn adversarial(n: i64) -> Instance {
+        let mut windows = Vec::new();
+        for _ in 0..n {
+            windows.push((0, 3 * n));
+        }
+        for j in 0..n {
+            let t = n + 2 * j;
+            windows.push((t, t + 1));
+        }
+        Instance::from_windows(windows, 1).unwrap()
+    }
+
+    #[test]
+    fn online_pays_n_gaps_on_adversarial_family() {
+        // The flexible block [0, n) abuts the first tight job at n, so the
+        // online cost is exactly n − 1 gaps (one per inter-tight hole); the
+        // offline optimum tucks the flexible jobs into those holes for 0.
+        for n in [2i64, 3, 5, 8] {
+            let inst = adversarial(n);
+            let (online, offline) = online_vs_offline_gaps(&inst).unwrap();
+            assert_eq!(online, n as u64 - 1, "online gap cost should grow with n");
+            assert_eq!(offline, 0, "offline optimum is gap-free");
+        }
+    }
+
+    #[test]
+    fn online_equals_offline_when_no_slack() {
+        // All jobs tight: EDF is forced and optimal.
+        let inst = Instance::from_windows([(0, 0), (1, 1), (5, 5)], 1).unwrap();
+        let (online, offline) = online_vs_offline_gaps(&inst).unwrap();
+        assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn online_infeasible_is_none() {
+        let inst = Instance::from_windows([(0, 0), (0, 0)], 1).unwrap();
+        assert_eq!(online_gap_schedule(&inst), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! ASCII timeline (Gantt-style) rendering of schedules, for the CLI and
+//! examples. Purely presentational — but tested, because misleading
+//! diagnostics are worse than none.
+//!
+//! ```text
+//! t       0         1
+//! t       0123456789012
+//! P0      ##..#####..##
+//! P1      ##...........
+//!         ^ jobs 0,3 at t=0 …
+//! ```
+//!
+//! `#` = executing a job, `~` = idle-active (for renderings with an active
+//! profile), `.` = asleep/idle, space = outside the horizon.
+
+use crate::instance::Instance;
+use crate::schedule::{MultiSchedule, Schedule};
+use crate::time::Time;
+
+/// Render a multiprocessor schedule as one row per processor over the
+/// instance horizon. Long horizons are clipped to `max_width` columns
+/// (with a trailing `…`).
+pub fn render_timeline(inst: &Instance, sched: &Schedule, max_width: usize) -> String {
+    let Some(horizon) = inst.horizon() else {
+        return String::from("(empty instance)\n");
+    };
+    let width = (horizon.len() as usize).min(max_width.max(1));
+    let clipped = (horizon.len() as usize) > width;
+    let busy = sched.busy_times(inst.processors());
+
+    let mut out = header(horizon.start, width, clipped);
+    for (q, times) in busy.iter().enumerate() {
+        let mut row = format!("P{q:<4}  ");
+        for c in 0..width {
+            let t = horizon.start + c as Time;
+            row.push(if times.binary_search(&t).is_ok() { '#' } else { '.' });
+        }
+        if clipped {
+            row.push('…');
+        }
+        row.push('\n');
+        out.push_str(&row);
+    }
+    out
+}
+
+/// Render a multiprocessor schedule together with an explicit active
+/// profile (`~` marks idle-active slots).
+pub fn render_timeline_with_active(
+    inst: &Instance,
+    sched: &Schedule,
+    active: &[Vec<Time>],
+    max_width: usize,
+) -> String {
+    let Some(horizon) = inst.horizon() else {
+        return String::from("(empty instance)\n");
+    };
+    let width = (horizon.len() as usize).min(max_width.max(1));
+    let clipped = (horizon.len() as usize) > width;
+    let busy = sched.busy_times(inst.processors());
+
+    let mut out = header(horizon.start, width, clipped);
+    for (q, times) in busy.iter().enumerate() {
+        let empty = Vec::new();
+        let act = active.get(q).unwrap_or(&empty);
+        let mut row = format!("P{q:<4}  ");
+        for c in 0..width {
+            let t = horizon.start + c as Time;
+            row.push(if times.binary_search(&t).is_ok() {
+                '#'
+            } else if act.binary_search(&t).is_ok() {
+                '~'
+            } else {
+                '.'
+            });
+        }
+        if clipped {
+            row.push('…');
+        }
+        row.push('\n');
+        out.push_str(&row);
+    }
+    out
+}
+
+/// Render a single-processor multi-interval schedule over its slot hull.
+pub fn render_multi_timeline(sched: &MultiSchedule, max_width: usize) -> String {
+    let occupied = sched.occupied();
+    let (Some(&lo), Some(&hi)) = (occupied.first(), occupied.last()) else {
+        return String::from("(empty schedule)\n");
+    };
+    let span = (hi - lo + 1) as usize;
+    let width = span.min(max_width.max(1));
+    let clipped = span > width;
+    let mut out = header(lo, width, clipped);
+    let mut row = String::from("P0     ");
+    for c in 0..width {
+        let t = lo + c as Time;
+        row.push(if occupied.binary_search(&t).is_ok() { '#' } else { '.' });
+    }
+    if clipped {
+        row.push('…');
+    }
+    row.push('\n');
+    out.push_str(&row);
+    out
+}
+
+/// Two-line time axis: tens digits (sparse) and unit digits.
+fn header(start: Time, width: usize, clipped: bool) -> String {
+    let mut tens = String::from("t      ");
+    let mut units = String::from("t      ");
+    for c in 0..width {
+        let t = start + c as Time;
+        let human = t.rem_euclid(100);
+        tens.push(if human % 10 == 0 {
+            char::from_digit((human / 10) as u32, 10).unwrap_or('?')
+        } else {
+            ' '
+        });
+        units.push(char::from_digit((human % 10) as u32, 10).unwrap_or('?'));
+    }
+    if clipped {
+        tens.push(' ');
+        units.push('…');
+    }
+    tens.push('\n');
+    units.push('\n');
+    tens + &units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::optimal_active_profile;
+
+    #[test]
+    fn renders_busy_and_idle() {
+        let inst = Instance::from_windows([(0, 0), (3, 3)], 1).unwrap();
+        let sched = Schedule::from_pairs([(0, 0), (3, 0)]);
+        let s = render_timeline(&inst, &sched, 80);
+        let row = s.lines().last().unwrap();
+        assert!(row.starts_with("P0"));
+        assert!(row.ends_with("#..#"));
+    }
+
+    #[test]
+    fn renders_multiple_processors() {
+        let inst = Instance::from_windows([(0, 1), (0, 1)], 2).unwrap();
+        let sched = Schedule::from_pairs([(0, 0), (1, 1)]);
+        let s = render_timeline(&inst, &sched, 80);
+        assert_eq!(s.lines().count(), 4); // 2 header + 2 processors
+        assert!(s.contains("P0"));
+        assert!(s.contains("P1"));
+    }
+
+    #[test]
+    fn clips_long_horizons() {
+        let inst = Instance::from_windows([(0, 0), (500, 500)], 1).unwrap();
+        let sched = Schedule::from_pairs([(0, 0), (500, 0)]);
+        let s = render_timeline(&inst, &sched, 20);
+        for line in s.lines() {
+            assert!(line.chars().count() <= 7 + 20 + 1, "line too wide: {line:?}");
+        }
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn active_profile_shows_bridges() {
+        let inst = Instance::from_windows([(0, 0), (2, 2)], 1).unwrap();
+        let sched = Schedule::from_pairs([(0, 0), (2, 0)]);
+        let active = optimal_active_profile(&sched, 1, 5); // bridges the gap
+        let s = render_timeline_with_active(&inst, &sched, &active, 80);
+        assert!(s.lines().last().unwrap().ends_with("#~#"));
+    }
+
+    #[test]
+    fn multi_render() {
+        let sched = MultiSchedule::new(vec![2, 3, 7]);
+        let s = render_multi_timeline(&sched, 80);
+        assert!(s.lines().last().unwrap().ends_with("##...#"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let inst = Instance::new(vec![], 2).unwrap();
+        assert!(render_timeline(&inst, &Schedule::new(vec![]), 10).contains("empty"));
+        assert!(render_multi_timeline(&MultiSchedule::new(vec![]), 10).contains("empty"));
+    }
+
+    #[test]
+    fn header_digits_align() {
+        let inst = Instance::from_windows([(8, 8), (12, 12)], 1).unwrap();
+        let sched = Schedule::from_pairs([(8, 0), (12, 0)]);
+        let s = render_timeline(&inst, &sched, 80);
+        let units_line = s.lines().nth(1).unwrap();
+        // Columns are times 8..=12 → digits 89012.
+        assert!(units_line.ends_with("89012"));
+    }
+}

@@ -1,0 +1,562 @@
+//! Schedules, their verification, and gap/span/power metrics.
+//!
+//! Conventions (Section 1 and 5 of the paper):
+//!
+//! * a **span** is a maximal interval of busy slots on one processor;
+//! * a **gap** is a *finite* maximal idle interval on one processor, i.e.
+//!   the hole between two consecutive spans — so a processor with `s ≥ 1`
+//!   spans has `s − 1` gaps, and `gaps = spans − processors_used` in total.
+//!   (Section 5 of the paper sometimes counts one infinite interval as an
+//!   extra gap, making gaps = spans; use [`Schedule::span_count`] for that
+//!   convention.)
+
+use crate::instance::{Instance, MultiInstance};
+use crate::time::{run_count, runs_of, Time, TimeInterval};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised by schedule verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule has a different number of entries than the instance has
+    /// jobs.
+    WrongLength { expected: usize, got: usize },
+    /// A job is scheduled outside its allowed window/set.
+    OutsideWindow { job: usize, time: Time },
+    /// A job is scheduled on a processor index `≥ p`.
+    BadProcessor { job: usize, processor: u32 },
+    /// Two jobs occupy the same (processor, time) slot.
+    SlotCollision { job_a: usize, job_b: usize, time: Time, processor: u32 },
+    /// Two jobs occupy the same time on the single processor.
+    TimeCollision { job_a: usize, job_b: usize, time: Time },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongLength { expected, got } => {
+                write!(f, "schedule covers {got} jobs, instance has {expected}")
+            }
+            ScheduleError::OutsideWindow { job, time } => {
+                write!(f, "job {job} scheduled at disallowed time {time}")
+            }
+            ScheduleError::BadProcessor { job, processor } => {
+                write!(f, "job {job} scheduled on invalid processor {processor}")
+            }
+            ScheduleError::SlotCollision { job_a, job_b, time, processor } => write!(
+                f,
+                "jobs {job_a} and {job_b} collide at time {time} on processor {processor}"
+            ),
+            ScheduleError::TimeCollision { job_a, job_b, time } => {
+                write!(f, "jobs {job_a} and {job_b} collide at time {time}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Placement of one job: a time slot and a processor (0-based; the paper's
+/// `P_1, …, P_p` are indices `0, …, p−1` here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// Slot in which the job runs.
+    pub time: Time,
+    /// Processor on which the job runs.
+    pub processor: u32,
+}
+
+/// A complete schedule for a one-interval [`Instance`]: `assignments[i]`
+/// places job `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    assignments: Vec<Assignment>,
+}
+
+impl Schedule {
+    /// Wrap per-job assignments (index-aligned with the instance's jobs).
+    pub fn new(assignments: Vec<Assignment>) -> Schedule {
+        Schedule { assignments }
+    }
+
+    /// Build from `(time, processor)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Time, u32)>) -> Schedule {
+        Schedule {
+            assignments: pairs
+                .into_iter()
+                .map(|(time, processor)| Assignment { time, processor })
+                .collect(),
+        }
+    }
+
+    /// The assignments, index-aligned with jobs.
+    #[inline]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Number of scheduled jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True if no jobs are scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Check the schedule against its instance: right length, every job in
+    /// its window, valid processor, no slot collisions.
+    pub fn verify(&self, inst: &Instance) -> Result<(), ScheduleError> {
+        if self.assignments.len() != inst.job_count() {
+            return Err(ScheduleError::WrongLength {
+                expected: inst.job_count(),
+                got: self.assignments.len(),
+            });
+        }
+        let mut seen: BTreeMap<(Time, u32), usize> = BTreeMap::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            let job = &inst.jobs()[i];
+            if a.time < job.release || a.time > job.deadline {
+                return Err(ScheduleError::OutsideWindow { job: i, time: a.time });
+            }
+            if a.processor >= inst.processors() {
+                return Err(ScheduleError::BadProcessor { job: i, processor: a.processor });
+            }
+            if let Some(&other) = seen.get(&(a.time, a.processor)) {
+                return Err(ScheduleError::SlotCollision {
+                    job_a: other,
+                    job_b: i,
+                    time: a.time,
+                    processor: a.processor,
+                });
+            }
+            seen.insert((a.time, a.processor), i);
+        }
+        Ok(())
+    }
+
+    /// Busy slots of each processor (sorted), indexed by processor.
+    pub fn busy_times(&self, processors: u32) -> Vec<Vec<Time>> {
+        let mut busy = vec![Vec::new(); processors as usize];
+        for a in &self.assignments {
+            busy[a.processor as usize].push(a.time);
+        }
+        for b in &mut busy {
+            b.sort_unstable();
+        }
+        busy
+    }
+
+    /// Occupancy profile `ℓ(t)` = number of jobs running at time `t`,
+    /// as a sorted map over the busy times only.
+    pub fn occupancy(&self) -> BTreeMap<Time, u32> {
+        let mut occ = BTreeMap::new();
+        for a in &self.assignments {
+            *occ.entry(a.time).or_insert(0) += 1;
+        }
+        occ
+    }
+
+    /// Total number of spans (maximal busy runs) over all processors.
+    pub fn span_count(&self, processors: u32) -> u64 {
+        self.busy_times(processors)
+            .iter()
+            .map(|b| run_count(b) as u64)
+            .sum()
+    }
+
+    /// Total number of gaps (finite maximal idle intervals) over all
+    /// processors — the paper's Theorem 1 objective.
+    pub fn gap_count(&self, processors: u32) -> u64 {
+        self.busy_times(processors)
+            .iter()
+            .map(|b| (run_count(b) as u64).saturating_sub(1))
+            .sum()
+    }
+
+    /// The gaps themselves, as `(processor, idle interval)` pairs.
+    pub fn gaps(&self, processors: u32) -> Vec<(u32, TimeInterval)> {
+        let mut out = Vec::new();
+        for (q, busy) in self.busy_times(processors).iter().enumerate() {
+            let runs = runs_of(busy);
+            for w in runs.windows(2) {
+                out.push((q as u32, TimeInterval::new(w[0].end + 1, w[1].start - 1)));
+            }
+        }
+        out
+    }
+
+    /// Number of processors that run at least one job.
+    pub fn processors_used(&self, processors: u32) -> u32 {
+        self.busy_times(processors)
+            .iter()
+            .filter(|b| !b.is_empty())
+            .count() as u32
+    }
+
+    /// Lemma 1 canonicalization: at every time, move the jobs scheduled
+    /// there onto the lowest-numbered processors (stably, by original
+    /// processor index). This never increases the **span** count (the
+    /// transition objective); note that it *can* increase the number of
+    /// finite gaps, because it also minimizes the number of processors used
+    /// and `gaps = spans − processors_used` — see
+    /// [`Schedule::spread_for_min_gaps`] for the gap-minimizing
+    /// rearrangement of a profile.
+    pub fn canonicalize_prefix(&self) -> Schedule {
+        let mut by_time: BTreeMap<Time, Vec<usize>> = BTreeMap::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            by_time.entry(a.time).or_default().push(i);
+        }
+        let mut out = self.assignments.clone();
+        for (_, mut jobs) in by_time {
+            jobs.sort_by_key(|&i| self.assignments[i].processor);
+            for (rank, job) in jobs.into_iter().enumerate() {
+                out[job].processor = rank as u32;
+            }
+        }
+        Schedule { assignments: out }
+    }
+
+    /// Is the schedule prefix-structured (at every time, occupied
+    /// processors are exactly `0..count`)?
+    pub fn is_prefix_structured(&self) -> bool {
+        let mut by_time: BTreeMap<Time, Vec<u32>> = BTreeMap::new();
+        for a in &self.assignments {
+            by_time.entry(a.time).or_default().push(a.processor);
+        }
+        by_time.values_mut().all(|procs| {
+            procs.sort_unstable();
+            procs.iter().enumerate().all(|(i, &q)| q == i as u32)
+        })
+    }
+
+    /// Rearrange the schedule to minimize **finite gaps** while keeping each
+    /// job's execution *time* (hence the occupancy profile) fixed.
+    ///
+    /// The staircase decomposition of the profile yields
+    /// `R = Σ_t (ℓ(t) − ℓ(t−1))⁺` busy runs, no two of which can merge (a
+    /// run can only start where the profile rises, i.e. where no run ends).
+    /// Spreading the runs greedily over processors — a fresh processor
+    /// while any remains, otherwise any processor idle throughout the run —
+    /// uses `min(p, R)` processors, which is the maximum possible, so the
+    /// result has exactly `max(0, R − p)` gaps: the fewest achievable for
+    /// this profile. This is the witness construction behind
+    /// `min_gap_schedule` (see DESIGN.md on the Lemma 1 subtlety).
+    pub fn spread_for_min_gaps(&self, processors: u32) -> Schedule {
+        let p = processors as usize;
+        // Staircase runs of the occupancy profile, as (start, end, level).
+        let occ = self.occupancy();
+        let mut runs: Vec<(Time, Time)> = Vec::new();
+        let mut open: Vec<(Time, u32)> = Vec::new(); // (start, level) of open runs
+        let mut prev_t: Option<Time> = None;
+        let mut prev_l: u32 = 0;
+        let close_down_to = |open: &mut Vec<(Time, u32)>, level: u32, end: Time,
+                                 runs: &mut Vec<(Time, Time)>| {
+            while open.len() as u32 > level {
+                let (s, _) = open.pop().expect("open non-empty");
+                runs.push((s, end));
+            }
+        };
+        for (&t, &l) in &occ {
+            if let Some(pt) = prev_t {
+                if t != pt + 1 {
+                    close_down_to(&mut open, 0, pt, &mut runs);
+                    prev_l = 0;
+                }
+            }
+            if l < prev_l {
+                close_down_to(&mut open, l, t - 1, &mut runs);
+            }
+            while (open.len() as u32) < l {
+                open.push((t, open.len() as u32 + 1));
+            }
+            prev_t = Some(t);
+            prev_l = l;
+        }
+        if let Some(pt) = prev_t {
+            close_down_to(&mut open, 0, pt, &mut runs);
+        }
+        runs.sort_unstable();
+
+        // Greedy spread: fresh processor first, else one idle for the run.
+        let mut proc_last_end: Vec<Time> = Vec::new(); // indexed by processor
+        let mut run_proc: Vec<(Time, Time, u32)> = Vec::new();
+        for (s, e) in runs {
+            let q = if proc_last_end.len() < p {
+                proc_last_end.push(e);
+                proc_last_end.len() - 1
+            } else {
+                let q = (0..p)
+                    .find(|&q| proc_last_end[q] < s)
+                    .expect("profile respects capacity p, so an idle processor exists");
+                proc_last_end[q] = e;
+                q
+            };
+            run_proc.push((s, e, q as u32));
+        }
+
+        // Re-map jobs: at each time, hand the jobs (in index order) the
+        // processors whose assigned runs cover that time.
+        let mut by_time: BTreeMap<Time, Vec<usize>> = BTreeMap::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            by_time.entry(a.time).or_default().push(i);
+        }
+        let mut out = self.assignments.clone();
+        for (t, jobs) in by_time {
+            let mut procs: Vec<u32> = run_proc
+                .iter()
+                .filter(|&&(s, e, _)| s <= t && t <= e)
+                .map(|&(_, _, q)| q)
+                .collect();
+            procs.sort_unstable();
+            debug_assert_eq!(procs.len(), jobs.len(), "runs cover the profile exactly");
+            for (job, q) in jobs.into_iter().zip(procs) {
+                out[job].processor = q;
+            }
+        }
+        Schedule { assignments: out }
+    }
+}
+
+/// A complete schedule for a [`MultiInstance`] on the single processor:
+/// `times[i]` is the slot of job `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiSchedule {
+    times: Vec<Time>,
+}
+
+impl MultiSchedule {
+    /// Wrap per-job times (index-aligned with the instance's jobs).
+    pub fn new(times: Vec<Time>) -> MultiSchedule {
+        MultiSchedule { times }
+    }
+
+    /// Per-job execution times.
+    #[inline]
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    /// Number of scheduled jobs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if no jobs are scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Check the schedule: right length, every job at an allowed time, all
+    /// times distinct.
+    pub fn verify(&self, inst: &MultiInstance) -> Result<(), ScheduleError> {
+        if self.times.len() != inst.job_count() {
+            return Err(ScheduleError::WrongLength {
+                expected: inst.job_count(),
+                got: self.times.len(),
+            });
+        }
+        let mut seen: BTreeMap<Time, usize> = BTreeMap::new();
+        for (i, &t) in self.times.iter().enumerate() {
+            if !inst.jobs()[i].allows(t) {
+                return Err(ScheduleError::OutsideWindow { job: i, time: t });
+            }
+            if let Some(&other) = seen.get(&t) {
+                return Err(ScheduleError::TimeCollision { job_a: other, job_b: i, time: t });
+            }
+            seen.insert(t, i);
+        }
+        Ok(())
+    }
+
+    /// The occupied slots, sorted.
+    pub fn occupied(&self) -> Vec<Time> {
+        let mut occ = self.times.clone();
+        occ.sort_unstable();
+        occ.dedup();
+        occ
+    }
+
+    /// Number of spans (maximal busy runs).
+    pub fn span_count(&self) -> u64 {
+        run_count(&self.occupied()) as u64
+    }
+
+    /// Number of gaps = spans − 1 (0 for an empty schedule). This is the
+    /// "finite maximal idle intervals" convention; Section 5's convention
+    /// (one infinite side counts too) equals [`MultiSchedule::span_count`].
+    pub fn gap_count(&self) -> u64 {
+        self.span_count().saturating_sub(1)
+    }
+
+    /// The gaps as idle intervals between consecutive spans.
+    pub fn gaps(&self) -> Vec<TimeInterval> {
+        crate::time::gaps_between(&self.occupied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Job;
+
+    fn inst2() -> Instance {
+        Instance::new(
+            vec![Job::new(0, 3), Job::new(0, 3), Job::new(2, 5), Job::new(5, 5)],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn verify_catches_all_violations() {
+        let inst = inst2();
+        // Valid schedule.
+        let ok = Schedule::from_pairs([(0, 0), (0, 1), (2, 0), (5, 0)]);
+        ok.verify(&inst).unwrap();
+        // Wrong length.
+        assert!(matches!(
+            Schedule::from_pairs([(0, 0)]).verify(&inst),
+            Err(ScheduleError::WrongLength { .. })
+        ));
+        // Outside window.
+        assert!(matches!(
+            Schedule::from_pairs([(4, 0), (0, 1), (2, 0), (5, 0)]).verify(&inst),
+            Err(ScheduleError::OutsideWindow { job: 0, time: 4 })
+        ));
+        // Bad processor.
+        assert!(matches!(
+            Schedule::from_pairs([(0, 2), (0, 1), (2, 0), (5, 0)]).verify(&inst),
+            Err(ScheduleError::BadProcessor { job: 0, processor: 2 })
+        ));
+        // Collision.
+        assert!(matches!(
+            Schedule::from_pairs([(0, 0), (0, 0), (2, 0), (5, 0)]).verify(&inst),
+            Err(ScheduleError::SlotCollision { .. })
+        ));
+    }
+
+    #[test]
+    fn gap_and_span_counting() {
+        let inst = inst2();
+        // P0 busy at {0, 2, 5} (2 gaps), P1 busy at {0} (0 gaps).
+        let s = Schedule::from_pairs([(0, 0), (0, 1), (2, 0), (5, 0)]);
+        s.verify(&inst).unwrap();
+        assert_eq!(s.span_count(2), 4);
+        assert_eq!(s.gap_count(2), 2);
+        assert_eq!(s.processors_used(2), 2);
+        assert_eq!(
+            s.gaps(2),
+            vec![
+                (0, TimeInterval::new(1, 1)),
+                (0, TimeInterval::new(3, 4))
+            ]
+        );
+        // gaps = spans − used.
+        assert_eq!(s.gap_count(2), s.span_count(2) - s.processors_used(2) as u64);
+    }
+
+    #[test]
+    fn canonicalize_prefix_preserves_spans() {
+        let inst = inst2();
+        let s = Schedule::from_pairs([(0, 1), (1, 1), (2, 1), (5, 0)]);
+        s.verify(&inst).unwrap();
+        assert!(!s.is_prefix_structured());
+        let c = s.canonicalize_prefix();
+        assert!(c.is_prefix_structured());
+        c.verify(&inst).unwrap();
+        // Lemma 1 (span form): canonicalization never increases spans.
+        assert!(c.span_count(2) <= s.span_count(2));
+        assert_eq!(c.span_count(2), 2);
+    }
+
+    #[test]
+    fn prefix_can_increase_finite_gaps_the_lemma_1_subtlety() {
+        // The counterexample from DESIGN.md: runs {0,1,2} and {5} parked on
+        // different processors have no finite gap; squashing them onto the
+        // prefix creates one. This is why `gaps = spans − processors_used`
+        // and why the finite-gap optimum needs run spreading.
+        let s = Schedule::from_pairs([(0, 1), (1, 1), (2, 1), (5, 0)]);
+        assert_eq!(s.gap_count(2), 0);
+        let c = s.canonicalize_prefix();
+        assert_eq!(c.gap_count(2), 1);
+        assert_eq!(c.span_count(2), s.span_count(2));
+        // Spreading recovers the optimum for this profile.
+        let spread = c.spread_for_min_gaps(2);
+        assert_eq!(spread.gap_count(2), 0);
+    }
+
+    #[test]
+    fn spread_for_min_gaps_attains_runs_minus_p() {
+        // Profile with 3 runs on 2 processors: best possible is 1 gap.
+        let s = Schedule::from_pairs([(0, 0), (3, 0), (6, 0)]);
+        assert_eq!(s.gap_count(2), 2);
+        let spread = s.spread_for_min_gaps(2);
+        assert_eq!(spread.span_count(2), 3);
+        assert_eq!(spread.gap_count(2), 1); // max(0, 3 − 2)
+        // Times are untouched.
+        for (a, b) in s.assignments().iter().zip(spread.assignments()) {
+            assert_eq!(a.time, b.time);
+        }
+    }
+
+    #[test]
+    fn spread_handles_multilevel_staircase() {
+        // Profile [2, 1, 0, 1]: runs L1=[0,1], L2=[0,0], plus [3,3] → R = 3.
+        let s = Schedule::from_pairs([(0, 0), (0, 1), (1, 0), (3, 0)]);
+        let spread = s.spread_for_min_gaps(3);
+        assert_eq!(spread.gap_count(3), 0); // 3 runs, 3 processors
+        assert_eq!(spread.span_count(3), 3);
+        let spread2 = s.spread_for_min_gaps(2);
+        assert_eq!(spread2.gap_count(2), 1); // max(0, 3 − 2)
+    }
+
+    #[test]
+    fn occupancy_profile() {
+        let s = Schedule::from_pairs([(0, 0), (0, 1), (2, 0), (5, 0)]);
+        let occ = s.occupancy();
+        assert_eq!(occ.get(&0), Some(&2));
+        assert_eq!(occ.get(&2), Some(&1));
+        assert_eq!(occ.get(&1), None);
+    }
+
+    #[test]
+    fn multi_schedule_verify_and_gaps() {
+        let inst = MultiInstance::from_times([vec![0, 5], vec![1, 6], vec![2]]).unwrap();
+        let s = MultiSchedule::new(vec![0, 1, 2]);
+        s.verify(&inst).unwrap();
+        assert_eq!(s.span_count(), 1);
+        assert_eq!(s.gap_count(), 0);
+
+        let spread = MultiSchedule::new(vec![5, 1, 2]);
+        spread.verify(&inst).unwrap();
+        assert_eq!(spread.span_count(), 2);
+        assert_eq!(spread.gap_count(), 1);
+        assert_eq!(spread.gaps(), vec![TimeInterval::new(3, 4)]);
+
+        assert!(matches!(
+            MultiSchedule::new(vec![0, 0, 2]).verify(&inst),
+            Err(ScheduleError::OutsideWindow { job: 1, time: 0 })
+        ));
+        assert!(matches!(
+            MultiSchedule::new(vec![0, 1, 1]).verify(&inst),
+            Err(ScheduleError::OutsideWindow { .. }) | Err(ScheduleError::TimeCollision { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedules() {
+        let s = Schedule::new(vec![]);
+        assert_eq!(s.gap_count(3), 0);
+        assert_eq!(s.span_count(3), 0);
+        assert!(s.is_prefix_structured());
+        let m = MultiSchedule::new(vec![]);
+        assert_eq!(m.gap_count(), 0);
+        assert_eq!(m.span_count(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the structural modules: lower bounds, run
+//! spreading, compression of one-interval instances, Lemma 4, analysis,
+//! and rendering (which must never panic on any valid schedule).
+
+use gaps_core::instance::{Instance, MultiInstance};
+use gaps_core::multi_interval::{lemma4_best_residue, lemma4_guarantee};
+use gaps_core::{analysis, baptiste, brute_force, compress, edf, lower_bounds, render};
+use proptest::prelude::*;
+
+fn arb_instance(n_max: usize, t_max: i64, p_max: u32) -> impl Strategy<Value = Instance> {
+    (1..=p_max).prop_flat_map(move |p| {
+        proptest::collection::vec((0..=t_max, 0..=t_max), 1..=n_max).prop_map(move |ws| {
+            let jobs = ws
+                .into_iter()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect::<Vec<_>>();
+            Instance::from_windows(jobs, p).unwrap()
+        })
+    })
+}
+
+fn arb_multi(n_max: usize, t_max: i64, k_max: usize) -> impl Strategy<Value = MultiInstance> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..=t_max, 1..=k_max),
+        1..=n_max,
+    )
+    .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All lower bounds are sound against exhaustive optima.
+    #[test]
+    fn lower_bounds_sound(inst in arb_multi(6, 14, 3), alpha in 0u64..5) {
+        if let Some((opt_spans, _)) = brute_force::min_spans_multi(&inst) {
+            prop_assert!(lower_bounds::min_spans_lower_bound(&inst) <= opt_spans);
+            let (opt_gaps, _) = brute_force::min_gaps_multi(&inst).unwrap();
+            prop_assert!(lower_bounds::min_gaps_lower_bound(&inst) <= opt_gaps);
+            let (opt_power, _) = brute_force::min_power_multi(&inst, alpha).unwrap();
+            prop_assert!(lower_bounds::min_power_lower_bound(&inst, alpha) <= opt_power);
+        }
+    }
+
+    /// Run spreading: keeps times, keeps verification, attains
+    /// max(0, spans − p) gaps, never changes the span count.
+    #[test]
+    fn spreading_attains_the_run_bound(inst in arb_instance(7, 9, 3)) {
+        if let Ok(sched) = edf::edf(&inst) {
+            let p = inst.processors();
+            let spans = sched.span_count(p);
+            let spread = sched.spread_for_min_gaps(p);
+            spread.verify(&inst).unwrap();
+            prop_assert_eq!(spread.span_count(p), spans);
+            prop_assert_eq!(spread.gap_count(p), spans.saturating_sub(p as u64));
+            for (a, b) in sched.assignments().iter().zip(spread.assignments()) {
+                prop_assert_eq!(a.time, b.time);
+            }
+        }
+    }
+
+    /// One-interval compression preserves optima (gap and power) — the
+    /// multi-interval variant is covered in `properties.rs`.
+    #[test]
+    fn instance_compression_preserves_optima(
+        inst in arb_instance(6, 30, 1),
+        alpha in 0u64..4,
+    ) {
+        if edf::is_feasible(&inst) {
+            let (cg, _) = compress::compress_instance_gap(&inst);
+            prop_assert_eq!(
+                baptiste::min_gaps_value(&inst),
+                baptiste::min_gaps_value(&cg)
+            );
+            let (cp, _) = compress::compress_instance_power(&inst, alpha);
+            prop_assert_eq!(
+                baptiste::min_power_value(&inst, alpha),
+                baptiste::min_power_value(&cp, alpha)
+            );
+        }
+    }
+
+    /// Lemma 4's floor holds for every feasible schedule and k ∈ {2, 3, 4}.
+    #[test]
+    fn lemma4_floor(inst in arb_multi(7, 12, 3), k in 2usize..=4) {
+        if let Ok(sched) = gaps_core::feasibility::feasible_schedule(&inst) {
+            let (_, count) = lemma4_best_residue(&sched, k);
+            let floor = lemma4_guarantee(inst.job_count(), sched.span_count(), k);
+            prop_assert!(count >= floor, "count {count} < floor {floor} (k={k})");
+        }
+    }
+
+    /// Rendering never panics and has one row per processor.
+    #[test]
+    fn rendering_is_total(inst in arb_instance(6, 12, 3), width in 1usize..40) {
+        if let Ok(sched) = edf::edf(&inst) {
+            let s = render::render_timeline(&inst, &sched, width);
+            prop_assert_eq!(s.lines().count(), 2 + inst.processors() as usize);
+            let active =
+                gaps_core::power::optimal_active_profile(&sched, inst.processors(), 3);
+            let s2 = render::render_timeline_with_active(&inst, &sched, &active, width);
+            prop_assert_eq!(s2.lines().count(), 2 + inst.processors() as usize);
+        }
+    }
+
+    /// Analysis invariants: load and slack predict trivial infeasibility.
+    #[test]
+    fn analysis_consistency(inst in arb_instance(8, 10, 2)) {
+        let stats = analysis::analyze_instance(&inst);
+        prop_assert_eq!(stats.jobs, inst.job_count());
+        prop_assert!(stats.window_min <= stats.window_max);
+        prop_assert!(stats.window_mean <= stats.window_max as f64 + 1e-9);
+        prop_assert!(stats.window_mean + 1e-9 >= stats.window_min as f64);
+        if stats.load > 1.0 {
+            prop_assert!(!edf::is_feasible(&inst), "load > 1 must be infeasible");
+        }
+    }
+
+    /// Multi analysis: slack < 1 ⇒ infeasible.
+    #[test]
+    fn multi_analysis_consistency(inst in arb_multi(8, 10, 3)) {
+        let stats = analysis::analyze_multi(&inst);
+        prop_assert_eq!(stats.jobs, inst.job_count());
+        if stats.slack < 1.0 {
+            prop_assert!(!gaps_core::feasibility::is_feasible(&inst));
+        }
+        prop_assert!(stats.slot_runs <= stats.slots.max(1));
+    }
+}

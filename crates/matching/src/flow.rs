@@ -1,0 +1,257 @@
+//! Dinic's maximum flow on the unit-capacity bipartite network, plus
+//! König's theorem: a minimum vertex cover from a maximum matching.
+//!
+//! These serve two purposes:
+//!
+//! * an **independent oracle**: Dinic's algorithm shares no code with
+//!   Hopcroft–Karp or Kuhn, so agreement across all three is strong
+//!   evidence each is right (property-tested);
+//! * **certificates**: by König's theorem the minimum vertex cover has the
+//!   same size as the maximum matching; the cover is the succinct witness
+//!   that no larger matching exists (the dual of the Hall violator).
+
+use crate::{BipartiteGraph, Matching};
+
+/// Maximum matching via Dinic's max-flow on the unit network
+/// source → left (cap 1) → right (cap 1 per edge) → sink (cap 1).
+///
+/// O(E·√V) on unit networks, like Hopcroft–Karp, but structured as a
+/// general flow algorithm.
+pub fn dinic_matching(graph: &BipartiteGraph) -> Matching {
+    let n = graph.left_count();
+    let m = graph.right_count();
+    // Node ids: 0 = source, 1..=n lefts, n+1..=n+m rights, n+m+1 sink.
+    let source = 0usize;
+    let sink = n + m + 1;
+    let mut net = FlowNetwork::new(n + m + 2);
+    for u in 0..n {
+        net.add_edge(source, 1 + u, 1);
+    }
+    for u in 0..n as u32 {
+        for &v in graph.neighbors(u) {
+            net.add_edge(1 + u as usize, 1 + n + v as usize, 1);
+        }
+    }
+    for v in 0..m {
+        net.add_edge(1 + n + v, sink, 1);
+    }
+    net.max_flow(source, sink);
+
+    // Saturated left→right edges are the matching.
+    let mut matching = Matching::empty(n, m);
+    for u in 0..n {
+        for &eid in &net.adj[1 + u] {
+            let e = &net.edges[eid];
+            if e.to > n && e.to <= n + m && e.cap == 0 {
+                matching.link(u as u32, (e.to - 1 - n) as u32);
+                break;
+            }
+        }
+    }
+    debug_assert!(matching.validate(graph).is_ok());
+    matching
+}
+
+/// A minimum vertex cover `(left vertices, right vertices)` via König's
+/// theorem: compute a maximum matching, run alternating BFS from the
+/// unmatched left vertices; the cover is (unreached lefts) ∪ (reached
+/// rights). `|cover| = |maximum matching|` always.
+pub fn koenig_vertex_cover(graph: &BipartiteGraph) -> (Vec<u32>, Vec<u32>) {
+    let matching = crate::hopcroft_karp(graph);
+    let n = graph.left_count();
+    let m = graph.right_count();
+    let mut left_seen = vec![false; n];
+    let mut right_seen = vec![false; m];
+    let mut queue: Vec<u32> = matching.unmatched_left();
+    for &u in &queue {
+        left_seen[u as usize] = true;
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &v in graph.neighbors(u) {
+            if right_seen[v as usize] {
+                continue;
+            }
+            // Traverse non-matching edges left→right, matching edges back.
+            if matching.partner_of_left(u) == Some(v) {
+                continue;
+            }
+            right_seen[v as usize] = true;
+            if let Some(w) = matching.partner_of_right(v) {
+                if !left_seen[w as usize] {
+                    left_seen[w as usize] = true;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    let lefts: Vec<u32> = (0..n as u32).filter(|&u| !left_seen[u as usize]).collect();
+    let rights: Vec<u32> = (0..m as u32).filter(|&v| right_seen[v as usize]).collect();
+    debug_assert_eq!(lefts.len() + rights.len(), matching.size());
+    (lefts, rights)
+}
+
+/// Check that `(lefts, rights)` covers every edge of `graph`.
+pub fn is_vertex_cover(graph: &BipartiteGraph, lefts: &[u32], rights: &[u32]) -> bool {
+    (0..graph.left_count() as u32).all(|u| {
+        lefts.contains(&u)
+            || graph.neighbors(u).iter().all(|v| rights.contains(v))
+    })
+}
+
+struct FlowEdge {
+    to: usize,
+    cap: u32,
+    rev: usize,
+}
+
+struct FlowNetwork {
+    adj: Vec<Vec<usize>>,
+    edges: Vec<FlowEdge>,
+}
+
+impl FlowNetwork {
+    fn new(nodes: usize) -> FlowNetwork {
+        FlowNetwork { adj: vec![Vec::new(); nodes], edges: Vec::new() }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: u32) {
+        let fwd = self.edges.len();
+        self.edges.push(FlowEdge { to, cap, rev: fwd + 1 });
+        self.adj[from].push(fwd);
+        let back = self.edges.len();
+        self.edges.push(FlowEdge { to: from, cap: 0, rev: fwd });
+        self.adj[to].push(back);
+    }
+
+    fn max_flow(&mut self, source: usize, sink: usize) -> u64 {
+        let mut flow = 0u64;
+        loop {
+            // BFS level graph.
+            let mut level = vec![u32::MAX; self.adj.len()];
+            level[source] = 0;
+            let mut queue = vec![source];
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid];
+                    if e.cap > 0 && level[e.to] == u32::MAX {
+                        level[e.to] = level[u] + 1;
+                        queue.push(e.to);
+                    }
+                }
+            }
+            if level[sink] == u32::MAX {
+                return flow;
+            }
+            // Blocking flow with iteration pointers.
+            let mut it = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs(source, sink, u32::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed as u64;
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        u: usize,
+        sink: usize,
+        limit: u32,
+        level: &[u32],
+        it: &mut [usize],
+    ) -> u32 {
+        if u == sink {
+            return limit;
+        }
+        while it[u] < self.adj[u].len() {
+            let eid = self.adj[u][it[u]];
+            let (to, cap) = (self.edges[eid].to, self.edges[eid].cap);
+            if cap > 0 && level[to] == level[u] + 1 {
+                let pushed = self.dfs(to, sink, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.edges[eid].cap -= pushed;
+                    let rev = self.edges[eid].rev;
+                    self.edges[rev].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp;
+
+    #[test]
+    fn dinic_agrees_with_hk_on_fixed_graphs() {
+        let cases = vec![
+            BipartiteGraph::from_edges(3, 3, vec![(0, 0), (0, 1), (1, 1), (2, 2)]),
+            BipartiteGraph::from_edges(4, 2, vec![(0, 0), (1, 0), (2, 1), (3, 1)]),
+            BipartiteGraph::new(3, 3),
+            BipartiteGraph::from_edges(1, 1, vec![(0, 0)]),
+        ];
+        for g in cases {
+            assert_eq!(dinic_matching(&g).size(), hopcroft_karp(&g).size());
+        }
+    }
+
+    #[test]
+    fn dinic_matching_is_valid() {
+        let g = BipartiteGraph::from_edges(
+            5,
+            5,
+            vec![(0, 0), (0, 1), (1, 0), (2, 3), (3, 3), (3, 4), (4, 4)],
+        );
+        let m = dinic_matching(&g);
+        m.validate(&g).unwrap();
+        assert_eq!(m.size(), hopcroft_karp(&g).size());
+    }
+
+    #[test]
+    fn koenig_cover_size_equals_matching() {
+        let g = BipartiteGraph::from_edges(
+            4,
+            4,
+            vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)],
+        );
+        let (lefts, rights) = koenig_vertex_cover(&g);
+        assert_eq!(lefts.len() + rights.len(), hopcroft_karp(&g).size());
+        assert!(is_vertex_cover(&g, &lefts, &rights));
+    }
+
+    #[test]
+    fn koenig_on_star() {
+        // 5 lefts all pointing at one right: cover = that right.
+        let g = BipartiteGraph::from_edges(5, 1, (0..5).map(|u| (u, 0)).collect::<Vec<_>>());
+        let (lefts, rights) = koenig_vertex_cover(&g);
+        assert_eq!((lefts.len(), rights.len()), (0, 1));
+        assert!(is_vertex_cover(&g, &lefts, &rights));
+    }
+
+    #[test]
+    fn koenig_on_perfect_matching() {
+        let g = BipartiteGraph::from_edges(3, 3, vec![(0, 0), (1, 1), (2, 2)]);
+        let (lefts, rights) = koenig_vertex_cover(&g);
+        assert_eq!(lefts.len() + rights.len(), 3);
+        assert!(is_vertex_cover(&g, &lefts, &rights));
+    }
+
+    #[test]
+    fn empty_graph_cover_is_empty() {
+        let g = BipartiteGraph::new(4, 4);
+        let (lefts, rights) = koenig_vertex_cover(&g);
+        assert!(lefts.is_empty() && rights.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Compact bipartite graph representation.
+
+/// A bipartite graph with `left_count` left vertices and `right_count` right
+/// vertices, stored as per-left-vertex adjacency lists.
+///
+/// In the scheduling use case, left vertices are jobs and right vertices are
+/// time slots; an edge `(j, t)` means "job `j` may execute in slot `t`".
+#[derive(Clone, Debug, Default)]
+pub struct BipartiteGraph {
+    left_count: usize,
+    right_count: usize,
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl BipartiteGraph {
+    /// An edgeless graph with the given part sizes.
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        BipartiteGraph {
+            left_count,
+            right_count,
+            adj: vec![Vec::new(); left_count],
+            edge_count: 0,
+        }
+    }
+
+    /// Build a graph from an edge list. Duplicate edges are collapsed.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(
+        left_count: usize,
+        right_count: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut g = BipartiteGraph::new(left_count, right_count);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g.dedup();
+        g
+    }
+
+    /// Add the edge `(u, v)`. Duplicates are tolerated (collapse them with
+    /// [`BipartiteGraph::dedup`] or build via [`BipartiteGraph::from_edges`]).
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.left_count,
+            "left vertex {u} out of range (left_count = {})",
+            self.left_count
+        );
+        assert!(
+            (v as usize) < self.right_count,
+            "right vertex {v} out of range (right_count = {})",
+            self.right_count
+        );
+        self.adj[u as usize].push(v);
+        self.edge_count += 1;
+    }
+
+    /// Sort every adjacency list and drop duplicate edges.
+    pub fn dedup(&mut self) {
+        self.edge_count = 0;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            self.edge_count += list.len();
+        }
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn left_count(&self) -> usize {
+        self.left_count
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// Number of stored edges (after any `dedup`, distinct edges).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbors (right vertices) of left vertex `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of left vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// The union of neighborhoods of the given left vertices, sorted and
+    /// deduplicated. This is `N(S)` in Hall's condition.
+    pub fn neighborhood_of_set(&self, lefts: &[u32]) -> Vec<u32> {
+        let mut out: Vec<u32> = lefts
+            .iter()
+            .flat_map(|&u| self.neighbors(u).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = BipartiteGraph::from_edges(2, 3, vec![(0, 1), (0, 1), (1, 2), (0, 0)]);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "left vertex 5 out of range")]
+    fn add_edge_rejects_bad_left() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "right vertex 9 out of range")]
+    fn add_edge_rejects_bad_right() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 9);
+    }
+
+    #[test]
+    fn neighborhood_of_set_unions() {
+        let g = BipartiteGraph::from_edges(3, 5, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 4)]);
+        assert_eq!(g.neighborhood_of_set(&[0, 1]), vec![1, 2, 3]);
+        assert_eq!(g.neighborhood_of_set(&[]), Vec::<u32>::new());
+        assert_eq!(g.neighborhood_of_set(&[2]), vec![4]);
+    }
+
+    #[test]
+    fn empty_graph_counts() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(g.left_count(), 0);
+        assert_eq!(g.right_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

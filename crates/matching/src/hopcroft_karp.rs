@@ -1,0 +1,249 @@
+//! Hopcroft–Karp maximum bipartite matching, O(E·√V).
+
+use crate::{BipartiteGraph, Matching};
+
+const INF: u32 = u32::MAX;
+
+/// Compute a maximum matching of `graph` with the Hopcroft–Karp algorithm.
+///
+/// Runs in O(E·√V). This is the workhorse used for one-shot feasibility
+/// checks; for repeated augmentation after small changes use
+/// [`crate::IncrementalMatching`].
+///
+/// ```
+/// use gaps_matching::{BipartiteGraph, hopcroft_karp};
+/// // Two jobs, both only executable in slot 0: only one can be scheduled.
+/// let g = BipartiteGraph::from_edges(2, 1, vec![(0, 0), (1, 0)]);
+/// assert_eq!(hopcroft_karp(&g).size(), 1);
+/// ```
+pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
+    let n = graph.left_count();
+    let mut matching = Matching::empty(n, graph.right_count());
+
+    // Greedy initialization: match every left vertex to its first free
+    // neighbor. This typically covers most of the matching and saves phases.
+    for u in 0..n as u32 {
+        for &v in graph.neighbors(u) {
+            if matching.partner_of_right(v).is_none() {
+                matching.link(u, v);
+                break;
+            }
+        }
+    }
+
+    let mut state = PhaseState {
+        dist: vec![INF; n],
+        cursor: vec![0; n],
+        held: vec![false; graph.right_count()],
+    };
+    let mut queue = Vec::with_capacity(n);
+
+    loop {
+        // BFS phase: layer free left vertices at distance 0 and compute the
+        // shortest alternating-path distance to every left vertex.
+        queue.clear();
+        for u in 0..n {
+            if matching.pair_left[u].is_none() {
+                state.dist[u] = 0;
+                queue.push(u as u32);
+            } else {
+                state.dist[u] = INF;
+            }
+        }
+        let mut found_free_right = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in graph.neighbors(u) {
+                match matching.partner_of_right(v) {
+                    None => found_free_right = true,
+                    Some(w) => {
+                        if state.dist[w as usize] == INF {
+                            state.dist[w as usize] = state.dist[u as usize] + 1;
+                            queue.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_free_right {
+            break;
+        }
+
+        // DFS phase: find a maximal set of vertex-disjoint shortest
+        // augmenting paths and flip them.
+        state.cursor.iter_mut().for_each(|c| *c = 0);
+        let mut augmented = false;
+        for u in 0..n as u32 {
+            if matching.pair_left[u as usize].is_none() && dfs(graph, &mut matching, &mut state, u)
+            {
+                augmented = true;
+            }
+        }
+        if !augmented {
+            break;
+        }
+    }
+
+    debug_assert!(matching.validate(graph).is_ok());
+    matching
+}
+
+struct PhaseState {
+    /// Alternating-path BFS layer of each left vertex.
+    dist: Vec<u32>,
+    /// Per-phase persistent adjacency cursor of each left vertex.
+    cursor: Vec<usize>,
+    /// Right vertices tentatively unlinked by a frame currently on the DFS
+    /// stack. Deeper frames must not reclaim them; the flag is always
+    /// cleared on unwind, so no cross-path blocking occurs.
+    held: Vec<bool>,
+}
+
+/// Try to extend one shortest augmenting path from left vertex `u`.
+/// On success the path is flipped into `matching` and `true` is returned.
+fn dfs(graph: &BipartiteGraph, matching: &mut Matching, state: &mut PhaseState, u: u32) -> bool {
+    let neighbors = graph.neighbors(u);
+    while state.cursor[u as usize] < neighbors.len() {
+        let v = neighbors[state.cursor[u as usize]];
+        state.cursor[u as usize] += 1;
+        if state.held[v as usize] {
+            continue;
+        }
+        match matching.partner_of_right(v) {
+            None => {
+                matching.link(u, v);
+                return true;
+            }
+            Some(w) => {
+                if state.dist[w as usize] == state.dist[u as usize] + 1 {
+                    // Tentatively free v, then try to re-home its partner w
+                    // one BFS layer deeper. v is held while the probe runs,
+                    // so no deeper frame can reclaim it.
+                    matching.unlink_right(v);
+                    state.held[v as usize] = true;
+                    let rehomed = dfs(graph, matching, state, w);
+                    state.held[v as usize] = false;
+                    if rehomed {
+                        matching.link(u, v);
+                        return true;
+                    }
+                    matching.link(w, v);
+                }
+            }
+        }
+    }
+    // Dead end: exclude `u` from further DFS in this phase.
+    state.dist[u as usize] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize, m: usize) -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in 0..m as u32 {
+                edges.push((u, v));
+            }
+        }
+        BipartiteGraph::from_edges(n, m, edges)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(hopcroft_karp(&g).size(), 0);
+    }
+
+    #[test]
+    fn no_edges() {
+        let g = BipartiteGraph::new(4, 4);
+        assert_eq!(hopcroft_karp(&g).size(), 0);
+    }
+
+    #[test]
+    fn complete_graph_matches_min_side() {
+        assert_eq!(hopcroft_karp(&complete(3, 5)).size(), 3);
+        assert_eq!(hopcroft_karp(&complete(5, 3)).size(), 3);
+        assert_eq!(hopcroft_karp(&complete(4, 4)).size(), 4);
+    }
+
+    #[test]
+    fn path_graph_needs_augmentation() {
+        // Left {0,1}, right {0,1}; edges 0-0, 1-0, 1-1. Greedy could match
+        // 0-0 then 1-1 directly, but the order 1-0 first forces augmenting.
+        let g = BipartiteGraph::from_edges(2, 2, vec![(1, 0), (0, 0), (1, 1)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 2);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn long_alternating_chain() {
+        // Chain forcing a length-2k+1 augmenting path:
+        // left i connects to right i and right i+1 except the last.
+        let n = 16;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            edges.push((i, i));
+            if i + 1 < n as u32 {
+                edges.push((i, i + 1));
+            }
+        }
+        let g = BipartiteGraph::from_edges(n, n, edges);
+        assert_eq!(hopcroft_karp(&g).size(), n);
+    }
+
+    #[test]
+    fn deficient_side_is_detected() {
+        // Three jobs all confined to two slots: max matching is 2.
+        let g =
+            BipartiteGraph::from_edges(3, 2, vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.unmatched_left().len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_kuhn_on_fixed_cases() {
+        let cases = vec![
+            BipartiteGraph::from_edges(4, 4, vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)]),
+            BipartiteGraph::from_edges(5, 3, vec![(0, 0), (1, 1), (2, 2), (3, 0), (4, 1)]),
+            complete(6, 6),
+        ];
+        for g in cases {
+            assert_eq!(hopcroft_karp(&g).size(), crate::kuhn(&g).size());
+        }
+    }
+
+    #[test]
+    fn anti_greedy_two_phase_instance() {
+        // Designed so the greedy init leaves several augmenting paths of
+        // different lengths, exercising multiple BFS/DFS phases.
+        let g = BipartiteGraph::from_edges(
+            6,
+            6,
+            vec![
+                (0, 0),
+                (1, 0),
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+                (4, 4),
+                (5, 4),
+                (5, 5),
+                (0, 5),
+            ],
+        );
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size(), 6);
+        m.validate(&g).unwrap();
+    }
+}

@@ -1,0 +1,377 @@
+//! A matching that evolves: grow it one left vertex at a time, or take right
+//! vertices (time slots) out of service with automatic rematch-or-rollback.
+//!
+//! This is the engine behind three pieces of the paper:
+//!
+//! * **Lemma 3**: given a feasible partial schedule, each unscheduled job is
+//!   added by one augmenting path, increasing the number of gaps by at most
+//!   one — [`IncrementalMatching::augment`].
+//! * **Greedy 3-approximation** [FHKN06]: "would declaring this time window a
+//!   gap keep the instance feasible?" — [`IncrementalMatching::try_disable_many`].
+//! * **Theorem 11 greedy**: repeated feasibility probes over candidate
+//!   working intervals against the pool of unscheduled jobs.
+
+use crate::{BipartiteGraph, Matching};
+
+/// A mutable matching over a fixed bipartite graph, with support for
+/// disabling right vertices.
+///
+/// Disabled right vertices are invisible to augmentation; disabling a
+/// *matched* right vertex triggers a rematch attempt for its left partner
+/// and fails (with full rollback) if no alternative exists.
+#[derive(Clone, Debug)]
+pub struct IncrementalMatching<'g> {
+    graph: &'g BipartiteGraph,
+    matching: Matching,
+    disabled: Vec<bool>,
+    visited: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'g> IncrementalMatching<'g> {
+    /// Start from the empty matching with every right vertex enabled.
+    pub fn new(graph: &'g BipartiteGraph) -> Self {
+        IncrementalMatching {
+            graph,
+            matching: Matching::empty(graph.left_count(), graph.right_count()),
+            disabled: vec![false; graph.right_count()],
+            visited: vec![0; graph.right_count()],
+            epoch: 0,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g BipartiteGraph {
+        self.graph
+    }
+
+    /// Read access to the current matching.
+    pub fn matching(&self) -> &Matching {
+        &self.matching
+    }
+
+    /// Consume, returning the current matching.
+    pub fn into_matching(self) -> Matching {
+        self.matching
+    }
+
+    /// Current matching size.
+    pub fn size(&self) -> usize {
+        self.matching.size()
+    }
+
+    /// Is right vertex `v` currently disabled?
+    pub fn is_disabled(&self, v: u32) -> bool {
+        self.disabled[v as usize]
+    }
+
+    /// Try to match the unmatched left vertex `u` via an augmenting path that
+    /// avoids disabled right vertices. Returns `true` on success.
+    ///
+    /// # Panics
+    /// Panics if `u` is already matched (callers always know).
+    pub fn augment(&mut self, u: u32) -> bool {
+        assert!(
+            self.matching.partner_of_left(u).is_none(),
+            "augment called on already-matched left vertex {u}"
+        );
+        self.bump_epoch();
+        self.dfs(u)
+    }
+
+    /// Augment from every unmatched left vertex once; returns the resulting
+    /// matching size. After this call the matching is maximum with respect
+    /// to the enabled right vertices.
+    pub fn maximize(&mut self) -> usize {
+        for u in 0..self.graph.left_count() as u32 {
+            if self.matching.partner_of_left(u).is_none() {
+                self.bump_epoch();
+                self.dfs(u);
+            }
+        }
+        self.matching.size()
+    }
+
+    /// Disable right vertex `v`. If `v` was matched, its left partner is
+    /// rematched through an augmenting path; if that is impossible the call
+    /// returns `false` and the state is unchanged.
+    pub fn try_disable(&mut self, v: u32) -> bool {
+        if self.disabled[v as usize] {
+            return true;
+        }
+        self.disabled[v as usize] = true;
+        let Some(u) = self.matching.unlink_right(v) else {
+            return true;
+        };
+        self.bump_epoch();
+        if self.dfs(u) {
+            true
+        } else {
+            // Roll back: v was matched to u and nothing else changed
+            // (a failed DFS flips no edges).
+            self.disabled[v as usize] = false;
+            self.matching.link(u, v);
+            false
+        }
+    }
+
+    /// Disable a batch of right vertices, all or nothing.
+    ///
+    /// On failure every vertex in the batch is re-enabled and every rematch
+    /// performed for earlier batch members is undone; the matching is
+    /// restored exactly.
+    pub fn try_disable_many(&mut self, vs: &[u32]) -> bool {
+        let snapshot = self.matching.clone();
+        let mut done = Vec::with_capacity(vs.len());
+        for &v in vs {
+            if self.try_disable(v) {
+                if !done.contains(&v) {
+                    done.push(v);
+                }
+            } else {
+                for &w in &done {
+                    self.disabled[w as usize] = false;
+                }
+                self.matching = snapshot;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Re-enable right vertex `v` (a no-op if it is enabled). The matching
+    /// is left as is; call [`IncrementalMatching::maximize`] or
+    /// [`IncrementalMatching::augment`] to exploit the freed capacity.
+    pub fn enable(&mut self, v: u32) {
+        self.disabled[v as usize] = false;
+    }
+
+    /// Seed the matching with the pair `(u, v)` directly, without searching.
+    ///
+    /// Used to start from a known partial solution (the paper's Lemma 3
+    /// extends a given partial schedule by augmenting paths; the partial
+    /// schedule itself is installed with this method).
+    ///
+    /// # Panics
+    /// Panics if the edge is absent, either endpoint is already matched, or
+    /// `v` is disabled.
+    pub fn force_link(&mut self, u: u32, v: u32) {
+        assert!(
+            self.graph.neighbors(u).contains(&v),
+            "force_link: edge ({u}, {v}) not in graph"
+        );
+        assert!(!self.disabled[v as usize], "force_link: {v} is disabled");
+        assert!(
+            self.matching.partner_of_left(u).is_none(),
+            "force_link: left {u} already matched"
+        );
+        assert!(
+            self.matching.partner_of_right(v).is_none(),
+            "force_link: right {v} already matched"
+        );
+        self.matching.link(u, v);
+    }
+
+    /// Drop the matched edge of left vertex `u`, freeing its right partner.
+    /// Returns the freed right vertex, if `u` was matched.
+    pub fn unmatch_left(&mut self, u: u32) -> Option<u32> {
+        let v = self.matching.pair_left[u as usize].take()?;
+        self.matching.pair_right[v as usize] = None;
+        self.matching.size -= 1;
+        Some(v)
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wraparound: clear stamps and restart epochs.
+            self.visited.iter_mut().for_each(|x| *x = 0);
+            self.epoch = 1;
+        }
+    }
+
+    fn dfs(&mut self, u: u32) -> bool {
+        for i in 0..self.graph.neighbors(u).len() {
+            let v = self.graph.neighbors(u)[i];
+            if self.disabled[v as usize] || self.visited[v as usize] == self.epoch {
+                continue;
+            }
+            self.visited[v as usize] = self.epoch;
+            match self.matching.partner_of_right(v) {
+                None => {
+                    self.matching.link(u, v);
+                    return true;
+                }
+                Some(w) => {
+                    // Tentatively free v, then try to re-home its partner w.
+                    // v is marked visited, so no deeper frame can grab it.
+                    self.matching.unlink_right(v);
+                    if self.dfs(w) {
+                        self.matching.link(u, v);
+                        return true;
+                    }
+                    self.matching.link(w, v);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp;
+
+    fn grid() -> BipartiteGraph {
+        // 4 jobs, 4 slots, each job can use its own slot and the next one.
+        let mut edges = Vec::new();
+        for i in 0..4u32 {
+            edges.push((i, i));
+            if i + 1 < 4 {
+                edges.push((i, i + 1));
+            }
+        }
+        BipartiteGraph::from_edges(4, 4, edges)
+    }
+
+    #[test]
+    fn maximize_matches_hopcroft_karp() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        assert_eq!(inc.maximize(), hopcroft_karp(&g).size());
+        inc.matching().validate(&g).unwrap();
+    }
+
+    #[test]
+    fn augment_one_at_a_time() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        for u in 0..4 {
+            assert!(inc.augment(u), "job {u} should be addable");
+            assert_eq!(inc.size(), u as usize + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already-matched")]
+    fn augment_rejects_matched_vertex() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        assert!(inc.augment(0));
+        inc.augment(0);
+    }
+
+    #[test]
+    fn disable_unmatched_slot_succeeds() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        assert!(inc.try_disable(3));
+        assert!(inc.is_disabled(3));
+        // Job 3 can only use slot 3 now disabled.
+        assert!(!inc.augment(3));
+    }
+
+    #[test]
+    fn disable_matched_slot_rematches() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        // Disabling slot 0 forces job 0 to slot 1, cascading down the chain
+        // until job 3 ... which has nowhere to go: slots 0..3 shrink to 3
+        // slots for 4 jobs. Must fail and roll back.
+        let before = inc.matching().clone();
+        assert!(!inc.try_disable(0));
+        assert_eq!(inc.matching(), &before);
+        assert!(!inc.is_disabled(0));
+    }
+
+    #[test]
+    fn disable_with_slack_succeeds_and_rematches() {
+        // 2 jobs, 3 slots; both jobs can use slots 0..=2. One slot is spare,
+        // so one disable succeeds (rematching its job to the spare slot) but
+        // a second disable would leave 1 slot for 2 jobs and must fail.
+        let g = BipartiteGraph::from_edges(
+            2,
+            3,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)],
+        );
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        assert!(inc.try_disable(0));
+        assert_eq!(inc.size(), 2, "rematch must keep both jobs scheduled");
+        assert!(!inc.try_disable(1), "only one enabled slot would remain");
+        assert_eq!(inc.size(), 2);
+        assert!(!inc.is_disabled(1), "failed disable must roll back");
+        let matched: Vec<_> = inc.matching().pairs().collect();
+        assert!(matched.iter().all(|&(_, v)| !inc.is_disabled(v)));
+        inc.matching().validate(&g).unwrap();
+    }
+
+    #[test]
+    fn try_disable_many_rolls_back_atomically() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        let before = inc.matching().clone();
+        // Slots {1, 2} cannot both disappear: jobs 1 and 2 need them
+        // (job 1 -> {1,2}, job 2 -> {2,3}; with 1 and 2 gone, jobs 0..3
+        // have only slots {0, 3}).
+        assert!(!inc.try_disable_many(&[1, 2]));
+        assert_eq!(inc.matching(), &before);
+        assert!(!inc.is_disabled(1));
+        assert!(!inc.is_disabled(2));
+    }
+
+    #[test]
+    fn try_disable_many_with_duplicates() {
+        let g = BipartiteGraph::from_edges(1, 3, vec![(0, 0), (0, 1), (0, 2)]);
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        assert!(inc.try_disable_many(&[0, 0, 1, 1]));
+        assert_eq!(inc.size(), 1);
+        assert_eq!(inc.matching().partner_of_left(0), Some(2));
+    }
+
+    #[test]
+    fn enable_then_augment_recovers() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        assert!(inc.try_disable(3));
+        assert!(!inc.augment(3));
+        inc.enable(3);
+        assert!(inc.augment(3));
+        assert_eq!(inc.matching().partner_of_left(3), Some(3));
+    }
+
+    #[test]
+    fn force_link_seeds_partial_solution() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        inc.force_link(1, 2);
+        assert_eq!(inc.size(), 1);
+        // Augmenting around the seeded pair still reaches a perfect matching.
+        assert_eq!(inc.maximize(), 4);
+        inc.matching().validate(&g).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "edge (0, 3) not in graph")]
+    fn force_link_rejects_missing_edge() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        inc.force_link(0, 3);
+    }
+
+    #[test]
+    fn unmatch_left_frees_slot() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        let freed = inc.unmatch_left(0).unwrap();
+        assert_eq!(inc.size(), 3);
+        assert_eq!(inc.matching().partner_of_right(freed), None);
+        assert!(inc.augment(0));
+        assert_eq!(inc.size(), 4);
+    }
+}

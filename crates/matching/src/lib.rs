@@ -1,0 +1,201 @@
+//! # gaps-matching
+//!
+//! Bipartite-matching substrate for the `gap-scheduling` workspace.
+//!
+//! Everything in the SPAA 2007 paper that touches *feasibility* reduces to
+//! maximum bipartite matching between unit jobs (left vertices) and time
+//! slots (right vertices):
+//!
+//! * deciding whether a (multi-interval) instance admits a feasible schedule,
+//! * Lemma 3's "extend a partial schedule one augmenting path at a time",
+//! * the greedy 3-approximation's probe "is the instance still feasible if
+//!   this stretch of time becomes a gap?",
+//! * Theorem 11's probe "can interval `[a, b]` be packed with `b − a + 1`
+//!   distinct unscheduled jobs?".
+//!
+//! The crate provides:
+//!
+//! * [`BipartiteGraph`] — a compact adjacency representation,
+//! * [`hopcroft_karp`] — O(E·√V) maximum matching,
+//! * [`kuhn`] — the simple O(V·E) augmenting-path algorithm (used as an
+//!   independent reference in tests, and as the engine of incremental
+//!   augmentation),
+//! * [`IncrementalMatching`] — a matching that can grow one left vertex at a
+//!   time and absorb right-vertex deletions, with rollback,
+//! * [`hall_violator`] — a deficiency certificate (a set `S` of left vertices
+//!   with `|N(S)| < |S|`) whenever a perfect-on-the-left matching does not
+//!   exist.
+//!
+//! The crate is dependency-free and knows nothing about scheduling; vertices
+//! are plain `u32` indices.
+
+mod flow;
+mod graph;
+mod hall;
+mod hopcroft_karp;
+mod incremental;
+mod kuhn;
+
+pub use flow::{dinic_matching, is_vertex_cover, koenig_vertex_cover};
+pub use graph::BipartiteGraph;
+pub use hall::{hall_violator, hall_violator_from, HallViolator};
+pub use hopcroft_karp::hopcroft_karp;
+pub use incremental::IncrementalMatching;
+pub use kuhn::kuhn;
+
+/// A matching in a bipartite graph, stored from both sides.
+///
+/// `pair_left[u] == Some(v)` iff left vertex `u` is matched to right vertex
+/// `v`, and then `pair_right[v] == Some(u)` as well. The two arrays are kept
+/// mutually consistent by every algorithm in this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    pair_left: Vec<Option<u32>>,
+    pair_right: Vec<Option<u32>>,
+    size: usize,
+}
+
+impl Matching {
+    /// An empty matching for a graph with the given part sizes.
+    pub fn empty(left_count: usize, right_count: usize) -> Self {
+        Matching {
+            pair_left: vec![None; left_count],
+            pair_right: vec![None; right_count],
+            size: 0,
+        }
+    }
+
+    /// Number of matched pairs.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The right partner of left vertex `u`, if any.
+    #[inline]
+    pub fn partner_of_left(&self, u: u32) -> Option<u32> {
+        self.pair_left[u as usize]
+    }
+
+    /// The left partner of right vertex `v`, if any.
+    #[inline]
+    pub fn partner_of_right(&self, v: u32) -> Option<u32> {
+        self.pair_right[v as usize]
+    }
+
+    /// Iterator over matched `(left, right)` pairs in left-vertex order.
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.pair_left
+            .iter()
+            .enumerate()
+            .filter_map(|(u, v)| v.map(|v| (u as u32, v)))
+    }
+
+    /// True if every left vertex is matched.
+    pub fn is_left_perfect(&self) -> bool {
+        self.size == self.pair_left.len()
+    }
+
+    /// Left vertices that are not matched.
+    pub fn unmatched_left(&self) -> Vec<u32> {
+        self.pair_left
+            .iter()
+            .enumerate()
+            .filter_map(|(u, v)| if v.is_none() { Some(u as u32) } else { None })
+            .collect()
+    }
+
+    /// Record the pair `(u, v)`, keeping both arrays consistent.
+    ///
+    /// Panics (in debug builds) if either endpoint is already matched.
+    fn link(&mut self, u: u32, v: u32) {
+        debug_assert!(self.pair_left[u as usize].is_none());
+        debug_assert!(self.pair_right[v as usize].is_none());
+        self.pair_left[u as usize] = Some(v);
+        self.pair_right[v as usize] = Some(u);
+        self.size += 1;
+    }
+
+    /// Remove the pair containing right vertex `v`, if any; returns the left
+    /// endpoint that became unmatched.
+    fn unlink_right(&mut self, v: u32) -> Option<u32> {
+        let u = self.pair_right[v as usize].take()?;
+        self.pair_left[u as usize] = None;
+        self.size -= 1;
+        Some(u)
+    }
+
+    /// Validate internal consistency and that every matched edge exists in
+    /// `graph`. Used by tests and debug assertions.
+    pub fn validate(&self, graph: &BipartiteGraph) -> Result<(), String> {
+        if self.pair_left.len() != graph.left_count() {
+            return Err(format!(
+                "pair_left has {} entries, graph has {} left vertices",
+                self.pair_left.len(),
+                graph.left_count()
+            ));
+        }
+        if self.pair_right.len() != graph.right_count() {
+            return Err(format!(
+                "pair_right has {} entries, graph has {} right vertices",
+                self.pair_right.len(),
+                graph.right_count()
+            ));
+        }
+        let mut count = 0usize;
+        for (u, v) in self.pairs() {
+            count += 1;
+            if self.pair_right[v as usize] != Some(u) {
+                return Err(format!("asymmetric pair ({u}, {v})"));
+            }
+            if !graph.neighbors(u).contains(&v) {
+                return Err(format!("matched edge ({u}, {v}) not in graph"));
+            }
+        }
+        let right_count = self.pair_right.iter().filter(|p| p.is_some()).count();
+        if count != self.size || right_count != self.size {
+            return Err(format!(
+                "size mismatch: size={} left-pairs={} right-pairs={}",
+                self.size, count, right_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matching_is_consistent() {
+        let m = Matching::empty(3, 4);
+        assert_eq!(m.size(), 0);
+        assert_eq!(m.unmatched_left(), vec![0, 1, 2]);
+        assert!(!m.is_left_perfect());
+        let g = BipartiteGraph::new(3, 4);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn link_and_unlink_roundtrip() {
+        let mut m = Matching::empty(2, 2);
+        m.link(0, 1);
+        assert_eq!(m.partner_of_left(0), Some(1));
+        assert_eq!(m.partner_of_right(1), Some(0));
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.unlink_right(1), Some(0));
+        assert_eq!(m.size(), 0);
+        assert_eq!(m.partner_of_left(0), None);
+        assert_eq!(m.unlink_right(1), None);
+    }
+
+    #[test]
+    fn pairs_iterates_in_left_order() {
+        let mut m = Matching::empty(3, 3);
+        m.link(2, 0);
+        m.link(0, 2);
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs, vec![(0, 2), (2, 0)]);
+    }
+}

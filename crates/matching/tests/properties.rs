@@ -1,0 +1,127 @@
+//! Property-based tests for the matching substrate.
+
+use gaps_matching::{hall_violator, hopcroft_karp, kuhn, BipartiteGraph, IncrementalMatching};
+use proptest::prelude::*;
+
+/// Strategy: a random bipartite graph with up to `n` left, `m` right
+/// vertices and arbitrary edges.
+fn arb_graph(n: usize, m: usize) -> impl Strategy<Value = BipartiteGraph> {
+    (1..=n, 1..=m).prop_flat_map(|(lc, rc)| {
+        proptest::collection::vec((0..lc as u32, 0..rc as u32), 0..=lc * rc)
+            .prop_map(move |edges| BipartiteGraph::from_edges(lc, rc, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hopcroft–Karp and Kuhn agree on matching size.
+    #[test]
+    fn hk_equals_kuhn(g in arb_graph(12, 12)) {
+        prop_assert_eq!(hopcroft_karp(&g).size(), kuhn(&g).size());
+    }
+
+    /// Dinic's flow — a third, structurally different algorithm — agrees
+    /// too, and König's cover certifies optimality.
+    #[test]
+    fn dinic_and_koenig_agree(g in arb_graph(10, 10)) {
+        let hk = hopcroft_karp(&g).size();
+        let dinic = gaps_matching::dinic_matching(&g);
+        dinic.validate(&g).unwrap();
+        prop_assert_eq!(dinic.size(), hk);
+        let (lefts, rights) = gaps_matching::koenig_vertex_cover(&g);
+        prop_assert_eq!(lefts.len() + rights.len(), hk);
+        prop_assert!(gaps_matching::is_vertex_cover(&g, &lefts, &rights));
+    }
+
+    /// Both algorithms return valid matchings.
+    #[test]
+    fn matchings_are_valid(g in arb_graph(10, 14)) {
+        hopcroft_karp(&g).validate(&g).unwrap();
+        kuhn(&g).validate(&g).unwrap();
+    }
+
+    /// Incremental maximize from scratch reaches the maximum size.
+    #[test]
+    fn incremental_maximize_is_maximum(g in arb_graph(12, 12)) {
+        let mut inc = IncrementalMatching::new(&g);
+        prop_assert_eq!(inc.maximize(), hopcroft_karp(&g).size());
+        inc.matching().validate(&g).unwrap();
+    }
+
+    /// A Hall violator exists iff the maximum matching is not left-perfect,
+    /// and any returned violator checks out.
+    #[test]
+    fn hall_violator_iff_deficient(g in arb_graph(10, 10)) {
+        let max = hopcroft_karp(&g).size();
+        match hall_violator(&g) {
+            Some(w) => {
+                prop_assert!(max < g.left_count());
+                w.validate(&g).unwrap();
+            }
+            None => prop_assert_eq!(max, g.left_count()),
+        }
+    }
+
+    /// Disabling a batch of right vertices either keeps the matching size
+    /// (all previously matched lefts still matched) or rolls back exactly.
+    #[test]
+    fn disable_many_is_atomic(
+        g in arb_graph(10, 10),
+        batch in proptest::collection::vec(0u32..10, 1..6),
+    ) {
+        let batch: Vec<u32> = batch
+            .into_iter()
+            .filter(|&v| (v as usize) < g.right_count())
+            .collect();
+        let mut inc = IncrementalMatching::new(&g);
+        let before_size = inc.maximize();
+        let before = inc.matching().clone();
+        if inc.try_disable_many(&batch) {
+            prop_assert_eq!(inc.size(), before_size);
+            // No matched edge uses a disabled vertex.
+            for (_, v) in inc.matching().pairs() {
+                prop_assert!(!inc.is_disabled(v));
+            }
+            inc.matching().validate(&g).unwrap();
+        } else {
+            prop_assert_eq!(inc.matching(), &before);
+            for &v in &batch {
+                prop_assert!(!inc.is_disabled(v));
+            }
+        }
+    }
+
+    /// After disabling succeeds, re-running a fresh maximum matching on the
+    /// reduced graph gives the same size as the incremental one.
+    #[test]
+    fn disable_then_fresh_recompute_agrees(
+        g in arb_graph(9, 9),
+        batch in proptest::collection::vec(0u32..9, 1..5),
+    ) {
+        let batch: Vec<u32> = batch
+            .into_iter()
+            .filter(|&v| (v as usize) < g.right_count())
+            .collect();
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        if inc.try_disable_many(&batch) {
+            // Build the reduced graph without the disabled vertices.
+            let reduced = BipartiteGraph::from_edges(
+                g.left_count(),
+                g.right_count(),
+                (0..g.left_count() as u32).flat_map(|u| {
+                    g.neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(|&v| !batch.contains(&v))
+                        .map(move |v| (u, v))
+                        .collect::<Vec<_>>()
+                }),
+            );
+            // The incremental matching is maximum on the reduced graph
+            // because disabling never lost a matched left vertex.
+            prop_assert_eq!(inc.size(), hopcroft_karp(&reduced).size());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! **Theorem 10**: B-set cover → disjoint-unit gap scheduling, showing the
+//! latter has no constant-factor approximation.
+//!
+//! For every set `c_i` and every non-empty subset `A ⊆ c_i`, the gadget
+//! lays down an interval of `|A|` consecutive slots (intervals pairwise
+//! separated). The job of element `e` may run, for each subset `A ∋ e`,
+//! exactly at the slot of `A`'s interval indexed by `e`'s rank within `A`.
+//! Distinct elements get distinct slots, so all allowed sets are pairwise
+//! disjoint — and every allowed set consists of isolated (unit) slots.
+//!
+//! Choosing set `c_i` for the elements `A ⊆ c_i` fills the interval of `A`
+//! contiguously (one span); conversely every touched interval witnesses a
+//! chosen set. Hence
+//!
+//! ```text
+//! minimum spans of the gadget  =  minimum B-set cover size,
+//! ```
+//!
+//! which transfers B-set cover's no-constant-factor hardness. The number
+//! of subsets per set is `2^B − 1` — constant for constant `B`, keeping
+//! the reduction polynomial.
+
+use gaps_core::instance::{MultiInstance, MultiJob};
+use gaps_core::schedule::MultiSchedule;
+use gaps_core::time::Time;
+use gaps_setcover::SetCoverInstance;
+
+/// The Theorem 10 gadget.
+#[derive(Clone, Debug)]
+pub struct DisjointGadget {
+    /// The disjoint-unit instance; job `e` is element `e`.
+    pub multi: MultiInstance,
+    /// `(set index, subset elements, interval start)` for every laid-out
+    /// subset interval.
+    pub intervals: Vec<(usize, Vec<u32>, Time)>,
+}
+
+/// Build the gadget.
+///
+/// # Panics
+/// Panics if the cover instance is infeasible, or if `2^B` would explode
+/// (`B > 16`).
+pub fn build(cover: &SetCoverInstance) -> DisjointGadget {
+    assert!(
+        cover.is_feasible(),
+        "infeasible set-cover instance: element {} is in no set",
+        cover.first_uncoverable().unwrap()
+    );
+    let b = cover.max_set_size();
+    assert!(b <= 16, "B = {b} too large: the gadget enumerates 2^B subsets");
+
+    let mut intervals = Vec::new();
+    let mut job_times: Vec<Vec<Time>> = vec![Vec::new(); cover.universe_size() as usize];
+    let mut cursor: Time = 0;
+    for i in 0..cover.set_count() {
+        let set = cover.set(i);
+        // All non-empty subsets of set i.
+        for mask in 1u32..(1 << set.len()) {
+            let subset: Vec<u32> = set
+                .iter()
+                .enumerate()
+                .filter(|&(pos, _)| mask & (1 << pos) != 0)
+                .map(|(_, &e)| e)
+                .collect();
+            let start = cursor;
+            cursor += subset.len() as Time + 2; // ≥ 2 separation
+            for (rank, &e) in subset.iter().enumerate() {
+                job_times[e as usize].push(start + rank as Time);
+            }
+            intervals.push((i, subset, start));
+        }
+    }
+    let multi = MultiInstance::new(job_times.into_iter().map(MultiJob::new).collect())
+        .expect("feasible cover ⇒ every element has a slot");
+    debug_assert!(multi.is_disjoint());
+    debug_assert!(multi.is_unit_interval());
+    DisjointGadget { multi, intervals }
+}
+
+impl DisjointGadget {
+    /// Map a cover (with an assignment of each element to a chosen set) to
+    /// a gadget schedule: the elements assigned to chosen set `c_i` form a
+    /// subset `A`, and each runs at its rank slot of `A`'s interval.
+    pub fn cover_to_schedule(&self, cover: &SetCoverInstance, chosen: &[usize]) -> MultiSchedule {
+        cover.verify_cover(chosen).expect("not a cover");
+        let n = cover.universe_size();
+        // Assign each element to the first chosen set containing it.
+        let mut assigned: Vec<Vec<u32>> = vec![Vec::new(); cover.set_count()];
+        for e in 0..n {
+            let s = chosen
+                .iter()
+                .copied()
+                .find(|&s| cover.set(s).binary_search(&e).is_ok())
+                .expect("cover");
+            assigned[s].push(e);
+        }
+        let mut times = vec![0; n as usize];
+        for (s, elems) in assigned.iter().enumerate() {
+            if elems.is_empty() {
+                continue;
+            }
+            // Find the interval of exactly this subset.
+            let (_, _, start) = self
+                .intervals
+                .iter()
+                .find(|(i, subset, _)| *i == s && subset == elems)
+                .expect("every subset of every set has an interval");
+            for (rank, &e) in elems.iter().enumerate() {
+                times[e as usize] = start + rank as Time;
+            }
+        }
+        let sched = MultiSchedule::new(times);
+        debug_assert_eq!(sched.verify(&self.multi), Ok(()));
+        sched
+    }
+
+    /// Map a schedule back to a cover: all sets whose subset-intervals
+    /// execute at least one job.
+    pub fn schedule_to_cover(&self, sched: &MultiSchedule) -> Vec<usize> {
+        let mut used = Vec::new();
+        for &t in sched.times() {
+            let (s, _, _) = self
+                .intervals
+                .iter()
+                .find(|(_, subset, start)| *start <= t && t < *start + subset.len() as Time)
+                .expect("every slot lies in a subset interval");
+            if !used.contains(s) {
+                used.push(*s);
+            }
+        }
+        used.sort_unstable();
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_core::brute_force::min_spans_multi;
+    use gaps_setcover::exact_min_cover;
+
+    fn example() -> SetCoverInstance {
+        // B = 2; OPT = 2.
+        SetCoverInstance::new(4, vec![vec![0, 1], vec![2, 3], vec![1, 2]]).unwrap()
+    }
+
+    #[test]
+    fn gadget_is_disjoint_unit() {
+        let g = build(&example());
+        assert!(g.multi.is_disjoint());
+        assert!(g.multi.is_unit_interval());
+    }
+
+    #[test]
+    fn optimal_spans_equal_optimal_cover() {
+        let cover = example();
+        let g = build(&cover);
+        let k_opt = exact_min_cover(&cover).unwrap().len() as u64;
+        let (spans, sched) = min_spans_multi(&g.multi).unwrap();
+        assert_eq!(spans, k_opt, "Theorem 10 correspondence");
+        let mapped = g.schedule_to_cover(&sched);
+        cover.verify_cover(&mapped).unwrap();
+        assert_eq!(mapped.len() as u64, k_opt);
+    }
+
+    #[test]
+    fn cover_to_schedule_achieves_cover_size() {
+        let cover = example();
+        let g = build(&cover);
+        let chosen = vec![0, 1];
+        let sched = g.cover_to_schedule(&cover, &chosen);
+        sched.verify(&g.multi).unwrap();
+        assert_eq!(sched.span_count(), 2);
+    }
+
+    #[test]
+    fn partial_subset_use_is_contiguous() {
+        // Cover {0,1} by set 0 and {2} by set 2 (as subset {2} of {1,2})
+        // and {3} by set 1 (as subset {3}): 3 spans.
+        let cover = example();
+        let g = build(&cover);
+        let sched = g.cover_to_schedule(&cover, &[0, 2, 1]);
+        sched.verify(&g.multi).unwrap();
+        assert_eq!(sched.span_count(), 3);
+    }
+
+    #[test]
+    fn b3_instance() {
+        let cover =
+            SetCoverInstance::new(5, vec![vec![0, 1, 2], vec![2, 3, 4], vec![0, 4]]).unwrap();
+        let g = build(&cover);
+        let k_opt = exact_min_cover(&cover).unwrap().len() as u64;
+        let (spans, _) = min_spans_multi(&g.multi).unwrap();
+        assert_eq!(spans, k_opt);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible set-cover instance")]
+    fn rejects_uncoverable() {
+        let cover = SetCoverInstance::new(2, vec![vec![0]]).unwrap();
+        build(&cover);
+    }
+}

@@ -1,0 +1,83 @@
+//! **Theorem 6**: set cover → multi-interval *gap* scheduling.
+//!
+//! Identical layout to the Theorem 4 gadget ([`crate::setcover_power`]) —
+//! the objective simply switches from power to gap count. Because the
+//! intervals are far apart, no span can cross between them, so spans =
+//! (used set intervals) + 1 (the dummy), i.e. a cover of size `k`
+//! corresponds exactly to `k + 1` spans = `k` gaps (in the finite-gap
+//! convention) of an optimal schedule.
+
+use crate::setcover_power::{build, PowerGadget};
+use gaps_setcover::SetCoverInstance;
+
+/// The Theorem 6 gadget is the Theorem 4 gadget viewed through the gap
+/// objective; α only influences the (irrelevant) separation width.
+pub type GapGadget = PowerGadget;
+
+/// Build the Theorem 6 gadget.
+pub fn build_theorem6(cover: &SetCoverInstance) -> GapGadget {
+    build(cover, cover.universe_size().max(1) as u64)
+}
+
+/// Expected optimal span count for a minimum cover of size `k`: the `k`
+/// used intervals plus the dummy interval.
+pub fn spans_of_cover_size(k: u64) -> u64 {
+    k + 1
+}
+
+/// Expected optimal gap count (finite-gap convention): spans − 1 = `k`.
+pub fn gaps_of_cover_size(k: u64) -> u64 {
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_core::brute_force::{min_gaps_multi, min_spans_multi};
+    use gaps_setcover::exact_min_cover;
+
+    fn example() -> SetCoverInstance {
+        SetCoverInstance::new(
+            6,
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 2, 4], vec![1, 3, 5], vec![5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optimal_gaps_equal_optimal_cover() {
+        let cover = example();
+        let g = build_theorem6(&cover);
+        let k_opt = exact_min_cover(&cover).unwrap().len() as u64;
+        let (gaps, sched) = min_gaps_multi(&g.multi).unwrap();
+        assert_eq!(gaps, gaps_of_cover_size(k_opt), "Theorem 6 correspondence");
+        let (spans, _) = min_spans_multi(&g.multi).unwrap();
+        assert_eq!(spans, spans_of_cover_size(k_opt));
+        // Witness maps back to an optimal cover.
+        let mapped = g.schedule_to_cover(&cover, &sched);
+        cover.verify_cover(&mapped).unwrap();
+        assert_eq!(mapped.len() as u64, k_opt);
+    }
+
+    #[test]
+    fn greedy_cover_upper_bounds_schedule() {
+        // End-to-end pipeline: greedy cover → schedule → gap count is an
+        // upper bound on the optimum, and maps back to a cover no larger
+        // than greedy's.
+        let cover = example();
+        let g = build_theorem6(&cover);
+        let greedy = gaps_setcover::greedy_cover(&cover).unwrap();
+        let sched = g.cover_to_schedule(&cover, &greedy);
+        let (opt_gaps, _) = min_gaps_multi(&g.multi).unwrap();
+        assert!(sched.gap_count() >= opt_gaps);
+        assert!(sched.gap_count() <= greedy.len() as u64);
+    }
+
+    #[test]
+    fn two_disjoint_sets() {
+        let cover = SetCoverInstance::new(4, vec![vec![0, 1], vec![2, 3]]).unwrap();
+        let g = build_theorem6(&cover);
+        let (gaps, _) = min_gaps_multi(&g.multi).unwrap();
+        assert_eq!(gaps, 2); // both sets needed
+    }
+}

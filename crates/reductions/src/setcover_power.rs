@@ -1,0 +1,266 @@
+//! **Theorems 4 & 5**: set cover → multi-interval power minimization.
+//!
+//! For each set `c_i` the gadget lays down an interval of `|c_i|`
+//! consecutive slots, all intervals separated by a distance so large that
+//! staying awake between them can never pay off (the paper uses `> n³`;
+//! any separation `> α` has the same effect on optimal schedules, and the
+//! paper's choice also dwarfs the total cost budget). Each element `e`
+//! becomes a job allowed exactly in the intervals of the sets containing
+//! `e`. One extra length-1 interval with a pinned job forces at least one
+//! additional span.
+//!
+//! With transition cost `α`:
+//!
+//! * a cover of size `k` schedules the elements inside the chosen
+//!   intervals (consecutively, so each chosen interval is one span) for a
+//!   total power `(n + 1) + (k + 1)·α` — `n+1` executions, `k+1` wake-ups;
+//! * conversely any schedule of power `(n + 1) + (k + 1)·α` touches at
+//!   most `k` set intervals, which form a cover.
+//!
+//! Theorem 4 sets `α = n` (so the correspondence scales by `n` and a
+//! `o(lg n)` approximation would solve set cover too accurately);
+//! Theorem 5 sets `α = B` for B-set cover, giving the Ω(lg α) bound.
+
+use gaps_core::instance::{MultiInstance, MultiJob};
+use gaps_core::schedule::MultiSchedule;
+use gaps_core::time::Time;
+use gaps_setcover::SetCoverInstance;
+
+/// The constructed gadget, with enough bookkeeping to map solutions both
+/// ways.
+#[derive(Clone, Debug)]
+pub struct PowerGadget {
+    /// The scheduling instance: jobs `0..n` are the elements, job `n` is
+    /// the pinned dummy.
+    pub multi: MultiInstance,
+    /// Transition cost (α = n for Theorem 4, α = B for Theorem 5).
+    pub alpha: u64,
+    /// Start slot of each set's interval, by set index.
+    pub interval_start: Vec<Time>,
+    /// Start slot of the extra dummy interval.
+    pub dummy_start: Time,
+    /// Universe size `n`.
+    pub n: u32,
+}
+
+/// Build the Theorem 4 gadget (`α = n`, the universe size).
+///
+/// # Panics
+/// Panics if the instance is infeasible as a cover problem (an element in
+/// no set) — the gadget would have a job with no allowed slots.
+pub fn build_theorem4(cover: &SetCoverInstance) -> PowerGadget {
+    build(cover, cover.universe_size().max(1) as u64)
+}
+
+/// Build the Theorem 5 gadget (`α = B`, the maximum set size).
+pub fn build_theorem5(cover: &SetCoverInstance) -> PowerGadget {
+    build(cover, cover.max_set_size().max(1) as u64)
+}
+
+/// Build the gadget with an explicit transition cost.
+pub fn build(cover: &SetCoverInstance, alpha: u64) -> PowerGadget {
+    assert!(
+        cover.is_feasible(),
+        "infeasible set-cover instance: element {} is in no set",
+        cover.first_uncoverable().unwrap()
+    );
+    let n = cover.universe_size();
+    // Paper separation: larger than n³ (and than α). Keep it comfortably
+    // clear of both.
+    let sep: Time = (n as Time).pow(3) + alpha as Time + 7;
+
+    let mut interval_start = Vec::with_capacity(cover.set_count());
+    let mut cursor: Time = 0;
+    for i in 0..cover.set_count() {
+        interval_start.push(cursor);
+        cursor += cover.set(i).len().max(1) as Time + sep;
+    }
+    let dummy_start = cursor;
+
+    let element_sets = cover.element_to_sets();
+    let mut jobs: Vec<MultiJob> = (0..n)
+        .map(|e| {
+            let mut times = Vec::new();
+            for &s in &element_sets[e as usize] {
+                let start = interval_start[s];
+                times.extend(start..start + cover.set(s).len() as Time);
+            }
+            MultiJob::new(times)
+        })
+        .collect();
+    jobs.push(MultiJob::new(vec![dummy_start]));
+
+    PowerGadget {
+        multi: MultiInstance::new(jobs).expect("every element is coverable"),
+        alpha,
+        interval_start,
+        dummy_start,
+        n,
+    }
+}
+
+impl PowerGadget {
+    /// Map a cover to a schedule: each element runs in the first chosen set
+    /// containing it, packed consecutively inside each chosen interval.
+    ///
+    /// The resulting power is `(n + 1) + (u + 1)·α` where `u ≤ |cover|` is
+    /// the number of chosen sets actually used.
+    pub fn cover_to_schedule(&self, cover: &SetCoverInstance, chosen: &[usize]) -> MultiSchedule {
+        cover.verify_cover(chosen).expect("not a cover");
+        // Assign each element to the first chosen set containing it.
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); cover.set_count()];
+        for e in 0..self.n {
+            let set = chosen
+                .iter()
+                .copied()
+                .find(|&s| cover.set(s).binary_search(&e).is_ok())
+                .expect("chosen is a cover");
+            members[set].push(e);
+        }
+        let mut times = vec![0; self.n as usize + 1];
+        for (s, elems) in members.iter().enumerate() {
+            for (rank, &e) in elems.iter().enumerate() {
+                times[e as usize] = self.interval_start[s] + rank as Time;
+            }
+        }
+        times[self.n as usize] = self.dummy_start;
+        let sched = MultiSchedule::new(times);
+        debug_assert_eq!(sched.verify(&self.multi), Ok(()));
+        sched
+    }
+
+    /// Map a schedule back to a cover: every set whose interval executes at
+    /// least one element job.
+    pub fn schedule_to_cover(&self, cover: &SetCoverInstance, sched: &MultiSchedule) -> Vec<usize> {
+        let mut used: Vec<usize> = Vec::new();
+        for (job, &t) in sched.times().iter().enumerate() {
+            if job == self.n as usize {
+                continue; // dummy
+            }
+            let set = (0..cover.set_count())
+                .find(|&s| {
+                    let start = self.interval_start[s];
+                    start <= t && t < start + cover.set(s).len() as Time
+                })
+                .expect("every element slot lies in some set interval");
+            if !used.contains(&set) {
+                used.push(set);
+            }
+        }
+        used.sort_unstable();
+        used
+    }
+
+    /// The power of a size-`k` cover under this gadget:
+    /// `(n + 1) + (k + 1)·α`.
+    pub fn power_of_cover_size(&self, k: u64) -> u64 {
+        (self.n as u64 + 1) + (k + 1) * self.alpha
+    }
+
+    /// Invert [`PowerGadget::power_of_cover_size`]: the cover size implied
+    /// by an optimal power value. Panics if the power is not of the
+    /// expected form (which would falsify the reduction).
+    pub fn cover_size_of_power(&self, power: u64) -> u64 {
+        let base = self.n as u64 + 1;
+        assert!(power >= base + self.alpha, "power {power} below any schedule's cost");
+        let extra = power - base;
+        assert_eq!(
+            extra % self.alpha,
+            0,
+            "power {power} is not (n+1) + (k+1)·α for α = {}",
+            self.alpha
+        );
+        extra / self.alpha - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_core::brute_force::min_power_multi;
+    use gaps_core::power::power_cost_single;
+    use gaps_setcover::exact_min_cover;
+
+    fn example() -> SetCoverInstance {
+        // Universe {0..4}; OPT cover = 2 ({0,1,2} + {2,3,4}).
+        SetCoverInstance::new(
+            5,
+            vec![vec![0, 1, 2], vec![2, 3, 4], vec![0, 3], vec![4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cover_maps_to_expected_power() {
+        let cover = example();
+        let g = build_theorem4(&cover);
+        let chosen = vec![0, 1];
+        let sched = g.cover_to_schedule(&cover, &chosen);
+        sched.verify(&g.multi).unwrap();
+        assert_eq!(
+            power_cost_single(&sched, g.alpha),
+            g.power_of_cover_size(2)
+        );
+    }
+
+    #[test]
+    fn optimal_power_equals_optimal_cover() {
+        let cover = example();
+        let g = build_theorem4(&cover);
+        let k_opt = exact_min_cover(&cover).unwrap().len() as u64;
+        let (p_opt, sched) = min_power_multi(&g.multi, g.alpha).unwrap();
+        assert_eq!(p_opt, g.power_of_cover_size(k_opt), "Theorem 4 correspondence");
+        assert_eq!(g.cover_size_of_power(p_opt), k_opt);
+        // And the witness maps back to a cover of that size.
+        let mapped = g.schedule_to_cover(&cover, &sched);
+        cover.verify_cover(&mapped).unwrap();
+        assert_eq!(mapped.len() as u64, k_opt);
+    }
+
+    #[test]
+    fn theorem5_uses_alpha_b() {
+        let cover = example();
+        let g = build_theorem5(&cover);
+        assert_eq!(g.alpha, 3); // B = max set size
+        let k_opt = exact_min_cover(&cover).unwrap().len() as u64;
+        let (p_opt, _) = min_power_multi(&g.multi, g.alpha).unwrap();
+        assert_eq!(p_opt, g.power_of_cover_size(k_opt), "Theorem 5 correspondence");
+    }
+
+    #[test]
+    fn schedule_to_cover_is_always_a_cover() {
+        let cover = example();
+        let g = build_theorem4(&cover);
+        // Any feasible schedule (not only optimal) maps to a valid cover.
+        let sched = gaps_core::feasibility::feasible_schedule(&g.multi).unwrap();
+        let mapped = g.schedule_to_cover(&cover, &sched);
+        cover.verify_cover(&mapped).unwrap();
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let cover = SetCoverInstance::new(1, vec![vec![0]]).unwrap();
+        let g = build_theorem4(&cover);
+        let (p_opt, _) = min_power_multi(&g.multi, g.alpha).unwrap();
+        assert_eq!(p_opt, g.power_of_cover_size(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible set-cover instance")]
+    fn rejects_uncoverable_element() {
+        let cover = SetCoverInstance::new(2, vec![vec![0]]).unwrap();
+        build_theorem4(&cover);
+    }
+
+    #[test]
+    fn separation_exceeds_alpha() {
+        let cover = example();
+        let g = build_theorem4(&cover);
+        // Consecutive interval starts are more than α apart, so bridging
+        // between intervals is never optimal.
+        for w in g.interval_start.windows(2) {
+            assert!((w[1] - w[0]) as u64 > g.alpha);
+        }
+        assert!((g.dummy_start - g.interval_start.last().unwrap()) as u64 > g.alpha);
+    }
+}

@@ -1,0 +1,332 @@
+//! **Theorem 8**: multi-interval gap scheduling → **3-unit** gap
+//! scheduling (≤ 3 allowed slots per job, all unit intervals).
+//!
+//! A job with allowed slots `t_1 < … < t_k` (`k ≥ 4`) is replaced by:
+//!
+//! * an **extra interval** of `2k − 1` fresh slots with `k` dummies pinned
+//!   at even offsets; the `k − 1` odd offsets are the *free slots*
+//!   `F_1, …, F_{k−1}`;
+//! * jobs `j_1, …, j_k`: for `i ≤ k − 1`, `j_i` may run at `t_i`, `F_i`,
+//!   or `F_{i+1}` (wrapping `F_k ↦ F_1`); `j_k` may run at `t_k`, `F_1`,
+//!   or `F_2`.
+//!
+//! The cyclic structure realizes the paper's claim that **any** `k − 1` of
+//! the `k` jobs can completely fill the free slots (verified by matching
+//! in the tests), so normalized optima leave exactly one `j_i` outside,
+//! at `t_i` — the original job's slot. As in Theorem 7, the block adds one
+//! span: `OPT′ = OPT + 1`.
+
+use gaps_core::instance::{MultiInstance, MultiJob};
+use gaps_core::schedule::MultiSchedule;
+use gaps_core::time::Time;
+use gaps_matching::hopcroft_karp;
+
+/// Role of a gadget job (same flavor as [`crate::two_interval::JobRole`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobRole {
+    /// Verbatim copy of original job `j` (had ≤ 3 slots).
+    Copy { original: usize },
+    /// `j_i` of original job `j`: outside the block it sits at `t_i`.
+    Slot { original: usize, index: usize },
+    /// Dummy pinned inside an extra interval.
+    Dummy,
+}
+
+/// The Theorem 8 gadget.
+#[derive(Clone, Debug)]
+pub struct ThreeUnitGadget {
+    /// The 3-unit instance.
+    pub multi: MultiInstance,
+    /// Role of every gadget job.
+    pub roles: Vec<JobRole>,
+    /// Extra block of original job `j` as `(start, len)`, if any.
+    pub blocks: Vec<Option<(Time, Time)>>,
+    /// Whether any block exists.
+    pub has_block: bool,
+}
+
+/// Build the gadget. Every job of the result has ≤ 3 allowed slots, all
+/// pairwise non-adjacent or inside the block structure (unit intervals).
+pub fn build(inst: &MultiInstance) -> ThreeUnitGadget {
+    let last = inst.slot_union().last().copied().unwrap_or(0);
+    let mut cursor = last + 2;
+    let mut jobs: Vec<MultiJob> = Vec::new();
+    let mut roles = Vec::new();
+    let mut blocks = vec![None; inst.job_count()];
+
+    for (j, job) in inst.jobs().iter().enumerate() {
+        let ts = job.times();
+        let k = ts.len();
+        if k <= 3 {
+            jobs.push(job.clone());
+            roles.push(JobRole::Copy { original: j });
+            continue;
+        }
+        let len = (2 * k - 1) as Time;
+        let start = cursor;
+        // Blocks of different jobs are laid out back to back — the paper:
+        // "We put all extra-intervals consecutively, thus, no gap will be
+        // formed between them" — so all blocks together form ONE span.
+        cursor += len;
+        blocks[j] = Some((start, len));
+        // Dummies at even offsets 0, 2, …, 2k−2.
+        for i in 0..k {
+            jobs.push(MultiJob::new(vec![start + 2 * i as Time]));
+            roles.push(JobRole::Dummy);
+        }
+        // Free slots F_1..F_{k−1} at odd offsets.
+        let f = |i: usize| -> Time { start + 2 * i as Time - 1 }; // F_i, 1-based
+        for i in 1..=k {
+            let times = if i <= k - 1 {
+                let next = if i + 1 <= k - 1 { i + 1 } else { 1 };
+                vec![ts[i - 1], f(i), f(next)]
+            } else {
+                vec![ts[k - 1], f(1), f(2)]
+            };
+            jobs.push(MultiJob::new(times));
+            roles.push(JobRole::Slot { original: j, index: i - 1 });
+        }
+    }
+
+    let has_block = blocks.iter().any(Option::is_some);
+    let gadget = ThreeUnitGadget {
+        multi: MultiInstance::new(jobs).expect("all jobs have slots"),
+        roles,
+        blocks,
+        has_block,
+    };
+    debug_assert!(gadget.multi.jobs().iter().all(|j| j.times().len() <= 3));
+    gadget
+}
+
+impl ThreeUnitGadget {
+    /// Expected gadget optimum (finite gap counts).
+    pub fn expected_gaps(&self, original_gaps: u64) -> u64 {
+        original_gaps + self.has_block as u64
+    }
+
+    /// Lift an original schedule into the gadget: for each blocked job the
+    /// slot-job whose `t_i` was chosen stays outside; the rest fill the
+    /// free slots via a matching (which the cyclic structure guarantees).
+    pub fn lift(&self, inst: &MultiInstance, sched: &MultiSchedule) -> MultiSchedule {
+        let mut times = vec![0; self.multi.job_count()];
+        for (g, role) in self.roles.iter().enumerate() {
+            match *role {
+                JobRole::Copy { original } => times[g] = sched.times()[original],
+                JobRole::Dummy => times[g] = self.multi.jobs()[g].times()[0],
+                JobRole::Slot { .. } => {}
+            }
+        }
+        for (j, block) in self.blocks.iter().enumerate() {
+            if block.is_none() {
+                continue;
+            }
+            let t = sched.times()[j];
+            let idx = inst.jobs()[j]
+                .times()
+                .iter()
+                .position(|&x| x == t)
+                .expect("schedule uses an allowed slot");
+            let members: Vec<usize> = (0..self.roles.len())
+                .filter(|&g| matches!(self.roles[g], JobRole::Slot { original, .. } if original == j))
+                .collect();
+            let outside = members
+                .iter()
+                .copied()
+                .find(|&g| matches!(self.roles[g], JobRole::Slot { index, .. } if index == idx))
+                .expect("one slot-job per index");
+            times[outside] = t;
+            let insiders: Vec<usize> = members.into_iter().filter(|&g| g != outside).collect();
+            let packing = self
+                .pack_insiders(j, &insiders)
+                .expect("any k−1 slot-jobs can fill the free slots");
+            for (g, slot) in packing {
+                times[g] = slot;
+            }
+        }
+        let lifted = MultiSchedule::new(times);
+        debug_assert_eq!(lifted.verify(&self.multi), Ok(()));
+        lifted
+    }
+
+    /// Match the given slot-jobs of blocked job `j` onto its free slots
+    /// (perfectly). Returns `(gadget job, slot)` pairs.
+    fn pack_insiders(&self, j: usize, insiders: &[usize]) -> Option<Vec<(usize, Time)>> {
+        let (start, len) = self.blocks[j].expect("blocked job");
+        let free: Vec<Time> = (start..start + len)
+            .filter(|t| (t - start) % 2 == 1)
+            .collect();
+        if insiders.len() != free.len() {
+            return None;
+        }
+        let mut graph = gaps_matching::BipartiteGraph::new(insiders.len(), free.len());
+        for (a, &g) in insiders.iter().enumerate() {
+            for &t in self.multi.jobs()[g].times() {
+                if let Ok(b) = free.binary_search(&t) {
+                    graph.add_edge(a as u32, b as u32);
+                }
+            }
+        }
+        graph.dedup();
+        let m = hopcroft_karp(&graph);
+        if !m.is_left_perfect() {
+            return None;
+        }
+        Some(m.pairs().map(|(a, b)| (insiders[a as usize], free[b as usize])).collect())
+    }
+
+    /// Project a gadget schedule back to the original instance,
+    /// normalizing first: while some block has a hole, keep one outside
+    /// slot-job out and rematch the others into the free slots (never
+    /// increases the gap count — see the module docs of the Theorem 7
+    /// twin; here rearrangement inside the block is free because only the
+    /// *set* of holes matters).
+    pub fn project(&self, inst: &MultiInstance, sched: &MultiSchedule) -> MultiSchedule {
+        let mut times = sched.times().to_vec();
+        for (j, block) in self.blocks.iter().enumerate() {
+            let Some((start, len)) = *block else { continue };
+            let members: Vec<usize> = (0..self.roles.len())
+                .filter(|&g| matches!(self.roles[g], JobRole::Slot { original, .. } if original == j))
+                .collect();
+            let outside: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&g| times[g] < start || times[g] >= start + len)
+                .collect();
+            if outside.len() <= 1 {
+                continue; // block already full
+            }
+            // Keep the first outside job out; pack the rest.
+            let keep = outside[0];
+            let insiders: Vec<usize> = members.into_iter().filter(|&g| g != keep).collect();
+            let packing = self
+                .pack_insiders(j, &insiders)
+                .expect("any k−1 slot-jobs can fill the free slots");
+            for (g, slot) in packing {
+                times[g] = slot;
+            }
+        }
+        let mut out = vec![None; inst.job_count()];
+        for (g, role) in self.roles.iter().enumerate() {
+            match *role {
+                JobRole::Copy { original } => out[original] = Some(times[g]),
+                JobRole::Slot { original, .. } => {
+                    let (start, len) = self.blocks[original].expect("blocked job");
+                    let t = times[g];
+                    if t < start || t >= start + len {
+                        assert!(out[original].is_none(), "two slot-jobs outside one block");
+                        out[original] = Some(t);
+                    }
+                }
+                JobRole::Dummy => {}
+            }
+        }
+        let projected = MultiSchedule::new(
+            out.into_iter()
+                .map(|t| t.expect("normalization leaves exactly one slot-job outside"))
+                .collect(),
+        );
+        debug_assert_eq!(projected.verify(inst), Ok(()));
+        projected
+    }
+}
+
+/// Sanity check used by tests and experiments: in the gadget of job `j`,
+/// every leave-one-out subset of the slot-jobs can fill the free slots.
+pub fn verify_fillability(gadget: &ThreeUnitGadget, j: usize) -> bool {
+    let members: Vec<usize> = (0..gadget.roles.len())
+        .filter(|&g| matches!(gadget.roles[g], JobRole::Slot { original, .. } if original == j))
+        .collect();
+    members.iter().all(|&leave_out| {
+        let insiders: Vec<usize> =
+            members.iter().copied().filter(|&g| g != leave_out).collect();
+        gadget.pack_insiders(j, &insiders).is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_core::brute_force::min_gaps_multi;
+
+    fn original() -> MultiInstance {
+        MultiInstance::from_times([
+            vec![0, 3, 6, 9], // 4 slots → gadget
+            vec![0, 1],       // copied
+            vec![9],          // copied
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn gadget_is_three_unit() {
+        let g = build(&original());
+        assert!(g.multi.jobs().iter().all(|j| j.times().len() <= 3));
+        assert!(g.has_block);
+    }
+
+    #[test]
+    fn every_leave_one_out_subset_fills_the_block() {
+        let g = build(&original());
+        assert!(verify_fillability(&g, 0), "paper's fillability claim");
+        // Also for a 5-slot job.
+        let inst5 = MultiInstance::from_times([vec![0, 2, 4, 6, 8]]).unwrap();
+        let g5 = build(&inst5);
+        assert!(verify_fillability(&g5, 0));
+    }
+
+    #[test]
+    fn optimum_shifts_by_exactly_one() {
+        let inst = original();
+        let g = build(&inst);
+        let (opt, _) = min_gaps_multi(&inst).unwrap();
+        let (opt_gadget, _) = min_gaps_multi(&g.multi).unwrap();
+        assert_eq!(opt_gadget, g.expected_gaps(opt), "Theorem 8 correspondence");
+    }
+
+    #[test]
+    fn lift_then_project_roundtrips() {
+        let inst = original();
+        let g = build(&inst);
+        let (_, sched) = min_gaps_multi(&inst).unwrap();
+        let lifted = g.lift(&inst, &sched);
+        lifted.verify(&g.multi).unwrap();
+        assert_eq!(lifted.gap_count(), sched.gap_count() + 1);
+        let back = g.project(&inst, &lifted);
+        back.verify(&inst).unwrap();
+        assert_eq!(back.times(), sched.times());
+    }
+
+    #[test]
+    fn project_normalizes_arbitrary_witnesses() {
+        let inst = original();
+        let g = build(&inst);
+        let (_, sched) = min_gaps_multi(&g.multi).unwrap();
+        let back = g.project(&inst, &sched);
+        back.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn small_jobs_pass_through() {
+        let inst = MultiInstance::from_times([vec![0, 2, 4], vec![1]]).unwrap();
+        let g = build(&inst);
+        assert!(!g.has_block);
+        assert_eq!(g.multi, inst);
+    }
+
+    #[test]
+    fn two_blocked_jobs_still_shift_by_one() {
+        // Two jobs with 4 slots each: two blocks, laid out adjacently so
+        // they form a single extra span.
+        let inst =
+            MultiInstance::from_times([vec![0, 3, 6, 9], vec![1, 4, 7, 10]]).unwrap();
+        let g = build(&inst);
+        let (opt, _) = min_gaps_multi(&inst).unwrap();
+        let (opt_gadget, _) = min_gaps_multi(&g.multi).unwrap();
+        assert_eq!(opt_gadget, g.expected_gaps(opt), "blocks must merge into one span");
+        // Adjacent blocks: end of block 0 + 1 == start of block 1.
+        let (s0, l0) = g.blocks[0].unwrap();
+        let (s1, _) = g.blocks[1].unwrap();
+        assert_eq!(s0 + l0, s1);
+    }
+}

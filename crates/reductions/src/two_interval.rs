@@ -1,0 +1,283 @@
+//! **Theorem 7**: multi-interval gap scheduling → **2-interval** gap
+//! scheduling.
+//!
+//! A job `j` with `k ≥ 3` allowed intervals `I_1, …, I_k` is replaced by:
+//!
+//! * an **extra interval** of `2k − 1` fresh slots `e_0 … e_{2k−2}`,
+//!   appended after the original timeline (all jobs' extra intervals are
+//!   laid out consecutively, forming one block);
+//! * `k` **dummy jobs**, the `i`-th pinned to `e_{2i}` (the even
+//!   positions) — 1 interval each;
+//! * `k` **replacement jobs** `r_1, …, r_k`, where `r_i` may run in `I_i`
+//!   or anywhere in the extra interval — 2 intervals each.
+//!
+//! In a normalized optimal solution every extra interval is completely
+//! full, leaving exactly one `r_i` outside per original job — that `r_i`'s
+//! position in `I_i` *is* the original job's schedule. The block adds
+//! exactly one span, so `OPT′ = OPT + 1` (gap counts, finite convention).
+//! The paper removes even that +1 by guessing the last busy slot; we keep
+//! the additive constant and account for it in the experiments.
+
+use gaps_core::instance::{MultiInstance, MultiJob};
+use gaps_core::schedule::MultiSchedule;
+use gaps_core::time::Time;
+
+/// What a gadget job means in terms of the original instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobRole {
+    /// Verbatim copy of original job `j` (had ≤ 2 intervals).
+    Copy { original: usize },
+    /// Replacement job `r_i` of original job `j`: outside the block it
+    /// must sit in interval `i` of job `j`.
+    Replacement { original: usize, interval: usize },
+    /// Dummy pinned inside an extra interval.
+    Dummy,
+}
+
+/// The Theorem 7 gadget.
+#[derive(Clone, Debug)]
+pub struct TwoIntervalGadget {
+    /// The 2-interval instance.
+    pub multi: MultiInstance,
+    /// Role of every gadget job.
+    pub roles: Vec<JobRole>,
+    /// Extra block of original job `j`, as `(start, len)`; empty if `j`
+    /// was copied verbatim.
+    pub blocks: Vec<Option<(Time, Time)>>,
+    /// Whether any block was created (if not, the gadget is the original
+    /// instance and `OPT′ = OPT`).
+    pub has_block: bool,
+}
+
+/// Build the gadget. Every job of the result has at most 2 maximal
+/// intervals.
+pub fn build(inst: &MultiInstance) -> TwoIntervalGadget {
+    let last = inst.slot_union().last().copied().unwrap_or(0);
+    let mut cursor = last + 2; // ≥ 2 separation: the block can never merge
+    let mut jobs: Vec<MultiJob> = Vec::new();
+    let mut roles = Vec::new();
+    let mut blocks = vec![None; inst.job_count()];
+
+    for (j, job) in inst.jobs().iter().enumerate() {
+        let intervals = job.intervals();
+        if intervals.len() <= 2 {
+            jobs.push(job.clone());
+            roles.push(JobRole::Copy { original: j });
+            continue;
+        }
+        let k = intervals.len();
+        let len = (2 * k - 1) as Time;
+        let start = cursor;
+        cursor += len;
+        blocks[j] = Some((start, len));
+        // Dummies at even offsets.
+        for i in 0..k {
+            jobs.push(MultiJob::new(vec![start + 2 * i as Time]));
+            roles.push(JobRole::Dummy);
+        }
+        // Replacements: interval I_i plus the whole block.
+        let block_times: Vec<Time> = (start..start + len).collect();
+        for (i, iv) in intervals.iter().enumerate() {
+            let mut times: Vec<Time> = iv.iter().collect();
+            times.extend(block_times.iter().copied());
+            jobs.push(MultiJob::new(times));
+            roles.push(JobRole::Replacement { original: j, interval: i });
+        }
+    }
+
+    let has_block = blocks.iter().any(Option::is_some);
+    let gadget = TwoIntervalGadget {
+        multi: MultiInstance::new(jobs).expect("all jobs have slots"),
+        roles,
+        blocks,
+        has_block,
+    };
+    debug_assert!(gadget.multi.max_intervals_per_job() <= 2);
+    gadget
+}
+
+impl TwoIntervalGadget {
+    /// Expected optimum of the gadget given the original optimum (finite
+    /// gap counts): `OPT + 1` if a block exists, else `OPT`.
+    pub fn expected_gaps(&self, original_gaps: u64) -> u64 {
+        original_gaps + self.has_block as u64
+    }
+
+    /// Lift an original schedule into the gadget: copies keep their slot,
+    /// the replacement whose interval holds the slot goes there, and the
+    /// other replacements fill the block's odd offsets.
+    pub fn lift(&self, inst: &MultiInstance, sched: &MultiSchedule) -> MultiSchedule {
+        let mut times = vec![0; self.multi.job_count()];
+        // Per original job: which replacement stays outside.
+        for (g, role) in self.roles.iter().enumerate() {
+            match *role {
+                JobRole::Copy { original } => times[g] = sched.times()[original],
+                JobRole::Dummy => {
+                    times[g] = self.multi.jobs()[g].times()[0];
+                }
+                JobRole::Replacement { .. } => {} // second pass
+            }
+        }
+        for (j, block) in self.blocks.iter().enumerate() {
+            let Some((start, _)) = *block else { continue };
+            let t = sched.times()[j];
+            // Replacements of j, in interval order.
+            let reps: Vec<usize> = (0..self.roles.len())
+                .filter(|&g| matches!(self.roles[g], JobRole::Replacement { original, .. } if original == j))
+                .collect();
+            let outside = reps
+                .iter()
+                .copied()
+                .find(|&g| self.multi.jobs()[g].allows(t) && {
+                    // allowed via its own interval, not via the block
+                    let JobRole::Replacement { interval, .. } = self.roles[g] else {
+                        unreachable!()
+                    };
+                    inst.jobs()[j].intervals()[interval].contains(t)
+                })
+                .expect("the scheduled slot lies in one of the job's intervals");
+            times[outside] = t;
+            // Remaining replacements fill odd offsets in order.
+            let mut free_offsets = (0..).map(|i| start + 2 * i as Time + 1);
+            for &g in &reps {
+                if g != outside {
+                    times[g] = free_offsets.next().expect("k−1 odd offsets");
+                }
+            }
+        }
+        let lifted = MultiSchedule::new(times);
+        debug_assert_eq!(lifted.verify(&self.multi), Ok(()));
+        lifted
+    }
+
+    /// Project a gadget schedule back to the original instance. The
+    /// schedule is first normalized (every block completely filled) by the
+    /// paper's hole-filling moves, which never increase the gap count.
+    pub fn project(&self, inst: &MultiInstance, sched: &MultiSchedule) -> MultiSchedule {
+        let mut times = sched.times().to_vec();
+        // Normalize each block.
+        for (j, block) in self.blocks.iter().enumerate() {
+            let Some((start, len)) = *block else { continue };
+            let reps: Vec<usize> = (0..self.roles.len())
+                .filter(|&g| matches!(self.roles[g], JobRole::Replacement { original, .. } if original == j))
+                .collect();
+            loop {
+                let occupied: Vec<Time> = times
+                    .iter()
+                    .filter(|&&t| start <= t && t < start + len)
+                    .copied()
+                    .collect();
+                let hole = (start..start + len).find(|t| !occupied.contains(t));
+                let Some(hole) = hole else { break };
+                // Move any outside replacement of j into the hole.
+                let outside = reps
+                    .iter()
+                    .copied()
+                    .find(|&g| times[g] < start || times[g] >= start + len)
+                    .expect("a hole implies ≥ 2 replacements outside");
+                times[outside] = hole;
+            }
+        }
+        // Extract: the unique outside replacement per blocked job.
+        let mut out = vec![None; inst.job_count()];
+        for (g, role) in self.roles.iter().enumerate() {
+            match *role {
+                JobRole::Copy { original } => out[original] = Some(times[g]),
+                JobRole::Replacement { original, .. } => {
+                    let (start, len) = self.blocks[original].expect("blocked job");
+                    let t = times[g];
+                    if t < start || t >= start + len {
+                        assert!(
+                            out[original].is_none(),
+                            "two replacements of job {original} outside its block"
+                        );
+                        out[original] = Some(t);
+                    }
+                }
+                JobRole::Dummy => {}
+            }
+        }
+        let projected = MultiSchedule::new(
+            out.into_iter()
+                .map(|t| t.expect("normalization leaves exactly one replacement outside"))
+                .collect(),
+        );
+        debug_assert_eq!(projected.verify(inst), Ok(()));
+        projected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_core::brute_force::min_gaps_multi;
+
+    /// A job with 3 unit intervals, plus companions.
+    fn original() -> MultiInstance {
+        MultiInstance::from_times([
+            vec![0, 4, 8],    // 3 intervals → gets a gadget
+            vec![0, 1],       // 1 interval → copied
+            vec![8, 9],       // copied
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn gadget_is_two_interval() {
+        let g = build(&original());
+        assert!(g.multi.max_intervals_per_job() <= 2);
+        assert!(g.has_block);
+    }
+
+    #[test]
+    fn optimum_shifts_by_exactly_one() {
+        let inst = original();
+        let g = build(&inst);
+        let (opt, _) = min_gaps_multi(&inst).unwrap();
+        let (opt_gadget, _) = min_gaps_multi(&g.multi).unwrap();
+        assert_eq!(opt_gadget, g.expected_gaps(opt), "Theorem 7 correspondence");
+    }
+
+    #[test]
+    fn lift_then_project_roundtrips() {
+        let inst = original();
+        let g = build(&inst);
+        let (_, sched) = min_gaps_multi(&inst).unwrap();
+        let lifted = g.lift(&inst, &sched);
+        lifted.verify(&g.multi).unwrap();
+        // Lifting adds exactly the block span.
+        assert_eq!(lifted.gap_count(), sched.gap_count() + 1);
+        let back = g.project(&inst, &lifted);
+        back.verify(&inst).unwrap();
+        assert_eq!(back.times(), sched.times());
+    }
+
+    #[test]
+    fn project_normalizes_sloppy_schedules() {
+        let inst = original();
+        let g = build(&inst);
+        // Solve the gadget directly; its witness need not have full blocks.
+        let (_, sched) = min_gaps_multi(&g.multi).unwrap();
+        let back = g.project(&inst, &sched);
+        back.verify(&inst).unwrap();
+    }
+
+    #[test]
+    fn no_blocks_for_small_interval_counts() {
+        let inst = MultiInstance::from_times([vec![0, 5], vec![1]]).unwrap();
+        let g = build(&inst);
+        assert!(!g.has_block);
+        assert_eq!(g.multi, inst);
+        let (opt, _) = min_gaps_multi(&inst).unwrap();
+        assert_eq!(min_gaps_multi(&g.multi).unwrap().0, g.expected_gaps(opt));
+    }
+
+    #[test]
+    fn four_interval_job() {
+        let inst = MultiInstance::from_times([vec![0, 3, 6, 9], vec![0]]).unwrap();
+        let g = build(&inst);
+        let (opt, _) = min_gaps_multi(&inst).unwrap();
+        let (opt_gadget, _) = min_gaps_multi(&g.multi).unwrap();
+        assert_eq!(opt_gadget, g.expected_gaps(opt));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based verification of the hardness gadgets: the paper's exact
+//! correspondences must hold on *random* instances, with both sides solved
+//! exhaustively.
+
+use gaps_core::brute_force::{min_gaps_multi, min_power_multi, min_spans_multi};
+use gaps_core::instance::MultiInstance;
+use gaps_reductions::{
+    bsetcover_disjoint, setcover_gap, setcover_power, three_unit, two_interval,
+    two_unit_disjoint,
+};
+use gaps_setcover::{exact_min_cover, SetCoverInstance};
+use proptest::prelude::*;
+
+/// Random feasible set-cover instance (patched with singletons).
+fn arb_cover(universe: u32, sets: usize, b: usize) -> impl Strategy<Value = SetCoverInstance> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..universe, 1..=b),
+        1..=sets,
+    )
+    .prop_map(move |mut collection| {
+        let mut covered = vec![false; universe as usize];
+        for s in &collection {
+            for &e in s {
+                covered[e as usize] = true;
+            }
+        }
+        for (e, c) in covered.iter().enumerate() {
+            if !c {
+                collection.push(vec![e as u32]);
+            }
+        }
+        SetCoverInstance::new(universe, collection).unwrap()
+    })
+}
+
+/// Random multi-interval instance with unit slots.
+fn arb_unit_multi(n: usize, t_max: i64, k: usize) -> impl Strategy<Value = MultiInstance> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..=t_max, 1..=k),
+        1..=n,
+    )
+    .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 4: minimum power of the gadget is (n+1) + (k+1)·α exactly,
+    /// and the witness maps back to a minimum cover.
+    #[test]
+    fn theorem4_correspondence(cover in arb_cover(5, 3, 3)) {
+        let k = exact_min_cover(&cover).unwrap().len() as u64;
+        let g = setcover_power::build_theorem4(&cover);
+        let (power, sched) = min_power_multi(&g.multi, g.alpha).unwrap();
+        prop_assert_eq!(power, g.power_of_cover_size(k));
+        let mapped = g.schedule_to_cover(&cover, &sched);
+        cover.verify_cover(&mapped).unwrap();
+        prop_assert_eq!(mapped.len() as u64, k);
+    }
+
+    /// Theorem 6: minimum spans of the gap gadget is k + 1 exactly.
+    #[test]
+    fn theorem6_correspondence(cover in arb_cover(5, 3, 3)) {
+        let k = exact_min_cover(&cover).unwrap().len() as u64;
+        let g = setcover_gap::build_theorem6(&cover);
+        let (spans, _) = min_spans_multi(&g.multi).unwrap();
+        prop_assert_eq!(spans, setcover_gap::spans_of_cover_size(k));
+    }
+
+    /// Theorem 10: minimum spans of the disjoint-unit gadget equals the
+    /// minimum B-set cover exactly.
+    #[test]
+    fn theorem10_correspondence(cover in arb_cover(4, 3, 3)) {
+        let k = exact_min_cover(&cover).unwrap().len() as u64;
+        let g = bsetcover_disjoint::build(&cover);
+        let (spans, sched) = min_spans_multi(&g.multi).unwrap();
+        prop_assert_eq!(spans, k);
+        let mapped = g.schedule_to_cover(&sched);
+        cover.verify_cover(&mapped).unwrap();
+    }
+
+    /// Theorem 7: the 2-interval gadget shifts a feasible instance's
+    /// optimum by exactly the presence of a block, and projecting any
+    /// gadget optimum yields a valid original schedule.
+    #[test]
+    fn theorem7_shift_and_project(inst in arb_unit_multi(4, 12, 4)) {
+        if let Some((opt, wit)) = min_gaps_multi(&inst) {
+            let g = two_interval::build(&inst);
+            let (opt_g, wit_g) = min_gaps_multi(&g.multi).unwrap();
+            prop_assert_eq!(opt_g, g.expected_gaps(opt));
+            let lifted = g.lift(&inst, &wit);
+            lifted.verify(&g.multi).unwrap();
+            let projected = g.project(&inst, &wit_g);
+            projected.verify(&inst).unwrap();
+            prop_assert!(projected.gap_count() >= opt);
+        }
+    }
+
+    /// Theorem 8: the 3-unit gadget likewise.
+    #[test]
+    fn theorem8_shift_and_fillability(inst in arb_unit_multi(3, 12, 5)) {
+        if let Some((opt, _)) = min_gaps_multi(&inst) {
+            let g = three_unit::build(&inst);
+            let (opt_g, wit_g) = min_gaps_multi(&g.multi).unwrap();
+            prop_assert_eq!(opt_g, g.expected_gaps(opt));
+            for j in 0..inst.job_count() {
+                if g.blocks[j].is_some() {
+                    prop_assert!(three_unit::verify_fillability(&g, j));
+                }
+            }
+            let projected = g.project(&inst, &wit_g);
+            projected.verify(&inst).unwrap();
+        }
+    }
+
+    /// Theorem 9 forward: the 2-unit → disjoint-unit complement keeps the
+    /// span optima within 1.
+    #[test]
+    fn theorem9_forward_within_one(inst in arb_unit_multi(5, 8, 2)) {
+        match two_unit_disjoint::two_unit_to_disjoint(&inst) {
+            Ok(g) => {
+                let old = min_spans_multi(&inst).unwrap().0;
+                let new = if g.multi.job_count() == 0 {
+                    0
+                } else {
+                    min_spans_multi(&g.multi).unwrap().0
+                };
+                prop_assert!(old.abs_diff(new) <= 1, "old {old} vs new {new}");
+            }
+            Err(two_unit_disjoint::ReductionError::Infeasible) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+}

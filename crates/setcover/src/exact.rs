@@ -1,0 +1,137 @@
+//! Exact minimum set cover by branch and bound.
+//!
+//! Exponential in the worst case; intended for the small instances used to
+//! verify the hardness-gadget roundtrips (Theorems 4–10), where exact
+//! optima on *both* sides of a reduction must coincide.
+
+use crate::SetCoverInstance;
+
+/// Compute a minimum set cover, or `None` if the instance is infeasible.
+///
+/// Branches on the lowest-indexed uncovered element (one of the sets
+/// containing it must be chosen — this keeps the branching factor at the
+/// element's frequency rather than the number of sets), with two prunes:
+/// the incumbent bound and a greedy-coverage lower bound.
+pub fn exact_min_cover(inst: &SetCoverInstance) -> Option<Vec<usize>> {
+    if inst.universe_size() == 0 {
+        return Some(Vec::new());
+    }
+    if !inst.is_feasible() {
+        return None;
+    }
+    let element_sets = inst.element_to_sets();
+    // Upper bound from greedy to prune early.
+    let greedy = crate::greedy_cover(inst).expect("feasible instance");
+    let mut best: Vec<usize> = greedy;
+    let mut covered = vec![0u32; inst.universe_size() as usize];
+    let mut chosen: Vec<usize> = Vec::new();
+    let max_set = inst.max_set_size().max(1);
+    branch(
+        inst,
+        &element_sets,
+        max_set,
+        &mut covered,
+        0,
+        &mut chosen,
+        &mut best,
+    );
+    Some(best)
+}
+
+fn branch(
+    inst: &SetCoverInstance,
+    element_sets: &[Vec<usize>],
+    max_set: usize,
+    covered: &mut [u32],
+    mut first_uncovered: usize,
+    chosen: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+) {
+    while first_uncovered < covered.len() && covered[first_uncovered] > 0 {
+        first_uncovered += 1;
+    }
+    if first_uncovered == covered.len() {
+        if chosen.len() < best.len() {
+            *best = chosen.clone();
+        }
+        return;
+    }
+    // Lower bound: every remaining set covers at most `max_set` of the
+    // uncovered elements.
+    let uncovered = covered[first_uncovered..].iter().filter(|&&c| c == 0).count();
+    if chosen.len() + uncovered.div_ceil(max_set) >= best.len() {
+        return;
+    }
+    for &s in &element_sets[first_uncovered] {
+        chosen.push(s);
+        for &e in inst.set(s) {
+            covered[e as usize] += 1;
+        }
+        branch(
+            inst,
+            element_sets,
+            max_set,
+            covered,
+            first_uncovered,
+            chosen,
+            best,
+        );
+        for &e in inst.set(s) {
+            covered[e as usize] -= 1;
+        }
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_finds_optimal_two_rows() {
+        // Rows vs columns family where greedy is fooled but OPT = 2.
+        let row0: Vec<u32> = (0..6).filter(|e| e % 2 == 0).collect();
+        let row1: Vec<u32> = (0..6).filter(|e| e % 2 == 1).collect();
+        let inst =
+            SetCoverInstance::new(6, vec![row0, row1, vec![0, 1, 2, 3], vec![4, 5]]).unwrap();
+        let opt = exact_min_cover(&inst).unwrap();
+        inst.verify_cover(&opt).unwrap();
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn exact_handles_singletons() {
+        let inst = SetCoverInstance::new(3, vec![vec![0], vec![1], vec![2]]).unwrap();
+        let opt = exact_min_cover(&inst).unwrap();
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn exact_on_infeasible_returns_none() {
+        let inst = SetCoverInstance::new(2, vec![vec![1]]).unwrap();
+        assert_eq!(exact_min_cover(&inst), None);
+    }
+
+    #[test]
+    fn exact_never_beaten_by_greedy() {
+        // A few structured instances.
+        let cases = vec![
+            SetCoverInstance::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]).unwrap(),
+            SetCoverInstance::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 3], vec![1, 4], vec![2, 5]])
+                .unwrap(),
+            SetCoverInstance::new(1, vec![vec![0], vec![0]]).unwrap(),
+        ];
+        for inst in cases {
+            let opt = exact_min_cover(&inst).unwrap();
+            let greedy = crate::greedy_cover(&inst).unwrap();
+            inst.verify_cover(&opt).unwrap();
+            assert!(opt.len() <= greedy.len());
+        }
+    }
+
+    #[test]
+    fn exact_empty_universe() {
+        let inst = SetCoverInstance::new(0, vec![]).unwrap();
+        assert_eq!(exact_min_cover(&inst), Some(vec![]));
+    }
+}

@@ -1,0 +1,217 @@
+//! Set-cover instances.
+
+use std::fmt;
+
+/// Errors raised by [`SetCoverInstance`] construction and solution checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverError {
+    /// A set references an element `>= universe_size`.
+    ElementOutOfRange { set: usize, element: u32 },
+    /// Some element belongs to no set, so no cover exists.
+    UncoverableElement { element: u32 },
+    /// A proposed solution references a set index `>= sets.len()`.
+    SetOutOfRange { set: usize },
+    /// A proposed solution leaves an element uncovered.
+    NotACover { element: u32 },
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::ElementOutOfRange { set, element } => {
+                write!(f, "set {set} contains out-of-range element {element}")
+            }
+            CoverError::UncoverableElement { element } => {
+                write!(f, "element {element} belongs to no set; instance is infeasible")
+            }
+            CoverError::SetOutOfRange { set } => write!(f, "solution uses unknown set {set}"),
+            CoverError::NotACover { element } => {
+                write!(f, "solution leaves element {element} uncovered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+/// An instance of (unweighted) set cover: a universe `{0, …, n−1}` and a
+/// collection of subsets. The goal is to choose the fewest sets whose union
+/// is the whole universe.
+///
+/// This is the source problem of the paper's Theorems 4 and 6; the
+/// **B-set cover** restriction (every set has size ≤ B, Theorems 5 and 10)
+/// is the same type with [`SetCoverInstance::max_set_size`] ≤ B.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SetCoverInstance {
+    universe_size: u32,
+    sets: Vec<Vec<u32>>,
+}
+
+impl SetCoverInstance {
+    /// Build and validate an instance. Sets are sorted and deduplicated.
+    ///
+    /// Fails if a set mentions an out-of-range element. An element covered
+    /// by no set is allowed at construction (the instance is then
+    /// infeasible; [`SetCoverInstance::is_feasible`] reports it).
+    pub fn new(
+        universe_size: u32,
+        sets: Vec<Vec<u32>>,
+    ) -> Result<SetCoverInstance, CoverError> {
+        let mut sets = sets;
+        for (i, set) in sets.iter_mut().enumerate() {
+            set.sort_unstable();
+            set.dedup();
+            if let Some(&e) = set.iter().find(|&&e| e >= universe_size) {
+                return Err(CoverError::ElementOutOfRange { set: i, element: e });
+            }
+        }
+        Ok(SetCoverInstance {
+            universe_size,
+            sets,
+        })
+    }
+
+    /// Number of elements in the universe.
+    #[inline]
+    pub fn universe_size(&self) -> u32 {
+        self.universe_size
+    }
+
+    /// Number of sets in the collection.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The elements of set `i`, sorted.
+    #[inline]
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.sets[i]
+    }
+
+    /// All sets.
+    #[inline]
+    pub fn sets(&self) -> &[Vec<u32>] {
+        &self.sets
+    }
+
+    /// Size of the largest set (the `B` of B-set cover); 0 if no sets.
+    pub fn max_set_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// True iff every element belongs to at least one set.
+    pub fn is_feasible(&self) -> bool {
+        self.first_uncoverable().is_none()
+    }
+
+    /// The smallest element covered by no set, if any.
+    pub fn first_uncoverable(&self) -> Option<u32> {
+        let mut covered = vec![false; self.universe_size as usize];
+        for set in &self.sets {
+            for &e in set {
+                covered[e as usize] = true;
+            }
+        }
+        covered.iter().position(|&c| !c).map(|e| e as u32)
+    }
+
+    /// Check that `chosen` (set indices) forms a cover.
+    pub fn verify_cover(&self, chosen: &[usize]) -> Result<(), CoverError> {
+        let mut covered = vec![false; self.universe_size as usize];
+        for &i in chosen {
+            let set = self.sets.get(i).ok_or(CoverError::SetOutOfRange { set: i })?;
+            for &e in set {
+                covered[e as usize] = true;
+            }
+        }
+        match covered.iter().position(|&c| !c) {
+            Some(e) => Err(CoverError::NotACover { element: e as u32 }),
+            None => Ok(()),
+        }
+    }
+
+    /// For every element, the list of sets containing it.
+    pub fn element_to_sets(&self) -> Vec<Vec<usize>> {
+        let mut map = vec![Vec::new(); self.universe_size as usize];
+        for (i, set) in self.sets.iter().enumerate() {
+            for &e in set {
+                map[e as usize].push(i);
+            }
+        }
+        map
+    }
+
+    /// A trivially feasible lower bound on the optimum: `⌈n / B⌉` where `B`
+    /// is the largest set size (used in the Theorem 5 analysis: the optimal
+    /// B-set cover has size ≥ n/B).
+    pub fn size_lower_bound(&self) -> usize {
+        let b = self.max_set_size();
+        if b == 0 {
+            return usize::MAX;
+        }
+        (self.universe_size as usize).div_ceil(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let inst = SetCoverInstance::new(4, vec![vec![3, 1, 1, 0], vec![2]]).unwrap();
+        assert_eq!(inst.set(0), &[0, 1, 3]);
+        assert_eq!(inst.max_set_size(), 3);
+        assert!(inst.is_feasible());
+    }
+
+    #[test]
+    fn out_of_range_element_rejected() {
+        let err = SetCoverInstance::new(2, vec![vec![0, 5]]).unwrap_err();
+        assert_eq!(err, CoverError::ElementOutOfRange { set: 0, element: 5 });
+    }
+
+    #[test]
+    fn infeasible_instance_detected() {
+        let inst = SetCoverInstance::new(3, vec![vec![0], vec![1]]).unwrap();
+        assert!(!inst.is_feasible());
+        assert_eq!(inst.first_uncoverable(), Some(2));
+    }
+
+    #[test]
+    fn verify_cover_accepts_and_rejects() {
+        let inst = SetCoverInstance::new(3, vec![vec![0, 1], vec![2], vec![0]]).unwrap();
+        inst.verify_cover(&[0, 1]).unwrap();
+        assert_eq!(
+            inst.verify_cover(&[0, 2]),
+            Err(CoverError::NotACover { element: 2 })
+        );
+        assert_eq!(
+            inst.verify_cover(&[9]),
+            Err(CoverError::SetOutOfRange { set: 9 })
+        );
+    }
+
+    #[test]
+    fn element_to_sets_inverts_membership() {
+        let inst = SetCoverInstance::new(3, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        let map = inst.element_to_sets();
+        assert_eq!(map[0], vec![0]);
+        assert_eq!(map[1], vec![0, 1]);
+        assert_eq!(map[2], vec![1]);
+    }
+
+    #[test]
+    fn size_lower_bound_is_ceiling() {
+        let inst = SetCoverInstance::new(5, vec![vec![0, 1], vec![2, 3], vec![4]]).unwrap();
+        assert_eq!(inst.size_lower_bound(), 3); // ceil(5/2)
+    }
+
+    #[test]
+    fn empty_universe_is_feasible() {
+        let inst = SetCoverInstance::new(0, vec![]).unwrap();
+        assert!(inst.is_feasible());
+        inst.verify_cover(&[]).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! # gaps-setcover
+//!
+//! Set-cover and set-packing substrate for the `gap-scheduling` workspace.
+//!
+//! The SPAA 2007 paper uses these classic problems in two directions:
+//!
+//! * **Hardness sources** (Theorems 4–10): set cover and B-set cover are
+//!   reduced *to* gap/power scheduling, transferring the Ω(lg n) and
+//!   Ω(lg α) inapproximability bounds. The gadget builders live in
+//!   `gaps-reductions`; this crate supplies the instances, an exact solver
+//!   (to verify gadget roundtrips on small inputs), and the greedy
+//!   H(n)-approximation (to drive end-to-end experiments).
+//! * **Algorithmic engine** (Theorem 3): the (1 + (2/3 + ε)α)-approximation
+//!   schedules pairs of jobs in 2-blocks found by a **3-set packing**; the
+//!   required packing quality comes from Hurkens–Schrijver-style local
+//!   search ([`packing::local_search_packing`]).
+//!
+//! Elements and set indices are plain `u32`s; instances are validated on
+//! construction.
+
+mod exact;
+mod greedy;
+mod instance;
+pub mod packing;
+
+pub use exact::exact_min_cover;
+pub use greedy::greedy_cover;
+pub use instance::{CoverError, SetCoverInstance};
+pub use packing::SetPackingInstance;

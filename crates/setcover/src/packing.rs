@@ -1,0 +1,448 @@
+//! Maximum k-set packing: greedy, Hurkens–Schrijver-style local search, and
+//! an exact solver for small instances.
+//!
+//! Theorem 3 of the paper schedules pairs of jobs in consecutive time slots
+//! `(t, t+1)`; each candidate pair is a **3-set** `{job_a, job_b, slot_t}`
+//! over the base set (jobs ∪ slots), and a maximum disjoint subcollection is
+//! a maximum set packing. Hurkens–Schrijver \[HS89\] show local search with
+//! swaps of size ≤ t approaches a 2/k share of the optimum for k-set
+//! packing; for the paper's k = 2 pipeline (3-sets), the share approaches
+//! 2/3, which is exactly the constant in the (1 + (2/3 + ε)α) bound.
+//!
+//! [`local_search_packing`] implements pure additions, (1 out, 2 in), and
+//! (2 out, 3 in) improvements; experiment E13 measures the achieved share
+//! against the exact optimum.
+
+/// A set-packing instance: a base set `{0, …, base_size−1}` and a
+/// collection of subsets; the goal is a maximum subcollection of pairwise
+/// disjoint sets.
+#[derive(Clone, Debug)]
+pub struct SetPackingInstance {
+    base_size: u32,
+    sets: Vec<Vec<u32>>,
+    /// Bitmask representation of each set, `⌈base_size/64⌉` words per set.
+    masks: Vec<Vec<u64>>,
+    words: usize,
+}
+
+impl SetPackingInstance {
+    /// Build an instance; sets are sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics if a set references an element `>= base_size`.
+    pub fn new(base_size: u32, sets: Vec<Vec<u32>>) -> SetPackingInstance {
+        let words = (base_size as usize).div_ceil(64).max(1);
+        let mut clean = Vec::with_capacity(sets.len());
+        let mut masks = Vec::with_capacity(sets.len());
+        for (i, mut set) in sets.into_iter().enumerate() {
+            set.sort_unstable();
+            set.dedup();
+            let mut mask = vec![0u64; words];
+            for &e in &set {
+                assert!(
+                    e < base_size,
+                    "set {i} contains out-of-range element {e} (base_size = {base_size})"
+                );
+                mask[(e / 64) as usize] |= 1 << (e % 64);
+            }
+            clean.push(set);
+            masks.push(mask);
+        }
+        SetPackingInstance {
+            base_size,
+            sets: clean,
+            masks,
+            words,
+        }
+    }
+
+    /// Base-set size.
+    #[inline]
+    pub fn base_size(&self) -> u32 {
+        self.base_size
+    }
+
+    /// Number of candidate sets.
+    #[inline]
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The elements of set `i`, sorted.
+    #[inline]
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.sets[i]
+    }
+
+    /// Are sets `i` and `j` disjoint?
+    #[inline]
+    pub fn disjoint(&self, i: usize, j: usize) -> bool {
+        self.masks[i]
+            .iter()
+            .zip(&self.masks[j])
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Is set `i` disjoint from an accumulated occupancy mask?
+    #[inline]
+    fn disjoint_from_mask(&self, i: usize, occupied: &[u64]) -> bool {
+        self.masks[i].iter().zip(occupied).all(|(a, b)| a & b == 0)
+    }
+
+    fn add_to_mask(&self, i: usize, occupied: &mut [u64]) {
+        for (w, m) in occupied.iter_mut().zip(&self.masks[i]) {
+            *w |= m;
+        }
+    }
+
+    fn remove_from_mask(&self, i: usize, occupied: &mut [u64]) {
+        for (w, m) in occupied.iter_mut().zip(&self.masks[i]) {
+            *w &= !m;
+        }
+    }
+
+    /// Check that `chosen` is a valid packing (pairwise disjoint, in range).
+    pub fn verify_packing(&self, chosen: &[usize]) -> Result<(), String> {
+        let mut occupied = vec![0u64; self.words];
+        for &i in chosen {
+            if i >= self.sets.len() {
+                return Err(format!("unknown set index {i}"));
+            }
+            if !self.disjoint_from_mask(i, &occupied) {
+                return Err(format!("set {i} overlaps an earlier chosen set"));
+            }
+            self.add_to_mask(i, &mut occupied);
+        }
+        Ok(())
+    }
+}
+
+/// Greedy maximal packing: scan sets in index order, keep every set disjoint
+/// from those already kept. Guarantees a 1/k share of the optimum for
+/// k-bounded sets.
+pub fn greedy_packing(inst: &SetPackingInstance) -> Vec<usize> {
+    let mut occupied = vec![0u64; inst.words];
+    let mut chosen = Vec::new();
+    for i in 0..inst.set_count() {
+        if !inst.sets[i].is_empty() && inst.disjoint_from_mask(i, &occupied) {
+            inst.add_to_mask(i, &mut occupied);
+            chosen.push(i);
+        }
+    }
+    chosen
+}
+
+/// Hurkens–Schrijver-style local-search packing.
+///
+/// Starts from [`greedy_packing`] and applies, until fixpoint (or
+/// `max_rounds` sweeps):
+///
+/// 1. **additions** — any unused set disjoint from the packing enters;
+/// 2. **(1, 2)-swaps** — one chosen set leaves, two disjoint sets that
+///    conflict only with it enter;
+/// 3. **(2, 3)-swaps** — two chosen sets leave, three enter.
+///
+/// Every move strictly increases the packing size, so termination is
+/// immediate (size ≤ set count). For 3-bounded sets the (1,2)-local optimum
+/// already guarantees a 1/2 share; the (2,3) moves push typical instances
+/// close to the 2/3 share that the paper's constant assumes (measured in
+/// experiment E13).
+pub fn local_search_packing(inst: &SetPackingInstance, max_rounds: usize) -> Vec<usize> {
+    let mut chosen: Vec<usize> = greedy_packing(inst);
+    let mut in_packing = vec![false; inst.set_count()];
+    for &i in &chosen {
+        in_packing[i] = true;
+    }
+
+    for _ in 0..max_rounds {
+        let mut improved = false;
+
+        // Occupancy mask of the current packing.
+        let mut occupied = vec![0u64; inst.words];
+        for &i in &chosen {
+            inst.add_to_mask(i, &mut occupied);
+        }
+
+        // 1. Free additions.
+        for i in 0..inst.set_count() {
+            if !in_packing[i]
+                && !inst.sets[i].is_empty()
+                && inst.disjoint_from_mask(i, &occupied)
+            {
+                in_packing[i] = true;
+                chosen.push(i);
+                inst.add_to_mask(i, &mut occupied);
+                improved = true;
+            }
+        }
+
+        // Conflict lists: for every unused set, which chosen sets it hits.
+        // `owner[e]` = chosen set containing element e (packing sets are
+        // disjoint, so at most one).
+        let mut owner = vec![usize::MAX; inst.base_size as usize];
+        for &c in &chosen {
+            for &e in inst.set(c) {
+                owner[e as usize] = c;
+            }
+        }
+        let conflicts = |i: usize| -> Vec<usize> {
+            let mut cs: Vec<usize> = inst
+                .set(i)
+                .iter()
+                .filter_map(|&e| {
+                    let o = owner[e as usize];
+                    (o != usize::MAX).then_some(o)
+                })
+                .collect();
+            cs.sort_unstable();
+            cs.dedup();
+            cs
+        };
+
+        // 2. (1, 2)-swaps: candidates conflicting with exactly one chosen
+        // set, grouped by that set.
+        let mut single_conflict: Vec<Vec<usize>> = vec![Vec::new(); inst.set_count()];
+        let mut double_conflict: Vec<(usize, usize, usize)> = Vec::new();
+        for i in 0..inst.set_count() {
+            if in_packing[i] || inst.sets[i].is_empty() {
+                continue;
+            }
+            let cs = conflicts(i);
+            match cs.len() {
+                0 => unreachable!("free additions were exhausted above"),
+                1 => single_conflict[cs[0]].push(i),
+                2 => double_conflict.push((i, cs[0], cs[1])),
+                _ => {}
+            }
+        }
+        let mut removed = vec![false; inst.set_count()];
+        'swap12: for ci in 0..chosen.len() {
+            let c = chosen[ci];
+            let cands = &single_conflict[c];
+            for (ai, &a) in cands.iter().enumerate() {
+                for &b in &cands[ai + 1..] {
+                    if inst.disjoint(a, b) {
+                        // Swap c out; a, b in.
+                        in_packing[c] = false;
+                        removed[c] = true;
+                        in_packing[a] = true;
+                        in_packing[b] = true;
+                        chosen.retain(|&x| x != c);
+                        chosen.push(a);
+                        chosen.push(b);
+                        improved = true;
+                        break 'swap12;
+                    }
+                }
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // 3. (2, 3)-swaps: pick a candidate with exactly two conflicts
+        // {c1, c2}; the other two entrants must conflict only within
+        // {c1, c2} and be mutually disjoint.
+        'swap23: for &(a, c1, c2) in &double_conflict {
+            // Entrant pool: disjoint from `a`, conflicts ⊆ {c1, c2}.
+            let pool: Vec<usize> = single_conflict[c1]
+                .iter()
+                .chain(&single_conflict[c2])
+                .copied()
+                .chain(
+                    double_conflict
+                        .iter()
+                        .filter(|&&(_, d1, d2)| d1 == c1 && d2 == c2)
+                        .map(|&(i, _, _)| i),
+                )
+                .filter(|&i| i != a && inst.disjoint(a, i))
+                .collect();
+            for (bi, &b) in pool.iter().enumerate() {
+                for &d in &pool[bi + 1..] {
+                    if inst.disjoint(b, d) {
+                        in_packing[c1] = false;
+                        in_packing[c2] = false;
+                        in_packing[a] = true;
+                        in_packing[b] = true;
+                        in_packing[d] = true;
+                        chosen.retain(|&x| x != c1 && x != c2);
+                        chosen.push(a);
+                        chosen.push(b);
+                        chosen.push(d);
+                        improved = true;
+                        break 'swap23;
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    debug_assert!(inst.verify_packing(&chosen).is_ok());
+    chosen
+}
+
+/// Exact maximum packing by branch and bound. Exponential; for the small
+/// instances of tests and ratio experiments.
+pub fn exact_max_packing(inst: &SetPackingInstance) -> Vec<usize> {
+    // Order sets by increasing size: small sets block less.
+    let mut order: Vec<usize> = (0..inst.set_count())
+        .filter(|&i| !inst.sets[i].is_empty())
+        .collect();
+    order.sort_by_key(|&i| inst.sets[i].len());
+    let mut best = greedy_packing(inst);
+    let mut chosen = Vec::new();
+    let mut occupied = vec![0u64; inst.words];
+    branch(inst, &order, 0, &mut occupied, &mut chosen, &mut best);
+    best
+}
+
+fn branch(
+    inst: &SetPackingInstance,
+    order: &[usize],
+    pos: usize,
+    occupied: &mut Vec<u64>,
+    chosen: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+) {
+    if chosen.len() > best.len() {
+        *best = chosen.clone();
+    }
+    // Bound: even taking every remaining set cannot beat the incumbent.
+    if pos >= order.len() || chosen.len() + (order.len() - pos) <= best.len() {
+        return;
+    }
+    let s = order[pos];
+    if inst.disjoint_from_mask(s, occupied) {
+        inst.add_to_mask(s, occupied);
+        chosen.push(s);
+        branch(inst, order, pos + 1, occupied, chosen, best);
+        chosen.pop();
+        inst.remove_from_mask(s, occupied);
+    }
+    branch(inst, order, pos + 1, occupied, chosen, best);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triple_instance() -> SetPackingInstance {
+        // Base {0..8}; a perfect partition into 3 triples exists, plus
+        // overlapping decoys that greedy may grab first.
+        SetPackingInstance::new(
+            9,
+            vec![
+                vec![0, 1, 3], // decoy crossing two partition triples
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![6, 7, 8],
+                vec![2, 4, 6], // decoy
+            ],
+        )
+    }
+
+    #[test]
+    fn greedy_is_maximal_and_valid() {
+        let inst = triple_instance();
+        let g = greedy_packing(&inst);
+        inst.verify_packing(&g).unwrap();
+        // Maximality: no unused set is disjoint from all chosen.
+        for i in 0..inst.set_count() {
+            if !g.contains(&i) {
+                assert!(
+                    g.iter().any(|&c| !inst.disjoint(i, c)),
+                    "set {i} could still be added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_beats_greedy_on_decoys() {
+        let inst = triple_instance();
+        let g = greedy_packing(&inst);
+        let ls = local_search_packing(&inst, 100);
+        inst.verify_packing(&ls).unwrap();
+        assert!(ls.len() >= g.len());
+        assert_eq!(ls.len(), 3, "perfect partition should be found");
+    }
+
+    #[test]
+    fn exact_max_packing_optimal_on_partition() {
+        let inst = triple_instance();
+        let opt = exact_max_packing(&inst);
+        inst.verify_packing(&opt).unwrap();
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn empty_sets_never_packed() {
+        let inst = SetPackingInstance::new(3, vec![vec![], vec![0], vec![]]);
+        assert_eq!(greedy_packing(&inst), vec![1]);
+        assert_eq!(local_search_packing(&inst, 10), vec![1]);
+        assert_eq!(exact_max_packing(&inst), vec![1]);
+    }
+
+    #[test]
+    fn one_two_swap_fires() {
+        // Greedy (index order) takes {0,1} (set 0) blocking both {0,2} and
+        // {1,3}; a (1,2)-swap must recover the optimum of 2.
+        let inst = SetPackingInstance::new(4, vec![vec![0, 1], vec![0, 2], vec![1, 3]]);
+        assert_eq!(greedy_packing(&inst).len(), 1);
+        let ls = local_search_packing(&inst, 10);
+        inst.verify_packing(&ls).unwrap();
+        assert_eq!(ls.len(), 2);
+    }
+
+    #[test]
+    fn two_three_swap_fires() {
+        // Chosen pair {0,1,2}, {3,4,5} (indices 0,1) blocks the triple
+        // partition {0,1,6},{2,3,7},{4,5,8}: a (2,3)-swap is required.
+        let inst = SetPackingInstance::new(
+            9,
+            vec![
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![0, 1, 6],
+                vec![2, 3, 7],
+                vec![4, 5, 8],
+            ],
+        );
+        assert_eq!(greedy_packing(&inst).len(), 2);
+        let ls = local_search_packing(&inst, 10);
+        inst.verify_packing(&ls).unwrap();
+        assert_eq!(ls.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range element")]
+    fn out_of_range_element_panics() {
+        SetPackingInstance::new(2, vec![vec![0, 7]]);
+    }
+
+    #[test]
+    fn verify_packing_detects_overlap() {
+        let inst = SetPackingInstance::new(3, vec![vec![0, 1], vec![1, 2]]);
+        assert!(inst.verify_packing(&[0]).is_ok());
+        assert!(inst.verify_packing(&[0, 1]).is_err());
+        assert!(inst.verify_packing(&[5]).is_err());
+    }
+
+    #[test]
+    fn large_base_multiword_masks() {
+        // Elements beyond 64 exercise multi-word masks.
+        let inst = SetPackingInstance::new(
+            200,
+            vec![vec![0, 100, 199], vec![1, 101, 198], vec![0, 101, 197]],
+        );
+        assert!(inst.disjoint(0, 1));
+        assert!(!inst.disjoint(0, 2));
+        assert!(!inst.disjoint(1, 2));
+        let opt = exact_max_packing(&inst);
+        assert_eq!(opt.len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for set cover and set packing.
+
+use gaps_setcover::packing::{exact_max_packing, greedy_packing, local_search_packing};
+use gaps_setcover::{exact_min_cover, greedy_cover, SetCoverInstance, SetPackingInstance};
+use proptest::prelude::*;
+
+/// Random feasible set-cover instance: universe ≤ n, sets ≤ s of size ≤ b,
+/// plus singleton patches so every element is coverable.
+fn arb_cover(n: u32, s: usize, b: usize) -> impl Strategy<Value = SetCoverInstance> {
+    (1..=n).prop_flat_map(move |univ| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..univ, 1..=b),
+            1..=s,
+        )
+        .prop_map(move |mut sets| {
+            // Patch coverage: add singletons for uncovered elements.
+            let mut covered = vec![false; univ as usize];
+            for set in &sets {
+                for &e in set {
+                    covered[e as usize] = true;
+                }
+            }
+            for (e, c) in covered.iter().enumerate() {
+                if !c {
+                    sets.push(vec![e as u32]);
+                }
+            }
+            SetCoverInstance::new(univ, sets).unwrap()
+        })
+    })
+}
+
+/// Random 3-bounded set-packing instance.
+fn arb_packing(base: u32, s: usize) -> impl Strategy<Value = SetPackingInstance> {
+    (3..=base).prop_flat_map(move |b| {
+        proptest::collection::vec(proptest::collection::vec(0..b, 1..=3), 0..=s)
+            .prop_map(move |sets| SetPackingInstance::new(b, sets))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Greedy always produces a valid cover on feasible instances, and the
+    /// exact solver never does worse.
+    #[test]
+    fn greedy_valid_exact_no_worse(inst in arb_cover(10, 8, 4)) {
+        let greedy = greedy_cover(&inst).expect("instance was patched feasible");
+        inst.verify_cover(&greedy).unwrap();
+        let exact = exact_min_cover(&inst).unwrap();
+        inst.verify_cover(&exact).unwrap();
+        prop_assert!(exact.len() <= greedy.len());
+        // H(n) ratio sanity: greedy ≤ (ln n + 1) · OPT.
+        let h = ((inst.universe_size() as f64).ln() + 1.0).max(1.0);
+        prop_assert!((greedy.len() as f64) <= h * exact.len() as f64 + 1e-9);
+    }
+
+    /// Exact cover size is a true lower bound over many random covers.
+    #[test]
+    fn exact_is_minimum_among_random_subsets(inst in arb_cover(8, 6, 3), seed in 0u64..1000) {
+        let exact = exact_min_cover(&inst).unwrap();
+        // Try a few random subsets of the same size minus one: none covers.
+        let k = exact.len();
+        if k > 0 {
+            let mut rng = seed;
+            for _ in 0..20 {
+                let mut subset = Vec::new();
+                for _ in 0..k - 1 {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    subset.push((rng >> 33) as usize % inst.set_count());
+                }
+                prop_assert!(inst.verify_cover(&subset).is_err() || subset.len() >= k,
+                    "found a cover smaller than the 'exact' optimum");
+            }
+        }
+    }
+
+    /// All packing algorithms return valid packings with the expected
+    /// ordering: greedy ≤ local search ≤ exact.
+    #[test]
+    fn packing_quality_ordering(inst in arb_packing(12, 10)) {
+        let g = greedy_packing(&inst);
+        let ls = local_search_packing(&inst, 64);
+        let ex = exact_max_packing(&inst);
+        inst.verify_packing(&g).unwrap();
+        inst.verify_packing(&ls).unwrap();
+        inst.verify_packing(&ex).unwrap();
+        prop_assert!(g.len() <= ls.len());
+        prop_assert!(ls.len() <= ex.len());
+        // Greedy maximality gives the 1/k bound for 3-bounded sets.
+        prop_assert!(ex.len() <= 3 * g.len().max(1));
+    }
+
+    /// Local search achieves at least half the optimum on 3-bounded sets
+    /// ((1,2)-local optimality guarantee).
+    #[test]
+    fn local_search_half_share(inst in arb_packing(12, 12)) {
+        let ls = local_search_packing(&inst, 64);
+        let ex = exact_max_packing(&inst);
+        prop_assert!(2 * ls.len() >= ex.len(),
+            "local search {} vs optimum {}", ls.len(), ex.len());
+    }
+}

@@ -1,0 +1,229 @@
+//! Execute schedules on simulated processors and measure energy.
+
+use crate::policy::PowerPolicy;
+use crate::processor::ProcessorSim;
+use crate::trace::Trace;
+use gaps_core::instance::{Instance, MultiInstance};
+use gaps_core::schedule::{MultiSchedule, Schedule};
+use gaps_core::time::Time;
+
+/// Per-processor accounting of one simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcReport {
+    /// Slots spent active (busy + idle-active).
+    pub active_slots: u64,
+    /// Sleep → active transitions.
+    pub wakeups: u64,
+    /// Energy: `active_slots + α · wakeups`.
+    pub energy: u64,
+    /// Jobs executed.
+    pub jobs_run: u64,
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Total energy over all processors.
+    pub energy: u64,
+    /// Per-processor breakdown.
+    pub per_processor: Vec<ProcReport>,
+    /// Full event trace.
+    pub trace: Trace,
+}
+
+/// Execute a multiprocessor schedule under a power policy.
+///
+/// The schedule is verified against the instance first (panics on an
+/// invalid schedule — simulating garbage would mis-meter energy). During
+/// idle periods the policy decides slot-by-slot whether to stay active;
+/// once it chooses sleep, the processor sleeps until its next job.
+///
+/// With the [`crate::policy::Clairvoyant`] policy, the reported energy
+/// equals [`gaps_core::power::power_cost_multiproc`] exactly (experiment
+/// E15 asserts this across random schedules).
+pub fn simulate_schedule(
+    inst: &Instance,
+    sched: &Schedule,
+    alpha: u64,
+    policy: &dyn PowerPolicy,
+) -> SimReport {
+    sched
+        .verify(inst)
+        .unwrap_or_else(|e| panic!("refusing to simulate an invalid schedule: {e}"));
+    let p = inst.processors();
+    let mut trace = Trace::new();
+    let mut per_processor = Vec::with_capacity(p as usize);
+    let busy = sched.busy_times(p);
+    let by_slot: std::collections::HashMap<(u32, Time), u32> = sched
+        .assignments()
+        .iter()
+        .enumerate()
+        .map(|(j, a)| ((a.processor, a.time), j as u32))
+        .collect();
+
+    for q in 0..p {
+        let mut proc = ProcessorSim::new(q, alpha);
+        let times = &busy[q as usize];
+        for (i, &t) in times.iter().enumerate() {
+            proc.run_job(t, by_slot[&(q, t)], &mut trace);
+            if let Some(&next) = times.get(i + 1) {
+                let gap = (next - t - 1) as u64;
+                let mut asleep = false;
+                for (offset, idle_t) in (t + 1..next).enumerate() {
+                    if !asleep && policy.stay_active(offset as u64, Some(gap - offset as u64)) {
+                        proc.idle_active(idle_t, &mut trace);
+                    } else {
+                        asleep = true;
+                        proc.sleep(idle_t, &mut trace);
+                    }
+                }
+            }
+        }
+        per_processor.push(ProcReport {
+            active_slots: proc.active_slots(),
+            wakeups: proc.wakeups(),
+            energy: proc.energy(),
+            jobs_run: proc.jobs_run(),
+        });
+    }
+    SimReport {
+        energy: per_processor.iter().map(|r| r.energy).sum(),
+        per_processor,
+        trace,
+    }
+}
+
+/// Execute a single-processor multi-interval schedule under a policy.
+pub fn simulate_multi_schedule(
+    inst: &MultiInstance,
+    sched: &MultiSchedule,
+    alpha: u64,
+    policy: &dyn PowerPolicy,
+) -> SimReport {
+    sched
+        .verify(inst)
+        .unwrap_or_else(|e| panic!("refusing to simulate an invalid schedule: {e}"));
+    // Reuse the multiprocessor path through a 1-processor view.
+    let mut trace = Trace::new();
+    let mut proc = ProcessorSim::new(0, alpha);
+    let occupied = sched.occupied();
+    let job_at = |t: Time| -> u32 {
+        sched.times().iter().position(|&x| x == t).expect("occupied slot") as u32
+    };
+    for (i, &t) in occupied.iter().enumerate() {
+        proc.run_job(t, job_at(t), &mut trace);
+        if let Some(&next) = occupied.get(i + 1) {
+            let gap = (next - t - 1) as u64;
+            let mut asleep = false;
+            for (offset, idle_t) in (t + 1..next).enumerate() {
+                if !asleep && policy.stay_active(offset as u64, Some(gap - offset as u64)) {
+                    proc.idle_active(idle_t, &mut trace);
+                } else {
+                    asleep = true;
+                    proc.sleep(idle_t, &mut trace);
+                }
+            }
+        }
+    }
+    let report = ProcReport {
+        active_slots: proc.active_slots(),
+        wakeups: proc.wakeups(),
+        energy: proc.energy(),
+        jobs_run: proc.jobs_run(),
+    };
+    SimReport { energy: report.energy, per_processor: vec![report], trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Clairvoyant, NeverSleep, SleepImmediately, Timeout};
+    use gaps_core::power::{power_cost_multiproc, power_cost_single};
+
+    fn demo() -> (Instance, Schedule) {
+        let inst = Instance::from_windows([(0, 0), (2, 2), (8, 8), (0, 8)], 2).unwrap();
+        let sched = Schedule::from_pairs([(0, 0), (2, 0), (8, 0), (0, 1)]);
+        sched.verify(&inst).unwrap();
+        (inst, sched)
+    }
+
+    #[test]
+    fn clairvoyant_energy_matches_analytic_power() {
+        let (inst, sched) = demo();
+        for alpha in 0..8 {
+            let report =
+                simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
+            assert_eq!(
+                report.energy,
+                power_cost_multiproc(&sched, 2, alpha),
+                "alpha = {alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn sleep_immediately_counts_every_span() {
+        let (inst, sched) = demo();
+        let alpha = 4;
+        let report = simulate_schedule(&inst, &sched, alpha, &SleepImmediately);
+        // P0 has 3 spans, P1 has 1: wakeups = spans.
+        assert_eq!(report.per_processor[0].wakeups, 3);
+        assert_eq!(report.per_processor[1].wakeups, 1);
+        assert_eq!(report.energy, 4 + alpha * 4);
+    }
+
+    #[test]
+    fn never_sleep_pays_all_idle_slots() {
+        let (inst, sched) = demo();
+        let alpha = 4;
+        let report = simulate_schedule(&inst, &sched, alpha, &NeverSleep);
+        // P0: busy {0,2,8} → active 0..=8 (9 slots), one wake; P1: 1 slot.
+        assert_eq!(report.energy, (9 + alpha) + (1 + alpha));
+    }
+
+    #[test]
+    fn timeout_between_extremes() {
+        let (inst, sched) = demo();
+        let alpha = 3;
+        let imm = simulate_schedule(&inst, &sched, alpha, &SleepImmediately).energy;
+        let never = simulate_schedule(&inst, &sched, alpha, &NeverSleep).energy;
+        let opt = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha }).energy;
+        let timeout =
+            simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy;
+        assert!(opt <= timeout);
+        assert!(timeout <= 2 * opt);
+        assert!(opt <= imm.min(never));
+    }
+
+    #[test]
+    fn multi_schedule_simulation_matches_power() {
+        let inst = MultiInstance::from_times([vec![0], vec![3, 4], vec![9]]).unwrap();
+        let sched = MultiSchedule::new(vec![0, 4, 9]);
+        for alpha in 0..6 {
+            let report =
+                simulate_multi_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
+            assert_eq!(report.energy, power_cost_single(&sched, alpha));
+        }
+    }
+
+    #[test]
+    fn trace_records_all_jobs() {
+        let (inst, sched) = demo();
+        let report = simulate_schedule(&inst, &sched, 2, &Clairvoyant { alpha: 2 });
+        let runs = report
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, crate::trace::TraceEventKind::RunJob { .. }))
+            .count();
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid schedule")]
+    fn rejects_invalid_schedule() {
+        let (inst, _) = demo();
+        let bad = Schedule::from_pairs([(5, 0), (2, 0), (8, 0), (0, 1)]);
+        simulate_schedule(&inst, &bad, 2, &SleepImmediately);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gaps-sim
+//!
+//! A discrete-event simulator for processors with a sleep state — the
+//! physical system the SPAA 2007 paper abstracts. Schedules produced by
+//! the solvers in `gaps-core` can be *executed* here, slot by slot, and
+//! their energy measured rather than counted combinatorially:
+//!
+//! * every slot spent in the **active** state costs 1 energy unit;
+//! * every **sleep → active** transition costs α (including the first);
+//! * the sleep state costs nothing.
+//!
+//! The simulator separates *what runs when* (the schedule) from *when to
+//! sleep during idleness* (a [`policy::PowerPolicy`]). The clairvoyant
+//! policy reproduces the paper's `min(gap, α)` accounting exactly —
+//! experiment E15 asserts simulated energy ≡ analytic
+//! [`gaps_core::power::power_cost_multiproc`] — while the online
+//! timeout policy demonstrates the classic 2-competitive ski-rental
+//! behavior on gap traces (experiment E17).
+
+pub mod executor;
+pub mod policy;
+pub mod processor;
+pub mod randomized;
+pub mod trace;
+
+pub use executor::{simulate_multi_schedule, simulate_schedule, ProcReport, SimReport};
+pub use policy::{Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout};
+pub use processor::{PowerState, ProcessorSim};
+pub use randomized::{ski_rental_randomized_bound, RandomizedTimeout};
+pub use trace::{Trace, TraceEvent, TraceEventKind};

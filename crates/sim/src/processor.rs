@@ -1,0 +1,191 @@
+//! The per-processor power-state machine.
+
+use crate::trace::{Trace, TraceEvent, TraceEventKind};
+use gaps_core::time::Time;
+
+/// Power state of a simulated processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PowerState {
+    /// Consumes 1 energy unit per slot; may execute one job per slot.
+    Active,
+    /// Consumes nothing; cannot execute. Transitioning out costs α.
+    Asleep,
+}
+
+/// A single processor with a sleep state and energy metering.
+///
+/// Drive it slot by slot with [`ProcessorSim::run_job`],
+/// [`ProcessorSim::idle_active`], and [`ProcessorSim::sleep`]; the
+/// machine checks the physics (a job needs an active processor; waking is
+/// what costs) and meters energy and transitions.
+#[derive(Clone, Debug)]
+pub struct ProcessorSim {
+    id: u32,
+    alpha: u64,
+    state: PowerState,
+    energy: u64,
+    active_slots: u64,
+    wakeups: u64,
+    jobs_run: u64,
+    last_time: Option<Time>,
+}
+
+impl ProcessorSim {
+    /// A new processor, asleep, with wake-up cost `alpha`.
+    pub fn new(id: u32, alpha: u64) -> ProcessorSim {
+        ProcessorSim {
+            id,
+            alpha,
+            state: PowerState::Asleep,
+            energy: 0,
+            active_slots: 0,
+            wakeups: 0,
+            jobs_run: 0,
+            last_time: None,
+        }
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Total energy consumed so far.
+    pub fn energy(&self) -> u64 {
+        self.energy
+    }
+
+    /// Slots spent active (busy or idling).
+    pub fn active_slots(&self) -> u64 {
+        self.active_slots
+    }
+
+    /// Number of sleep → active transitions so far.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Jobs executed so far.
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_run
+    }
+
+    fn advance(&mut self, t: Time) {
+        if let Some(last) = self.last_time {
+            assert!(t > last, "time must advance monotonically (last {last}, got {t})");
+        }
+        self.last_time = Some(t);
+    }
+
+    fn ensure_active(&mut self, t: Time, trace: &mut Trace) {
+        if self.state == PowerState::Asleep {
+            self.state = PowerState::Active;
+            self.energy += self.alpha;
+            self.wakeups += 1;
+            trace.push(TraceEvent { time: t, processor: self.id, kind: TraceEventKind::Wake });
+        }
+    }
+
+    /// Execute job `job` during slot `t` (waking up first if needed).
+    pub fn run_job(&mut self, t: Time, job: u32, trace: &mut Trace) {
+        self.advance(t);
+        self.ensure_active(t, trace);
+        self.energy += 1;
+        self.active_slots += 1;
+        self.jobs_run += 1;
+        trace.push(TraceEvent {
+            time: t,
+            processor: self.id,
+            kind: TraceEventKind::RunJob { job },
+        });
+    }
+
+    /// Stay active through idle slot `t` without executing.
+    pub fn idle_active(&mut self, t: Time, trace: &mut Trace) {
+        self.advance(t);
+        assert_eq!(
+            self.state,
+            PowerState::Active,
+            "idle_active only makes sense for an already-active processor"
+        );
+        self.energy += 1;
+        self.active_slots += 1;
+        trace.push(TraceEvent { time: t, processor: self.id, kind: TraceEventKind::IdleActive });
+    }
+
+    /// Sleep through slot `t` (entering the sleep state if active).
+    pub fn sleep(&mut self, t: Time, trace: &mut Trace) {
+        self.advance(t);
+        if self.state == PowerState::Active {
+            self.state = PowerState::Asleep;
+            trace.push(TraceEvent { time: t, processor: self.id, kind: TraceEventKind::Sleep });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_wakes_and_meters() {
+        let mut p = ProcessorSim::new(0, 5);
+        let mut trace = Trace::new();
+        p.run_job(0, 7, &mut trace);
+        assert_eq!(p.state(), PowerState::Active);
+        assert_eq!(p.energy(), 6); // wake 5 + slot 1
+        assert_eq!(p.wakeups(), 1);
+        assert_eq!(p.jobs_run(), 1);
+    }
+
+    #[test]
+    fn consecutive_jobs_cost_one_each() {
+        let mut p = ProcessorSim::new(0, 5);
+        let mut trace = Trace::new();
+        p.run_job(0, 1, &mut trace);
+        p.run_job(1, 2, &mut trace);
+        assert_eq!(p.energy(), 5 + 2);
+        assert_eq!(p.wakeups(), 1);
+    }
+
+    #[test]
+    fn sleep_then_wake_pays_alpha_again() {
+        let mut p = ProcessorSim::new(0, 3);
+        let mut trace = Trace::new();
+        p.run_job(0, 1, &mut trace);
+        p.sleep(1, &mut trace);
+        p.sleep(2, &mut trace);
+        p.run_job(3, 2, &mut trace);
+        assert_eq!(p.energy(), (3 + 1) + (3 + 1));
+        assert_eq!(p.wakeups(), 2);
+    }
+
+    #[test]
+    fn idle_active_bridges_without_second_wake() {
+        let mut p = ProcessorSim::new(0, 3);
+        let mut trace = Trace::new();
+        p.run_job(0, 1, &mut trace);
+        p.idle_active(1, &mut trace);
+        p.run_job(2, 2, &mut trace);
+        assert_eq!(p.energy(), 3 + 3); // one wake + 3 active slots
+        assert_eq!(p.wakeups(), 1);
+        assert_eq!(p.active_slots(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must advance")]
+    fn time_must_advance() {
+        let mut p = ProcessorSim::new(0, 1);
+        let mut trace = Trace::new();
+        p.run_job(5, 1, &mut trace);
+        p.run_job(5, 2, &mut trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-active")]
+    fn idle_active_requires_active() {
+        let mut p = ProcessorSim::new(0, 1);
+        let mut trace = Trace::new();
+        p.idle_active(0, &mut trace);
+    }
+}

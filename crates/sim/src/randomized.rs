@@ -1,0 +1,147 @@
+//! The randomized power-down strategy: sleep after a random threshold
+//! drawn from the exponential-ish distribution that achieves expected
+//! competitive ratio e/(e−1) ≈ 1.582 — beating every deterministic
+//! strategy's 2 (classic ski-rental theory; the paper's Section 1 cites
+//! the deterministic bounds for the *scheduling* variant).
+//!
+//! The density on [0, α] is `f(x) = e^{x/α} / (α (e − 1))`; we discretize
+//! to integer thresholds. Expected gap cost is evaluated exactly by
+//! summing over thresholds — no sampling noise in tests — while
+//! [`RandomizedTimeout::sample`] draws a concrete threshold for live
+//! simulation.
+
+use crate::policy::{gap_cost, Timeout};
+use rand::Rng;
+
+/// Distribution over sleep thresholds `0..=alpha` approximating the
+/// optimal randomized ski-rental strategy.
+#[derive(Clone, Debug)]
+pub struct RandomizedTimeout {
+    alpha: u64,
+    /// `weights[i]` ∝ probability of threshold `i`.
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl RandomizedTimeout {
+    /// Build the discretized optimal distribution for wake cost `alpha`.
+    pub fn new(alpha: u64) -> RandomizedTimeout {
+        let a = alpha.max(1) as f64;
+        let weights: Vec<f64> = (0..=alpha)
+            .map(|i| ((i as f64 + 0.5) / a).exp())
+            .collect();
+        let total = weights.iter().sum();
+        RandomizedTimeout { alpha, weights, total }
+    }
+
+    /// The wake cost this distribution was built for.
+    pub fn alpha(&self) -> u64 {
+        self.alpha
+    }
+
+    /// Probability of choosing threshold `i`.
+    pub fn probability(&self, i: u64) -> f64 {
+        if i > self.alpha {
+            0.0
+        } else {
+            self.weights[i as usize] / self.total
+        }
+    }
+
+    /// Draw a concrete threshold.
+    pub fn sample(&self, rng: &mut impl Rng) -> Timeout {
+        let mut x: f64 = rng.gen_range(0.0..self.total);
+        for (i, w) in self.weights.iter().enumerate() {
+            if x < *w {
+                return Timeout { threshold: i as u64 };
+            }
+            x -= w;
+        }
+        Timeout { threshold: self.alpha }
+    }
+
+    /// Exact expected cost of one gap of length `g` under this
+    /// distribution (wake cost `alpha`).
+    pub fn expected_gap_cost(&self, g: u64) -> f64 {
+        (0..=self.alpha)
+            .map(|i| {
+                self.probability(i)
+                    * gap_cost(&Timeout { threshold: i }, g, self.alpha) as f64
+            })
+            .sum()
+    }
+
+    /// Worst-case expected competitive ratio over gap lengths `1..=horizon`
+    /// against the clairvoyant `min(g, α)`.
+    pub fn worst_expected_ratio(&self, horizon: u64) -> f64 {
+        (1..=horizon)
+            .map(|g| self.expected_gap_cost(g) / (g.min(self.alpha).max(1)) as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The continuous-theory optimum e/(e−1), for reporting.
+pub fn ski_rental_randomized_bound() -> f64 {
+    let e = std::f64::consts::E;
+    e / (e - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distribution_is_normalized() {
+        for alpha in [1u64, 4, 16] {
+            let d = RandomizedTimeout::new(alpha);
+            let total: f64 = (0..=alpha).map(|i| d.probability(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "alpha {alpha}: total {total}");
+            assert_eq!(d.probability(alpha + 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn expected_ratio_beats_deterministic_two() {
+        // The discretization loses a little vs e/(e−1) but must stay
+        // comfortably below 2 for reasonable alphas.
+        for alpha in [4u64, 8, 16, 32] {
+            let d = RandomizedTimeout::new(alpha);
+            let worst = d.worst_expected_ratio(4 * alpha);
+            assert!(
+                worst < 1.95,
+                "alpha {alpha}: randomized worst expected ratio {worst}"
+            );
+        }
+    }
+
+    #[test]
+    fn approaches_the_continuous_bound_for_large_alpha() {
+        let d = RandomizedTimeout::new(64);
+        let worst = d.worst_expected_ratio(256);
+        let bound = ski_rental_randomized_bound();
+        assert!(
+            worst < bound + 0.08,
+            "worst {worst} should approach e/(e-1) = {bound:.3}"
+        );
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let d = RandomizedTimeout::new(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let t = d.sample(&mut rng);
+            assert!(t.threshold <= 6);
+        }
+    }
+
+    #[test]
+    fn short_gaps_cost_their_length_in_expectation_limit() {
+        // A gap of length 1 costs at most ~1 + P(threshold 0)*alpha.
+        let d = RandomizedTimeout::new(8);
+        let c = d.expected_gap_cost(1);
+        assert!(c < 2.5, "short gaps stay cheap: {c}");
+    }
+}

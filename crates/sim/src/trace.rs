@@ -1,0 +1,157 @@
+//! Execution traces: what each processor did at each slot.
+
+use gaps_core::time::Time;
+use std::fmt;
+
+/// One simulator event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Slot at which the event happened.
+    pub time: Time,
+    /// Processor index.
+    pub processor: u32,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Kinds of simulator events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Sleep → active transition (costs α).
+    Wake,
+    /// Executed a job during this slot.
+    RunJob {
+        /// The job index.
+        job: u32,
+    },
+    /// Stayed active through an idle slot.
+    IdleActive,
+    /// Entered the sleep state.
+    Sleep,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TraceEventKind::Wake => write!(f, "t={} P{} wake", self.time, self.processor),
+            TraceEventKind::RunJob { job } => {
+                write!(f, "t={} P{} run j{}", self.time, self.processor, job)
+            }
+            TraceEventKind::IdleActive => {
+                write!(f, "t={} P{} idle-active", self.time, self.processor)
+            }
+            TraceEventKind::Sleep => write!(f, "t={} P{} sleep", self.time, self.processor),
+        }
+    }
+}
+
+/// An ordered log of simulator events.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in append order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one processor.
+    pub fn of_processor(&self, q: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.processor == q)
+    }
+
+    /// Render the trace as one line per event (stable, diff-friendly).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a trace back from [`Trace::render`] output (used by tests and
+    /// the experiment harness to round-trip recorded runs).
+    pub fn parse(s: &str) -> Result<Trace, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |m: &str| format!("line {}: {m}: {line:?}", lineno + 1);
+            let mut parts = line.split_whitespace();
+            let t = parts
+                .next()
+                .and_then(|w| w.strip_prefix("t="))
+                .and_then(|w| w.parse::<Time>().ok())
+                .ok_or_else(|| err("expected t=<time>"))?;
+            let q = parts
+                .next()
+                .and_then(|w| w.strip_prefix('P'))
+                .and_then(|w| w.parse::<u32>().ok())
+                .ok_or_else(|| err("expected P<processor>"))?;
+            let kind = match parts.next().ok_or_else(|| err("missing kind"))? {
+                "wake" => TraceEventKind::Wake,
+                "idle-active" => TraceEventKind::IdleActive,
+                "sleep" => TraceEventKind::Sleep,
+                "run" => {
+                    let job = parts
+                        .next()
+                        .and_then(|w| w.strip_prefix('j'))
+                        .and_then(|w| w.parse::<u32>().ok())
+                        .ok_or_else(|| err("expected j<job>"))?;
+                    TraceEventKind::RunJob { job }
+                }
+                other => return Err(err(&format!("unknown kind {other:?}"))),
+            };
+            events.push(TraceEvent { time: t, processor: q, kind });
+        }
+        Ok(Trace { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut t = Trace::new();
+        t.push(TraceEvent { time: 0, processor: 0, kind: TraceEventKind::Wake });
+        t.push(TraceEvent { time: 0, processor: 0, kind: TraceEventKind::RunJob { job: 3 } });
+        t.push(TraceEvent { time: 1, processor: 0, kind: TraceEventKind::IdleActive });
+        t.push(TraceEvent { time: 2, processor: 0, kind: TraceEventKind::Sleep });
+        let text = t.render();
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Trace::parse("t=x P0 wake").is_err());
+        assert!(Trace::parse("t=0 Q0 wake").is_err());
+        assert!(Trace::parse("t=0 P0 dance").is_err());
+        assert!(Trace::parse("t=0 P0 run jx").is_err());
+    }
+
+    #[test]
+    fn of_processor_filters() {
+        let mut t = Trace::new();
+        t.push(TraceEvent { time: 0, processor: 0, kind: TraceEventKind::Wake });
+        t.push(TraceEvent { time: 0, processor: 1, kind: TraceEventKind::Wake });
+        assert_eq!(t.of_processor(1).count(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the simulator: energy accounting must match
+//! the analytic model for every schedule and every policy's invariants.
+
+use gaps_core::instance::Instance;
+use gaps_core::power::power_cost_multiproc;
+use gaps_sim::policy::gap_cost;
+use gaps_sim::{
+    simulate_schedule, Clairvoyant, NeverSleep, RandomizedTimeout, SleepImmediately, Timeout,
+};
+use proptest::prelude::*;
+
+/// Random feasible instance + its EDF schedule.
+fn arb_instance_schedule() -> impl Strategy<Value = (Instance, gaps_core::schedule::Schedule)> {
+    (1u32..=3, proptest::collection::vec((0i64..20, 0i64..4), 1..=10)).prop_filter_map(
+        "feasible draws only",
+        |(p, jobs)| {
+            let windows: Vec<(i64, i64)> = jobs.into_iter().map(|(r, s)| (r, r + s)).collect();
+            let inst = Instance::from_windows(windows, p).ok()?;
+            let sched = gaps_core::edf::edf(&inst).ok()?;
+            Some((inst, sched))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Clairvoyant simulation ≡ analytic power, for any schedule and α.
+    #[test]
+    fn clairvoyant_equals_analytic((inst, sched) in arb_instance_schedule(), alpha in 0u64..8) {
+        let report = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
+        prop_assert_eq!(report.energy, power_cost_multiproc(&sched, inst.processors(), alpha));
+    }
+
+    /// The clairvoyant policy is the floor: no other policy beats it.
+    #[test]
+    fn clairvoyant_is_optimal((inst, sched) in arb_instance_schedule(), alpha in 0u64..8) {
+        let opt = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha }).energy;
+        for policy in [
+            simulate_schedule(&inst, &sched, alpha, &SleepImmediately).energy,
+            simulate_schedule(&inst, &sched, alpha, &NeverSleep).energy,
+            simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy,
+            simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: 1 }).energy,
+        ] {
+            prop_assert!(opt <= policy);
+        }
+    }
+
+    /// Timeout(α) never exceeds twice the clairvoyant energy... per run
+    /// the bound composes over gaps, with the busy slots and first wake
+    /// shared, so the whole-run ratio is ≤ 2 as well.
+    #[test]
+    fn timeout_two_competitive((inst, sched) in arb_instance_schedule(), alpha in 1u64..8) {
+        let opt = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha }).energy;
+        let online = simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy;
+        prop_assert!(online <= 2 * opt, "online {online} vs opt {opt}");
+    }
+
+    /// Per-gap invariants: gap_cost is monotone in g for every policy, and
+    /// clairvoyant per-gap cost is exactly min(g, α).
+    #[test]
+    fn gap_cost_invariants(alpha in 1u64..12, g in 0u64..40) {
+        let clair = Clairvoyant { alpha };
+        prop_assert_eq!(gap_cost(&clair, g, alpha), g.min(alpha));
+        for t in [0, 1, alpha / 2, alpha, alpha * 2] {
+            let pol = Timeout { threshold: t };
+            let c = gap_cost(&pol, g, alpha);
+            let c_next = gap_cost(&pol, g + 1, alpha);
+            prop_assert!(c <= c_next, "cost must be monotone in gap length");
+            prop_assert!(c >= g.min(alpha), "no policy beats clairvoyant");
+        }
+    }
+
+    /// The randomized distribution is a probability distribution and its
+    /// expected per-gap cost stays within [min(g,α), 2·min(g,α)].
+    #[test]
+    fn randomized_expected_cost_sandwich(alpha in 1u64..16, g in 1u64..48) {
+        let d = RandomizedTimeout::new(alpha);
+        let total: f64 = (0..=alpha).map(|i| d.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let e = d.expected_gap_cost(g);
+        let opt = g.min(alpha) as f64;
+        prop_assert!(e + 1e-9 >= opt, "expectation below optimum");
+        prop_assert!(e <= 2.0 * opt + 1e-9, "expectation above the deterministic bound");
+    }
+
+    /// Wake-up counts: sleep-immediately wakes once per span; never-sleep
+    /// wakes once per processor used.
+    #[test]
+    fn wakeup_counts_match_span_structure((inst, sched) in arb_instance_schedule()) {
+        let p = inst.processors();
+        let alpha = 3;
+        let eager = simulate_schedule(&inst, &sched, alpha, &SleepImmediately);
+        let lazy = simulate_schedule(&inst, &sched, alpha, &NeverSleep);
+        let spans = sched.span_count(p);
+        let used = sched.processors_used(p) as u64;
+        let eager_wakes: u64 = eager.per_processor.iter().map(|r| r.wakeups).sum();
+        let lazy_wakes: u64 = lazy.per_processor.iter().map(|r| r.wakeups).sum();
+        prop_assert_eq!(eager_wakes, spans);
+        prop_assert_eq!(lazy_wakes, used);
+    }
+}

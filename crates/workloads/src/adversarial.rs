@@ -1,0 +1,126 @@
+//! Structured worst-case and story workloads from the paper.
+
+use gaps_core::instance::{Instance, MultiInstance, MultiJob};
+use gaps_core::time::Time;
+use rand::Rng;
+
+/// The Section 1 online lower-bound family: `n` flexible jobs (release 0,
+/// deadline `3n`) plus `n` tight jobs at times `n, n+2, …` each due one
+/// slot after release. Non-lazy EDF pays `n − 1` gaps; the offline
+/// optimum pays 0 (experiment E12).
+pub fn online_lower_bound(n: usize) -> Instance {
+    let n_t = n as Time;
+    let mut windows = Vec::with_capacity(2 * n);
+    for _ in 0..n {
+        windows.push((0, 3 * n_t));
+    }
+    for j in 0..n_t {
+        let t = n_t + 2 * j;
+        windows.push((t, t + 1));
+    }
+    Instance::from_windows(windows, 1).expect("valid windows")
+}
+
+/// The paper's companion adversary branch: if the online algorithm ever
+/// idles while flexible work is pending, the adversary instead releases
+/// `2n` tight back-to-back jobs from time `n` on, making lateness fatal.
+/// Included so experiments can show why online algorithms cannot wait.
+pub fn online_lower_bound_punisher(n: usize) -> Instance {
+    let n_t = n as Time;
+    let mut windows = Vec::with_capacity(3 * n);
+    for _ in 0..n {
+        windows.push((0, 3 * n_t));
+    }
+    for j in 0..2 * n_t {
+        let t = n_t + j;
+        windows.push((t, t));
+    }
+    Instance::from_windows(windows, 1).expect("valid windows")
+}
+
+/// The Section 6 consultant scenario: `days` working days of `day_len`
+/// slots each (nights are unusable). Each task picks `windows_per_task`
+/// random days and a random contiguous stretch of `stretch` slots within
+/// each — "each job can be executed at specified times during specified
+/// days". A budget of `k` gaps is a budget of `k` billable days
+/// (experiment E11 and the `consultant` example).
+pub fn consultant(
+    rng: &mut impl Rng,
+    days: usize,
+    day_len: Time,
+    tasks: usize,
+    windows_per_task: usize,
+    stretch: Time,
+) -> MultiInstance {
+    assert!(day_len >= stretch && stretch >= 1);
+    assert!(days >= 1 && windows_per_task >= 1);
+    let night = 3; // unusable separation between days
+    let day_base = |d: usize| d as Time * (day_len + night);
+    let jobs = (0..tasks)
+        .map(|_| {
+            let mut times = Vec::new();
+            for _ in 0..windows_per_task {
+                let d = rng.gen_range(0..days);
+                let start = day_base(d) + rng.gen_range(0..=(day_len - stretch));
+                times.extend(start..start + stretch);
+            }
+            MultiJob::new(times)
+        })
+        .collect();
+    MultiInstance::new(jobs).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn online_family_shape() {
+        let inst = online_lower_bound(4);
+        assert_eq!(inst.job_count(), 8);
+        // Flexible jobs first, then tight ones two slots apart.
+        assert_eq!(inst.jobs()[0].deadline, 12);
+        assert_eq!(inst.jobs()[4].release, 4);
+        assert_eq!(inst.jobs()[5].release, 6);
+        assert!(gaps_core::edf::is_feasible(&inst));
+    }
+
+    #[test]
+    fn online_family_ratio_grows() {
+        for n in [3usize, 6] {
+            let inst = online_lower_bound(n);
+            let (online, offline) =
+                gaps_core::online::online_vs_offline_gaps(&inst).unwrap();
+            assert_eq!(online, n as u64 - 1);
+            assert_eq!(offline, 0);
+        }
+    }
+
+    #[test]
+    fn punisher_is_feasible_only_if_started_immediately() {
+        let inst = online_lower_bound_punisher(3);
+        // EDF (which never idles) survives it.
+        assert!(gaps_core::edf::is_feasible(&inst));
+    }
+
+    #[test]
+    fn consultant_slots_fall_within_days() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = consultant(&mut rng, 5, 8, 12, 2, 3);
+        for job in inst.jobs() {
+            for &t in job.times() {
+                let within_day = t.rem_euclid(8 + 3);
+                assert!(within_day < 8, "slot {t} falls into a night");
+            }
+        }
+    }
+
+    #[test]
+    fn consultant_deterministic() {
+        let a = consultant(&mut StdRng::seed_from_u64(1), 4, 6, 8, 2, 2);
+        let b = consultant(&mut StdRng::seed_from_u64(1), 4, 6, 8, 2, 2);
+        assert_eq!(a, b);
+    }
+}

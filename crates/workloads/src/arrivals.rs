@@ -1,0 +1,118 @@
+//! Stochastic arrival processes: Bernoulli (discrete Poisson-like)
+//! arrivals with laxity, and diurnal load patterns. These produce the
+//! gap-rich traces that make sleep decisions interesting — the regime the
+//! paper's power model targets.
+
+use gaps_core::instance::{Instance, Job};
+use gaps_core::time::Time;
+use rand::Rng;
+
+/// Bernoulli arrivals: at every slot of `[0, horizon)`, each of up to
+/// `max_per_slot` independent sources releases a job with probability
+/// `rate`; each job gets a window of `laxity + 1` slots. The expected
+/// load is `rate · max_per_slot / p` per processor-slot.
+pub fn bernoulli(
+    rng: &mut impl Rng,
+    horizon: Time,
+    rate: f64,
+    max_per_slot: u32,
+    laxity: Time,
+    processors: u32,
+) -> Instance {
+    assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+    assert!(horizon >= 1 && laxity >= 0);
+    let mut jobs = Vec::new();
+    for t in 0..horizon {
+        for _ in 0..max_per_slot {
+            if rng.gen_bool(rate) {
+                jobs.push(Job::new(t, t + laxity));
+            }
+        }
+    }
+    Instance::new(jobs, processors).expect("valid windows")
+}
+
+/// Diurnal pattern: arrival probability alternates between `day_rate`
+/// (for `day_len` slots) and `night_rate` (for `night_len` slots) over
+/// `cycles` periods — the day/night load shape of real device traces.
+#[allow(clippy::too_many_arguments)]
+pub fn diurnal(
+    rng: &mut impl Rng,
+    cycles: usize,
+    day_len: Time,
+    night_len: Time,
+    day_rate: f64,
+    night_rate: f64,
+    laxity: Time,
+    processors: u32,
+) -> Instance {
+    assert!(day_len >= 1 && night_len >= 0 && cycles >= 1);
+    let mut jobs = Vec::new();
+    let period = day_len + night_len;
+    for c in 0..cycles as Time {
+        let base = c * period;
+        for t in 0..period {
+            let rate = if t < day_len { day_rate } else { night_rate };
+            if rng.gen_bool(rate) {
+                jobs.push(Job::new(base + t, base + t + laxity));
+            }
+        }
+    }
+    Instance::new(jobs, processors).expect("valid windows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_respects_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = bernoulli(&mut rng, 50, 0.3, 2, 4, 1);
+        for j in inst.jobs() {
+            assert!(j.release >= 0 && j.release < 50);
+            assert_eq!(j.deadline - j.release, 4);
+        }
+        // Expected ~30 jobs; allow wide slack.
+        assert!(inst.job_count() > 10 && inst.job_count() < 60);
+    }
+
+    #[test]
+    fn bernoulli_rate_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(bernoulli(&mut rng, 20, 0.0, 3, 1, 1).job_count(), 0);
+        assert_eq!(bernoulli(&mut rng, 20, 1.0, 2, 1, 1).job_count(), 40);
+    }
+
+    #[test]
+    fn diurnal_concentrates_load_in_days() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = diurnal(&mut rng, 4, 10, 10, 0.8, 0.05, 2, 1);
+        let day_jobs = inst
+            .jobs()
+            .iter()
+            .filter(|j| j.release.rem_euclid(20) < 10)
+            .count();
+        assert!(
+            day_jobs * 3 > inst.job_count() * 2,
+            "most jobs should arrive during the day: {day_jobs}/{}",
+            inst.job_count()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = bernoulli(&mut StdRng::seed_from_u64(9), 30, 0.4, 1, 2, 2);
+        let b = bernoulli(&mut StdRng::seed_from_u64(9), 30, 0.4, 1, 2, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        bernoulli(&mut rng, 10, 1.5, 1, 1, 1);
+    }
+}

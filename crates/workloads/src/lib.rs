@@ -1,0 +1,27 @@
+//! # gaps-workloads
+//!
+//! Instance generators and (de)serialization for the `gap-scheduling`
+//! experiments. The paper proves worst-case results but evaluates nothing;
+//! the experiment suite (see `EXPERIMENTS.md`) therefore needs
+//! reproducible workload families:
+//!
+//! * [`one_interval`] — random release/deadline jobs: uniform, bursty,
+//!   laxity-controlled, and feasible-by-construction batches;
+//! * [`multi_interval`] — random allowed-slot sets, k-interval jobs, and
+//!   the restricted families of Section 5 (2-unit, disjoint-unit);
+//! * [`adversarial`] — the Section 1 online lower-bound family and the
+//!   Section 6 consultant scenario;
+//! * [`setcover`] — random (B-)set-cover instances feeding the hardness
+//!   gadgets of `gaps-reductions`;
+//! * [`serialize`] — a small line-based text format for instances, so
+//!   experiments can be dumped and replayed.
+//!
+//! All generators take a caller-provided RNG; use a seeded
+//! `rand::rngs::StdRng` for reproducibility.
+
+pub mod adversarial;
+pub mod arrivals;
+pub mod multi_interval;
+pub mod one_interval;
+pub mod serialize;
+pub mod setcover;

@@ -1,0 +1,176 @@
+//! Random multi-interval workloads, including Section 5's restricted
+//! families.
+
+use gaps_core::instance::{MultiInstance, MultiJob};
+use gaps_core::time::Time;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Each job gets `slots_per_job` allowed slots drawn uniformly (with
+/// replacement, then deduplicated) from `[0, t_max]`. Feasibility is not
+/// guaranteed.
+pub fn random_slots(
+    rng: &mut impl Rng,
+    n: usize,
+    t_max: Time,
+    slots_per_job: usize,
+) -> MultiInstance {
+    assert!(slots_per_job >= 1);
+    let jobs = (0..n)
+        .map(|_| {
+            MultiJob::new((0..slots_per_job).map(|_| rng.gen_range(0..=t_max)).collect())
+        })
+        .collect();
+    MultiInstance::new(jobs).expect("non-empty slot sets")
+}
+
+/// Feasible-by-construction: job `i` owns a distinct anchor slot, plus
+/// `extra` random slots. The anchors form a feasible schedule.
+pub fn feasible_slots(
+    rng: &mut impl Rng,
+    n: usize,
+    t_max: Time,
+    extra: usize,
+) -> MultiInstance {
+    assert!(t_max + 1 >= n as Time, "need at least n distinct anchor slots");
+    let mut anchors: Vec<Time> = (0..=t_max).collect();
+    anchors.shuffle(rng);
+    let jobs = (0..n)
+        .map(|i| {
+            let mut times = vec![anchors[i]];
+            times.extend((0..extra).map(|_| rng.gen_range(0..=t_max)));
+            MultiJob::new(times)
+        })
+        .collect();
+    let inst = MultiInstance::new(jobs).expect("non-empty");
+    debug_assert!(gaps_core::feasibility::is_feasible(&inst));
+    inst
+}
+
+/// k-interval jobs: each job gets `intervals` maximal intervals of length
+/// `interval_len`, with starts drawn from `[0, t_max]` (deduplicated and
+/// possibly merging — the *at most* k of the paper's problem statements).
+pub fn k_interval(
+    rng: &mut impl Rng,
+    n: usize,
+    t_max: Time,
+    intervals: usize,
+    interval_len: Time,
+) -> MultiInstance {
+    assert!(intervals >= 1 && interval_len >= 1);
+    let jobs = (0..n)
+        .map(|_| {
+            let mut times = Vec::new();
+            for _ in 0..intervals {
+                let s = rng.gen_range(0..=t_max);
+                times.extend(s..s + interval_len);
+            }
+            MultiJob::new(times)
+        })
+        .collect();
+    MultiInstance::new(jobs).expect("non-empty")
+}
+
+/// 2-unit family (Theorem 9's input): each job has at most two allowed
+/// slots, spaced so every interval is a unit interval.
+pub fn two_unit(rng: &mut impl Rng, n: usize, t_max: Time) -> MultiInstance {
+    let jobs = (0..n)
+        .map(|_| {
+            let a = rng.gen_range(0..=t_max);
+            if rng.gen_bool(0.3) {
+                MultiJob::new(vec![a])
+            } else {
+                let b = rng.gen_range(0..=t_max);
+                MultiJob::new(vec![a, b])
+            }
+        })
+        .collect();
+    MultiInstance::new(jobs).expect("non-empty")
+}
+
+/// Disjoint-unit family (Theorems 9/10): job `i` gets `slots_per_job`
+/// slots in its private arithmetic strip, so allowed sets are pairwise
+/// disjoint and all intervals unit (stride ≥ 2).
+pub fn disjoint_unit(
+    rng: &mut impl Rng,
+    n: usize,
+    slots_per_job: usize,
+    stride: Time,
+) -> MultiInstance {
+    assert!(stride >= 2, "stride < 2 would create non-unit intervals");
+    let strip = slots_per_job as Time * stride + stride;
+    let jobs = (0..n)
+        .map(|i| {
+            let base = i as Time * strip;
+            let mut times: Vec<Time> = Vec::with_capacity(slots_per_job);
+            let mut cursor = base;
+            for _ in 0..slots_per_job {
+                cursor += rng.gen_range(2..=stride);
+                times.push(cursor);
+            }
+            MultiJob::new(times)
+        })
+        .collect();
+    let inst = MultiInstance::new(jobs).expect("non-empty");
+    debug_assert!(inst.is_disjoint());
+    debug_assert!(inst.is_unit_interval());
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_slots_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = random_slots(&mut rng, 20, 15, 3);
+        assert_eq!(inst.job_count(), 20);
+        for j in inst.jobs() {
+            assert!(!j.times().is_empty() && j.times().len() <= 3);
+            assert!(j.times().iter().all(|&t| (0..=15).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn feasible_slots_is_feasible() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = feasible_slots(&mut rng, 12, 20, 2);
+            assert!(gaps_core::feasibility::is_feasible(&inst), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn k_interval_interval_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = k_interval(&mut rng, 15, 40, 3, 2);
+        assert!(inst.max_intervals_per_job() <= 3);
+    }
+
+    #[test]
+    fn two_unit_classification() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let inst = two_unit(&mut rng, 30, 25);
+        assert!(inst.jobs().iter().all(|j| j.times().len() <= 2));
+    }
+
+    #[test]
+    fn disjoint_unit_classification() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let inst = disjoint_unit(&mut rng, 8, 3, 4);
+        assert!(inst.is_disjoint());
+        assert!(inst.is_unit_interval());
+        // Disjoint-unit instances are always feasible (pick any slot each).
+        assert!(gaps_core::feasibility::is_feasible(&inst));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn disjoint_unit_rejects_tight_stride() {
+        let mut rng = StdRng::seed_from_u64(0);
+        disjoint_unit(&mut rng, 3, 2, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Random one-interval (release/deadline) workloads.
+
+use gaps_core::instance::{Instance, Job};
+use gaps_core::time::Time;
+use rand::Rng;
+
+/// Uniformly random windows: each job's release is uniform in
+/// `[0, horizon)`, and its deadline release + `Uniform[0, max_slack]`.
+/// Feasibility is *not* guaranteed.
+pub fn uniform(
+    rng: &mut impl Rng,
+    n: usize,
+    horizon: Time,
+    max_slack: Time,
+    processors: u32,
+) -> Instance {
+    assert!(horizon >= 1 && max_slack >= 0);
+    let jobs = (0..n)
+        .map(|_| {
+            let r = rng.gen_range(0..horizon);
+            let d = r + rng.gen_range(0..=max_slack);
+            Job::new(r, d)
+        })
+        .collect();
+    Instance::new(jobs, processors).expect("windows are valid by construction")
+}
+
+/// Feasible-by-construction batch: pick `n` busy slots respecting the
+/// capacity `p` (uniform over the horizon), then open a window of random
+/// slack around each. The slot choice itself is a feasible schedule, so
+/// the instance always admits one.
+pub fn feasible(
+    rng: &mut impl Rng,
+    n: usize,
+    horizon: Time,
+    max_slack: Time,
+    processors: u32,
+) -> Instance {
+    assert!(
+        (horizon as u128) * processors as u128 >= n as u128,
+        "capacity p·horizon must fit n jobs"
+    );
+    let mut load = vec![0u32; horizon as usize];
+    let jobs = (0..n)
+        .map(|_| {
+            let t = loop {
+                let t = rng.gen_range(0..horizon);
+                if load[t as usize] < processors {
+                    break t;
+                }
+            };
+            load[t as usize] += 1;
+            let before = rng.gen_range(0..=max_slack);
+            let after = rng.gen_range(0..=max_slack);
+            Job::new((t - before).max(0), t + after)
+        })
+        .collect();
+    let inst = Instance::new(jobs, processors).expect("valid windows");
+    debug_assert!(gaps_core::edf::is_feasible(&inst));
+    inst
+}
+
+/// Bursty arrivals: `bursts` clusters of `per_burst` jobs each; cluster
+/// `i` occupies `[i·(span + dead), i·(span + dead) + span)`, and each job
+/// gets a window of `window_len` slots inside its cluster.
+pub fn bursty(
+    rng: &mut impl Rng,
+    bursts: usize,
+    per_burst: usize,
+    span: Time,
+    dead: Time,
+    window_len: Time,
+    processors: u32,
+) -> Instance {
+    assert!(span >= window_len && window_len >= 1);
+    let mut jobs = Vec::with_capacity(bursts * per_burst);
+    for b in 0..bursts {
+        let base = b as Time * (span + dead);
+        for _ in 0..per_burst {
+            let r = base + rng.gen_range(0..=(span - window_len));
+            jobs.push(Job::new(r, r + window_len - 1));
+        }
+    }
+    Instance::new(jobs, processors).expect("valid windows")
+}
+
+/// Laxity-controlled family: every job has window length exactly
+/// `laxity + 1`; releases uniform. Sweeping `laxity` from 0 (rigid) to
+/// large (fluid) is how experiments steer gap structure.
+pub fn fixed_laxity(
+    rng: &mut impl Rng,
+    n: usize,
+    horizon: Time,
+    laxity: Time,
+    processors: u32,
+) -> Instance {
+    let jobs = (0..n)
+        .map(|_| {
+            let r = rng.gen_range(0..horizon);
+            Job::new(r, r + laxity)
+        })
+        .collect();
+    Instance::new(jobs, processors).expect("valid windows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = uniform(&mut rng, 40, 50, 10, 2);
+        assert_eq!(inst.job_count(), 40);
+        for j in inst.jobs() {
+            assert!(j.release >= 0 && j.release < 50);
+            assert!(j.deadline - j.release <= 10);
+        }
+    }
+
+    #[test]
+    fn feasible_is_feasible() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = feasible(&mut rng, 30, 20, 4, 2);
+            assert!(gaps_core::edf::is_feasible(&inst), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn feasible_single_processor_tight() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = feasible(&mut rng, 10, 10, 0, 1);
+        assert!(gaps_core::edf::is_feasible(&inst));
+        // Zero slack: windows are single slots.
+        assert!(inst.jobs().iter().all(|j| j.release == j.deadline));
+    }
+
+    #[test]
+    fn bursty_layout() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = bursty(&mut rng, 3, 4, 6, 10, 3, 1);
+        assert_eq!(inst.job_count(), 12);
+        // Jobs of burst b live in [b·16, b·16 + 6).
+        for (i, j) in inst.jobs().iter().enumerate() {
+            let b = (i / 4) as Time;
+            assert!(j.release >= b * 16 && j.deadline < b * 16 + 6);
+        }
+    }
+
+    #[test]
+    fn fixed_laxity_window_lengths() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = fixed_laxity(&mut rng, 25, 30, 4, 1);
+        assert!(inst.jobs().iter().all(|j| j.deadline - j.release == 4));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(42), 10, 20, 5, 2);
+        let b = uniform(&mut StdRng::seed_from_u64(42), 10, 20, 5, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn feasible_rejects_overload() {
+        let mut rng = StdRng::seed_from_u64(0);
+        feasible(&mut rng, 50, 10, 2, 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! A small line-based text format for instances, for dumping and replaying
+//! experiment inputs without external serialization crates.
+//!
+//! ```text
+//! # one-interval, 2 processors, jobs "release deadline"
+//! instance v1
+//! processors 2
+//! job 0 5
+//! job 3 9
+//! ```
+//!
+//! ```text
+//! # multi-interval, jobs "t1 t2 ..."
+//! multi v1
+//! job 0 1 5
+//! job 2
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored.
+
+use gaps_core::instance::{Instance, Job, MultiInstance, MultiJob};
+use gaps_core::time::Time;
+
+/// Serialize a one-interval instance.
+pub fn instance_to_text(inst: &Instance) -> String {
+    let mut out = String::from("instance v1\n");
+    out.push_str(&format!("processors {}\n", inst.processors()));
+    for j in inst.jobs() {
+        out.push_str(&format!("job {} {}\n", j.release, j.deadline));
+    }
+    out
+}
+
+/// Parse a one-interval instance.
+pub fn instance_from_text(s: &str) -> Result<Instance, String> {
+    let mut lines = meaningful_lines(s);
+    expect_header(lines.next(), "instance v1")?;
+    let mut processors: Option<u32> = None;
+    let mut jobs = Vec::new();
+    for (no, line) in lines {
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("processors") => {
+                let p = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("line {no}: bad processor count"))?;
+                processors = Some(p);
+            }
+            Some("job") => {
+                let r: Time = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("line {no}: bad release"))?;
+                let d: Time = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("line {no}: bad deadline"))?;
+                jobs.push(Job::new(r, d));
+            }
+            other => return Err(format!("line {no}: unexpected {other:?}")),
+        }
+    }
+    let p = processors.ok_or("missing 'processors' line")?;
+    Instance::new(jobs, p).map_err(|e| e.to_string())
+}
+
+/// Serialize a multi-interval instance.
+pub fn multi_to_text(inst: &MultiInstance) -> String {
+    let mut out = String::from("multi v1\n");
+    for j in inst.jobs() {
+        out.push_str("job");
+        for t in j.times() {
+            out.push_str(&format!(" {t}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a multi-interval instance.
+pub fn multi_from_text(s: &str) -> Result<MultiInstance, String> {
+    let mut lines = meaningful_lines(s);
+    expect_header(lines.next(), "multi v1")?;
+    let mut jobs = Vec::new();
+    for (no, line) in lines {
+        let mut words = line.split_whitespace();
+        if words.next() != Some("job") {
+            return Err(format!("line {no}: expected 'job'"));
+        }
+        let times: Result<Vec<Time>, _> = words.map(|w| w.parse::<Time>()).collect();
+        let times = times.map_err(|e| format!("line {no}: {e}"))?;
+        jobs.push(MultiJob::new(times));
+    }
+    MultiInstance::new(jobs).map_err(|e| e.to_string())
+}
+
+/// Numbered, comment-stripped lines.
+fn meaningful_lines(s: &str) -> impl Iterator<Item = (usize, &str)> {
+    s.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+fn expect_header(got: Option<(usize, &str)>, want: &str) -> Result<(), String> {
+    match got {
+        Some((_, l)) if l == want => Ok(()),
+        Some((no, l)) => Err(format!("line {no}: expected {want:?}, got {l:?}")),
+        None => Err(format!("empty input; expected {want:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = Instance::from_windows([(0, 5), (-3, 9), (7, 7)], 3).unwrap();
+        let text = instance_to_text(&inst);
+        let back = instance_from_text(&text).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn multi_roundtrip() {
+        let inst =
+            MultiInstance::from_times([vec![0, 1, 5], vec![2], vec![-4, 100]]).unwrap();
+        let text = multi_to_text(&inst);
+        let back = multi_from_text(&text).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header comment\n\ninstance v1\nprocessors 1\n# a job\njob 0 2\n";
+        let inst = instance_from_text(text).unwrap();
+        assert_eq!(inst.job_count(), 1);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(instance_from_text("").unwrap_err().contains("empty input"));
+        assert!(instance_from_text("multi v1").unwrap_err().contains("expected"));
+        assert!(
+            instance_from_text("instance v1\nprocessors x")
+                .unwrap_err()
+                .contains("bad processor")
+        );
+        assert!(
+            instance_from_text("instance v1\nprocessors 1\njob 5 1")
+                .unwrap_err()
+                .contains("empty window")
+        );
+        assert!(multi_from_text("multi v1\njob").unwrap_err().contains("no allowed"));
+    }
+
+    #[test]
+    fn empty_instances_roundtrip() {
+        let inst = Instance::new(vec![], 2).unwrap();
+        assert_eq!(instance_from_text(&instance_to_text(&inst)).unwrap(), inst);
+        let multi = MultiInstance::new(vec![]).unwrap();
+        assert_eq!(multi_from_text(&multi_to_text(&multi)).unwrap(), multi);
+    }
+}

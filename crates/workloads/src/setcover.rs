@@ -1,0 +1,115 @@
+//! Random set-cover instances feeding the hardness gadgets.
+
+use gaps_setcover::SetCoverInstance;
+use rand::Rng;
+
+/// A random feasible set-cover instance: `sets` random subsets of size
+/// `1..=max_size`, patched with singletons so every element is coverable.
+pub fn random_cover(
+    rng: &mut impl Rng,
+    universe: u32,
+    sets: usize,
+    max_size: usize,
+) -> SetCoverInstance {
+    assert!(universe >= 1 && max_size >= 1);
+    let mut collection: Vec<Vec<u32>> = (0..sets)
+        .map(|_| {
+            let size = rng.gen_range(1..=max_size);
+            (0..size).map(|_| rng.gen_range(0..universe)).collect()
+        })
+        .collect();
+    // Patch coverage.
+    let mut covered = vec![false; universe as usize];
+    for s in &collection {
+        for &e in s {
+            covered[e as usize] = true;
+        }
+    }
+    for (e, c) in covered.iter().enumerate() {
+        if !c {
+            collection.push(vec![e as u32]);
+        }
+    }
+    SetCoverInstance::new(universe, collection).expect("elements in range")
+}
+
+/// A random feasible **B**-set-cover instance (every set has size ≤ B) —
+/// the source problem of Theorems 5 and 10.
+pub fn random_b_cover(
+    rng: &mut impl Rng,
+    universe: u32,
+    sets: usize,
+    b: usize,
+) -> SetCoverInstance {
+    let inst = random_cover(rng, universe, sets, b);
+    debug_assert!(inst.max_set_size() <= b);
+    inst
+}
+
+/// The classic greedy-fooling family: universe of `2^k + 2^{k-1} + … `
+/// arranged as two "row" sets (OPT = 2) and geometrically shrinking
+/// "column" sets that greedy prefers, giving ratio Θ(k) = Θ(lg n).
+pub fn greedy_trap(k: u32) -> SetCoverInstance {
+    assert!((1..=16).contains(&k), "k in 1..=16 keeps sizes sane");
+    // Columns of sizes 2^k, 2^(k-1), ..., 2: total n = 2^(k+1) - 2.
+    let n: u32 = (1 << (k + 1)) - 2;
+    let mut sets = Vec::new();
+    let row0: Vec<u32> = (0..n).filter(|e| e % 2 == 0).collect();
+    let row1: Vec<u32> = (0..n).filter(|e| e % 2 == 1).collect();
+    sets.push(row0);
+    sets.push(row1);
+    let mut start = 0u32;
+    for i in (1..=k).rev() {
+        let size = 1u32 << i;
+        sets.push((start..start + size).collect());
+        start += size;
+    }
+    SetCoverInstance::new(n, sets).expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_setcover::{exact_min_cover, greedy_cover};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_cover_always_feasible() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = random_cover(&mut rng, 12, 6, 4);
+            assert!(inst.is_feasible(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn b_cover_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = random_b_cover(&mut rng, 10, 8, 3);
+        assert!(inst.max_set_size() <= 3);
+        assert!(inst.is_feasible());
+    }
+
+    #[test]
+    fn greedy_trap_fools_greedy() {
+        let inst = greedy_trap(3);
+        let opt = exact_min_cover(&inst).unwrap();
+        assert_eq!(opt.len(), 2, "the two rows cover everything");
+        let greedy = greedy_cover(&inst).unwrap();
+        assert!(greedy.len() >= 3, "greedy grabs the big columns first");
+    }
+
+    #[test]
+    fn greedy_trap_ratio_grows_with_k() {
+        let r3 = {
+            let inst = greedy_trap(3);
+            gaps_setcover::greedy_cover(&inst).unwrap().len() as f64 / 2.0
+        };
+        let r5 = {
+            let inst = greedy_trap(5);
+            gaps_setcover::greedy_cover(&inst).unwrap().len() as f64 / 2.0
+        };
+        assert!(r5 > r3, "ratio grows with k: {r3} vs {r5}");
+    }
+}

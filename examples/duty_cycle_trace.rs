@@ -1,0 +1,72 @@
+//! A day in the life of a sleepy processor: diurnal Bernoulli arrivals,
+//! the exact power DP, an ASCII timeline of the result, and a bake-off of
+//! online power-down policies (deterministic timeout vs the randomized
+//! e/(e−1) strategy) on the resulting idle periods.
+//!
+//! ```sh
+//! cargo run --release --example duty_cycle_trace
+//! ```
+
+use gap_scheduling::power::optimal_active_profile;
+use gap_scheduling::render::render_timeline_with_active;
+use gap_scheduling::sim::policy::gap_cost;
+use gap_scheduling::sim::{
+    simulate_schedule, Clairvoyant, RandomizedTimeout, SleepImmediately, Timeout,
+};
+use gap_scheduling::workloads::arrivals;
+use gap_scheduling::{edf, power_dp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let alpha = 4u64;
+    // Two day/night cycles: busy days, sparse nights.
+    let inst = arrivals::diurnal(&mut rng, 2, 14, 14, 0.55, 0.08, 3, 1);
+    println!(
+        "diurnal workload: {} jobs over two 28-slot day/night cycles, alpha = {alpha}",
+        inst.job_count()
+    );
+
+    let Some(sol) = power_dp::min_power_schedule(&inst, alpha) else {
+        println!("(unlucky seed: instance infeasible — rerun with another seed)");
+        return;
+    };
+    let active = optimal_active_profile(&sol.schedule, 1, alpha);
+    println!("\npower-optimal schedule (# job, ~ idle-active bridge, . asleep):");
+    print!("{}", render_timeline_with_active(&inst, &sol.schedule, &active, 100));
+    println!("optimal power: {}", sol.power);
+
+    let edf_sched = edf::edf(&inst).expect("feasible");
+    println!(
+        "for contrast, EDF burns {} (same jobs, gap-oblivious placement)",
+        gap_scheduling::power::power_cost_multiproc(&edf_sched, 1, alpha)
+    );
+
+    // Policy bake-off on the optimal schedule's gaps.
+    println!("\npolicy bake-off on the power-optimal schedule:");
+    let clair = simulate_schedule(&inst, &sol.schedule, alpha, &Clairvoyant { alpha }).energy;
+    let timeout =
+        simulate_schedule(&inst, &sol.schedule, alpha, &Timeout { threshold: alpha }).energy;
+    let eager = simulate_schedule(&inst, &sol.schedule, alpha, &SleepImmediately).energy;
+    println!("  clairvoyant (offline optimum)   {clair}");
+    println!("  timeout(alpha) [2-competitive]  {timeout}");
+    println!("  sleep-immediately               {eager}");
+
+    // The randomized strategy, in expectation, per gap length.
+    let dist = RandomizedTimeout::new(alpha);
+    println!("\nexpected per-gap cost (alpha = {alpha}):");
+    println!("  gap | offline | timeout(a) | randomized E[cost]");
+    for g in [1u64, 2, 4, 6, 10] {
+        println!(
+            "  {g:>3} | {:>7} | {:>10} | {:>8.2}",
+            g.min(alpha),
+            gap_cost(&Timeout { threshold: alpha }, g, alpha),
+            dist.expected_gap_cost(g),
+        );
+    }
+    println!(
+        "\nworst-case expected ratio of the randomized strategy: {:.3} (theory: e/(e−1) ≈ 1.582)",
+        dist.worst_expected_ratio(40)
+    );
+}

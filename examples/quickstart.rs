@@ -1,0 +1,66 @@
+//! 60-second tour: build an instance, solve it exactly three ways, and
+//! execute the result on the simulator.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gap_scheduling::instance::Instance;
+use gap_scheduling::sim::{simulate_schedule, Clairvoyant};
+use gap_scheduling::{baptiste, edf, multiproc_dp, power_dp};
+
+fn main() {
+    // Eight unit jobs with release times and deadlines, two processors.
+    let inst = Instance::from_windows(
+        [
+            (0, 3),
+            (0, 3),
+            (2, 5),
+            (2, 5),
+            (9, 12),
+            (10, 11),
+            (11, 11),
+            (0, 12),
+        ],
+        2,
+    )
+    .expect("valid windows");
+    let alpha = 3u64;
+    println!("instance: {} jobs, {} processors, horizon {:?}",
+        inst.job_count(), inst.processors(), inst.horizon().unwrap());
+
+    // 1. The paper's Theorem 1: minimize gaps (and wake-up transitions).
+    let spans = multiproc_dp::min_span_schedule(&inst).expect("feasible");
+    let gaps = multiproc_dp::min_gap_schedule(&inst).expect("feasible");
+    println!("\nTheorem 1 (exact DP):");
+    println!("  minimum wake-ups (spans): {}", spans.spans);
+    println!("  minimum finite gaps:      {}", gaps.gaps);
+    for a in gaps.schedule.assignments().iter().take(8) {
+        print!("  [t={} P{}]", a.time, a.processor);
+    }
+    println!();
+
+    // 2. Theorem 2: minimize power with transition cost alpha.
+    let power = power_dp::min_power_schedule(&inst, alpha).expect("feasible");
+    println!("\nTheorem 2 (power DP, alpha = {alpha}):");
+    println!("  minimum power: {}", power.power);
+
+    // 3. The EDF baseline is feasible but gap-oblivious.
+    let edf_sched = edf::edf(&inst).expect("feasible");
+    println!("\nEDF baseline:");
+    println!("  gaps: {} (optimal {})", edf_sched.gap_count(2), gaps.gaps);
+
+    // 4. Execute the power-optimal schedule on the simulator and check the
+    //    measured energy equals the analytic optimum.
+    let report = simulate_schedule(&inst, &power.schedule, alpha, &Clairvoyant { alpha });
+    println!("\nsimulator:");
+    println!("  measured energy: {} (DP said {})", report.energy, power.power);
+    assert_eq!(report.energy, power.power);
+
+    // 5. Single-processor view: Baptiste's DP on the same jobs, p = 1.
+    let single = inst.with_processors(1).expect("valid");
+    match baptiste::min_gaps_value(&single) {
+        Some(g) => println!("\nBaptiste p=1: minimum gaps = {g}"),
+        None => println!("\nBaptiste p=1: infeasible on a single processor"),
+    }
+}

@@ -1,0 +1,46 @@
+//! A sensor node executes measurement tasks, each feasible only in
+//! specific transmission windows (multi-interval jobs). The radio sleeps
+//! between tasks; waking costs α. This is multi-interval power
+//! minimization — NP-hard to approximate better than Ω(lg n) in general
+//! (Theorem 4) — so we run the paper's Theorem 3 approximation and, on
+//! this small instance, compare with the exhaustive optimum across α.
+//!
+//! ```sh
+//! cargo run --release --example sensor_duty_cycle
+//! ```
+
+use gap_scheduling::brute_force::min_power_multi;
+use gap_scheduling::multi_interval::{approx_min_power, theorem3_bound};
+use gap_scheduling::workloads::multi_interval::feasible_slots;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let inst = feasible_slots(&mut rng, 8, 16, 2);
+    println!("sensor tasks: {} jobs over 17 slots (each 3 allowed slots)", inst.job_count());
+    for (i, job) in inst.jobs().iter().enumerate() {
+        println!("  task {i}: allowed at {:?}", job.times());
+    }
+
+    println!("\nalpha | approx power | exact power | ratio | theorem 3 bound");
+    for alpha in [0u64, 1, 2, 4, 8] {
+        let approx = approx_min_power(&inst, alpha as f64, 64).expect("feasible");
+        let (exact, _) = min_power_multi(&inst, alpha).expect("feasible");
+        let ratio = approx.power / exact as f64;
+        println!(
+            "  {alpha:>3} | {:>10.1}  | {exact:>9}   | {ratio:>5.3} | {:>7.3}",
+            approx.power,
+            theorem3_bound(alpha as f64, 0.05),
+        );
+        assert!(ratio <= theorem3_bound(alpha as f64, 0.05) + 1e-9);
+    }
+
+    let alpha = 4.0;
+    let res = approx_min_power(&inst, alpha, 64).expect("feasible");
+    println!(
+        "\nat alpha = {alpha}: the packing scheduled {} two-task bursts (parity {});",
+        res.packed_blocks, res.parity
+    );
+    println!("final duty cycle occupies slots {:?}", res.schedule.occupied());
+}

@@ -1,0 +1,425 @@
+//! `gaps` — command-line front end for the gap-scheduling toolkit.
+//!
+//! ```text
+//! gaps info     --input FILE                       inspect an instance
+//! gaps solve    --input FILE [--objective gaps|spans|power] [--alpha N]
+//! gaps approx   --input FILE --alpha F [--rounds N]   Theorem 3 (multi)
+//! gaps simulate --input FILE --alpha N [--policy P]   run on the simulator
+//! gaps generate --kind K --seed S [--n N] ...         emit an instance
+//! ```
+//!
+//! Instances use the text format of `gaps_workloads::serialize`
+//! (`instance v1` for release/deadline jobs, `multi v1` for allowed-slot
+//! jobs); `gaps` auto-detects which one it read.
+
+use gap_scheduling::instance::{Instance, MultiInstance};
+use gap_scheduling::multi_interval::approx_min_power;
+use gap_scheduling::sim::{
+    simulate_schedule, Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout,
+};
+use gap_scheduling::workloads::{adversarial, multi_interval, one_interval, serialize};
+use gap_scheduling::{brute_force, edf, lower_bounds, multiproc_dp, power_dp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  gaps info     --input FILE
+  gaps solve    --input FILE [--objective gaps|spans|power] [--alpha N]
+  gaps approx   --input FILE --alpha F [--rounds N]
+  gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
+  gaps generate --kind uniform|feasible|bursty|multi|consultant|online
+                [--seed S] [--n N] [--horizon H] [--slack L] [--processors P]";
+
+/// Parsed `--flag value` arguments plus the leading subcommand.
+struct Args {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing subcommand")?.clone();
+    let mut flags = BTreeMap::new();
+    while let Some(flag) = it.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(Args { command, flags })
+}
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+        }
+    }
+}
+
+/// Either flavor of instance, as auto-detected from the file header.
+enum AnyInstance {
+    One(Instance),
+    Multi(MultiInstance),
+}
+
+fn load(path: &str) -> Result<AnyInstance, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let head = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .unwrap_or("");
+    match head {
+        "instance v1" => Ok(AnyInstance::One(serialize::instance_from_text(&text)?)),
+        "multi v1" => Ok(AnyInstance::Multi(serialize::multi_from_text(&text)?)),
+        other => Err(format!("unrecognized header {other:?} in {path}")),
+    }
+}
+
+fn run(raw: &[String]) -> Result<String, String> {
+    let args = parse_args(raw)?;
+    match args.command.as_str() {
+        "info" => cmd_info(&args),
+        "solve" => cmd_solve(&args),
+        "approx" => cmd_approx(&args),
+        "simulate" => cmd_simulate(&args),
+        "generate" => cmd_generate(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<String, String> {
+    let mut out = String::new();
+    match load(args.require("input")?)? {
+        AnyInstance::One(inst) => {
+            out += "one-interval instance\n";
+            out += &gap_scheduling::analysis::analyze_instance(&inst).to_string();
+            out += &format!("feasible: {}\n", edf::is_feasible(&inst));
+        }
+        AnyInstance::Multi(inst) => {
+            out += "multi-interval instance\n";
+            out += &gap_scheduling::analysis::analyze_multi(&inst).to_string();
+            out += &format!(
+                "feasible: {}\n",
+                gap_scheduling::feasibility::is_feasible(&inst)
+            );
+            out += &format!(
+                "span lower bound: {}\n",
+                lower_bounds::min_spans_lower_bound(&inst)
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_solve(args: &Args) -> Result<String, String> {
+    let objective = args.get("objective").unwrap_or("gaps");
+    let alpha: u64 = args.parse_or("alpha", 1u64)?;
+    let mut out = String::new();
+    match load(args.require("input")?)? {
+        AnyInstance::One(inst) => match objective {
+            "gaps" => match multiproc_dp::min_gap_schedule(&inst) {
+                Some(sol) => {
+                    out += &format!("optimal gaps: {}\n", sol.gaps);
+                    out += &format!("spans (wake-ups): {}\n", sol.spans);
+                    out += &render_schedule(&sol.schedule);
+                    out += &render_timeline_for(&inst, &sol.schedule);
+                }
+                None => out += "infeasible\n",
+            },
+            "spans" => match multiproc_dp::min_span_schedule(&inst) {
+                Some(sol) => {
+                    out += &format!("optimal spans: {}\n", sol.spans);
+                    out += &render_schedule(&sol.schedule);
+                    out += &render_timeline_for(&inst, &sol.schedule);
+                }
+                None => out += "infeasible\n",
+            },
+            "power" => match power_dp::min_power_schedule(&inst, alpha) {
+                Some(sol) => {
+                    out += &format!("optimal power (alpha = {alpha}): {}\n", sol.power);
+                    out += &render_schedule(&sol.schedule);
+                    out += &render_timeline_for(&inst, &sol.schedule);
+                }
+                None => out += "infeasible\n",
+            },
+            other => return Err(format!("unknown --objective {other:?}")),
+        },
+        AnyInstance::Multi(inst) => {
+            // Exact solving is exponential; guard with the brute-force
+            // slot limit and be explicit about it.
+            if inst.slot_union().len() > 96 || inst.job_count() > 16 {
+                return Err(
+                    "multi-interval exact solving is exponential; instance too large \
+                     (use `gaps approx` for the Theorem 3 approximation)"
+                        .into(),
+                );
+            }
+            let result = match objective {
+                "gaps" => brute_force::min_gaps_multi(&inst).map(|(v, s)| (v, s)),
+                "spans" => brute_force::min_spans_multi(&inst),
+                "power" => brute_force::min_power_multi(&inst, alpha),
+                other => return Err(format!("unknown --objective {other:?}")),
+            };
+            match result {
+                Some((v, sched)) => {
+                    out += &format!("optimal {objective}: {v}\n");
+                    out += &format!("slots used: {:?}\n", sched.occupied());
+                }
+                None => out += "infeasible\n",
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_approx(args: &Args) -> Result<String, String> {
+    let alpha: f64 = args.parse_or("alpha", 1.0f64)?;
+    let rounds: usize = args.parse_or("rounds", 64usize)?;
+    let AnyInstance::Multi(inst) = load(args.require("input")?)? else {
+        return Err("`gaps approx` expects a multi-interval instance".into());
+    };
+    let mut out = String::new();
+    match approx_min_power(&inst, alpha, rounds) {
+        Some(res) => {
+            out += &format!("approximate power (alpha = {alpha}): {:.2}\n", res.power);
+            out += &format!(
+                "packed 2-blocks: {} (parity {})\n",
+                res.packed_blocks, res.parity
+            );
+            out += &format!(
+                "power lower bound: {}\n",
+                lower_bounds::min_power_lower_bound(&inst, alpha.round() as u64)
+            );
+            out += &format!("slots used: {:?}\n", res.schedule.occupied());
+        }
+        None => out += "infeasible\n",
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let alpha: u64 = args.parse_or("alpha", 1u64)?;
+    let policy_name = args.get("policy").unwrap_or("clairvoyant");
+    let policy: Box<dyn PowerPolicy> = match policy_name {
+        "clairvoyant" => Box::new(Clairvoyant { alpha }),
+        "timeout" => Box::new(Timeout { threshold: alpha }),
+        "sleep" => Box::new(SleepImmediately),
+        "never" => Box::new(NeverSleep),
+        other => return Err(format!("unknown --policy {other:?}")),
+    };
+    let AnyInstance::One(inst) = load(args.require("input")?)? else {
+        return Err("`gaps simulate` expects a one-interval instance".into());
+    };
+    let sched = power_dp::min_power_schedule(&inst, alpha)
+        .ok_or("instance is infeasible")?
+        .schedule;
+    let report = simulate_schedule(&inst, &sched, alpha, policy.as_ref());
+    let mut out = format!(
+        "simulated power-optimal schedule under policy {policy_name} (alpha = {alpha})\n"
+    );
+    out += &format!("total energy: {}\n", report.energy);
+    for (q, r) in report.per_processor.iter().enumerate() {
+        out += &format!(
+            "  P{q}: {} jobs, {} active slots, {} wake-ups, energy {}\n",
+            r.jobs_run, r.active_slots, r.wakeups, r.energy
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_generate(args: &Args) -> Result<String, String> {
+    let kind = args.require("kind")?;
+    let seed: u64 = args.parse_or("seed", 0u64)?;
+    let n: usize = args.parse_or("n", 10usize)?;
+    let horizon: i64 = args.parse_or("horizon", 20i64)?;
+    let slack: i64 = args.parse_or("slack", 3i64)?;
+    let p: u32 = args.parse_or("processors", 1u32)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = match kind {
+        "uniform" => serialize::instance_to_text(&one_interval::uniform(
+            &mut rng, n, horizon, slack, p,
+        )),
+        "feasible" => serialize::instance_to_text(&one_interval::feasible(
+            &mut rng, n, horizon, slack, p,
+        )),
+        "bursty" => serialize::instance_to_text(&one_interval::bursty(
+            &mut rng,
+            (n / 4).max(1),
+            4,
+            horizon.max(4),
+            slack.max(1),
+            2,
+            p,
+        )),
+        "multi" => serialize::multi_to_text(&multi_interval::feasible_slots(
+            &mut rng, n, horizon, 2,
+        )),
+        "consultant" => serialize::multi_to_text(&adversarial::consultant(
+            &mut rng,
+            5,
+            horizon.clamp(4, 24),
+            n,
+            2,
+            2,
+        )),
+        "online" => serialize::instance_to_text(&adversarial::online_lower_bound(n)),
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    Ok(out)
+}
+
+fn render_schedule(sched: &gap_scheduling::schedule::Schedule) -> String {
+    let mut out = String::from("assignments (job: time/processor):");
+    for (i, a) in sched.assignments().iter().enumerate() {
+        if i % 6 == 0 {
+            out += "\n  ";
+        }
+        out += &format!("j{i}:{}@P{}  ", a.time, a.processor);
+    }
+    out.push('\n');
+    out
+}
+
+fn render_timeline_for(inst: &Instance, sched: &gap_scheduling::schedule::Schedule) -> String {
+    format!("timeline:\n{}", gap_scheduling::render::render_timeline(inst, sched, 100))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("gaps-cli-test-{name}"));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_str(args: &[&str]) -> Result<String, String> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_args_flags() {
+        let a = parse_args(&["solve".into(), "--alpha".into(), "3".into()]).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.get("alpha"), Some("3"));
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["x".into(), "bare".into()]).is_err());
+        assert!(parse_args(&["x".into(), "--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn generate_then_info_then_solve() {
+        let text = run_str(&[
+            "generate", "--kind", "feasible", "--seed", "7", "--n", "6",
+            "--horizon", "10", "--processors", "2",
+        ])
+        .unwrap();
+        let path = write_temp("roundtrip.txt", &text);
+        let info = run_str(&["info", "--input", &path]).unwrap();
+        assert!(info.contains("6 jobs"));
+        assert!(info.contains("feasible: true"));
+        let solved = run_str(&["solve", "--input", &path, "--objective", "spans"]).unwrap();
+        assert!(solved.contains("optimal spans:"));
+    }
+
+    #[test]
+    fn solve_power_and_simulate_agree() {
+        let text = run_str(&[
+            "generate", "--kind", "feasible", "--seed", "3", "--n", "5",
+            "--horizon", "9",
+        ])
+        .unwrap();
+        let path = write_temp("power.txt", &text);
+        let solved =
+            run_str(&["solve", "--input", &path, "--objective", "power", "--alpha", "2"])
+                .unwrap();
+        let simulated =
+            run_str(&["simulate", "--input", &path, "--alpha", "2"]).unwrap();
+        // Extract the two numbers and compare.
+        let solved_power: u64 = solved
+            .lines()
+            .find(|l| l.starts_with("optimal power"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|w| w.parse().ok())
+            .unwrap();
+        let sim_energy: u64 = simulated
+            .lines()
+            .find(|l| l.starts_with("total energy"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|w| w.parse().ok())
+            .unwrap();
+        assert_eq!(solved_power, sim_energy);
+    }
+
+    #[test]
+    fn approx_requires_multi() {
+        let text = run_str(&["generate", "--kind", "feasible", "--seed", "1"]).unwrap();
+        let path = write_temp("one.txt", &text);
+        let err = run_str(&["approx", "--input", &path, "--alpha", "2"]).unwrap_err();
+        assert!(err.contains("multi-interval"));
+    }
+
+    #[test]
+    fn approx_on_multi_instance() {
+        let text =
+            run_str(&["generate", "--kind", "multi", "--seed", "5", "--n", "6"]).unwrap();
+        let path = write_temp("multi.txt", &text);
+        let out = run_str(&["approx", "--input", &path, "--alpha", "2"]).unwrap();
+        assert!(out.contains("approximate power"));
+        assert!(out.contains("lower bound"));
+    }
+
+    #[test]
+    fn solve_multi_guard_rejects_large() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = multi_interval::feasible_slots(&mut rng, 30, 200, 2);
+        let path = write_temp("big.txt", &serialize::multi_to_text(&inst));
+        let err = run_str(&["solve", "--input", &path]).unwrap_err();
+        assert!(err.contains("exponential"));
+    }
+
+    #[test]
+    fn unknown_inputs_error_cleanly() {
+        assert!(run_str(&["frobnicate"]).is_err());
+        assert!(run_str(&["solve", "--input", "/nonexistent/x.txt"]).is_err());
+        let path = write_temp("garbage.txt", "not an instance\n");
+        assert!(run_str(&["info", "--input", &path]).is_err());
+        let ok = write_temp("mini.txt", "instance v1\nprocessors 1\njob 0 1\n");
+        assert!(run_str(&["solve", "--input", &ok, "--objective", "velocity"]).is_err());
+        assert!(run_str(&["simulate", "--input", &ok, "--policy", "nap"]).is_err());
+        assert!(run_str(&["generate", "--kind", "chaotic"]).is_err());
+    }
+
+    #[test]
+    fn online_family_generation() {
+        let text = run_str(&["generate", "--kind", "online", "--n", "4"]).unwrap();
+        let inst = serialize::instance_from_text(&text).unwrap();
+        assert_eq!(inst.job_count(), 8);
+    }
+}

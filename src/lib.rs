@@ -1,0 +1,58 @@
+//! # gap-scheduling
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > Erik D. Demaine, Mohammad Ghodsi, MohammadTaghi Hajiaghayi,
+//! > Amin S. Sayedi-Roshkhar, Morteza Zadimoghaddam.
+//! > *Scheduling to Minimize Gaps and Power Consumption.* SPAA 2007.
+//!
+//! Unit-length jobs run on processors that can sleep; waking costs α. The
+//! paper gives exact polynomial algorithms for the multiprocessor
+//! one-interval problems, an approximation algorithm and matching hardness
+//! bounds for the multi-interval generalization, and a greedy for
+//! throughput under a gap budget. This workspace implements **all of it**,
+//! from the bipartite-matching substrate up:
+//!
+//! | piece | crate/module |
+//! |-------|--------------|
+//! | exact multiprocessor gap/span DP (Thm 1) | [`multiproc_dp`] |
+//! | exact multiprocessor power DP (Thm 2) | [`power_dp`] |
+//! | (1 + (2/3 + ε)α)-approximation (Thm 3, Lemmas 3–5) | [`multi_interval`] |
+//! | hardness gadgets (Thms 4–10) | [`reductions`] |
+//! | O(√n) throughput greedy (Thm 11) | [`min_restart`] |
+//! | Baptiste's p = 1 DP \[Bap06\] | [`baptiste`] |
+//! | greedy 3-approximation \[FHKN06\] | [`greedy_gap`] |
+//! | online lower bound (§1) | [`online`], [`workloads::adversarial`] |
+//! | matching substrate | [`matching`] |
+//! | set cover / set packing substrate | [`setcover`] |
+//! | sleep-state processor simulator | [`sim`] |
+//! | workload generators & serialization | [`workloads`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gap_scheduling::instance::Instance;
+//! use gap_scheduling::multiproc_dp::min_gap_schedule;
+//! use gap_scheduling::power_dp::min_power_schedule;
+//!
+//! // Six jobs on two processors.
+//! let inst = Instance::from_windows(
+//!     [(0, 2), (0, 2), (1, 4), (4, 6), (6, 6), (6, 8)], 2).unwrap();
+//!
+//! let gaps = min_gap_schedule(&inst).expect("feasible");
+//! let power = min_power_schedule(&inst, 3).expect("feasible");
+//! assert!(gaps.gaps <= gaps.spans);
+//! assert!(power.power >= inst.job_count() as u64 + 3); // n + α lower bound
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory (including one genuine
+//! correction to the paper's Lemma 1, validated in experiment E16) and
+//! `EXPERIMENTS.md` for claimed-vs-measured outcomes of experiments
+//! E1–E21 (`cargo run -p gaps-bench --release --bin experiments`).
+
+pub use gaps_core::*;
+pub use gaps_matching as matching;
+pub use gaps_reductions as reductions;
+pub use gaps_setcover as setcover;
+pub use gaps_sim as sim;
+pub use gaps_workloads as workloads;

@@ -1,0 +1,184 @@
+//! Integration tests: full pipelines across crates (workloads → solvers →
+//! simulator; set cover → gadgets → solvers → back).
+
+use gap_scheduling::brute_force;
+use gap_scheduling::compress;
+use gap_scheduling::multi_interval::approx_min_power;
+use gap_scheduling::multiproc_dp::{min_gap_schedule, min_span_schedule};
+use gap_scheduling::power_dp::min_power_schedule;
+use gap_scheduling::reductions::{setcover_gap, setcover_power};
+use gap_scheduling::setcover::exact_min_cover;
+use gap_scheduling::sim::{simulate_schedule, Clairvoyant};
+use gap_scheduling::workloads::{adversarial, multi_interval, one_interval, serialize, setcover};
+use gap_scheduling::{edf, min_restart};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn workload_to_dp_to_simulator_energy_agrees() {
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alpha = 1 + seed % 6;
+        let inst = one_interval::feasible(&mut rng, 9, 16, 3, 2);
+        let sol = min_power_schedule(&inst, alpha).expect("feasible by construction");
+        let report = simulate_schedule(&inst, &sol.schedule, alpha, &Clairvoyant { alpha });
+        assert_eq!(report.energy, sol.power, "seed {seed}");
+        // And the optimum is no worse than EDF's energy.
+        let baseline = edf::edf(&inst).expect("feasible");
+        let edf_energy =
+            simulate_schedule(&inst, &baseline, alpha, &Clairvoyant { alpha }).energy;
+        assert!(sol.power <= edf_energy);
+    }
+}
+
+#[test]
+fn compression_then_dp_equals_uncompressed_brute_force() {
+    // Far-apart clusters make the raw horizon too big for the DP; after
+    // compression the DP must agree with (slot-based) exhaustive search
+    // on the original.
+    let inst = gap_scheduling::instance::Instance::from_windows(
+        [(0, 2), (1, 3), (100_000, 100_001), (100_001, 100_002)],
+        1,
+    )
+    .unwrap();
+    let multi = {
+        // slot-based exhaustive search works on the uncompressed original
+        let jobs: Vec<Vec<i64>> = inst
+            .jobs()
+            .iter()
+            .map(|j| (j.release..=j.deadline).collect())
+            .collect();
+        gap_scheduling::instance::MultiInstance::from_times(jobs).unwrap()
+    };
+    let (bf_gaps, _) = brute_force::min_gaps_multi(&multi).unwrap();
+
+    let (compressed, _map) = compress::compress_instance_gap(&inst);
+    let dp = gap_scheduling::baptiste::min_gaps_value(&compressed).unwrap();
+    assert_eq!(dp, bf_gaps);
+
+    // Power likewise, for a couple of alphas.
+    for alpha in [1u64, 4] {
+        let (bf_power, _) = brute_force::min_power_multi(&multi, alpha).unwrap();
+        let (cp, _) = compress::compress_instance_power(&inst, alpha);
+        let dp_power = gap_scheduling::baptiste::min_power_value(&cp, alpha).unwrap();
+        assert_eq!(dp_power, bf_power, "alpha {alpha}");
+    }
+}
+
+#[test]
+fn compression_then_multiproc_dp_on_far_clusters() {
+    // Two bursts separated by a huge dead stretch, p = 2: the raw horizon
+    // exceeds the DP's limit; compression brings it down with identical
+    // optima on both objectives (checked against slot-based search).
+    let windows = vec![
+        (0, 2),
+        (0, 2),
+        (1, 3),
+        (1_000_000, 1_000_002),
+        (1_000_001, 1_000_002),
+    ];
+    let inst =
+        gap_scheduling::instance::Instance::from_windows(windows.clone(), 2).unwrap();
+    let (compressed, _) = compress::compress_instance_gap(&inst);
+    assert!(compressed.horizon().unwrap().len() < 20);
+    let dp = min_span_schedule(&compressed).expect("feasible");
+    let bf = gap_scheduling::brute_force::min_spans_multiproc(&compressed)
+        .expect("feasible")
+        .0;
+    assert_eq!(dp.spans, bf);
+    // Gap objective too, and the witness verifies on the compressed form.
+    let gaps = min_gap_schedule(&compressed).expect("feasible");
+    gaps.schedule.verify(&compressed).unwrap();
+    assert_eq!(gaps.gaps, dp.spans.saturating_sub(2));
+}
+
+#[test]
+fn setcover_gadget_end_to_end() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let cover = setcover::random_cover(&mut rng, 5, 4, 3);
+        let k = exact_min_cover(&cover).expect("patched feasible").len() as u64;
+
+        // Gap gadget (Theorem 6).
+        let g = setcover_gap::build_theorem6(&cover);
+        let (gaps, sched) = brute_force::min_gaps_multi(&g.multi).expect("feasible");
+        assert_eq!(gaps, k, "seed {seed}");
+        let mapped = g.schedule_to_cover(&cover, &sched);
+        cover.verify_cover(&mapped).unwrap();
+
+        // Power gadget (Theorem 4).
+        let gp = setcover_power::build_theorem4(&cover);
+        let (power, _) = brute_force::min_power_multi(&gp.multi, gp.alpha).expect("feasible");
+        assert_eq!(gp.cover_size_of_power(power), k, "seed {seed}");
+    }
+}
+
+#[test]
+fn approx_power_pipeline_on_generated_workloads() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let inst = multi_interval::feasible_slots(&mut rng, 8, 14, 2);
+        let alpha = (seed % 4) as f64;
+        let res = approx_min_power(&inst, alpha, 32).expect("feasible");
+        res.schedule.verify(&inst).unwrap();
+        let (opt, _) = brute_force::min_power_multi(&inst, alpha as u64).expect("feasible");
+        assert!(res.power + 1e-9 >= opt as f64);
+        assert!(
+            res.power <= (1.0 + (2.0 / 3.0 + 0.05) * alpha) * opt as f64 + 1e-9,
+            "seed {seed}: {} vs opt {opt} at alpha {alpha}",
+            res.power
+        );
+    }
+}
+
+#[test]
+fn consultant_story_scales_with_budget() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let inst = adversarial::consultant(&mut rng, 4, 6, 10, 2, 2);
+    let mut prev = 0;
+    for k in 0..=4u64 {
+        let res = min_restart::greedy_min_restart(&inst, k);
+        res.verify(&inst).unwrap();
+        assert!(res.scheduled >= prev, "throughput is monotone in the budget");
+        prev = res.scheduled;
+    }
+}
+
+#[test]
+fn serialization_roundtrips_preserve_optima() {
+    let mut rng = StdRng::seed_from_u64(88);
+    let inst = one_interval::feasible(&mut rng, 7, 12, 2, 2);
+    let text = serialize::instance_to_text(&inst);
+    let back = serialize::instance_from_text(&text).unwrap();
+    assert_eq!(
+        min_span_schedule(&inst).unwrap().spans,
+        min_span_schedule(&back).unwrap().spans
+    );
+
+    let multi = multi_interval::feasible_slots(&mut rng, 6, 10, 2);
+    let mtext = serialize::multi_to_text(&multi);
+    let mback = serialize::multi_from_text(&mtext).unwrap();
+    assert_eq!(
+        brute_force::min_gaps_multi(&multi).unwrap().0,
+        brute_force::min_gaps_multi(&mback).unwrap().0
+    );
+}
+
+#[test]
+fn online_family_through_the_whole_stack() {
+    let n = 6u64;
+    let inst = adversarial::online_lower_bound(n as usize);
+    // Online (EDF) pays n − 1 unit gaps, the DP none; the simulator turns
+    // that into exactly n − 1 extra energy units (each unit gap is bridged
+    // at cost min(1, α) = 1 by the clairvoyant policy).
+    let alpha = 10u64;
+    let online = edf::edf(&inst).unwrap();
+    let offline = min_gap_schedule(&inst).unwrap().schedule;
+    let e_online = simulate_schedule(&inst, &online, alpha, &Clairvoyant { alpha }).energy;
+    let e_offline = simulate_schedule(&inst, &offline, alpha, &Clairvoyant { alpha }).energy;
+    assert_eq!(
+        e_online,
+        e_offline + (n - 1),
+        "the online penalty shows up as real energy"
+    );
+}

@@ -1,0 +1,121 @@
+//! Integration tests encoding claims the paper makes *in prose*, beyond
+//! the numbered theorems.
+
+use gap_scheduling::brute_force::min_spans_multi;
+use gap_scheduling::instance::Instance;
+use gap_scheduling::multiproc_dp::min_span_schedule;
+use gap_scheduling::workloads::one_interval;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Section 2: "The p-processor problem can be seen as a special case of
+/// the multi-interval problem, where each job has p intervals ... of the
+/// form I, I + x, I + 2x, …" — laying the processors out one after
+/// another on the timeline. With a period long enough that segments
+/// cannot touch, the minimum span counts of the two views must coincide.
+#[test]
+fn section2_arithmetic_interval_correspondence() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = 1 + (seed % 3) as u32;
+        let inst = one_interval::feasible(&mut rng, 5, 8, 2, p);
+        let horizon = inst.horizon().unwrap();
+        // Period with at least one dead slot between processor segments.
+        let period = (horizon.end - horizon.start) + 5;
+        let multi = inst.to_multi_interval_arithmetic(period);
+
+        let dp = min_span_schedule(&inst).expect("feasible").spans;
+        let (bf, _) = min_spans_multi(&multi).expect("same feasibility");
+        assert_eq!(
+            dp, bf,
+            "seed {seed}: p-processor spans must equal laid-out multi-interval spans"
+        );
+    }
+}
+
+/// Section 1's two-job example of why multi-interval scheduling breaks
+/// online algorithms: jobs with intervals {[0,1],[1,2]} and {[0,1],[2,3]}
+/// — whichever runs at time 0, an adversarial third job can make the
+/// choice wrong. Offline, both orders are feasible.
+#[test]
+fn section1_multi_interval_online_dilemma() {
+    use gap_scheduling::instance::MultiInstance;
+    // Base instance: both assignments feasible offline.
+    let base = MultiInstance::from_times([vec![0, 1, 2], vec![0, 1, 2, 3]]).unwrap();
+    assert!(gap_scheduling::feasibility::is_feasible(&base));
+
+    // Branch A: a third job pinned at 1 punishes running job 0 at... the
+    // point is that one completion is infeasible for each online choice.
+    // If job 0 ran at 0 and job 1 must now run at 1 (third job takes 2-3):
+    let branch_a =
+        MultiInstance::from_times([vec![0], vec![1], vec![2], vec![3]]).unwrap();
+    assert!(gap_scheduling::feasibility::is_feasible(&branch_a));
+    // ... but four jobs confined to {1, 2} fail:
+    let crunch = MultiInstance::from_times([vec![1, 2], vec![1, 2], vec![1, 2]]).unwrap();
+    assert!(!gap_scheduling::feasibility::is_feasible(&crunch));
+}
+
+/// The abstract's headline for Theorem 1: "the running time of the dynamic
+/// program is polynomial in both n and the number p of processors, not
+/// e.g. n^O(p)". Growing p at fixed n must not blow up the DP's time.
+#[test]
+fn theorem1_no_exponential_p_dependence() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let inst1 = one_interval::feasible(&mut rng, 8, 14, 2, 1);
+    let time = |p: u32| {
+        let inst = inst1.with_processors(p).unwrap();
+        let start = std::time::Instant::now();
+        let sol = min_span_schedule(&inst).expect("more processors never hurt feasibility");
+        std::hint::black_box(sol.spans);
+        start.elapsed().as_secs_f64()
+    };
+    // Warm up and measure. The bound allows ~p^5; an n^O(p) blow-up on
+    // n = 8 would dwarf any polynomial envelope.
+    let t1 = time(1).max(1e-5);
+    let t4 = time(4).max(1e-5);
+    assert!(
+        t4 / t1 < 5_000.0,
+        "p-dependence looks super-polynomial: t1 = {t1:.6}s, t4 = {t4:.6}s"
+    );
+}
+
+/// The power-objective sanity sweep from Section 3's opening: "Every
+/// schedule is within a 1 + α factor of optimal, because each job incurs
+/// power consumption of either 1 ... or 1 + α".
+#[test]
+fn every_feasible_schedule_within_one_plus_alpha() {
+    use gap_scheduling::power::power_cost_multiproc;
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let p = 1 + (seed % 2) as u32;
+        let inst = one_interval::feasible(&mut rng, 7, 12, 3, p);
+        for alpha in [1u64, 3, 6] {
+            let any = gap_scheduling::edf::edf(&inst).unwrap();
+            let opt = gap_scheduling::power_dp::min_power_value(&inst, alpha).unwrap();
+            let cost = power_cost_multiproc(&any, p, alpha);
+            assert!(
+                cost <= (1 + alpha) * opt,
+                "seed {seed}, alpha {alpha}: EDF {cost} vs (1+α)·OPT {}",
+                (1 + alpha) * opt
+            );
+        }
+    }
+}
+
+/// Instance ↔ schedule round-trip through every public constructor path:
+/// windows, jobs, arithmetic view, serialization — the "no panics on the
+/// happy path" smoke sweep.
+#[test]
+fn constructor_roundtrip_smoke() {
+    use gap_scheduling::instance::{Job, MultiJob};
+    use gap_scheduling::TimeInterval;
+    let j = Job::new(2, 7);
+    assert_eq!(j.window(), TimeInterval::new(2, 7));
+    assert_eq!(j.window_len(), 6);
+    let mj = MultiJob::from_intervals(&[TimeInterval::new(0, 1), TimeInterval::new(5, 5)]);
+    assert_eq!(mj.intervals().len(), 2);
+    let inst = Instance::new(vec![j], 2).unwrap();
+    assert_eq!(inst.deadline_order(), vec![0]);
+    let multi = inst.to_multi_interval(100);
+    assert_eq!(multi.jobs()[0].times().len(), 6);
+}
