@@ -14,7 +14,11 @@ fn bench_greedy(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(9_000 + n as u64);
         let inst = one_interval::feasible(&mut rng, n, (3 * n) as i64, 2, 1);
         group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
-            b.iter(|| greedy_gap::greedy_gap_schedule(inst).expect("feasible").gaps)
+            b.iter(|| {
+                greedy_gap::greedy_gap_schedule(inst)
+                    .expect("feasible")
+                    .gaps
+            })
         });
         group.bench_with_input(BenchmarkId::new("exact_dp", n), &inst, |b, inst| {
             b.iter(|| baptiste::min_gaps_value(inst).expect("feasible"))

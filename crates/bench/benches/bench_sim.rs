@@ -20,9 +20,7 @@ fn bench_sim(c: &mut Criterion) {
             b.iter(|| simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha }).energy)
         });
         group.bench_with_input(BenchmarkId::new("timeout", n), &(), |b, _| {
-            b.iter(|| {
-                simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy
-            })
+            b.iter(|| simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy)
         });
         group.bench_with_input(BenchmarkId::new("sleep_now", n), &(), |b, _| {
             b.iter(|| simulate_schedule(&inst, &sched, alpha, &SleepImmediately).energy)

@@ -20,7 +20,13 @@ pub fn e18() -> Table {
         "E18",
         "Ablation: [FHKN06] greedy pick order",
         "the 3-approximation analysis requires committing the LARGEST feasible gap first",
-        &["n", "cases", "mean gaps largest-first", "mean gaps smallest-first", "mean OPT"],
+        &[
+            "n",
+            "cases",
+            "mean gaps largest-first",
+            "mean gaps smallest-first",
+            "mean OPT",
+        ],
     );
     let mut largest_total = 0u64;
     let mut smallest_total = 0u64;
@@ -30,10 +36,8 @@ pub fn e18() -> Table {
         for seed in 0..cases {
             let mut rng = StdRng::seed_from_u64(180 * n as u64 + seed);
             let inst = wl_one::feasible(&mut rng, n, (3 * n) as i64, 2, 1);
-            let largest =
-                greedy_gap_schedule_with_order(&inst, PickOrder::LargestFirst).unwrap();
-            let smallest =
-                greedy_gap_schedule_with_order(&inst, PickOrder::SmallestFirst).unwrap();
+            let largest = greedy_gap_schedule_with_order(&inst, PickOrder::LargestFirst).unwrap();
+            let smallest = greedy_gap_schedule_with_order(&inst, PickOrder::SmallestFirst).unwrap();
             let opt = baptiste::min_gaps_value(&inst).unwrap();
             g_l += largest.gaps;
             g_s += smallest.gaps;
@@ -66,7 +70,13 @@ pub fn e19() -> Table {
         "E19",
         "Ablation: dead-zone compression",
         "compression preserves optima exactly while shrinking the DP's horizon",
-        &["spread", "raw horizon", "compressed", "optima equal", "DP ms (compressed)"],
+        &[
+            "spread",
+            "raw horizon",
+            "compressed",
+            "optima equal",
+            "DP ms (compressed)",
+        ],
     );
     let mut all_equal = true;
     for &spread in &[50i64, 400, 3000] {
@@ -76,8 +86,7 @@ pub fn e19() -> Table {
             let base = c * spread;
             windows.extend([(base, base + 2), (base + 1, base + 3), (base + 2, base + 4)]);
         }
-        let inst =
-            gaps_core::instance::Instance::from_windows(windows.clone(), 1).unwrap();
+        let inst = gaps_core::instance::Instance::from_windows(windows.clone(), 1).unwrap();
         let raw_horizon = inst.horizon().unwrap().len();
         let (compressed, _) = compress::compress_instance_gap(&inst);
         let comp_horizon = compressed.horizon().unwrap().len();
@@ -127,7 +136,9 @@ pub fn e20() -> Table {
     for seed in 0..30u64 {
         let mut rng = StdRng::seed_from_u64(2000 + seed);
         let inst = wl_multi::random_slots(&mut rng, 6, 14, 2);
-        let Some((opt, _)) = brute_force::min_spans_multi(&inst) else { continue };
+        let Some((opt, _)) = brute_force::min_spans_multi(&inst) else {
+            continue;
+        };
         let lb = lower_bounds::min_spans_lower_bound(&inst);
         assert!(lb <= opt, "lower bound must be sound");
         total += 1;
@@ -149,10 +160,14 @@ pub fn e20() -> Table {
             "randomized timeout".to_string(),
             format!("alpha {alpha}"),
             format!("E[ratio] <= {worst:.3}"),
-            format!("e/(e-1) = {:.3}, det. bound 2", ski_rental_randomized_bound()),
+            format!(
+                "e/(e-1) = {:.3}, det. bound 2",
+                ski_rental_randomized_bound()
+            ),
         ]);
     }
-    table.verdict("confirmed: bounds sound (often tight); randomized policy below 2 in expectation");
+    table
+        .verdict("confirmed: bounds sound (often tight); randomized policy below 2 in expectation");
     table
 }
 

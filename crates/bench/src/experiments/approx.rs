@@ -18,7 +18,14 @@ pub fn e4() -> Table {
         "E4",
         "Theorem 3 approximation ratio vs alpha",
         "power(approx) <= (1 + (2/3 + eps) * alpha) * OPT; any schedule is (1 + alpha)-approx",
-        &["alpha", "cases", "mean ratio", "max ratio", "bound 1+2/3a", "trivial bound 1+a"],
+        &[
+            "alpha",
+            "cases",
+            "mean ratio",
+            "max ratio",
+            "bound 1+2/3a",
+            "trivial bound 1+a",
+        ],
     );
     let mut within = true;
     for &alpha in &[0.0f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
@@ -33,8 +40,7 @@ pub fn e4() -> Table {
                     // Exhaustive optimum with integer-scaled alpha when
                     // fractional: scale costs by 2 (alpha in half-units).
                     let opt = exact_power_f(&inst, alpha);
-                    let res = multi_interval::approx_min_power(&inst, alpha, 32)
-                        .expect("feasible");
+                    let res = multi_interval::approx_min_power(&inst, alpha, 32).expect("feasible");
                     results.lock().push(res.power / opt.max(1e-9));
                 });
             }
@@ -67,7 +73,10 @@ pub fn e4() -> Table {
 /// of 0.5).
 fn exact_power_f(inst: &gaps_core::instance::MultiInstance, alpha: f64) -> f64 {
     let alpha2 = (alpha * 2.0).round() as u64;
-    assert!((alpha * 2.0 - alpha2 as f64).abs() < 1e-9, "alpha must be a half-integer");
+    assert!(
+        (alpha * 2.0 - alpha2 as f64).abs() < 1e-9,
+        "alpha must be a half-integer"
+    );
     // power = busy + spans*alpha + bridges... brute force with doubled
     // units: cost2 = 2*busy + sum min(2*gap, 2*alpha) + 2*alpha*... —
     // easiest correct route: enumerate optimum via min over schedules of
@@ -92,11 +101,10 @@ fn brute_force_min_power_scaled(
     alpha2: u64,
 ) -> (u64, MultiSchedule) {
     // Small instances only (same limits as gaps_core::brute_force).
-    let slots = inst.slot_union();
     let n = inst.job_count();
     let mut best = (u64::MAX, vec![]);
     let mut times: Vec<i64> = vec![0; n];
-    fn cost2(occupied: &mut Vec<i64>, alpha2: u64) -> u64 {
+    fn cost2(occupied: &mut [i64], alpha2: u64) -> u64 {
         occupied.sort_unstable();
         let runs = gaps_core::time::runs_of(occupied);
         if runs.is_empty() {
@@ -111,7 +119,6 @@ fn brute_force_min_power_scaled(
     }
     fn rec(
         inst: &gaps_core::instance::MultiInstance,
-        slots: &[i64],
         j: usize,
         used: &mut Vec<i64>,
         times: &mut Vec<i64>,
@@ -129,13 +136,13 @@ fn brute_force_min_power_scaled(
             if !used.contains(&t) {
                 used.push(t);
                 times[j] = t;
-                rec(inst, slots, j + 1, used, times, alpha2, best);
+                rec(inst, j + 1, used, times, alpha2, best);
                 used.pop();
             }
         }
     }
     let mut used = Vec::new();
-    rec(inst, &slots, 0, &mut used, &mut times, alpha2, &mut best);
+    rec(inst, 0, &mut used, &mut times, alpha2, &mut best);
     assert_ne!(best.0, u64::MAX, "instance must be feasible");
     (best.0, MultiSchedule::new(best.1))
 }
@@ -160,10 +167,10 @@ pub fn e5() -> Table {
             let inst = wl_multi::feasible_slots(&mut rng, 8, 15, 2);
             let mut partial = vec![None; 8];
             let mut used = Vec::new();
-            for j in 0..pinned.min(8) {
-                let t = inst.jobs()[j].times()[0];
+            for (slot, job) in partial.iter_mut().zip(inst.jobs()).take(pinned.min(8)) {
+                let t = job.times()[0];
                 if !used.contains(&t) {
-                    partial[j] = Some(t);
+                    *slot = Some(t);
                     used.push(t);
                 }
             }
@@ -200,7 +207,14 @@ pub fn e6() -> Table {
         "E6",
         "[FHKN06] greedy 3-approximation",
         "greedy gap count <= 3 * OPT (one-interval, single processor)",
-        &["n", "cases", "mean greedy", "mean OPT", "max ratio", "<= 3?"],
+        &[
+            "n",
+            "cases",
+            "mean greedy",
+            "mean OPT",
+            "max ratio",
+            "<= 3?",
+        ],
     );
     let mut ok = true;
     for &n in &[5usize, 8, 11] {
@@ -245,7 +259,15 @@ pub fn e11() -> Table {
         "E11",
         "Theorem 11 greedy (minimum-restart throughput)",
         "greedy schedules at least OPT / O(sqrt n) jobs under a gap budget k",
-        &["n", "k", "cases", "mean greedy", "mean OPT", "worst OPT/greedy", "2*sqrt(n)"],
+        &[
+            "n",
+            "k",
+            "cases",
+            "mean greedy",
+            "mean OPT",
+            "worst OPT/greedy",
+            "2*sqrt(n)",
+        ],
     );
     let mut ok = true;
     for &n in &[6usize, 8] {

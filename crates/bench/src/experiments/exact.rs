@@ -17,7 +17,15 @@ pub fn e1() -> Table {
         "E1",
         "Theorem 1 DP vs exhaustive search",
         "the DP returns the exact optimum for both the span and the finite-gap objective",
-        &["n", "p", "cases", "span agree", "gap agree", "mean spans", "mean gaps"],
+        &[
+            "n",
+            "p",
+            "cases",
+            "span agree",
+            "gap agree",
+            "mean spans",
+            "mean gaps",
+        ],
     );
     let seeds_per_cell = 30u64;
     let mut all_ok = true;
@@ -115,7 +123,9 @@ pub fn e3() -> Table {
             let mut rng = StdRng::seed_from_u64(777 + seed);
             let inst = one_interval::feasible(&mut rng, 5, 9, 3, 2);
             let dp = power_dp::min_power_value(&inst, alpha).expect("feasible");
-            let bf = brute_force::min_power_multiproc(&inst, alpha).expect("feasible").0;
+            let bf = brute_force::min_power_multiproc(&inst, alpha)
+                .expect("feasible")
+                .0;
             agree += (dp == bf) as u64;
         }
         all_ok &= agree == cases;
@@ -127,7 +137,11 @@ pub fn e3() -> Table {
             alpha.to_string(),
             format!("{agree}/{cases}"),
             power.to_string(),
-            if alpha >= 3 { format!("yes ({bridged})") } else { "no".to_string() },
+            if alpha >= 3 {
+                format!("yes ({bridged})")
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     table.verdict(if all_ok {
@@ -188,13 +202,19 @@ pub fn e16() -> Table {
         "E16",
         "Lemma 1 subtlety: prefix vs run-spreading on the finite-gap objective",
         "prefix schedules minimize spans, not finite gaps; OPT_gaps = max(0, G(p) − p)",
-        &["runs k", "p", "spans G(p)", "prefix gaps", "spread gaps", "DP gaps"],
+        &[
+            "runs k",
+            "p",
+            "spans G(p)",
+            "prefix gaps",
+            "spread gaps",
+            "DP gaps",
+        ],
     );
     let mut ok = true;
     for &(k, p) in &[(2u64, 2u32), (3, 2), (3, 3), (4, 2), (4, 3), (5, 4)] {
         // k pinned singleton jobs, far apart: the profile has k runs.
-        let windows: Vec<(i64, i64)> =
-            (0..k as i64).map(|i| (3 * i, 3 * i)).collect();
+        let windows: Vec<(i64, i64)> = (0..k as i64).map(|i| (3 * i, 3 * i)).collect();
         let inst = Instance::from_windows(windows, p).unwrap();
         let sol = multiproc_dp::min_span_schedule(&inst).expect("feasible");
         let prefix_gaps = sol.schedule.gap_count(p);

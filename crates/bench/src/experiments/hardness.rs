@@ -4,8 +4,7 @@
 use crate::Table;
 use gaps_core::brute_force::{min_gaps_multi, min_power_multi, min_spans_multi};
 use gaps_reductions::{
-    bsetcover_disjoint, setcover_gap, setcover_power, three_unit, two_interval,
-    two_unit_disjoint,
+    bsetcover_disjoint, setcover_gap, setcover_power, three_unit, two_interval, two_unit_disjoint,
 };
 use gaps_setcover::exact_min_cover;
 use gaps_workloads::{multi_interval as wl_multi, setcover as wl_cover};
@@ -76,7 +75,9 @@ pub fn e8() -> Table {
             let mut rng = StdRng::seed_from_u64(87 * n as u64 + seed);
             // Jobs with 3 well-separated unit slots → guaranteed 3 intervals.
             let inst = wl_multi::k_interval(&mut rng, n, (4 * n) as i64, 3, 1);
-            let Some((opt, wit)) = min_gaps_multi(&inst) else { continue };
+            let Some((opt, wit)) = min_gaps_multi(&inst) else {
+                continue;
+            };
             let g = two_interval::build(&inst);
             let (opt_g, wit_g) = min_gaps_multi(&g.multi).expect("gadget stays feasible");
             exact += (opt_g == g.expected_gaps(opt)) as u64;
@@ -120,7 +121,9 @@ pub fn e9() -> Table {
         for seed in 0..cases {
             let mut rng = StdRng::seed_from_u64(98 * n as u64 + seed);
             let inst = wl_multi::disjoint_unit(&mut rng, n, 4, 3);
-            let Some((opt, _)) = min_gaps_multi(&inst) else { continue };
+            let Some((opt, _)) = min_gaps_multi(&inst) else {
+                continue;
+            };
             let g = three_unit::build(&inst);
             let (opt_g, _) = min_gaps_multi(&g.multi).expect("gadget stays feasible");
             exact += (opt_g == g.expected_gaps(opt)) as u64;
@@ -159,18 +162,16 @@ pub fn e10() -> Table {
     let mut fwd_total = 0u64;
     for _ in 0..cases {
         let inst = wl_multi::two_unit(&mut rng, 5, 9);
-        match two_unit_disjoint::two_unit_to_disjoint(&inst) {
-            Ok(g) => {
-                fwd_total += 1;
-                let old = min_spans_multi(&inst).expect("feasible").0;
-                let new = if g.multi.job_count() == 0 {
-                    0
-                } else {
-                    min_spans_multi(&g.multi).expect("feasible").0
-                };
-                fwd_ok += (old.abs_diff(new) <= 1) as u64;
-            }
-            Err(_) => {} // infeasible draw: outside the theorem's scope
+        // An Err is an infeasible draw: outside the theorem's scope.
+        if let Ok(g) = two_unit_disjoint::two_unit_to_disjoint(&inst) {
+            fwd_total += 1;
+            let old = min_spans_multi(&inst).expect("feasible").0;
+            let new = if g.multi.job_count() == 0 {
+                0
+            } else {
+                min_spans_multi(&g.multi).expect("feasible").0
+            };
+            fwd_ok += (old.abs_diff(new) <= 1) as u64;
         }
     }
     table.row([

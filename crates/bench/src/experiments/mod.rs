@@ -11,27 +11,114 @@ mod online_sim;
 
 use crate::Table;
 
-/// `(id, description, runner)` for every experiment.
-pub const REGISTRY: &[(&str, &str, fn() -> Table)] = &[
-    ("e1", "Theorem 1 DP is exact (vs exhaustive search)", exact::e1),
-    ("e2", "Theorem 1 DP scales polynomially in n and p", exact::e2),
-    ("e3", "Theorem 2 power DP is exact; min(gap, alpha) crossover", exact::e3),
-    ("e4", "Theorem 3 approximation ratio <= 1 + (2/3 + eps)*alpha", approx::e4),
-    ("e5", "Lemma 3: completion adds <= 1 gap per added job", approx::e5),
-    ("e6", "[FHKN06] greedy is 3-approximate for one-interval gaps", approx::e6),
-    ("e7", "Theorems 4-6 gadgets: cover size <=> schedule cost", hardness::e7),
-    ("e8", "Theorem 7 gadget: 2-interval OPT = multi-interval OPT + 1", hardness::e8),
-    ("e9", "Theorem 8 gadget: 3-unit OPT = multi-interval OPT + 1", hardness::e9),
-    ("e10", "Theorem 9: 2-unit <=> disjoint-unit optima within 1", hardness::e10),
-    ("e11", "Theorem 11 greedy is O(sqrt n)-approximate", approx::e11),
-    ("e12", "Section 1: online gap cost grows as n, offline O(1)", online_sim::e12),
-    ("e13", "[HS89] local-search packing share approaches 2/3", approx::e13),
-    ("e14", "Baptiste p=1 DP agrees with general DP and brute force", exact::e14),
-    ("e15", "simulated energy == analytic power cost", online_sim::e15),
-    ("e16", "Lemma 1 subtlety: prefix can hurt finite gaps; spreading fixes it", exact::e16),
-    ("e17", "online power-down policies: timeout(alpha) is 2-competitive", online_sim::e17),
-    ("e18", "ablation: greedy pick order (largest-first is load-bearing)", ablation::e18),
-    ("e19", "ablation: dead-zone compression preserves optima, shrinks horizons", ablation::e19),
-    ("e20", "extensions: lower-bound quality; randomized power-down e/(e-1)", ablation::e20),
-    ("e21", "ablation: Theorem 3 block length k (k = 2 vs 3 vs 4); Lemma 4 floor", ablation::e21),
+/// `(id, description, runner)` describing one experiment.
+pub type ExperimentEntry = (&'static str, &'static str, fn() -> Table);
+
+/// Every experiment, in catalog order.
+pub const REGISTRY: &[ExperimentEntry] = &[
+    (
+        "e1",
+        "Theorem 1 DP is exact (vs exhaustive search)",
+        exact::e1,
+    ),
+    (
+        "e2",
+        "Theorem 1 DP scales polynomially in n and p",
+        exact::e2,
+    ),
+    (
+        "e3",
+        "Theorem 2 power DP is exact; min(gap, alpha) crossover",
+        exact::e3,
+    ),
+    (
+        "e4",
+        "Theorem 3 approximation ratio <= 1 + (2/3 + eps)*alpha",
+        approx::e4,
+    ),
+    (
+        "e5",
+        "Lemma 3: completion adds <= 1 gap per added job",
+        approx::e5,
+    ),
+    (
+        "e6",
+        "[FHKN06] greedy is 3-approximate for one-interval gaps",
+        approx::e6,
+    ),
+    (
+        "e7",
+        "Theorems 4-6 gadgets: cover size <=> schedule cost",
+        hardness::e7,
+    ),
+    (
+        "e8",
+        "Theorem 7 gadget: 2-interval OPT = multi-interval OPT + 1",
+        hardness::e8,
+    ),
+    (
+        "e9",
+        "Theorem 8 gadget: 3-unit OPT = multi-interval OPT + 1",
+        hardness::e9,
+    ),
+    (
+        "e10",
+        "Theorem 9: 2-unit <=> disjoint-unit optima within 1",
+        hardness::e10,
+    ),
+    (
+        "e11",
+        "Theorem 11 greedy is O(sqrt n)-approximate",
+        approx::e11,
+    ),
+    (
+        "e12",
+        "Section 1: online gap cost grows as n, offline O(1)",
+        online_sim::e12,
+    ),
+    (
+        "e13",
+        "[HS89] local-search packing share approaches 2/3",
+        approx::e13,
+    ),
+    (
+        "e14",
+        "Baptiste p=1 DP agrees with general DP and brute force",
+        exact::e14,
+    ),
+    (
+        "e15",
+        "simulated energy == analytic power cost",
+        online_sim::e15,
+    ),
+    (
+        "e16",
+        "Lemma 1 subtlety: prefix can hurt finite gaps; spreading fixes it",
+        exact::e16,
+    ),
+    (
+        "e17",
+        "online power-down policies: timeout(alpha) is 2-competitive",
+        online_sim::e17,
+    ),
+    (
+        "e18",
+        "ablation: greedy pick order (largest-first is load-bearing)",
+        ablation::e18,
+    ),
+    (
+        "e19",
+        "ablation: dead-zone compression preserves optima, shrinks horizons",
+        ablation::e19,
+    ),
+    (
+        "e20",
+        "extensions: lower-bound quality; randomized power-down e/(e-1)",
+        ablation::e20,
+    ),
+    (
+        "e21",
+        "ablation: Theorem 3 block length k (k = 2 vs 3 vs 4); Lemma 4 floor",
+        ablation::e21,
+    ),
 ];

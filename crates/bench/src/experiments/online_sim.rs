@@ -5,7 +5,9 @@ use crate::Table;
 use gaps_core::online;
 use gaps_core::power::power_cost_multiproc;
 use gaps_core::{edf, multiproc_dp};
-use gaps_sim::{simulate_schedule, Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout};
+use gaps_sim::{
+    simulate_schedule, Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout,
+};
 use gaps_workloads::{adversarial, one_interval as wl_one};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +19,12 @@ pub fn e12() -> Table {
         "E12",
         "Section 1 online lower bound",
         "any feasibility-guaranteeing online algorithm pays n−1 gaps where offline pays 0",
-        &["n", "online gaps (EDF)", "offline gaps (DP)", "ratio (spans)"],
+        &[
+            "n",
+            "online gaps (EDF)",
+            "offline gaps (DP)",
+            "ratio (spans)",
+        ],
     );
     let mut ok = true;
     for &n in &[4usize, 8, 16, 32] {
@@ -29,7 +36,10 @@ pub fn e12() -> Table {
             n.to_string(),
             online_gaps.to_string(),
             offline_gaps.to_string(),
-            format!("{:.0}x", (online_gaps + 1) as f64 / (offline_gaps + 1) as f64),
+            format!(
+                "{:.0}x",
+                (online_gaps + 1) as f64 / (offline_gaps + 1) as f64
+            ),
         ]);
     }
     table.verdict(if ok {
@@ -59,8 +69,7 @@ pub fn e15() -> Table {
                 let inst = wl_one::feasible(&mut rng, 10, 18, 3, p);
                 let sched = edf::edf(&inst).expect("feasible");
                 let report = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
-                matches +=
-                    (report.energy == power_cost_multiproc(&sched, p, alpha)) as u64;
+                matches += (report.energy == power_cost_multiproc(&sched, p, alpha)) as u64;
             }
             all &= matches == cases;
             table.row([
@@ -87,7 +96,14 @@ pub fn e17() -> Table {
         "E17",
         "Online power-down policies (extension)",
         "timeout(alpha) is 2-competitive against the clairvoyant min(gap, alpha) optimum",
-        &["alpha", "clairvoyant", "timeout(a)", "sleep-now", "never-sleep", "timeout/clair"],
+        &[
+            "alpha",
+            "clairvoyant",
+            "timeout(a)",
+            "sleep-now",
+            "never-sleep",
+            "timeout/clair",
+        ],
     );
     let mut worst: f64 = 0.0;
     for &alpha in &[1u64, 2, 4, 8] {
@@ -95,7 +111,9 @@ pub fn e17() -> Table {
         // gap-optimal first so the spans are meaningful.
         let mut rng = StdRng::seed_from_u64(1700 + alpha);
         let inst = wl_one::feasible(&mut rng, 12, 60, 1, 1);
-        let sched = multiproc_dp::min_span_schedule(&inst).expect("feasible").schedule;
+        let sched = multiproc_dp::min_span_schedule(&inst)
+            .expect("feasible")
+            .schedule;
         let energy = |policy: &dyn PowerPolicy| -> u64 {
             simulate_schedule(&inst, &sched, alpha, policy).energy
         };

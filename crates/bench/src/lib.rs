@@ -22,9 +22,7 @@ pub use table::Table;
 /// Run the named experiments (or all, if `filter` is empty) and return the
 /// rendered tables in order.
 pub fn run(filter: &[String]) -> Vec<Table> {
-    let wanted = |id: &str| {
-        filter.is_empty() || filter.iter().any(|f| f.eq_ignore_ascii_case(id))
-    };
+    let wanted = |id: &str| filter.is_empty() || filter.iter().any(|f| f.eq_ignore_ascii_case(id));
     experiments::REGISTRY
         .iter()
         .filter(|(id, _, _)| wanted(id))

@@ -22,12 +22,7 @@ pub struct Table {
 
 impl Table {
     /// Start a table.
-    pub fn new(
-        id: &str,
-        title: &str,
-        claim: &str,
-        headers: &[&str],
-    ) -> Table {
+    pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Table {
         Table {
             id: id.to_string(),
             title: title.to_string(),
@@ -45,7 +40,11 @@ impl Table {
         S: fmt::Display,
     {
         let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 

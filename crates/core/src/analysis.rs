@@ -86,11 +86,19 @@ pub fn analyze_multi(inst: &MultiInstance) -> MultiStats {
         jobs,
         slots: slots.len(),
         slot_runs: runs.len(),
-        mean_choices: if jobs == 0 { 0.0 } else { total_choices as f64 / jobs as f64 },
+        mean_choices: if jobs == 0 {
+            0.0
+        } else {
+            total_choices as f64 / jobs as f64
+        },
         max_intervals: inst.max_intervals_per_job(),
         unit: inst.is_unit_interval(),
         disjoint: inst.is_disjoint(),
-        slack: if jobs == 0 { f64::INFINITY } else { slots.len() as f64 / jobs as f64 },
+        slack: if jobs == 0 {
+            f64::INFINITY
+        } else {
+            slots.len() as f64 / jobs as f64
+        },
     }
 }
 
@@ -144,8 +152,7 @@ mod tests {
 
     #[test]
     fn multi_stats() {
-        let inst =
-            MultiInstance::from_times([vec![0, 1, 5], vec![6], vec![0, 6]]).unwrap();
+        let inst = MultiInstance::from_times([vec![0, 1, 5], vec![6], vec![0, 6]]).unwrap();
         let s = analyze_multi(&inst);
         assert_eq!(s.jobs, 3);
         assert_eq!(s.slots, 4); // {0,1,5,6}

@@ -45,7 +45,11 @@ pub fn min_gaps_value(inst: &Instance) -> Option<u64> {
 /// Minimum number of spans (= wake-up transitions) on one processor.
 /// `None` iff infeasible.
 pub fn min_spans_value(inst: &Instance) -> Option<u64> {
-    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+    assert_eq!(
+        inst.processors(),
+        1,
+        "baptiste handles single-processor instances"
+    );
     if inst.job_count() == 0 {
         return Some(0);
     }
@@ -61,7 +65,11 @@ pub fn min_spans_value(inst: &Instance) -> Option<u64> {
 /// (gap of length `g` costs `min(g, α)`; the first wake-up costs `α`).
 /// `None` iff infeasible.
 pub fn min_power_value(inst: &Instance, alpha: u64) -> Option<u64> {
-    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+    assert_eq!(
+        inst.processors(),
+        1,
+        "baptiste handles single-processor instances"
+    );
     if inst.job_count() == 0 {
         return Some(0);
     }
@@ -75,17 +83,22 @@ pub fn min_power_value(inst: &Instance, alpha: u64) -> Option<u64> {
 
 /// Witness schedule for [`min_gaps_value`] (delegates to the general DP).
 pub fn min_gaps_schedule(inst: &Instance) -> Option<(u64, crate::schedule::Schedule)> {
-    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+    assert_eq!(
+        inst.processors(),
+        1,
+        "baptiste handles single-processor instances"
+    );
     let sol = crate::multiproc_dp::min_gap_schedule(inst)?;
     Some((sol.gaps, sol.schedule))
 }
 
 /// Witness schedule for [`min_power_value`] (delegates to the general DP).
-pub fn min_power_schedule(
-    inst: &Instance,
-    alpha: u64,
-) -> Option<(u64, crate::schedule::Schedule)> {
-    assert_eq!(inst.processors(), 1, "baptiste handles single-processor instances");
+pub fn min_power_schedule(inst: &Instance, alpha: u64) -> Option<(u64, crate::schedule::Schedule)> {
+    assert_eq!(
+        inst.processors(),
+        1,
+        "baptiste handles single-processor instances"
+    );
     let sol = crate::power_dp::min_power_schedule(inst, alpha)?;
     Some((sol.power, sol.schedule))
 }
@@ -125,7 +138,10 @@ impl Ctx {
         let horizon = inst.horizon().expect("non-empty");
         let t0 = horizon.start - 1;
         let len = horizon.end - horizon.start + 3;
-        assert!(len <= 16000, "horizon too long; compress the instance first");
+        assert!(
+            len <= 16000,
+            "horizon too long; compress the instance first"
+        );
         let jobs = inst
             .deadline_order()
             .iter()
@@ -134,11 +150,22 @@ impl Ctx {
                 ((j.release - t0) as u16, (j.deadline - t0) as u16)
             })
             .collect();
-        Ctx { t_max: (len - 1) as u16, alpha, jobs }
+        Ctx {
+            t_max: (len - 1) as u16,
+            alpha,
+            jobs,
+        }
     }
 
     fn top(&self) -> St {
-        St { t1: 0, t2: self.t_max, k: self.jobs.len() as u16, anc: false, e1: false, e2: false }
+        St {
+            t1: 0,
+            t2: self.t_max,
+            k: self.jobs.len() as u16,
+            anc: false,
+            e1: false,
+            e2: false,
+        }
     }
 
     fn window(&self, t1: u16, t2: u16) -> Vec<u16> {
@@ -162,7 +189,14 @@ impl Ctx {
     }
 
     fn spans_compute(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
-        let St { t1, t2, k, anc, e1, e2 } = s;
+        let St {
+            t1,
+            t2,
+            k,
+            anc,
+            e1,
+            e2,
+        } = s;
         if anc && e2 {
             return INF; // one processor: t2 cannot hold two jobs
         }
@@ -172,7 +206,11 @@ impl Ctx {
         }
         if t1 == t2 {
             let occ = k == 1;
-            return if k <= 1 && e1 == occ && e2 == occ && !(anc && occ) { 0 } else { INF };
+            return if k <= 1 && e1 == occ && e2 == occ && !(anc && occ) {
+                0
+            } else {
+                INF
+            };
         }
         if k == 0 {
             return if !e1 && !e2 { anc as u64 } else { INF };
@@ -184,12 +222,24 @@ impl Ctx {
 
         // jk at t2 (joins as the ancestor).
         if e2 && !anc && dk >= t2 {
-            best = best.min(self.spans(St { t1, t2, k: k - 1, anc: true, e1, e2: false }, memo));
+            best = best.min(self.spans(
+                St {
+                    t1,
+                    t2,
+                    k: k - 1,
+                    anc: true,
+                    e1,
+                    e2: false,
+                },
+                memo,
+            ));
         }
 
         let releases: Vec<u16> = {
-            let mut r: Vec<u16> =
-                window[..k as usize].iter().map(|&j| self.jobs[j as usize].0).collect();
+            let mut r: Vec<u16> = window[..k as usize]
+                .iter()
+                .map(|&j| self.jobs[j as usize].0)
+                .collect();
             r.sort_unstable();
             r
         };
@@ -205,7 +255,17 @@ impl Ctx {
                 }
                 0
             } else {
-                self.spans(St { t1, t2: tp, k: k1, anc: true, e1, e2: false }, memo)
+                self.spans(
+                    St {
+                        t1,
+                        t2: tp,
+                        k: k1,
+                        anc: true,
+                        e1,
+                        e2: false,
+                    },
+                    memo,
+                )
             };
             if sub1 == INF {
                 continue;
@@ -214,11 +274,31 @@ impl Ctx {
             // what the child counts: (X − 1)⁺ = 0 on one processor, because
             // jk keeps column t′ busy.
             let sub2 = if tp + 1 == t2 {
-                self.spans(St { t1: t2, t2, k: i, anc, e1: e2, e2 }, memo)
+                self.spans(
+                    St {
+                        t1: t2,
+                        t2,
+                        k: i,
+                        anc,
+                        e1: e2,
+                        e2,
+                    },
+                    memo,
+                )
             } else {
                 let mut b = INF;
                 for x in [false, true] {
-                    let v = self.spans(St { t1: tp + 1, t2, k: i, anc, e1: x, e2 }, memo);
+                    let v = self.spans(
+                        St {
+                            t1: tp + 1,
+                            t2,
+                            k: i,
+                            anc,
+                            e1: x,
+                            e2,
+                        },
+                        memo,
+                    );
                     b = b.min(v);
                 }
                 b
@@ -243,7 +323,14 @@ impl Ctx {
     }
 
     fn power_compute(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
-        let St { t1, t2, k, anc, e1, e2 } = s;
+        let St {
+            t1,
+            t2,
+            k,
+            anc,
+            e1,
+            e2,
+        } = s;
         if anc && e2 {
             return INF;
         }
@@ -253,7 +340,11 @@ impl Ctx {
         }
         if t1 == t2 {
             // Own active bit e2 must cover the k ≤ 1 own jobs; e1 == e2.
-            return if k <= 1 && e1 == e2 && (k == 0 || e2) { 0 } else { INF };
+            return if k <= 1 && e1 == e2 && (k == 0 || e2) {
+                0
+            } else {
+                INF
+            };
         }
         if k == 0 {
             // Empty window: right column is active iff anc || e2.
@@ -270,12 +361,24 @@ impl Ctx {
         let mut best = INF;
 
         if e2 && !anc && dk >= t2 {
-            best = best.min(self.power(St { t1, t2, k: k - 1, anc: true, e1, e2: false }, memo));
+            best = best.min(self.power(
+                St {
+                    t1,
+                    t2,
+                    k: k - 1,
+                    anc: true,
+                    e1,
+                    e2: false,
+                },
+                memo,
+            ));
         }
 
         let releases: Vec<u16> = {
-            let mut r: Vec<u16> =
-                window[..k as usize].iter().map(|&j| self.jobs[j as usize].0).collect();
+            let mut r: Vec<u16> = window[..k as usize]
+                .iter()
+                .map(|&j| self.jobs[j as usize].0)
+                .collect();
             r.sort_unstable();
             r
         };
@@ -290,7 +393,17 @@ impl Ctx {
                 }
                 0
             } else {
-                self.power(St { t1, t2: tp, k: k1, anc: true, e1, e2: false }, memo)
+                self.power(
+                    St {
+                        t1,
+                        t2: tp,
+                        k: k1,
+                        anc: true,
+                        e1,
+                        e2: false,
+                    },
+                    memo,
+                )
             };
             if sub1 == INF {
                 continue;
@@ -299,13 +412,33 @@ impl Ctx {
             // t′ is active).
             if tp + 1 == t2 {
                 let right_active = anc || e2;
-                let sub2 = self.power(St { t1: t2, t2, k: i, anc, e1: e2, e2 }, memo);
+                let sub2 = self.power(
+                    St {
+                        t1: t2,
+                        t2,
+                        k: i,
+                        anc,
+                        e1: e2,
+                        e2,
+                    },
+                    memo,
+                );
                 if sub2 != INF {
                     best = best.min(add(add(sub1, sub2), right_active as u64));
                 }
             } else {
                 for x in [false, true] {
-                    let sub2 = self.power(St { t1: tp + 1, t2, k: i, anc, e1: x, e2 }, memo);
+                    let sub2 = self.power(
+                        St {
+                            t1: tp + 1,
+                            t2,
+                            k: i,
+                            anc,
+                            e1: x,
+                            e2,
+                        },
+                        memo,
+                    );
                     if sub2 != INF {
                         best = best.min(add(add(sub1, sub2), x as u64));
                     }

@@ -82,8 +82,7 @@ fn min_cost_multi(
             if mask & bit != 0 {
                 continue;
             }
-            if search_min(&allowed, depth + 1, mask | bit, &slots, &cost, &mut memo)
-                == Some(target)
+            if search_min(&allowed, depth + 1, mask | bit, &slots, &cost, &mut memo) == Some(target)
             {
                 times[job] = slots[s];
                 mask |= bit;
@@ -142,7 +141,7 @@ fn search_min(
 /// lower bound on the runs of any arrangement and the prefix arrangement
 /// attains it).
 pub fn min_spans_multiproc(inst: &Instance) -> Option<(u64, Schedule)> {
-    min_cost_multiproc(inst, |profile| profile_starts(profile))
+    min_cost_multiproc(inst, profile_starts)
 }
 
 /// Exact minimum-gap schedule (finite maximal idle intervals, the paper's
@@ -199,10 +198,7 @@ fn profile_power(profile: &[u8], alpha: u64) -> u64 {
     total
 }
 
-fn min_cost_multiproc(
-    inst: &Instance,
-    cost: impl Fn(&[u8]) -> u64,
-) -> Option<(u64, Schedule)> {
+fn min_cost_multiproc(inst: &Instance, cost: impl Fn(&[u8]) -> u64) -> Option<(u64, Schedule)> {
     let n = inst.job_count();
     if n == 0 {
         return Some((cost(&[]), Schedule::new(vec![])));
@@ -214,7 +210,10 @@ fn min_cost_multiproc(
         horizon_len <= MAX_SLOTS,
         "brute force supports horizons up to {MAX_SLOTS} slots, got {horizon_len}"
     );
-    assert!(inst.processors() < 250, "processor count too large for u8 profile");
+    assert!(
+        inst.processors() < 250,
+        "processor count too large for u8 profile"
+    );
 
     let order = inst.deadline_order();
     let windows: Vec<(usize, usize)> = order
@@ -243,9 +242,7 @@ fn min_cost_multiproc(
                 continue;
             }
             prof[t] += 1;
-            if search_profile(&windows, depth + 1, &mut prof, p, &cost, &mut memo)
-                == Some(target)
-            {
+            if search_profile(&windows, depth + 1, &mut prof, p, &cost, &mut memo) == Some(target) {
                 times[job] = t0 + t as Time;
                 placed = true;
                 break;
@@ -261,7 +258,10 @@ fn min_cost_multiproc(
         .iter()
         .map(|&t| {
             let q = used_at.entry(t).or_insert(0);
-            let a = Assignment { time: t, processor: *q };
+            let a = Assignment {
+                time: t,
+                processor: *q,
+            };
             *q += 1;
             a
         })
@@ -372,7 +372,11 @@ fn search_max(
             .filter(|&(s, _)| mask & (1u128 << s) != 0)
             .map(|(_, &t)| t)
             .collect();
-        return if run_count(&occupied) as u64 <= k { 0 } else { usize::MAX };
+        return if run_count(&occupied) as u64 <= k {
+            0
+        } else {
+            usize::MAX
+        };
     }
     if let Some(&v) = memo.get(&(depth, mask)) {
         return v;
@@ -387,7 +391,11 @@ fn search_max(
         }
         let sub = search_max(allowed, depth + 1, mask | bit, slots, k, memo);
         if sub != usize::MAX {
-            best = if best == usize::MAX { sub + 1 } else { best.max(sub + 1) };
+            best = if best == usize::MAX {
+                sub + 1
+            } else {
+                best.max(sub + 1)
+            };
         }
     }
     memo.insert((depth, mask), best);
@@ -417,8 +425,7 @@ mod tests {
 
     #[test]
     fn min_spans_is_gaps_plus_one() {
-        let inst =
-            MultiInstance::from_times([vec![0, 10], vec![1, 11], vec![5]]).unwrap();
+        let inst = MultiInstance::from_times([vec![0, 10], vec![1, 11], vec![5]]).unwrap();
         let (gaps, _) = min_gaps_multi(&inst).unwrap();
         let (spans, _) = min_spans_multi(&inst).unwrap();
         assert_eq!(spans, gaps + 1);

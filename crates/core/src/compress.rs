@@ -111,10 +111,7 @@ pub fn compress_instance_power(inst: &Instance, alpha: u64) -> (Instance, TimeMa
     compress_instance(inst, move |hole| hole.min(alpha + 1))
 }
 
-fn compress_instance(
-    inst: &Instance,
-    zone_width: impl Fn(u64) -> u64,
-) -> (Instance, TimeMap) {
+fn compress_instance(inst: &Instance, zone_width: impl Fn(u64) -> u64) -> (Instance, TimeMap) {
     // Live slots: union of all windows. Merge window intervals.
     let mut windows: Vec<(Time, Time)> = inst
         .jobs()
@@ -165,8 +162,7 @@ mod tests {
 
     #[test]
     fn gap_compression_preserves_optimum() {
-        let inst =
-            MultiInstance::from_times([vec![0, 500], vec![501], vec![2000, 2001]]).unwrap();
+        let inst = MultiInstance::from_times([vec![0, 500], vec![501], vec![2000, 2001]]).unwrap();
         let (c, _) = compress_multi_gap(&inst);
         let (g1, _) = min_gaps_multi(&inst).unwrap();
         let (g2, _) = min_gaps_multi(&c).unwrap();

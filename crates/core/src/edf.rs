@@ -38,7 +38,13 @@ pub fn edf(inst: &Instance) -> Result<Schedule, EdfFailure> {
 
     // Min-heap on (deadline, index) via Reverse.
     let mut pending: BinaryHeap<std::cmp::Reverse<(Time, usize)>> = BinaryHeap::new();
-    let mut assignments = vec![Assignment { time: 0, processor: 0 }; n];
+    let mut assignments = vec![
+        Assignment {
+            time: 0,
+            processor: 0
+        };
+        n
+    ];
     let mut next = 0usize;
     let mut t = match order.first() {
         Some(&i) => inst.jobs()[i].release,
@@ -62,7 +68,10 @@ pub fn edf(inst: &Instance) -> Result<Schedule, EdfFailure> {
             if d < t {
                 return Err(EdfFailure { job: i, time: t });
             }
-            assignments[i] = Assignment { time: t, processor: q as u32 };
+            assignments[i] = Assignment {
+                time: t,
+                processor: q as u32,
+            };
         }
         t += 1;
     }

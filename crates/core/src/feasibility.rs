@@ -20,7 +20,9 @@ pub fn slot_graph(inst: &MultiInstance) -> (BipartiteGraph, Vec<Time>) {
     let mut graph = BipartiteGraph::new(inst.job_count(), slots.len());
     for (j, job) in inst.jobs().iter().enumerate() {
         for &t in job.times() {
-            let s = slots.binary_search(&t).expect("slot union contains all job times");
+            let s = slots
+                .binary_search(&t)
+                .expect("slot union contains all job times");
             graph.add_edge(j as u32, s as u32);
         }
     }
@@ -47,9 +49,7 @@ pub struct InfeasibilityCertificate {
 /// let sched = feasible_schedule(&inst).unwrap();
 /// sched.verify(&inst).unwrap();
 /// ```
-pub fn feasible_schedule(
-    inst: &MultiInstance,
-) -> Result<MultiSchedule, InfeasibilityCertificate> {
+pub fn feasible_schedule(inst: &MultiInstance) -> Result<MultiSchedule, InfeasibilityCertificate> {
     let (graph, slots) = slot_graph(inst);
     let matching = hopcroft_karp(&graph);
     if matching.is_left_perfect() {
@@ -77,8 +77,7 @@ mod tests {
 
     #[test]
     fn feasible_instance_schedules_everything() {
-        let inst =
-            MultiInstance::from_times([vec![0, 1, 2], vec![1], vec![0, 2]]).unwrap();
+        let inst = MultiInstance::from_times([vec![0, 1, 2], vec![1], vec![0, 2]]).unwrap();
         let s = feasible_schedule(&inst).unwrap();
         s.verify(&inst).unwrap();
     }

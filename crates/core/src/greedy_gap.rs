@@ -69,7 +69,11 @@ pub fn greedy_gap_schedule_with_order(
     inst: &Instance,
     order: PickOrder,
 ) -> Option<GreedyGapResult> {
-    assert_eq!(inst.processors(), 1, "greedy gap baseline is single-processor");
+    assert_eq!(
+        inst.processors(),
+        1,
+        "greedy gap baseline is single-processor"
+    );
     let n = inst.job_count();
     if n == 0 {
         return Some(GreedyGapResult {
@@ -82,7 +86,10 @@ pub fn greedy_gap_schedule_with_order(
     let horizon = inst.horizon().expect("non-empty");
     let t0 = horizon.start;
     let t_len = (horizon.end - horizon.start + 1) as usize;
-    assert!(t_len <= 100_000, "horizon too long; compress the instance first");
+    assert!(
+        t_len <= 100_000,
+        "horizon too long; compress the instance first"
+    );
 
     let mut graph = BipartiteGraph::new(n, t_len);
     for (j, job) in inst.jobs().iter().enumerate() {
@@ -113,9 +120,7 @@ pub fn greedy_gap_schedule_with_order(
                 }
                 let slots: Vec<u32> = (a..=b).map(|s| s as u32).collect();
                 if inc.try_disable_many(&slots) {
-                    for s in a..=b {
-                        enabled[s] = false;
-                    }
+                    enabled[a..=b].fill(false);
                     picked.push((t0 + a as Time, t0 + b as Time));
                     committed = true;
                     break 'lengths;
@@ -126,8 +131,8 @@ pub fn greedy_gap_schedule_with_order(
             break;
         }
         // Fast exit: if every enabled slot is matched, nothing more can go.
-        let all_busy = (0..t_len)
-            .all(|s| !enabled[s] || inc.matching().partner_of_right(s as u32).is_some());
+        let all_busy =
+            (0..t_len).all(|s| !enabled[s] || inc.matching().partner_of_right(s as u32).is_some());
         if all_busy {
             break;
         }
@@ -135,8 +140,14 @@ pub fn greedy_gap_schedule_with_order(
 
     let assignments = (0..n as u32)
         .map(|j| {
-            let s = inc.matching().partner_of_left(j).expect("perfect matching maintained");
-            Assignment { time: t0 + s as Time, processor: 0 }
+            let s = inc
+                .matching()
+                .partner_of_left(j)
+                .expect("perfect matching maintained");
+            Assignment {
+                time: t0 + s as Time,
+                processor: 0,
+            }
         })
         .collect();
     let schedule = Schedule::new(assignments);
@@ -197,7 +208,10 @@ mod tests {
         assert_eq!(res.spans, 2);
         // The first committed gap should be the big middle stretch.
         let (a, b) = res.picked[0];
-        assert!(b - a + 1 >= 97, "first pick should be the large middle interval");
+        assert!(
+            b - a + 1 >= 97,
+            "first pick should be the large middle interval"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InstanceError {
     /// A job's deadline precedes its release time.
-    EmptyWindow { job: usize, release: Time, deadline: Time },
+    EmptyWindow {
+        job: usize,
+        release: Time,
+        deadline: Time,
+    },
     /// A multi-interval job has no allowed times at all.
     NoAllowedTimes { job: usize },
     /// Processor count must be at least 1.
@@ -26,7 +30,11 @@ pub enum InstanceError {
 impl fmt::Display for InstanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InstanceError::EmptyWindow { job, release, deadline } => write!(
+            InstanceError::EmptyWindow {
+                job,
+                release,
+                deadline,
+            } => write!(
                 f,
                 "job {job} has empty window [release {release}, deadline {deadline}]"
             ),
@@ -312,7 +320,11 @@ impl MultiInstance {
     /// Maximum number of intervals of any job (the `k` in "k-interval gap
     /// scheduling"); 0 for an empty instance.
     pub fn max_intervals_per_job(&self) -> usize {
-        self.jobs.iter().map(|j| j.intervals().len()).max().unwrap_or(0)
+        self.jobs
+            .iter()
+            .map(|j| j.intervals().len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// True iff every allowed interval of every job has unit length
@@ -348,7 +360,11 @@ mod tests {
         let err = Instance::from_windows([(3, 1)], 1).unwrap_err();
         assert_eq!(
             err,
-            InstanceError::EmptyWindow { job: 0, release: 3, deadline: 1 }
+            InstanceError::EmptyWindow {
+                job: 0,
+                release: 3,
+                deadline: 1
+            }
         );
         assert_eq!(
             Instance::new(vec![], 0).unwrap_err(),

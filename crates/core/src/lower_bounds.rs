@@ -79,7 +79,11 @@ fn min_hosting_runs(inst: &MultiInstance, runs: &[TimeInterval]) -> Option<u64> 
     // Map each slot index to its run index.
     let run_of_slot: Vec<usize> = slots
         .iter()
-        .map(|&t| runs.iter().position(|r| r.contains(t)).expect("slot in a run"))
+        .map(|&t| {
+            runs.iter()
+                .position(|r| r.contains(t))
+                .expect("slot in a run")
+        })
         .collect();
     let n = inst.job_count();
 
@@ -157,8 +161,7 @@ mod tests {
     #[test]
     fn bounds_are_tight_on_forced_instances() {
         // Three far-apart pinned jobs: 3 runs, all mandatory.
-        let inst =
-            MultiInstance::from_times([vec![0], vec![10], vec![20]]).unwrap();
+        let inst = MultiInstance::from_times([vec![0], vec![10], vec![20]]).unwrap();
         assert_eq!(min_spans_lower_bound(&inst), 3);
         assert_eq!(min_gaps_lower_bound(&inst), 2);
         let (opt, _) = min_spans_multi(&inst).unwrap();
@@ -169,12 +172,8 @@ mod tests {
     fn hosting_bound_beats_capacity_bound() {
         // Two runs of length 3 each, 3 jobs; capacity bound says 1 but
         // jobs 0 and 2 live in different runs: hosting bound = 2.
-        let inst = MultiInstance::from_times([
-            vec![0, 1, 2],
-            vec![0, 1, 2],
-            vec![10, 11, 12],
-        ])
-        .unwrap();
+        let inst =
+            MultiInstance::from_times([vec![0, 1, 2], vec![0, 1, 2], vec![10, 11, 12]]).unwrap();
         assert_eq!(min_spans_lower_bound(&inst), 2);
     }
 
@@ -188,12 +187,8 @@ mod tests {
         // Capacity strictly wins when one run must hold several spans...
         // impossible: spans merge inside a run. So capacity bound's role
         // is runs > 20 fallback; just check consistency here.
-        let inst = MultiInstance::from_times([
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2, 3],
-            vec![2, 3],
-        ])
-        .unwrap();
+        let inst =
+            MultiInstance::from_times([vec![0, 1, 2, 3], vec![0, 1, 2, 3], vec![2, 3]]).unwrap();
         let lb = min_spans_lower_bound(&inst);
         let (opt, _) = min_spans_multi(&inst).unwrap();
         assert!(lb <= opt);
@@ -208,10 +203,16 @@ mod tests {
         for seed in 0..30u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let jobs: Vec<Vec<i64>> = (0..rng.gen_range(1..=6))
-                .map(|_| (0..rng.gen_range(1..=3)).map(|_| rng.gen_range(0..14)).collect())
+                .map(|_| {
+                    (0..rng.gen_range(1..=3))
+                        .map(|_| rng.gen_range(0..14))
+                        .collect()
+                })
                 .collect();
             let inst = MultiInstance::from_times(jobs).unwrap();
-            let Some((opt_spans, _)) = min_spans_multi(&inst) else { continue };
+            let Some((opt_spans, _)) = min_spans_multi(&inst) else {
+                continue;
+            };
             assert!(
                 min_spans_lower_bound(&inst) <= opt_spans,
                 "seed {seed}: spans LB unsound"

@@ -109,7 +109,11 @@ pub fn greedy_min_restart(inst: &MultiInstance, k: u64) -> MinRestartResult {
         intervals.push(iv);
     }
 
-    let res = MinRestartResult { assignment, scheduled, intervals };
+    let res = MinRestartResult {
+        assignment,
+        scheduled,
+        intervals,
+    };
     debug_assert_eq!(res.verify(inst), Ok(()));
     res
 }
@@ -164,13 +168,8 @@ mod tests {
 
     #[test]
     fn takes_largest_block_first() {
-        let inst = MultiInstance::from_times([
-            vec![0, 1],
-            vec![1, 2],
-            vec![0, 2],
-            vec![50],
-        ])
-        .unwrap();
+        let inst =
+            MultiInstance::from_times([vec![0, 1], vec![1, 2], vec![0, 2], vec![50]]).unwrap();
         let res = greedy_min_restart(&inst, 2);
         assert_eq!(res.scheduled, 4);
         assert_eq!(res.intervals.len(), 2);
@@ -205,14 +204,8 @@ mod tests {
                 vec![12],
             ])
             .unwrap(),
-            MultiInstance::from_times([
-                vec![0, 5],
-                vec![1, 6],
-                vec![2, 7],
-                vec![0, 1],
-                vec![6, 7],
-            ])
-            .unwrap(),
+            MultiInstance::from_times([vec![0, 5], vec![1, 6], vec![2, 7], vec![0, 1], vec![6, 7]])
+                .unwrap(),
         ];
         for inst in cases {
             for k in 1..=3u64 {

@@ -42,11 +42,12 @@ use gaps_setcover::SetPackingInstance;
 /// # Panics
 /// Panics if the partial schedule itself is invalid (disallowed time or
 /// duplicate slot).
-pub fn complete_schedule(
-    inst: &MultiInstance,
-    partial: &[Option<Time>],
-) -> Option<MultiSchedule> {
-    assert_eq!(partial.len(), inst.job_count(), "partial schedule has wrong length");
+pub fn complete_schedule(inst: &MultiInstance, partial: &[Option<Time>]) -> Option<MultiSchedule> {
+    assert_eq!(
+        partial.len(),
+        inst.job_count(),
+        "partial schedule has wrong length"
+    );
     let (graph, slots) = slot_graph(inst);
     let mut inc = IncrementalMatching::new(&graph);
     for (j, t) in partial.iter().enumerate() {
@@ -104,7 +105,10 @@ pub fn approx_min_power(
     alpha: f64,
     swap_rounds: usize,
 ) -> Option<ApproxPowerResult> {
-    assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+    assert!(
+        alpha >= 0.0 && alpha.is_finite(),
+        "alpha must be finite and >= 0"
+    );
     let n = inst.job_count();
     // Baseline: any feasible schedule (this alone is (1 + α)-approximate).
     let trivial = complete_schedule(inst, &vec![None; n])?;
@@ -125,7 +129,12 @@ pub fn approx_min_power(
         // theorem analyzes (and ties with the trivial baseline are common
         // on easy instances).
         if power < best.power || (power == best.power && packed_blocks > best.packed_blocks) {
-            best = ApproxPowerResult { schedule, power, packed_blocks, parity };
+            best = ApproxPowerResult {
+                schedule,
+                power,
+                packed_blocks,
+                parity,
+            };
         }
     }
     Some(best)
@@ -139,7 +148,9 @@ fn pack_blocks(inst: &MultiInstance, parity: u8, swap_rounds: usize) -> Vec<Opti
 
     // Jobs allowed at each slot.
     let jobs_at = |t: Time| -> Vec<u32> {
-        (0..n as u32).filter(|&j| inst.jobs()[j as usize].allows(t)).collect()
+        (0..n as u32)
+            .filter(|&j| inst.jobs()[j as usize].allows(t))
+            .collect()
     };
 
     // Candidate block starts: t ≡ parity (mod 2) with both t and t+1 usable.
@@ -255,7 +266,10 @@ pub fn approx_min_power_k(
     swap_rounds: usize,
 ) -> Option<ApproxPowerResult> {
     assert!((2..=4).contains(&k), "block length k must be in 2..=4");
-    assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+    assert!(
+        alpha >= 0.0 && alpha.is_finite(),
+        "alpha must be finite and >= 0"
+    );
     let n = inst.job_count();
     let trivial = complete_schedule(inst, &vec![None; n])?;
     let mut best = ApproxPowerResult {
@@ -271,7 +285,12 @@ pub fn approx_min_power_k(
             .expect("feasible instance: augmentation cannot get stuck");
         let power = power_cost_single_f(&schedule, alpha);
         if power < best.power || (power == best.power && packed_blocks > best.packed_blocks) {
-            best = ApproxPowerResult { schedule, power, packed_blocks, parity: residue };
+            best = ApproxPowerResult {
+                schedule,
+                power,
+                packed_blocks,
+                parity: residue,
+            };
         }
     }
     Some(best)
@@ -289,7 +308,9 @@ fn pack_k_blocks(
     let n = inst.job_count();
     let slots = inst.slot_union();
     let jobs_at = |t: Time| -> Vec<u32> {
-        (0..n as u32).filter(|&j| inst.jobs()[j as usize].allows(t)).collect()
+        (0..n as u32)
+            .filter(|&j| inst.jobs()[j as usize].allows(t))
+            .collect()
     };
 
     let mut block_count = 0u32;
@@ -389,14 +410,9 @@ mod tests {
     #[test]
     fn lemma3_gap_growth_bound() {
         // Partial schedule with g gaps; each augmentation adds ≤ 1 gap.
-        let inst = MultiInstance::from_times([
-            vec![0],
-            vec![1],
-            vec![10],
-            vec![20, 21],
-            vec![20, 21],
-        ])
-        .unwrap();
+        let inst =
+            MultiInstance::from_times([vec![0], vec![1], vec![10], vec![20, 21], vec![20, 21]])
+                .unwrap();
         let partial = vec![Some(0), Some(1), Some(10), None, None];
         let partial_sched = MultiSchedule::new(vec![0, 1, 10]);
         let g = partial_sched.gap_count();
@@ -406,13 +422,8 @@ mod tests {
 
     #[test]
     fn approx_packs_obvious_blocks() {
-        let inst = MultiInstance::from_times([
-            vec![0, 1],
-            vec![0, 1],
-            vec![10, 11],
-            vec![10, 11],
-        ])
-        .unwrap();
+        let inst = MultiInstance::from_times([vec![0, 1], vec![0, 1], vec![10, 11], vec![10, 11]])
+            .unwrap();
         let res = approx_min_power(&inst, 4.0, 64).unwrap();
         assert_eq!(res.packed_blocks, 2);
         assert_eq!(res.power, 12.0);
@@ -444,14 +455,9 @@ mod tests {
 
     #[test]
     fn approx_never_worse_than_one_plus_alpha() {
-        let inst = MultiInstance::from_times([
-            vec![0, 7],
-            vec![3],
-            vec![8, 9],
-            vec![4, 5],
-            vec![12],
-        ])
-        .unwrap();
+        let inst =
+            MultiInstance::from_times([vec![0, 7], vec![3], vec![8, 9], vec![4, 5], vec![12]])
+                .unwrap();
         for alpha in [0.5, 1.0, 2.5] {
             let res = approx_min_power(&inst, alpha, 64).unwrap();
             let n = inst.job_count() as f64;
@@ -471,15 +477,9 @@ mod tests {
     #[test]
     fn k3_blocks_pack_triples() {
         // Six jobs forming two clean 3-blocks.
-        let inst = MultiInstance::from_times([
-            vec![0],
-            vec![1],
-            vec![2],
-            vec![30],
-            vec![31],
-            vec![32],
-        ])
-        .unwrap();
+        let inst =
+            MultiInstance::from_times([vec![0], vec![1], vec![2], vec![30], vec![31], vec![32]])
+                .unwrap();
         let res = approx_min_power_k(&inst, 4.0, 3, 32).unwrap();
         res.schedule.verify(&inst).unwrap();
         assert_eq!(res.packed_blocks, 2);
@@ -488,13 +488,8 @@ mod tests {
 
     #[test]
     fn k2_generalization_matches_special_case_shape() {
-        let inst = MultiInstance::from_times([
-            vec![0, 1],
-            vec![0, 1],
-            vec![10, 11],
-            vec![10, 11],
-        ])
-        .unwrap();
+        let inst = MultiInstance::from_times([vec![0, 1], vec![0, 1], vec![10, 11], vec![10, 11]])
+            .unwrap();
         let k2 = approx_min_power_k(&inst, 4.0, 2, 32).unwrap();
         let special = approx_min_power(&inst, 4.0, 32).unwrap();
         assert_eq!(k2.power, special.power);

@@ -82,7 +82,11 @@ pub struct GapSolution {
 /// prefix-structured witness. `None` iff infeasible.
 pub fn min_span_schedule(inst: &Instance) -> Option<GapSolution> {
     let (spans, schedule) = solve(inst)?;
-    Some(GapSolution { gaps: spans, schedule, spans })
+    Some(GapSolution {
+        gaps: spans,
+        schedule,
+        spans,
+    })
 }
 
 /// Solve the **finite-gap** objective exactly (Section 2's literal
@@ -105,7 +109,11 @@ pub fn min_gap_schedule(inst: &Instance) -> Option<GapSolution> {
     let gaps = spans.saturating_sub(inst.processors() as u64);
     let spread = schedule.spread_for_min_gaps(inst.processors());
     debug_assert_eq!(spread.gap_count(inst.processors()), gaps);
-    Some(GapSolution { gaps, schedule: spread, spans })
+    Some(GapSolution {
+        gaps,
+        schedule: spread,
+        spans,
+    })
 }
 
 /// Convenience: optimal finite-gap count only.
@@ -138,7 +146,10 @@ fn solve(inst: &Instance) -> Option<(u64, Schedule)> {
         .iter()
         .map(|&(t, q)| {
             debug_assert!(t != i64::MIN, "every job must be placed");
-            Assignment { time: ctx.t0 + t, processor: q }
+            Assignment {
+                time: ctx.t0 + t,
+                processor: q,
+            }
         })
         .collect();
     let schedule = Schedule::new(assignments);
@@ -188,8 +199,14 @@ impl Ctx {
         let horizon = inst.horizon().expect("non-empty instance");
         let t0 = horizon.start - 1;
         let len = horizon.end - horizon.start + 3; // two sentinels
-        assert!(len <= 4000, "horizon too long ({len}); compress the instance first");
-        assert!(inst.job_count() <= 4000, "too many jobs for the DP key packing");
+        assert!(
+            len <= 4000,
+            "horizon too long ({len}); compress the instance first"
+        );
+        assert!(
+            inst.job_count() <= 4000,
+            "too many jobs for the DP key packing"
+        );
         let order: Vec<u32> = inst.deadline_order().iter().map(|&i| i as u32).collect();
         let jobs = order
             .iter()
@@ -208,7 +225,14 @@ impl Ctx {
     }
 
     fn top_state(&self) -> State {
-        State { t1: 0, t2: self.t_max, k: self.jobs.len() as u16, q: 0, o1: 0, o2: 0 }
+        State {
+            t1: 0,
+            t2: self.t_max,
+            k: self.jobs.len() as u16,
+            q: 0,
+            o1: 0,
+            o2: 0,
+        }
     }
 
     /// Deadline-ordered positions (into `self.jobs`) of jobs released in
@@ -233,7 +257,14 @@ impl Ctx {
     }
 
     fn compute(&self, s: State, memo: &mut HashMap<u64, u32>) -> u32 {
-        let State { t1, t2, k, q, o1, o2 } = s;
+        let State {
+            t1,
+            t2,
+            k,
+            q,
+            o1,
+            o2,
+        } = s;
         let m = self.cap;
         // Structural validity.
         if o1 > k || o2 > k || q + o2 > m || o1 > m {
@@ -247,7 +278,11 @@ impl Ctx {
         // Base: single-point window. All k jobs sit at t1 = t2 on top of
         // the q ancestors; no boundary lies inside, so the cost is 0.
         if t1 == t2 {
-            return if o1 == o2 && o1 == k && q + k <= m { 0 } else { INF };
+            return if o1 == o2 && o1 == k && q + k <= m {
+                0
+            } else {
+                INF
+            };
         }
 
         // Base: nothing to schedule. The q ancestors at t2 rise from an
@@ -262,7 +297,17 @@ impl Ctx {
 
         // Case A: jk at t2, joining the ancestors.
         if o2 >= 1 && dk >= t2 {
-            let child = self.value(State { t1, t2, k: k - 1, q: q + 1, o1, o2: o2 - 1 }, memo);
+            let child = self.value(
+                State {
+                    t1,
+                    t2,
+                    k: k - 1,
+                    q: q + 1,
+                    o1,
+                    o2: o2 - 1,
+                },
+                memo,
+            );
             best = best.min(child);
         }
 
@@ -287,8 +332,17 @@ impl Ctx {
                 if o1 != k1 + 1 {
                     continue;
                 }
-                let sub1 =
-                    self.value(State { t1, t2: t1, k: k1, q: 1, o1: o1 - 1, o2: o1 - 1 }, memo);
+                let sub1 = self.value(
+                    State {
+                        t1,
+                        t2: t1,
+                        k: k1,
+                        q: 1,
+                        o1: o1 - 1,
+                        o2: o1 - 1,
+                    },
+                    memo,
+                );
                 if sub1 == INF {
                     continue;
                 }
@@ -296,7 +350,17 @@ impl Ctx {
             } else {
                 // jk at the bottom of column t′; ℓ′ sub1 jobs above it.
                 for lp in 0..=k1.min(m - 1) {
-                    let sub1 = self.value(State { t1, t2: tp, k: k1, q: 1, o1, o2: lp }, memo);
+                    let sub1 = self.value(
+                        State {
+                            t1,
+                            t2: tp,
+                            k: k1,
+                            q: 1,
+                            o1,
+                            o2: lp,
+                        },
+                        memo,
+                    );
                     if sub1 == INF {
                         continue;
                     }
@@ -323,13 +387,33 @@ impl Ctx {
         let col_tp = 1 + lp as u32; // occupancy at t′
         if tp + 1 == t2 {
             // Right child is the single-point state at t2.
-            let sub2 = self.value(State { t1: t2, t2, k: i, q, o1: o2, o2 }, memo);
+            let sub2 = self.value(
+                State {
+                    t1: t2,
+                    t2,
+                    k: i,
+                    q,
+                    o1: o2,
+                    o2,
+                },
+                memo,
+            );
             let boundary = (q as u32 + o2 as u32).saturating_sub(col_tp);
             add(add(sub1, sub2), boundary)
         } else {
             let mut best = INF;
             for l2 in 0..=i.min(self.cap) {
-                let sub2 = self.value(State { t1: tp + 1, t2, k: i, q, o1: l2, o2 }, memo);
+                let sub2 = self.value(
+                    State {
+                        t1: tp + 1,
+                        t2,
+                        k: i,
+                        q,
+                        o1: l2,
+                        o2,
+                    },
+                    memo,
+                );
                 if sub2 == INF {
                     continue;
                 }
@@ -343,15 +427,17 @@ impl Ctx {
     /// Reconstruct one optimal witness by re-deriving a transition whose
     /// value matches the memoized optimum, then descending. Jobs are placed
     /// on prefix processors.
-    fn walk(
-        &self,
-        s: State,
-        memo: &mut HashMap<u64, u32>,
-        placements: &mut Vec<(i64, u32)>,
-    ) {
+    fn walk(&self, s: State, memo: &mut HashMap<u64, u32>, placements: &mut Vec<(i64, u32)>) {
         let target = self.value(s, memo);
         assert_ne!(target, INF, "walking an infeasible state");
-        let State { t1, t2, k, q, o1, o2 } = s;
+        let State {
+            t1,
+            t2,
+            k,
+            q,
+            o1,
+            o2,
+        } = s;
         let window = self.window_jobs(t1, t2);
 
         // Single-point base: place all k jobs at t1 on processors q..q+k.
@@ -372,7 +458,14 @@ impl Ctx {
 
         // Case A.
         if o2 >= 1 && dk >= t2 {
-            let child_state = State { t1, t2, k: k - 1, q: q + 1, o1, o2: o2 - 1 };
+            let child_state = State {
+                t1,
+                t2,
+                k: k - 1,
+                q: q + 1,
+                o1,
+                o2: o2 - 1,
+            };
             if self.value(child_state, memo) == target {
                 placements[job_k] = (t2 as i64, q as u32);
                 self.walk(child_state, memo, placements);
@@ -394,10 +487,24 @@ impl Ctx {
                 if o1 != k1 + 1 {
                     continue;
                 }
-                vec![State { t1, t2: t1, k: k1, q: 1, o1: o1 - 1, o2: o1 - 1 }]
+                vec![State {
+                    t1,
+                    t2: t1,
+                    k: k1,
+                    q: 1,
+                    o1: o1 - 1,
+                    o2: o1 - 1,
+                }]
             } else {
                 (0..=k1.min(self.cap - 1))
-                    .map(|lp| State { t1, t2: tp, k: k1, q: 1, o1, o2: lp })
+                    .map(|lp| State {
+                        t1,
+                        t2: tp,
+                        k: k1,
+                        q: 1,
+                        o1,
+                        o2: lp,
+                    })
                     .collect()
             };
             for st1 in sub1_states {
@@ -408,16 +515,33 @@ impl Ctx {
                     continue;
                 }
                 let sub2_states: Vec<State> = if tp + 1 == t2 {
-                    vec![State { t1: t2, t2, k: i, q, o1: o2, o2 }]
+                    vec![State {
+                        t1: t2,
+                        t2,
+                        k: i,
+                        q,
+                        o1: o2,
+                        o2,
+                    }]
                 } else {
                     (0..=i.min(self.cap))
-                        .map(|l2| State { t1: tp + 1, t2, k: i, q, o1: l2, o2 })
+                        .map(|l2| State {
+                            t1: tp + 1,
+                            t2,
+                            k: i,
+                            q,
+                            o1: l2,
+                            o2,
+                        })
                         .collect()
                 };
                 for st2 in sub2_states {
                     let sub2 = self.value(st2, memo);
-                    let occ_next =
-                        if tp + 1 == t2 { q as u32 + o2 as u32 } else { st2.o1 as u32 };
+                    let occ_next = if tp + 1 == t2 {
+                        q as u32 + o2 as u32
+                    } else {
+                        st2.o1 as u32
+                    };
                     let boundary = occ_next.saturating_sub(col_tp);
                     if add(add(sub1, sub2), boundary) == target {
                         placements[job_k] = (tp as i64, 0);

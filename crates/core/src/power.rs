@@ -59,7 +59,10 @@ pub fn power_cost_single(sched: &MultiSchedule, alpha: u64) -> u64 {
 /// Real-valued variant for the approximation pipeline, which accepts
 /// non-integer `alpha`.
 pub fn power_cost_single_f(sched: &MultiSchedule, alpha: f64) -> f64 {
-    assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+    assert!(
+        alpha >= 0.0 && alpha.is_finite(),
+        "alpha must be finite and >= 0"
+    );
     let occupied = sched.occupied();
     if occupied.is_empty() {
         return 0.0;

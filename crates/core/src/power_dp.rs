@@ -76,7 +76,10 @@ pub struct PowerSolution {
 pub fn min_power_schedule(inst: &Instance, alpha: u64) -> Option<PowerSolution> {
     let n = inst.job_count();
     if n == 0 {
-        return Some(PowerSolution { power: 0, schedule: Schedule::new(vec![]) });
+        return Some(PowerSolution {
+            power: 0,
+            schedule: Schedule::new(vec![]),
+        });
     }
     crate::edf::edf(inst).ok()?;
 
@@ -91,7 +94,10 @@ pub fn min_power_schedule(inst: &Instance, alpha: u64) -> Option<PowerSolution> 
         .iter()
         .map(|&(t, q)| {
             debug_assert!(t != i64::MIN, "every job must be placed");
-            Assignment { time: ctx.t0 + t, processor: q }
+            Assignment {
+                time: ctx.t0 + t,
+                processor: q,
+            }
         })
         .collect();
     let schedule = Schedule::new(assignments);
@@ -147,8 +153,14 @@ impl Ctx {
         let horizon = inst.horizon().expect("non-empty instance");
         let t0 = horizon.start - 1;
         let len = horizon.end - horizon.start + 3;
-        assert!(len <= 4000, "horizon too long ({len}); compress the instance first");
-        assert!(inst.job_count() <= 4000, "too many jobs for the DP key packing");
+        assert!(
+            len <= 4000,
+            "horizon too long ({len}); compress the instance first"
+        );
+        assert!(
+            inst.job_count() <= 4000,
+            "too many jobs for the DP key packing"
+        );
         let order: Vec<u32> = inst.deadline_order().iter().map(|&i| i as u32).collect();
         let jobs = order
             .iter()
@@ -168,7 +180,14 @@ impl Ctx {
     }
 
     fn top_state(&self) -> State {
-        State { t1: 0, t2: self.t_max, k: self.jobs.len() as u16, q: 0, a1: 0, a2: 0 }
+        State {
+            t1: 0,
+            t2: self.t_max,
+            k: self.jobs.len() as u16,
+            q: 0,
+            a1: 0,
+            a2: 0,
+        }
     }
 
     fn window_jobs(&self, t1: u16, t2: u16) -> Vec<u16> {
@@ -200,7 +219,14 @@ impl Ctx {
     }
 
     fn compute(&self, s: State, memo: &mut HashMap<u64, u64>) -> u64 {
-        let State { t1, t2, k, q, a1, a2 } = s;
+        let State {
+            t1,
+            t2,
+            k,
+            q,
+            a1,
+            a2,
+        } = s;
         let m = self.cap;
         if q + a2 > m || a1 > m {
             return INF;
@@ -227,7 +253,17 @@ impl Ctx {
 
         // Case A: jk at t2, taking one of the own active slots there.
         if a2 >= 1 && dk >= t2 {
-            let child = self.value(State { t1, t2, k: k - 1, q: q + 1, a1, a2: a2 - 1 }, memo);
+            let child = self.value(
+                State {
+                    t1,
+                    t2,
+                    k: k - 1,
+                    q: q + 1,
+                    a1,
+                    a2: a2 - 1,
+                },
+                memo,
+            );
             best = best.min(child);
         }
 
@@ -251,15 +287,34 @@ impl Ctx {
                 if a1 < 1 {
                     continue;
                 }
-                let sub1 =
-                    self.value(State { t1, t2: t1, k: k1, q: 1, a1: a1 - 1, a2: a1 - 1 }, memo);
+                let sub1 = self.value(
+                    State {
+                        t1,
+                        t2: t1,
+                        k: k1,
+                        q: 1,
+                        a1: a1 - 1,
+                        a2: a1 - 1,
+                    },
+                    memo,
+                );
                 if sub1 == INF {
                     continue;
                 }
                 best = best.min(self.best_right(s, memo, tp, a1 - 1, i, sub1));
             } else {
                 for lp in 0..m {
-                    let sub1 = self.value(State { t1, t2: tp, k: k1, q: 1, a1, a2: lp }, memo);
+                    let sub1 = self.value(
+                        State {
+                            t1,
+                            t2: tp,
+                            k: k1,
+                            q: 1,
+                            a1,
+                            a2: lp,
+                        },
+                        memo,
+                    );
                     if sub1 == INF {
                         continue;
                     }
@@ -284,14 +339,34 @@ impl Ctx {
         let State { t2, q, a2, .. } = s;
         let col_tp = 1 + lp as u64; // total active at t′
         if tp + 1 == t2 {
-            let sub2 = self.value(State { t1: t2, t2, k: i, q, a1: a2, a2 }, memo);
+            let sub2 = self.value(
+                State {
+                    t1: t2,
+                    t2,
+                    k: i,
+                    q,
+                    a1: a2,
+                    a2,
+                },
+                memo,
+            );
             let x = q as u64 + a2 as u64;
             let boundary = x + self.alpha * x.saturating_sub(col_tp);
             add(add(sub1, sub2), boundary)
         } else {
             let mut best = INF;
             for l2 in 0..=self.cap {
-                let sub2 = self.value(State { t1: tp + 1, t2, k: i, q, a1: l2, a2 }, memo);
+                let sub2 = self.value(
+                    State {
+                        t1: tp + 1,
+                        t2,
+                        k: i,
+                        q,
+                        a1: l2,
+                        a2,
+                    },
+                    memo,
+                );
                 if sub2 == INF {
                     continue;
                 }
@@ -306,7 +381,14 @@ impl Ctx {
     fn walk(&self, s: State, memo: &mut HashMap<u64, u64>, placements: &mut Vec<(i64, u32)>) {
         let target = self.value(s, memo);
         assert_ne!(target, INF, "walking an infeasible state");
-        let State { t1, t2, k, q, a1, a2 } = s;
+        let State {
+            t1,
+            t2,
+            k,
+            q,
+            a1,
+            a2,
+        } = s;
         let window = self.window_jobs(t1, t2);
 
         if t1 == t2 {
@@ -325,7 +407,14 @@ impl Ctx {
         let (rk, dk) = self.jobs[jk as usize];
 
         if a2 >= 1 && dk >= t2 {
-            let child_state = State { t1, t2, k: k - 1, q: q + 1, a1, a2: a2 - 1 };
+            let child_state = State {
+                t1,
+                t2,
+                k: k - 1,
+                q: q + 1,
+                a1,
+                a2: a2 - 1,
+            };
             if self.value(child_state, memo) == target {
                 placements[job_k] = (t2 as i64, q as u32);
                 self.walk(child_state, memo, placements);
@@ -347,10 +436,24 @@ impl Ctx {
                 if a1 < 1 {
                     continue;
                 }
-                vec![State { t1, t2: t1, k: k1, q: 1, a1: a1 - 1, a2: a1 - 1 }]
+                vec![State {
+                    t1,
+                    t2: t1,
+                    k: k1,
+                    q: 1,
+                    a1: a1 - 1,
+                    a2: a1 - 1,
+                }]
             } else {
                 (0..self.cap)
-                    .map(|lp| State { t1, t2: tp, k: k1, q: 1, a1, a2: lp })
+                    .map(|lp| State {
+                        t1,
+                        t2: tp,
+                        k: k1,
+                        q: 1,
+                        a1,
+                        a2: lp,
+                    })
                     .collect()
             };
             for st1 in sub1_states {
@@ -361,10 +464,24 @@ impl Ctx {
                     continue;
                 }
                 let sub2_states: Vec<State> = if tp + 1 == t2 {
-                    vec![State { t1: t2, t2, k: i, q, a1: a2, a2 }]
+                    vec![State {
+                        t1: t2,
+                        t2,
+                        k: i,
+                        q,
+                        a1: a2,
+                        a2,
+                    }]
                 } else {
                     (0..=self.cap)
-                        .map(|l2| State { t1: tp + 1, t2, k: i, q, a1: l2, a2 })
+                        .map(|l2| State {
+                            t1: tp + 1,
+                            t2,
+                            k: i,
+                            q,
+                            a1: l2,
+                            a2,
+                        })
                         .collect()
                 };
                 for st2 in sub2_states {
@@ -372,7 +489,11 @@ impl Ctx {
                     if sub2 == INF {
                         continue;
                     }
-                    let x = if tp + 1 == t2 { q as u64 + a2 as u64 } else { st2.a1 as u64 };
+                    let x = if tp + 1 == t2 {
+                        q as u64 + a2 as u64
+                    } else {
+                        st2.a1 as u64
+                    };
                     let boundary = x + self.alpha * x.saturating_sub(col_tp);
                     if add(add(sub1, sub2), boundary) == target {
                         placements[job_k] = (tp as i64, 0);

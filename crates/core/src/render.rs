@@ -33,7 +33,11 @@ pub fn render_timeline(inst: &Instance, sched: &Schedule, max_width: usize) -> S
         let mut row = format!("P{q:<4}  ");
         for c in 0..width {
             let t = horizon.start + c as Time;
-            row.push(if times.binary_search(&t).is_ok() { '#' } else { '.' });
+            row.push(if times.binary_search(&t).is_ok() {
+                '#'
+            } else {
+                '.'
+            });
         }
         if clipped {
             row.push('…');
@@ -96,7 +100,11 @@ pub fn render_multi_timeline(sched: &MultiSchedule, max_width: usize) -> String 
     let mut row = String::from("P0     ");
     for c in 0..width {
         let t = lo + c as Time;
-        row.push(if occupied.binary_search(&t).is_ok() { '#' } else { '.' });
+        row.push(if occupied.binary_search(&t).is_ok() {
+            '#'
+        } else {
+            '.'
+        });
     }
     if clipped {
         row.push('…');
@@ -160,7 +168,10 @@ mod tests {
         let sched = Schedule::from_pairs([(0, 0), (500, 0)]);
         let s = render_timeline(&inst, &sched, 20);
         for line in s.lines() {
-            assert!(line.chars().count() <= 7 + 20 + 1, "line too wide: {line:?}");
+            assert!(
+                line.chars().count() <= 7 + 20 + 1,
+                "line too wide: {line:?}"
+            );
         }
         assert!(s.contains('…'));
     }

@@ -26,9 +26,18 @@ pub enum ScheduleError {
     /// A job is scheduled on a processor index `≥ p`.
     BadProcessor { job: usize, processor: u32 },
     /// Two jobs occupy the same (processor, time) slot.
-    SlotCollision { job_a: usize, job_b: usize, time: Time, processor: u32 },
+    SlotCollision {
+        job_a: usize,
+        job_b: usize,
+        time: Time,
+        processor: u32,
+    },
     /// Two jobs occupy the same time on the single processor.
-    TimeCollision { job_a: usize, job_b: usize, time: Time },
+    TimeCollision {
+        job_a: usize,
+        job_b: usize,
+        time: Time,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -43,7 +52,12 @@ impl fmt::Display for ScheduleError {
             ScheduleError::BadProcessor { job, processor } => {
                 write!(f, "job {job} scheduled on invalid processor {processor}")
             }
-            ScheduleError::SlotCollision { job_a, job_b, time, processor } => write!(
+            ScheduleError::SlotCollision {
+                job_a,
+                job_b,
+                time,
+                processor,
+            } => write!(
                 f,
                 "jobs {job_a} and {job_b} collide at time {time} on processor {processor}"
             ),
@@ -120,10 +134,16 @@ impl Schedule {
         for (i, a) in self.assignments.iter().enumerate() {
             let job = &inst.jobs()[i];
             if a.time < job.release || a.time > job.deadline {
-                return Err(ScheduleError::OutsideWindow { job: i, time: a.time });
+                return Err(ScheduleError::OutsideWindow {
+                    job: i,
+                    time: a.time,
+                });
             }
             if a.processor >= inst.processors() {
-                return Err(ScheduleError::BadProcessor { job: i, processor: a.processor });
+                return Err(ScheduleError::BadProcessor {
+                    job: i,
+                    processor: a.processor,
+                });
             }
             if let Some(&other) = seen.get(&(a.time, a.processor)) {
                 return Err(ScheduleError::SlotCollision {
@@ -253,13 +273,13 @@ impl Schedule {
         let mut open: Vec<(Time, u32)> = Vec::new(); // (start, level) of open runs
         let mut prev_t: Option<Time> = None;
         let mut prev_l: u32 = 0;
-        let close_down_to = |open: &mut Vec<(Time, u32)>, level: u32, end: Time,
-                                 runs: &mut Vec<(Time, Time)>| {
-            while open.len() as u32 > level {
-                let (s, _) = open.pop().expect("open non-empty");
-                runs.push((s, end));
-            }
-        };
+        let close_down_to =
+            |open: &mut Vec<(Time, u32)>, level: u32, end: Time, runs: &mut Vec<(Time, Time)>| {
+                while open.len() as u32 > level {
+                    let (s, _) = open.pop().expect("open non-empty");
+                    runs.push((s, end));
+                }
+            };
         for (&t, &l) in &occ {
             if let Some(pt) = prev_t {
                 if t != pt + 1 {
@@ -367,7 +387,11 @@ impl MultiSchedule {
                 return Err(ScheduleError::OutsideWindow { job: i, time: t });
             }
             if let Some(&other) = seen.get(&t) {
-                return Err(ScheduleError::TimeCollision { job_a: other, job_b: i, time: t });
+                return Err(ScheduleError::TimeCollision {
+                    job_a: other,
+                    job_b: i,
+                    time: t,
+                });
             }
             seen.insert(t, i);
         }
@@ -407,7 +431,12 @@ mod tests {
 
     fn inst2() -> Instance {
         Instance::new(
-            vec![Job::new(0, 3), Job::new(0, 3), Job::new(2, 5), Job::new(5, 5)],
+            vec![
+                Job::new(0, 3),
+                Job::new(0, 3),
+                Job::new(2, 5),
+                Job::new(5, 5),
+            ],
             2,
         )
         .unwrap()
@@ -432,7 +461,10 @@ mod tests {
         // Bad processor.
         assert!(matches!(
             Schedule::from_pairs([(0, 2), (0, 1), (2, 0), (5, 0)]).verify(&inst),
-            Err(ScheduleError::BadProcessor { job: 0, processor: 2 })
+            Err(ScheduleError::BadProcessor {
+                job: 0,
+                processor: 2
+            })
         ));
         // Collision.
         assert!(matches!(
@@ -452,13 +484,13 @@ mod tests {
         assert_eq!(s.processors_used(2), 2);
         assert_eq!(
             s.gaps(2),
-            vec![
-                (0, TimeInterval::new(1, 1)),
-                (0, TimeInterval::new(3, 4))
-            ]
+            vec![(0, TimeInterval::new(1, 1)), (0, TimeInterval::new(3, 4))]
         );
         // gaps = spans − used.
-        assert_eq!(s.gap_count(2), s.span_count(2) - s.processors_used(2) as u64);
+        assert_eq!(
+            s.gap_count(2),
+            s.span_count(2) - s.processors_used(2) as u64
+        );
     }
 
     #[test]
@@ -499,7 +531,7 @@ mod tests {
         let spread = s.spread_for_min_gaps(2);
         assert_eq!(spread.span_count(2), 3);
         assert_eq!(spread.gap_count(2), 1); // max(0, 3 − 2)
-        // Times are untouched.
+                                            // Times are untouched.
         for (a, b) in s.assignments().iter().zip(spread.assignments()) {
             assert_eq!(a.time, b.time);
         }

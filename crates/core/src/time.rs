@@ -67,7 +67,10 @@ impl TimeInterval {
 /// # Panics
 /// Debug-asserts that the input is strictly increasing.
 pub fn runs_of(times: &[Time]) -> Vec<TimeInterval> {
-    debug_assert!(times.windows(2).all(|w| w[0] < w[1]), "input must be strictly increasing");
+    debug_assert!(
+        times.windows(2).all(|w| w[0] < w[1]),
+        "input must be strictly increasing"
+    );
     let mut runs = Vec::new();
     let mut iter = times.iter().copied();
     let Some(first) = iter.next() else {
@@ -89,7 +92,10 @@ pub fn runs_of(times: &[Time]) -> Vec<TimeInterval> {
 /// Number of maximal runs in a sorted, deduplicated slice of times.
 /// Equivalent to `runs_of(times).len()` without allocating.
 pub fn run_count(times: &[Time]) -> usize {
-    debug_assert!(times.windows(2).all(|w| w[0] < w[1]), "input must be strictly increasing");
+    debug_assert!(
+        times.windows(2).all(|w| w[0] < w[1]),
+        "input must be strictly increasing"
+    );
     if times.is_empty() {
         return 0;
     }
@@ -156,10 +162,10 @@ mod tests {
 
     #[test]
     fn gaps_between_runs() {
-        assert_eq!(gaps_between(&[1, 2, 5, 8, 9]), vec![
-            TimeInterval::new(3, 4),
-            TimeInterval::new(6, 7),
-        ]);
+        assert_eq!(
+            gaps_between(&[1, 2, 5, 8, 9]),
+            vec![TimeInterval::new(3, 4), TimeInterval::new(6, 7),]
+        );
         assert_eq!(gaps_between(&[1, 2, 3]), vec![]);
         assert_eq!(gaps_between(&[]), vec![]);
     }
@@ -167,6 +173,9 @@ mod tests {
     #[test]
     fn negative_times_work() {
         let runs = runs_of(&[-3, -2, 4]);
-        assert_eq!(runs, vec![TimeInterval::new(-3, -2), TimeInterval::new(4, 4)]);
+        assert_eq!(
+            runs,
+            vec![TimeInterval::new(-3, -2), TimeInterval::new(4, 4)]
+        );
     }
 }

@@ -23,11 +23,8 @@ fn arb_instance(n_max: usize, t_max: i64, p_max: u32) -> impl Strategy<Value = I
 /// Random multi-interval instance: n jobs, each with 1..=k allowed slots
 /// in [0, t_max].
 fn arb_multi(n_max: usize, t_max: i64, k_max: usize) -> impl Strategy<Value = MultiInstance> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..=t_max, 1..=k_max),
-        1..=n_max,
-    )
-    .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
+    proptest::collection::vec(proptest::collection::vec(0..=t_max, 1..=k_max), 1..=n_max)
+        .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
 }
 
 proptest! {
@@ -114,11 +111,11 @@ proptest! {
         // pins are collision-free; skip degenerate draws.
         let mut partial = vec![None; inst.job_count()];
         let mut used = Vec::new();
-        for j in 0..inst.job_count() {
+        for (j, (slot, job)) in partial.iter_mut().zip(inst.jobs()).enumerate() {
             if pin_mask & (1 << j) != 0 {
-                let t = inst.jobs()[j].times()[0];
+                let t = job.times()[0];
                 if !used.contains(&t) {
-                    partial[j] = Some(t);
+                    *slot = Some(t);
                     used.push(t);
                 }
             }

@@ -20,11 +20,8 @@ fn arb_instance(n_max: usize, t_max: i64, p_max: u32) -> impl Strategy<Value = I
 }
 
 fn arb_multi(n_max: usize, t_max: i64, k_max: usize) -> impl Strategy<Value = MultiInstance> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..=t_max, 1..=k_max),
-        1..=n_max,
-    )
-    .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
+    proptest::collection::vec(proptest::collection::vec(0..=t_max, 1..=k_max), 1..=n_max)
+        .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
 }
 
 proptest! {

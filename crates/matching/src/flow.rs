@@ -95,10 +95,8 @@ pub fn koenig_vertex_cover(graph: &BipartiteGraph) -> (Vec<u32>, Vec<u32>) {
 
 /// Check that `(lefts, rights)` covers every edge of `graph`.
 pub fn is_vertex_cover(graph: &BipartiteGraph, lefts: &[u32], rights: &[u32]) -> bool {
-    (0..graph.left_count() as u32).all(|u| {
-        lefts.contains(&u)
-            || graph.neighbors(u).iter().all(|v| rights.contains(v))
-    })
+    (0..graph.left_count() as u32)
+        .all(|u| lefts.contains(&u) || graph.neighbors(u).iter().all(|v| rights.contains(v)))
 }
 
 struct FlowEdge {
@@ -114,15 +112,26 @@ struct FlowNetwork {
 
 impl FlowNetwork {
     fn new(nodes: usize) -> FlowNetwork {
-        FlowNetwork { adj: vec![Vec::new(); nodes], edges: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); nodes],
+            edges: Vec::new(),
+        }
     }
 
     fn add_edge(&mut self, from: usize, to: usize, cap: u32) {
         let fwd = self.edges.len();
-        self.edges.push(FlowEdge { to, cap, rev: fwd + 1 });
+        self.edges.push(FlowEdge {
+            to,
+            cap,
+            rev: fwd + 1,
+        });
         self.adj[from].push(fwd);
         let back = self.edges.len();
-        self.edges.push(FlowEdge { to: from, cap: 0, rev: fwd });
+        self.edges.push(FlowEdge {
+            to: from,
+            cap: 0,
+            rev: fwd,
+        });
         self.adj[to].push(back);
     }
 
@@ -160,14 +169,7 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs(
-        &mut self,
-        u: usize,
-        sink: usize,
-        limit: u32,
-        level: &[u32],
-        it: &mut [usize],
-    ) -> u32 {
+    fn dfs(&mut self, u: usize, sink: usize, limit: u32, level: &[u32], it: &mut [usize]) -> u32 {
         if u == sink {
             return limit;
         }
@@ -221,11 +223,8 @@ mod tests {
 
     #[test]
     fn koenig_cover_size_equals_matching() {
-        let g = BipartiteGraph::from_edges(
-            4,
-            4,
-            vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)],
-        );
+        let g =
+            BipartiteGraph::from_edges(4, 4, vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2)]);
         let (lefts, rights) = koenig_vertex_cover(&g);
         assert_eq!(lefts.len() + rights.len(), hopcroft_karp(&g).size());
         assert!(is_vertex_cover(&g, &lefts, &rights));

@@ -291,11 +291,8 @@ mod tests {
         // 2 jobs, 3 slots; both jobs can use slots 0..=2. One slot is spare,
         // so one disable succeeds (rematching its job to the spare slot) but
         // a second disable would leave 1 slot for 2 jobs and must fail.
-        let g = BipartiteGraph::from_edges(
-            2,
-            3,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)],
-        );
+        let g =
+            BipartiteGraph::from_edges(2, 3, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
         let mut inc = IncrementalMatching::new(&g);
         inc.maximize();
         assert!(inc.try_disable(0));

@@ -47,7 +47,10 @@ pub fn build(cover: &SetCoverInstance) -> DisjointGadget {
         cover.first_uncoverable().unwrap()
     );
     let b = cover.max_set_size();
-    assert!(b <= 16, "B = {b} too large: the gadget enumerates 2^B subsets");
+    assert!(
+        b <= 16,
+        "B = {b} too large: the gadget enumerates 2^B subsets"
+    );
 
     let mut intervals = Vec::new();
     let mut job_times: Vec<Vec<Time>> = vec![Vec::new(); cover.universe_size() as usize];

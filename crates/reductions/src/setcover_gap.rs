@@ -39,7 +39,13 @@ mod tests {
     fn example() -> SetCoverInstance {
         SetCoverInstance::new(
             6,
-            vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 2, 4], vec![1, 3, 5], vec![5]],
+            vec![
+                vec![0, 1, 2],
+                vec![3, 4, 5],
+                vec![0, 2, 4],
+                vec![1, 3, 5],
+                vec![5],
+            ],
         )
         .unwrap()
     }

@@ -162,7 +162,10 @@ impl PowerGadget {
     /// expected form (which would falsify the reduction).
     pub fn cover_size_of_power(&self, power: u64) -> u64 {
         let base = self.n as u64 + 1;
-        assert!(power >= base + self.alpha, "power {power} below any schedule's cost");
+        assert!(
+            power >= base + self.alpha,
+            "power {power} below any schedule's cost"
+        );
         let extra = power - base;
         assert_eq!(
             extra % self.alpha,
@@ -183,11 +186,7 @@ mod tests {
 
     fn example() -> SetCoverInstance {
         // Universe {0..4}; OPT cover = 2 ({0,1,2} + {2,3,4}).
-        SetCoverInstance::new(
-            5,
-            vec![vec![0, 1, 2], vec![2, 3, 4], vec![0, 3], vec![4]],
-        )
-        .unwrap()
+        SetCoverInstance::new(5, vec![vec![0, 1, 2], vec![2, 3, 4], vec![0, 3], vec![4]]).unwrap()
     }
 
     #[test]
@@ -197,10 +196,7 @@ mod tests {
         let chosen = vec![0, 1];
         let sched = g.cover_to_schedule(&cover, &chosen);
         sched.verify(&g.multi).unwrap();
-        assert_eq!(
-            power_cost_single(&sched, g.alpha),
-            g.power_of_cover_size(2)
-        );
+        assert_eq!(power_cost_single(&sched, g.alpha), g.power_of_cover_size(2));
     }
 
     #[test]
@@ -209,7 +205,11 @@ mod tests {
         let g = build_theorem4(&cover);
         let k_opt = exact_min_cover(&cover).unwrap().len() as u64;
         let (p_opt, sched) = min_power_multi(&g.multi, g.alpha).unwrap();
-        assert_eq!(p_opt, g.power_of_cover_size(k_opt), "Theorem 4 correspondence");
+        assert_eq!(
+            p_opt,
+            g.power_of_cover_size(k_opt),
+            "Theorem 4 correspondence"
+        );
         assert_eq!(g.cover_size_of_power(p_opt), k_opt);
         // And the witness maps back to a cover of that size.
         let mapped = g.schedule_to_cover(&cover, &sched);
@@ -224,7 +224,11 @@ mod tests {
         assert_eq!(g.alpha, 3); // B = max set size
         let k_opt = exact_min_cover(&cover).unwrap().len() as u64;
         let (p_opt, _) = min_power_multi(&g.multi, g.alpha).unwrap();
-        assert_eq!(p_opt, g.power_of_cover_size(k_opt), "Theorem 5 correspondence");
+        assert_eq!(
+            p_opt,
+            g.power_of_cover_size(k_opt),
+            "Theorem 5 correspondence"
+        );
     }
 
     #[test]

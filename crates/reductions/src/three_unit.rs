@@ -77,14 +77,17 @@ pub fn build(inst: &MultiInstance) -> ThreeUnitGadget {
         // Free slots F_1..F_{k−1} at odd offsets.
         let f = |i: usize| -> Time { start + 2 * i as Time - 1 }; // F_i, 1-based
         for i in 1..=k {
-            let times = if i <= k - 1 {
-                let next = if i + 1 <= k - 1 { i + 1 } else { 1 };
+            let times = if i < k {
+                let next = if i < k - 1 { i + 1 } else { 1 };
                 vec![ts[i - 1], f(i), f(next)]
             } else {
                 vec![ts[k - 1], f(1), f(2)]
             };
             jobs.push(MultiJob::new(times));
-            roles.push(JobRole::Slot { original: j, index: i - 1 });
+            roles.push(JobRole::Slot {
+                original: j,
+                index: i - 1,
+            });
         }
     }
 
@@ -128,7 +131,9 @@ impl ThreeUnitGadget {
                 .position(|&x| x == t)
                 .expect("schedule uses an allowed slot");
             let members: Vec<usize> = (0..self.roles.len())
-                .filter(|&g| matches!(self.roles[g], JobRole::Slot { original, .. } if original == j))
+                .filter(
+                    |&g| matches!(self.roles[g], JobRole::Slot { original, .. } if original == j),
+                )
                 .collect();
             let outside = members
                 .iter()
@@ -172,7 +177,11 @@ impl ThreeUnitGadget {
         if !m.is_left_perfect() {
             return None;
         }
-        Some(m.pairs().map(|(a, b)| (insiders[a as usize], free[b as usize])).collect())
+        Some(
+            m.pairs()
+                .map(|(a, b)| (insiders[a as usize], free[b as usize]))
+                .collect(),
+        )
     }
 
     /// Project a gadget schedule back to the original instance,
@@ -186,7 +195,9 @@ impl ThreeUnitGadget {
         for (j, block) in self.blocks.iter().enumerate() {
             let Some((start, len)) = *block else { continue };
             let members: Vec<usize> = (0..self.roles.len())
-                .filter(|&g| matches!(self.roles[g], JobRole::Slot { original, .. } if original == j))
+                .filter(
+                    |&g| matches!(self.roles[g], JobRole::Slot { original, .. } if original == j),
+                )
                 .collect();
             let outside: Vec<usize> = members
                 .iter()
@@ -238,8 +249,11 @@ pub fn verify_fillability(gadget: &ThreeUnitGadget, j: usize) -> bool {
         .filter(|&g| matches!(gadget.roles[g], JobRole::Slot { original, .. } if original == j))
         .collect();
     members.iter().all(|&leave_out| {
-        let insiders: Vec<usize> =
-            members.iter().copied().filter(|&g| g != leave_out).collect();
+        let insiders: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&g| g != leave_out)
+            .collect();
         gadget.pack_insiders(j, &insiders).is_some()
     })
 }
@@ -318,12 +332,15 @@ mod tests {
     fn two_blocked_jobs_still_shift_by_one() {
         // Two jobs with 4 slots each: two blocks, laid out adjacently so
         // they form a single extra span.
-        let inst =
-            MultiInstance::from_times([vec![0, 3, 6, 9], vec![1, 4, 7, 10]]).unwrap();
+        let inst = MultiInstance::from_times([vec![0, 3, 6, 9], vec![1, 4, 7, 10]]).unwrap();
         let g = build(&inst);
         let (opt, _) = min_gaps_multi(&inst).unwrap();
         let (opt_gadget, _) = min_gaps_multi(&g.multi).unwrap();
-        assert_eq!(opt_gadget, g.expected_gaps(opt), "blocks must merge into one span");
+        assert_eq!(
+            opt_gadget,
+            g.expected_gaps(opt),
+            "blocks must merge into one span"
+        );
         // Adjacent blocks: end of block 0 + 1 == start of block 1.
         let (s0, l0) = g.blocks[0].unwrap();
         let (s1, _) = g.blocks[1].unwrap();

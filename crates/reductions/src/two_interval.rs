@@ -81,7 +81,10 @@ pub fn build(inst: &MultiInstance) -> TwoIntervalGadget {
             let mut times: Vec<Time> = iv.iter().collect();
             times.extend(block_times.iter().copied());
             jobs.push(MultiJob::new(times));
-            roles.push(JobRole::Replacement { original: j, interval: i });
+            roles.push(JobRole::Replacement {
+                original: j,
+                interval: i,
+            });
         }
     }
 
@@ -128,12 +131,14 @@ impl TwoIntervalGadget {
             let outside = reps
                 .iter()
                 .copied()
-                .find(|&g| self.multi.jobs()[g].allows(t) && {
-                    // allowed via its own interval, not via the block
-                    let JobRole::Replacement { interval, .. } = self.roles[g] else {
-                        unreachable!()
-                    };
-                    inst.jobs()[j].intervals()[interval].contains(t)
+                .find(|&g| {
+                    self.multi.jobs()[g].allows(t) && {
+                        // allowed via its own interval, not via the block
+                        let JobRole::Replacement { interval, .. } = self.roles[g] else {
+                            unreachable!()
+                        };
+                        inst.jobs()[j].intervals()[interval].contains(t)
+                    }
                 })
                 .expect("the scheduled slot lies in one of the job's intervals");
             times[outside] = t;
@@ -215,9 +220,9 @@ mod tests {
     /// A job with 3 unit intervals, plus companions.
     fn original() -> MultiInstance {
         MultiInstance::from_times([
-            vec![0, 4, 8],    // 3 intervals → gets a gadget
-            vec![0, 1],       // 1 interval → copied
-            vec![8, 9],       // copied
+            vec![0, 4, 8], // 3 intervals → gets a gadget
+            vec![0, 1],    // 1 interval → copied
+            vec![8, 9],    // copied
         ])
         .unwrap()
     }

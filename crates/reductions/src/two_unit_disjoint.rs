@@ -123,17 +123,17 @@ pub fn two_unit_to_disjoint(inst: &MultiInstance) -> Result<ToDisjointGadget, Re
     if !multi.is_disjoint() {
         return Err(ReductionError::NotDisjoint);
     }
-    Ok(ToDisjointGadget { multi, component_slots })
+    Ok(ToDisjointGadget {
+        multi,
+        component_slots,
+    })
 }
 
 /// Map an old (2-unit) schedule to the new (disjoint) instance: each
 /// deficient component's new job takes the component's idle slot; pinned
 /// jobs take their dead slot. The new busy set is the complement of the
 /// old busy set within the hull.
-pub fn complement_schedule(
-    gadget: &ToDisjointGadget,
-    old_busy: &[Time],
-) -> MultiSchedule {
+pub fn complement_schedule(gadget: &ToDisjointGadget, old_busy: &[Time]) -> MultiSchedule {
     let times = gadget
         .component_slots
         .iter()
@@ -193,7 +193,9 @@ mod tests {
 
     /// Span count of the complement of `busy` within `[lo, hi]`.
     fn complement_spans(busy: &[Time], lo: Time, hi: Time) -> u64 {
-        let free: Vec<Time> = (lo..=hi).filter(|t| busy.binary_search(t).is_err()).collect();
+        let free: Vec<Time> = (lo..=hi)
+            .filter(|t| busy.binary_search(t).is_err())
+            .collect();
         gaps_core::time::run_count(&free) as u64
     }
 
@@ -205,8 +207,9 @@ mod tests {
         let g = two_unit_to_disjoint(&inst).unwrap();
         // New jobs: the deficient component {0,1,2} + dead slots {3,4}.
         assert_eq!(g.multi.job_count(), 3);
+        // The gadget guarantees disjointness only; produced slots may be
+        // adjacent, so `is_unit_interval` can be either way.
         assert!(g.multi.is_disjoint());
-        assert!(g.multi.is_unit_interval() || true); // slots may be adjacent
     }
 
     #[test]
@@ -298,7 +301,10 @@ mod tests {
     #[test]
     fn detects_infeasible_component() {
         let inst = MultiInstance::from_times([vec![0, 1], vec![0, 1], vec![0, 1]]).unwrap();
-        assert!(matches!(two_unit_to_disjoint(&inst), Err(ReductionError::Infeasible)));
+        assert!(matches!(
+            two_unit_to_disjoint(&inst),
+            Err(ReductionError::Infeasible)
+        ));
     }
 
     #[test]

@@ -5,41 +5,35 @@
 use gaps_core::brute_force::{min_gaps_multi, min_power_multi, min_spans_multi};
 use gaps_core::instance::MultiInstance;
 use gaps_reductions::{
-    bsetcover_disjoint, setcover_gap, setcover_power, three_unit, two_interval,
-    two_unit_disjoint,
+    bsetcover_disjoint, setcover_gap, setcover_power, three_unit, two_interval, two_unit_disjoint,
 };
 use gaps_setcover::{exact_min_cover, SetCoverInstance};
 use proptest::prelude::*;
 
 /// Random feasible set-cover instance (patched with singletons).
 fn arb_cover(universe: u32, sets: usize, b: usize) -> impl Strategy<Value = SetCoverInstance> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..universe, 1..=b),
-        1..=sets,
+    proptest::collection::vec(proptest::collection::vec(0..universe, 1..=b), 1..=sets).prop_map(
+        move |mut collection| {
+            let mut covered = vec![false; universe as usize];
+            for s in &collection {
+                for &e in s {
+                    covered[e as usize] = true;
+                }
+            }
+            for (e, c) in covered.iter().enumerate() {
+                if !c {
+                    collection.push(vec![e as u32]);
+                }
+            }
+            SetCoverInstance::new(universe, collection).unwrap()
+        },
     )
-    .prop_map(move |mut collection| {
-        let mut covered = vec![false; universe as usize];
-        for s in &collection {
-            for &e in s {
-                covered[e as usize] = true;
-            }
-        }
-        for (e, c) in covered.iter().enumerate() {
-            if !c {
-                collection.push(vec![e as u32]);
-            }
-        }
-        SetCoverInstance::new(universe, collection).unwrap()
-    })
 }
 
 /// Random multi-interval instance with unit slots.
 fn arb_unit_multi(n: usize, t_max: i64, k: usize) -> impl Strategy<Value = MultiInstance> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..=t_max, 1..=k),
-        1..=n,
-    )
-    .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
+    proptest::collection::vec(proptest::collection::vec(0..=t_max, 1..=k), 1..=n)
+        .prop_map(|jobs| MultiInstance::from_times(jobs).unwrap())
 }
 
 proptest! {

@@ -58,7 +58,10 @@ fn branch(
     }
     // Lower bound: every remaining set covers at most `max_set` of the
     // uncovered elements.
-    let uncovered = covered[first_uncovered..].iter().filter(|&&c| c == 0).count();
+    let uncovered = covered[first_uncovered..]
+        .iter()
+        .filter(|&&c| c == 0)
+        .count();
     if chosen.len() + uncovered.div_ceil(max_set) >= best.len() {
         return;
     }
@@ -117,8 +120,17 @@ mod tests {
         // A few structured instances.
         let cases = vec![
             SetCoverInstance::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]).unwrap(),
-            SetCoverInstance::new(6, vec![vec![0, 1, 2], vec![3, 4, 5], vec![0, 3], vec![1, 4], vec![2, 5]])
-                .unwrap(),
+            SetCoverInstance::new(
+                6,
+                vec![
+                    vec![0, 1, 2],
+                    vec![3, 4, 5],
+                    vec![0, 3],
+                    vec![1, 4],
+                    vec![2, 5],
+                ],
+            )
+            .unwrap(),
             SetCoverInstance::new(1, vec![vec![0], vec![0]]).unwrap(),
         ];
         for inst in cases {

@@ -26,7 +26,11 @@ pub fn greedy_cover(inst: &SetCoverInstance) -> Option<Vec<usize>> {
     while remaining > 0 {
         let (best, gain) = (0..inst.set_count())
             .map(|i| {
-                let gain = inst.set(i).iter().filter(|&&e| !covered[e as usize]).count();
+                let gain = inst
+                    .set(i)
+                    .iter()
+                    .filter(|&&e| !covered[e as usize])
+                    .count();
                 (i, gain)
             })
             .max_by_key(|&(_, gain)| gain)?;
@@ -86,7 +90,10 @@ mod tests {
         inst.verify_cover(&cover).unwrap();
         // Greedy takes C0 (8 > 7), then C1... then C2 or rows; in any case
         // at least 3 sets, while OPT = 2 (the two rows).
-        assert!(cover.len() >= 3, "greedy should be suboptimal here, got {cover:?}");
+        assert!(
+            cover.len() >= 3,
+            "greedy should be suboptimal here, got {cover:?}"
+        );
         assert_eq!(crate::exact_min_cover(&inst).unwrap().len(), 2);
     }
 }

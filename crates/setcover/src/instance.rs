@@ -22,7 +22,10 @@ impl fmt::Display for CoverError {
                 write!(f, "set {set} contains out-of-range element {element}")
             }
             CoverError::UncoverableElement { element } => {
-                write!(f, "element {element} belongs to no set; instance is infeasible")
+                write!(
+                    f,
+                    "element {element} belongs to no set; instance is infeasible"
+                )
             }
             CoverError::SetOutOfRange { set } => write!(f, "solution uses unknown set {set}"),
             CoverError::NotACover { element } => {
@@ -53,10 +56,7 @@ impl SetCoverInstance {
     /// Fails if a set mentions an out-of-range element. An element covered
     /// by no set is allowed at construction (the instance is then
     /// infeasible; [`SetCoverInstance::is_feasible`] reports it).
-    pub fn new(
-        universe_size: u32,
-        sets: Vec<Vec<u32>>,
-    ) -> Result<SetCoverInstance, CoverError> {
+    pub fn new(universe_size: u32, sets: Vec<Vec<u32>>) -> Result<SetCoverInstance, CoverError> {
         let mut sets = sets;
         for (i, set) in sets.iter_mut().enumerate() {
             set.sort_unstable();
@@ -120,7 +120,10 @@ impl SetCoverInstance {
     pub fn verify_cover(&self, chosen: &[usize]) -> Result<(), CoverError> {
         let mut covered = vec![false; self.universe_size as usize];
         for &i in chosen {
-            let set = self.sets.get(i).ok_or(CoverError::SetOutOfRange { set: i })?;
+            let set = self
+                .sets
+                .get(i)
+                .ok_or(CoverError::SetOutOfRange { set: i })?;
             for &e in set {
                 covered[e as usize] = true;
             }

@@ -164,12 +164,9 @@ pub fn local_search_packing(inst: &SetPackingInstance, max_rounds: usize) -> Vec
         }
 
         // 1. Free additions.
-        for i in 0..inst.set_count() {
-            if !in_packing[i]
-                && !inst.sets[i].is_empty()
-                && inst.disjoint_from_mask(i, &occupied)
-            {
-                in_packing[i] = true;
+        for (i, included) in in_packing.iter_mut().enumerate() {
+            if !*included && !inst.sets[i].is_empty() && inst.disjoint_from_mask(i, &occupied) {
+                *included = true;
                 chosen.push(i);
                 inst.add_to_mask(i, &mut occupied);
                 improved = true;
@@ -203,8 +200,8 @@ pub fn local_search_packing(inst: &SetPackingInstance, max_rounds: usize) -> Vec
         // set, grouped by that set.
         let mut single_conflict: Vec<Vec<usize>> = vec![Vec::new(); inst.set_count()];
         let mut double_conflict: Vec<(usize, usize, usize)> = Vec::new();
-        for i in 0..inst.set_count() {
-            if in_packing[i] || inst.sets[i].is_empty() {
+        for (i, &included) in in_packing.iter().enumerate() {
+            if included || inst.sets[i].is_empty() {
                 continue;
             }
             let cs = conflicts(i);

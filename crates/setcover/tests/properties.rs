@@ -8,25 +8,23 @@ use proptest::prelude::*;
 /// plus singleton patches so every element is coverable.
 fn arb_cover(n: u32, s: usize, b: usize) -> impl Strategy<Value = SetCoverInstance> {
     (1..=n).prop_flat_map(move |univ| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..univ, 1..=b),
-            1..=s,
+        proptest::collection::vec(proptest::collection::vec(0..univ, 1..=b), 1..=s).prop_map(
+            move |mut sets| {
+                // Patch coverage: add singletons for uncovered elements.
+                let mut covered = vec![false; univ as usize];
+                for set in &sets {
+                    for &e in set {
+                        covered[e as usize] = true;
+                    }
+                }
+                for (e, c) in covered.iter().enumerate() {
+                    if !c {
+                        sets.push(vec![e as u32]);
+                    }
+                }
+                SetCoverInstance::new(univ, sets).unwrap()
+            },
         )
-        .prop_map(move |mut sets| {
-            // Patch coverage: add singletons for uncovered elements.
-            let mut covered = vec![false; univ as usize];
-            for set in &sets {
-                for &e in set {
-                    covered[e as usize] = true;
-                }
-            }
-            for (e, c) in covered.iter().enumerate() {
-                if !c {
-                    sets.push(vec![e as u32]);
-                }
-            }
-            SetCoverInstance::new(univ, sets).unwrap()
-        })
     })
 }
 

@@ -108,7 +108,11 @@ pub fn simulate_multi_schedule(
     let mut proc = ProcessorSim::new(0, alpha);
     let occupied = sched.occupied();
     let job_at = |t: Time| -> u32 {
-        sched.times().iter().position(|&x| x == t).expect("occupied slot") as u32
+        sched
+            .times()
+            .iter()
+            .position(|&x| x == t)
+            .expect("occupied slot") as u32
     };
     for (i, &t) in occupied.iter().enumerate() {
         proc.run_job(t, job_at(t), &mut trace);
@@ -131,7 +135,11 @@ pub fn simulate_multi_schedule(
         energy: proc.energy(),
         jobs_run: proc.jobs_run(),
     };
-    SimReport { energy: report.energy, per_processor: vec![report], trace }
+    SimReport {
+        energy: report.energy,
+        per_processor: vec![report],
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -151,8 +159,7 @@ mod tests {
     fn clairvoyant_energy_matches_analytic_power() {
         let (inst, sched) = demo();
         for alpha in 0..8 {
-            let report =
-                simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
+            let report = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
             assert_eq!(
                 report.energy,
                 power_cost_multiproc(&sched, 2, alpha),
@@ -188,8 +195,7 @@ mod tests {
         let imm = simulate_schedule(&inst, &sched, alpha, &SleepImmediately).energy;
         let never = simulate_schedule(&inst, &sched, alpha, &NeverSleep).energy;
         let opt = simulate_schedule(&inst, &sched, alpha, &Clairvoyant { alpha }).energy;
-        let timeout =
-            simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy;
+        let timeout = simulate_schedule(&inst, &sched, alpha, &Timeout { threshold: alpha }).energy;
         assert!(opt <= timeout);
         assert!(timeout <= 2 * opt);
         assert!(opt <= imm.min(never));
@@ -200,8 +206,7 @@ mod tests {
         let inst = MultiInstance::from_times([vec![0], vec![3, 4], vec![9]]).unwrap();
         let sched = MultiSchedule::new(vec![0, 4, 9]);
         for alpha in 0..6 {
-            let report =
-                simulate_multi_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
+            let report = simulate_multi_schedule(&inst, &sched, alpha, &Clairvoyant { alpha });
             assert_eq!(report.energy, power_cost_single(&sched, alpha));
         }
     }

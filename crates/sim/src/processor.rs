@@ -72,7 +72,10 @@ impl ProcessorSim {
 
     fn advance(&mut self, t: Time) {
         if let Some(last) = self.last_time {
-            assert!(t > last, "time must advance monotonically (last {last}, got {t})");
+            assert!(
+                t > last,
+                "time must advance monotonically (last {last}, got {t})"
+            );
         }
         self.last_time = Some(t);
     }
@@ -82,7 +85,11 @@ impl ProcessorSim {
             self.state = PowerState::Active;
             self.energy += self.alpha;
             self.wakeups += 1;
-            trace.push(TraceEvent { time: t, processor: self.id, kind: TraceEventKind::Wake });
+            trace.push(TraceEvent {
+                time: t,
+                processor: self.id,
+                kind: TraceEventKind::Wake,
+            });
         }
     }
 
@@ -110,7 +117,11 @@ impl ProcessorSim {
         );
         self.energy += 1;
         self.active_slots += 1;
-        trace.push(TraceEvent { time: t, processor: self.id, kind: TraceEventKind::IdleActive });
+        trace.push(TraceEvent {
+            time: t,
+            processor: self.id,
+            kind: TraceEventKind::IdleActive,
+        });
     }
 
     /// Sleep through slot `t` (entering the sleep state if active).
@@ -118,7 +129,11 @@ impl ProcessorSim {
         self.advance(t);
         if self.state == PowerState::Active {
             self.state = PowerState::Asleep;
-            trace.push(TraceEvent { time: t, processor: self.id, kind: TraceEventKind::Sleep });
+            trace.push(TraceEvent {
+                time: t,
+                processor: self.id,
+                kind: TraceEventKind::Sleep,
+            });
         }
     }
 }

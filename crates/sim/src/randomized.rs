@@ -27,11 +27,13 @@ impl RandomizedTimeout {
     /// Build the discretized optimal distribution for wake cost `alpha`.
     pub fn new(alpha: u64) -> RandomizedTimeout {
         let a = alpha.max(1) as f64;
-        let weights: Vec<f64> = (0..=alpha)
-            .map(|i| ((i as f64 + 0.5) / a).exp())
-            .collect();
+        let weights: Vec<f64> = (0..=alpha).map(|i| ((i as f64 + 0.5) / a).exp()).collect();
         let total = weights.iter().sum();
-        RandomizedTimeout { alpha, weights, total }
+        RandomizedTimeout {
+            alpha,
+            weights,
+            total,
+        }
     }
 
     /// The wake cost this distribution was built for.
@@ -53,11 +55,15 @@ impl RandomizedTimeout {
         let mut x: f64 = rng.gen_range(0.0..self.total);
         for (i, w) in self.weights.iter().enumerate() {
             if x < *w {
-                return Timeout { threshold: i as u64 };
+                return Timeout {
+                    threshold: i as u64,
+                };
             }
             x -= w;
         }
-        Timeout { threshold: self.alpha }
+        Timeout {
+            threshold: self.alpha,
+        }
     }
 
     /// Exact expected cost of one gap of length `g` under this
@@ -65,8 +71,7 @@ impl RandomizedTimeout {
     pub fn expected_gap_cost(&self, g: u64) -> f64 {
         (0..=self.alpha)
             .map(|i| {
-                self.probability(i)
-                    * gap_cost(&Timeout { threshold: i }, g, self.alpha) as f64
+                self.probability(i) * gap_cost(&Timeout { threshold: i }, g, self.alpha) as f64
             })
             .sum()
     }

@@ -117,7 +117,11 @@ impl Trace {
                 }
                 other => return Err(err(&format!("unknown kind {other:?}"))),
             };
-            events.push(TraceEvent { time: t, processor: q, kind });
+            events.push(TraceEvent {
+                time: t,
+                processor: q,
+                kind,
+            });
         }
         Ok(Trace { events })
     }
@@ -130,10 +134,26 @@ mod tests {
     #[test]
     fn render_parse_roundtrip() {
         let mut t = Trace::new();
-        t.push(TraceEvent { time: 0, processor: 0, kind: TraceEventKind::Wake });
-        t.push(TraceEvent { time: 0, processor: 0, kind: TraceEventKind::RunJob { job: 3 } });
-        t.push(TraceEvent { time: 1, processor: 0, kind: TraceEventKind::IdleActive });
-        t.push(TraceEvent { time: 2, processor: 0, kind: TraceEventKind::Sleep });
+        t.push(TraceEvent {
+            time: 0,
+            processor: 0,
+            kind: TraceEventKind::Wake,
+        });
+        t.push(TraceEvent {
+            time: 0,
+            processor: 0,
+            kind: TraceEventKind::RunJob { job: 3 },
+        });
+        t.push(TraceEvent {
+            time: 1,
+            processor: 0,
+            kind: TraceEventKind::IdleActive,
+        });
+        t.push(TraceEvent {
+            time: 2,
+            processor: 0,
+            kind: TraceEventKind::Sleep,
+        });
         let text = t.render();
         let back = Trace::parse(&text).unwrap();
         assert_eq!(back, t);
@@ -150,8 +170,16 @@ mod tests {
     #[test]
     fn of_processor_filters() {
         let mut t = Trace::new();
-        t.push(TraceEvent { time: 0, processor: 0, kind: TraceEventKind::Wake });
-        t.push(TraceEvent { time: 0, processor: 1, kind: TraceEventKind::Wake });
+        t.push(TraceEvent {
+            time: 0,
+            processor: 0,
+            kind: TraceEventKind::Wake,
+        });
+        t.push(TraceEvent {
+            time: 0,
+            processor: 1,
+            kind: TraceEventKind::Wake,
+        });
         assert_eq!(t.of_processor(1).count(), 1);
     }
 }

@@ -11,15 +11,16 @@ use proptest::prelude::*;
 
 /// Random feasible instance + its EDF schedule.
 fn arb_instance_schedule() -> impl Strategy<Value = (Instance, gaps_core::schedule::Schedule)> {
-    (1u32..=3, proptest::collection::vec((0i64..20, 0i64..4), 1..=10)).prop_filter_map(
-        "feasible draws only",
-        |(p, jobs)| {
+    (
+        1u32..=3,
+        proptest::collection::vec((0i64..20, 0i64..4), 1..=10),
+    )
+        .prop_filter_map("feasible draws only", |(p, jobs)| {
             let windows: Vec<(i64, i64)> = jobs.into_iter().map(|(r, s)| (r, r + s)).collect();
             let inst = Instance::from_windows(windows, p).ok()?;
             let sched = gaps_core::edf::edf(&inst).ok()?;
             Some((inst, sched))
-        },
-    )
+        })
 }
 
 proptest! {

@@ -91,8 +91,7 @@ mod tests {
     fn online_family_ratio_grows() {
         for n in [3usize, 6] {
             let inst = online_lower_bound(n);
-            let (online, offline) =
-                gaps_core::online::online_vs_offline_gaps(&inst).unwrap();
+            let (online, offline) = gaps_core::online::online_vs_offline_gaps(&inst).unwrap();
             assert_eq!(online, n as u64 - 1);
             assert_eq!(offline, 0);
         }

@@ -18,7 +18,11 @@ pub fn random_slots(
     assert!(slots_per_job >= 1);
     let jobs = (0..n)
         .map(|_| {
-            MultiJob::new((0..slots_per_job).map(|_| rng.gen_range(0..=t_max)).collect())
+            MultiJob::new(
+                (0..slots_per_job)
+                    .map(|_| rng.gen_range(0..=t_max))
+                    .collect(),
+            )
         })
         .collect();
     MultiInstance::new(jobs).expect("non-empty slot sets")
@@ -26,13 +30,11 @@ pub fn random_slots(
 
 /// Feasible-by-construction: job `i` owns a distinct anchor slot, plus
 /// `extra` random slots. The anchors form a feasible schedule.
-pub fn feasible_slots(
-    rng: &mut impl Rng,
-    n: usize,
-    t_max: Time,
-    extra: usize,
-) -> MultiInstance {
-    assert!(t_max + 1 >= n as Time, "need at least n distinct anchor slots");
+pub fn feasible_slots(rng: &mut impl Rng, n: usize, t_max: Time, extra: usize) -> MultiInstance {
+    assert!(
+        t_max + 1 >= n as Time,
+        "need at least n distinct anchor slots"
+    );
     let mut anchors: Vec<Time> = (0..=t_max).collect();
     anchors.shuffle(rng);
     let jobs = (0..n)

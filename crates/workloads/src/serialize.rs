@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn multi_roundtrip() {
-        let inst =
-            MultiInstance::from_times([vec![0, 1, 5], vec![2], vec![-4, 100]]).unwrap();
+        let inst = MultiInstance::from_times([vec![0, 1, 5], vec![2], vec![-4, 100]]).unwrap();
         let text = multi_to_text(&inst);
         let back = multi_from_text(&text).unwrap();
         assert_eq!(back, inst);
@@ -142,18 +141,18 @@ mod tests {
     #[test]
     fn errors_are_informative() {
         assert!(instance_from_text("").unwrap_err().contains("empty input"));
-        assert!(instance_from_text("multi v1").unwrap_err().contains("expected"));
-        assert!(
-            instance_from_text("instance v1\nprocessors x")
-                .unwrap_err()
-                .contains("bad processor")
-        );
-        assert!(
-            instance_from_text("instance v1\nprocessors 1\njob 5 1")
-                .unwrap_err()
-                .contains("empty window")
-        );
-        assert!(multi_from_text("multi v1\njob").unwrap_err().contains("no allowed"));
+        assert!(instance_from_text("multi v1")
+            .unwrap_err()
+            .contains("expected"));
+        assert!(instance_from_text("instance v1\nprocessors x")
+            .unwrap_err()
+            .contains("bad processor"));
+        assert!(instance_from_text("instance v1\nprocessors 1\njob 5 1")
+            .unwrap_err()
+            .contains("empty window"));
+        assert!(multi_from_text("multi v1\njob")
+            .unwrap_err()
+            .contains("no allowed"));
     }
 
     #[test]

@@ -43,7 +43,10 @@ fn main() {
             power_cost_multiproc(sched, p, alpha),
         );
     }
-    assert!(power_cost_multiproc(&power_opt.schedule, p, alpha) <= power_cost_multiproc(&edf_sched, p, alpha));
+    assert!(
+        power_cost_multiproc(&power_opt.schedule, p, alpha)
+            <= power_cost_multiproc(&edf_sched, p, alpha)
+    );
 
     // How much does the sleep policy itself matter? Execute the
     // power-optimal schedule under three policies.
@@ -55,8 +58,13 @@ fn main() {
         ),
         (
             "timeout(alpha) online",
-            simulate_schedule(&inst, &power_opt.schedule, alpha, &Timeout { threshold: alpha })
-                .energy,
+            simulate_schedule(
+                &inst,
+                &power_opt.schedule,
+                alpha,
+                &Timeout { threshold: alpha },
+            )
+            .energy,
         ),
         (
             "sleep immediately",
@@ -65,5 +73,8 @@ fn main() {
     ] {
         println!("  {name:<30} {energy}");
     }
-    println!("\n(clairvoyant energy equals the DP optimum {})", power_opt.power);
+    println!(
+        "\n(clairvoyant energy equals the DP optimum {})",
+        power_opt.power
+    );
 }

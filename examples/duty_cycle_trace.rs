@@ -34,7 +34,10 @@ fn main() {
     };
     let active = optimal_active_profile(&sol.schedule, 1, alpha);
     println!("\npower-optimal schedule (# job, ~ idle-active bridge, . asleep):");
-    print!("{}", render_timeline_with_active(&inst, &sol.schedule, &active, 100));
+    print!(
+        "{}",
+        render_timeline_with_active(&inst, &sol.schedule, &active, 100)
+    );
     println!("optimal power: {}", sol.power);
 
     let edf_sched = edf::edf(&inst).expect("feasible");

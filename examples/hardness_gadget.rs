@@ -47,10 +47,17 @@ fn main() {
         ],
     )
     .expect("valid sets");
-    println!("\nact 2: the gadget, universe 6, {} sets", cover.set_count());
+    println!(
+        "\nact 2: the gadget, universe 6, {} sets",
+        cover.set_count()
+    );
 
     let opt_cover = exact_min_cover(&cover).expect("feasible");
-    println!("  exact minimum cover: {} sets {:?}", opt_cover.len(), opt_cover);
+    println!(
+        "  exact minimum cover: {} sets {:?}",
+        opt_cover.len(),
+        opt_cover
+    );
 
     let gadget = setcover_gap::build_theorem6(&cover);
     println!(
@@ -61,11 +68,18 @@ fn main() {
 
     let (gaps, sched) = min_gaps_multi(&gadget.multi).expect("gadget feasible");
     println!("  optimal schedule has {gaps} gaps");
-    assert_eq!(gaps, opt_cover.len() as u64, "Theorem 6: gaps = optimal cover size");
+    assert_eq!(
+        gaps,
+        opt_cover.len() as u64,
+        "Theorem 6: gaps = optimal cover size"
+    );
 
     let mapped = gadget.schedule_to_cover(&cover, &sched);
     cover.verify_cover(&mapped).expect("mapped solution covers");
-    println!("  schedule maps back to cover {mapped:?} (size {})", mapped.len());
+    println!(
+        "  schedule maps back to cover {mapped:?} (size {})",
+        mapped.len()
+    );
 
     let greedy = greedy_cover(&cover).expect("feasible");
     let lifted = gadget.cover_to_schedule(&cover, &greedy);

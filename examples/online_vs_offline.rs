@@ -6,9 +6,9 @@
 //! cargo run --release --example online_vs_offline
 //! ```
 
+use gap_scheduling::edf;
 use gap_scheduling::online::online_vs_offline_gaps;
 use gap_scheduling::workloads::adversarial::{online_lower_bound, online_lower_bound_punisher};
-use gap_scheduling::edf;
 
 fn main() {
     println!("the Section 1 family: n flexible jobs (deadline 3n) + n tight jobs at n, n+2, ...");
@@ -30,9 +30,7 @@ fn main() {
         "  punisher branch feasible for the non-idler: {}",
         edf::is_feasible(&punisher)
     );
-    println!(
-        "  ... but an algorithm that idled during [0, n) has already lost slots it needs."
-    );
+    println!("  ... but an algorithm that idled during [0, n) has already lost slots it needs.");
     println!(
         "\nConclusion (paper, Section 1): every correct online algorithm has \
          competitive ratio >= n for gap scheduling; that is why the paper is offline."

@@ -26,8 +26,12 @@ fn main() {
     )
     .expect("valid windows");
     let alpha = 3u64;
-    println!("instance: {} jobs, {} processors, horizon {:?}",
-        inst.job_count(), inst.processors(), inst.horizon().unwrap());
+    println!(
+        "instance: {} jobs, {} processors, horizon {:?}",
+        inst.job_count(),
+        inst.processors(),
+        inst.horizon().unwrap()
+    );
 
     // 1. The paper's Theorem 1: minimize gaps (and wake-up transitions).
     let spans = multiproc_dp::min_span_schedule(&inst).expect("feasible");
@@ -54,7 +58,10 @@ fn main() {
     //    measured energy equals the analytic optimum.
     let report = simulate_schedule(&inst, &power.schedule, alpha, &Clairvoyant { alpha });
     println!("\nsimulator:");
-    println!("  measured energy: {} (DP said {})", report.energy, power.power);
+    println!(
+        "  measured energy: {} (DP said {})",
+        report.energy, power.power
+    );
     assert_eq!(report.energy, power.power);
 
     // 5. Single-processor view: Baptiste's DP on the same jobs, p = 1.

@@ -18,7 +18,10 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     let inst = feasible_slots(&mut rng, 8, 16, 2);
-    println!("sensor tasks: {} jobs over 17 slots (each 3 allowed slots)", inst.job_count());
+    println!(
+        "sensor tasks: {} jobs over 17 slots (each 3 allowed slots)",
+        inst.job_count()
+    );
     for (i, job) in inst.jobs().iter().enumerate() {
         println!("  task {i}: allowed at {:?}", job.times());
     }
@@ -42,5 +45,8 @@ fn main() {
         "\nat alpha = {alpha}: the packing scheduled {} two-task bursts (parity {});",
         res.packed_blocks, res.parity
     );
-    println!("final duty cycle occupies slots {:?}", res.schedule.occupied());
+    println!(
+        "final duty cycle occupies slots {:?}",
+        res.schedule.occupied()
+    );
 }

@@ -10,7 +10,9 @@
 //!
 //! Instances use the text format of `gaps_workloads::serialize`
 //! (`instance v1` for release/deadline jobs, `multi v1` for allowed-slot
-//! jobs); `gaps` auto-detects which one it read.
+//! jobs); `gaps` auto-detects which one it read. `--input -` reads the
+//! instance from stdin, so subcommands compose as
+//! `gaps generate ... | gaps solve --input -`.
 
 use gap_scheduling::instance::{Instance, MultiInstance};
 use gap_scheduling::multi_interval::approx_min_power;
@@ -86,8 +88,16 @@ enum AnyInstance {
 }
 
 fn load(path: &str) -> Result<AnyInstance, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
     let head = text
         .lines()
         .map(str::trim)
@@ -180,7 +190,7 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
                 );
             }
             let result = match objective {
-                "gaps" => brute_force::min_gaps_multi(&inst).map(|(v, s)| (v, s)),
+                "gaps" => brute_force::min_gaps_multi(&inst),
                 "spans" => brute_force::min_spans_multi(&inst),
                 "power" => brute_force::min_power_multi(&inst, alpha),
                 other => return Err(format!("unknown --objective {other:?}")),
@@ -239,9 +249,8 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
         .ok_or("instance is infeasible")?
         .schedule;
     let report = simulate_schedule(&inst, &sched, alpha, policy.as_ref());
-    let mut out = format!(
-        "simulated power-optimal schedule under policy {policy_name} (alpha = {alpha})\n"
-    );
+    let mut out =
+        format!("simulated power-optimal schedule under policy {policy_name} (alpha = {alpha})\n");
     out += &format!("total energy: {}\n", report.energy);
     for (q, r) in report.per_processor.iter().enumerate() {
         out += &format!(
@@ -261,12 +270,12 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
     let p: u32 = args.parse_or("processors", 1u32)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let out = match kind {
-        "uniform" => serialize::instance_to_text(&one_interval::uniform(
-            &mut rng, n, horizon, slack, p,
-        )),
-        "feasible" => serialize::instance_to_text(&one_interval::feasible(
-            &mut rng, n, horizon, slack, p,
-        )),
+        "uniform" => {
+            serialize::instance_to_text(&one_interval::uniform(&mut rng, n, horizon, slack, p))
+        }
+        "feasible" => {
+            serialize::instance_to_text(&one_interval::feasible(&mut rng, n, horizon, slack, p))
+        }
         "bursty" => serialize::instance_to_text(&one_interval::bursty(
             &mut rng,
             (n / 4).max(1),
@@ -276,9 +285,9 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
             2,
             p,
         )),
-        "multi" => serialize::multi_to_text(&multi_interval::feasible_slots(
-            &mut rng, n, horizon, 2,
-        )),
+        "multi" => {
+            serialize::multi_to_text(&multi_interval::feasible_slots(&mut rng, n, horizon, 2))
+        }
         "consultant" => serialize::multi_to_text(&adversarial::consultant(
             &mut rng,
             5,
@@ -306,7 +315,10 @@ fn render_schedule(sched: &gap_scheduling::schedule::Schedule) -> String {
 }
 
 fn render_timeline_for(inst: &Instance, sched: &gap_scheduling::schedule::Schedule) -> String {
-    format!("timeline:\n{}", gap_scheduling::render::render_timeline(inst, sched, 100))
+    format!(
+        "timeline:\n{}",
+        gap_scheduling::render::render_timeline(inst, sched, 100)
+    )
 }
 
 #[cfg(test)]
@@ -336,8 +348,17 @@ mod tests {
     #[test]
     fn generate_then_info_then_solve() {
         let text = run_str(&[
-            "generate", "--kind", "feasible", "--seed", "7", "--n", "6",
-            "--horizon", "10", "--processors", "2",
+            "generate",
+            "--kind",
+            "feasible",
+            "--seed",
+            "7",
+            "--n",
+            "6",
+            "--horizon",
+            "10",
+            "--processors",
+            "2",
         ])
         .unwrap();
         let path = write_temp("roundtrip.txt", &text);
@@ -351,16 +372,29 @@ mod tests {
     #[test]
     fn solve_power_and_simulate_agree() {
         let text = run_str(&[
-            "generate", "--kind", "feasible", "--seed", "3", "--n", "5",
-            "--horizon", "9",
+            "generate",
+            "--kind",
+            "feasible",
+            "--seed",
+            "3",
+            "--n",
+            "5",
+            "--horizon",
+            "9",
         ])
         .unwrap();
         let path = write_temp("power.txt", &text);
-        let solved =
-            run_str(&["solve", "--input", &path, "--objective", "power", "--alpha", "2"])
-                .unwrap();
-        let simulated =
-            run_str(&["simulate", "--input", &path, "--alpha", "2"]).unwrap();
+        let solved = run_str(&[
+            "solve",
+            "--input",
+            &path,
+            "--objective",
+            "power",
+            "--alpha",
+            "2",
+        ])
+        .unwrap();
+        let simulated = run_str(&["simulate", "--input", &path, "--alpha", "2"]).unwrap();
         // Extract the two numbers and compare.
         let solved_power: u64 = solved
             .lines()
@@ -387,8 +421,7 @@ mod tests {
 
     #[test]
     fn approx_on_multi_instance() {
-        let text =
-            run_str(&["generate", "--kind", "multi", "--seed", "5", "--n", "6"]).unwrap();
+        let text = run_str(&["generate", "--kind", "multi", "--seed", "5", "--n", "6"]).unwrap();
         let path = write_temp("multi.txt", &text);
         let out = run_str(&["approx", "--input", &path, "--alpha", "2"]).unwrap();
         assert!(out.contains("approximate power"));

@@ -25,8 +25,7 @@ fn workload_to_dp_to_simulator_energy_agrees() {
         assert_eq!(report.energy, sol.power, "seed {seed}");
         // And the optimum is no worse than EDF's energy.
         let baseline = edf::edf(&inst).expect("feasible");
-        let edf_energy =
-            simulate_schedule(&inst, &baseline, alpha, &Clairvoyant { alpha }).energy;
+        let edf_energy = simulate_schedule(&inst, &baseline, alpha, &Clairvoyant { alpha }).energy;
         assert!(sol.power <= edf_energy);
     }
 }
@@ -77,8 +76,7 @@ fn compression_then_multiproc_dp_on_far_clusters() {
         (1_000_000, 1_000_002),
         (1_000_001, 1_000_002),
     ];
-    let inst =
-        gap_scheduling::instance::Instance::from_windows(windows.clone(), 2).unwrap();
+    let inst = gap_scheduling::instance::Instance::from_windows(windows.clone(), 2).unwrap();
     let (compressed, _) = compress::compress_instance_gap(&inst);
     assert!(compressed.horizon().unwrap().len() < 20);
     let dp = min_span_schedule(&compressed).expect("feasible");
@@ -139,7 +137,10 @@ fn consultant_story_scales_with_budget() {
     for k in 0..=4u64 {
         let res = min_restart::greedy_min_restart(&inst, k);
         res.verify(&inst).unwrap();
-        assert!(res.scheduled >= prev, "throughput is monotone in the budget");
+        assert!(
+            res.scheduled >= prev,
+            "throughput is monotone in the budget"
+        );
         prev = res.scheduled;
     }
 }

@@ -88,7 +88,10 @@ fn power_equals_spans_scaling_for_huge_alpha() {
         let big = 1_000_000u64;
         let pw = min_power_value(&inst, big).unwrap();
         assert!(pw >= big, "at least one wake-up");
-        assert!(pw < 2 * big, "never two wake-ups on one processor when bridging is possible");
+        assert!(
+            pw < 2 * big,
+            "never two wake-ups on one processor when bridging is possible"
+        );
     }
 }
 

@@ -47,8 +47,7 @@ fn section1_multi_interval_online_dilemma() {
     // Branch A: a third job pinned at 1 punishes running job 0 at... the
     // point is that one completion is infeasible for each online choice.
     // If job 0 ran at 0 and job 1 must now run at 1 (third job takes 2-3):
-    let branch_a =
-        MultiInstance::from_times([vec![0], vec![1], vec![2], vec![3]]).unwrap();
+    let branch_a = MultiInstance::from_times([vec![0], vec![1], vec![2], vec![3]]).unwrap();
     assert!(gap_scheduling::feasibility::is_feasible(&branch_a));
     // ... but four jobs confined to {1, 2} fail:
     let crunch = MultiInstance::from_times([vec![1, 2], vec![1, 2], vec![1, 2]]).unwrap();

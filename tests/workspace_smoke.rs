@@ -1,0 +1,198 @@
+//! Workspace smoke tests: the `gaps` CLI round-trips instances through the
+//! text serialization format (`instance v1` / `multi v1`), including a real
+//! `gaps generate | gaps solve` pipe, and every example in `examples/`
+//! builds.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Path to the compiled `gaps` binary (provided by cargo for bins in the
+/// package under test).
+fn gaps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gaps"))
+}
+
+/// Unique-per-process temp path so concurrent test runs on one machine
+/// (worktrees, shared CI runners) never read each other's instances.
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("gaps-smoke-{}-{name}", std::process::id()))
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn gaps");
+    assert!(
+        out.status.success(),
+        "command failed ({:?}):\nstdout: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn generate_solve_roundtrip_one_interval() {
+    let text = run_ok(gaps().args([
+        "generate",
+        "--kind",
+        "feasible",
+        "--seed",
+        "7",
+        "--n",
+        "8",
+        "--horizon",
+        "16",
+        "--processors",
+        "2",
+    ]));
+    assert!(
+        text.starts_with("instance v1"),
+        "one-interval serialization must use the `instance v1` header, got:\n{text}"
+    );
+
+    let path = temp_path("one.txt");
+    std::fs::write(&path, &text).unwrap();
+    let path = path.to_str().unwrap();
+
+    let info = run_ok(gaps().args(["info", "--input", path]));
+    assert!(
+        info.contains("one-interval instance"),
+        "info output:\n{info}"
+    );
+    assert!(info.contains("feasible: true"), "info output:\n{info}");
+
+    for objective in ["gaps", "spans", "power"] {
+        let solved = run_ok(gaps().args([
+            "solve",
+            "--input",
+            path,
+            "--objective",
+            objective,
+            "--alpha",
+            "2",
+        ]));
+        assert!(
+            solved.contains(&format!("optimal {objective}")),
+            "solve --objective {objective} output:\n{solved}"
+        );
+    }
+}
+
+#[test]
+fn generate_solve_roundtrip_multi_interval() {
+    let text = run_ok(gaps().args([
+        "generate",
+        "--kind",
+        "multi",
+        "--seed",
+        "3",
+        "--n",
+        "6",
+        "--horizon",
+        "12",
+    ]));
+    assert!(
+        text.starts_with("multi v1"),
+        "multi-interval serialization must use the `multi v1` header, got:\n{text}"
+    );
+
+    let path = temp_path("multi.txt");
+    std::fs::write(&path, &text).unwrap();
+    let path = path.to_str().unwrap();
+
+    let solved = run_ok(gaps().args(["solve", "--input", path, "--objective", "gaps"]));
+    assert!(solved.contains("optimal gaps"), "solve output:\n{solved}");
+
+    let approx = run_ok(gaps().args(["approx", "--input", path, "--alpha", "1.5"]));
+    assert!(
+        approx.contains("approximate power"),
+        "approx output:\n{approx}"
+    );
+}
+
+/// The literal `gaps generate | gaps solve` pipe: solve reads the generated
+/// instance from stdin via `--input -`.
+#[test]
+fn generate_pipes_into_solve() {
+    let generated = run_ok(gaps().args([
+        "generate",
+        "--kind",
+        "uniform",
+        "--seed",
+        "11",
+        "--n",
+        "6",
+        "--horizon",
+        "14",
+    ]));
+
+    let mut solve = gaps()
+        .args(["solve", "--input", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gaps solve");
+    solve
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(generated.as_bytes())
+        .expect("write instance to pipe");
+    let out = solve.wait_with_output().expect("gaps solve exits");
+    assert!(
+        out.status.success(),
+        "piped solve failed:\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let solved = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        solved.contains("optimal gaps") || solved.contains("infeasible"),
+        "piped solve output:\n{solved}"
+    );
+}
+
+/// A simulate round-trip on a generated instance exercises the sim crate
+/// from the CLI surface.
+#[test]
+fn generate_then_simulate() {
+    let text = run_ok(gaps().args([
+        "generate",
+        "--kind",
+        "feasible",
+        "--seed",
+        "5",
+        "--n",
+        "6",
+        "--horizon",
+        "12",
+    ]));
+    let path = temp_path("sim.txt");
+    std::fs::write(&path, &text).unwrap();
+
+    for policy in ["clairvoyant", "timeout", "sleep", "never"] {
+        let sim = run_ok(gaps().args([
+            "simulate",
+            "--input",
+            path.to_str().unwrap(),
+            "--alpha",
+            "3",
+            "--policy",
+            policy,
+        ]));
+        assert!(sim.contains("total energy"), "simulate output:\n{sim}");
+    }
+}
+
+/// All examples build. (Their runtime behavior is exercised by `cargo run
+/// --example` in CI; here we guarantee they at least always compile.)
+#[test]
+fn all_examples_build() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .status()
+        .expect("spawn cargo build --examples");
+    assert!(status.success(), "cargo build --examples failed");
+}

@@ -1,0 +1,267 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no crate registry, so this shim provides the
+//! subset of the criterion 0.5 API the workspace's benches use —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `criterion_group!`
+//! with the `name/config/targets` form, and `criterion_main!` — with
+//! source-compatible signatures. Instead of criterion's full statistical
+//! machinery it times `sample_size` batches per benchmark and prints the
+//! median, which keeps `cargo bench` useful for coarse comparisons while
+//! the benches compile unchanged against the real crate later.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark case, e.g. `hopcroft_karp/400`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus a parameter, rendered as `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Top-level benchmark driver; builder methods mirror criterion's.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, None, &id.id, |b| f(b));
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.criterion, Some(&self.name), &id.id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.criterion, Some(&self.name), &id.id, |b| f(b));
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    deadline: Instant,
+    warm_up: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting up to `sample_size` samples within the
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() > self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(config: &Criterion, group: Option<&str>, id: &str, f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: config.sample_size,
+        deadline: Instant::now() + config.measurement_time,
+        warm_up: config.warm_up_time,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_owned(),
+    };
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let best = bencher.samples[0];
+    println!(
+        "{label:<48} median {median:>12?}   best {best:>12?}   ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Identity function that defeats constant-folding, like criterion's.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group: both the `name/config/targets` form and the
+/// positional `criterion_group!(benches, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        for &n in &[10u64, 100] {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5))
+            .sample_size(3);
+        targets = sum_bench
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn positional_group_macro_compiles() {
+        criterion_group!(quick, sum_bench);
+        quick();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,72 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crate registry, so this shim provides the
+//! one API the workspace uses — [`scope`] with spawn-closures that receive
+//! the scope handle — implemented on top of `std::thread::scope` (stable
+//! since Rust 1.63, which postdates crossbeam's scoped threads).
+
+use std::any::Any;
+
+/// Handle passed to [`scope`]'s closure and to every spawned closure,
+/// allowing nested spawns exactly like `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope handle (so it
+    /// can spawn further threads), matching crossbeam's signature shape.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope handle; all threads spawned through the handle are
+/// joined before `scope` returns.
+///
+/// `std::thread::scope` re-raises panics from unjoined scoped threads after
+/// joining them, so a child panic propagates out of this call rather than
+/// surfacing as `Err` — the workspace only ever calls
+/// `.expect("threads join")` on the result, for which this is equivalent.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_share_borrows() {
+        let results = std::sync::Mutex::new(Vec::new());
+        super::scope(|scope| {
+            for i in 0..8u32 {
+                let results = &results;
+                scope.spawn(move |_| results.lock().unwrap().push(i * i));
+            }
+        })
+        .expect("threads join");
+        let mut v = results.into_inner().unwrap();
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|scope| {
+            let flag = &flag;
+            scope.spawn(move |inner| {
+                inner.spawn(move |_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("threads join");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

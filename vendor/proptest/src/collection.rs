@@ -1,0 +1,98 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: a `usize` range or a fixed size.
+pub trait SizeRange {
+    /// Inclusive `(min, max)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "vec: empty size range {self:?}");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "vec: empty size range {self:?}");
+        (*self.start(), *self.end())
+    }
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose length
+/// is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_respect_bounds() {
+        let mut rng = TestRng::from_seed(21);
+        let s = vec(0u32..7, 2..=5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn half_open_and_fixed_sizes() {
+        let mut rng = TestRng::from_seed(22);
+        let half_open = vec(0u32..3, 1..4);
+        let fixed = vec(0u32..3, 3usize);
+        for _ in 0..100 {
+            assert!((1..=3).contains(&half_open.generate(&mut rng).len()));
+            assert_eq!(fixed.generate(&mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategies_compose() {
+        let mut rng = TestRng::from_seed(23);
+        let s = vec(vec(0u32..4, 1..=3), 0..=4);
+        let v = s.generate(&mut rng);
+        assert!(v.len() <= 4);
+        for inner in v {
+            assert!((1..=3).contains(&inner.len()));
+        }
+    }
+}

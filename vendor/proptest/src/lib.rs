@@ -1,0 +1,194 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so this crate implements
+//! the subset of proptest 1.x that the workspace's property tests use,
+//! source-compatibly:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`, `prop_filter`,
+//!   and `prop_filter_map` combinators,
+//! * strategies for integer ranges, tuples of strategies, [`Just`], and
+//!   [`collection::vec`],
+//! * the [`proptest!`] macro (including `#![proptest_config(...)]` and
+//!   multiple `pattern in strategy` arguments per test),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics: each test runs `cases` iterations against values drawn from a
+//! deterministic generator (seeded per test from the `PROPTEST_SEED` env var
+//! when set, else a fixed default), so failures are reproducible. Unlike
+//! real proptest there is **no shrinking** — a failing case panics with the
+//! case number and seed instead of a minimized input.
+
+// The `proptest!` doc example shows the `#[test]` attribute because that is
+// how the macro is used in practice; the example is compile-checked, which
+// is all we need from it.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Assert inside a property test; forwards to [`assert!`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property test; forwards to [`assert_eq!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property test; forwards to [`assert_ne!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+///
+/// The stub simply moves on to the next iteration's values by returning
+/// early from the case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Define property tests: zero or more `#[test]` functions whose arguments
+/// are drawn from strategies.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::from_env(stringify!($name));
+                for __case in 0..config.cases {
+                    // One closure per case so `prop_assume!` can skip via
+                    // early return without ending the whole test.
+                    let mut __one_case = |__rng: &mut $crate::test_runner::TestRng| {
+                        let ($($arg,)+) = (
+                            $($crate::strategy::Strategy::generate(&($strategy), __rng),)+
+                        );
+                        $body
+                    };
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| __one_case(&mut __rng)),
+                    );
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest stub: {} failed at case {}/{} (seed {}); \
+                             set PROPTEST_SEED={} to reproduce",
+                            stringify!($name),
+                            __case + 1,
+                            config.cases,
+                            __rng.seed(),
+                            __rng.seed(),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_sorted(len: usize) -> impl Strategy<Value = Vec<u32>> {
+        crate::collection::vec(0u32..100, 1..=len).prop_map(|mut v| {
+            v.sort_unstable();
+            v
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -4i64..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn tuple_patterns_work((a, b) in (0u32..10, 0u32..10)) {
+            prop_assert!(a < 10 && b < 10);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u32..5, 2..=6)) {
+            prop_assert!((2..=6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_and_map_compose(v in arb_sorted(8)) {
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn filter_map_retries(x in (0u32..100).prop_filter_map("even only", |x| {
+            if x % 2 == 0 { Some(x) } else { None }
+        })) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0u32..4) {
+            prop_assert!(x < 4);
+        }
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = crate::test_runner::TestRng::from_env("just");
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+}

@@ -1,0 +1,112 @@
+//! Test configuration and the deterministic generator behind the
+//! [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration; only `cases` is meaningful in the stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Random source handed to [`Strategy::generate`](crate::Strategy::generate).
+///
+/// Seeded deterministically per test (name-hashed), overridable with the
+/// `PROPTEST_SEED` environment variable for reproduction.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl TestRng {
+    /// Build the generator for the named test, honoring `PROPTEST_SEED`.
+    ///
+    /// An explicit `PROPTEST_SEED` is used verbatim (it is what a failure
+    /// message printed, so replaying it must reproduce that exact stream);
+    /// otherwise each test gets a name-hashed seed so tests draw distinct
+    /// data.
+    pub fn from_env(test_name: &str) -> Self {
+        match std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            Some(seed) => TestRng::from_seed(seed),
+            None => TestRng::from_seed(0x9055_A210_C0FF_EE01 ^ fnv1a(test_name.as_bytes())),
+        }
+    }
+
+    /// Build from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator started from (reported on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_test_seeds_differ_but_reproduce() {
+        if std::env::var_os("PROPTEST_SEED").is_some() {
+            // An explicit seed deliberately overrides per-test derivation.
+            return;
+        }
+        let mut a = TestRng::from_env("alpha");
+        let mut b = TestRng::from_env("alpha");
+        let mut c = TestRng::from_env("beta");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.seed(), c.seed());
+        let _ = c.next_u64();
+    }
+
+    #[test]
+    fn explicit_seed_reproduces_verbatim() {
+        // The failure message prints `rng.seed()` and tells the user to set
+        // PROPTEST_SEED to it; replaying that value must recreate the exact
+        // stream, independent of the test's name.
+        let mut a = TestRng::from_seed(12345);
+        let mut b = TestRng::from_seed(12345);
+        assert_eq!(a.seed(), 12345);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
