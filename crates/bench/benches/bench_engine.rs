@@ -1,0 +1,55 @@
+//! Engine throughput: a mixed batch through the `gaps-engine` portfolio.
+//!
+//! The claims being benchmarked: (1) batch throughput scales with
+//! `--threads` on cold caches (the acceptance target is ≥ 2× at 4
+//! threads on a ≥ 4-core machine — thread scaling cannot materialize on
+//! fewer cores than threads); (2) a warm canonicalized cache
+//! short-circuits solving, so the warm pass beats every cold
+//! configuration by a wide margin. `experiments --json BENCH_engine.json`
+//! records the same series machine-readably.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaps_bench::perf::mixed_batch;
+use gaps_engine::{Engine, EngineConfig, Objective};
+use std::time::Duration;
+
+fn bench_engine(c: &mut Criterion) {
+    let batch = mixed_batch(200);
+    let mut group = c.benchmark_group("engine_batch");
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("threads={threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let engine = Engine::new(EngineConfig {
+                        threads,
+                        ..EngineConfig::default()
+                    });
+                    engine.run_batch(&batch, Objective::Gaps)
+                })
+            },
+        );
+    }
+
+    let warm_engine = Engine::new(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let (_, cold_report) = warm_engine.run_batch(&batch, Objective::Gaps);
+    assert_eq!(cold_report.requests, batch.len());
+    group.bench_function(BenchmarkId::new("warm", "threads=4"), |b| {
+        b.iter(|| warm_engine.run_batch(&batch, Objective::Gaps))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -15,6 +15,7 @@
 //! `crossbeam::scope`, collecting into `parking_lot::Mutex`ed accumulators.
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 pub use table::Table;

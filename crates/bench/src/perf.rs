@@ -1,0 +1,230 @@
+//! Machine-readable performance trajectory for the batch engine.
+//!
+//! `experiments --json PATH` runs [`engine_trajectory`] and writes the
+//! per-benchmark median wall-clock times as JSON (`BENCH_engine.json` by
+//! convention), seeding the perf-trajectory files that later PRs compare
+//! against. The same workload builder feeds the criterion bench
+//! (`benches/bench_engine.rs`), so the two views measure the same thing.
+//!
+//! JSON is hand-rolled (the workspace is offline — no serde); the schema
+//! is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "suite": "engine",
+//!   "benchmarks": [
+//!     {"name": "batch_cold/threads=1", "median_ns": 123, "samples": 3}
+//!   ],
+//!   "derived": {"speedup_threads4_over_threads1": 2.5, "warm_hit_rate": 1.0}
+//! }
+//! ```
+
+use gaps_engine::{BatchInstance, Engine, EngineConfig, Objective};
+use gaps_workloads::{multi_interval, one_interval};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: a name and its median wall clock.
+#[derive(Clone, Debug)]
+pub struct PerfResult {
+    /// Benchmark id, e.g. `batch_cold/threads=4`.
+    pub name: String,
+    /// Median wall-clock over the samples, in nanoseconds.
+    pub median_ns: u128,
+    /// Number of timed samples behind the median.
+    pub samples: usize,
+}
+
+/// A named set of results plus derived scalar metrics.
+#[derive(Clone, Debug, Default)]
+pub struct PerfSuite {
+    /// Suite id (`engine`).
+    pub suite: String,
+    /// Measured benchmarks, in execution order.
+    pub results: Vec<PerfResult>,
+    /// Derived metrics (`(name, value)`), e.g. thread speedups.
+    pub derived: Vec<(String, f64)>,
+}
+
+impl PerfSuite {
+    /// Serialize the suite; stable key order, no external crates.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", escape(&self.suite)));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"samples\": {}}}{comma}\n",
+                escape(&r.name),
+                r.median_ns,
+                r.samples
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"derived\": {");
+        for (i, (name, value)) in self.derived.iter().enumerate() {
+            let comma = if i + 1 < self.derived.len() { "," } else { "" };
+            out.push_str(&format!("\n    \"{}\": {value:.4}{comma}", escape(name)));
+        }
+        if !self.derived.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A deterministic mixed batch exercising every router path: single- and
+/// multi-processor one-interval instances (DP-heavy), zero-laxity chains
+/// (forced fast path), and small multi-interval instances (exhaustive
+/// search). Instances are pairwise distinct, so a cold run gets no free
+/// cache hits.
+pub fn mixed_batch(count: usize) -> Vec<BatchInstance> {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    (0..count)
+        .map(|i| match i % 5 {
+            0 => BatchInstance::One(one_interval::feasible(&mut rng, 24, 48, 3, 1)),
+            1 => BatchInstance::One(one_interval::uniform(&mut rng, 20, 40, 4, 2)),
+            2 => BatchInstance::One(one_interval::bursty(&mut rng, 4, 5, 8, 3, 3, 2)),
+            3 => BatchInstance::One(one_interval::fixed_laxity(&mut rng, 24, 60, 0, 1)),
+            _ => BatchInstance::Multi(multi_interval::feasible_slots(&mut rng, 8, 12, 1)),
+        })
+        .collect()
+}
+
+fn median_wall(samples: usize, mut run: impl FnMut()) -> Duration {
+    let mut timings: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed()
+        })
+        .collect();
+    timings.sort_unstable();
+    timings[timings.len() / 2]
+}
+
+/// Measure engine batch throughput cold (fresh cache, threads 1/2/4) and
+/// warm (second pass over the same engine), and derive thread speedups
+/// plus the warm-cache hit rate.
+pub fn engine_trajectory(instances: usize, samples: usize) -> PerfSuite {
+    let batch = mixed_batch(instances);
+    let mut suite = PerfSuite {
+        suite: "engine".to_string(),
+        ..PerfSuite::default()
+    };
+    let mut cold_medians = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let median = median_wall(samples, || {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let (lines, _) = engine.run_batch(&batch, Objective::Gaps);
+            assert_eq!(lines.len(), batch.len());
+        });
+        cold_medians.push((threads, median));
+        suite.results.push(PerfResult {
+            name: format!("batch_cold/threads={threads}"),
+            median_ns: median.as_nanos(),
+            samples,
+        });
+    }
+
+    // Warm pass: same engine, second time around — measures cache + pool
+    // overhead with solving almost fully short-circuited.
+    let engine = Engine::new(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let (_, _) = engine.run_batch(&batch, Objective::Gaps);
+    let mut warm_hit_rate = 0.0;
+    let warm = median_wall(samples, || {
+        let (_, report) = engine.run_batch(&batch, Objective::Gaps);
+        warm_hit_rate = report.hit_rate();
+    });
+    suite.results.push(PerfResult {
+        name: "batch_warm/threads=4".to_string(),
+        median_ns: warm.as_nanos(),
+        samples,
+    });
+
+    let cold1 = cold_medians[0].1.as_secs_f64();
+    for &(threads, median) in &cold_medians[1..] {
+        suite.derived.push((
+            format!("speedup_threads{threads}_over_threads1"),
+            cold1 / median.as_secs_f64().max(f64::EPSILON),
+        ));
+    }
+    suite.derived.push((
+        "warm_speedup_over_cold_threads4".to_string(),
+        cold_medians[2].1.as_secs_f64() / warm.as_secs_f64().max(f64::EPSILON),
+    ));
+    suite
+        .derived
+        .push(("warm_hit_rate".to_string(), warm_hit_rate));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_batch_is_deterministic_and_distinctly_shaped() {
+        let a = mixed_batch(10);
+        let b = mixed_batch(10);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|i| i.kind_label() == "one"));
+        assert!(a.iter().any(|i| i.kind_label() == "multi"));
+    }
+
+    #[test]
+    fn trajectory_produces_benchmarks_and_derived_metrics() {
+        let suite = engine_trajectory(20, 1);
+        assert_eq!(suite.suite, "engine");
+        assert_eq!(suite.results.len(), 4);
+        assert!(suite.results.iter().all(|r| r.median_ns > 0));
+        let names: Vec<&str> = suite.derived.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"warm_hit_rate"));
+        assert!(names.contains(&"speedup_threads4_over_threads1"));
+        let hit_rate = suite
+            .derived
+            .iter()
+            .find(|(n, _)| n == "warm_hit_rate")
+            .unwrap()
+            .1;
+        assert!(hit_rate > 0.99, "warm pass should hit: {hit_rate}");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let suite = PerfSuite {
+            suite: "engine".into(),
+            results: vec![PerfResult {
+                name: "a/b=1".into(),
+                median_ns: 42,
+                samples: 3,
+            }],
+            derived: vec![("quote\"test".into(), 1.5)],
+        };
+        let json = suite.to_json();
+        assert!(json.contains("\"median_ns\": 42"));
+        assert!(json.contains("quote\\\"test"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  ]"), "no trailing commas:\n{json}");
+    }
+}

@@ -1,0 +1,242 @@
+//! A sharded LRU cache from canonical instance keys to finished result
+//! lines.
+//!
+//! Keys come from [`crate::canonical`]; values are the fully formatted
+//! result payloads (objective value + solver tag), so a hit bypasses the
+//! solver *and* the formatter and is guaranteed byte-identical to a miss.
+//!
+//! Sharding: the key hash picks one of `shards` independent
+//! `parking_lot::Mutex`-protected maps, so concurrent workers rarely
+//! contend on the same lock. Each shard runs its own LRU clock; eviction
+//! scans the shard for the least-recently-used entry, which is O(shard
+//! capacity) — shards are small (total capacity / shard count), and the
+//! scan only runs when a full shard takes an insert. Swap in a linked
+//! LRU list if profiles ever show eviction on a hot path.
+//!
+//! Hit/miss counters are relaxed atomics: they feed the
+//! [`crate::metrics::EngineReport`] and tolerate the usual
+//! increment-vs-read races.
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the solver.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry {
+    value: String,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<String, Entry>,
+    clock: u64,
+}
+
+/// Sharded LRU result cache. A capacity of 0 disables caching entirely
+/// (every lookup misses, inserts are dropped).
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry budgets; they sum to exactly the requested total
+    /// capacity, so the user-facing memory bound is honored precisely.
+    capacities: Vec<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Build a cache holding at most `capacity` entries total, spread
+    /// over up to `shards` locks. The shard count is clamped to the
+    /// capacity (never more locks than entries) and the budget is split
+    /// exactly — no rounding up per shard.
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache {
+        let shard_count = shards.max(1).min(capacity.max(1));
+        let capacities = (0..shard_count)
+            .map(|i| capacity / shard_count + usize::from(i < capacity % shard_count))
+            .collect();
+        ShardedCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            capacities,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// False iff built with capacity 0.
+    pub fn is_enabled(&self) -> bool {
+        self.capacities.iter().any(|&c| c > 0)
+    }
+
+    fn shard_for(&self, key: &str) -> (&Mutex<Shard>, usize) {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.shards.len();
+        (&self.shards[index], self.capacities[index])
+    }
+
+    /// Look up a canonical key, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        if !self.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard_for(key).0.lock();
+        shard.clock += 1;
+        let clock = shard.clock;
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a result, evicting the shard's least-recently-
+    /// used entry if the shard is full.
+    pub fn insert(&self, key: String, value: String) {
+        if !self.is_enabled() {
+            return;
+        }
+        let (shard, capacity) = self.shard_for(&key);
+        let mut shard = shard.lock();
+        shard.clock += 1;
+        let clock = shard.clock;
+        if capacity == 0 {
+            return; // a zero-budget shard (capacity < shard count) holds nothing
+        }
+        if !shard.entries.contains_key(&key) && shard.entries.len() >= capacity {
+            let victim = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("full shard has entries");
+            shard.entries.remove(&victim);
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// True iff no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the lifetime hit/miss counters and current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = ShardedCache::new(8, 2);
+        assert_eq!(cache.get("k"), None);
+        cache.insert("k".into(), "v".into());
+        assert_eq!(cache.get("k"), Some("v".into()));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = ShardedCache::new(0, 4);
+        cache.insert("k".into(), "v".into());
+        assert_eq!(cache.get("k"), None);
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        // Single shard so the eviction order is fully observable.
+        let cache = ShardedCache::new(2, 1);
+        cache.insert("a".into(), "1".into());
+        cache.insert("b".into(), "2".into());
+        assert_eq!(cache.get("a"), Some("1".into())); // refresh a
+        cache.insert("c".into(), "3".into()); // evicts b
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some("1".into()));
+        assert_eq!(cache.get("c"), Some("3".into()));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_updates_in_place() {
+        let cache = ShardedCache::new(1, 1);
+        cache.insert("k".into(), "old".into());
+        cache.insert("k".into(), "new".into());
+        assert_eq!(cache.get("k"), Some("new".into()));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shards_share_total_capacity() {
+        let cache = ShardedCache::new(64, 8);
+        for i in 0..64 {
+            cache.insert(format!("key-{i}"), i.to_string());
+        }
+        // Hash skew can evict a few entries early, but the bulk stays.
+        assert!(cache.len() > 32, "len = {}", cache.len());
+        assert!(cache.len() <= 64);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        let cache = ShardedCache::new(128, 8);
+        crossbeam::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move |_| {
+                    for i in 0..100 {
+                        let key = format!("key-{}", (t * 100 + i) % 50);
+                        if cache.get(&key).is_none() {
+                            cache.insert(key, "v".into());
+                        }
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 400);
+        assert!(stats.entries <= 50);
+    }
+}

@@ -1,0 +1,448 @@
+//! # gaps-engine
+//!
+//! A concurrent batch-solving layer between the paper's solvers and the
+//! outside world: accept a *stream* of scheduling instances, solve each
+//! with the best-fitting algorithm, and answer at scale.
+//!
+//! The pipeline, per request:
+//!
+//! 1. **Canonicalize** ([`canonical`]) — dead-zone compression
+//!    (`gaps_core::compress`) plus job sorting normalizes away time
+//!    shifts, job order, and dead time, yielding a cache key under which
+//!    equivalent instances collide.
+//! 2. **Cache** ([`cache`]) — a sharded LRU maps canonical keys to
+//!    finished result lines; hits skip solving entirely.
+//! 3. **Route** ([`router`]) — misses go to a portfolio router that picks
+//!    a solver from the instance's shape (one- vs. multi-interval,
+//!    processor count, laxity, size, objective, α), with a configurable
+//!    fallback chain for instances no exact solver can take.
+//! 4. **Execute** ([`pool`]) — a fixed worker pool built on the
+//!    `crossbeam` scope + bounded-channel stubs runs requests in
+//!    parallel and reassembles results in input order, so output is
+//!    deterministic for any thread count.
+//!
+//! Per-batch latency, cache, and router metrics land in an
+//! [`EngineReport`] ([`metrics`]).
+//!
+//! ```
+//! use gaps_engine::{Engine, EngineConfig, Objective};
+//!
+//! let text = "\
+//! instance v1
+//! processors 1
+//! job 0 2
+//! job 1 3
+//! instance v1
+//! processors 1
+//! job 100 102
+//! job 101 103
+//! ";
+//! let engine = Engine::new(EngineConfig::default());
+//! let (out, report) = engine.run_batch_text(text, Objective::Gaps).unwrap();
+//! assert_eq!(out.lines().count(), 2);
+//! // The second instance is a time-shifted copy of the first: the
+//! // canonicalized cache collapses them into one solve. (Served on one
+//! // thread here, so the hit is guaranteed; with more threads the two
+//! // requests can race to a double-miss — the *output* stays identical
+//! // either way, see `tests/engine_batch.rs`.)
+//! assert_eq!(report.cache_hits, 1);
+//! ```
+
+pub mod cache;
+pub mod canonical;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use metrics::{summarize_latencies, EngineReport, LatencySummary};
+pub use router::{FallbackSolver, Features, RouterConfig, SolverKind};
+
+use gaps_core::instance::{Instance, MultiInstance};
+use gaps_workloads::serialize;
+use std::time::Instant;
+
+/// What to minimize, batch-wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Number of gaps (idle periods) — the paper's Theorem 1 objective.
+    Gaps,
+    /// Number of spans (wake-ups).
+    Spans,
+    /// Total power: active slots + `alpha` per wake-up (Theorem 2).
+    Power {
+        /// Transition (wake-up) cost.
+        alpha: u64,
+    },
+}
+
+impl Objective {
+    /// Parse the CLI spelling (`gaps` / `spans` / `power` + alpha).
+    pub fn parse(name: &str, alpha: u64) -> Result<Objective, String> {
+        match name {
+            "gaps" => Ok(Objective::Gaps),
+            "spans" => Ok(Objective::Spans),
+            "power" => Ok(Objective::Power { alpha }),
+            other => Err(format!("unknown objective {other:?}")),
+        }
+    }
+
+    /// The result-line label (`gaps=…`, `spans=…`, `power=…`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Objective::Gaps => "gaps",
+            Objective::Spans => "spans",
+            Objective::Power { .. } => "power",
+        }
+    }
+
+    /// Cache-key prefix; includes `alpha` because the power optimum (and
+    /// power compression) depend on it.
+    pub fn cache_tag(self) -> String {
+        match self {
+            Objective::Gaps => "gaps".to_string(),
+            Objective::Spans => "spans".to_string(),
+            Objective::Power { alpha } => format!("power:{alpha}"),
+        }
+    }
+}
+
+/// Either flavor of instance the batch stream can carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchInstance {
+    /// Release/deadline jobs on `p` processors (`instance v1`).
+    One(Instance),
+    /// Allowed-slot jobs on one processor (`multi v1`).
+    Multi(MultiInstance),
+}
+
+impl BatchInstance {
+    /// Number of jobs.
+    pub fn job_count(&self) -> usize {
+        match self {
+            BatchInstance::One(inst) => inst.job_count(),
+            BatchInstance::Multi(inst) => inst.job_count(),
+        }
+    }
+
+    /// Result-line tag: `one` or `multi`.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            BatchInstance::One(_) => "one",
+            BatchInstance::Multi(_) => "multi",
+        }
+    }
+}
+
+/// Engine construction knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (clamped to ≥ 1).
+    pub threads: usize,
+    /// Total result-cache entries across shards; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Cache shard (lock) count.
+    pub cache_shards: usize,
+    /// Portfolio router configuration.
+    pub router: RouterConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            router: RouterConfig::default(),
+        }
+    }
+}
+
+/// The batch-solving engine. Construct once, feed many batches: the
+/// result cache persists across [`Engine::run_batch`] calls, so repeated
+/// traffic gets warm-cache latencies.
+pub struct Engine {
+    config: EngineConfig,
+    cache: ShardedCache,
+}
+
+/// What one worker hands back for one request.
+struct Outcome {
+    line: String,
+    solver: Option<SolverKind>,
+    cache_hit: bool,
+    elapsed: std::time::Duration,
+}
+
+impl Engine {
+    /// Build an engine.
+    pub fn new(config: EngineConfig) -> Engine {
+        let cache = ShardedCache::new(config.cache_capacity, config.cache_shards);
+        Engine { config, cache }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Lifetime cache statistics (across every batch served so far).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Solve a batch, returning one result line per instance — in input
+    /// order, independent of thread count — plus the batch report.
+    ///
+    /// Line format:
+    /// `<index> <one|multi> n=<jobs> <payload> solver=<tag>` where the
+    /// payload is `gaps=2` (exact), `power<=9.50` (upper bound),
+    /// `gaps>=1` (lower bound), or `infeasible`.
+    pub fn run_batch(
+        &self,
+        instances: &[BatchInstance],
+        objective: Objective,
+    ) -> (Vec<String>, EngineReport) {
+        let start = Instant::now();
+        let cache = &self.cache;
+        let router_cfg = &self.config.router;
+        let refs: Vec<&BatchInstance> = instances.iter().collect();
+        let outcomes = pool::map_ordered(refs, self.config.threads, |index, inst| {
+            let request_start = Instant::now();
+            let flavor = inst.kind_label();
+            let jobs = inst.job_count();
+            let form = canonical::canonicalize(inst, objective);
+            let (payload, solver, cache_hit) = match cache.get(&form.key) {
+                Some(cached) => (cached, None, true),
+                None => {
+                    let (kind, body) = router::solve(&form.instance, objective, router_cfg);
+                    let payload = format!("{body} solver={}", kind.name());
+                    cache.insert(form.key, payload.clone());
+                    (payload, Some(kind), false)
+                }
+            };
+            Outcome {
+                line: format!("{index} {flavor} n={jobs} {payload}"),
+                solver,
+                cache_hit,
+                elapsed: request_start.elapsed(),
+            }
+        });
+
+        let mut report = EngineReport {
+            requests: outcomes.len(),
+            threads: self.config.threads.max(1),
+            cache_entries: cache.len(),
+            ..EngineReport::default()
+        };
+        let mut latencies = Vec::with_capacity(outcomes.len());
+        let mut lines = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            if outcome.cache_hit {
+                report.cache_hits += 1;
+            } else {
+                report.cache_misses += 1;
+            }
+            if let Some(kind) = outcome.solver {
+                *report.solver_counts.entry(kind.name()).or_insert(0) += 1;
+            }
+            latencies.push(outcome.elapsed);
+            lines.push(outcome.line);
+        }
+        report.latency = summarize_latencies(latencies);
+        report.wall = start.elapsed();
+        (lines, report)
+    }
+
+    /// [`Engine::run_batch`] over a concatenated-instance text stream
+    /// (see [`split_stream`]); returns the newline-joined result block.
+    pub fn run_batch_text(
+        &self,
+        text: &str,
+        objective: Objective,
+    ) -> Result<(String, EngineReport), String> {
+        let instances = split_stream(text)?;
+        let (lines, report) = self.run_batch(&instances, objective);
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        Ok((out, report))
+    }
+}
+
+/// Split a text stream of concatenated instances (each starting with an
+/// `instance v1` or `multi v1` header, exactly the `gaps_workloads`
+/// serialize format) into parsed instances. Comments and blank lines are
+/// allowed anywhere, including before the first header.
+pub fn split_stream(text: &str) -> Result<Vec<BatchInstance>, String> {
+    let mut chunks: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line == "instance v1" || line == "multi v1" {
+            chunks.push((lineno + 1, String::new()));
+        } else if chunks.is_empty() && !line.is_empty() && !line.starts_with('#') {
+            return Err(format!(
+                "line {}: expected an 'instance v1' or 'multi v1' header, got {line:?}",
+                lineno + 1
+            ));
+        }
+        if let Some((_, chunk)) = chunks.last_mut() {
+            chunk.push_str(raw);
+            chunk.push('\n');
+        }
+    }
+    chunks
+        .into_iter()
+        .map(|(lineno, chunk)| {
+            let parsed = if chunk.trim_start().starts_with("multi v1") {
+                serialize::multi_from_text(&chunk).map(BatchInstance::Multi)
+            } else {
+                serialize::instance_from_text(&chunk).map(BatchInstance::One)
+            };
+            parsed.map_err(|e| format!("instance starting at line {lineno}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_core::instance::Instance;
+    use gaps_workloads::{multi_interval, one_interval};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_stream(count: usize) -> Vec<BatchInstance> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            out.push(match i % 4 {
+                0 => BatchInstance::One(one_interval::feasible(&mut rng, 6, 12, 2, 1)),
+                1 => BatchInstance::One(one_interval::uniform(&mut rng, 5, 10, 3, 2)),
+                2 => BatchInstance::Multi(multi_interval::feasible_slots(&mut rng, 5, 9, 2)),
+                _ => BatchInstance::One(one_interval::fixed_laxity(&mut rng, 6, 14, 0, 1)),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts() {
+        let batch = mixed_stream(60);
+        let mut outputs = Vec::new();
+        for threads in [1, 2, 8] {
+            let engine = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            let (lines, report) = engine.run_batch(&batch, Objective::Gaps);
+            assert_eq!(report.requests, 60);
+            outputs.push(lines);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn cache_does_not_change_output_only_speed() {
+        let batch = mixed_stream(40);
+        let cached = Engine::new(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        let uncached = Engine::new(EngineConfig {
+            threads: 4,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        let (with_cache, _) = cached.run_batch(&batch, Objective::Power { alpha: 2 });
+        let (without_cache, report) = uncached.run_batch(&batch, Objective::Power { alpha: 2 });
+        assert_eq!(with_cache, without_cache);
+        assert_eq!(report.cache_hits, 0);
+    }
+
+    #[test]
+    fn warm_cache_reports_hits() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let batch = mixed_stream(30);
+        let (cold_lines, cold) = engine.run_batch(&batch, Objective::Gaps);
+        let (warm_lines, warm) = engine.run_batch(&batch, Objective::Gaps);
+        assert_eq!(cold_lines, warm_lines);
+        assert_eq!(warm.cache_hits, 30, "every repeat request should hit");
+        assert!(warm.hit_rate() > 0.99);
+        assert!(cold.cache_misses > 0);
+    }
+
+    #[test]
+    fn report_counts_solvers_and_latencies() {
+        let engine = Engine::new(EngineConfig::default());
+        let (_, report) = engine.run_batch(&mixed_stream(20), Objective::Gaps);
+        assert_eq!(report.requests, 20);
+        let solved: usize = report.solver_counts.values().sum();
+        assert_eq!(solved as u64, report.cache_misses);
+        assert!(report.latency.max >= report.latency.min);
+    }
+
+    #[test]
+    fn split_stream_parses_concatenated_instances() {
+        let text = "# leading comment\n\ninstance v1\nprocessors 2\njob 0 3\n\nmulti v1\njob 1 4\njob 2\ninstance v1\nprocessors 1\n";
+        let parsed = split_stream(text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].kind_label(), "one");
+        assert_eq!(parsed[1].kind_label(), "multi");
+        assert_eq!(parsed[2].job_count(), 0);
+    }
+
+    #[test]
+    fn split_stream_rejects_junk() {
+        assert!(split_stream("not a header\n").is_err());
+        let err = split_stream("instance v1\nprocessors 1\njob zero 1\n").unwrap_err();
+        assert!(err.contains("starting at line 1"), "err = {err}");
+        assert!(split_stream("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_text_round_trip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = one_interval::feasible(&mut rng, 5, 10, 2, 1);
+        let b = multi_interval::feasible_slots(&mut rng, 4, 8, 1);
+        let text = format!(
+            "{}{}",
+            serialize::instance_to_text(&a),
+            serialize::multi_to_text(&b)
+        );
+        let engine = Engine::new(EngineConfig::default());
+        let (out, report) = engine.run_batch_text(&text, Objective::Spans).unwrap();
+        assert_eq!(report.requests, 2);
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.starts_with("0 one n=5 spans="), "out = {out}");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::new(EngineConfig::default());
+        let (out, report) = engine.run_batch_text("", Objective::Gaps).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn equivalent_instances_collide_in_the_cache() {
+        let engine = Engine::new(EngineConfig::default());
+        let base = Instance::from_windows([(0, 2), (4, 5)], 1).unwrap();
+        let shifted = Instance::from_windows([(1_000, 1_002), (1_004, 1_005)], 1).unwrap();
+        let (lines, report) = engine.run_batch(
+            &[BatchInstance::One(base), BatchInstance::One(shifted)],
+            Objective::Gaps,
+        );
+        assert_eq!(report.cache_hits, 1, "shifted copy should hit");
+        // Identical payload after the index column.
+        let tail = |s: &str| s.split_once(' ').unwrap().1.to_string();
+        assert_eq!(tail(&lines[0]), tail(&lines[1]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-batch observability: latency distribution, cache effectiveness,
+//! and the solver mix, collected into an [`EngineReport`].
+//!
+//! The report deliberately travels on a side channel (the CLI prints it
+//! to stderr): result lines on stdout must be byte-identical across
+//! thread counts, and wall-clock numbers are not.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Order statistics over per-request latencies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Fastest request.
+    pub min: Duration,
+    /// Median request.
+    pub median: Duration,
+    /// 95th-percentile request (nearest-rank).
+    pub p95: Duration,
+    /// Slowest request.
+    pub max: Duration,
+}
+
+/// Summarize a latency sample set (all zeros when empty).
+pub fn summarize_latencies(mut samples: Vec<Duration>) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary::default();
+    }
+    samples.sort_unstable();
+    let rank = |q_num: usize, q_den: usize| {
+        // Nearest-rank percentile: ceil(q * n) as a 1-based rank.
+        let n = samples.len();
+        samples[(q_num * n).div_ceil(q_den).clamp(1, n) - 1]
+    };
+    LatencySummary {
+        min: samples[0],
+        median: rank(1, 2),
+        p95: rank(19, 20),
+        max: *samples.last().expect("non-empty"),
+    }
+}
+
+/// Everything the engine observed while serving one batch.
+#[derive(Clone, Debug, Default)]
+pub struct EngineReport {
+    /// Requests served (= result lines emitted).
+    pub requests: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Requests answered from the result cache in this batch.
+    pub cache_hits: u64,
+    /// Requests that went to a solver in this batch.
+    pub cache_misses: u64,
+    /// Entries resident in the cache after the batch.
+    pub cache_entries: usize,
+    /// How many requests each solver handled (cache hits excluded).
+    pub solver_counts: BTreeMap<&'static str, usize>,
+    /// Per-request latency order statistics.
+    pub latency: LatencySummary,
+    /// End-to-end batch wall clock.
+    pub wall: Duration,
+}
+
+impl EngineReport {
+    /// Fraction of requests answered from the cache (0.0 for an empty
+    /// batch).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Requests per second of batch wall clock (0.0 for an instant or
+    /// empty batch).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {} request(s) on {} thread(s) in {:.1?} ({:.0} req/s)",
+            self.requests,
+            self.threads,
+            self.wall,
+            self.throughput()
+        )?;
+        writeln!(
+            f,
+            "cache:  {} hit(s) / {} miss(es) ({:.1}% hit rate), {} entrie(s) resident",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate(),
+            self.cache_entries
+        )?;
+        write!(f, "router:")?;
+        if self.solver_counts.is_empty() {
+            write!(f, " (all requests served from cache)")?;
+        }
+        for (solver, count) in &self.solver_counts {
+            write!(f, " {solver}={count}")?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "latency: min {:.1?} / median {:.1?} / p95 {:.1?} / max {:.1?}",
+            self.latency.min, self.latency.median, self.latency.p95, self.latency.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn summary_orders_statistics() {
+        let s = summarize_latencies(vec![ms(5), ms(1), ms(3), ms(2), ms(4)]);
+        assert_eq!(s.min, ms(1));
+        assert_eq!(s.median, ms(3));
+        assert_eq!(s.max, ms(5));
+        assert_eq!(s.p95, ms(5));
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        assert_eq!(summarize_latencies(vec![]), LatencySummary::default());
+    }
+
+    #[test]
+    fn p95_uses_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = summarize_latencies(samples);
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.median, ms(50));
+    }
+
+    #[test]
+    fn hit_rate_and_throughput_handle_edges() {
+        let empty = EngineReport::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        assert_eq!(empty.throughput(), 0.0);
+
+        let report = EngineReport {
+            requests: 100,
+            cache_hits: 75,
+            cache_misses: 25,
+            wall: Duration::from_secs(2),
+            ..EngineReport::default()
+        };
+        assert_eq!(report.hit_rate(), 0.75);
+        assert_eq!(report.throughput(), 50.0);
+    }
+
+    #[test]
+    fn display_mentions_every_section() {
+        let mut report = EngineReport {
+            requests: 3,
+            threads: 2,
+            cache_hits: 1,
+            cache_misses: 2,
+            cache_entries: 2,
+            ..EngineReport::default()
+        };
+        report.solver_counts.insert("baptiste_dp", 2);
+        let text = report.to_string();
+        for needle in ["engine:", "cache:", "router:", "latency:", "baptiste_dp=2"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Fixed worker pool over the `crossbeam` scope + bounded-channel stubs.
+//!
+//! [`map_ordered`] fans a work list out to `threads` workers through a
+//! **bounded** MPMC channel (so an enormous batch never materializes in
+//! the queue all at once — backpressure caps the in-flight window at
+//! `2 × threads` items) and reassembles results **by index**, so the
+//! output order is that of the input regardless of which worker finished
+//! first. That reassembly is what makes `gaps batch` byte-identical
+//! across `--threads 1/2/8`.
+//!
+//! Results travel back over an unbounded channel: workers never block on
+//! the way out, so the only backpressure point is work intake and the
+//! pool cannot deadlock (the collector drains exactly `items.len()`
+//! results while the feeder is still pushing).
+
+use crossbeam::channel;
+
+/// Apply `f` to every `(index, item)` pair on a pool of `threads` workers
+/// (at least one) and return the results in input order.
+///
+/// `f` must be deterministic per item for the output to be reproducible —
+/// the pool guarantees *order*, the caller guarantees *values*.
+///
+/// # Panics
+/// Re-raises panics from worker threads after the scope joins.
+pub fn map_ordered<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    // More workers than items would just be idle OS threads (and an
+    // absurd request, e.g. `--threads 500000`, would die in spawn).
+    let threads = threads.clamp(1, total);
+    let (work_tx, work_rx) = channel::bounded::<(usize, T)>(threads * 2);
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+    let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                for (index, item) in work_rx {
+                    // The collector only disappears early if a sibling
+                    // panicked; stop quietly and let the scope re-raise.
+                    if result_tx.send((index, f(index, item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // Only workers hold live clones now; when the feeder below drops
+        // `work_tx`, their intake iterators end.
+        drop(work_rx);
+        drop(result_tx);
+        for pair in items.into_iter().enumerate() {
+            work_tx.send(pair).expect("a worker is alive to receive");
+        }
+        drop(work_tx);
+        for _ in 0..total {
+            let (index, value) = result_rx.recv().expect("every item yields a result");
+            results[index] = Some(value);
+        }
+    })
+    .expect("worker threads join");
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let doubled = map_ordered(items, 8, |_, x| x * 2);
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_many_threads_agree() {
+        let items: Vec<u64> = (0..200).collect();
+        let one = map_ordered(items.clone(), 1, |i, x| (i as u64) * 1000 + x);
+        let many = map_ordered(items, 7, |i, x| (i as u64) * 1000 + x);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let results = map_ordered((0..300).collect::<Vec<_>>(), 4, |_, x: i32| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(results.len(), 300);
+        assert_eq!(calls.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out: Vec<i32> = map_ordered(Vec::<i32>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let out = map_ordered(vec![1, 2, 3], 0, |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_clamped_to_the_item_count() {
+        let out = map_ordered(vec![1, 2, 3], 500_000, |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_to_workers() {
+        let offsets: Vec<i64> = vec![10, 20, 30];
+        let offsets = &offsets;
+        let out = map_ordered(vec![0usize, 1, 2], 3, |_, i| offsets[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+}

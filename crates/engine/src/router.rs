@@ -1,0 +1,457 @@
+//! Portfolio routing: pick the right solver for each instance's shape.
+//!
+//! The paper's algorithms have sharply different sweet spots — Baptiste's
+//! single-processor DP, the Theorem 1/2 multiprocessor DPs, exhaustive
+//! search (only viable on small multi-interval instances), and the
+//! Theorem 3 approximation (power only, but polynomial for any size).
+//! Related work makes the same point from the other direction:
+//! Baptiste–Chrobak–Dürr (arXiv:0908.3505) and Bidlingmaier's greedy
+//! minimum-energy scheduling (arXiv:2307.00949) both key their algorithm
+//! choice on instance shape (unit vs. arbitrary jobs, laxity, processor
+//! count). The router reads those features off the canonical instance and
+//! dispatches; instances no exact solver can handle flow down a
+//! configurable **fallback chain** of approximate/bounding solvers.
+//!
+//! Routing is a pure function of the canonical form, so a cached result
+//! and a freshly routed one can never disagree on the solver tag.
+
+use crate::{BatchInstance, Objective};
+use gaps_core::instance::Instance;
+use gaps_core::time::run_count;
+use gaps_core::{
+    baptiste, brute_force, lower_bounds, multi_interval, multiproc_dp, power, power_dp,
+};
+
+/// Every solver the portfolio can dispatch to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SolverKind {
+    /// Zero jobs: every objective is 0 by definition.
+    Trivial,
+    /// One-interval, `p = 1`, zero laxity: the schedule is forced, so the
+    /// objective is read directly off the sorted release times.
+    ForcedChain,
+    /// Baptiste's `p = 1` dynamic program (\[Bap06\]), all objectives.
+    BaptisteDp,
+    /// Theorem 1 multiprocessor gap/span DP.
+    MultiprocDp,
+    /// Theorem 2 multiprocessor power DP.
+    PowerDp,
+    /// Exhaustive reference solver (small multi-interval instances only).
+    BruteForce,
+    /// Theorem 3 `(1 + (2/3 + ε)α)`-approximation (multi-interval power).
+    Theorem3Approx,
+    /// Lemma 3 completion: any feasible schedule, ≤ 1 gap per job — an
+    /// upper bound for large multi-interval instances.
+    Lemma3Greedy,
+    /// Report the objective's lower bound only (last-resort fallback;
+    /// does not certify feasibility).
+    LowerBound,
+}
+
+impl SolverKind {
+    /// Stable tag used in result lines and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Trivial => "trivial",
+            SolverKind::ForcedChain => "forced_chain",
+            SolverKind::BaptisteDp => "baptiste_dp",
+            SolverKind::MultiprocDp => "multiproc_dp",
+            SolverKind::PowerDp => "power_dp",
+            SolverKind::BruteForce => "brute_force",
+            SolverKind::Theorem3Approx => "theorem3_approx",
+            SolverKind::Lemma3Greedy => "lemma3_greedy",
+            SolverKind::LowerBound => "lower_bound",
+        }
+    }
+}
+
+/// Solvers eligible for the large-multi-interval fallback chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackSolver {
+    /// Theorem 3 approximation — applicable to the power objective only.
+    Theorem3Approx,
+    /// Lemma 3 feasible completion — applicable to every objective.
+    Lemma3Greedy,
+    /// Objective lower bound — applicable to every objective.
+    LowerBound,
+}
+
+impl FallbackSolver {
+    /// Parse a CLI-facing fallback name.
+    pub fn parse(name: &str) -> Result<FallbackSolver, String> {
+        match name {
+            "approx" | "theorem3" => Ok(FallbackSolver::Theorem3Approx),
+            "greedy" | "lemma3" => Ok(FallbackSolver::Lemma3Greedy),
+            "bound" | "lower-bound" => Ok(FallbackSolver::LowerBound),
+            other => Err(format!(
+                "unknown fallback solver {other:?} (expected approx|greedy|bound)"
+            )),
+        }
+    }
+
+    fn applies_to(self, objective: Objective) -> bool {
+        match self {
+            FallbackSolver::Theorem3Approx => matches!(objective, Objective::Power { .. }),
+            FallbackSolver::Lemma3Greedy | FallbackSolver::LowerBound => true,
+        }
+    }
+
+    fn kind(self) -> SolverKind {
+        match self {
+            FallbackSolver::Theorem3Approx => SolverKind::Theorem3Approx,
+            FallbackSolver::Lemma3Greedy => SolverKind::Lemma3Greedy,
+            FallbackSolver::LowerBound => SolverKind::LowerBound,
+        }
+    }
+}
+
+/// Router knobs: when exhaustive search is allowed and what to do when it
+/// is not.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Exhaustive search is allowed only up to this many live slots…
+    pub exact_max_slots: usize,
+    /// …and this many jobs.
+    pub exact_max_jobs: usize,
+    /// Local-search rounds for the Theorem 3 set packing (the paper's ε).
+    pub approx_rounds: usize,
+    /// Tried in order for multi-interval instances too large for
+    /// exhaustive search; the first chain entry applicable to the
+    /// objective wins. An empty or inapplicable chain degrades to
+    /// [`FallbackSolver::LowerBound`].
+    pub fallback: Vec<FallbackSolver>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            exact_max_slots: 64,
+            exact_max_jobs: 14,
+            approx_rounds: 64,
+            fallback: vec![FallbackSolver::Theorem3Approx, FallbackSolver::Lemma3Greedy],
+        }
+    }
+}
+
+/// Shape features the router keys on, extracted from a canonical instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Features {
+    /// Multi-interval (`multi v1`) vs. one-interval (`instance v1`).
+    pub multi_interval: bool,
+    /// Number of jobs `n`.
+    pub jobs: usize,
+    /// Processor count (1 for multi-interval instances).
+    pub processors: u32,
+    /// Maximum window length (one-interval: max laxity + 1; multi: max
+    /// allowed-set size). 1 means the schedule is fully forced.
+    pub max_window: u64,
+    /// Live slots (size of the union of allowed/usable slots).
+    pub slots: usize,
+}
+
+/// Extract routing features.
+pub fn features(inst: &BatchInstance) -> Features {
+    match inst {
+        BatchInstance::One(one) => Features {
+            multi_interval: false,
+            jobs: one.job_count(),
+            processors: one.processors(),
+            max_window: one.jobs().iter().map(|j| j.window_len()).max().unwrap_or(0),
+            slots: one.horizon().map_or(0, |h| h.len() as usize),
+        },
+        BatchInstance::Multi(multi) => Features {
+            multi_interval: true,
+            jobs: multi.job_count(),
+            processors: 1,
+            max_window: multi
+                .jobs()
+                .iter()
+                .map(|j| j.times().len() as u64)
+                .max()
+                .unwrap_or(0),
+            slots: multi.slot_union().len(),
+        },
+    }
+}
+
+/// Pick a solver for an instance with the given features.
+pub fn route(feat: &Features, objective: Objective, cfg: &RouterConfig) -> SolverKind {
+    if feat.jobs == 0 {
+        return SolverKind::Trivial;
+    }
+    if !feat.multi_interval {
+        if feat.processors == 1 {
+            return if feat.max_window == 1 {
+                SolverKind::ForcedChain
+            } else {
+                SolverKind::BaptisteDp
+            };
+        }
+        return match objective {
+            Objective::Power { .. } => SolverKind::PowerDp,
+            Objective::Gaps | Objective::Spans => SolverKind::MultiprocDp,
+        };
+    }
+    if feat.slots <= cfg.exact_max_slots && feat.jobs <= cfg.exact_max_jobs {
+        return SolverKind::BruteForce;
+    }
+    cfg.fallback
+        .iter()
+        .find(|f| f.applies_to(objective))
+        .map(|f| f.kind())
+        .unwrap_or(SolverKind::LowerBound)
+}
+
+/// Route and solve a **canonical** instance, returning the chosen solver
+/// and the result payload (e.g. `gaps=2`, `power<=9.50`, `infeasible`).
+///
+/// The payload is a pure function of `(instance, objective, cfg)` — no
+/// randomness, clocks, or thread-dependence — which is what makes both
+/// the result cache and the deterministic batch output sound.
+pub fn solve(
+    inst: &BatchInstance,
+    objective: Objective,
+    cfg: &RouterConfig,
+) -> (SolverKind, String) {
+    let kind = route(&features(inst), objective, cfg);
+    let payload = match (kind, inst) {
+        (SolverKind::Trivial, _) => exact(objective.label(), Some(0)),
+        (SolverKind::ForcedChain, BatchInstance::One(one)) => forced_chain(one, objective),
+        (SolverKind::BaptisteDp, BatchInstance::One(one)) => {
+            let value = match objective {
+                Objective::Gaps => baptiste::min_gaps_value(one),
+                Objective::Spans => baptiste::min_spans_value(one),
+                Objective::Power { alpha } => baptiste::min_power_value(one, alpha),
+            };
+            exact(objective.label(), value)
+        }
+        (SolverKind::MultiprocDp, BatchInstance::One(one)) => {
+            let value = match objective {
+                Objective::Gaps => multiproc_dp::min_gap_value(one),
+                Objective::Spans => multiproc_dp::min_span_value(one),
+                Objective::Power { .. } => unreachable!("power routes to PowerDp"),
+            };
+            exact(objective.label(), value)
+        }
+        (SolverKind::PowerDp, BatchInstance::One(one)) => {
+            let Objective::Power { alpha } = objective else {
+                unreachable!("PowerDp only routes for the power objective")
+            };
+            exact(objective.label(), power_dp::min_power_value(one, alpha))
+        }
+        (SolverKind::BruteForce, BatchInstance::Multi(multi)) => {
+            let value = match objective {
+                Objective::Gaps => brute_force::min_gaps_multi(multi).map(|(v, _)| v),
+                Objective::Spans => brute_force::min_spans_multi(multi).map(|(v, _)| v),
+                Objective::Power { alpha } => {
+                    brute_force::min_power_multi(multi, alpha).map(|(v, _)| v)
+                }
+            };
+            exact(objective.label(), value)
+        }
+        (SolverKind::Theorem3Approx, BatchInstance::Multi(multi)) => {
+            let Objective::Power { alpha } = objective else {
+                unreachable!("Theorem3Approx only routes for the power objective")
+            };
+            match multi_interval::approx_min_power(multi, alpha as f64, cfg.approx_rounds) {
+                Some(res) => format!("power<={:.2}", res.power),
+                None => "infeasible".to_string(),
+            }
+        }
+        (SolverKind::Lemma3Greedy, BatchInstance::Multi(multi)) => {
+            match multi_interval::complete_schedule(multi, &vec![None; multi.job_count()]) {
+                Some(sched) => match objective {
+                    Objective::Gaps => format!("gaps<={}", sched.gap_count()),
+                    Objective::Spans => format!("spans<={}", sched.span_count()),
+                    Objective::Power { alpha } => {
+                        format!("power<={}", power::power_cost_single(&sched, alpha))
+                    }
+                },
+                None => "infeasible".to_string(),
+            }
+        }
+        (SolverKind::LowerBound, BatchInstance::Multi(multi)) => {
+            let bound = match objective {
+                Objective::Gaps => lower_bounds::min_gaps_lower_bound(multi),
+                Objective::Spans => lower_bounds::min_spans_lower_bound(multi),
+                Objective::Power { alpha } => lower_bounds::min_power_lower_bound(multi, alpha),
+            };
+            format!("{}>={bound}", objective.label())
+        }
+        (kind, _) => unreachable!("router dispatched {kind:?} to the wrong instance flavor"),
+    };
+    (kind, payload)
+}
+
+fn exact(label: &str, value: Option<u64>) -> String {
+    match value {
+        Some(v) => format!("{label}={v}"),
+        None => "infeasible".to_string(),
+    }
+}
+
+/// Zero-laxity single-processor fast path: every job's slot is forced, so
+/// feasibility is just "no duplicate releases" and the objective falls
+/// out of the run structure of the release times.
+fn forced_chain(inst: &Instance, objective: Objective) -> String {
+    let mut times: Vec<_> = inst.jobs().iter().map(|j| j.release).collect();
+    times.sort_unstable();
+    if times.windows(2).any(|w| w[0] == w[1]) {
+        return "infeasible".to_string();
+    }
+    let value = match objective {
+        Objective::Gaps => (run_count(&times) as u64).saturating_sub(1),
+        Objective::Spans => run_count(&times) as u64,
+        Objective::Power { alpha } => power::processor_power(&times, alpha),
+    };
+    format!("{}={value}", objective.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaps_core::instance::{Instance, MultiInstance};
+
+    fn one(windows: &[(i64, i64)], p: u32) -> BatchInstance {
+        BatchInstance::One(Instance::from_windows(windows.iter().copied(), p).unwrap())
+    }
+
+    fn multi(times: &[Vec<i64>]) -> BatchInstance {
+        BatchInstance::Multi(MultiInstance::from_times(times.to_vec()).unwrap())
+    }
+
+    #[test]
+    fn routing_matches_instance_shape() {
+        let cfg = RouterConfig::default();
+        let gaps = Objective::Gaps;
+        let power = Objective::Power { alpha: 2 };
+        let pick = |inst: &BatchInstance, obj| route(&features(inst), obj, &cfg);
+
+        assert_eq!(
+            pick(&BatchInstance::One(Instance::new(vec![], 1).unwrap()), gaps),
+            SolverKind::Trivial
+        );
+        assert_eq!(
+            pick(&one(&[(0, 0), (2, 2)], 1), gaps),
+            SolverKind::ForcedChain
+        );
+        assert_eq!(
+            pick(&one(&[(0, 1), (2, 2)], 1), gaps),
+            SolverKind::BaptisteDp
+        );
+        assert_eq!(pick(&one(&[(0, 1)], 2), gaps), SolverKind::MultiprocDp);
+        assert_eq!(pick(&one(&[(0, 1)], 2), power), SolverKind::PowerDp);
+        assert_eq!(
+            pick(&multi(&[vec![0, 2], vec![1]]), gaps),
+            SolverKind::BruteForce
+        );
+
+        let big: Vec<Vec<i64>> = (0..40).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        assert_eq!(pick(&multi(&big), power), SolverKind::Theorem3Approx);
+        assert_eq!(pick(&multi(&big), gaps), SolverKind::Lemma3Greedy);
+
+        let no_fallback = RouterConfig {
+            fallback: vec![],
+            ..RouterConfig::default()
+        };
+        assert_eq!(
+            route(&features(&multi(&big)), gaps, &no_fallback),
+            SolverKind::LowerBound
+        );
+    }
+
+    #[test]
+    fn forced_chain_agrees_with_the_dp() {
+        let inst = one(&[(0, 0), (1, 1), (5, 5), (9, 9)], 1);
+        let cfg = RouterConfig::default();
+        let (kind, payload) = solve(&inst, Objective::Gaps, &cfg);
+        assert_eq!(kind, SolverKind::ForcedChain);
+        let BatchInstance::One(raw) = &inst else {
+            unreachable!()
+        };
+        let expected = multiproc_dp::min_gap_value(raw).unwrap();
+        assert_eq!(payload, format!("gaps={expected}"));
+
+        let (_, power_payload) = solve(&inst, Objective::Power { alpha: 3 }, &cfg);
+        let expected = power_dp::min_power_value(raw, 3).unwrap();
+        assert_eq!(power_payload, format!("power={expected}"));
+    }
+
+    #[test]
+    fn forced_chain_detects_collisions() {
+        let inst = one(&[(4, 4), (4, 4)], 1);
+        let (_, payload) = solve(&inst, Objective::Gaps, &RouterConfig::default());
+        assert_eq!(payload, "infeasible");
+    }
+
+    #[test]
+    fn baptiste_and_multiproc_payloads_are_exact() {
+        let cfg = RouterConfig::default();
+        let single = one(&[(0, 2), (0, 2), (5, 7)], 1);
+        let (kind, payload) = solve(&single, Objective::Gaps, &cfg);
+        assert_eq!(kind, SolverKind::BaptisteDp);
+        assert_eq!(payload, "gaps=1");
+
+        let dual = one(&[(0, 1), (0, 1), (0, 1)], 2);
+        let (kind, payload) = solve(&dual, Objective::Spans, &cfg);
+        assert_eq!(kind, SolverKind::MultiprocDp);
+        assert_eq!(payload, "spans=2");
+    }
+
+    #[test]
+    fn brute_force_and_fallbacks_cover_multi() {
+        let cfg = RouterConfig::default();
+        let small = multi(&[vec![0, 1], vec![0, 1]]);
+        let (kind, payload) = solve(&small, Objective::Gaps, &cfg);
+        assert_eq!(kind, SolverKind::BruteForce);
+        assert_eq!(payload, "gaps=0");
+
+        let big: Vec<Vec<i64>> = (0..40).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        let big = multi(&big);
+        let (kind, payload) = solve(&big, Objective::Power { alpha: 2 }, &cfg);
+        assert_eq!(kind, SolverKind::Theorem3Approx);
+        assert!(payload.starts_with("power<="), "payload = {payload}");
+
+        let (kind, payload) = solve(&big, Objective::Gaps, &cfg);
+        assert_eq!(kind, SolverKind::Lemma3Greedy);
+        assert!(payload.starts_with("gaps<="), "payload = {payload}");
+    }
+
+    #[test]
+    fn infeasible_instances_say_so() {
+        let cfg = RouterConfig::default();
+        // Two jobs forced into one slot.
+        let clash = multi(&[vec![3], vec![3]]);
+        let (_, payload) = solve(&clash, Objective::Gaps, &cfg);
+        assert_eq!(payload, "infeasible");
+        // One-interval: three unit-window jobs on one processor, same slot.
+        let overfull = one(&[(1, 1), (1, 1), (1, 1)], 1);
+        let (_, payload) = solve(&overfull, Objective::Spans, &cfg);
+        assert_eq!(payload, "infeasible");
+    }
+
+    #[test]
+    fn fallback_parsing_round_trips() {
+        assert_eq!(
+            FallbackSolver::parse("approx").unwrap(),
+            FallbackSolver::Theorem3Approx
+        );
+        assert_eq!(
+            FallbackSolver::parse("greedy").unwrap(),
+            FallbackSolver::Lemma3Greedy
+        );
+        assert_eq!(
+            FallbackSolver::parse("bound").unwrap(),
+            FallbackSolver::LowerBound
+        );
+        assert!(FallbackSolver::parse("magic").is_err());
+    }
+
+    #[test]
+    fn solver_names_are_stable() {
+        // These tags appear in result lines; renaming them is a
+        // wire-format change.
+        assert_eq!(SolverKind::BaptisteDp.name(), "baptiste_dp");
+        assert_eq!(SolverKind::Theorem3Approx.name(), "theorem3_approx");
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! gaps info     --input FILE                       inspect an instance
 //! gaps solve    --input FILE [--objective gaps|spans|power] [--alpha N]
+//! gaps batch    --input FILE [--threads N] [--objective O] ...  bulk solving
 //! gaps approx   --input FILE --alpha F [--rounds N]   Theorem 3 (multi)
 //! gaps simulate --input FILE --alpha N [--policy P]   run on the simulator
 //! gaps generate --kind K --seed S [--n N] ...         emit an instance
@@ -13,6 +14,13 @@
 //! jobs); `gaps` auto-detects which one it read. `--input -` reads the
 //! instance from stdin, so subcommands compose as
 //! `gaps generate ... | gaps solve --input -`.
+//!
+//! `gaps batch` accepts a *stream* of concatenated instances and drives
+//! the `gaps-engine` portfolio (canonicalized result cache + per-instance
+//! solver routing + worker pool). Result lines go to stdout — one per
+//! instance, in input order, byte-identical for any `--threads` value —
+//! and the `EngineReport` (cache hit rate, router mix, latencies) goes to
+//! stderr.
 
 use gap_scheduling::instance::{Instance, MultiInstance};
 use gap_scheduling::multi_interval::approx_min_power;
@@ -41,6 +49,9 @@ const USAGE: &str = "\
 usage:
   gaps info     --input FILE
   gaps solve    --input FILE [--objective gaps|spans|power] [--alpha N]
+  gaps batch    --input FILE [--objective gaps|spans|power] [--alpha N]
+                [--threads N] [--cache-capacity N] [--exact-slots N]
+                [--exact-jobs N] [--fallback approx,greedy,bound]
   gaps approx   --input FILE --alpha F [--rounds N]
   gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
   gaps generate --kind uniform|feasible|bursty|multi|consultant|online
@@ -87,17 +98,21 @@ enum AnyInstance {
     Multi(MultiInstance),
 }
 
-fn load(path: &str) -> Result<AnyInstance, String> {
-    let text = if path == "-" {
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
         use std::io::Read;
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
             .map_err(|e| format!("cannot read stdin: {e}"))?;
-        buf
+        Ok(buf)
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
-    };
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+fn load(path: &str) -> Result<AnyInstance, String> {
+    let text = read_input(path)?;
     let head = text
         .lines()
         .map(str::trim)
@@ -115,6 +130,7 @@ fn run(raw: &[String]) -> Result<String, String> {
     match args.command.as_str() {
         "info" => cmd_info(&args),
         "solve" => cmd_solve(&args),
+        "batch" => cmd_batch(&args),
         "approx" => cmd_approx(&args),
         "simulate" => cmd_simulate(&args),
         "generate" => cmd_generate(&args),
@@ -204,6 +220,43 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
             }
         }
     }
+    Ok(out)
+}
+
+/// `gaps batch`: stream many instances through the `gaps-engine`
+/// portfolio. Deterministic result lines go to stdout (the function's
+/// return value); the engine report goes to stderr so stdout stays
+/// byte-identical across thread counts.
+fn cmd_batch(args: &Args) -> Result<String, String> {
+    let text = read_input(args.require("input")?)?;
+    let objective = gap_scheduling::engine::Objective::parse(
+        args.get("objective").unwrap_or("gaps"),
+        args.parse_or("alpha", 1u64)?,
+    )?;
+    let defaults = gap_scheduling::engine::RouterConfig::default();
+    let fallback = match args.get("fallback") {
+        None => defaults.fallback,
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(gap_scheduling::engine::FallbackSolver::parse)
+            .collect::<Result<_, _>>()?,
+    };
+    let config = gap_scheduling::engine::EngineConfig {
+        threads: args.parse_or("threads", 4usize)?,
+        cache_capacity: args.parse_or("cache-capacity", 4096usize)?,
+        cache_shards: 16,
+        router: gap_scheduling::engine::RouterConfig {
+            exact_max_slots: args.parse_or("exact-slots", defaults.exact_max_slots)?,
+            exact_max_jobs: args.parse_or("exact-jobs", defaults.exact_max_jobs)?,
+            approx_rounds: args.parse_or("rounds", defaults.approx_rounds)?,
+            fallback,
+        },
+    };
+    let engine = gap_scheduling::engine::Engine::new(config);
+    let (out, report) = engine.run_batch_text(&text, objective)?;
+    eprintln!("{report}");
     Ok(out)
 }
 
@@ -447,6 +500,93 @@ mod tests {
         assert!(run_str(&["solve", "--input", &ok, "--objective", "velocity"]).is_err());
         assert!(run_str(&["simulate", "--input", &ok, "--policy", "nap"]).is_err());
         assert!(run_str(&["generate", "--kind", "chaotic"]).is_err());
+    }
+
+    #[test]
+    fn batch_streams_many_instances_deterministically() {
+        // Concatenate three generated instances (two identical modulo
+        // nothing — exact duplicates — to exercise the cache).
+        let a = run_str(&["generate", "--kind", "feasible", "--seed", "11", "--n", "5"]).unwrap();
+        let b = run_str(&["generate", "--kind", "multi", "--seed", "12", "--n", "4"]).unwrap();
+        let stream = format!("{a}{b}{a}");
+        let path = write_temp("batch.txt", &stream);
+        let once = run_str(&["batch", "--input", &path, "--threads", "1"]).unwrap();
+        let many = run_str(&["batch", "--input", &path, "--threads", "8"]).unwrap();
+        assert_eq!(once, many, "batch output must not depend on threads");
+        let lines: Vec<&str> = once.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].starts_with("0 one n=5 gaps="),
+            "line = {}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("1 multi n=4 gaps="),
+            "line = {}",
+            lines[1]
+        );
+        // The duplicate instance must produce an identical payload.
+        assert_eq!(
+            lines[0].split_once(' ').unwrap().1,
+            lines[2].split_once(' ').unwrap().1
+        );
+    }
+
+    #[test]
+    fn batch_matches_solve_on_a_single_instance() {
+        let text = run_str(&[
+            "generate",
+            "--kind",
+            "feasible",
+            "--seed",
+            "4",
+            "--n",
+            "6",
+            "--horizon",
+            "12",
+        ])
+        .unwrap();
+        let path = write_temp("batch-single.txt", &text);
+        let solved = run_str(&[
+            "solve",
+            "--input",
+            &path,
+            "--objective",
+            "power",
+            "--alpha",
+            "3",
+        ])
+        .unwrap();
+        let solved_power: u64 = solved
+            .lines()
+            .find(|l| l.starts_with("optimal power"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|w| w.parse().ok())
+            .unwrap();
+        let batched = run_str(&[
+            "batch",
+            "--input",
+            &path,
+            "--objective",
+            "power",
+            "--alpha",
+            "3",
+        ])
+        .unwrap();
+        assert!(
+            batched.contains(&format!("power={solved_power} ")),
+            "batch {batched:?} disagrees with solve {solved_power}"
+        );
+    }
+
+    #[test]
+    fn batch_flags_are_validated() {
+        let path = write_temp("batch-bad.txt", "instance v1\nprocessors 1\njob 0 1\n");
+        assert!(run_str(&["batch", "--input", &path, "--objective", "vibes"]).is_err());
+        assert!(run_str(&["batch", "--input", &path, "--fallback", "magic"]).is_err());
+        assert!(run_str(&["batch", "--input", &path, "--threads", "x"]).is_err());
+        let ok = run_str(&["batch", "--input", &path, "--fallback", "greedy,bound"]).unwrap();
+        assert!(ok.contains("solver="));
     }
 
     #[test]

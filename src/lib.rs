@@ -27,6 +27,7 @@
 //! | set cover / set packing substrate | [`setcover`] |
 //! | sleep-state processor simulator | [`sim`] |
 //! | workload generators & serialization | [`workloads`] |
+//! | concurrent batch engine (cache + portfolio router) | [`engine`] |
 //!
 //! ## Quick start
 //!
@@ -51,6 +52,7 @@
 //! E1–E21 (`cargo run -p gaps-bench --release --bin experiments`).
 
 pub use gaps_core::*;
+pub use gaps_engine as engine;
 pub use gaps_matching as matching;
 pub use gaps_reductions as reductions;
 pub use gaps_setcover as setcover;

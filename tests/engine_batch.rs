@@ -1,0 +1,238 @@
+//! Cross-crate engine correctness: `gaps batch` output must be
+//! byte-identical for any `--threads` value, and the values it reports
+//! must bit-match direct `gaps-core` solver calls — on every workload
+//! family `gaps-workloads` can generate.
+//!
+//! The thread-count check runs through the real binary (stdin → stdout),
+//! because that is the surface the determinism promise is made on; the
+//! solver cross-check runs through the library so it can compare against
+//! reference solvers instance by instance. The reference path is chosen
+//! to be *different* from the engine's routed path wherever possible
+//! (e.g. the engine routes `p = 1` to Baptiste's DP or the forced-chain
+//! fast path; the reference recomputes with the Theorem 1/2
+//! multiprocessor DPs), so agreement is a genuine cross-validation, not
+//! an identity.
+
+use gap_scheduling::engine::{
+    split_stream, BatchInstance, Engine, EngineConfig, Objective, RouterConfig,
+};
+use gap_scheduling::workloads::{adversarial, arrivals, multi_interval, one_interval, serialize};
+use gap_scheduling::{brute_force, multiproc_dp, power_dp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// A ~1,000-instance stream touching every generator family in
+/// `gaps-workloads` (one-interval, multi-interval, stochastic arrivals,
+/// adversarial), plus exact duplicates so the cache path is exercised.
+/// Sizes are kept small enough that the multi-interval instances stay
+/// inside the exhaustive-search limits (so values are checkable).
+fn mixed_stream_text() -> String {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut chunks: Vec<String> = Vec::new();
+    let one = |inst| serialize::instance_to_text(&inst);
+    let multi = |inst| serialize::multi_to_text(&inst);
+    for round in 0..72 {
+        chunks.push(one(one_interval::uniform(&mut rng, 7, 14, 3, 2)));
+        chunks.push(one(one_interval::feasible(&mut rng, 8, 16, 2, 1)));
+        chunks.push(one(one_interval::bursty(&mut rng, 2, 3, 6, 2, 2, 2)));
+        chunks.push(one(one_interval::fixed_laxity(&mut rng, 8, 18, 0, 1)));
+        chunks.push(one(arrivals::bernoulli(&mut rng, 12, 0.4, 2, 2, 2)));
+        chunks.push(one(arrivals::diurnal(&mut rng, 2, 5, 4, 0.7, 0.1, 2, 1)));
+        chunks.push(one(adversarial::online_lower_bound(3 + round % 3)));
+        chunks.push(one(adversarial::online_lower_bound_punisher(3)));
+        chunks.push(multi(multi_interval::random_slots(&mut rng, 6, 12, 2)));
+        chunks.push(multi(multi_interval::feasible_slots(&mut rng, 7, 10, 1)));
+        chunks.push(multi(multi_interval::k_interval(&mut rng, 5, 12, 2, 2)));
+        chunks.push(multi(multi_interval::two_unit(&mut rng, 6, 10)));
+        chunks.push(multi(multi_interval::disjoint_unit(&mut rng, 5, 3, 3)));
+        chunks.push(multi(adversarial::consultant(&mut rng, 3, 5, 6, 2, 2)));
+    }
+    // Duplicates: repeat every 25th chunk verbatim (cache hits must not
+    // perturb output).
+    let dups: Vec<String> = chunks.iter().step_by(25).cloned().collect();
+    chunks.extend(dups);
+    chunks.concat()
+}
+
+fn run_batch_cli(stream: &str, threads: &str, objective: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gaps"))
+        .args([
+            "batch",
+            "--input",
+            "-",
+            "--threads",
+            threads,
+            "--objective",
+            objective,
+            "--alpha",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gaps batch");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stream.as_bytes())
+        .expect("write stream");
+    let out = child.wait_with_output().expect("gaps batch runs");
+    assert!(
+        out.status.success(),
+        "gaps batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn cli_output_is_byte_identical_across_thread_counts() {
+    let stream = mixed_stream_text();
+    let instances = split_stream(&stream).expect("stream parses");
+    assert!(
+        instances.len() >= 1_000,
+        "want a 1,000-instance stream, got {}",
+        instances.len()
+    );
+    for objective in ["gaps", "power"] {
+        let reference = run_batch_cli(&stream, "1", objective);
+        assert_eq!(
+            reference.lines().count(),
+            instances.len(),
+            "one line per instance"
+        );
+        for threads in ["2", "8"] {
+            let out = run_batch_cli(&stream, threads, objective);
+            assert_eq!(
+                out, reference,
+                "--threads {threads} output diverged for --objective {objective}"
+            );
+        }
+    }
+}
+
+/// Reference payload computed with solvers the engine's router mostly
+/// does *not* pick for the instance (multiprocessor DPs for `p = 1`
+/// instances, exhaustive search for small multi-interval instances).
+/// Returns `None` when no independent exact reference applies.
+fn reference_value(inst: &BatchInstance, objective: Objective) -> Option<Option<u64>> {
+    match inst {
+        BatchInstance::One(one) => Some(match objective {
+            Objective::Gaps => multiproc_dp::min_gap_value(one),
+            Objective::Spans => multiproc_dp::min_span_value(one),
+            Objective::Power { alpha } => power_dp::min_power_value(one, alpha),
+        }),
+        BatchInstance::Multi(multi) => {
+            let cfg = RouterConfig::default();
+            if multi.slot_union().len() > cfg.exact_max_slots
+                || multi.job_count() > cfg.exact_max_jobs
+            {
+                return None; // engine answers with a bound, not a value
+            }
+            Some(match objective {
+                Objective::Gaps => brute_force::min_gaps_multi(multi).map(|(v, _)| v),
+                Objective::Spans => brute_force::min_spans_multi(multi).map(|(v, _)| v),
+                Objective::Power { alpha } => {
+                    brute_force::min_power_multi(multi, alpha).map(|(v, _)| v)
+                }
+            })
+        }
+    }
+}
+
+#[test]
+fn engine_values_bit_match_direct_solver_calls() {
+    let stream = mixed_stream_text();
+    // The full 1,000 would re-solve everything three times over; a
+    // deterministic slice still covers every family (they interleave
+    // with period 14 < 100).
+    let instances: Vec<BatchInstance> = split_stream(&stream)
+        .expect("stream parses")
+        .into_iter()
+        .take(100)
+        .collect();
+    for objective in [
+        Objective::Gaps,
+        Objective::Spans,
+        Objective::Power { alpha: 2 },
+    ] {
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        let (lines, report) = engine.run_batch(&instances, objective);
+        assert_eq!(report.requests, instances.len());
+        let mut checked = 0;
+        for (inst, line) in instances.iter().zip(&lines) {
+            let payload = line
+                .splitn(4, ' ')
+                .nth(3)
+                .unwrap_or_else(|| panic!("malformed line {line:?}"));
+            match reference_value(inst, objective) {
+                Some(Some(value)) => {
+                    let expected = format!("{}={value} ", objective.label());
+                    assert!(
+                        payload.starts_with(&expected),
+                        "engine said {payload:?}, reference value is {value} \
+                         (objective {objective:?})"
+                    );
+                    checked += 1;
+                }
+                Some(None) => {
+                    assert!(
+                        payload.starts_with("infeasible"),
+                        "engine said {payload:?}, reference says infeasible"
+                    );
+                    checked += 1;
+                }
+                None => {
+                    // Bound-only answers still have a fixed shape.
+                    let label = objective.label();
+                    assert!(
+                        payload.starts_with(&format!("{label}<="))
+                            || payload.starts_with(&format!("{label}>="))
+                            || payload.starts_with("infeasible"),
+                        "unexpected fallback payload {payload:?}"
+                    );
+                }
+            }
+        }
+        assert!(
+            checked >= 80,
+            "expected most of the slice to be exactly checkable, got {checked}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_instances_hit_the_cache_without_changing_output() {
+    let stream = mixed_stream_text();
+    let instances = split_stream(&stream).expect("stream parses");
+    let doubled: Vec<BatchInstance> = instances
+        .iter()
+        .take(60)
+        .chain(instances.iter().take(60))
+        .cloned()
+        .collect();
+    let engine = Engine::new(EngineConfig {
+        threads: 8,
+        ..EngineConfig::default()
+    });
+    let (lines, report) = engine.run_batch(&doubled, Objective::Gaps);
+    assert!(
+        report.cache_hits >= 60,
+        "second copy of each instance should hit the cache: {report}"
+    );
+    for i in 0..60 {
+        let strip = |s: &str| s.split_once(' ').unwrap().1.to_string();
+        assert_eq!(
+            strip(&lines[i]),
+            strip(&lines[i + 60]),
+            "cached and solved payloads diverged at {i}"
+        );
+    }
+}

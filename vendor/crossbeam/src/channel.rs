@@ -1,0 +1,443 @@
+//! Multi-producer multi-consumer channels, source-compatible with the
+//! subset of `crossbeam-channel` the workspace uses.
+//!
+//! Covered API (see the crate root for the stub policy):
+//!
+//! * [`bounded`] / [`unbounded`] constructors returning
+//!   ([`Sender`], [`Receiver`]) pairs;
+//! * `Sender`: [`Sender::send`], `Clone`;
+//! * `Receiver`: [`Receiver::recv`], [`Receiver::try_recv`],
+//!   [`Receiver::iter`], [`Receiver::try_iter`], `Clone`, and
+//!   `IntoIterator` for both `Receiver` and `&Receiver`;
+//! * error types [`SendError`], [`RecvError`], [`TryRecvError`] with the
+//!   real crate's disconnect semantics: `send` fails once every receiver
+//!   is gone, `recv` fails once every sender is gone *and* the queue has
+//!   drained.
+//!
+//! Known deviation: `bounded(0)` (crossbeam's rendezvous channel) is not
+//! supported and panics; the workspace only uses positive capacities.
+//!
+//! The implementation is a `Mutex<VecDeque>` with two condvars (one for
+//! "not empty", one for "not full") — the classic bounded-buffer monitor.
+//! It favors obviousness over throughput; the real crate's lock-free
+//! segments can be swapped in without touching any call site.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// The sending half was disconnected, returning the unsent message.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// All senders disconnected and the queue is empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Outcome of a non-blocking receive attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now, but senders remain.
+    Empty,
+    /// Nothing queued and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// `None` for unbounded channels.
+    capacity: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    /// Lock the state, recovering from poison (a panicking thread must not
+    /// wedge its siblings; parity with `parking_lot` semantics elsewhere).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn wait<'a>(&self, cv: &Condvar, guard: MutexGuard<'a, State<T>>) -> MutexGuard<'a, State<T>> {
+        match cv.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The sending side of a channel; clone freely for more producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving side of a channel; clone freely for more consumers.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A channel holding at most `cap` in-flight messages; `send` blocks while
+/// full. Panics on `cap == 0` (rendezvous channels are not stubbed).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are not stubbed");
+    make(Some(cap))
+}
+
+/// A channel with no capacity bound; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is queued (or every receiver is gone, in
+    /// which case the message comes back in the error).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.shared.wait(&self.shared.not_full, st);
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.shared.lock();
+            st.senders -= 1;
+            st.senders
+        };
+        if remaining == 0 {
+            // Receivers blocked on an empty queue must wake to observe the
+            // disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives (or every sender is gone and the
+    /// queue has drained).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.wait(&self.shared.not_empty, st);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        match st.queue.pop_front() {
+            Some(value) => {
+                drop(st);
+                self.shared.not_full.notify_one();
+                Ok(value)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking iterator: yields until the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// Non-blocking iterator: yields whatever is queued right now.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut st = self.shared.lock();
+            st.receivers -= 1;
+            st.receivers
+        };
+        if remaining == 0 {
+            // Senders blocked on a full queue must wake to observe the
+            // disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Blocking borrowed iterator over received messages.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Non-blocking borrowed iterator over currently queued messages.
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Blocking owned iterator over received messages.
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_a_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mpmc_fan_out_covers_every_message() {
+        let (tx, rx) = bounded(4);
+        let seen = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let seen = &seen;
+                s.spawn(move |_| {
+                    for v in rx {
+                        seen.fetch_add(v, Ordering::SeqCst);
+                    }
+                });
+            }
+            drop(rx);
+            for _ in 0..100 {
+                tx.send(1usize).unwrap();
+            }
+            drop(tx);
+        })
+        .expect("threads join");
+        assert_eq!(seen.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_receive_frees_a_slot() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        crate::scope(|s| {
+            let handle = s.spawn(|_| tx.send(2)); // blocks: queue is full
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            handle.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        })
+        .expect("threads join");
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn recv_drains_queue_before_reporting_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_iter_yields_only_whats_queued() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(rx.try_iter().next(), None); // and does not block
+        drop(tx);
+    }
+
+    #[test]
+    fn blocked_senders_wake_when_all_receivers_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        crate::scope(|s| {
+            let blocked = s.spawn(|_| tx.send(1)); // full queue: blocks
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(blocked.join().unwrap(), Err(SendError(1)));
+        })
+        .expect("threads join");
+    }
+
+    #[test]
+    #[should_panic(expected = "rendezvous")]
+    fn zero_capacity_is_rejected() {
+        let _ = bounded::<u8>(0);
+    }
+}

@@ -1,11 +1,20 @@
 //! Workspace-local stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no crate registry, so this shim provides the
-//! one API the workspace uses — [`scope`] with spawn-closures that receive
-//! the scope handle — implemented on top of `std::thread::scope` (stable
-//! since Rust 1.63, which postdates crossbeam's scoped threads).
+//! API subset the workspace uses, source-compatibly:
+//!
+//! * [`scope`] with spawn-closures that receive the scope handle,
+//!   implemented on top of `std::thread::scope` (stable since Rust 1.63,
+//!   which postdates crossbeam's scoped threads);
+//! * [`channel`] — MPMC [`channel::bounded`] / [`channel::unbounded`]
+//!   channels with `send` / `recv` / `try_recv`, cloneable `Sender` /
+//!   `Receiver` handles, blocking and non-blocking iterators, and the real
+//!   crate's disconnect semantics (see the module header for the exact
+//!   subset and the one documented deviation: no `bounded(0)` rendezvous).
 
 use std::any::Any;
+
+pub mod channel;
 
 /// Handle passed to [`scope`]'s closure and to every spawned closure,
 /// allowing nested spawns exactly like `crossbeam::thread::Scope`.
