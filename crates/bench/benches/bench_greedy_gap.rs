@@ -10,7 +10,7 @@ use std::time::Duration;
 
 fn bench_greedy(c: &mut Criterion) {
     let mut group = c.benchmark_group("greedy_gap_vs_exact");
-    for &n in &[8usize, 16, 32] {
+    for &n in &[16usize, 32, 64] {
         let mut rng = StdRng::seed_from_u64(9_000 + n as u64);
         let inst = one_interval::feasible(&mut rng, n, (3 * n) as i64, 2, 1);
         group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {

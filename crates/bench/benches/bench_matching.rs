@@ -1,8 +1,11 @@
 //! Substrate benchmark: Hopcroft–Karp vs Kuhn on job×slot graphs (the
-//! feasibility primitive every algorithm in the paper leans on).
+//! feasibility primitive every algorithm in the paper leans on), plus the
+//! incremental-probe pattern the greedy schedulers hammer: one matching
+//! reused across a stream of "can these slots become a gap?" queries,
+//! against rebuilding a maximum matching from scratch per query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gaps_matching::{hopcroft_karp, kuhn, BipartiteGraph};
+use gaps_matching::{hopcroft_karp, kuhn, BipartiteGraph, IncrementalMatching};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -18,15 +21,53 @@ fn random_graph(n: usize, degree: usize, seed: u64) -> BipartiteGraph {
     BipartiteGraph::from_edges(n, n, edges)
 }
 
+/// Job×slot graph with slack: n jobs over 2n slots, each job allowed in a
+/// contiguous stretch. Half the slots are spare, so most disable probes
+/// succeed and the rematch paths get exercised.
+fn probe_graph(n: usize) -> BipartiteGraph {
+    let slots = 2 * n;
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for d in 0..4u32 {
+            let v = (2 * u + d) % slots as u32;
+            edges.push((u, v));
+        }
+    }
+    BipartiteGraph::from_edges(n, slots, edges)
+}
+
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
-    for &n in &[100usize, 400, 1600] {
+    for &n in &[400usize, 1600, 6400] {
         let g = random_graph(n, 5, 5_000 + n as u64);
         group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &g, |b, g| {
             b.iter(|| hopcroft_karp(g).size())
         });
         group.bench_with_input(BenchmarkId::new("kuhn", n), &g, |b, g| {
             b.iter(|| kuhn(g).size())
+        });
+    }
+
+    // The greedy feasibility-probe pattern: maximize once, then sweep
+    // windows of slots through try_disable_many. Successful windows stay
+    // disabled (the matching tightens as the sweep advances, as in the
+    // greedy schedulers); failed windows roll back.
+    for &n in &[400usize, 1600] {
+        let g = probe_graph(n);
+        group.bench_with_input(BenchmarkId::new("incremental_probes", n), &g, |b, g| {
+            b.iter(|| {
+                let mut inc = IncrementalMatching::new(g);
+                inc.maximize();
+                let slots = g.right_count() as u32;
+                let mut disabled = 0usize;
+                for start in (0..slots.saturating_sub(4)).step_by(7) {
+                    let window: Vec<u32> = (start..start + 4).collect();
+                    if inc.try_disable_many(&window) {
+                        disabled += window.len();
+                    }
+                }
+                disabled
+            })
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 fn bench_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("multiproc_dp");
-    for &n in &[8usize, 16, 24] {
+    for &n in &[16usize, 32, 48] {
         for &p in &[1u32, 2, 4] {
             let mut rng = StdRng::seed_from_u64(2_000 + n as u64 + p as u64);
             let inst = one_interval::feasible(&mut rng, n, (2 * n) as i64, 4, p);

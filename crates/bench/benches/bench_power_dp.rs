@@ -10,7 +10,7 @@ use std::time::Duration;
 
 fn bench_power(c: &mut Criterion) {
     let mut group = c.benchmark_group("power_dp");
-    for &n in &[8usize, 16] {
+    for &n in &[16usize, 32] {
         for &alpha in &[1u64, 8] {
             let mut rng = StdRng::seed_from_u64(3_000 + n as u64);
             let inst = one_interval::feasible(&mut rng, n, (2 * n) as i64, 4, 2);

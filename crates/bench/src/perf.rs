@@ -91,16 +91,19 @@ fn escape(s: &str) -> String {
 /// multi-processor one-interval instances (DP-heavy), zero-laxity chains
 /// (forced fast path), and small multi-interval instances (exhaustive
 /// search). Instances are pairwise distinct, so a cold run gets no free
-/// cache hits.
+/// cache hits. Sizes were scaled up ~1.5× in PR 3 alongside the DP
+/// optimizations; trajectory numbers before PR 3 used the smaller
+/// seed sizes (n = 24/20 one-interval, 8-job multi) and are not directly
+/// comparable.
 pub fn mixed_batch(count: usize) -> Vec<BatchInstance> {
     let mut rng = StdRng::seed_from_u64(0xBA7C4);
     (0..count)
         .map(|i| match i % 5 {
-            0 => BatchInstance::One(one_interval::feasible(&mut rng, 24, 48, 3, 1)),
-            1 => BatchInstance::One(one_interval::uniform(&mut rng, 20, 40, 4, 2)),
-            2 => BatchInstance::One(one_interval::bursty(&mut rng, 4, 5, 8, 3, 3, 2)),
-            3 => BatchInstance::One(one_interval::fixed_laxity(&mut rng, 24, 60, 0, 1)),
-            _ => BatchInstance::Multi(multi_interval::feasible_slots(&mut rng, 8, 12, 1)),
+            0 => BatchInstance::One(one_interval::feasible(&mut rng, 36, 72, 3, 1)),
+            1 => BatchInstance::One(one_interval::uniform(&mut rng, 30, 60, 4, 2)),
+            2 => BatchInstance::One(one_interval::bursty(&mut rng, 5, 6, 9, 3, 3, 2)),
+            3 => BatchInstance::One(one_interval::fixed_laxity(&mut rng, 36, 90, 0, 1)),
+            _ => BatchInstance::Multi(multi_interval::feasible_slots(&mut rng, 12, 20, 1)),
         })
         .collect()
 }

@@ -11,9 +11,17 @@
 //! cross-checked against both the general multiprocessor DP at `p = 1`
 //! and exhaustive search in the test suite; witness schedules delegate to
 //! [`crate::multiproc_dp`] / [`crate::power_dp`].
+//!
+//! The state evaluation shares the hot-path engineering of
+//! [`crate::multiproc_dp`] via [`crate::dp_interval`] (per-interval
+//! window memoization, pooled split counting, [`crate::fasthash`] memo)
+//! — this is the solver the batch engine routes every `p = 1`
+//! one-interval request to.
 
+use crate::dp_interval::{IntervalIndex, WindowInfo};
+use crate::fasthash::FastMap;
 use crate::instance::Instance;
-use std::collections::HashMap;
+use std::rc::Rc;
 
 const INF: u64 = u64::MAX;
 
@@ -54,9 +62,9 @@ pub fn min_spans_value(inst: &Instance) -> Option<u64> {
         return Some(0);
     }
     crate::edf::edf(inst).ok()?;
-    let ctx = Ctx::new(inst, 0);
-    let mut memo = HashMap::new();
-    let v = ctx.spans(ctx.top(), &mut memo);
+    let mut ctx = Ctx::new(inst, 0);
+    let top = ctx.top();
+    let v = ctx.spans(top);
     assert_ne!(v, INF, "EDF said feasible, DP must agree");
     Some(v)
 }
@@ -74,9 +82,9 @@ pub fn min_power_value(inst: &Instance, alpha: u64) -> Option<u64> {
         return Some(0);
     }
     crate::edf::edf(inst).ok()?;
-    let ctx = Ctx::new(inst, alpha);
-    let mut memo = HashMap::new();
-    let v = ctx.power(ctx.top(), &mut memo);
+    let mut ctx = Ctx::new(inst, alpha);
+    let top = ctx.top();
+    let v = ctx.power(top);
     assert_ne!(v, INF, "EDF said feasible, DP must agree");
     Some(v)
 }
@@ -117,13 +125,17 @@ struct St {
     e2: bool,
 }
 
-fn key(s: St) -> u64 {
+/// Pack a state for the memo. The `power` bit keeps the two objectives'
+/// entries disjoint, so a `Ctx` reused for both can never serve a span
+/// value to a power query (or vice versa).
+fn key(s: St, power: bool) -> u64 {
     (s.t1 as u64)
         | (s.t2 as u64) << 14
         | (s.k as u64) << 28
         | (s.anc as u64) << 42
         | (s.e1 as u64) << 43
         | (s.e2 as u64) << 44
+        | (power as u64) << 45
 }
 
 struct Ctx {
@@ -131,6 +143,9 @@ struct Ctx {
     alpha: u64,
     /// `(release, deadline)` in padded indices, deadline order.
     jobs: Vec<(u16, u16)>,
+    /// Memoized interval windows + pooled split-counting buffers.
+    intervals: IntervalIndex,
+    memo: FastMap<u64, u64>,
 }
 
 impl Ctx {
@@ -150,10 +165,13 @@ impl Ctx {
                 ((j.release - t0) as u16, (j.deadline - t0) as u16)
             })
             .collect();
+        let len = len as usize;
         Ctx {
             t_max: (len - 1) as u16,
             alpha,
             jobs,
+            intervals: IntervalIndex::new(len),
+            memo: FastMap::with_capacity_and_hasher(1 << 12, Default::default()),
         }
     }
 
@@ -168,27 +186,23 @@ impl Ctx {
         }
     }
 
-    fn window(&self, t1: u16, t2: u16) -> Vec<u16> {
-        self.jobs
-            .iter()
-            .enumerate()
-            .filter(|&(_, &(r, _))| t1 <= r && r <= t2)
-            .map(|(i, _)| i as u16)
-            .collect()
+    /// Memoized per-interval window (see [`crate::dp_interval`]).
+    fn window(&mut self, t1: u16, t2: u16) -> Rc<WindowInfo> {
+        self.intervals.window(&self.jobs, t1, t2)
     }
 
     // ---------------- span objective ----------------
 
-    fn spans(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
-        if let Some(&v) = memo.get(&key(s)) {
+    fn spans(&mut self, s: St) -> u64 {
+        if let Some(&v) = self.memo.get(&key(s, false)) {
             return v;
         }
-        let v = self.spans_compute(s, memo);
-        memo.insert(key(s), v);
+        let v = self.spans_compute(s);
+        self.memo.insert(key(s, false), v);
         v
     }
 
-    fn spans_compute(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
+    fn spans_compute(&mut self, s: St) -> u64 {
         let St {
             t1,
             t2,
@@ -201,7 +215,7 @@ impl Ctx {
             return INF; // one processor: t2 cannot hold two jobs
         }
         let window = self.window(t1, t2);
-        if (k as usize) > window.len() {
+        if (k as usize) > window.jobs.len() {
             return INF;
         }
         if t1 == t2 {
@@ -216,37 +230,32 @@ impl Ctx {
             return if !e1 && !e2 { anc as u64 } else { INF };
         }
 
-        let jk = window[(k - 1) as usize];
+        let jk = window.jobs[(k - 1) as usize];
         let (rk, dk) = self.jobs[jk as usize];
         let mut best = INF;
 
         // jk at t2 (joins as the ancestor).
         if e2 && !anc && dk >= t2 {
-            best = best.min(self.spans(
-                St {
-                    t1,
-                    t2,
-                    k: k - 1,
-                    anc: true,
-                    e1,
-                    e2: false,
-                },
-                memo,
-            ));
+            best = best.min(self.spans(St {
+                t1,
+                t2,
+                k: k - 1,
+                anc: true,
+                e1,
+                e2: false,
+            }));
         }
 
-        let releases: Vec<u16> = {
-            let mut r: Vec<u16> = window[..k as usize]
-                .iter()
-                .map(|&j| self.jobs[j as usize].0)
-                .collect();
-            r.sort_unstable();
-            r
-        };
         let lo = t1.max(rk);
         let hi = dk.min(t2 - 1);
+        if lo > hi {
+            return best;
+        }
+        let mut split = self
+            .intervals
+            .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
-            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let i = (k as u32 - split.advance(tp)) as u16;
             let k1 = k - 1 - i;
             // Left part: jobs strictly left of jk's column.
             let sub1 = if tp == t1 {
@@ -255,17 +264,14 @@ impl Ctx {
                 }
                 0
             } else {
-                self.spans(
-                    St {
-                        t1,
-                        t2: tp,
-                        k: k1,
-                        anc: true,
-                        e1,
-                        e2: false,
-                    },
-                    memo,
-                )
+                self.spans(St {
+                    t1,
+                    t2: tp,
+                    k: k1,
+                    anc: true,
+                    e1,
+                    e2: false,
+                })
             };
             if sub1 == INF {
                 continue;
@@ -274,31 +280,25 @@ impl Ctx {
             // what the child counts: (X − 1)⁺ = 0 on one processor, because
             // jk keeps column t′ busy.
             let sub2 = if tp + 1 == t2 {
-                self.spans(
-                    St {
-                        t1: t2,
-                        t2,
-                        k: i,
-                        anc,
-                        e1: e2,
-                        e2,
-                    },
-                    memo,
-                )
+                self.spans(St {
+                    t1: t2,
+                    t2,
+                    k: i,
+                    anc,
+                    e1: e2,
+                    e2,
+                })
             } else {
                 let mut b = INF;
                 for x in [false, true] {
-                    let v = self.spans(
-                        St {
-                            t1: tp + 1,
-                            t2,
-                            k: i,
-                            anc,
-                            e1: x,
-                            e2,
-                        },
-                        memo,
-                    );
+                    let v = self.spans(St {
+                        t1: tp + 1,
+                        t2,
+                        k: i,
+                        anc,
+                        e1: x,
+                        e2,
+                    });
                     b = b.min(v);
                 }
                 b
@@ -308,21 +308,22 @@ impl Ctx {
             }
             best = best.min(add(sub1, sub2));
         }
+        self.intervals.recycle(split);
         best
     }
 
     // ---------------- power objective ----------------
 
-    fn power(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
-        if let Some(&v) = memo.get(&key(s)) {
+    fn power(&mut self, s: St) -> u64 {
+        if let Some(&v) = self.memo.get(&key(s, true)) {
             return v;
         }
-        let v = self.power_compute(s, memo);
-        memo.insert(key(s), v);
+        let v = self.power_compute(s);
+        self.memo.insert(key(s, true), v);
         v
     }
 
-    fn power_compute(&self, s: St, memo: &mut HashMap<u64, u64>) -> u64 {
+    fn power_compute(&mut self, s: St) -> u64 {
         let St {
             t1,
             t2,
@@ -335,7 +336,7 @@ impl Ctx {
             return INF;
         }
         let window = self.window(t1, t2);
-        if (k as usize) > window.len() {
+        if (k as usize) > window.jobs.len() {
             return INF;
         }
         if t1 == t2 {
@@ -356,36 +357,31 @@ impl Ctx {
             return right + cont * interior.min(self.alpha) + fresh * self.alpha;
         }
 
-        let jk = window[(k - 1) as usize];
+        let jk = window.jobs[(k - 1) as usize];
         let (rk, dk) = self.jobs[jk as usize];
         let mut best = INF;
 
         if e2 && !anc && dk >= t2 {
-            best = best.min(self.power(
-                St {
-                    t1,
-                    t2,
-                    k: k - 1,
-                    anc: true,
-                    e1,
-                    e2: false,
-                },
-                memo,
-            ));
+            best = best.min(self.power(St {
+                t1,
+                t2,
+                k: k - 1,
+                anc: true,
+                e1,
+                e2: false,
+            }));
         }
 
-        let releases: Vec<u16> = {
-            let mut r: Vec<u16> = window[..k as usize]
-                .iter()
-                .map(|&j| self.jobs[j as usize].0)
-                .collect();
-            r.sort_unstable();
-            r
-        };
         let lo = t1.max(rk);
         let hi = dk.min(t2 - 1);
+        if lo > hi {
+            return best;
+        }
+        let mut split = self
+            .intervals
+            .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
-            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let i = (k as u32 - split.advance(tp)) as u16;
             let k1 = k - 1 - i;
             let sub1 = if tp == t1 {
                 if !e1 || k1 != 0 {
@@ -393,17 +389,14 @@ impl Ctx {
                 }
                 0
             } else {
-                self.power(
-                    St {
-                        t1,
-                        t2: tp,
-                        k: k1,
-                        anc: true,
-                        e1,
-                        e2: false,
-                    },
-                    memo,
-                )
+                self.power(St {
+                    t1,
+                    t2: tp,
+                    k: k1,
+                    anc: true,
+                    e1,
+                    e2: false,
+                })
             };
             if sub1 == INF {
                 continue;
@@ -412,39 +405,34 @@ impl Ctx {
             // t′ is active).
             if tp + 1 == t2 {
                 let right_active = anc || e2;
-                let sub2 = self.power(
-                    St {
-                        t1: t2,
-                        t2,
-                        k: i,
-                        anc,
-                        e1: e2,
-                        e2,
-                    },
-                    memo,
-                );
+                let sub2 = self.power(St {
+                    t1: t2,
+                    t2,
+                    k: i,
+                    anc,
+                    e1: e2,
+                    e2,
+                });
                 if sub2 != INF {
                     best = best.min(add(add(sub1, sub2), right_active as u64));
                 }
             } else {
                 for x in [false, true] {
-                    let sub2 = self.power(
-                        St {
-                            t1: tp + 1,
-                            t2,
-                            k: i,
-                            anc,
-                            e1: x,
-                            e2,
-                        },
-                        memo,
-                    );
+                    let sub2 = self.power(St {
+                        t1: tp + 1,
+                        t2,
+                        k: i,
+                        anc,
+                        e1: x,
+                        e2,
+                    });
                     if sub2 != INF {
                         best = best.min(add(add(sub1, sub2), x as u64));
                     }
                 }
             }
         }
+        self.intervals.recycle(split);
         best
     }
 }

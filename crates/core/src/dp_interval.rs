@@ -1,0 +1,180 @@
+//! Shared hot-path machinery for the interval-structure DPs
+//! ([`crate::multiproc_dp`], [`crate::power_dp`], [`crate::baptiste`]).
+//!
+//! All three solvers recurse over states keyed by a time interval
+//! `[t1, t2]` plus edge bookkeeping, and all three repeatedly need (a)
+//! the deadline-ordered jobs released inside the interval and (b) the
+//! split count `i(t′) = #{releases > t′}` among a prefix of those jobs.
+//! This module centralizes both so the solvers cannot drift apart:
+//!
+//! * [`IntervalIndex::window`] memoizes the per-interval job list — built
+//!   once per distinct interval and shared by every state over it,
+//!   indexed through a flat preallocated table on short horizons (hash
+//!   map fallback on long ones);
+//! * [`IntervalIndex::split_counter`] hands out a pooled counting buffer
+//!   ([`SplitCounter`]) that replaces the former per-state
+//!   sort + `partition_point` with one O(k) counting pass and a running
+//!   prefix — no sort, no allocation in the steady state.
+
+use crate::fasthash::FastMap;
+use std::rc::Rc;
+
+/// The deadline-ordered jobs of one interval `[t1, t2]`.
+pub(crate) struct WindowInfo {
+    /// Positions (into the solver's deadline-ordered job array) of jobs
+    /// released in the interval, deadline order.
+    pub jobs: Vec<u16>,
+    /// Release of each listed job, same order.
+    pub releases: Vec<u16>,
+}
+
+/// Horizon-squared budget under which intervals are indexed through a
+/// flat preallocated table (4 MiB of `u32` at the limit); longer padded
+/// horizons fall back to a hash map.
+const FLAT_INTERVAL_LIMIT: usize = 1 << 20;
+
+/// Memoized interval → [`WindowInfo`] index plus the counting-buffer
+/// pool. One per solver context.
+pub(crate) struct IntervalIndex {
+    /// Padded horizon length (`t_max + 1`).
+    t_len: u32,
+    /// Flat `(t1, t2) → window id + 1` table (0 = not built), used when
+    /// `t_len²` fits [`FLAT_INTERVAL_LIMIT`].
+    slots: Vec<u32>,
+    /// Fallback interval index for long horizons.
+    map: FastMap<u32, u32>,
+    /// Window storage; ids index here.
+    windows: Vec<Rc<WindowInfo>>,
+    /// Pool of reusable counting buffers (one per recursion depth in
+    /// flight).
+    scratch: Vec<Vec<u32>>,
+}
+
+impl IntervalIndex {
+    /// An index for a padded timeline of `len` slots (`t_max = len − 1`).
+    pub fn new(len: usize) -> IntervalIndex {
+        let flat = len * len <= FLAT_INTERVAL_LIMIT;
+        IntervalIndex {
+            t_len: len as u32,
+            slots: if flat { vec![0; len * len] } else { Vec::new() },
+            map: FastMap::default(),
+            windows: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The memoized window of `[t1, t2]`: deadline-ordered positions of
+    /// the jobs (given as `(release, deadline)` pairs in deadline order)
+    /// released inside, plus their releases.
+    pub fn window(&mut self, jobs: &[(u16, u16)], t1: u16, t2: u16) -> Rc<WindowInfo> {
+        let iid = t1 as u32 * self.t_len + t2 as u32;
+        let slot = if self.slots.is_empty() {
+            self.map.get(&iid).copied().unwrap_or(0)
+        } else {
+            self.slots[iid as usize]
+        };
+        if slot != 0 {
+            return Rc::clone(&self.windows[(slot - 1) as usize]);
+        }
+        let mut in_window = Vec::new();
+        let mut releases = Vec::new();
+        for (i, &(r, _)) in jobs.iter().enumerate() {
+            if t1 <= r && r <= t2 {
+                in_window.push(i as u16);
+                releases.push(r);
+            }
+        }
+        let info = Rc::new(WindowInfo {
+            jobs: in_window,
+            releases,
+        });
+        self.windows.push(Rc::clone(&info));
+        let id = self.windows.len() as u32;
+        if self.slots.is_empty() {
+            self.map.insert(iid, id);
+        } else {
+            self.slots[iid as usize] = id;
+        }
+        info
+    }
+
+    /// A counter for the split loop over `t′ ∈ [lo, ..]` of a state on
+    /// `[t1, t2]`: `releases` are the releases of the job prefix being
+    /// split (all in `[t1, t2]`). Call [`SplitCounter::advance`] with
+    /// strictly increasing `t′` starting at `lo`; return the counter via
+    /// [`IntervalIndex::recycle`] when done.
+    pub fn split_counter(&mut self, releases: &[u16], t1: u16, t2: u16, lo: u16) -> SplitCounter {
+        let mut cnt = self.scratch.pop().unwrap_or_default();
+        cnt.clear();
+        cnt.resize((t2 - t1 + 1) as usize, 0);
+        for &r in releases {
+            cnt[(r - t1) as usize] += 1;
+        }
+        let mut released_le = 0u32;
+        for t in t1..lo {
+            released_le += cnt[(t - t1) as usize];
+        }
+        SplitCounter {
+            cnt,
+            t1,
+            released_le,
+        }
+    }
+
+    /// Return a counter's buffer to the pool.
+    pub fn recycle(&mut self, counter: SplitCounter) {
+        self.scratch.push(counter.cnt);
+    }
+}
+
+/// Running release-prefix counter for one split loop (see
+/// [`IntervalIndex::split_counter`]).
+pub(crate) struct SplitCounter {
+    cnt: Vec<u32>,
+    t1: u16,
+    released_le: u32,
+}
+
+impl SplitCounter {
+    /// Advance to `t′ = tp` and return `#{releases ≤ tp}` — equal to
+    /// `releases.partition_point(|&r| r <= tp)` on the sorted releases,
+    /// without the sort.
+    #[inline]
+    pub fn advance(&mut self, tp: u16) -> u32 {
+        self.released_le += self.cnt[(tp - self.t1) as usize];
+        self.released_le
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_memoizes_and_filters() {
+        let jobs = vec![(1u16, 3u16), (2, 2), (5, 6), (0, 9)];
+        let mut index = IntervalIndex::new(12);
+        let w = index.window(&jobs, 1, 5);
+        assert_eq!(w.jobs, vec![0, 1, 2]);
+        assert_eq!(w.releases, vec![1, 2, 5]);
+        let again = index.window(&jobs, 1, 5);
+        assert!(Rc::ptr_eq(&w, &again), "second lookup must be memoized");
+        assert_eq!(index.windows.len(), 1);
+    }
+
+    #[test]
+    fn split_counter_equals_sorted_partition_point() {
+        let releases = [4u16, 2, 7, 2, 5];
+        let (t1, t2, lo) = (1u16, 9u16, 3u16);
+        let mut sorted = releases.to_vec();
+        sorted.sort_unstable();
+        let mut index = IntervalIndex::new(10);
+        let mut counter = index.split_counter(&releases, t1, t2, lo);
+        for tp in lo..=t2 {
+            let expected = sorted.partition_point(|&r| r <= tp) as u32;
+            assert_eq!(counter.advance(tp), expected, "tp = {tp}");
+        }
+        index.recycle(counter);
+        assert_eq!(index.scratch.len(), 1, "buffer returned to the pool");
+    }
+}

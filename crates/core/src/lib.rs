@@ -40,7 +40,9 @@ pub mod analysis;
 pub mod baptiste;
 pub mod brute_force;
 pub mod compress;
+mod dp_interval;
 pub mod edf;
+pub mod fasthash;
 pub mod feasibility;
 pub mod greedy_gap;
 pub mod instance;

@@ -51,10 +51,36 @@
 //! top-level state has `o1 = o2 = q = 0` and every real start is counted.
 //! Run [`crate::compress::compress_instance_gap`] first if the horizon is
 //! long; the DP is polynomial in the horizon length, `n`, and `p`.
+//!
+//! # Implementation notes (hot-path engineering)
+//!
+//! The recursion is the batch engine's dominant exact path, so the state
+//! evaluation is tuned (in the style of Baptiste–Chrobak–Dürr's
+//! interval-structure memoization):
+//!
+//! * **interval memoization** — the deadline-ordered job list of a window
+//!   `[t1, t2]` (and its releases) is computed once per distinct interval
+//!   and shared by every state over that interval, instead of rescanning
+//!   all jobs per state (see [`crate::dp_interval`], shared with the
+//!   other interval DPs);
+//! * **dominance pruning** — states whose `k` window jobs cannot fit the
+//!   column capacities (`o1` at `t1`, `o2` at `t2`, `≤ cap` per interior
+//!   column) are cut to `INF` without expanding children;
+//! * **flat split counting** — the split loop derives `i(t′)` from a
+//!   reusable per-depth counting buffer (one pass over the `k` releases
+//!   plus a running prefix), replacing the per-state sort;
+//! * **fast memo hashing** — the packed-`u64` state memo uses
+//!   [`crate::fasthash`] instead of SipHash.
+//!
+//! None of this changes the recursion: optima and witnesses are identical
+//! to the reference formulation, which `tests/solver_differential.rs`
+//! re-proves against `brute_force` on every run.
 
+use crate::dp_interval::{IntervalIndex, WindowInfo};
+use crate::fasthash::FastMap;
 use crate::instance::Instance;
 use crate::schedule::{Assignment, Schedule};
-use std::collections::HashMap;
+use std::rc::Rc;
 
 const INF: u32 = u32::MAX;
 
@@ -135,13 +161,13 @@ fn solve(inst: &Instance) -> Option<(u64, Schedule)> {
     // Fast infeasibility exit (EDF is exact for unit jobs).
     crate::edf::edf(inst).ok()?;
 
-    let ctx = Ctx::new(inst);
-    let mut memo = HashMap::new();
-    let spans = ctx.value(ctx.top_state(), &mut memo);
+    let mut ctx = Ctx::new(inst);
+    let top = ctx.top_state();
+    let spans = ctx.value(top);
     assert_ne!(spans, INF, "EDF said feasible, DP must agree");
 
     let mut placements: Vec<(i64, u32)> = vec![(i64::MIN, 0); n];
-    ctx.walk(ctx.top_state(), &mut memo, &mut placements);
+    ctx.walk(top, &mut placements);
     let assignments = placements
         .iter()
         .map(|&(t, q)| {
@@ -179,8 +205,9 @@ fn key(s: State) -> u64 {
         | (s.o2 as u64) << 54
 }
 
-/// Immutable solver context: jobs sorted by deadline, times shifted so the
-/// padded timeline is `0..=t_max` with sentinels at both ends.
+/// Solver context: jobs sorted by deadline, times shifted so the padded
+/// timeline is `0..=t_max` with sentinels at both ends, plus the memo and
+/// interval tables that make the recursion cheap.
 struct Ctx {
     /// Original time of padded index 0.
     t0: i64,
@@ -192,6 +219,10 @@ struct Ctx {
     order: Vec<u32>,
     /// `(release, deadline)` in padded indices, deadline order.
     jobs: Vec<(u16, u16)>,
+    /// Memoized interval windows + pooled split-counting buffers.
+    intervals: IntervalIndex,
+    /// Packed-state memo.
+    memo: FastMap<u64, u32>,
 }
 
 impl Ctx {
@@ -208,19 +239,22 @@ impl Ctx {
             "too many jobs for the DP key packing"
         );
         let order: Vec<u32> = inst.deadline_order().iter().map(|&i| i as u32).collect();
-        let jobs = order
+        let jobs: Vec<(u16, u16)> = order
             .iter()
             .map(|&i| {
                 let j = &inst.jobs()[i as usize];
                 ((j.release - t0) as u16, (j.deadline - t0) as u16)
             })
             .collect();
+        let len = len as usize;
         Ctx {
             t0,
             t_max: (len - 1) as u16,
             cap: (inst.processors() as usize).min(inst.job_count()).min(511) as u16,
             order,
             jobs,
+            intervals: IntervalIndex::new(len),
+            memo: FastMap::with_capacity_and_hasher(1 << 12, Default::default()),
         }
     }
 
@@ -235,28 +269,23 @@ impl Ctx {
         }
     }
 
-    /// Deadline-ordered positions (into `self.jobs`) of jobs released in
-    /// `[t1, t2]`.
-    fn window_jobs(&self, t1: u16, t2: u16) -> Vec<u16> {
-        self.jobs
-            .iter()
-            .enumerate()
-            .filter(|&(_, &(r, _))| t1 <= r && r <= t2)
-            .map(|(i, _)| i as u16)
-            .collect()
+    /// The memoized window of `[t1, t2]` (deadline-ordered positions of
+    /// jobs released inside, plus their releases).
+    fn window(&mut self, t1: u16, t2: u16) -> Rc<WindowInfo> {
+        self.intervals.window(&self.jobs, t1, t2)
     }
 
     /// Memoized DP evaluation.
-    fn value(&self, s: State, memo: &mut HashMap<u64, u32>) -> u32 {
-        if let Some(&v) = memo.get(&key(s)) {
+    fn value(&mut self, s: State) -> u32 {
+        if let Some(&v) = self.memo.get(&key(s)) {
             return v;
         }
-        let v = self.compute(s, memo);
-        memo.insert(key(s), v);
+        let v = self.compute(s);
+        self.memo.insert(key(s), v);
         v
     }
 
-    fn compute(&self, s: State, memo: &mut HashMap<u64, u32>) -> u32 {
+    fn compute(&mut self, s: State) -> u32 {
         let State {
             t1,
             t2,
@@ -270,8 +299,8 @@ impl Ctx {
         if o1 > k || o2 > k || q + o2 > m || o1 > m {
             return INF;
         }
-        let window = self.window_jobs(t1, t2);
-        if (k as usize) > window.len() {
+        let window = self.window(t1, t2);
+        if (k as usize) > window.jobs.len() {
             return INF;
         }
 
@@ -291,38 +320,49 @@ impl Ctx {
             return if o1 == 0 && o2 == 0 { q as u32 } else { INF };
         }
 
-        let jk = window[(k - 1) as usize];
+        // Dominance pruning: with t1 < t2 the o1 edge jobs and o2 edge
+        // jobs are disjoint, and the remaining window jobs must fit the
+        // interior columns at ≤ cap each. States violating either bound
+        // have no feasible completion and are cut without expansion.
+        if o1 + o2 > k {
+            return INF;
+        }
+        let interior_capacity = (t2 - t1 - 1) as u32 * m as u32;
+        if (k - o1 - o2) as u32 > interior_capacity {
+            return INF;
+        }
+
+        let jk = window.jobs[(k - 1) as usize];
         let (rk, dk) = self.jobs[jk as usize];
         let mut best = INF;
 
         // Case A: jk at t2, joining the ancestors.
         if o2 >= 1 && dk >= t2 {
-            let child = self.value(
-                State {
-                    t1,
-                    t2,
-                    k: k - 1,
-                    q: q + 1,
-                    o1,
-                    o2: o2 - 1,
-                },
-                memo,
-            );
+            let child = self.value(State {
+                t1,
+                t2,
+                k: k - 1,
+                q: q + 1,
+                o1,
+                o2: o2 - 1,
+            });
             best = best.min(child);
         }
 
-        // Split cases: jk at t′ ∈ [max(t1, rk), min(dk, t2−1)].
-        let mut releases: Vec<u16> = window[..k as usize]
-            .iter()
-            .map(|&j| self.jobs[j as usize].0)
-            .collect();
-        releases.sort_unstable();
-
+        // Split cases: jk at t′ ∈ [max(t1, rk), min(dk, t2−1)]. The split
+        // count i(t′) = #{window releases > t′ among the first k jobs}
+        // comes from a counting pass over a pooled buffer plus a running
+        // prefix — no sort, no allocation.
         let lo = t1.max(rk);
         let hi = dk.min(t2 - 1);
+        if lo > hi {
+            return best;
+        }
+        let mut split = self
+            .intervals
+            .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
-            // i = #releases > t′ among the k window jobs.
-            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let i = (k as u32 - split.advance(tp)) as u16;
             debug_assert!(i < k, "jk has release ≤ t′, so i ≤ k − 1");
             let k1 = k - 1 - i;
 
@@ -332,88 +372,69 @@ impl Ctx {
                 if o1 != k1 + 1 {
                     continue;
                 }
-                let sub1 = self.value(
-                    State {
-                        t1,
-                        t2: t1,
-                        k: k1,
-                        q: 1,
-                        o1: o1 - 1,
-                        o2: o1 - 1,
-                    },
-                    memo,
-                );
+                let sub1 = self.value(State {
+                    t1,
+                    t2: t1,
+                    k: k1,
+                    q: 1,
+                    o1: o1 - 1,
+                    o2: o1 - 1,
+                });
                 if sub1 == INF {
                     continue;
                 }
-                best = best.min(self.best_right(s, memo, tp, o1 - 1, i, sub1));
+                best = best.min(self.best_right(s, tp, o1 - 1, i, sub1));
             } else {
                 // jk at the bottom of column t′; ℓ′ sub1 jobs above it.
                 for lp in 0..=k1.min(m - 1) {
-                    let sub1 = self.value(
-                        State {
-                            t1,
-                            t2: tp,
-                            k: k1,
-                            q: 1,
-                            o1,
-                            o2: lp,
-                        },
-                        memo,
-                    );
+                    let sub1 = self.value(State {
+                        t1,
+                        t2: tp,
+                        k: k1,
+                        q: 1,
+                        o1,
+                        o2: lp,
+                    });
                     if sub1 == INF {
                         continue;
                     }
-                    best = best.min(self.best_right(s, memo, tp, lp, i, sub1));
+                    best = best.min(self.best_right(s, tp, lp, i, sub1));
                 }
             }
         }
+        self.intervals.recycle(split);
         best
     }
 
     /// Best completion with the right child, given `sub1` (left child value
     /// with `lp` own jobs above jk in column `t′ = tp`); the parent pays the
     /// boundary `(occ(t′+1) − (1 + lp))⁺`.
-    fn best_right(
-        &self,
-        s: State,
-        memo: &mut HashMap<u64, u32>,
-        tp: u16,
-        lp: u16,
-        i: u16,
-        sub1: u32,
-    ) -> u32 {
+    fn best_right(&mut self, s: State, tp: u16, lp: u16, i: u16, sub1: u32) -> u32 {
         let State { t2, q, o2, .. } = s;
         let col_tp = 1 + lp as u32; // occupancy at t′
         if tp + 1 == t2 {
             // Right child is the single-point state at t2.
-            let sub2 = self.value(
-                State {
-                    t1: t2,
-                    t2,
-                    k: i,
-                    q,
-                    o1: o2,
-                    o2,
-                },
-                memo,
-            );
+            let sub2 = self.value(State {
+                t1: t2,
+                t2,
+                k: i,
+                q,
+                o1: o2,
+                o2,
+            });
             let boundary = (q as u32 + o2 as u32).saturating_sub(col_tp);
             add(add(sub1, sub2), boundary)
         } else {
             let mut best = INF;
             for l2 in 0..=i.min(self.cap) {
-                let sub2 = self.value(
-                    State {
-                        t1: tp + 1,
-                        t2,
-                        k: i,
-                        q,
-                        o1: l2,
-                        o2,
-                    },
-                    memo,
-                );
+                let sub2 = self.value(State {
+                    t1: tp + 1,
+                    t2,
+                    k: i,
+                    q,
+                    o1: l2,
+                    o2,
+                });
                 if sub2 == INF {
                     continue;
                 }
@@ -426,9 +447,10 @@ impl Ctx {
 
     /// Reconstruct one optimal witness by re-deriving a transition whose
     /// value matches the memoized optimum, then descending. Jobs are placed
-    /// on prefix processors.
-    fn walk(&self, s: State, memo: &mut HashMap<u64, u32>, placements: &mut Vec<(i64, u32)>) {
-        let target = self.value(s, memo);
+    /// on prefix processors. Transition order mirrors [`Ctx::compute`], so
+    /// the witness is identical to the reference formulation's.
+    fn walk(&mut self, s: State, placements: &mut Vec<(i64, u32)>) {
+        let target = self.value(s);
         assert_ne!(target, INF, "walking an infeasible state");
         let State {
             t1,
@@ -438,11 +460,11 @@ impl Ctx {
             o1,
             o2,
         } = s;
-        let window = self.window_jobs(t1, t2);
+        let window = self.window(t1, t2);
 
         // Single-point base: place all k jobs at t1 on processors q..q+k.
         if t1 == t2 {
-            for (rank, &j) in window[..k as usize].iter().enumerate() {
+            for (rank, &j) in window.jobs[..k as usize].iter().enumerate() {
                 let job = self.order[j as usize] as usize;
                 placements[job] = (t1 as i64, q as u32 + rank as u32);
             }
@@ -452,7 +474,7 @@ impl Ctx {
             return;
         }
 
-        let jk = window[(k - 1) as usize];
+        let jk = window.jobs[(k - 1) as usize];
         let job_k = self.order[jk as usize] as usize;
         let (rk, dk) = self.jobs[jk as usize];
 
@@ -466,77 +488,80 @@ impl Ctx {
                 o1,
                 o2: o2 - 1,
             };
-            if self.value(child_state, memo) == target {
+            if self.value(child_state) == target {
                 placements[job_k] = (t2 as i64, q as u32);
-                self.walk(child_state, memo, placements);
+                self.walk(child_state, placements);
                 return;
             }
         }
 
-        let mut releases: Vec<u16> = window[..k as usize]
-            .iter()
-            .map(|&j| self.jobs[j as usize].0)
-            .collect();
-        releases.sort_unstable();
         let lo = t1.max(rk);
         let hi = dk.min(t2 - 1);
+        let mut split = self
+            .intervals
+            .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
-            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let i = (k as u32 - split.advance(tp)) as u16;
             let k1 = k - 1 - i;
-            let sub1_states: Vec<State> = if tp == t1 {
+            let lp_range = if tp == t1 {
                 if o1 != k1 + 1 {
                     continue;
                 }
-                vec![State {
-                    t1,
-                    t2: t1,
-                    k: k1,
-                    q: 1,
-                    o1: o1 - 1,
-                    o2: o1 - 1,
-                }]
+                o1 - 1..=o1 - 1
             } else {
-                (0..=k1.min(self.cap - 1))
-                    .map(|lp| State {
+                0..=k1.min(self.cap - 1)
+            };
+            for lp in lp_range {
+                let st1 = if tp == t1 {
+                    State {
+                        t1,
+                        t2: t1,
+                        k: k1,
+                        q: 1,
+                        o1: o1 - 1,
+                        o2: lp,
+                    }
+                } else {
+                    State {
                         t1,
                         t2: tp,
                         k: k1,
                         q: 1,
                         o1,
                         o2: lp,
-                    })
-                    .collect()
-            };
-            for st1 in sub1_states {
-                let lp = st1.o2;
+                    }
+                };
                 let col_tp = 1 + lp as u32;
-                let sub1 = self.value(st1, memo);
+                let sub1 = self.value(st1);
                 if sub1 == INF {
                     continue;
                 }
-                let sub2_states: Vec<State> = if tp + 1 == t2 {
-                    vec![State {
-                        t1: t2,
-                        t2,
-                        k: i,
-                        q,
-                        o1: o2,
-                        o2,
-                    }]
+                let l2_range = if tp + 1 == t2 {
+                    o2..=o2
                 } else {
-                    (0..=i.min(self.cap))
-                        .map(|l2| State {
+                    0..=i.min(self.cap)
+                };
+                for l2 in l2_range {
+                    let st2 = if tp + 1 == t2 {
+                        State {
+                            t1: t2,
+                            t2,
+                            k: i,
+                            q,
+                            o1: o2,
+                            o2,
+                        }
+                    } else {
+                        State {
                             t1: tp + 1,
                             t2,
                             k: i,
                             q,
                             o1: l2,
                             o2,
-                        })
-                        .collect()
-                };
-                for st2 in sub2_states {
-                    let sub2 = self.value(st2, memo);
+                        }
+                    };
+                    let sub2 = self.value(st2);
                     let occ_next = if tp + 1 == t2 {
                         q as u32 + o2 as u32
                     } else {
@@ -545,8 +570,9 @@ impl Ctx {
                     let boundary = occ_next.saturating_sub(col_tp);
                     if add(add(sub1, sub2), boundary) == target {
                         placements[job_k] = (tp as i64, 0);
-                        self.walk(st1, memo, placements);
-                        self.walk(st2, memo, placements);
+                        self.intervals.recycle(split);
+                        self.walk(st1, placements);
+                        self.walk(st2, placements);
                         return;
                     }
                 }

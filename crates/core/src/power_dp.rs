@@ -36,10 +36,23 @@
 //! witness's power under per-gap `min(len, α)` accounting
 //! ([`crate::power::power_cost_multiproc`]) equals the DP value, which the
 //! solver debug-asserts.
+//!
+//! # Implementation notes
+//!
+//! The state evaluation shares the hot-path engineering of
+//! [`crate::multiproc_dp`] (via [`crate::dp_interval`]): per-interval
+//! window memoization (flat preallocated interval table on short
+//! horizons), dominance pruning of states whose jobs cannot fit the
+//! edge/interior capacities, pooled counting buffers for the split loop,
+//! and a [`crate::fasthash`] memo. The recursion itself is unchanged;
+//! `tests/solver_differential.rs` re-proves exactness against
+//! `brute_force` on every run.
 
+use crate::dp_interval::{IntervalIndex, WindowInfo};
+use crate::fasthash::FastMap;
 use crate::instance::Instance;
 use crate::schedule::{Assignment, Schedule};
-use std::collections::HashMap;
+use std::rc::Rc;
 
 const INF: u64 = u64::MAX;
 
@@ -83,13 +96,13 @@ pub fn min_power_schedule(inst: &Instance, alpha: u64) -> Option<PowerSolution> 
     }
     crate::edf::edf(inst).ok()?;
 
-    let ctx = Ctx::new(inst, alpha);
-    let mut memo = HashMap::new();
-    let power = ctx.value(ctx.top_state(), &mut memo);
+    let mut ctx = Ctx::new(inst, alpha);
+    let top = ctx.top_state();
+    let power = ctx.value(top);
     assert_ne!(power, INF, "EDF said feasible, DP must agree");
 
     let mut placements: Vec<(i64, u32)> = vec![(i64::MIN, 0); n];
-    ctx.walk(ctx.top_state(), &mut memo, &mut placements);
+    ctx.walk(top, &mut placements);
     let assignments = placements
         .iter()
         .map(|&(t, q)| {
@@ -146,6 +159,9 @@ struct Ctx {
     alpha: u64,
     order: Vec<u32>,
     jobs: Vec<(u16, u16)>,
+    /// Memoized interval windows + pooled split-counting buffers.
+    intervals: IntervalIndex,
+    memo: FastMap<u64, u64>,
 }
 
 impl Ctx {
@@ -162,13 +178,14 @@ impl Ctx {
             "too many jobs for the DP key packing"
         );
         let order: Vec<u32> = inst.deadline_order().iter().map(|&i| i as u32).collect();
-        let jobs = order
+        let jobs: Vec<(u16, u16)> = order
             .iter()
             .map(|&i| {
                 let j = &inst.jobs()[i as usize];
                 ((j.release - t0) as u16, (j.deadline - t0) as u16)
             })
             .collect();
+        let len = len as usize;
         Ctx {
             t0,
             t_max: (len - 1) as u16,
@@ -176,6 +193,8 @@ impl Ctx {
             alpha,
             order,
             jobs,
+            intervals: IntervalIndex::new(len),
+            memo: FastMap::with_capacity_and_hasher(1 << 12, Default::default()),
         }
     }
 
@@ -190,13 +209,8 @@ impl Ctx {
         }
     }
 
-    fn window_jobs(&self, t1: u16, t2: u16) -> Vec<u16> {
-        self.jobs
-            .iter()
-            .enumerate()
-            .filter(|&(_, &(r, _))| t1 <= r && r <= t2)
-            .map(|(i, _)| i as u16)
-            .collect()
+    fn window(&mut self, t1: u16, t2: u16) -> Rc<WindowInfo> {
+        self.intervals.window(&self.jobs, t1, t2)
     }
 
     /// Closed-form optimum of an empty window `[t1, t2]`, `t1 < t2`: pay
@@ -209,16 +223,16 @@ impl Ctx {
         right_total as u64 + cont * interior.min(self.alpha) + fresh * self.alpha
     }
 
-    fn value(&self, s: State, memo: &mut HashMap<u64, u64>) -> u64 {
-        if let Some(&v) = memo.get(&key(s)) {
+    fn value(&mut self, s: State) -> u64 {
+        if let Some(&v) = self.memo.get(&key(s)) {
             return v;
         }
-        let v = self.compute(s, memo);
-        memo.insert(key(s), v);
+        let v = self.compute(s);
+        self.memo.insert(key(s), v);
         v
     }
 
-    fn compute(&self, s: State, memo: &mut HashMap<u64, u64>) -> u64 {
+    fn compute(&mut self, s: State) -> u64 {
         let State {
             t1,
             t2,
@@ -231,8 +245,8 @@ impl Ctx {
         if q + a2 > m || a1 > m {
             return INF;
         }
-        let window = self.window_jobs(t1, t2);
-        if (k as usize) > window.len() {
+        let window = self.window(t1, t2);
+        if (k as usize) > window.jobs.len() {
             return INF;
         }
 
@@ -247,37 +261,43 @@ impl Ctx {
             return self.empty_window_cost(t1, t2, a1, q + a2);
         }
 
-        let jk = window[(k - 1) as usize];
+        // Dominance pruning: jobs occupy active slots — at most a1 at t1,
+        // a2 (own) at t2, and cap per interior column. A state whose k
+        // jobs cannot fit has no feasible completion.
+        let slot_capacity = a1 as u32 + a2 as u32 + (t2 - t1 - 1) as u32 * m as u32;
+        if k as u32 > slot_capacity {
+            return INF;
+        }
+
+        let jk = window.jobs[(k - 1) as usize];
         let (rk, dk) = self.jobs[jk as usize];
         let mut best = INF;
 
         // Case A: jk at t2, taking one of the own active slots there.
         if a2 >= 1 && dk >= t2 {
-            let child = self.value(
-                State {
-                    t1,
-                    t2,
-                    k: k - 1,
-                    q: q + 1,
-                    a1,
-                    a2: a2 - 1,
-                },
-                memo,
-            );
+            let child = self.value(State {
+                t1,
+                t2,
+                k: k - 1,
+                q: q + 1,
+                a1,
+                a2: a2 - 1,
+            });
             best = best.min(child);
         }
 
-        // Split cases: jk at t′ ∈ [max(t1, rk), min(dk, t2−1)].
-        let mut releases: Vec<u16> = window[..k as usize]
-            .iter()
-            .map(|&j| self.jobs[j as usize].0)
-            .collect();
-        releases.sort_unstable();
-
+        // Split cases: jk at t′ ∈ [max(t1, rk), min(dk, t2−1)], with the
+        // split count i(t′) from a pooled counting pass (see multiproc_dp).
         let lo = t1.max(rk);
         let hi = dk.min(t2 - 1);
+        if lo > hi {
+            return best;
+        }
+        let mut split = self
+            .intervals
+            .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
-            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let i = (k as u32 - split.advance(tp)) as u16;
             debug_assert!(i < k);
             let k1 = k - 1 - i;
 
@@ -287,86 +307,67 @@ impl Ctx {
                 if a1 < 1 {
                     continue;
                 }
-                let sub1 = self.value(
-                    State {
-                        t1,
-                        t2: t1,
-                        k: k1,
-                        q: 1,
-                        a1: a1 - 1,
-                        a2: a1 - 1,
-                    },
-                    memo,
-                );
+                let sub1 = self.value(State {
+                    t1,
+                    t2: t1,
+                    k: k1,
+                    q: 1,
+                    a1: a1 - 1,
+                    a2: a1 - 1,
+                });
                 if sub1 == INF {
                     continue;
                 }
-                best = best.min(self.best_right(s, memo, tp, a1 - 1, i, sub1));
+                best = best.min(self.best_right(s, tp, a1 - 1, i, sub1));
             } else {
                 for lp in 0..m {
-                    let sub1 = self.value(
-                        State {
-                            t1,
-                            t2: tp,
-                            k: k1,
-                            q: 1,
-                            a1,
-                            a2: lp,
-                        },
-                        memo,
-                    );
+                    let sub1 = self.value(State {
+                        t1,
+                        t2: tp,
+                        k: k1,
+                        q: 1,
+                        a1,
+                        a2: lp,
+                    });
                     if sub1 == INF {
                         continue;
                     }
-                    best = best.min(self.best_right(s, memo, tp, lp, i, sub1));
+                    best = best.min(self.best_right(s, tp, lp, i, sub1));
                 }
             }
         }
+        self.intervals.recycle(split);
         best
     }
 
     /// Best completion with the right child: the parent pays the column
     /// `t′+1` and its wake-ups, `X + α·(X − (1 + lp))⁺`.
-    fn best_right(
-        &self,
-        s: State,
-        memo: &mut HashMap<u64, u64>,
-        tp: u16,
-        lp: u16,
-        i: u16,
-        sub1: u64,
-    ) -> u64 {
+    fn best_right(&mut self, s: State, tp: u16, lp: u16, i: u16, sub1: u64) -> u64 {
         let State { t2, q, a2, .. } = s;
         let col_tp = 1 + lp as u64; // total active at t′
         if tp + 1 == t2 {
-            let sub2 = self.value(
-                State {
-                    t1: t2,
-                    t2,
-                    k: i,
-                    q,
-                    a1: a2,
-                    a2,
-                },
-                memo,
-            );
+            let sub2 = self.value(State {
+                t1: t2,
+                t2,
+                k: i,
+                q,
+                a1: a2,
+                a2,
+            });
             let x = q as u64 + a2 as u64;
             let boundary = x + self.alpha * x.saturating_sub(col_tp);
             add(add(sub1, sub2), boundary)
         } else {
             let mut best = INF;
             for l2 in 0..=self.cap {
-                let sub2 = self.value(
-                    State {
-                        t1: tp + 1,
-                        t2,
-                        k: i,
-                        q,
-                        a1: l2,
-                        a2,
-                    },
-                    memo,
-                );
+                let sub2 = self.value(State {
+                    t1: tp + 1,
+                    t2,
+                    k: i,
+                    q,
+                    a1: l2,
+                    a2,
+                });
                 if sub2 == INF {
                     continue;
                 }
@@ -378,8 +379,9 @@ impl Ctx {
         }
     }
 
-    fn walk(&self, s: State, memo: &mut HashMap<u64, u64>, placements: &mut Vec<(i64, u32)>) {
-        let target = self.value(s, memo);
+    /// Witness reconstruction; transition order mirrors [`Ctx::compute`].
+    fn walk(&mut self, s: State, placements: &mut Vec<(i64, u32)>) {
+        let target = self.value(s);
         assert_ne!(target, INF, "walking an infeasible state");
         let State {
             t1,
@@ -389,10 +391,10 @@ impl Ctx {
             a1,
             a2,
         } = s;
-        let window = self.window_jobs(t1, t2);
+        let window = self.window(t1, t2);
 
         if t1 == t2 {
-            for (rank, &j) in window[..k as usize].iter().enumerate() {
+            for (rank, &j) in window.jobs[..k as usize].iter().enumerate() {
                 let job = self.order[j as usize] as usize;
                 placements[job] = (t1 as i64, q as u32 + rank as u32);
             }
@@ -402,7 +404,7 @@ impl Ctx {
             return;
         }
 
-        let jk = window[(k - 1) as usize];
+        let jk = window.jobs[(k - 1) as usize];
         let job_k = self.order[jk as usize] as usize;
         let (rk, dk) = self.jobs[jk as usize];
 
@@ -415,77 +417,80 @@ impl Ctx {
                 a1,
                 a2: a2 - 1,
             };
-            if self.value(child_state, memo) == target {
+            if self.value(child_state) == target {
                 placements[job_k] = (t2 as i64, q as u32);
-                self.walk(child_state, memo, placements);
+                self.walk(child_state, placements);
                 return;
             }
         }
 
-        let mut releases: Vec<u16> = window[..k as usize]
-            .iter()
-            .map(|&j| self.jobs[j as usize].0)
-            .collect();
-        releases.sort_unstable();
         let lo = t1.max(rk);
         let hi = dk.min(t2 - 1);
+        let mut split = self
+            .intervals
+            .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
-            let i = (k as usize - releases.partition_point(|&r| r <= tp)) as u16;
+            let i = (k as u32 - split.advance(tp)) as u16;
             let k1 = k - 1 - i;
-            let sub1_states: Vec<State> = if tp == t1 {
+            let lp_range = if tp == t1 {
                 if a1 < 1 {
                     continue;
                 }
-                vec![State {
-                    t1,
-                    t2: t1,
-                    k: k1,
-                    q: 1,
-                    a1: a1 - 1,
-                    a2: a1 - 1,
-                }]
+                a1 - 1..=a1 - 1
             } else {
-                (0..self.cap)
-                    .map(|lp| State {
+                #[allow(clippy::reversed_empty_ranges)]
+                match self.cap {
+                    0 => 1..=0, // empty; cap ≥ 1 whenever jobs exist
+                    c => 0..=c - 1,
+                }
+            };
+            for lp in lp_range {
+                let st1 = if tp == t1 {
+                    State {
+                        t1,
+                        t2: t1,
+                        k: k1,
+                        q: 1,
+                        a1: a1 - 1,
+                        a2: lp,
+                    }
+                } else {
+                    State {
                         t1,
                         t2: tp,
                         k: k1,
                         q: 1,
                         a1,
                         a2: lp,
-                    })
-                    .collect()
-            };
-            for st1 in sub1_states {
-                let lp = st1.a2;
+                    }
+                };
                 let col_tp = 1 + lp as u64;
-                let sub1 = self.value(st1, memo);
+                let sub1 = self.value(st1);
                 if sub1 == INF {
                     continue;
                 }
-                let sub2_states: Vec<State> = if tp + 1 == t2 {
-                    vec![State {
-                        t1: t2,
-                        t2,
-                        k: i,
-                        q,
-                        a1: a2,
-                        a2,
-                    }]
-                } else {
-                    (0..=self.cap)
-                        .map(|l2| State {
+                let l2_range = if tp + 1 == t2 { a2..=a2 } else { 0..=self.cap };
+                for l2 in l2_range {
+                    let st2 = if tp + 1 == t2 {
+                        State {
+                            t1: t2,
+                            t2,
+                            k: i,
+                            q,
+                            a1: a2,
+                            a2,
+                        }
+                    } else {
+                        State {
                             t1: tp + 1,
                             t2,
                             k: i,
                             q,
                             a1: l2,
                             a2,
-                        })
-                        .collect()
-                };
-                for st2 in sub2_states {
-                    let sub2 = self.value(st2, memo);
+                        }
+                    };
+                    let sub2 = self.value(st2);
                     if sub2 == INF {
                         continue;
                     }
@@ -497,8 +502,9 @@ impl Ctx {
                     let boundary = x + self.alpha * x.saturating_sub(col_tp);
                     if add(add(sub1, sub2), boundary) == target {
                         placements[job_k] = (tp as i64, 0);
-                        self.walk(st1, memo, placements);
-                        self.walk(st2, memo, placements);
+                        self.intervals.recycle(split);
+                        self.walk(st1, placements);
+                        self.walk(st2, placements);
                         return;
                     }
                 }

@@ -8,7 +8,8 @@ const INF: u32 = u32::MAX;
 ///
 /// Runs in O(E·√V). This is the workhorse used for one-shot feasibility
 /// checks; for repeated augmentation after small changes use
-/// [`crate::IncrementalMatching`].
+/// [`crate::IncrementalMatching`], whose `maximize` runs these same
+/// phases against its disabled-slot mask.
 ///
 /// ```
 /// use gaps_matching::{BipartiteGraph, hopcroft_karp};

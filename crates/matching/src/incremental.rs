@@ -10,8 +10,30 @@
 //!   gap keep the instance feasible?" — [`IncrementalMatching::try_disable_many`].
 //! * **Theorem 11 greedy**: repeated feasibility probes over candidate
 //!   working intervals against the pool of unscheduled jobs.
+//!
+//! Two hot paths are tuned for the probe-heavy callers:
+//!
+//! * [`IncrementalMatching::maximize`] runs Hopcroft–Karp phases (the same
+//!   BFS-layer / layered-DFS strategy as [`crate::hopcroft_karp`], made
+//!   aware of disabled right vertices) instead of one Kuhn augmenting-path
+//!   scan per left vertex — O(E·√V) instead of O(V·E);
+//! * [`IncrementalMatching::try_disable_many`] rolls back failed batches
+//!   through an **undo journal** of the edge flips actually performed,
+//!   instead of snapshotting the whole matching per probe — rollback cost
+//!   is proportional to the work of the failed probe, not to `V`.
 
 use crate::{BipartiteGraph, Matching};
+
+const INF: u32 = u32::MAX;
+
+/// One recorded matching mutation, for journal rollback.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// `(u, v)` became matched.
+    Link(u32, u32),
+    /// `(u, v)` became unmatched.
+    Unlink(u32, u32),
+}
 
 /// A mutable matching over a fixed bipartite graph, with support for
 /// disabling right vertices.
@@ -26,6 +48,9 @@ pub struct IncrementalMatching<'g> {
     disabled: Vec<bool>,
     visited: Vec<u32>,
     epoch: u32,
+    /// Edge flips recorded while `journaling` (inside a disable batch).
+    journal: Vec<Op>,
+    journaling: bool,
 }
 
 impl<'g> IncrementalMatching<'g> {
@@ -37,6 +62,8 @@ impl<'g> IncrementalMatching<'g> {
             disabled: vec![false; graph.right_count()],
             visited: vec![0; graph.right_count()],
             epoch: 0,
+            journal: Vec::new(),
+            journaling: false,
         }
     }
 
@@ -65,6 +92,46 @@ impl<'g> IncrementalMatching<'g> {
         self.disabled[v as usize]
     }
 
+    /// Record the pair `(u, v)`, journaling when inside a disable batch.
+    fn link(&mut self, u: u32, v: u32) {
+        self.matching.link(u, v);
+        if self.journaling {
+            self.journal.push(Op::Link(u, v));
+        }
+    }
+
+    /// Remove the pair of right vertex `v`, journaling when inside a
+    /// disable batch; returns the freed left endpoint.
+    fn unlink_right(&mut self, v: u32) -> Option<u32> {
+        let u = self.matching.unlink_right(v)?;
+        if self.journaling {
+            self.journal.push(Op::Unlink(u, v));
+        }
+        Some(u)
+    }
+
+    /// Undo every journaled flip past `mark`, restoring the matching to
+    /// its state when the mark was taken.
+    fn rollback_to(&mut self, mark: usize) {
+        while self.journal.len() > mark {
+            match self.journal.pop().expect("len > mark") {
+                Op::Link(u, v) => {
+                    debug_assert_eq!(self.matching.pair_left[u as usize], Some(v));
+                    self.matching.pair_left[u as usize] = None;
+                    self.matching.pair_right[v as usize] = None;
+                    self.matching.size -= 1;
+                }
+                Op::Unlink(u, v) => {
+                    debug_assert!(self.matching.pair_left[u as usize].is_none());
+                    debug_assert!(self.matching.pair_right[v as usize].is_none());
+                    self.matching.pair_left[u as usize] = Some(v);
+                    self.matching.pair_right[v as usize] = Some(u);
+                    self.matching.size += 1;
+                }
+            }
+        }
+    }
+
     /// Try to match the unmatched left vertex `u` via an augmenting path that
     /// avoids disabled right vertices. Returns `true` on success.
     ///
@@ -79,17 +146,124 @@ impl<'g> IncrementalMatching<'g> {
         self.dfs(u)
     }
 
-    /// Augment from every unmatched left vertex once; returns the resulting
-    /// matching size. After this call the matching is maximum with respect
-    /// to the enabled right vertices.
+    /// Make the matching maximum with respect to the enabled right
+    /// vertices, and return its size.
+    ///
+    /// Runs Hopcroft–Karp phases from the current (possibly seeded)
+    /// matching: each phase BFS-layers the alternating-path graph from the
+    /// unmatched left vertices, then flips a maximal set of vertex-disjoint
+    /// shortest augmenting paths — O(E·√V) total, against O(V·E) for the
+    /// one-scan-per-vertex strategy this replaces.
     pub fn maximize(&mut self) -> usize {
-        for u in 0..self.graph.left_count() as u32 {
+        let n = self.graph.left_count();
+        // Greedy pass: match unmatched lefts to their first free enabled
+        // neighbor; typically covers most of the matching and saves phases.
+        for u in 0..n as u32 {
             if self.matching.partner_of_left(u).is_none() {
-                self.bump_epoch();
-                self.dfs(u);
+                for i in 0..self.graph.neighbors(u).len() {
+                    let v = self.graph.neighbors(u)[i];
+                    if !self.disabled[v as usize] && self.matching.partner_of_right(v).is_none() {
+                        self.link(u, v);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut dist = vec![INF; n];
+        let mut cursor = vec![0usize; n];
+        let mut held = vec![false; self.graph.right_count()];
+        let mut queue: Vec<u32> = Vec::with_capacity(n);
+        loop {
+            // BFS phase over enabled rights only.
+            queue.clear();
+            for (u, d) in dist.iter_mut().enumerate() {
+                if self.matching.pair_left[u].is_none() {
+                    *d = 0;
+                    queue.push(u as u32);
+                } else {
+                    *d = INF;
+                }
+            }
+            let mut found_free_right = false;
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &v in self.graph.neighbors(u) {
+                    if self.disabled[v as usize] {
+                        continue;
+                    }
+                    match self.matching.partner_of_right(v) {
+                        None => found_free_right = true,
+                        Some(w) => {
+                            if dist[w as usize] == INF {
+                                dist[w as usize] = dist[u as usize] + 1;
+                                queue.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+            if !found_free_right {
+                break;
+            }
+
+            cursor.iter_mut().for_each(|c| *c = 0);
+            let mut augmented = false;
+            for u in 0..n as u32 {
+                if self.matching.pair_left[u as usize].is_none()
+                    && self.phase_dfs(u, &mut dist, &mut cursor, &mut held)
+                {
+                    augmented = true;
+                }
+            }
+            if !augmented {
+                break;
             }
         }
         self.matching.size()
+    }
+
+    /// One layered-DFS attempt of a Hopcroft–Karp phase (the incremental
+    /// twin of the DFS in `hopcroft_karp.rs`, plus the disabled mask).
+    fn phase_dfs(
+        &mut self,
+        u: u32,
+        dist: &mut [u32],
+        cursor: &mut [usize],
+        held: &mut [bool],
+    ) -> bool {
+        while cursor[u as usize] < self.graph.neighbors(u).len() {
+            let v = self.graph.neighbors(u)[cursor[u as usize]];
+            cursor[u as usize] += 1;
+            if self.disabled[v as usize] || held[v as usize] {
+                continue;
+            }
+            match self.matching.partner_of_right(v) {
+                None => {
+                    self.link(u, v);
+                    return true;
+                }
+                Some(w) => {
+                    if dist[w as usize] == dist[u as usize] + 1 {
+                        // Tentatively free v, then re-home its partner one
+                        // BFS layer deeper; v is held while the probe runs.
+                        self.unlink_right(v);
+                        held[v as usize] = true;
+                        let rehomed = self.phase_dfs(w, dist, cursor, held);
+                        held[v as usize] = false;
+                        if rehomed {
+                            self.link(u, v);
+                            return true;
+                        }
+                        self.link(w, v);
+                    }
+                }
+            }
+        }
+        dist[u as usize] = INF;
+        false
     }
 
     /// Disable right vertex `v`. If `v` was matched, its left partner is
@@ -100,7 +274,7 @@ impl<'g> IncrementalMatching<'g> {
             return true;
         }
         self.disabled[v as usize] = true;
-        let Some(u) = self.matching.unlink_right(v) else {
+        let Some(u) = self.unlink_right(v) else {
             return true;
         };
         self.bump_epoch();
@@ -110,7 +284,7 @@ impl<'g> IncrementalMatching<'g> {
             // Roll back: v was matched to u and nothing else changed
             // (a failed DFS flips no edges).
             self.disabled[v as usize] = false;
-            self.matching.link(u, v);
+            self.link(u, v);
             false
         }
     }
@@ -119,23 +293,35 @@ impl<'g> IncrementalMatching<'g> {
     ///
     /// On failure every vertex in the batch is re-enabled and every rematch
     /// performed for earlier batch members is undone; the matching is
-    /// restored exactly.
+    /// restored exactly. Rollback replays the undo journal of the flips the
+    /// batch actually made, so a failed probe costs only its own search
+    /// work — there is no per-probe snapshot of the matching.
     pub fn try_disable_many(&mut self, vs: &[u32]) -> bool {
-        let snapshot = self.matching.clone();
+        debug_assert!(!self.journaling, "disable batches do not nest");
+        let mark = self.journal.len();
+        self.journaling = true;
         let mut done = Vec::with_capacity(vs.len());
         for &v in vs {
+            // Only vertices this batch actually flips from enabled to
+            // disabled go into the rollback list — a vertex disabled
+            // before the batch (or earlier in it) must stay disabled if
+            // the batch fails.
+            let newly_disabled = !self.disabled[v as usize];
             if self.try_disable(v) {
-                if !done.contains(&v) {
+                if newly_disabled {
                     done.push(v);
                 }
             } else {
+                self.rollback_to(mark);
                 for &w in &done {
                     self.disabled[w as usize] = false;
                 }
-                self.matching = snapshot;
+                self.journaling = false;
                 return false;
             }
         }
+        self.journaling = false;
+        self.journal.truncate(mark);
         true
     }
 
@@ -169,15 +355,14 @@ impl<'g> IncrementalMatching<'g> {
             self.matching.partner_of_right(v).is_none(),
             "force_link: right {v} already matched"
         );
-        self.matching.link(u, v);
+        self.link(u, v);
     }
 
     /// Drop the matched edge of left vertex `u`, freeing its right partner.
     /// Returns the freed right vertex, if `u` was matched.
     pub fn unmatch_left(&mut self, u: u32) -> Option<u32> {
-        let v = self.matching.pair_left[u as usize].take()?;
-        self.matching.pair_right[v as usize] = None;
-        self.matching.size -= 1;
+        let v = self.matching.pair_left[u as usize]?;
+        self.unlink_right(v);
         Some(v)
     }
 
@@ -199,18 +384,18 @@ impl<'g> IncrementalMatching<'g> {
             self.visited[v as usize] = self.epoch;
             match self.matching.partner_of_right(v) {
                 None => {
-                    self.matching.link(u, v);
+                    self.link(u, v);
                     return true;
                 }
                 Some(w) => {
                     // Tentatively free v, then try to re-home its partner w.
                     // v is marked visited, so no deeper frame can grab it.
-                    self.matching.unlink_right(v);
+                    self.unlink_right(v);
                     if self.dfs(w) {
-                        self.matching.link(u, v);
+                        self.link(u, v);
                         return true;
                     }
-                    self.matching.link(w, v);
+                    self.link(w, v);
                 }
             }
         }
@@ -240,6 +425,30 @@ mod tests {
         let g = grid();
         let mut inc = IncrementalMatching::new(&g);
         assert_eq!(inc.maximize(), hopcroft_karp(&g).size());
+        inc.matching().validate(&g).unwrap();
+    }
+
+    #[test]
+    fn maximize_respects_disabled_rights() {
+        // Disable two of four slots before maximizing: only two jobs fit,
+        // and no matched edge may touch a disabled slot.
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        assert!(inc.try_disable(1));
+        assert!(inc.try_disable(3));
+        assert_eq!(inc.maximize(), 2);
+        for (_, v) in inc.matching().pairs() {
+            assert!(!inc.is_disabled(v), "matched edge uses disabled slot {v}");
+        }
+        inc.matching().validate(&g).unwrap();
+    }
+
+    #[test]
+    fn maximize_from_seeded_partial_matching() {
+        let g = grid();
+        let mut inc = IncrementalMatching::new(&g);
+        inc.force_link(0, 1); // awkward seed: job 0 on slot 1 blocks job 1
+        assert_eq!(inc.maximize(), 4, "phases must re-route around the seed");
         inc.matching().validate(&g).unwrap();
     }
 
@@ -328,6 +537,77 @@ mod tests {
         assert!(inc.try_disable_many(&[0, 0, 1, 1]));
         assert_eq!(inc.size(), 1);
         assert_eq!(inc.matching().partner_of_left(0), Some(2));
+    }
+
+    #[test]
+    fn journal_rollback_is_exact_across_probe_sequences() {
+        // Interleave succeeding and failing batches — later windows
+        // overlap slots committed by earlier successful batches. Every
+        // failure must restore the pre-batch matching AND disabled set
+        // bit-for-bit (the journal replaces a full snapshot, so this is
+        // the load-bearing property).
+        let g = probe_chain(12);
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        let (mut successes, mut failures) = (0, 0);
+        for start in 0..12u32 {
+            // Two-slot windows with a one-slot stride: each overlaps its
+            // predecessor, so failed batches routinely contain slots an
+            // earlier successful batch already disabled.
+            let window = [start, start + 1];
+            let before = inc.matching().clone();
+            let disabled_before: Vec<bool> = (0..g.right_count() as u32)
+                .map(|v| inc.is_disabled(v))
+                .collect();
+            if inc.try_disable_many(&window) {
+                successes += 1;
+                for &v in &window {
+                    assert!(inc.is_disabled(v));
+                }
+            } else {
+                failures += 1;
+                assert_eq!(inc.matching(), &before, "window {window:?}");
+                for v in 0..g.right_count() as u32 {
+                    assert_eq!(
+                        inc.is_disabled(v),
+                        disabled_before[v as usize],
+                        "slot {v} after failed window {window:?}"
+                    );
+                }
+            }
+            inc.matching().validate(&g).unwrap();
+        }
+        assert!(successes > 0, "some windows must commit");
+        assert!(failures > 0, "the chain must reject some windows");
+    }
+
+    #[test]
+    fn failed_batch_keeps_previously_disabled_slots_disabled() {
+        // Regression: a batch containing an *already-disabled* slot must
+        // not re-enable it when the batch fails.
+        let g = BipartiteGraph::from_edges(2, 3, vec![(0, 0), (0, 1), (1, 1), (1, 2)]);
+        let mut inc = IncrementalMatching::new(&g);
+        inc.maximize();
+        assert!(inc.try_disable(0), "slot 0 disables (job 0 moves to 1)");
+        // {0, 1}: slot 0 is already disabled; disabling 1 too would leave
+        // job 0 with nothing, so the batch fails...
+        assert!(!inc.try_disable_many(&[0, 1]));
+        // ...and slot 0 must stay disabled (it was not this batch's doing).
+        assert!(inc.is_disabled(0), "pre-batch disable must survive");
+        assert!(!inc.is_disabled(1));
+        inc.matching().validate(&g).unwrap();
+    }
+
+    /// n jobs over n+2 slots; job i can use slots i..=i+2 (two spare slots
+    /// of slack overall).
+    fn probe_chain(n: u32) -> BipartiteGraph {
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for d in 0..3 {
+                edges.push((u, u + d));
+            }
+        }
+        BipartiteGraph::from_edges(n as usize, n as usize + 2, edges)
     }
 
     #[test]

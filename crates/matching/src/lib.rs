@@ -17,11 +17,12 @@
 //!
 //! * [`BipartiteGraph`] — a compact adjacency representation,
 //! * [`hopcroft_karp`] — O(E·√V) maximum matching,
-//! * [`kuhn`] — the simple O(V·E) augmenting-path algorithm (used as an
-//!   independent reference in tests, and as the engine of incremental
-//!   augmentation),
+//! * [`kuhn`] — the simple O(V·E) augmenting-path algorithm, kept as an
+//!   independent reference oracle for the property tests,
 //! * [`IncrementalMatching`] — a matching that can grow one left vertex at a
-//!   time and absorb right-vertex deletions, with rollback,
+//!   time and absorb right-vertex deletions, with journaled rollback; its
+//!   bulk [`IncrementalMatching::maximize`] runs Hopcroft–Karp phases, so
+//!   feasibility queries never pay the Kuhn one-scan-per-vertex cost,
 //! * [`hall_violator`] — a deficiency certificate (a set `S` of left vertices
 //!   with `|N(S)| < |S|`) whenever a perfect-on-the-left matching does not
 //!   exist.

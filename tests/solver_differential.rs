@@ -1,0 +1,136 @@
+//! Cross-solver differential suite: the optimized exact DPs must bit-match
+//! the (deliberately unoptimized) exhaustive reference on random instances.
+//!
+//! The hot-path engineering inside `multiproc_dp` / `power_dp` (interval
+//! memoization, dominance pruning, flat state tables) is only safe if
+//! optimality is continuously checked — this suite is that check. Every
+//! run draws fresh random instances across the one-/multi-interval
+//! models, processor counts 1..=4, and a sweep of α values, and demands
+//! *exact* equality of optima (and of feasibility verdicts) against
+//! `brute_force`. Witness schedules are verified against their instances
+//! and their claimed objective values.
+//!
+//! Together the four properties draw 640 instances per run — 160 cases
+//! each, comfortably over the ≥ 500 acceptance floor; on failure the
+//! proptest stub prints the case number and `PROPTEST_SEED` to replay it
+//! (see README §Testing).
+
+use gap_scheduling::instance::{Instance, MultiInstance};
+use gap_scheduling::{baptiste, brute_force, multiproc_dp, power_dp};
+use proptest::prelude::*;
+
+/// Random one-interval instance: up to `n_max` jobs with windows inside
+/// `[0, t_max]`, 1..=`p_max` processors.
+fn arb_instance(n_max: usize, t_max: i64, p_max: u32) -> impl Strategy<Value = Instance> {
+    (1..=p_max).prop_flat_map(move |p| {
+        proptest::collection::vec((0..=t_max, 0..=t_max), 1..=n_max).prop_map(move |ws| {
+            let jobs = ws
+                .into_iter()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect::<Vec<_>>();
+            Instance::from_windows(jobs, p).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Theorem 1 DP ≡ exhaustive search on both the span and the
+    /// finite-gap objective, across processor counts.
+    #[test]
+    fn multiproc_dp_bit_matches_brute_force(inst in arb_instance(7, 9, 4)) {
+        let p = inst.processors();
+        let dp = multiproc_dp::min_span_schedule(&inst);
+        let bf = brute_force::min_spans_multiproc(&inst);
+        prop_assert_eq!(dp.is_some(), bf.is_some(), "span feasibility diverged");
+        if let (Some(dp), Some((bf, _))) = (dp, bf) {
+            prop_assert_eq!(dp.spans, bf, "span optimum diverged");
+            dp.schedule.verify(&inst).unwrap();
+            prop_assert_eq!(dp.schedule.span_count(p), dp.spans);
+        }
+        let dp = multiproc_dp::min_gap_schedule(&inst);
+        let bf = brute_force::min_gaps_multiproc(&inst);
+        prop_assert_eq!(dp.is_some(), bf.is_some(), "gap feasibility diverged");
+        if let (Some(dp), Some((bf, _))) = (dp, bf) {
+            prop_assert_eq!(dp.gaps, bf, "gap optimum diverged");
+            dp.schedule.verify(&inst).unwrap();
+            prop_assert_eq!(dp.schedule.gap_count(p), dp.gaps);
+        }
+    }
+
+    /// Theorem 2 power DP ≡ exhaustive search across α (sleeping,
+    /// crossover, and bridging regimes).
+    #[test]
+    fn power_dp_bit_matches_brute_force(inst in arb_instance(6, 8, 3), alpha in 0u64..8) {
+        let dp = power_dp::min_power_schedule(&inst, alpha);
+        let bf = brute_force::min_power_multiproc(&inst, alpha);
+        prop_assert_eq!(dp.is_some(), bf.is_some(), "power feasibility diverged");
+        if let (Some(dp), Some((bf, _))) = (dp, bf) {
+            prop_assert_eq!(dp.power, bf, "power optimum diverged (alpha {})", alpha);
+            dp.schedule.verify(&inst).unwrap();
+        }
+    }
+
+    /// One-interval p = 1 instances re-solved through the *multi-interval*
+    /// model: expanding each window to its allowed-slot set and running the
+    /// multi-interval exhaustive solver must reproduce the DP optima (the
+    /// two models count gaps identically at p = 1).
+    #[test]
+    fn single_processor_dp_matches_multi_interval_reference(inst in arb_instance(5, 7, 1)) {
+        let multi = inst.to_multi_interval(100);
+        let dp_gaps = multiproc_dp::min_gap_value(&inst);
+        let bf_gaps = brute_force::min_gaps_multi(&multi).map(|(v, _)| v);
+        prop_assert_eq!(dp_gaps, bf_gaps, "gap optimum diverged across models");
+        for alpha in [0u64, 1, 3, 6] {
+            let dp_power = power_dp::min_power_value(&inst, alpha);
+            let bf_power = brute_force::min_power_multi(&multi, alpha).map(|(v, _)| v);
+            prop_assert_eq!(dp_power, bf_power, "power optimum diverged (alpha {})", alpha);
+        }
+    }
+
+    /// Baptiste's single-processor DP, the Theorem 1/2 DPs, and brute
+    /// force agree pairwise at p = 1 — three independent implementations,
+    /// one optimum.
+    #[test]
+    fn three_way_single_processor_agreement(inst in arb_instance(6, 9, 1), alpha in 0u64..6) {
+        let spans_dp = multiproc_dp::min_span_value(&inst);
+        prop_assert_eq!(spans_dp, baptiste::min_spans_value(&inst));
+        prop_assert_eq!(
+            spans_dp,
+            brute_force::min_spans_multiproc(&inst).map(|(v, _)| v)
+        );
+        let power_dp_v = power_dp::min_power_value(&inst, alpha);
+        prop_assert_eq!(power_dp_v, baptiste::min_power_value(&inst, alpha));
+        prop_assert_eq!(
+            power_dp_v,
+            brute_force::min_power_multiproc(&inst, alpha).map(|(v, _)| v)
+        );
+    }
+}
+
+/// The multi-interval exhaustive reference itself is pinned against the
+/// matching-based feasibility oracle: whenever `brute_force` says
+/// infeasible, the Hall-violator certificate must exist, and vice versa.
+/// (Keeps the reference honest — the differential suite is only as good
+/// as its oracle.)
+#[test]
+fn brute_force_feasibility_matches_matching_oracle() {
+    use gap_scheduling::feasibility;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for case in 0..120 {
+        let n = rng.gen_range(1..=6);
+        let jobs: Vec<Vec<i64>> = (0..n)
+            .map(|_| {
+                let k = rng.gen_range(1..=3);
+                (0..k).map(|_| rng.gen_range(0..10)).collect()
+            })
+            .collect();
+        let inst = MultiInstance::from_times(jobs).unwrap();
+        let by_bf = brute_force::min_gaps_multi(&inst).is_some();
+        let by_matching = feasibility::is_feasible(&inst);
+        assert_eq!(by_bf, by_matching, "case {case}: {inst:?}");
+    }
+}

@@ -10,7 +10,24 @@
 //! the benches compile unchanged against the real crate later.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Smoke-test mode flag, set by `criterion_main!` when the harness is
+/// invoked as `cargo bench -- --test` (mirroring real criterion): every
+/// benchmark routine runs exactly once with no warm-up, so CI can prove
+/// the benches *execute* without paying for timings.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable smoke-test mode (see [`is_test_mode`]).
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// True when running under `cargo bench -- --test`.
+pub fn is_test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 /// Identifier for one benchmark case, e.g. `hopcroft_karp/400`.
 #[derive(Clone, Debug)]
@@ -166,17 +183,26 @@ impl Bencher {
 }
 
 fn run_one<F: FnOnce(&mut Bencher)>(config: &Criterion, group: Option<&str>, id: &str, f: F) {
+    let test_mode = is_test_mode();
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size: config.sample_size,
+        sample_size: if test_mode { 1 } else { config.sample_size },
         deadline: Instant::now() + config.measurement_time,
-        warm_up: config.warm_up_time,
+        warm_up: if test_mode {
+            Duration::ZERO
+        } else {
+            config.warm_up_time
+        },
     };
     f(&mut bencher);
     let label = match group {
         Some(g) => format!("{g}/{id}"),
         None => id.to_owned(),
     };
+    if test_mode {
+        println!("{label:<48} ok (test mode, 1 iteration)");
+        return;
+    }
     if bencher.samples.is_empty() {
         println!("{label:<48} (no samples)");
         return;
@@ -215,11 +241,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define `main()` running the listed groups.
+/// Define `main()` running the listed groups. Recognizes criterion's
+/// `--test` flag (`cargo bench -- --test`): benches execute once each
+/// instead of being timed.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                $crate::set_test_mode(true);
+            }
             $( $group(); )+
         }
     };
