@@ -89,12 +89,15 @@ fn escape(s: &str) -> String {
 
 /// A deterministic mixed batch exercising every router path: single- and
 /// multi-processor one-interval instances (DP-heavy), zero-laxity chains
-/// (forced fast path), and small multi-interval instances (exhaustive
+/// (forced fast path), and multi-interval instances (optimized exact
 /// search). Instances are pairwise distinct, so a cold run gets no free
-/// cache hits. Sizes were scaled up ~1.5× in PR 3 alongside the DP
-/// optimizations; trajectory numbers before PR 3 used the smaller
-/// seed sizes (n = 24/20 one-interval, 8-job multi) and are not directly
-/// comparable.
+/// cache hits. The one-interval sizes were scaled ~1.5× in PR 3; the
+/// multi-interval fifth was scaled again (12-job/2-slot `feasible_slots`
+/// → 14-job/3-slot `banded`) alongside the `multi_exact` solver it now
+/// routes to, so trajectory numbers before that change are not directly
+/// comparable. The multi sizes sit inside the *brute-force* router caps
+/// on purpose: the same batch must be solvable with `use_multi_exact`
+/// off to measure the win (see [`engine_trajectory`]).
 pub fn mixed_batch(count: usize) -> Vec<BatchInstance> {
     let mut rng = StdRng::seed_from_u64(0xBA7C4);
     (0..count)
@@ -103,7 +106,21 @@ pub fn mixed_batch(count: usize) -> Vec<BatchInstance> {
             1 => BatchInstance::One(one_interval::uniform(&mut rng, 30, 60, 4, 2)),
             2 => BatchInstance::One(one_interval::bursty(&mut rng, 5, 6, 9, 3, 3, 2)),
             3 => BatchInstance::One(one_interval::fixed_laxity(&mut rng, 36, 90, 0, 1)),
-            _ => BatchInstance::Multi(multi_interval::feasible_slots(&mut rng, 12, 20, 1)),
+            _ => BatchInstance::Multi(multi_interval::banded(&mut rng, 14, 3, 8, 2)),
+        })
+        .collect()
+}
+
+/// The scaled multi-interval bench family on its own: banded feasible
+/// instances at the brute-force router ceiling (14 jobs), alternating
+/// band shapes. Feeds the `multi_exact`-vs-`brute_force` comparison in
+/// [`engine_trajectory`] and the `bench_multi_exact` criterion group.
+pub fn multi_batch(count: usize) -> Vec<BatchInstance> {
+    let mut rng = StdRng::seed_from_u64(0x4D171);
+    (0..count)
+        .map(|i| match i % 2 {
+            0 => BatchInstance::Multi(multi_interval::banded(&mut rng, 14, 3, 8, 2)),
+            _ => BatchInstance::Multi(multi_interval::banded(&mut rng, 12, 4, 5, 3)),
         })
         .collect()
 }
@@ -165,6 +182,45 @@ pub fn engine_trajectory(instances: usize, samples: usize) -> PerfSuite {
         samples,
     });
 
+    // Multi-interval exact path: the optimized solver vs the brute-force
+    // reference on the same scaled batch (cold cache per sample, one
+    // thread — this is a solver comparison, not a scaling test).
+    let multi = multi_batch((instances / 5).max(20));
+    let mut exact_medians = Vec::new();
+    for (name, use_multi_exact) in [
+        ("multi_cold/multi_exact", true),
+        ("multi_cold/brute_force", false),
+    ] {
+        let median = median_wall(samples, || {
+            let engine = Engine::new(EngineConfig {
+                threads: 1,
+                router: gaps_engine::RouterConfig {
+                    use_multi_exact,
+                    ..gaps_engine::RouterConfig::default()
+                },
+                ..EngineConfig::default()
+            });
+            let (lines, report) = engine.run_batch(&multi, Objective::Gaps);
+            assert_eq!(lines.len(), multi.len());
+            let expected = if use_multi_exact {
+                "multi_exact"
+            } else {
+                "brute_force"
+            };
+            assert_eq!(
+                report.solver_counts.get(expected).copied().unwrap_or(0) as u64,
+                report.cache_misses,
+                "whole batch must take the {expected} path"
+            );
+        });
+        exact_medians.push(median);
+        suite.results.push(PerfResult {
+            name: name.to_string(),
+            median_ns: median.as_nanos(),
+            samples,
+        });
+    }
+
     let cold1 = cold_medians[0].1.as_secs_f64();
     for &(threads, median) in &cold_medians[1..] {
         suite.derived.push((
@@ -179,6 +235,10 @@ pub fn engine_trajectory(instances: usize, samples: usize) -> PerfSuite {
     suite
         .derived
         .push(("warm_hit_rate".to_string(), warm_hit_rate));
+    suite.derived.push((
+        "multi_exact_speedup_over_brute_force".to_string(),
+        exact_medians[1].as_secs_f64() / exact_medians[0].as_secs_f64().max(f64::EPSILON),
+    ));
     suite
 }
 
@@ -199,11 +259,12 @@ mod tests {
     fn trajectory_produces_benchmarks_and_derived_metrics() {
         let suite = engine_trajectory(20, 1);
         assert_eq!(suite.suite, "engine");
-        assert_eq!(suite.results.len(), 4);
+        assert_eq!(suite.results.len(), 6);
         assert!(suite.results.iter().all(|r| r.median_ns > 0));
         let names: Vec<&str> = suite.derived.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"warm_hit_rate"));
         assert!(names.contains(&"speedup_threads4_over_threads1"));
+        assert!(names.contains(&"multi_exact_speedup_over_brute_force"));
         let hit_rate = suite
             .derived
             .iter()

@@ -17,6 +17,24 @@
 //! window memoization, pooled split counting, [`crate::fasthash`] memo)
 //! — this is the solver the batch engine routes every `p = 1`
 //! one-interval request to.
+//!
+//! # Critical-time restriction
+//!
+//! Candidate columns for the peeled job are restricted to the
+//! **critical times** `⋃_i [r_i − n, r_i + n] ∪ [d_i − n, d_i + n]`
+//! (Baptiste's state-space argument): any maximal busy block of any
+//! schedule can be shifted toward whichever extreme does not increase
+//! the objective until it merges with a neighbor or a job inside it hits
+//! its release (left shift) or deadline (right shift) — the per-block
+//! cost `min(gap_left, α) + min(gap_right, α)` is piecewise linear in
+//! the block position with its minimum at an extreme, and the span count
+//! is shift-invariant. In the resulting optimal schedule every block is
+//! anchored, so every busy column lies within `n − 1` slots of some
+//! release or deadline. On sparse instances (few jobs, long windows)
+//! this shrinks the reachable state space by an order of magnitude; on
+//! dense instances every column is critical and nothing changes. The
+//! restriction is exactness-preserving and re-proved against
+//! `brute_force` by the differential suite on every run.
 
 use crate::dp_interval::{IntervalIndex, WindowInfo};
 use crate::fasthash::FastMap;
@@ -143,6 +161,9 @@ struct Ctx {
     alpha: u64,
     /// `(release, deadline)` in padded indices, deadline order.
     jobs: Vec<(u16, u16)>,
+    /// Columns within `n` of a release or deadline — the only candidate
+    /// placement columns the DP needs to consider (see the module docs).
+    critical: Vec<bool>,
     /// Memoized interval windows + pooled split-counting buffers.
     intervals: IntervalIndex,
     memo: FastMap<u64, u64>,
@@ -150,6 +171,12 @@ struct Ctx {
 
 impl Ctx {
     fn new(inst: &Instance, alpha: u64) -> Ctx {
+        Ctx::with_restriction(inst, alpha, true)
+    }
+
+    /// `restrict = false` disables the critical-time restriction; kept
+    /// for the state-count instrumentation test below.
+    fn with_restriction(inst: &Instance, alpha: u64, restrict: bool) -> Ctx {
         let horizon = inst.horizon().expect("non-empty");
         let t0 = horizon.start - 1;
         let len = horizon.end - horizon.start + 3;
@@ -157,7 +184,7 @@ impl Ctx {
             len <= 16000,
             "horizon too long; compress the instance first"
         );
-        let jobs = inst
+        let jobs: Vec<(u16, u16)> = inst
             .deadline_order()
             .iter()
             .map(|&i| {
@@ -166,10 +193,22 @@ impl Ctx {
             })
             .collect();
         let len = len as usize;
+        let mut critical = vec![!restrict; len];
+        if restrict {
+            let radius = jobs.len();
+            for &(r, d) in &jobs {
+                for anchor in [r as usize, d as usize] {
+                    let lo = anchor.saturating_sub(radius);
+                    let hi = (anchor + radius).min(len - 1);
+                    critical[lo..=hi].fill(true);
+                }
+            }
+        }
         Ctx {
             t_max: (len - 1) as u16,
             alpha,
             jobs,
+            critical,
             intervals: IntervalIndex::new(len),
             memo: FastMap::with_capacity_and_hasher(1 << 12, Default::default()),
         }
@@ -255,7 +294,12 @@ impl Ctx {
             .intervals
             .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
+            // The counter accumulates per column, so it advances even
+            // over columns the critical-time restriction rules out.
             let i = (k as u32 - split.advance(tp)) as u16;
+            if !self.critical[tp as usize] {
+                continue;
+            }
             let k1 = k - 1 - i;
             // Left part: jobs strictly left of jk's column.
             let sub1 = if tp == t1 {
@@ -382,6 +426,9 @@ impl Ctx {
             .split_counter(&window.releases[..k as usize], t1, t2, lo);
         for tp in lo..=hi {
             let i = (k as u32 - split.advance(tp)) as u16;
+            if !self.critical[tp as usize] {
+                continue;
+            }
             let k1 = k - 1 - i;
             let sub1 = if tp == t1 {
                 if !e1 || k1 != 0 {
@@ -502,6 +549,60 @@ mod tests {
         let inst = single(&[(0, 0), (0, 0)]);
         assert_eq!(min_gaps_value(&inst), None);
         assert_eq!(min_power_value(&inst, 3), None);
+    }
+
+    /// Span-DP value and memoized state count with the critical-time
+    /// restriction on or off.
+    fn spans_states(inst: &Instance, restrict: bool) -> (u64, usize, usize) {
+        let mut ctx = Ctx::with_restriction(inst, 0, restrict);
+        let top = ctx.top();
+        let v = ctx.spans(top);
+        let critical = ctx.critical.iter().filter(|&&c| c).count();
+        (v, ctx.memo.len(), critical)
+    }
+
+    /// The critical-time restriction must preserve the optimum while
+    /// shrinking the state space on sparse instances — the ROADMAP (b)
+    /// claim, pinned.
+    #[test]
+    fn critical_time_restriction_shrinks_state_counts() {
+        // Four jobs with wide, widely spaced windows over an ~1200-slot
+        // horizon: almost no column is within n of a release/deadline.
+        let inst = single(&[(0, 280), (300, 580), (610, 880), (900, 1180)]);
+        let (restricted_v, restricted_states, critical) = spans_states(&inst, true);
+        let (full_v, full_states, columns) = spans_states(&inst, false);
+        assert_eq!(restricted_v, full_v, "restriction changed the optimum");
+        assert_eq!(restricted_v, 4, "four isolated windows: one span each");
+        assert!(
+            critical * 4 < columns,
+            "restriction should rule out most columns: {critical}/{columns}"
+        );
+        assert!(
+            restricted_states * 4 < full_states,
+            "state count must shrink ≥ 4×: {restricted_states} vs {full_states}"
+        );
+        // Absolute pin so a future edit that quietly disables the
+        // restriction fails loudly.
+        assert!(
+            restricted_states < 1000,
+            "restricted state count regressed: {restricted_states}"
+        );
+    }
+
+    /// Same instrumentation through the power DP: equal optima both ways.
+    #[test]
+    fn critical_time_restriction_preserves_power_optima() {
+        let inst = single(&[(0, 60), (70, 130), (140, 200), (20, 180)]);
+        for alpha in [0u64, 1, 3, 8] {
+            let mut full = Ctx::with_restriction(&inst, alpha, false);
+            let top = full.top();
+            let unrestricted = full.power(top);
+            assert_eq!(
+                min_power_value(&inst, alpha),
+                Some(unrestricted),
+                "alpha {alpha}"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,17 @@
 //! declaring `[a, b]` a gap is `try_disable_many` over its slots (which
 //! rematches displaced jobs or rolls back). The loop stops when every
 //! still-enabled slot is matched — then no further slot can be idled.
+//!
+//! The seed version re-probed all O(T²) candidate windows every round.
+//! Two monotonicity facts make that unnecessary: as the enabled set only
+//! shrinks, (1) a window that once failed to disable can never succeed
+//! later, and (2) a window that ever contained a disabled slot never
+//! becomes fully enabled again. Each length therefore keeps a **cursor**
+//! past the windows it has already ruled out, and support counts (enabled
+//! slots per prefix) are cached and recomputed only after a commit — only
+//! the windows overlapping the last committed gap change status, and they
+//! change to permanently-skippable. Every window is probed at most once
+//! across the whole run (`GreedyGapResult::probes` exposes the count).
 
 use crate::instance::Instance;
 use crate::schedule::{Assignment, Schedule};
@@ -31,6 +42,10 @@ pub struct GreedyGapResult {
     /// The gap intervals the greedy committed, in pick order (informative;
     /// adjacent picks merge in the final schedule).
     pub picked: Vec<(Time, Time)>,
+    /// Matching probes (`try_disable_many` calls) issued. Bounded by the
+    /// number of distinct windows, `T(T+1)/2`, across the *entire* run —
+    /// the seed version could spend that much per round.
+    pub probes: u64,
 }
 
 /// Which candidate gap the greedy commits each round. The paper's
@@ -81,6 +96,7 @@ pub fn greedy_gap_schedule_with_order(
             spans: 0,
             schedule: Schedule::new(vec![]),
             picked: vec![],
+            probes: 0,
         });
     }
     let horizon = inst.horizon().expect("non-empty");
@@ -105,27 +121,54 @@ pub fn greedy_gap_schedule_with_order(
 
     let mut enabled = vec![true; t_len];
     let mut picked: Vec<(Time, Time)> = Vec::new();
+    let mut probes = 0u64;
     let lengths: Vec<usize> = match order {
         PickOrder::LargestFirst => (1..=t_len).rev().collect(),
         PickOrder::SmallestFirst => (1..=t_len).collect(),
     };
+    // Cached support counts: disabled_before[s] = #disabled slots < s, so
+    // a window [a, b] is fully enabled iff its disabled count is zero.
+    // Recomputed only after a commit (the only event that changes it).
+    let support = |enabled: &[bool]| -> Vec<u32> {
+        let mut acc = Vec::with_capacity(t_len + 1);
+        let mut d = 0u32;
+        acc.push(0);
+        for &e in enabled {
+            d += u32::from(!e);
+            acc.push(d);
+        }
+        acc
+    };
+    let mut disabled_before = support(&enabled);
+    // Per-length probe cursors: everything before the cursor is either a
+    // window that failed a probe (it can never succeed once the enabled
+    // set has shrunk) or one overlapping a committed gap (it can never be
+    // fully enabled again) — skip both forever.
+    let mut cursor = vec![0usize; t_len + 1];
     loop {
         // Find the first disableable interval in the configured order.
         let mut committed = false;
         'lengths: for &len in &lengths {
-            for a in 0..=(t_len - len) {
+            let mut a = cursor[len];
+            while a + len <= t_len {
                 let b = a + len - 1;
-                if !(a..=b).all(|s| enabled[s]) {
-                    continue;
+                if disabled_before[b + 1] - disabled_before[a] > 0 {
+                    a += 1;
+                    continue; // overlaps a committed gap: skippable forever
                 }
                 let slots: Vec<u32> = (a..=b).map(|s| s as u32).collect();
+                probes += 1;
                 if inc.try_disable_many(&slots) {
                     enabled[a..=b].fill(false);
+                    disabled_before = support(&enabled);
                     picked.push((t0 + a as Time, t0 + b as Time));
+                    cursor[len] = a;
                     committed = true;
                     break 'lengths;
                 }
+                a += 1; // failed: failures are permanent
             }
+            cursor[len] = a;
         }
         if !committed {
             break;
@@ -157,6 +200,7 @@ pub fn greedy_gap_schedule_with_order(
         spans: schedule.span_count(1),
         schedule,
         picked,
+        probes,
     })
 }
 
@@ -218,6 +262,113 @@ mod tests {
     fn infeasible_detected() {
         let inst = single(&[(4, 4), (4, 4)]);
         assert!(greedy_gap_schedule(&inst).is_none());
+    }
+
+    /// The cursor cache must make the total probe count sub-quadratic in
+    /// practice and never exceed one probe per distinct window over the
+    /// whole run — the seed version could pay the full O(T²) sweep once
+    /// per committed gap.
+    #[test]
+    fn probe_count_is_bounded_by_one_per_window() {
+        // Multi-round instance: three pinned anchors force two committed
+        // gaps (plus the failed probes in between).
+        let inst = single(&[(0, 0), (10, 10), (20, 20), (0, 20), (0, 20)]);
+        let res = greedy_gap_schedule(&inst).unwrap();
+        assert!(res.picked.len() >= 2, "expected a multi-round run");
+        let t = 21u64;
+        let windows = t * (t + 1) / 2;
+        assert!(
+            res.probes <= windows,
+            "probes {} exceed one-per-window budget {windows}",
+            res.probes
+        );
+        // Regression floor for the caching claim: the seed behavior on
+        // this instance pays well over one budget's worth of probes.
+        assert!(
+            res.probes < windows / 2,
+            "caching not engaging: {}",
+            res.probes
+        );
+    }
+
+    /// The caching is an optimization only: gap counts and pick sequences
+    /// must equal the seed algorithm's (reimplemented naively here) on
+    /// random feasible instances.
+    #[test]
+    fn cached_probing_matches_naive_reprobing() {
+        use gaps_matching::{BipartiteGraph, IncrementalMatching};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // The seed algorithm, verbatim: full O(T²) sweep per round.
+        let naive = |inst: &Instance| -> Option<(u64, Vec<(Time, Time)>)> {
+            let n = inst.job_count();
+            let horizon = inst.horizon()?;
+            let t0 = horizon.start;
+            let t_len = (horizon.end - horizon.start + 1) as usize;
+            let mut graph = BipartiteGraph::new(n, t_len);
+            for (j, job) in inst.jobs().iter().enumerate() {
+                for t in job.window().iter() {
+                    graph.add_edge(j as u32, (t - t0) as u32);
+                }
+            }
+            graph.dedup();
+            let mut inc = IncrementalMatching::new(&graph);
+            if inc.maximize() < n {
+                return None;
+            }
+            let mut enabled = vec![true; t_len];
+            let mut picked = Vec::new();
+            loop {
+                let mut committed = false;
+                'lengths: for len in (1..=t_len).rev() {
+                    for a in 0..=(t_len - len) {
+                        let b = a + len - 1;
+                        if !(a..=b).all(|s| enabled[s]) {
+                            continue;
+                        }
+                        let slots: Vec<u32> = (a..=b).map(|s| s as u32).collect();
+                        if inc.try_disable_many(&slots) {
+                            enabled[a..=b].fill(false);
+                            picked.push((t0 + a as Time, t0 + b as Time));
+                            committed = true;
+                            break 'lengths;
+                        }
+                    }
+                }
+                if !committed {
+                    break;
+                }
+            }
+            let busy: Vec<Time> = (0..n as u32)
+                .map(|j| t0 + inc.matching().partner_of_left(j).unwrap() as Time)
+                .collect();
+            let mut sorted = busy;
+            sorted.sort_unstable();
+            Some((
+                (crate::time::run_count(&sorted) as u64).saturating_sub(1),
+                picked,
+            ))
+        };
+
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x6A11);
+            let n = rng.gen_range(1..=7);
+            let windows: Vec<(i64, i64)> = (0..n)
+                .map(|_| {
+                    let r: i64 = rng.gen_range(0..14);
+                    (r, r + rng.gen_range(0..6i64))
+                })
+                .collect();
+            let inst = single(&windows);
+            let fast = greedy_gap_schedule(&inst);
+            let slow = naive(&inst);
+            assert_eq!(fast.is_some(), slow.is_some(), "seed {seed}: feasibility");
+            if let (Some(fast), Some((gaps, picked))) = (fast, slow) {
+                assert_eq!(fast.gaps, gaps, "seed {seed}: gaps diverged");
+                assert_eq!(fast.picked, picked, "seed {seed}: pick order diverged");
+            }
+        }
     }
 
     #[test]

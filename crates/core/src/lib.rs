@@ -21,6 +21,7 @@
 //! | Section 1 online lower bound | [`online`] |
 //! | feasibility / EDF substrate | [`feasibility`], [`edf`] |
 //! | exact reference solvers | [`brute_force`] |
+//! | optimized multi-interval exact solver | [`multi_exact`] |
 //! | dead-zone compression | [`compress`] |
 //!
 //! ## Quick start
@@ -48,6 +49,7 @@ pub mod greedy_gap;
 pub mod instance;
 pub mod lower_bounds;
 pub mod min_restart;
+pub mod multi_exact;
 pub mod multi_interval;
 pub mod multiproc_dp;
 pub mod online;

@@ -14,6 +14,7 @@ use crate::feasibility::slot_graph;
 use crate::instance::MultiInstance;
 use crate::time::{runs_of, TimeInterval};
 use gaps_matching::{hopcroft_karp, BipartiteGraph};
+use gaps_setcover::{greedy_cover, SetCoverInstance};
 
 /// Lower bound on the minimum number of **spans** of any complete
 /// schedule: the best of
@@ -46,6 +47,49 @@ pub fn min_spans_lower_bound(inst: &MultiInstance) -> u64 {
 /// Lower bound on the minimum number of **gaps** (spans − 1 convention).
 pub fn min_gaps_lower_bound(inst: &MultiInstance) -> u64 {
     min_spans_lower_bound(inst).saturating_sub(1)
+}
+
+/// Set-cover relaxation lower bound on the minimum number of **spans**,
+/// via the greedy cover's approximation guarantee (the paper's Section 4
+/// connection run *backwards*):
+///
+/// any schedule with `S` spans covers every job with at most `S` occupied
+/// runs, so the cover instance *(universe = jobs, one set per run `R` =
+/// jobs with an allowed slot in `R`)* has `OPT_cover ≤ S`. The greedy
+/// cover of size `g` satisfies `g ≤ H(d) · OPT_cover` (`d` = largest set),
+/// hence `S ≥ ⌈g / H(d)⌉` — admissible, and computable in polynomial time
+/// where [`min_spans_lower_bound`]'s hosting-runs search is exponential in
+/// the run count. [`crate::multi_exact`] uses the max of both for its
+/// early cutoff. Returns 0 for empty or cover-infeasible instances (the
+/// bound is vacuous there).
+pub fn setcover_spans_relaxation(inst: &MultiInstance) -> u64 {
+    let n = inst.job_count();
+    if n == 0 {
+        return 0;
+    }
+    let runs = runs_of(&inst.slot_union());
+    let sets: Vec<Vec<u32>> = runs
+        .iter()
+        .map(|r| {
+            (0..n as u32)
+                .filter(|&j| {
+                    inst.jobs()[j as usize]
+                        .times()
+                        .iter()
+                        .any(|&t| r.contains(t))
+                })
+                .collect()
+        })
+        .collect();
+    let d = sets.iter().map(Vec::len).max().unwrap_or(0);
+    let cover = SetCoverInstance::new(n as u32, sets).expect("jobs index the universe");
+    let Some(chosen) = greedy_cover(&cover) else {
+        return 0; // unreachable for well-formed instances; stay vacuous
+    };
+    let harmonic: f64 = (1..=d.max(1)).map(|i| 1.0 / i as f64).sum();
+    // Round conservatively (the 1e-6 slack dwarfs f64 error at these
+    // magnitudes and can only *weaken* the bound, never unsound it).
+    (chosen.len() as f64 / harmonic - 1e-6).ceil().max(0.0) as u64
 }
 
 /// Lower bound on the minimum **power** with transition cost `alpha`:
@@ -224,6 +268,35 @@ mod tests {
                     "seed {seed}, alpha {alpha}: power LB unsound"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn setcover_relaxation_is_sound_and_sometimes_tight() {
+        // Three far-apart pinned jobs: 3 singleton run-sets, greedy cover
+        // = 3, H(1) = 1 → bound 3, tight.
+        let inst = MultiInstance::from_times([vec![0], vec![10], vec![20]]).unwrap();
+        assert_eq!(setcover_spans_relaxation(&inst), 3);
+
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5C);
+            let jobs: Vec<Vec<i64>> = (0..rng.gen_range(1..=6))
+                .map(|_| {
+                    (0..rng.gen_range(1..=3))
+                        .map(|_| rng.gen_range(0..16))
+                        .collect()
+                })
+                .collect();
+            let inst = MultiInstance::from_times(jobs).unwrap();
+            let Some((opt_spans, _)) = min_spans_multi(&inst) else {
+                continue;
+            };
+            assert!(
+                setcover_spans_relaxation(&inst) <= opt_spans,
+                "seed {seed}: set-cover relaxation unsound"
+            );
         }
     }
 

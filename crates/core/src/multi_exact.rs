@@ -1,0 +1,440 @@
+//! Optimized exact solver for multi-interval instances — the engine's
+//! replacement for routing multi-interval traffic to the deliberately
+//! unoptimized [`crate::brute_force`] reference.
+//!
+//! All three objectives (gaps, spans, power) are supported and return
+//! bit-identical optima to `brute_force`, which stays around as the
+//! differential oracle (`tests/solver_differential.rs` re-proves the
+//! equality on every run).
+//!
+//! # Why it is fast
+//!
+//! * **Time compression to critical times.** The solver never sweeps the
+//!   timeline: it works on the sorted slot union (the instance's critical
+//!   times) and the distances between consecutive occupied slots. A dead
+//!   zone of any width contributes only its capped cost `min(width, α)`
+//!   through the distance — the same argument `crate::compress` proves
+//!   for the compression bijections, applied implicitly.
+//! * **Left-to-right branch and bound.** Occupied slots are chosen in
+//!   increasing time order, branching on *(next occupied slot, job placed
+//!   there)*. Objective costs accrue incrementally per consecutive pair
+//!   (`+1` span when a hole opens; `min(hole, α)` for power), so there is
+//!   no per-leaf cost evaluation, and distinct slots are guaranteed by
+//!   construction — no occupancy bitmask over slots.
+//! * **Memoization keyed by [`crate::fasthash`].** The suffix value
+//!   depends only on *(last occupied slot, set of placed jobs)*, packed
+//!   into one `u64` key. That flips `brute_force`'s
+//!   `jobs × 2^slots` state space to `slots × 2^jobs` — exponential in
+//!   the (small, router-capped) job count instead of the slot count.
+//! * **Dominance pruning between interchangeable jobs.** Jobs with
+//!   identical allowed-interval sets are interchangeable; branching
+//!   places them in canonical index order, collapsing the `c!`
+//!   permutations of each duplicate class to one.
+//! * **Admissible lower bounds for early cutoff.** Feasibility is decided
+//!   up front by matching (no tree exhaustion on infeasible instances);
+//!   a Lemma 3 completion supplies an upper bound, and when the best of
+//!   [`crate::lower_bounds`] and the set-cover greedy relaxation
+//!   ([`crate::lower_bounds::setcover_spans_relaxation`]) meets it, the
+//!   search is skipped entirely. Inside the search, branches iterate in
+//!   non-decreasing pair-cost order and cut off against the incumbent of
+//!   their own state plus an admissible suffix bound (remaining busy
+//!   cost) — exact, because a skipped branch provably cannot improve the
+//!   state's minimum.
+
+use crate::fasthash::FastMap;
+use crate::instance::MultiInstance;
+use crate::lower_bounds;
+use crate::multi_interval::complete_schedule;
+use crate::power::power_cost_single;
+use crate::schedule::MultiSchedule;
+use crate::time::Time;
+
+const INF: u64 = u64::MAX;
+
+/// Hard cap on jobs (placed-job sets are packed into a `u32` mask).
+const MAX_JOBS: usize = 32;
+/// Hard cap on distinct slots (slot indices are packed into `u16`).
+const MAX_SLOTS: usize = 4096;
+
+/// Minimum-gap schedule of a multi-interval instance, or `None` if
+/// infeasible. Gaps are counted as spans − 1 (Theorem 6's convention),
+/// so the span minimizer is the gap minimizer.
+pub fn min_gaps_multi(inst: &MultiInstance) -> Option<(u64, MultiSchedule)> {
+    let (spans, sched) = min_spans_multi(inst)?;
+    Some((spans.saturating_sub(1), sched))
+}
+
+/// Minimum number of spans (Section 5 convention: "gaps" = spans), or
+/// `None` if infeasible.
+pub fn min_spans_multi(inst: &MultiInstance) -> Option<(u64, MultiSchedule)> {
+    solve(inst, Cost::Spans)
+}
+
+/// Minimum-power schedule under transition cost `alpha` (Theorem 3's
+/// problem, solved exactly), or `None` if infeasible.
+pub fn min_power_multi(inst: &MultiInstance, alpha: u64) -> Option<(u64, MultiSchedule)> {
+    solve(inst, Cost::Power { alpha })
+}
+
+/// The objective being minimized. Gaps reuse the span minimizer.
+#[derive(Clone, Copy)]
+enum Cost {
+    Spans,
+    Power { alpha: u64 },
+}
+
+impl Cost {
+    /// Cost of occupying `slot` right after `prev` (`None` = first
+    /// placement): busy cost, wake-ups, and the capped hole in between.
+    #[inline]
+    fn pair(self, prev: Option<Time>, slot: Time) -> u64 {
+        match self {
+            Cost::Spans => match prev {
+                None => 1,
+                Some(p) => u64::from(slot != p + 1),
+            },
+            Cost::Power { alpha } => match prev {
+                None => 1 + alpha,
+                Some(p) => 1 + ((slot - p - 1) as u64).min(alpha),
+            },
+        }
+    }
+
+    /// Admissible bound on the suffix cost of `r` still-unplaced jobs:
+    /// each costs at least its busy slot under power, nothing provable
+    /// under spans.
+    #[inline]
+    fn suffix_floor(self, r: usize) -> u64 {
+        match self {
+            Cost::Spans => 0,
+            Cost::Power { .. } => r as u64,
+        }
+    }
+
+    fn of_schedule(self, sched: &MultiSchedule) -> u64 {
+        match self {
+            Cost::Spans => sched.span_count(),
+            Cost::Power { alpha } => power_cost_single(sched, alpha),
+        }
+    }
+
+    fn instance_bound(self, inst: &MultiInstance) -> u64 {
+        match self {
+            Cost::Spans => lower_bounds::min_spans_lower_bound(inst)
+                .max(lower_bounds::setcover_spans_relaxation(inst)),
+            Cost::Power { alpha } => lower_bounds::min_power_lower_bound(inst, alpha),
+        }
+    }
+}
+
+fn solve(inst: &MultiInstance, cost: Cost) -> Option<(u64, MultiSchedule)> {
+    let n = inst.job_count();
+    if n == 0 {
+        return Some((0, MultiSchedule::new(vec![])));
+    }
+    assert!(
+        n <= MAX_JOBS,
+        "multi_exact supports at most {MAX_JOBS} jobs, got {n}"
+    );
+    let slots = inst.slot_union();
+    assert!(
+        slots.len() <= MAX_SLOTS,
+        "multi_exact supports at most {MAX_SLOTS} distinct slots, got {}",
+        slots.len()
+    );
+
+    // Exact feasibility + upper bound in one matching pass (Lemma 3).
+    let greedy = complete_schedule(inst, &vec![None; n])?;
+    let upper = cost.of_schedule(&greedy);
+    if cost.instance_bound(inst) >= upper {
+        // The admissible bound meets the greedy witness: certified
+        // optimal without opening the search at all.
+        return Some((upper, greedy));
+    }
+
+    let mut solver = Solver::new(inst, &slots, cost);
+    let best = solver.suffix(None, 0);
+    assert_ne!(best, INF, "matching said feasible, search must agree");
+    let times = solver.reconstruct(best);
+    let sched = MultiSchedule::new(times);
+    debug_assert_eq!(sched.verify(inst), Ok(()));
+    debug_assert_eq!(cost.of_schedule(&sched), best);
+    Some((best, sched))
+}
+
+struct Solver {
+    n: usize,
+    cost: Cost,
+    /// Sorted slot-union times (the critical times).
+    times: Vec<Time>,
+    /// Jobs allowed at each slot, ascending job index.
+    jobs_at: Vec<Vec<u8>>,
+    /// Last allowed slot index of each job.
+    max_slot: Vec<u16>,
+    /// For each job, the previous job with the identical allowed set
+    /// (duplicate-class chain used by the dominance pruning).
+    twin_before: Vec<Option<u8>>,
+    /// Suffix-value memo: `(last slot + 1) << 32 | placed mask` → value.
+    memo: FastMap<u64, u64>,
+}
+
+impl Solver {
+    fn new(inst: &MultiInstance, slots: &[Time], cost: Cost) -> Solver {
+        let n = inst.job_count();
+        let mut jobs_at = vec![Vec::new(); slots.len()];
+        let mut max_slot = vec![0u16; n];
+        for (j, job) in inst.jobs().iter().enumerate() {
+            for t in job.times() {
+                let s = slots.binary_search(t).expect("slot in union");
+                jobs_at[s].push(j as u8);
+                max_slot[j] = max_slot[j].max(s as u16);
+            }
+        }
+        // Duplicate classes: jobs share a class iff their allowed sets
+        // (hence interval structures) are identical.
+        let mut twin_before: Vec<Option<u8>> = vec![None; n];
+        for (j, twin) in twin_before.iter_mut().enumerate().skip(1) {
+            *twin = (0..j)
+                .rev()
+                .find(|&i| inst.jobs()[i].times() == inst.jobs()[j].times())
+                .map(|i| i as u8);
+        }
+        Solver {
+            n,
+            cost,
+            times: slots.to_vec(),
+            jobs_at,
+            max_slot,
+            twin_before,
+            memo: FastMap::with_capacity_and_hasher(1 << 10, Default::default()),
+        }
+    }
+
+    #[inline]
+    fn full(&self) -> u32 {
+        if self.n == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.n) - 1
+        }
+    }
+
+    /// A job may be branched on only if every unplaced twin with a
+    /// smaller index is gone — interchangeable jobs go in index order.
+    #[inline]
+    fn canonical(&self, job: u8, mask: u32) -> bool {
+        match self.twin_before[job as usize] {
+            None => true,
+            Some(prev) => mask & (1 << prev) != 0,
+        }
+    }
+
+    /// Exact minimum cost of placing every job not in `mask` at slots
+    /// strictly after `last`, including the pair cost back to `last`.
+    /// `INF` iff no completion exists.
+    fn suffix(&mut self, last: Option<u16>, mask: u32) -> u64 {
+        if mask == self.full() {
+            return 0;
+        }
+        let key = (last.map_or(0, |i| i as u64 + 1)) << 32 | mask as u64;
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+
+        let r = self.n - mask.count_ones() as usize;
+        // Every unplaced job lands at or after the *next* occupied slot,
+        // so that slot is bounded by the tightest remaining deadline —
+        // and must leave r − 1 free slots behind it.
+        let mut hi = (self.times.len() - r) as u16;
+        for j in 0..self.n {
+            if mask & (1 << j) == 0 {
+                hi = hi.min(self.max_slot[j]);
+            }
+        }
+        let lo = last.map_or(0, |i| i + 1);
+        let prev_time = last.map(|i| self.times[i as usize]);
+        let floor = self.cost.suffix_floor(r - 1);
+        let mut best = INF;
+        for s in lo..=hi {
+            let pair = self.cost.pair(prev_time, self.times[s as usize]);
+            // Pair costs are non-decreasing in the slot (holes only grow),
+            // so once even the admissible floor cannot beat the incumbent
+            // the remaining branches are dominated — cut the whole loop.
+            if best != INF && pair.saturating_add(floor) >= best {
+                break;
+            }
+            for k in 0..self.jobs_at[s as usize].len() {
+                let job = self.jobs_at[s as usize][k];
+                if mask & (1 << job) != 0 || !self.canonical(job, mask) {
+                    continue;
+                }
+                let v = self.suffix(Some(s), mask | 1 << job);
+                if v != INF {
+                    best = best.min(pair + v);
+                }
+            }
+        }
+        self.memo.insert(key, best);
+        best
+    }
+
+    /// Re-walk the memoized search along an optimal branch, returning the
+    /// per-job times (original job order).
+    fn reconstruct(&mut self, total: u64) -> Vec<Time> {
+        let mut times = vec![0; self.n];
+        let mut mask = 0u32;
+        let mut last: Option<u16> = None;
+        let mut target = total;
+        while mask != self.full() {
+            let prev_time = last.map(|i| self.times[i as usize]);
+            let lo = last.map_or(0, |i| i + 1);
+            let mut stepped = false;
+            'slots: for s in lo..self.times.len() as u16 {
+                let pair = self.cost.pair(prev_time, self.times[s as usize]);
+                if pair > target {
+                    break;
+                }
+                for k in 0..self.jobs_at[s as usize].len() {
+                    let job = self.jobs_at[s as usize][k];
+                    if mask & (1 << job) != 0 || !self.canonical(job, mask) {
+                        continue;
+                    }
+                    let v = self.suffix(Some(s), mask | 1 << job);
+                    if v != INF && pair + v == target {
+                        times[job as usize] = self.times[s as usize];
+                        mask |= 1 << job;
+                        last = Some(s);
+                        target -= pair;
+                        stepped = true;
+                        break 'slots;
+                    }
+                }
+            }
+            assert!(stepped, "reconstruction must follow an optimal branch");
+        }
+        // Duplicate-class members are interchangeable: the canonical
+        // ordering may have assigned a twin's slot; any bijection within
+        // a class is valid, and index order is what the walk produced.
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force;
+
+    fn inst(times: &[Vec<i64>]) -> MultiInstance {
+        MultiInstance::from_times(times.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_on_worked_examples() {
+        let cases = [
+            vec![vec![0, 4], vec![5]],
+            vec![vec![0, 1], vec![0, 1], vec![10, 11], vec![10, 11]],
+            vec![vec![0, 10], vec![1, 11], vec![5]],
+            vec![vec![0, 2], vec![1, 3], vec![4, 6], vec![5, 7]],
+            vec![vec![0], vec![1, 5], vec![2, 6], vec![7]],
+            vec![vec![3], vec![3, 4], vec![4, 5]],
+        ];
+        for times in cases {
+            let i = inst(&times);
+            assert_eq!(
+                min_gaps_multi(&i).map(|(v, _)| v),
+                brute_force::min_gaps_multi(&i).map(|(v, _)| v),
+                "gaps diverged on {times:?}"
+            );
+            assert_eq!(
+                min_spans_multi(&i).map(|(v, _)| v),
+                brute_force::min_spans_multi(&i).map(|(v, _)| v),
+                "spans diverged on {times:?}"
+            );
+            for alpha in [0u64, 1, 2, 5, 9] {
+                assert_eq!(
+                    min_power_multi(&i, alpha).map(|(v, _)| v),
+                    brute_force::min_power_multi(&i, alpha).map(|(v, _)| v),
+                    "power diverged on {times:?} α={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_verify_and_attain_their_values() {
+        let i = inst(&[vec![0, 7], vec![3], vec![8, 9], vec![4, 5], vec![12]]);
+        let (gaps, sched) = min_gaps_multi(&i).unwrap();
+        sched.verify(&i).unwrap();
+        assert_eq!(sched.gap_count(), gaps);
+        let (power, psched) = min_power_multi(&i, 3).unwrap();
+        psched.verify(&i).unwrap();
+        assert_eq!(power_cost_single(&psched, 3), power);
+    }
+
+    #[test]
+    fn infeasible_detected_without_search() {
+        let i = inst(&[vec![3], vec![3]]);
+        assert_eq!(min_gaps_multi(&i), None);
+        assert_eq!(min_spans_multi(&i), None);
+        assert_eq!(min_power_multi(&i, 4), None);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let i = MultiInstance::new(vec![]).unwrap();
+        assert_eq!(min_gaps_multi(&i).unwrap().0, 0);
+        assert_eq!(min_power_multi(&i, 7).unwrap().0, 0);
+    }
+
+    #[test]
+    fn duplicate_jobs_exercise_the_dominance_pruning() {
+        // Eight interchangeable jobs over one window: one span, and the
+        // canonical ordering must still produce a valid bijection.
+        let times: Vec<Vec<i64>> = (0..8).map(|_| (0..10).collect()).collect();
+        let i = inst(&times);
+        let (spans, sched) = min_spans_multi(&i).unwrap();
+        assert_eq!(spans, 1);
+        sched.verify(&i).unwrap();
+    }
+
+    #[test]
+    fn early_cutoff_agrees_with_search_on_forced_instances() {
+        // Three far-apart pinned jobs: LB = UB = 3 spans; the shortcut
+        // path must return the same value the search would.
+        let i = inst(&[vec![0], vec![10], vec![20]]);
+        assert_eq!(min_spans_multi(&i).unwrap().0, 3);
+        assert_eq!(
+            min_spans_multi(&i).unwrap().0,
+            brute_force::min_spans_multi(&i).unwrap().0
+        );
+    }
+
+    #[test]
+    fn randomized_bit_match_against_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37));
+            let jobs: Vec<Vec<i64>> = (0..rng.gen_range(1..=7))
+                .map(|_| {
+                    (0..rng.gen_range(1..=3))
+                        .map(|_| rng.gen_range(0..18))
+                        .collect()
+                })
+                .collect();
+            let i = inst(&jobs);
+            assert_eq!(
+                min_gaps_multi(&i).map(|(v, _)| v),
+                brute_force::min_gaps_multi(&i).map(|(v, _)| v),
+                "seed {seed}: gaps diverged on {jobs:?}"
+            );
+            for alpha in [0u64, 1, 3, 6] {
+                assert_eq!(
+                    min_power_multi(&i, alpha).map(|(v, _)| v),
+                    brute_force::min_power_multi(&i, alpha).map(|(v, _)| v),
+                    "seed {seed}: power diverged on {jobs:?} α={alpha}"
+                );
+            }
+        }
+    }
+}

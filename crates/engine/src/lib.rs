@@ -237,6 +237,8 @@ impl Engine {
         };
         let mut latencies = Vec::with_capacity(outcomes.len());
         let mut lines = Vec::with_capacity(outcomes.len());
+        let mut by_solver: std::collections::BTreeMap<&'static str, Vec<std::time::Duration>> =
+            std::collections::BTreeMap::new();
         for outcome in outcomes {
             if outcome.cache_hit {
                 report.cache_hits += 1;
@@ -245,10 +247,18 @@ impl Engine {
             }
             if let Some(kind) = outcome.solver {
                 *report.solver_counts.entry(kind.name()).or_insert(0) += 1;
+                by_solver
+                    .entry(kind.name())
+                    .or_default()
+                    .push(outcome.elapsed);
             }
             latencies.push(outcome.elapsed);
             lines.push(outcome.line);
         }
+        report.solver_latency = by_solver
+            .into_iter()
+            .map(|(name, samples)| (name, summarize_latencies(samples)))
+            .collect();
         report.latency = summarize_latencies(latencies);
         report.wall = start.elapsed();
         (lines, report)
@@ -385,6 +395,13 @@ mod tests {
         let solved: usize = report.solver_counts.values().sum();
         assert_eq!(solved as u64, report.cache_misses);
         assert!(report.latency.max >= report.latency.min);
+        // Per-family latencies cover exactly the families that solved.
+        let count_keys: Vec<_> = report.solver_counts.keys().collect();
+        let latency_keys: Vec<_> = report.solver_latency.keys().collect();
+        assert_eq!(count_keys, latency_keys);
+        for lat in report.solver_latency.values() {
+            assert!(lat.max <= report.latency.max);
+        }
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct EngineReport {
     pub cache_entries: usize,
     /// How many requests each solver handled (cache hits excluded).
     pub solver_counts: BTreeMap<&'static str, usize>,
+    /// Per-solver-family latency order statistics (cache hits excluded):
+    /// where the batch's time actually went, solver by solver — the
+    /// router-mix view the portfolio is tuned against.
+    pub solver_latency: BTreeMap<&'static str, LatencySummary>,
     /// Per-request latency order statistics.
     pub latency: LatencySummary,
     /// End-to-end batch wall clock.
@@ -112,6 +116,13 @@ impl fmt::Display for EngineReport {
             write!(f, " {solver}={count}")?;
         }
         writeln!(f)?;
+        for (solver, lat) in &self.solver_latency {
+            writeln!(
+                f,
+                "        {solver}: median {:.1?} / p95 {:.1?} / max {:.1?}",
+                lat.median, lat.p95, lat.max
+            )?;
+        }
         write!(
             f,
             "latency: min {:.1?} / median {:.1?} / p95 {:.1?} / max {:.1?}",
@@ -178,8 +189,19 @@ mod tests {
             ..EngineReport::default()
         };
         report.solver_counts.insert("baptiste_dp", 2);
+        report.solver_latency.insert(
+            "baptiste_dp",
+            summarize_latencies(vec![ms(1), ms(2), ms(3)]),
+        );
         let text = report.to_string();
-        for needle in ["engine:", "cache:", "router:", "latency:", "baptiste_dp=2"] {
+        for needle in [
+            "engine:",
+            "cache:",
+            "router:",
+            "latency:",
+            "baptiste_dp=2",
+            "baptiste_dp: median",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
     }

@@ -19,7 +19,7 @@ use crate::{BatchInstance, Objective};
 use gaps_core::instance::Instance;
 use gaps_core::time::run_count;
 use gaps_core::{
-    baptiste, brute_force, lower_bounds, multi_interval, multiproc_dp, power, power_dp,
+    baptiste, brute_force, lower_bounds, multi_exact, multi_interval, multiproc_dp, power, power_dp,
 };
 
 /// Every solver the portfolio can dispatch to.
@@ -36,7 +36,13 @@ pub enum SolverKind {
     MultiprocDp,
     /// Theorem 2 multiprocessor power DP.
     PowerDp,
-    /// Exhaustive reference solver (small multi-interval instances only).
+    /// Optimized multi-interval exact solver (branch-and-bound with
+    /// memoization; see [`gaps_core::multi_exact`]). Precedes
+    /// [`SolverKind::BruteForce`] in the multi-interval chain.
+    MultiExact,
+    /// Exhaustive reference solver (small multi-interval instances only;
+    /// kept as the differential oracle and reachable when
+    /// [`RouterConfig::use_multi_exact`] is off).
     BruteForce,
     /// Theorem 3 `(1 + (2/3 + ε)α)`-approximation (multi-interval power).
     Theorem3Approx,
@@ -57,6 +63,7 @@ impl SolverKind {
             SolverKind::BaptisteDp => "baptiste_dp",
             SolverKind::MultiprocDp => "multiproc_dp",
             SolverKind::PowerDp => "power_dp",
+            SolverKind::MultiExact => "multi_exact",
             SolverKind::BruteForce => "brute_force",
             SolverKind::Theorem3Approx => "theorem3_approx",
             SolverKind::Lemma3Greedy => "lemma3_greedy",
@@ -113,6 +120,17 @@ pub struct RouterConfig {
     pub exact_max_slots: usize,
     /// …and this many jobs.
     pub exact_max_jobs: usize,
+    /// Route in-range multi-interval instances to the optimized exact
+    /// solver ([`SolverKind::MultiExact`]) instead of the brute-force
+    /// reference. On by default; turning it off restores the seed
+    /// routing (used by the perf trajectory to measure the win and by
+    /// differential experiments).
+    pub use_multi_exact: bool,
+    /// The optimized exact solver's state space is exponential in the
+    /// *job* count, not the slot count, so it accepts more slots…
+    pub multi_exact_max_slots: usize,
+    /// …and slightly more jobs than the brute-force ceiling.
+    pub multi_exact_max_jobs: usize,
     /// Local-search rounds for the Theorem 3 set packing (the paper's ε).
     pub approx_rounds: usize,
     /// Tried in order for multi-interval instances too large for
@@ -127,6 +145,9 @@ impl Default for RouterConfig {
         RouterConfig {
             exact_max_slots: 64,
             exact_max_jobs: 14,
+            use_multi_exact: true,
+            multi_exact_max_slots: 96,
+            multi_exact_max_jobs: 16,
             approx_rounds: 64,
             fallback: vec![FallbackSolver::Theorem3Approx, FallbackSolver::Lemma3Greedy],
         }
@@ -192,6 +213,12 @@ pub fn route(feat: &Features, objective: Objective, cfg: &RouterConfig) -> Solve
             Objective::Gaps | Objective::Spans => SolverKind::MultiprocDp,
         };
     }
+    if cfg.use_multi_exact
+        && feat.slots <= cfg.multi_exact_max_slots
+        && feat.jobs <= cfg.multi_exact_max_jobs
+    {
+        return SolverKind::MultiExact;
+    }
     if feat.slots <= cfg.exact_max_slots && feat.jobs <= cfg.exact_max_jobs {
         return SolverKind::BruteForce;
     }
@@ -238,6 +265,16 @@ pub fn solve(
                 unreachable!("PowerDp only routes for the power objective")
             };
             exact(objective.label(), power_dp::min_power_value(one, alpha))
+        }
+        (SolverKind::MultiExact, BatchInstance::Multi(multi)) => {
+            let value = match objective {
+                Objective::Gaps => multi_exact::min_gaps_multi(multi).map(|(v, _)| v),
+                Objective::Spans => multi_exact::min_spans_multi(multi).map(|(v, _)| v),
+                Objective::Power { alpha } => {
+                    multi_exact::min_power_multi(multi, alpha).map(|(v, _)| v)
+                }
+            };
+            exact(objective.label(), value)
         }
         (SolverKind::BruteForce, BatchInstance::Multi(multi)) => {
             let value = match objective {
@@ -343,6 +380,21 @@ mod tests {
         assert_eq!(pick(&one(&[(0, 1)], 2), power), SolverKind::PowerDp);
         assert_eq!(
             pick(&multi(&[vec![0, 2], vec![1]]), gaps),
+            SolverKind::MultiExact
+        );
+
+        // The deliberately unoptimized oracle stays reachable when the
+        // optimized path is switched off.
+        let oracle_only = RouterConfig {
+            use_multi_exact: false,
+            ..RouterConfig::default()
+        };
+        assert_eq!(
+            route(
+                &features(&multi(&[vec![0, 2], vec![1]])),
+                gaps,
+                &oracle_only
+            ),
             SolverKind::BruteForce
         );
 
@@ -399,12 +451,22 @@ mod tests {
     }
 
     #[test]
-    fn brute_force_and_fallbacks_cover_multi() {
+    fn multi_exact_and_fallbacks_cover_multi() {
         let cfg = RouterConfig::default();
         let small = multi(&[vec![0, 1], vec![0, 1]]);
         let (kind, payload) = solve(&small, Objective::Gaps, &cfg);
-        assert_eq!(kind, SolverKind::BruteForce);
+        assert_eq!(kind, SolverKind::MultiExact);
         assert_eq!(payload, "gaps=0");
+
+        // Same instance through the oracle: identical payload, different
+        // solver tag — the bit-identical-optimum contract in miniature.
+        let oracle = RouterConfig {
+            use_multi_exact: false,
+            ..RouterConfig::default()
+        };
+        let (kind, oracle_payload) = solve(&small, Objective::Gaps, &oracle);
+        assert_eq!(kind, SolverKind::BruteForce);
+        assert_eq!(oracle_payload, "gaps=0");
 
         let big: Vec<Vec<i64>> = (0..40).map(|i| vec![2 * i, 2 * i + 1]).collect();
         let big = multi(&big);
@@ -452,6 +514,7 @@ mod tests {
         // These tags appear in result lines; renaming them is a
         // wire-format change.
         assert_eq!(SolverKind::BaptisteDp.name(), "baptiste_dp");
+        assert_eq!(SolverKind::MultiExact.name(), "multi_exact");
         assert_eq!(SolverKind::Theorem3Approx.name(), "theorem3_approx");
     }
 }

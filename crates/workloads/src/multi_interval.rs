@@ -49,6 +49,51 @@ pub fn feasible_slots(rng: &mut impl Rng, n: usize, t_max: Time, extra: usize) -
     inst
 }
 
+/// Banded feasible family — the scaled multi-interval bench workload.
+///
+/// The timeline is split into `bands` runs of `band_len` slots separated
+/// by width-3 dead zones; job `i` owns a distinct anchor slot (so the
+/// instance is feasible by construction) plus `extra` random slots drawn
+/// from a random band each. The run structure makes the exact solvers
+/// work for their answer (gap/power optima depend on which bands end up
+/// hosting jobs), which is what the `multi_exact`-vs-`brute_force`
+/// comparison bench needs.
+///
+/// # Panics
+/// Panics if the bands cannot seat `n` anchors.
+pub fn banded(
+    rng: &mut impl Rng,
+    n: usize,
+    bands: usize,
+    band_len: Time,
+    extra: usize,
+) -> MultiInstance {
+    assert!(bands >= 1 && band_len >= 1);
+    assert!(
+        bands as i64 * band_len >= n as i64,
+        "need at least n anchor slots across the bands"
+    );
+    let stride = band_len + 3;
+    let slot_of = |band: usize, off: Time| band as Time * stride + off;
+    let mut anchors: Vec<Time> = (0..bands)
+        .flat_map(|b| (0..band_len).map(move |o| slot_of(b, o)))
+        .collect();
+    anchors.shuffle(rng);
+    let jobs = (0..n)
+        .map(|i| {
+            let mut times = vec![anchors[i]];
+            for _ in 0..extra {
+                let band = rng.gen_range(0..bands);
+                times.push(slot_of(band, rng.gen_range(0..band_len)));
+            }
+            MultiJob::new(times)
+        })
+        .collect();
+    let inst = MultiInstance::new(jobs).expect("non-empty");
+    debug_assert!(gaps_core::feasibility::is_feasible(&inst));
+    inst
+}
+
 /// k-interval jobs: each job gets `intervals` maximal intervals of length
 /// `interval_len`, with starts drawn from `[0, t_max]` (deduplicated and
 /// possibly merging — the *at most* k of the paper's problem statements).
@@ -143,6 +188,27 @@ mod tests {
             let inst = feasible_slots(&mut rng, 12, 20, 2);
             assert!(gaps_core::feasibility::is_feasible(&inst), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn banded_is_feasible_with_expected_run_structure() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = banded(&mut rng, 14, 3, 8, 2);
+            assert_eq!(inst.job_count(), 14);
+            assert!(gaps_core::feasibility::is_feasible(&inst), "seed {seed}");
+            // Every slot lies inside a band, never in a dead zone.
+            for &t in &inst.slot_union() {
+                assert!((0..3).any(|b| (0..8).contains(&(t - b * 11))), "slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor slots")]
+    fn banded_rejects_undersized_bands() {
+        let mut rng = StdRng::seed_from_u64(0);
+        banded(&mut rng, 10, 2, 4, 1);
     }
 
     #[test]

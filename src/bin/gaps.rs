@@ -51,7 +51,8 @@ usage:
   gaps solve    --input FILE [--objective gaps|spans|power] [--alpha N]
   gaps batch    --input FILE [--objective gaps|spans|power] [--alpha N]
                 [--threads N] [--cache-capacity N] [--exact-slots N]
-                [--exact-jobs N] [--fallback approx,greedy,bound]
+                [--exact-jobs N] [--multi-exact true|false]
+                [--fallback approx,greedy,bound]
   gaps approx   --input FILE --alpha F [--rounds N]
   gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
   gaps generate --kind uniform|feasible|bursty|multi|consultant|online
@@ -250,6 +251,9 @@ fn cmd_batch(args: &Args) -> Result<String, String> {
         router: gap_scheduling::engine::RouterConfig {
             exact_max_slots: args.parse_or("exact-slots", defaults.exact_max_slots)?,
             exact_max_jobs: args.parse_or("exact-jobs", defaults.exact_max_jobs)?,
+            use_multi_exact: args.parse_or("multi-exact", defaults.use_multi_exact)?,
+            multi_exact_max_slots: defaults.multi_exact_max_slots,
+            multi_exact_max_jobs: defaults.multi_exact_max_jobs,
             approx_rounds: args.parse_or("rounds", defaults.approx_rounds)?,
             fallback,
         },

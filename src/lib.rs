@@ -22,6 +22,7 @@
 //! | O(√n) throughput greedy (Thm 11) | [`min_restart`] |
 //! | Baptiste's p = 1 DP \[Bap06\] | [`baptiste`] |
 //! | greedy 3-approximation \[FHKN06\] | [`greedy_gap`] |
+//! | optimized multi-interval exact solver | [`multi_exact`] |
 //! | online lower bound (§1) | [`online`], [`workloads::adversarial`] |
 //! | matching substrate | [`matching`] |
 //! | set cover / set packing substrate | [`setcover`] |

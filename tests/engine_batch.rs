@@ -127,11 +127,16 @@ fn reference_value(inst: &BatchInstance, objective: Objective) -> Option<Option<
             Objective::Power { alpha } => power_dp::min_power_value(one, alpha),
         }),
         BatchInstance::Multi(multi) => {
+            // Gate on the *brute-force* caps: inside them the oracle is
+            // cheap and the engine (whichever exact path it routes to —
+            // `multi_exact` by default) must bit-match it. Beyond them
+            // the oracle is too slow even where the engine still answers
+            // exactly via `multi_exact`.
             let cfg = RouterConfig::default();
             if multi.slot_union().len() > cfg.exact_max_slots
                 || multi.job_count() > cfg.exact_max_jobs
             {
-                return None; // engine answers with a bound, not a value
+                return None;
             }
             Some(match objective {
                 Objective::Gaps => brute_force::min_gaps_multi(multi).map(|(v, _)| v),

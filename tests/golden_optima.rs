@@ -13,8 +13,9 @@
 //! `brute_force` in the same test where feasible). Do not re-pin without
 //! understanding which algorithm change moved the optimum.
 
-use gap_scheduling::workloads::adversarial;
-use gap_scheduling::{baptiste, brute_force, multiproc_dp, power_dp, Instance};
+use gap_scheduling::workloads::{adversarial, multi_interval as multi_workloads};
+use gap_scheduling::MultiInstance;
+use gap_scheduling::{baptiste, brute_force, multi_exact, multiproc_dp, power_dp, Instance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -70,6 +71,95 @@ fn consultant_workload_optima() {
     assert_eq!(power_a2, 12);
     let (power_a6, _) = brute_force::min_power_multi(&inst, 6).expect("feasible");
     assert_eq!(power_a6, 18);
+}
+
+/// The consultant workload again, through the *optimized* multi-interval
+/// exact solver: `multi_exact` must reproduce every brute-force pin of
+/// `consultant_workload_optima`, witnesses included.
+#[test]
+fn consultant_workload_optima_via_multi_exact() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let inst = adversarial::consultant(&mut rng, 3, 5, 8, 2, 2);
+
+    let (gaps, witness) = multi_exact::min_gaps_multi(&inst).expect("feasible");
+    assert_eq!(gaps, 1);
+    witness.verify(&inst).unwrap();
+    assert_eq!(witness.gap_count(), 1);
+    let (spans, _) = multi_exact::min_spans_multi(&inst).expect("feasible");
+    assert_eq!(spans, 2);
+    let (power_a2, _) = multi_exact::min_power_multi(&inst, 2).expect("feasible");
+    assert_eq!(power_a2, 12);
+    let (power_a6, _) = multi_exact::min_power_multi(&inst, 6).expect("feasible");
+    assert_eq!(power_a6, 18);
+}
+
+/// Multi-interval worked examples with hand-derivable optima, pinned
+/// through `multi_exact` and re-derived from `brute_force` in place.
+#[test]
+fn multi_interval_worked_example_optima() {
+    // The Theorem 3 doc example: two 2-blocks ten slots apart. One gap
+    // is unavoidable; power = 4 jobs + α + min(8, α).
+    let blocks =
+        MultiInstance::from_times([vec![0, 1], vec![0, 1], vec![10, 11], vec![10, 11]]).unwrap();
+    assert_eq!(
+        multi_exact::min_gaps_multi(&blocks).map(|(v, _)| v),
+        Some(1)
+    );
+    for (alpha, golden) in [(0u64, 4u64), (2, 8), (4, 12), (9, 21)] {
+        assert_eq!(
+            multi_exact::min_power_multi(&blocks, alpha).map(|(v, _)| v),
+            Some(golden),
+            "alpha={alpha}"
+        );
+        assert_eq!(
+            brute_force::min_power_multi(&blocks, alpha).map(|(v, _)| v),
+            Some(golden),
+            "alpha={alpha}: pin drifted from the reference"
+        );
+    }
+
+    // A flexible job bridging two pinned neighbors: {0}, {3}, {1..4}.
+    // The middle job cannot glue both sides; one gap of length 1 remains.
+    let bridge = MultiInstance::from_times([vec![0], vec![3], vec![1, 2, 3, 4]]).unwrap();
+    assert_eq!(
+        multi_exact::min_gaps_multi(&bridge).map(|(v, _)| v),
+        Some(1)
+    );
+    assert_eq!(
+        multi_exact::min_power_multi(&bridge, 5).map(|(v, _)| v),
+        brute_force::min_power_multi(&bridge, 5).map(|(v, _)| v),
+    );
+
+    // Infeasible pin: two jobs, one slot.
+    let clash = MultiInstance::from_times([vec![6], vec![6]]).unwrap();
+    assert_eq!(multi_exact::min_gaps_multi(&clash), None);
+    assert_eq!(multi_exact::min_power_multi(&clash, 3), None);
+}
+
+/// The scaled banded bench family (fixed seed): the instances behind the
+/// `multi_exact`-vs-`brute_force` speedup claim keep their optima pinned,
+/// so a solver edit that silently shifts the family's answers (while
+/// staying self-consistent) fails loudly here.
+#[test]
+fn banded_bench_family_optima() {
+    let mut rng = StdRng::seed_from_u64(0x4D17B);
+    let n12 = multi_workloads::banded(&mut rng, 12, 4, 5, 3);
+    let n14 = multi_workloads::banded(&mut rng, 14, 3, 8, 2);
+
+    let golden: [(&MultiInstance, u64, u64); 2] = [(&n12, 2, 18), (&n14, 3, 21)];
+    for (inst, gaps, power_a2) in golden {
+        let (g, w) = multi_exact::min_gaps_multi(inst).expect("feasible by construction");
+        assert_eq!(g, gaps);
+        w.verify(inst).unwrap();
+        let (p, _) = multi_exact::min_power_multi(inst, 2).expect("feasible");
+        assert_eq!(p, power_a2);
+        // Re-derive both pins from the reference.
+        assert_eq!(brute_force::min_gaps_multi(inst).map(|(v, _)| v), Some(g));
+        assert_eq!(
+            brute_force::min_power_multi(inst, 2).map(|(v, _)| v),
+            Some(p)
+        );
+    }
 }
 
 /// The facade quickstart instance (six jobs, two processors).

@@ -10,13 +10,15 @@
 //! `brute_force`. Witness schedules are verified against their instances
 //! and their claimed objective values.
 //!
-//! Together the four properties draw 640 instances per run — 160 cases
-//! each, comfortably over the ≥ 500 acceptance floor; on failure the
-//! proptest stub prints the case number and `PROPTEST_SEED` to replay it
-//! (see README §Testing).
+//! Together the one-interval properties draw 640 instances per run — 160
+//! cases each, comfortably over the ≥ 500 acceptance floor — and the
+//! multi-interval block below adds 200 more, each checked on all three
+//! objectives against the exhaustive reference; on failure the proptest
+//! stub prints the case number and `PROPTEST_SEED` to replay it (see
+//! README §Testing).
 
 use gap_scheduling::instance::{Instance, MultiInstance};
-use gap_scheduling::{baptiste, brute_force, multiproc_dp, power_dp};
+use gap_scheduling::{baptiste, brute_force, multi_exact, multiproc_dp, power_dp};
 use proptest::prelude::*;
 
 /// Random one-interval instance: up to `n_max` jobs with windows inside
@@ -106,6 +108,53 @@ proptest! {
             power_dp_v,
             brute_force::min_power_multiproc(&inst, alpha).map(|(v, _)| v)
         );
+    }
+}
+
+/// Random multi-interval instance: up to `n_max` jobs, each with 1..=
+/// `k_max` allowed slots drawn from `[0, t_max]`. Infeasible draws are
+/// kept — feasibility verdicts must match too.
+fn arb_multi(n_max: usize, t_max: i64, k_max: usize) -> impl Strategy<Value = MultiInstance> {
+    proptest::collection::vec(proptest::collection::vec(0..=t_max, 1..=k_max), 1..=n_max)
+        .prop_map(|times| MultiInstance::from_times(times).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The optimized multi-interval exact solver (`multi_exact`: slot-sweep
+    /// branch and bound, fasthash memo, dominance pruning, lower-bound
+    /// cutoffs) must bit-match the exhaustive reference on **all three
+    /// objectives** — 200 instances per objective per run. Witnesses are
+    /// verified against their instances and claimed values.
+    #[test]
+    fn multi_exact_bit_matches_brute_force(inst in arb_multi(7, 16, 3), alpha in 0u64..8) {
+        let me = multi_exact::min_gaps_multi(&inst);
+        let bf = brute_force::min_gaps_multi(&inst);
+        prop_assert_eq!(me.is_some(), bf.is_some(), "gap feasibility diverged");
+        if let (Some((v, sched)), Some((bfv, _))) = (me, bf) {
+            prop_assert_eq!(v, bfv, "gap optimum diverged");
+            sched.verify(&inst).unwrap();
+            prop_assert_eq!(sched.gap_count(), v);
+        }
+
+        let me = multi_exact::min_spans_multi(&inst);
+        let bf = brute_force::min_spans_multi(&inst);
+        prop_assert_eq!(me.is_some(), bf.is_some(), "span feasibility diverged");
+        if let (Some((v, sched)), Some((bfv, _))) = (me, bf) {
+            prop_assert_eq!(v, bfv, "span optimum diverged");
+            sched.verify(&inst).unwrap();
+            prop_assert_eq!(sched.span_count(), v);
+        }
+
+        let me = multi_exact::min_power_multi(&inst, alpha);
+        let bf = brute_force::min_power_multi(&inst, alpha);
+        prop_assert_eq!(me.is_some(), bf.is_some(), "power feasibility diverged");
+        if let (Some((v, sched)), Some((bfv, _))) = (me, bf) {
+            prop_assert_eq!(v, bfv, "power optimum diverged (alpha {})", alpha);
+            sched.verify(&inst).unwrap();
+            prop_assert_eq!(gap_scheduling::power::power_cost_single(&sched, alpha), v);
+        }
     }
 }
 
