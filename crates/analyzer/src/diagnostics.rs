@@ -1,0 +1,194 @@
+//! Structured diagnostics and the two output renderers (human text and
+//! machine JSON — the JSON writer hand-escapes, since the workspace has
+//! no serde).
+
+use std::fmt;
+
+/// How severe a finding is. Every rule in the current catalog reports
+/// `Error` (the lint gate is blocking); `Warning` exists so future rules
+/// can report without failing CI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding: where, which rule, how bad, and what to do about it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (e.g. `panic-free`).
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.file,
+            self.line,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Sort diagnostics into the stable reporting order: file, line, rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+}
+
+/// Human-readable report, one line per diagnostic plus a summary tail.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if diags.is_empty() {
+        out.push_str("gaps lint: clean\n");
+    } else {
+        out.push_str(&format!(
+            "gaps lint: {} finding{} ({} error{})\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            errors,
+            if errors == 1 { "" } else { "s" },
+        ));
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report:
+/// `{"diagnostics": [...], "errors": N, "count": N}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(d.rule),
+            d.severity.as_str(),
+            json_escape(&d.message),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    out.push_str(&format!(
+        "],\n  \"errors\": {},\n  \"count\": {}\n}}\n",
+        errors,
+        diags.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule: "panic-free",
+            severity: Severity::Error,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let d = diag(
+            "crates/core/src/edf.rs",
+            12,
+            "`.unwrap()` in solver hot path",
+        );
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/edf.rs:12: error[panic-free]: `.unwrap()` in solver hot path"
+        );
+    }
+
+    #[test]
+    fn sort_is_by_file_then_line() {
+        let mut ds = vec![
+            diag("b.rs", 1, "x"),
+            diag("a.rs", 9, "x"),
+            diag("a.rs", 2, "x"),
+        ];
+        sort(&mut ds);
+        assert_eq!(
+            ds.iter()
+                .map(|d| (d.file.as_str(), d.line))
+                .collect::<Vec<_>>(),
+            vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]
+        );
+    }
+
+    #[test]
+    fn text_summary_counts() {
+        assert!(render_text(&[]).contains("clean"));
+        let two = render_text(&[diag("a.rs", 1, "x"), diag("a.rs", 2, "y")]);
+        assert!(two.contains("2 findings (2 errors)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = diag("a.rs", 3, "bad \"quote\"\\path");
+        let json = render_json(&[d]);
+        assert!(json.contains(r#""message": "bad \"quote\"\\path""#));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"errors\": 1"));
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"diagnostics\": []"));
+        assert!(empty.contains("\"count\": 0"));
+    }
+}

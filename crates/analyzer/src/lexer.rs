@@ -1,0 +1,408 @@
+//! A small hand-rolled Rust tokenizer.
+//!
+//! The offline vendor tree has no `syn`, so the analyzer lexes source
+//! itself. The token stream is deliberately coarse — identifiers,
+//! single-character punctuation, literals, and comments, each tagged with
+//! a 1-based line number — because every rule in the catalog is lexical:
+//! they match path chains (`std::sync::Mutex`), method-call idents
+//! (`.unwrap()`), macro heads (`panic!`), and comment text (`// SAFETY:`).
+//!
+//! What the lexer *must* get right for the rules to be sound is
+//! **classification**: text inside string/char literals, raw strings, and
+//! comments must never leak into identifier tokens (else `"panic!"` in a
+//! message would trip the panic-freedom rule), and lifetimes must not be
+//! confused with char literals (else `'a` would swallow source). Those
+//! cases are covered by unit tests below.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal (integer part only; `1.5` lexes as `1` `.` `5`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — distinguished from [`TokKind::Char`].
+    Lifetime,
+    /// `// …` comment (text includes the slashes, excludes the newline).
+    LineComment,
+    /// `/* … */` comment, nesting handled; may span lines.
+    BlockComment,
+}
+
+/// One token with its (1-based) source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True iff this token is an identifier equal to `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True iff this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// True iff this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Unterminated literals/comments end at EOF rather than
+/// erroring: the analyzer must degrade gracefully on any input file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if is_ident_start(c) => self.ident_or_prefixed(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Plain (non-raw) string body after the opening `"` was *not* yet
+    /// consumed; handles `\"` and `\\` escapes.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Raw string starting at the current `r`/`b` prefix position.
+    /// Returns false if the lookahead is not actually a raw string.
+    fn try_raw_string(&mut self, line: u32) -> bool {
+        // Accept r", r#…", br", b", rb" prefixes. Position on first char.
+        let mut ahead = 0;
+        let mut saw_r = false;
+        for _ in 0..2 {
+            match self.peek(ahead) {
+                Some('r') if !saw_r => {
+                    saw_r = true;
+                    ahead += 1;
+                }
+                Some('b') if ahead == 0 => ahead += 1,
+                _ => break,
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') || (!saw_r && hashes > 0) {
+            return false;
+        }
+        if !saw_r {
+            // b"…": plain string semantics with escapes.
+            self.bump(); // b
+            self.string(line);
+            return true;
+        }
+        for _ in 0..ahead + hashes + 1 {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        // Scan for `"` followed by `hashes` hash marks.
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(matched) == Some('#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'` then: ident-start + no closing quote => lifetime;
+        // otherwise a char literal (escaped or single-char).
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => after != Some('\''),
+            _ => false,
+        };
+        self.bump(); // the quote
+        if is_lifetime {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            // Char literal: consume until the closing quote, honoring `\`.
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::Char, String::new(), line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        // `r"…"`, `b"…"`, `br#"…"#` literals and `r#ident` raw identifiers
+        // all start like identifiers; disambiguate before consuming.
+        if matches!(self.peek(0), Some('r' | 'b')) && self.try_raw_string(line) {
+            return;
+        }
+        let mut text = String::new();
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            // Raw identifier: keep the bare name (`r#type` matches `type`).
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `b'x'` byte char: the `b` was consumed as an ident start.
+        if text == "b" && self.peek(0) == Some('\'') {
+            self.char_or_lifetime(line);
+            return;
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("foo::bar\nbaz");
+        assert_eq!(toks.len(), 5);
+        assert!(toks[0].is_ident("foo"));
+        assert!(toks[1].is_punct(':'));
+        assert_eq!(toks[3].line, 1);
+        assert!(toks[4].is_ident("baz"));
+        assert_eq!(toks[4].line, 2);
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        let toks = kinds(r#"let x = "panic! unwrap() // no";"#);
+        assert!(toks.iter().all(|(_, t)| !t.contains("unwrap")));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let x = r#"quote " inside"# + 1;"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1"));
+        let toks = kinds("br#\"bytes\"# ");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokKind::Str);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn byte_char_literals() {
+        let toks = lex("let c = b'\\n'; let d = b'x';");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_captured_with_text() {
+        let toks = lex("code(); // trailing note\n/* block\nspans */ more");
+        let comments: Vec<_> = toks.iter().filter(|t| t.is_comment()).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("trailing note"));
+        assert!(comments[1].text.contains("spans"));
+        assert_eq!(comments[1].line, 2);
+        assert!(toks.last().expect("tokens").is_ident("more"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still out */ after");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].is_comment());
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_bare_name() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        assert!(!lex("\"unterminated").is_empty());
+        assert!(!lex("/* unterminated").is_empty());
+        assert!(!lex("r#\"unterminated").is_empty());
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0..10u64 + 0x_ff");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "10u64"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0x_ff"));
+    }
+}

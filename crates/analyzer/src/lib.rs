@@ -1,0 +1,267 @@
+//! # gaps-analyzer
+//!
+//! A self-contained, lexer-based static-analysis pass that enforces the
+//! gap-scheduling workspace's correctness invariants — the properties
+//! that make "bit-exact optima from exact solvers under a concurrent
+//! engine" true, but that no compiler check enforces:
+//!
+//! | rule id | invariant |
+//! |---------|-----------|
+//! | `vendor-subset` | vendored-crate references stay within `vendor/<crate>/API.txt` |
+//! | `panic-free` | no unwrap/expect/panic!/todo! in `crates/core` solver code |
+//! | `concurrency` | parking_lot-only locks, pool-only spawns, no lock across send/recv |
+//! | `unsafe-audit` | every `unsafe` carries a `// SAFETY:` comment |
+//! | `determinism` | no wall-clock reads in solver logic |
+//!
+//! Run it as `gaps lint [--format json]`; it exits non-zero on findings
+//! and is a blocking CI step. Individual sites can be exempted with
+//! `// analyzer: allow(<rule>): <justification>` — the justification is
+//! mandatory, and the framework itself reports malformed or unknown
+//! directives (pseudo-rule `allow-directive`).
+//!
+//! There is no `syn` in the offline vendor tree, so everything is built
+//! on the hand-rolled tokenizer in [`lexer`]; rules are lexical by
+//! design (see [`rules`] for what that buys and costs).
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod source;
+
+pub use diagnostics::{render_json, render_text, Diagnostic, Severity};
+
+use manifest::{Manifest, Manifests, VENDOR_CRATES};
+use rules::Context;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Result of a lint run.
+pub struct Analysis {
+    /// Findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// True iff no error-severity finding was reported.
+    pub fn is_clean(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Directory names never descended into. `fixtures` holds the analyzer's
+/// own deliberately-violating test inputs.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Find the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Collect every `.rs` file under `root` (sorted, workspace-relative),
+/// skipping [`SKIP_DIRS`].
+fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Load the vendor API manifests under `root`. Missing files simply
+/// leave their crate absent — the vendor-subset rule reports that on
+/// first use, so a deleted manifest cannot silently disable the check.
+pub fn load_manifests(root: &Path) -> Manifests {
+    let mut manifests = Manifests::new();
+    for krate in VENDOR_CRATES {
+        let path = root.join("vendor").join(krate).join("API.txt");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            manifests.insert(krate, Manifest::parse(&text));
+        }
+    }
+    manifests
+}
+
+/// Lint already-parsed sources against the full rule catalog plus the
+/// framework's allow-directive validation. Exposed for fixture tests;
+/// most callers want [`analyze_workspace`].
+pub fn analyze_sources(manifests: Manifests, sources: &[SourceFile]) -> Vec<Diagnostic> {
+    let ctx = Context { manifests };
+    let catalog = rules::catalog();
+    let known = rules::known_rule_ids();
+    let mut diags = Vec::new();
+    for file in sources {
+        for rule in &catalog {
+            rule.check(file, &ctx, &mut diags);
+        }
+        // Framework check: allow directives must name a real rule and
+        // carry a justification, otherwise the escape hatch rots.
+        for allow in &file.allows {
+            if !known.contains(&allow.rule.as_str()) {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: allow.line,
+                    rule: "allow-directive",
+                    severity: Severity::Error,
+                    message: format!(
+                        "allow directive names unknown rule `{}` (known: {})",
+                        allow.rule,
+                        known.join(", ")
+                    ),
+                });
+            } else if allow.justification.is_empty() {
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: allow.line,
+                    rule: "allow-directive",
+                    severity: Severity::Error,
+                    message: format!(
+                        "allow({}) requires a justification: \
+                         `// analyzer: allow({}): <why this is sound>`",
+                        allow.rule, allow.rule
+                    ),
+                });
+            }
+        }
+    }
+    diagnostics::sort(&mut diags);
+    diags
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
+    let manifests = load_manifests(root);
+    let files = collect_rs_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(Analysis {
+        diagnostics: analyze_sources(manifests, &sources),
+        files_scanned: sources.len(),
+    })
+}
+
+/// One-line description of every rule, for `gaps lint --rules`.
+pub fn rule_catalog_text() -> String {
+    let mut out = String::new();
+    for rule in rules::catalog() {
+        out.push_str(&format!("{:<14} {}\n", rule.id(), rule.description()));
+    }
+    out.push_str(&format!(
+        "{:<14} {}\n",
+        "allow-directive",
+        "framework check: allow directives must name a known rule and justify themselves"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> SourceFile {
+        SourceFile::parse(path, text)
+    }
+
+    #[test]
+    fn analyze_sources_runs_every_rule_and_sorts() {
+        let files = vec![
+            src("crates/core/src/b.rs", "fn f() { x.unwrap(); }\n"),
+            src(
+                "crates/core/src/a.rs",
+                "fn f() { let t = std::time::Instant::now(); unsafe {} }\n",
+            ),
+        ];
+        let diags = analyze_sources(Manifests::new(), &files);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["determinism", "unsafe-audit", "panic-free"]);
+        assert!(diags[0].file < diags[2].file);
+    }
+
+    #[test]
+    fn unknown_allow_rule_is_reported() {
+        let files = vec![src(
+            "crates/core/src/a.rs",
+            "// analyzer: allow(sloppiness): because\nfn f() {}\n",
+        )];
+        let diags = analyze_sources(Manifests::new(), &files);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "allow-directive");
+        assert!(diags[0].message.contains("unknown rule `sloppiness`"));
+    }
+
+    #[test]
+    fn missing_justification_is_reported() {
+        let files = vec![src(
+            "crates/core/src/a.rs",
+            "fn f() {\n    x.unwrap(); // analyzer: allow(panic-free)\n}\n",
+        )];
+        let diags = analyze_sources(Manifests::new(), &files);
+        // The unwrap itself is suppressed, but the naked allow is the finding.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "allow-directive");
+        assert!(diags[0].message.contains("requires a justification"));
+    }
+
+    #[test]
+    fn clean_analysis_is_clean() {
+        let files = vec![src("crates/core/src/a.rs", "pub fn f() -> u64 { 1 }\n")];
+        let diags = analyze_sources(Manifests::new(), &files);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn rule_catalog_lists_all_five_rules() {
+        let text = rule_catalog_text();
+        for id in [
+            "vendor-subset",
+            "panic-free",
+            "concurrency",
+            "unsafe-audit",
+            "determinism",
+            "allow-directive",
+        ] {
+            assert!(text.contains(id), "missing {id} in:\n{text}");
+        }
+    }
+}

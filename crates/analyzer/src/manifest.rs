@@ -1,0 +1,106 @@
+//! Vendor API manifests: the machine-readable `vendor/<crate>/API.txt`
+//! files listing the documented API subset each offline stand-in
+//! implements.
+//!
+//! The ROADMAP requires the eventual registry swap to be a mechanical
+//! path -> version change; that holds exactly as long as the workspace
+//! only names items the stubs document. The `vendor-subset` rule checks
+//! every `rand::` / `proptest::` / `criterion::` / `parking_lot::` /
+//! `crossbeam::` reference against these manifests.
+//!
+//! Format: one fully qualified path per line (`crossbeam::channel::
+//! bounded`), `#` comments, blank lines ignored. An entry whitelists
+//! itself and any longer path rooted at it (so `rand::rngs::StdRng`
+//! covers `rand::rngs::StdRng::seed_from_u64`); an entry ending in `::*`
+//! whitelists the matching glob import.
+
+use std::collections::BTreeMap;
+
+/// The vendor crates the workspace stubs, in stable order.
+pub const VENDOR_CRATES: [&str; 5] = ["criterion", "crossbeam", "parking_lot", "proptest", "rand"];
+
+/// One crate's documented-API manifest.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    /// Entries as `::`-separated segment vectors (first segment is the
+    /// crate name). Glob entries keep their trailing `*` segment.
+    entries: Vec<Vec<String>>,
+}
+
+impl Manifest {
+    /// Parse manifest text (see the module docs for the format).
+    pub fn parse(text: &str) -> Manifest {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| l.split("::").map(|s| s.trim().to_string()).collect())
+            .collect();
+        Manifest { entries }
+    }
+
+    /// Is the `::`-separated `path` (first segment = crate name) covered?
+    ///
+    /// Covered means: some entry equals a prefix of `path` (item or
+    /// module granting its descendants), or `path` is itself a glob and
+    /// an identical glob entry exists.
+    pub fn covers(&self, path: &[&str]) -> bool {
+        self.entries.iter().any(|e| {
+            if e.last().is_some_and(|s| s == "*") {
+                // Glob entry: matches the identical glob import, or any
+                // concrete path strictly below the glob's prefix.
+                let prefix = &e[..e.len() - 1];
+                path.len() > prefix.len() && path[..prefix.len()].iter().eq(prefix.iter())
+            } else {
+                path.len() >= e.len() && path[..e.len()].iter().eq(e.iter())
+            }
+        })
+    }
+
+    /// Number of entries (for reporting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the manifest has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// All vendor manifests, keyed by crate name. Crates whose `API.txt`
+/// was missing are absent — the vendor-subset rule reports that as a
+/// violation on first use.
+pub type Manifests = BTreeMap<&'static str, Manifest>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let m = Manifest::parse("# header\n\nrand::Rng\n  rand::rngs::StdRng  \n");
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn exact_and_descendant_coverage() {
+        let m = Manifest::parse("rand::rngs::StdRng\nrand::Rng\n");
+        assert!(m.covers(&["rand", "Rng"]));
+        assert!(m.covers(&["rand", "rngs", "StdRng"]));
+        assert!(m.covers(&["rand", "rngs", "StdRng", "seed_from_u64"]));
+        assert!(!m.covers(&["rand", "rngs"]));
+        assert!(!m.covers(&["rand", "thread_rng"]));
+        assert!(!m.covers(&["rand", "RngX"]));
+    }
+
+    #[test]
+    fn glob_entries() {
+        let m = Manifest::parse("proptest::prelude::*\n");
+        assert!(m.covers(&["proptest", "prelude", "*"]));
+        assert!(m.covers(&["proptest", "prelude", "any"]));
+        assert!(!m.covers(&["proptest", "prelude"]));
+        assert!(!m.covers(&["proptest", "strategy", "*"]));
+    }
+}

@@ -1,0 +1,315 @@
+//! Rule `concurrency`: the engine's concurrency discipline.
+//!
+//! Three checks, all lexical:
+//!
+//! 1. **parking_lot-only locking** — `std::sync::Mutex` / `RwLock` are
+//!    banned everywhere outside `vendor/` (the `parking_lot` stub wraps
+//!    the std mutex once; everything else must go through it so the
+//!    registry swap changes one crate).
+//! 2. **pool-only thread spawning** — `thread::spawn` is banned outside
+//!    the worker-pool module (`crates/engine/src/pool.rs`); ad-hoc
+//!    threads bypass the pool's ordering and backpressure guarantees.
+//!    `crossbeam::scope` spawns are the sanctioned alternative.
+//! 3. **no lock held across channel ops** — a named lock guard that is
+//!    still live (lexically: its `let` binding's block has not closed
+//!    and it has not been `drop`ped) when a `.send(…)` / `.recv(…)` /
+//!    `.try_recv(…)` appears is a deadlock hazard: channel ops block,
+//!    and a blocked holder stalls every other worker contending on the
+//!    shard. The same statement combining `.lock()` with a channel op is
+//!    flagged too.
+
+use super::{qualified_paths, CodeView, Context, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+pub(crate) struct Concurrency;
+
+/// The one module allowed to spawn OS threads directly.
+const POOL_MODULE: &str = "crates/engine/src/pool.rs";
+
+const CHANNEL_OPS: [&str; 3] = ["send", "recv", "try_recv"];
+
+impl Rule for Concurrency {
+    fn id(&self) -> &'static str {
+        "concurrency"
+    }
+
+    fn description(&self) -> &'static str {
+        "parking_lot-only locking, thread::spawn only in the engine worker \
+         pool, and no lock guard held across channel send/recv"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.is_vendor() {
+            return;
+        }
+        let code = CodeView::new(file);
+        self.check_paths(file, &code, out);
+        self.check_lock_across_channel(file, &code, out);
+    }
+}
+
+impl Concurrency {
+    /// Checks 1 and 2: banned paths, in imports and inline.
+    fn check_paths(&self, file: &SourceFile, code: &CodeView<'_>, out: &mut Vec<Diagnostic>) {
+        for path in qualified_paths(code) {
+            let segs: Vec<&str> = path.segments.iter().map(String::as_str).collect();
+            let std_lock = segs
+                .windows(2)
+                .any(|w| w[0] == "sync" && (w[1] == "Mutex" || w[1] == "RwLock"))
+                && segs.first() == Some(&"std");
+            if std_lock && !file.allowed(self.id(), path.line) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: path.line,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}`: std sync primitives are banned; use the `parking_lot` \
+                         stub (non-poisoning, swaps to the registry crate mechanically)",
+                        path.segments.join("::")
+                    ),
+                });
+            }
+            let spawn = segs.windows(2).any(|w| w[0] == "thread" && w[1] == "spawn");
+            if spawn && file.rel_path != POOL_MODULE && !file.allowed(self.id(), path.line) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: path.line,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}`: OS threads may only be spawned by the engine worker pool \
+                         ({POOL_MODULE}); route work through `pool::map_ordered` or \
+                         `crossbeam::scope`",
+                        path.segments.join("::")
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Check 3: lexical no-lock-held-across-send/recv.
+    fn check_lock_across_channel(
+        &self,
+        file: &SourceFile,
+        code: &CodeView<'_>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        // Live named guards: (binding name, brace depth at the `let`).
+        let mut guards: Vec<(String, usize)> = Vec::new();
+        let mut depth = 0usize;
+        // Within the current statement: whether we are in a `let` and
+        // what its binding name is; whether a `.lock()` already appeared.
+        let mut stmt_let_name: Option<String> = None;
+        let mut stmt_is_let = false;
+        let mut stmt_has_lock = false;
+
+        for i in 0..code.len() {
+            let t = code.tok(i);
+            match t.kind {
+                TokKind::Punct => match t.text.as_bytes().first() {
+                    Some(b'{') => depth += 1,
+                    Some(b'}') => {
+                        depth = depth.saturating_sub(1);
+                        guards.retain(|&(_, d)| d <= depth);
+                        (stmt_is_let, stmt_let_name, stmt_has_lock) = (false, None, false);
+                    }
+                    Some(b';') => {
+                        (stmt_is_let, stmt_let_name, stmt_has_lock) = (false, None, false);
+                    }
+                    _ => {}
+                },
+                TokKind::Ident => match t.text.as_str() {
+                    "let" => {
+                        stmt_is_let = true;
+                        stmt_let_name = None;
+                    }
+                    "mut" if stmt_is_let => {}
+                    "drop" => {
+                        // `drop(guard)` releases a named guard early.
+                        if let (Some(open), Some(arg)) = (code.get(i + 1), code.get(i + 2)) {
+                            if open.is_punct('(') && arg.kind == TokKind::Ident {
+                                guards.retain(|(name, _)| *name != arg.text);
+                            }
+                        }
+                    }
+                    "lock" if i >= 1 && code.tok(i - 1).is_punct('.') => {
+                        stmt_has_lock = true;
+                        if let Some(name) = &stmt_let_name {
+                            guards.push((name.clone(), depth));
+                        }
+                    }
+                    op if CHANNEL_OPS.contains(&op)
+                        && i >= 1
+                        && code.tok(i - 1).is_punct('.')
+                        && code.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                    {
+                        // A `.lock()` later in the same statement (e.g. in
+                        // the send's argument list) is also held across the
+                        // channel op; scan forward to the statement end.
+                        let lock_ahead = (i + 1..code.len())
+                            .map(|j| code.tok(j))
+                            .take_while(|n| {
+                                !(n.kind == TokKind::Punct
+                                    && matches!(
+                                        n.text.as_bytes().first(),
+                                        Some(b';' | b'{' | b'}')
+                                    ))
+                            })
+                            .enumerate()
+                            .any(|(k, n)| n.is_ident("lock") && code.tok(i + k).is_punct('.'));
+                        let held = !guards.is_empty() || stmt_has_lock || lock_ahead;
+                        if held && !file.allowed(self.id(), t.line) {
+                            let holder = guards
+                                .last()
+                                .map(|(n, _)| format!("guard `{n}`"))
+                                .unwrap_or_else(|| "a temporary lock guard".to_string());
+                            out.push(Diagnostic {
+                                file: file.rel_path.clone(),
+                                line: t.line,
+                                rule: self.id(),
+                                severity: Severity::Error,
+                                message: format!(
+                                    "channel `.{op}()` while {holder} is held; a blocking \
+                                     channel op under a lock stalls every contending worker \
+                                     — release the guard (drop or end of block) first"
+                                ),
+                            });
+                        }
+                    }
+                    name if stmt_is_let && stmt_let_name.is_none() => {
+                        stmt_let_name = Some(name.to_string());
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifests;
+
+    fn diags(path: &str, src: &str) -> Vec<(u32, String)> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        Concurrency.check(
+            &f,
+            &Context {
+                manifests: Manifests::new(),
+            },
+            &mut out,
+        );
+        out.into_iter().map(|d| (d.line, d.message)).collect()
+    }
+
+    #[test]
+    fn std_sync_mutex_flagged_import_and_inline() {
+        let d = diags(
+            "crates/engine/src/cache.rs",
+            "use std::sync::Mutex;\nfn f() { let m = std::sync::RwLock::new(0); }\n",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].1.contains("parking_lot"));
+    }
+
+    #[test]
+    fn std_sync_atomics_and_arc_pass() {
+        let d = diags(
+            "crates/engine/src/cache.rs",
+            "use std::sync::Arc;\nuse std::sync::atomic::{AtomicU64, Ordering};\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_pool_module() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(diags("crates/engine/src/router.rs", src).len(), 1);
+        assert_eq!(diags("src/bin/gaps.rs", src).len(), 1);
+        assert!(diags("crates/engine/src/pool.rs", src).is_empty());
+        // `use std::thread;` then `thread::spawn` is also a chain.
+        let via_mod = "use std::thread;\nfn f() { thread::spawn(|| {}); }\n";
+        assert_eq!(diags("crates/core/src/edf.rs", via_mod).len(), 1);
+    }
+
+    #[test]
+    fn scoped_spawn_methods_pass() {
+        let d = diags(
+            "crates/engine/src/router.rs",
+            "fn f() { crossbeam::scope(|s| { s.spawn(|_| {}); }).expect(\"join\"); }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn guard_held_across_send_flagged() {
+        let d = diags(
+            "crates/engine/src/x.rs",
+            "fn f() {\n    let g = state.lock();\n    tx.send(g.len());\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].0, 3);
+        assert!(d[0].1.contains("guard `g`"));
+    }
+
+    #[test]
+    fn guard_released_by_block_end_passes() {
+        let d = diags(
+            "crates/engine/src/x.rs",
+            "fn f() {\n    { let g = state.lock(); use_it(&g); }\n    tx.send(1);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn guard_dropped_early_passes() {
+        let d = diags(
+            "crates/engine/src/x.rs",
+            "fn f() {\n    let g = state.lock();\n    drop(g);\n    tx.send(1);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn same_statement_temporary_lock_with_send_flagged() {
+        let d = diags(
+            "crates/engine/src/x.rs",
+            "fn f() { tx.send(state.lock().snapshot()); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].1.contains("temporary"));
+    }
+
+    #[test]
+    fn temporary_lock_in_prior_statement_passes() {
+        let d = diags(
+            "crates/engine/src/x.rs",
+            "fn f() {\n    state.lock().bump();\n    tx.send(1);\n    let v = rx.recv();\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn vendor_files_exempt() {
+        let d = diags(
+            "vendor/parking_lot/src/lib.rs",
+            "fn f() { let _ = std::thread::spawn(|| {}); use std::sync::Mutex; }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let d = diags(
+            "crates/engine/src/x.rs",
+            "fn f() {\n    let g = m.lock();\n    // analyzer: allow(concurrency): bounded channel has capacity for this send\n    tx.send(1);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

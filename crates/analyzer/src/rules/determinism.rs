@@ -1,0 +1,154 @@
+//! Rule `determinism`: no wall-clock reads (`Instant::now`,
+//! `SystemTime::now`) in solver logic.
+//!
+//! The engine's contract is bit-identical output for any `--threads`
+//! value, and the differential/golden suites replay instances expecting
+//! stable results; a solver that branches on elapsed time breaks both.
+//! Timing belongs to `crates/bench` (measurement is its job) and to the
+//! engine's metrics surface (`crates/engine/src/lib.rs` latency
+//! recording, `metrics.rs`) — those locations are exempt, as are tests,
+//! benches, and examples.
+
+use super::{qualified_paths, CodeView, Context, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+pub(crate) struct Determinism;
+
+/// Files whose whole purpose is timing: the bench crate, and the engine
+/// metrics surface (request latency capture + report rendering).
+const EXEMPT_PREFIXES: [&str; 3] = [
+    "crates/bench",
+    "crates/engine/src/lib.rs",
+    "crates/engine/src/metrics.rs",
+];
+
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Instant::now/SystemTime::now in solver logic (timing lives in \
+         crates/bench and the engine metrics surface)"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if file.is_vendor() || file.is_test_file() || EXEMPT_PREFIXES.iter().any(|p| file.under(p))
+        {
+            return;
+        }
+        let code = CodeView::new(file);
+        for path in qualified_paths(&code) {
+            if path.in_test {
+                continue;
+            }
+            let segs: Vec<&str> = path.segments.iter().map(String::as_str).collect();
+            // `Instant::now` / `std::time::Instant::now` chains, and
+            // `use std::time::{Instant, …}` imports.
+            let clock_now = segs
+                .windows(2)
+                .any(|w| CLOCK_TYPES.contains(&w[0]) && w[1] == "now");
+            let clock_import = path.from_use
+                && segs.first() == Some(&"std")
+                && segs.get(1) == Some(&"time")
+                && segs.iter().any(|s| CLOCK_TYPES.contains(s));
+            if (clock_now || clock_import) && !file.allowed(self.id(), path.line) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: path.line,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}` reads the wall clock in solver logic; solvers must be \
+                         deterministic (timing belongs in crates/bench or the engine \
+                         metrics surface)",
+                        path.segments.join("::")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifests;
+
+    fn diags(path: &str, src: &str) -> Vec<(u32, String)> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        Determinism.check(
+            &f,
+            &Context {
+                manifests: Manifests::new(),
+            },
+            &mut out,
+        );
+        out.into_iter().map(|d| (d.line, d.message)).collect()
+    }
+
+    #[test]
+    fn instant_now_in_solver_flagged() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(d.len(), 1);
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(d.len(), 2, "import and call both flagged: {d:?}");
+    }
+
+    #[test]
+    fn system_time_flagged() {
+        let d = diags(
+            "crates/workloads/src/arrivals.rs",
+            "fn f() { let t = SystemTime::now(); }\n",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn duration_is_fine() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "use std::time::Duration;\nfn f(d: Duration) {}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bench_and_engine_metrics_exempt() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(diags("crates/bench/src/perf.rs", src).is_empty());
+        assert!(diags("crates/bench/src/bin/experiments.rs", src).is_empty());
+        assert!(diags("crates/engine/src/lib.rs", src).is_empty());
+        assert!(diags("crates/engine/src/metrics.rs", src).is_empty());
+        // …but the rest of the engine is not.
+        assert_eq!(diags("crates/engine/src/router.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn tests_and_examples_exempt() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(diags("crates/core/tests/properties.rs", src).is_empty());
+        assert!(diags("examples/quickstart.rs", src).is_empty());
+        let in_mod = "#[cfg(test)]\nmod t { fn f() { let x = Instant::now(); } }\n";
+        assert!(diags("crates/core/src/edf.rs", in_mod).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let d = diags(
+            "crates/sim/src/executor.rs",
+            "// analyzer: allow(determinism): trace timestamps are display-only\nlet t = SystemTime::now();\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

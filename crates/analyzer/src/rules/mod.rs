@@ -1,0 +1,319 @@
+//! The rule framework and catalog.
+//!
+//! A rule is a lexical check over one [`SourceFile`] with access to the
+//! shared [`Context`] (vendor manifests). Rules decide their own
+//! applicability from the file's workspace-relative path, honor the
+//! `// analyzer: allow(<rule>)` escape hatch via [`SourceFile::allowed`],
+//! and push [`Diagnostic`]s.
+//!
+//! Shared machinery lives here: a comment-free code view of the token
+//! stream, maximal qualified-path extraction (`std::sync::Mutex`), and a
+//! `use`-declaration tree parser — the three shapes every rule matches.
+
+mod concurrency;
+mod determinism;
+mod panic_free;
+mod unsafe_audit;
+mod vendor_subset;
+
+use crate::diagnostics::Diagnostic;
+use crate::manifest::Manifests;
+use crate::source::SourceFile;
+
+/// Shared context for a lint run.
+pub struct Context {
+    /// Vendor API manifests (absent entries mean a missing `API.txt`).
+    pub manifests: Manifests,
+}
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable rule id (used in diagnostics and allow directives).
+    fn id(&self) -> &'static str;
+    /// One-line description for `gaps lint --rules`.
+    fn description(&self) -> &'static str;
+    /// Check one file, pushing findings.
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>);
+}
+
+/// The full rule catalog, in reporting order.
+pub fn catalog() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(vendor_subset::VendorSubset),
+        Box::new(panic_free::PanicFree),
+        Box::new(concurrency::Concurrency),
+        Box::new(unsafe_audit::UnsafeAudit),
+        Box::new(determinism::Determinism),
+    ]
+}
+
+/// Ids of every rule in the catalog plus the framework's own
+/// `allow-directive` pseudo-rule (valid targets for allow directives are
+/// the real rules only).
+pub fn known_rule_ids() -> Vec<&'static str> {
+    catalog().iter().map(|r| r.id()).collect()
+}
+
+// ---------------------------------------------------------------------
+// Shared extraction helpers
+// ---------------------------------------------------------------------
+
+/// A comment-free view of a file's tokens: `idx[i]` is the position of
+/// the `i`-th code token in `file.toks`.
+pub(crate) struct CodeView<'a> {
+    pub file: &'a SourceFile,
+    pub idx: Vec<usize>,
+}
+
+impl<'a> CodeView<'a> {
+    pub(crate) fn new(file: &'a SourceFile) -> CodeView<'a> {
+        CodeView {
+            file,
+            idx: (0..file.toks.len())
+                .filter(|&i| !file.toks[i].is_comment())
+                .collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    pub(crate) fn tok(&self, i: usize) -> &crate::lexer::Tok {
+        &self.file.toks[self.idx[i]]
+    }
+
+    pub(crate) fn get(&self, i: usize) -> Option<&crate::lexer::Tok> {
+        self.idx.get(i).map(|&j| &self.file.toks[j])
+    }
+
+    /// Is code token `i` inside in-file test code?
+    pub(crate) fn in_test(&self, i: usize) -> bool {
+        self.file.token_in_test(self.idx[i])
+    }
+
+    /// Is there a `::` (two adjacent `:` puncts) at code positions
+    /// `i`, `i + 1`?
+    pub(crate) fn is_path_sep(&self, i: usize) -> bool {
+        self.get(i).is_some_and(|t| t.is_punct(':'))
+            && self.get(i + 1).is_some_and(|t| t.is_punct(':'))
+    }
+}
+
+/// A qualified path reference (`a::b::c`) found in code.
+#[derive(Debug)]
+pub(crate) struct PathRef {
+    /// Path segments; a trailing `*` segment marks a glob import.
+    pub segments: Vec<String>,
+    /// Line of the first segment.
+    pub line: u32,
+    /// Whether the reference sits in in-file test code.
+    pub in_test: bool,
+    /// Whether the reference comes from a `use` declaration (as opposed
+    /// to an inline expression/type path).
+    pub from_use: bool,
+}
+
+/// Extract every qualified path in the file: `use` declarations are
+/// parsed as trees (each leaf yields one path), and inline chains of
+/// `ident::ident` are collected maximally (turbofish and `{` stop a
+/// chain). Single-segment references are not paths and are skipped.
+pub(crate) fn qualified_paths(code: &CodeView<'_>) -> Vec<PathRef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code.tok(i);
+        if t.is_ident("use") {
+            i = parse_use_decl(code, i, &mut out);
+            continue;
+        }
+        if t.kind == crate::lexer::TokKind::Ident
+            && code.is_path_sep(i + 1)
+            && !(i >= 2 && code.is_path_sep(i - 2))
+            && !(i >= 1 && code.get(i - 1).is_some_and(|p| p.is_punct('.')))
+        {
+            let line = t.line;
+            let in_test = code.in_test(i);
+            let mut segments = vec![t.text.clone()];
+            let mut j = i + 1;
+            while code.is_path_sep(j) {
+                match code.get(j + 2) {
+                    Some(n) if n.kind == crate::lexer::TokKind::Ident => {
+                        segments.push(n.text.clone());
+                        j += 3;
+                    }
+                    _ => break, // turbofish `::<`, `::{`, `::*` outside use
+                }
+            }
+            if segments.len() >= 2 {
+                out.push(PathRef {
+                    segments,
+                    line,
+                    in_test,
+                    from_use: false,
+                });
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse the `use` declaration starting at code position `i` (the `use`
+/// ident), pushing one [`PathRef`] per leaf. Returns the position just
+/// past the terminating `;`.
+fn parse_use_decl(code: &CodeView<'_>, i: usize, out: &mut Vec<PathRef>) -> usize {
+    let line = code.tok(i).line;
+    let in_test = code.in_test(i);
+    let mut j = i + 1;
+    let mut prefix: Vec<String> = Vec::new();
+    parse_use_tree(code, &mut j, &mut prefix, out, line, in_test);
+    // Consume through the `;` if the parser stopped short of it.
+    let mut k = j;
+    while k < code.len() && !code.tok(k).is_punct(';') {
+        k += 1;
+    }
+    k + 1
+}
+
+/// Recursive-descent over one use (sub)tree at `*j`; `prefix` holds the
+/// segments accumulated so far. Leaves `*j` just past the subtree; the
+/// caller restores `prefix` to its pre-call length.
+fn parse_use_tree(
+    code: &CodeView<'_>,
+    j: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<PathRef>,
+    line: u32,
+    in_test: bool,
+) {
+    loop {
+        match code.get(*j) {
+            Some(t) if t.kind == crate::lexer::TokKind::Ident => {
+                prefix.push(t.text.clone());
+                *j += 1;
+                if code.is_path_sep(*j) {
+                    *j += 2;
+                    continue; // descend into the next segment / group
+                }
+                emit_leaf(prefix, out, line, in_test);
+                if code.get(*j).is_some_and(|t| t.is_ident("as")) {
+                    *j += 2; // skip the alias name
+                }
+                return;
+            }
+            Some(t) if t.is_punct('*') => {
+                prefix.push("*".to_string());
+                emit_leaf(prefix, out, line, in_test);
+                *j += 1;
+                return;
+            }
+            Some(t) if t.is_punct('{') => {
+                *j += 1;
+                loop {
+                    match code.get(*j) {
+                        Some(t) if t.is_punct('}') => {
+                            *j += 1;
+                            return;
+                        }
+                        Some(t) if t.is_punct(',') => {
+                            *j += 1;
+                        }
+                        Some(_) => {
+                            let saved = prefix.len();
+                            parse_use_tree(code, j, prefix, out, line, in_test);
+                            prefix.truncate(saved);
+                        }
+                        None => return,
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn emit_leaf(prefix: &[String], out: &mut Vec<PathRef>, line: u32, in_test: bool) {
+    if prefix.len() >= 2 {
+        out.push(PathRef {
+            segments: prefix.to_vec(),
+            line,
+            in_test,
+            from_use: true,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths_of(src: &str) -> Vec<(Vec<String>, bool)> {
+        let f = SourceFile::parse("x.rs", src);
+        let code = CodeView::new(&f);
+        qualified_paths(&code)
+            .into_iter()
+            .map(|p| (p.segments, p.from_use))
+            .collect()
+    }
+
+    fn segs(paths: &[(Vec<String>, bool)]) -> Vec<String> {
+        paths.iter().map(|(s, _)| s.join("::")).collect()
+    }
+
+    #[test]
+    fn inline_chains_are_maximal() {
+        let p = paths_of("let r = rand::rngs::StdRng::seed_from_u64(7);");
+        assert_eq!(segs(&p), vec!["rand::rngs::StdRng::seed_from_u64"]);
+        assert!(!p[0].1);
+    }
+
+    #[test]
+    fn turbofish_stops_a_chain() {
+        let p = paths_of("channel::bounded::<(usize, T)>(cap)");
+        assert_eq!(segs(&p), vec!["channel::bounded"]);
+    }
+
+    #[test]
+    fn method_calls_do_not_start_chains() {
+        let p = paths_of("foo.bar::<T>(); x.send(1);");
+        assert!(p.is_empty(), "{p:?}");
+    }
+
+    #[test]
+    fn use_groups_expand_to_leaves() {
+        let p = paths_of("use rand::{Rng, SeedableRng, rngs::StdRng};");
+        assert_eq!(
+            segs(&p),
+            vec!["rand::Rng", "rand::SeedableRng", "rand::rngs::StdRng"]
+        );
+        assert!(p.iter().all(|(_, from_use)| *from_use));
+    }
+
+    #[test]
+    fn use_glob_and_alias() {
+        let p = paths_of("use proptest::prelude::*;\nuse crossbeam::channel as ch;");
+        assert_eq!(segs(&p), vec!["proptest::prelude::*", "crossbeam::channel"]);
+    }
+
+    #[test]
+    fn nested_use_groups() {
+        let p = paths_of("use a::{b::{c, d}, e};");
+        assert_eq!(segs(&p), vec!["a::b::c", "a::b::d", "a::e"]);
+    }
+
+    #[test]
+    fn chains_inside_test_mods_are_flagged_in_test() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn live() { std::sync::park(); }\n#[cfg(test)]\nmod t { fn f() { std::thread::spawn(g); } }\n",
+        );
+        let code = CodeView::new(&f);
+        let paths = qualified_paths(&code);
+        assert_eq!(paths.len(), 2);
+        assert!(!paths[0].in_test);
+        assert!(paths[1].in_test);
+    }
+}

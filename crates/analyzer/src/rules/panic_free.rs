@@ -1,0 +1,163 @@
+//! Rule `panic-free`: no `.unwrap()` / `.expect(…)` / `panic!` / `todo!`
+//! / `unimplemented!` in non-test code of the `crates/core` solver
+//! modules.
+//!
+//! The solvers are the engine's hot path: a panic there takes down a
+//! worker thread and, through the pool's re-raise semantics, the whole
+//! batch. Invariant-backed panics are still expressible — convert the
+//! site to an `expect` whose message states the invariant and annotate
+//! it with `// analyzer: allow(panic-free): <why the invariant holds>`.
+
+use super::{CodeView, Context, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+pub(crate) struct PanicFree;
+
+/// Macro heads that abort the thread.
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+/// Panicking `Option`/`Result` adapters (exact idents; `unwrap_or*` and
+/// friends do not match).
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+impl Rule for PanicFree {
+    fn id(&self) -> &'static str {
+        "panic-free"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo! in non-test code of the crates/core \
+         solver modules (escape hatch: // analyzer: allow(panic-free): <reason>)"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !file.under("crates/core/src") || file.is_test_file() {
+            return;
+        }
+        let code = CodeView::new(file);
+        for i in 0..code.len() {
+            if code.in_test(i) {
+                continue;
+            }
+            let t = code.tok(i);
+            if t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            let finding = if PANIC_METHODS.contains(&t.text.as_str())
+                && i >= 1
+                && code.tok(i - 1).is_punct('.')
+            {
+                Some(format!(
+                    "`.{}()` in solver hot-path code; return an error/Option or document \
+                     the invariant with an expect + `// analyzer: allow(panic-free): …`",
+                    t.text
+                ))
+            } else if PANIC_MACROS.contains(&t.text.as_str())
+                && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                Some(format!(
+                    "`{}!` in solver hot-path code; make the state unrepresentable or \
+                     annotate with `// analyzer: allow(panic-free): …`",
+                    t.text
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = finding {
+                if !file.allowed(self.id(), t.line) {
+                    out.push(Diagnostic {
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        rule: self.id(),
+                        severity: Severity::Error,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifests;
+
+    fn diags(path: &str, src: &str) -> Vec<(u32, String)> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        PanicFree.check(
+            &f,
+            &Context {
+                manifests: Manifests::new(),
+            },
+            &mut out,
+        );
+        out.into_iter().map(|d| (d.line, d.message)).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_in_core_flagged() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "fn f() {\n    let a = x.unwrap();\n    let b = y.expect(\"msg\");\n}\n",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, 2);
+        assert_eq!(d[1].0, 3);
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_asserts_are_not() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "fn f() {\n    assert!(ok);\n    panic!(\"boom\");\n    todo!();\n    unimplemented!();\n}\n",
+        );
+        assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_pass() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "fn f() { let a = x.unwrap_or(0); let b = y.unwrap_or_else(|| 1); let c = z.unwrap_or_default(); }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_and_other_crates_pass() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(diags("crates/engine/src/cache.rs", src).is_empty());
+        assert!(diags("crates/core/tests/properties.rs", src).is_empty());
+        let in_mod = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }\n";
+        assert!(diags("crates/core/src/edf.rs", in_mod).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "fn f() { let s = \"never panic! here\"; } // .unwrap() would be bad\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "fn f() {\n    // analyzer: allow(panic-free): index produced by the loop above\n    let a = xs.get(i).expect(\"loop bound\");\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn attribute_expect_is_not_a_method_call() {
+        let d = diags(
+            "crates/core/src/edf.rs",
+            "#[expect(dead_code)]\nfn f() {}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

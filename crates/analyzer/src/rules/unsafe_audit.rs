@@ -1,0 +1,152 @@
+//! Rule `unsafe-audit`: every `unsafe` keyword — block, fn, impl, or
+//! trait — must be justified by a `// SAFETY:` comment on the same line
+//! or within the three lines above it.
+//!
+//! The workspace is currently 100% safe code; this rule keeps the first
+//! `unsafe` that ever lands (say, a SIMD kernel in the DP hot path) from
+//! arriving without its proof obligation written down. It applies to
+//! `vendor/` and test code too: an unsound stub or test helper is no
+//! less unsound.
+
+use super::{CodeView, Context, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+pub(crate) struct UnsafeAudit;
+
+/// How many lines above an `unsafe` a SAFETY comment may sit (the
+/// comment may be multi-line; its *last* line must be in range).
+const SAFETY_WINDOW: u32 = 3;
+
+impl Rule for UnsafeAudit {
+    fn id(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "every `unsafe` block/fn/impl must be preceded by a `// SAFETY:` comment"
+    }
+
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        // Lines on which a SAFETY comment ends (block comments may span
+        // lines; approximate their end by start line + newline count).
+        let safety_lines: Vec<u32> = file
+            .toks
+            .iter()
+            .filter(|t| t.is_comment() && t.text.contains("SAFETY:"))
+            .map(|t| t.line + t.text.matches('\n').count() as u32)
+            .collect();
+        let code = CodeView::new(file);
+        for i in 0..code.len() {
+            let t = code.tok(i);
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let justified = safety_lines
+                .iter()
+                .any(|&l| l <= t.line && l + SAFETY_WINDOW >= t.line);
+            if !justified && !file.allowed(self.id(), t.line) {
+                out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: "`unsafe` without a `// SAFETY:` comment on the same line or \
+                              within the 3 lines above; state the invariant that makes \
+                              this sound"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifests;
+
+    fn diags(path: &str, src: &str) -> Vec<u32> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        UnsafeAudit.check(
+            &f,
+            &Context {
+                manifests: Manifests::new(),
+            },
+            &mut out,
+        );
+        out.into_iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn bare_unsafe_block_flagged() {
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() {\n    unsafe { ptr.read() }\n}\n",
+        );
+        assert_eq!(d, vec![2]);
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // SAFETY: ptr is non-null, aligned, and owned by this slab.\n    unsafe { ptr.read() }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn multi_line_safety_comment_passes() {
+        let d = diags(
+            "crates/core/src/x.rs",
+            "// SAFETY: the index was bounds-checked by the caller and\n// the slab never shrinks while a guard is live.\nunsafe fn read_at(i: usize) {}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn safety_too_far_above_is_flagged() {
+        let d = diags(
+            "crates/core/src/x.rs",
+            "// SAFETY: stale note\n\n\n\n\nunsafe fn f() {}\n",
+        );
+        assert_eq!(d, vec![6]);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_safety_too() {
+        let d = diags("crates/engine/src/x.rs", "unsafe impl Send for Pool {}\n");
+        assert_eq!(d, vec![1]);
+        let ok = diags(
+            "crates/engine/src/x.rs",
+            "// SAFETY: all fields are Send; the raw pointer is never aliased.\nunsafe impl Send for Pool {}\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn vendor_and_test_code_are_covered() {
+        assert_eq!(
+            diags("vendor/rand/src/lib.rs", "fn f() { unsafe {} }\n"),
+            vec![1]
+        );
+        assert_eq!(
+            diags(
+                "crates/core/src/x.rs",
+                "#[cfg(test)]\nmod tests { fn f() { unsafe {} } }\n"
+            ),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn the_word_unsafe_in_comments_and_strings_passes() {
+        let d = diags(
+            "crates/core/src/x.rs",
+            "// this API is unsafe to misuse in a colloquial sense\nfn f() { let s = \"unsafe\"; }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Rule `vendor-subset`: every item the workspace references from a
+//! vendored stand-in crate (`rand`, `proptest`, `criterion`,
+//! `parking_lot`, `crossbeam`) must appear in that stub's documented-API
+//! manifest (`vendor/<crate>/API.txt`).
+//!
+//! This is what keeps the ROADMAP's "registry swap is a mechanical
+//! path -> version change" promise true: the manifests list the real
+//! crates' API surface that the stubs faithfully implement, so code that
+//! lints clean compiles unchanged against the registry versions.
+
+use super::{qualified_paths, CodeView, Context, Rule};
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::manifest::VENDOR_CRATES;
+use crate::source::SourceFile;
+
+pub(crate) struct VendorSubset;
+
+impl Rule for VendorSubset {
+    fn id(&self) -> &'static str {
+        "vendor-subset"
+    }
+
+    fn description(&self) -> &'static str {
+        "references to vendored crates must stay within the documented API \
+         manifest (vendor/<crate>/API.txt), keeping the registry swap mechanical"
+    }
+
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        // The stubs may reference themselves freely.
+        if file.is_vendor() {
+            return;
+        }
+        let code = CodeView::new(file);
+        for path in qualified_paths(&code) {
+            let Some(&krate) = VENDOR_CRATES
+                .iter()
+                .find(|&&c| path.segments.first().is_some_and(|s| s == c))
+            else {
+                continue;
+            };
+            if file.allowed(self.id(), path.line) {
+                continue;
+            }
+            let rendered = path.segments.join("::");
+            match ctx.manifests.get(krate) {
+                None => out.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: path.line,
+                    rule: self.id(),
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{rendered}` references vendored crate `{krate}` which has no \
+                         API manifest; add vendor/{krate}/API.txt"
+                    ),
+                }),
+                Some(m) => {
+                    let segs: Vec<&str> = path.segments.iter().map(String::as_str).collect();
+                    if !m.covers(&segs) {
+                        let kind = if path.from_use { "import" } else { "reference" };
+                        out.push(Diagnostic {
+                            file: file.rel_path.clone(),
+                            line: path.line,
+                            rule: self.id(),
+                            severity: Severity::Error,
+                            message: format!(
+                                "{kind} `{rendered}` is outside the documented API subset of \
+                                 the `{krate}` stub; extend the stub and vendor/{krate}/API.txt \
+                                 together, or stay within the documented surface"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{Manifest, Manifests};
+
+    fn ctx() -> Context {
+        let mut manifests = Manifests::new();
+        manifests.insert(
+            "rand",
+            Manifest::parse("rand::Rng\nrand::SeedableRng\nrand::rngs::StdRng\n"),
+        );
+        manifests.insert("proptest", Manifest::parse("proptest::prelude::*\n"));
+        Context { manifests }
+    }
+
+    fn diags(src: &str) -> Vec<String> {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        VendorSubset.check(&f, &ctx(), &mut out);
+        out.iter()
+            .map(|d| format!("{}:{}", d.line, d.message))
+            .collect()
+    }
+
+    #[test]
+    fn documented_imports_pass() {
+        assert!(diags("use rand::{Rng, SeedableRng};\nuse rand::rngs::StdRng;\n").is_empty());
+        assert!(diags("use proptest::prelude::*;\n").is_empty());
+        assert!(diags("let r = rand::rngs::StdRng::seed_from_u64(1);\n").is_empty());
+    }
+
+    #[test]
+    fn undocumented_import_is_flagged() {
+        let d = diags("use rand::thread_rng;\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("rand::thread_rng"), "{d:?}");
+    }
+
+    #[test]
+    fn undocumented_inline_reference_is_flagged() {
+        let d = diags("fn f() { let x = rand::random::<u8>(); }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("rand::random"));
+    }
+
+    #[test]
+    fn missing_manifest_is_flagged() {
+        let d = diags("use crossbeam::channel;\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("no API manifest"), "{d:?}");
+    }
+
+    #[test]
+    fn non_vendor_paths_ignored() {
+        assert!(diags("use std::collections::HashMap;\nuse crate::rand_helper::x;\n").is_empty());
+    }
+
+    #[test]
+    fn vendor_files_are_exempt() {
+        let f = SourceFile::parse("vendor/rand/src/lib.rs", "use rand::internal::Secret;");
+        let mut out = Vec::new();
+        VendorSubset.check(&f, &ctx(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let d = diags(
+            "// analyzer: allow(vendor-subset): migration shim, tracked in ROADMAP\nuse rand::thread_rng;\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

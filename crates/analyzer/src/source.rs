@@ -1,0 +1,378 @@
+//! A lexed source file plus the file-level facts every rule needs:
+//! workspace-relative path, `#[cfg(test)]` / `#[test]` region map, and
+//! `// analyzer: allow(rule)` escape-hatch directives.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// An `// analyzer: allow(<rule>): <justification>` directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule id inside the parentheses.
+    pub rule: String,
+    /// Line of the directive comment itself.
+    pub line: u32,
+    /// Justification text after the closing paren (may be empty, which
+    /// the framework reports as a violation in its own right).
+    pub justification: String,
+    /// Lines the directive suppresses: its own line, plus the next code
+    /// line when the comment stands alone on its line.
+    pub covers: Vec<u32>,
+}
+
+/// One workspace source file, lexed and annotated.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Per-token flag: inside a `#[cfg(test)]` item or `#[test]` fn.
+    pub in_test: Vec<bool>,
+    /// Escape-hatch directives found in comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl SourceFile {
+    /// Lex and annotate `text` as the file at `rel_path` (relative to the
+    /// workspace root; used for rule applicability decisions).
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let toks = lex(text);
+        let in_test = mark_test_regions(&toks);
+        let allows = collect_allows(&toks);
+        SourceFile {
+            rel_path: rel_path.replace('\\', "/"),
+            toks,
+            in_test,
+            allows,
+        }
+    }
+
+    /// First path component (e.g. `crates`, `vendor`, `src`, `tests`).
+    fn first_component(&self) -> &str {
+        self.rel_path.split('/').next().unwrap_or("")
+    }
+
+    /// True for files under `vendor/`.
+    pub fn is_vendor(&self) -> bool {
+        self.first_component() == "vendor"
+    }
+
+    /// True iff the file lives under the given `/`-separated prefix.
+    pub fn under(&self, prefix: &str) -> bool {
+        self.rel_path == prefix
+            || self
+                .rel_path
+                .strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('/'))
+    }
+
+    /// True for files that are test/bench/example code by location:
+    /// anything under a `tests/`, `benches/`, or `examples/` directory.
+    pub fn is_test_file(&self) -> bool {
+        self.rel_path
+            .split('/')
+            .any(|c| matches!(c, "tests" | "benches" | "examples"))
+    }
+
+    /// True iff token `i` is inside in-file test code (`#[cfg(test)]`
+    /// module or `#[test]` function). File-level location is separate —
+    /// see [`SourceFile::is_test_file`].
+    pub fn token_in_test(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    /// True iff an allow directive for `rule` covers `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.covers.contains(&line))
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Lexical approximation: after a test-marking attribute, skip any
+/// further attributes, then mark up to the end of the item — the matching
+/// `}` of its first brace, or the first `;` for brace-less items
+/// (`#[cfg(test)] use …;`).
+fn mark_test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut ci = 0;
+    while ci < code.len() {
+        if !is_attr_start(toks, &code, ci) || !attr_marks_test(toks, &code, ci) {
+            ci += 1;
+            continue;
+        }
+        // Skip this attribute and any stacked ones after it.
+        let mut j = skip_attr(toks, &code, ci);
+        while is_attr_start(toks, &code, j) {
+            j = skip_attr(toks, &code, j);
+        }
+        // Find the item body: first `{` before any `;` ends the search at
+        // its matching `}`; a `;` first means a brace-less item.
+        let mut k = j;
+        let mut brace_open = None;
+        while k < code.len() {
+            let t = &toks[code[k]];
+            if t.is_punct('{') {
+                brace_open = Some(k);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let end = match brace_open {
+            Some(open) => {
+                let mut depth = 0usize;
+                let mut m = open;
+                loop {
+                    if m >= code.len() {
+                        break m;
+                    }
+                    let t = &toks[code[m]];
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break m;
+                        }
+                    }
+                    m += 1;
+                }
+            }
+            None => k.min(code.len() - 1),
+        };
+        // Mark every token (comments included) in the region's span.
+        let start_tok = code[ci];
+        let end_tok = code.get(end).copied().unwrap_or(toks.len() - 1);
+        for flag in in_test.iter_mut().take(end_tok + 1).skip(start_tok) {
+            *flag = true;
+        }
+        ci = end + 1;
+    }
+    in_test
+}
+
+/// Does code-token position `ci` start an attribute (`#[` or `#![`)?
+fn is_attr_start(toks: &[Tok], code: &[usize], ci: usize) -> bool {
+    let Some(&i) = code.get(ci) else { return false };
+    if !toks[i].is_punct('#') {
+        return false;
+    }
+    match code.get(ci + 1).map(|&j| &toks[j]) {
+        Some(t) if t.is_punct('[') => true,
+        Some(t) if t.is_punct('!') => code
+            .get(ci + 2)
+            .map(|&j| &toks[j])
+            .is_some_and(|t| t.is_punct('[')),
+        _ => false,
+    }
+}
+
+/// Position just past the attribute starting at code position `ci`.
+fn skip_attr(toks: &[Tok], code: &[usize], ci: usize) -> usize {
+    let mut j = ci;
+    // Advance to the opening `[`.
+    while j < code.len() && !toks[code[j]].is_punct('[') {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < code.len() {
+        let t = &toks[code[j]];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Does the attribute starting at code position `ci` mark test code?
+/// Matches `#[test]` and `#[cfg(test)]`-style attributes (a `cfg` whose
+/// argument mentions `test` without `not`).
+fn attr_marks_test(toks: &[Tok], code: &[usize], ci: usize) -> bool {
+    let end = skip_attr(toks, code, ci);
+    let inner: Vec<&Tok> = code[ci..end]
+        .iter()
+        .map(|&i| &toks[i])
+        .filter(|t| t.kind == TokKind::Ident)
+        .collect();
+    match inner.split_first() {
+        Some((first, rest)) => {
+            if first.text == "test" && rest.is_empty() {
+                return true;
+            }
+            first.text == "cfg"
+                && rest.iter().any(|t| t.text == "test")
+                && !rest.iter().any(|t| t.text == "not")
+        }
+        None => false,
+    }
+}
+
+/// Extract `analyzer: allow(rule): justification` directives from
+/// comment tokens.
+fn collect_allows(toks: &[Tok]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    // Line of the last non-comment token seen before each comment, to
+    // decide whether a comment stands alone on its line.
+    let mut last_code_line = 0u32;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_comment() {
+            last_code_line = t.line;
+            continue;
+        }
+        // A directive is a *plain* `//` comment that begins with
+        // `analyzer:`. Doc comments (`///`, `//!`) and block comments
+        // merely describe the syntax and never direct the analyzer.
+        let body = match t.text.strip_prefix("//") {
+            Some(b) if !b.starts_with('/') && !b.starts_with('!') => b,
+            _ => continue,
+        };
+        let Some(rest) = body.trim_start().strip_prefix("analyzer:") else {
+            continue;
+        };
+        let Some(rest) = rest.trim_start().strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rule, justification) = match rest.strip_prefix('(') {
+            Some(body) => match body.split_once(')') {
+                Some((rule, after)) => {
+                    let j = after.trim_start();
+                    let j = j.strip_prefix(':').unwrap_or("").trim();
+                    (rule.trim().to_string(), j.to_string())
+                }
+                None => (body.trim().to_string(), String::new()),
+            },
+            None => (String::new(), String::new()),
+        };
+        let own_line = t.line != last_code_line;
+        let mut covers = vec![t.line];
+        if own_line {
+            // Next non-comment token's line, if any.
+            if let Some(next) = toks[i + 1..].iter().find(|n| !n.is_comment()) {
+                covers.push(next.line);
+            }
+        }
+        out.push(AllowDirective {
+            rule,
+            line: t.line,
+            justification,
+            covers,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n",
+        );
+        let unwrap_at = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("tok");
+        assert!(f.token_in_test(unwrap_at));
+        let live2 = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("live2"))
+            .expect("tok");
+        assert!(!f.token_in_test(live2));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_marked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[test]\n#[ignore]\nfn check() { a.unwrap(); }\nfn live() {}\n",
+        );
+        let unwrap_at = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("tok");
+        assert!(f.token_in_test(unwrap_at));
+        let live = f.toks.iter().position(|t| t.is_ident("live")).expect("tok");
+        assert!(!f.token_in_test(live));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let f = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn live() { a.unwrap(); }\n");
+        let unwrap_at = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("tok");
+        assert!(!f.token_in_test(unwrap_at));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let f = SourceFile::parse("x.rs", "#[cfg(test)]\nuse crate::oracle;\nfn live() {}\n");
+        let live = f.toks.iter().position(|t| t.is_ident("live")).expect("tok");
+        assert!(!f.token_in_test(live));
+        let oracle = f
+            .toks
+            .iter()
+            .position(|t| t.is_ident("oracle"))
+            .expect("tok");
+        assert!(f.token_in_test(oracle));
+    }
+
+    #[test]
+    fn allow_directive_same_line_and_own_line() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = x.unwrap(); // analyzer: allow(panic-free): index proven in bounds\n\
+             // analyzer: allow(determinism): wall-clock is display-only\n\
+             let t = now();\n",
+        );
+        assert!(f.allowed("panic-free", 1));
+        assert!(f.allowed("determinism", 2));
+        assert!(
+            f.allowed("determinism", 3),
+            "own-line comment covers next code line"
+        );
+        assert!(!f.allowed("panic-free", 3));
+        assert_eq!(f.allows[0].justification, "index proven in bounds");
+    }
+
+    #[test]
+    fn allow_directive_without_justification_is_recorded_empty() {
+        let f = SourceFile::parse("x.rs", "// analyzer: allow(panic-free)\nlet a = 1;\n");
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allows[0].justification.is_empty());
+    }
+
+    #[test]
+    fn path_classification() {
+        let f = SourceFile::parse("vendor/rand/src/lib.rs", "");
+        assert!(f.is_vendor());
+        let f = SourceFile::parse("crates/core/src/edf.rs", "");
+        assert!(f.under("crates/core/src"));
+        assert!(!f.under("crates/core/src/edf"));
+        assert!(!f.is_test_file());
+        let f = SourceFile::parse("crates/core/tests/properties.rs", "");
+        assert!(f.is_test_file());
+        let f = SourceFile::parse("examples/quickstart.rs", "");
+        assert!(f.is_test_file());
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: malformed escape hatches.
+fn f(x: Option<u64>) -> u64 {
+    // analyzer: allow(panic-free)
+    let a = x.expect("no justification given");
+    // analyzer: allow(made-up-rule): this rule does not exist
+    a
+}

@@ -1,0 +1,11 @@
+// Fixture: every concurrency-discipline violation at once.
+use std::sync::Mutex;
+
+fn spawns() {
+    std::thread::spawn(|| {});
+}
+
+fn lock_across_send(state: &parking_lot::Mutex<u64>, tx: &crossbeam::channel::Sender<u64>) {
+    let g = state.lock();
+    tx.send(*g).ok();
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in solver logic.
+use std::time::Instant;
+
+fn f() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn g() {
+    let _ = std::time::SystemTime::now();
+}

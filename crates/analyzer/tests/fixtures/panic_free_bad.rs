@@ -1,0 +1,22 @@
+// Fixture: panics in solver hot-path code.
+fn f(x: Option<u64>, y: Result<u64, ()>) -> u64 {
+    let a = x.unwrap();
+    let b = y.expect("should be fine");
+    if a + b > 100 {
+        panic!("overflow-ish");
+    }
+    todo!()
+}
+
+// The escape hatch works when justified:
+fn g(x: Option<u64>) -> u64 {
+    // analyzer: allow(panic-free): x was checked by the caller
+    x.expect("checked")
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_unwrap_is_fine(x: Option<u64>) -> u64 {
+        x.unwrap()
+    }
+}

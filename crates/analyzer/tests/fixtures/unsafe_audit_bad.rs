@@ -1,0 +1,9 @@
+// Fixture: unsafe without its proof obligation.
+fn f(p: *const u64) -> u64 {
+    unsafe { p.read() }
+}
+
+// SAFETY: the caller guarantees `q` is valid, aligned, and unaliased.
+fn g(q: *const u64) -> u64 {
+    unsafe { q.read() }
+}

@@ -1,0 +1,8 @@
+// Fixture: references outside the vendored API manifests.
+use rand::distributions::Bernoulli; // not in vendor/rand/API.txt
+use rand::rngs::StdRng; // fine: manifest covers rand::rngs
+
+fn f() {
+    let _ = rand::thread_rng(); // not in the manifest either
+    let _ = crossbeam::channel::unbounded::<u32>(); // fine
+}

@@ -1,0 +1,43 @@
+//! The analyzer's ultimate fixture is the workspace itself: the live
+//! tree must lint clean, with every rule having real code in scope.
+//! This is the same check CI runs as `gaps lint`, wired as a plain test
+//! so `cargo test` alone catches violations.
+
+use gaps_analyzer::{analyze_workspace, find_workspace_root, render_text};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let analysis = analyze_workspace(&workspace_root()).expect("analyzable");
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "workspace must lint clean:\n{}",
+        render_text(&analysis.diagnostics)
+    );
+    // A walker bug that silently skipped the tree would also "pass";
+    // pin a floor well below the real file count (> 100 today).
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        analysis.files_scanned
+    );
+}
+
+#[test]
+fn fixtures_are_not_walked() {
+    let root = workspace_root();
+    let analysis = analyze_workspace(&root).expect("analyzable");
+    // The deliberately-bad fixtures under tests/fixtures would light up
+    // every rule if the walker descended into them.
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "fixtures leaked into the workspace walk:\n{}",
+        render_text(&analysis.diagnostics)
+    );
+    let fixture = root.join("crates/analyzer/tests/fixtures/panic_free_bad.rs");
+    assert!(fixture.exists(), "fixture corpus went missing");
+}

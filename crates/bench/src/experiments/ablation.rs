@@ -15,7 +15,7 @@ use std::time::Instant;
 
 /// E18: the greedy baseline's pick order is load-bearing — committing the
 /// *largest* feasible gap first (the paper's rule) beats smallest-first.
-pub fn e18() -> Table {
+pub(crate) fn e18() -> Table {
     let mut table = Table::new(
         "E18",
         "Ablation: [FHKN06] greedy pick order",
@@ -65,7 +65,7 @@ pub fn e18() -> Table {
 
 /// E19: dead-zone compression is what makes the DPs run on gadget-scale
 /// horizons — equal optima, large horizon reduction.
-pub fn e19() -> Table {
+pub(crate) fn e19() -> Table {
     let mut table = Table::new(
         "E19",
         "Ablation: dead-zone compression",
@@ -122,7 +122,7 @@ pub fn e19() -> Table {
 
 /// E20: quality of the combinatorial lower bounds, and the randomized
 /// power-down policy's expected competitive ratio e/(e−1).
-pub fn e20() -> Table {
+pub(crate) fn e20() -> Table {
     let mut table = Table::new(
         "E20",
         "Extensions: lower-bound quality and randomized power-down",
@@ -175,7 +175,7 @@ pub fn e20() -> Table {
 /// the generalized bound ties at k = 3 and worsens from k = 4, and the
 /// measured ratios track that shape. Lemma 4's residue guarantee is also
 /// verified directly on the optimal schedules.
-pub fn e21() -> Table {
+pub(crate) fn e21() -> Table {
     let mut table = Table::new(
         "E21",
         "Ablation: Theorem 3 block length k",

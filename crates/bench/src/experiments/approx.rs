@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 
 /// E4: Theorem 3 ratio sweep over α, against exhaustive optima, with the
 /// trivial (1 + α) baseline for contrast.
-pub fn e4() -> Table {
+pub(crate) fn e4() -> Table {
     let mut table = Table::new(
         "E4",
         "Theorem 3 approximation ratio vs alpha",
@@ -149,7 +149,7 @@ fn brute_force_min_power_scaled(
 
 /// E5: Lemma 3 — completing a partial schedule of g gaps with m more jobs
 /// yields at most g + m gaps; measure the slack.
-pub fn e5() -> Table {
+pub(crate) fn e5() -> Table {
     let mut table = Table::new(
         "E5",
         "Lemma 3 completion growth",
@@ -202,7 +202,7 @@ pub fn e5() -> Table {
 }
 
 /// E6: the greedy [FHKN06] baseline vs Baptiste's exact optimum.
-pub fn e6() -> Table {
+pub(crate) fn e6() -> Table {
     let mut table = Table::new(
         "E6",
         "[FHKN06] greedy 3-approximation",
@@ -254,7 +254,7 @@ pub fn e6() -> Table {
 
 /// E11: Theorem 11 greedy throughput vs the exhaustive optimum, across
 /// gap budgets; the ratio stays far inside the 2·√n envelope.
-pub fn e11() -> Table {
+pub(crate) fn e11() -> Table {
     let mut table = Table::new(
         "E11",
         "Theorem 11 greedy (minimum-restart throughput)",
@@ -310,7 +310,7 @@ pub fn e11() -> Table {
 
 /// E13: Hurkens–Schrijver local-search share on random 3-set systems —
 /// the engine quality behind Theorem 3's constant.
-pub fn e13() -> Table {
+pub(crate) fn e13() -> Table {
     let mut table = Table::new(
         "E13",
         "[HS89] set-packing local search",

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 /// E1: the Theorem 1 DP matches exhaustive search on both objectives
 /// across random workloads, fanned out over threads per (n, p) cell.
-pub fn e1() -> Table {
+pub(crate) fn e1() -> Table {
     let mut table = Table::new(
         "E1",
         "Theorem 1 DP vs exhaustive search",
@@ -74,7 +74,7 @@ pub fn e1() -> Table {
 
 /// E2: wall-clock scaling of the DP in n and p (polynomial shape: the
 /// ratio between successive rows stays bounded, no exponential blow-up).
-pub fn e2() -> Table {
+pub(crate) fn e2() -> Table {
     let mut table = Table::new(
         "E2",
         "Theorem 1 DP running time",
@@ -107,7 +107,7 @@ pub fn e2() -> Table {
 
 /// E3: the power DP is exact, and the optimal gap treatment follows
 /// min(gap, alpha): bridge short gaps, sleep through long ones.
-pub fn e3() -> Table {
+pub(crate) fn e3() -> Table {
     let mut table = Table::new(
         "E3",
         "Theorem 2 power DP: exactness and the min(gap, alpha) crossover",
@@ -154,7 +154,7 @@ pub fn e3() -> Table {
 
 /// E14: Baptiste's independently-coded p = 1 DP agrees with the general
 /// DP and exhaustive search; runtime scaling for good measure.
-pub fn e14() -> Table {
+pub(crate) fn e14() -> Table {
     let mut table = Table::new(
         "E14",
         "Baptiste single-processor DP [Bap06]",
@@ -197,7 +197,7 @@ pub fn e14() -> Table {
 /// E16: the Lemma 1 subtlety (a finding of this reproduction): prefix
 /// rearrangement preserves spans but can increase finite gaps; spreading
 /// runs over processors recovers the optimum max(0, spans − p).
-pub fn e16() -> Table {
+pub(crate) fn e16() -> Table {
     let mut table = Table::new(
         "E16",
         "Lemma 1 subtlety: prefix vs run-spreading on the finite-gap objective",

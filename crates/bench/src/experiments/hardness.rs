@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// E7: set cover ⟺ scheduling cost under the Theorem 4/5/6 gadgets.
-pub fn e7() -> Table {
+pub(crate) fn e7() -> Table {
     let mut table = Table::new(
         "E7",
         "Theorems 4-6: set cover to power/gap gadgets",
@@ -59,7 +59,7 @@ pub fn e7() -> Table {
 }
 
 /// E8: the Theorem 7 (2-interval) gadget shifts the optimum by exactly 1.
-pub fn e8() -> Table {
+pub(crate) fn e8() -> Table {
     let mut table = Table::new(
         "E8",
         "Theorem 7: multi-interval to 2-interval gadget",
@@ -106,7 +106,7 @@ pub fn e8() -> Table {
 }
 
 /// E9: the Theorem 8 (3-unit) gadget shifts the optimum by exactly 1.
-pub fn e9() -> Table {
+pub(crate) fn e9() -> Table {
     let mut table = Table::new(
         "E9",
         "Theorem 8: multi-interval to 3-unit gadget",
@@ -148,7 +148,7 @@ pub fn e9() -> Table {
 }
 
 /// E10: Theorem 9 equivalences (both directions) and Theorem 10.
-pub fn e10() -> Table {
+pub(crate) fn e10() -> Table {
     let mut table = Table::new(
         "E10",
         "Theorems 9-10: 2-unit <=> disjoint-unit; B-set cover to disjoint-unit",

@@ -14,7 +14,7 @@ use rand::SeedableRng;
 
 /// E12: the online lower-bound family — non-lazy EDF pays Θ(n) gaps, the
 /// offline optimum pays 0, so competitive ratios grow without bound.
-pub fn e12() -> Table {
+pub(crate) fn e12() -> Table {
     let mut table = Table::new(
         "E12",
         "Section 1 online lower bound",
@@ -52,7 +52,7 @@ pub fn e12() -> Table {
 
 /// E15: the simulator's measured energy equals the analytic power cost
 /// under the clairvoyant policy, across random schedules and alphas.
-pub fn e15() -> Table {
+pub(crate) fn e15() -> Table {
     let mut table = Table::new(
         "E15",
         "Simulator vs analytic power",
@@ -91,7 +91,7 @@ pub fn e15() -> Table {
 /// E17: power-down policies on gap-rich schedules: clairvoyant is the
 /// floor; timeout(alpha) stays within 2x of it (ski rental); the
 /// extremes lose on the opposite gap regimes.
-pub fn e17() -> Table {
+pub(crate) fn e17() -> Table {
     let mut table = Table::new(
         "E17",
         "Online power-down policies (extension)",

@@ -115,6 +115,16 @@ pub fn min_gaps_schedule(inst: &Instance) -> Option<(u64, crate::schedule::Sched
         "baptiste handles single-processor instances"
     );
     let sol = crate::multiproc_dp::min_gap_schedule(inst)?;
+    debug_assert_eq!(
+        sol.schedule.verify(inst),
+        Ok(()),
+        "emitted schedule violates job windows"
+    );
+    debug_assert_eq!(
+        min_gaps_value(inst),
+        Some(sol.gaps),
+        "delegated witness disagrees with the window DP's optimum"
+    );
     Some((sol.gaps, sol.schedule))
 }
 
@@ -126,6 +136,16 @@ pub fn min_power_schedule(inst: &Instance, alpha: u64) -> Option<(u64, crate::sc
         "baptiste handles single-processor instances"
     );
     let sol = crate::power_dp::min_power_schedule(inst, alpha)?;
+    debug_assert_eq!(
+        sol.schedule.verify(inst),
+        Ok(()),
+        "emitted schedule violates job windows"
+    );
+    debug_assert_eq!(
+        min_power_value(inst, alpha),
+        Some(sol.power),
+        "delegated witness disagrees with the window DP's optimum"
+    );
     Some((sol.power, sol.schedule))
 }
 
@@ -167,6 +187,11 @@ struct Ctx {
     /// Memoized interval windows + pooled split-counting buffers.
     intervals: IntervalIndex,
     memo: FastMap<u64, u64>,
+    /// Re-entrancy guard for the debug-build memo audit: while a hit is
+    /// being re-derived, nested hits must return without re-verifying or
+    /// the recomputation becomes exponential again.
+    #[cfg(debug_assertions)]
+    verifying: bool,
 }
 
 impl Ctx {
@@ -177,6 +202,7 @@ impl Ctx {
     /// `restrict = false` disables the critical-time restriction; kept
     /// for the state-count instrumentation test below.
     fn with_restriction(inst: &Instance, alpha: u64, restrict: bool) -> Ctx {
+        // analyzer: allow(panic-free): both public entry points return early for zero-job instances before building a Ctx
         let horizon = inst.horizon().expect("non-empty");
         let t0 = horizon.start - 1;
         let len = horizon.end - horizon.start + 3;
@@ -211,7 +237,31 @@ impl Ctx {
             critical,
             intervals: IntervalIndex::new(len),
             memo: FastMap::with_capacity_and_hasher(1 << 12, Default::default()),
+            #[cfg(debug_assertions)]
+            verifying: false,
         }
+    }
+
+    /// Debug-build memo audit: re-derive a hit state once (children are
+    /// served from the memo) and check the cached value is still the
+    /// exact recomputed one — a stale or clobbered entry would silently
+    /// corrupt every optimum derived from it.
+    #[cfg(debug_assertions)]
+    fn audit_memo_hit(&mut self, s: St, power: bool, cached: u64) {
+        if self.verifying {
+            return;
+        }
+        self.verifying = true;
+        let fresh = if power {
+            self.power_compute(s)
+        } else {
+            self.spans_compute(s)
+        };
+        debug_assert_eq!(
+            cached, fresh,
+            "baptiste memo entry diverged from recomputation (power = {power})"
+        );
+        self.verifying = false;
     }
 
     fn top(&self) -> St {
@@ -234,6 +284,8 @@ impl Ctx {
 
     fn spans(&mut self, s: St) -> u64 {
         if let Some(&v) = self.memo.get(&key(s, false)) {
+            #[cfg(debug_assertions)]
+            self.audit_memo_hit(s, false, v);
             return v;
         }
         let v = self.spans_compute(s);
@@ -360,6 +412,8 @@ impl Ctx {
 
     fn power(&mut self, s: St) -> u64 {
         if let Some(&v) = self.memo.get(&key(s, true)) {
+            #[cfg(debug_assertions)]
+            self.audit_memo_hit(s, true, v);
             return v;
         }
         let v = self.power_compute(s);

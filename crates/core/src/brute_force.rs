@@ -62,6 +62,7 @@ fn min_cost_multi(
             inst.jobs()[i]
                 .times()
                 .iter()
+                // analyzer: allow(panic-free): slot_union() is the sorted set of exactly these job times
                 .map(|t| slots.binary_search(t).expect("slot in union"))
                 .collect()
         })
@@ -75,6 +76,7 @@ fn min_cost_multi(
     let mut mask = 0u128;
     for (depth, &job) in order.iter().enumerate() {
         let target = search_min(&allowed, depth, mask, &slots, &cost, &mut memo)
+            // analyzer: allow(panic-free): reconstruction replays memo states the successful outer search already proved feasible
             .expect("feasible by outer check");
         let mut placed = false;
         for &s in &allowed[depth] {
@@ -203,6 +205,7 @@ fn min_cost_multiproc(inst: &Instance, cost: impl Fn(&[u8]) -> u64) -> Option<(u
     if n == 0 {
         return Some((cost(&[]), Schedule::new(vec![])));
     }
+    // analyzer: allow(panic-free): the n == 0 case returned just above, so the instance has jobs
     let horizon = inst.horizon().expect("non-empty");
     let t0 = horizon.start;
     let horizon_len = (horizon.end - horizon.start + 1) as usize;
@@ -234,6 +237,7 @@ fn min_cost_multiproc(inst: &Instance, cost: impl Fn(&[u8]) -> u64) -> Option<(u
     let mut prof = vec![0u8; horizon_len];
     for (depth, &job) in order.iter().enumerate() {
         let target = search_profile(&windows, depth, &mut prof, p, &cost, &mut memo)
+            // analyzer: allow(panic-free): reconstruction replays memo states the successful outer search already proved feasible
             .expect("feasible by outer check");
         let (lo, hi) = windows[depth];
         let mut placed = false;
@@ -319,6 +323,7 @@ pub fn max_throughput_spans(inst: &MultiInstance, k: u64) -> (usize, Vec<Option<
         .map(|j| {
             j.times()
                 .iter()
+                // analyzer: allow(panic-free): slot_union() is the sorted set of exactly these job times
                 .map(|t| slots.binary_search(t).expect("slot in union"))
                 .collect()
         })

@@ -36,6 +36,7 @@ impl TimeMap {
         let i = self
             .pairs
             .binary_search_by_key(&compressed, |&(c, _)| c)
+            // analyzer: allow(panic-free): documented API contract — the doc comment above promises a panic on non-live slots
             .unwrap_or_else(|_| panic!("{compressed} is not a live compressed slot"));
         self.pairs[i].1
     }
@@ -45,6 +46,7 @@ impl TimeMap {
         let i = self
             .pairs
             .binary_search_by_key(&original, |&(_, o)| o)
+            // analyzer: allow(panic-free): documented API contract — the doc comment above promises a panic on non-live slots
             .unwrap_or_else(|_| panic!("{original} is not a live original slot"));
         self.pairs[i].0
     }
@@ -93,6 +95,7 @@ fn compress_multi(
         .map(|j| MultiJob::new(j.times().iter().map(|&t| map.to_compressed(t)).collect()))
         .collect();
     (
+        // analyzer: allow(panic-free): to_compressed is a bijection on live slots, so every job keeps its slot count
         MultiInstance::new(jobs).expect("compression preserves non-emptiness"),
         map,
     )
@@ -139,6 +142,7 @@ fn compress_instance(inst: &Instance, zone_width: impl Fn(u64) -> u64) -> (Insta
         .map(|j| Job::new(map.to_compressed(j.release), map.to_compressed(j.deadline)))
         .collect();
     (
+        // analyzer: allow(panic-free): the time map is monotone, so release <= deadline survives compression
         Instance::new(jobs, inst.processors()).expect("compression preserves windows"),
         map,
     )

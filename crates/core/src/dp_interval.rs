@@ -52,7 +52,7 @@ pub(crate) struct IntervalIndex {
 
 impl IntervalIndex {
     /// An index for a padded timeline of `len` slots (`t_max = len − 1`).
-    pub fn new(len: usize) -> IntervalIndex {
+    pub(crate) fn new(len: usize) -> IntervalIndex {
         let flat = len * len <= FLAT_INTERVAL_LIMIT;
         IntervalIndex {
             t_len: len as u32,
@@ -66,7 +66,7 @@ impl IntervalIndex {
     /// The memoized window of `[t1, t2]`: deadline-ordered positions of
     /// the jobs (given as `(release, deadline)` pairs in deadline order)
     /// released inside, plus their releases.
-    pub fn window(&mut self, jobs: &[(u16, u16)], t1: u16, t2: u16) -> Rc<WindowInfo> {
+    pub(crate) fn window(&mut self, jobs: &[(u16, u16)], t1: u16, t2: u16) -> Rc<WindowInfo> {
         let iid = t1 as u32 * self.t_len + t2 as u32;
         let slot = if self.slots.is_empty() {
             self.map.get(&iid).copied().unwrap_or(0)
@@ -103,7 +103,13 @@ impl IntervalIndex {
     /// split (all in `[t1, t2]`). Call [`SplitCounter::advance`] with
     /// strictly increasing `t′` starting at `lo`; return the counter via
     /// [`IntervalIndex::recycle`] when done.
-    pub fn split_counter(&mut self, releases: &[u16], t1: u16, t2: u16, lo: u16) -> SplitCounter {
+    pub(crate) fn split_counter(
+        &mut self,
+        releases: &[u16],
+        t1: u16,
+        t2: u16,
+        lo: u16,
+    ) -> SplitCounter {
         let mut cnt = self.scratch.pop().unwrap_or_default();
         cnt.clear();
         cnt.resize((t2 - t1 + 1) as usize, 0);
@@ -122,7 +128,7 @@ impl IntervalIndex {
     }
 
     /// Return a counter's buffer to the pool.
-    pub fn recycle(&mut self, counter: SplitCounter) {
+    pub(crate) fn recycle(&mut self, counter: SplitCounter) {
         self.scratch.push(counter.cnt);
     }
 }
@@ -140,7 +146,7 @@ impl SplitCounter {
     /// `releases.partition_point(|&r| r <= tp)` on the sorted releases,
     /// without the sort.
     #[inline]
-    pub fn advance(&mut self, tp: u16) -> u32 {
+    pub(crate) fn advance(&mut self, tp: u16) -> u32 {
         self.released_le += self.cnt[(tp - self.t1) as usize];
         self.released_le
     }

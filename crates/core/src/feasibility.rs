@@ -22,6 +22,7 @@ pub fn slot_graph(inst: &MultiInstance) -> (BipartiteGraph, Vec<Time>) {
         for &t in job.times() {
             let s = slots
                 .binary_search(&t)
+                // analyzer: allow(panic-free): slot_union() is the sorted set of exactly these job times
                 .expect("slot union contains all job times");
             graph.add_edge(j as u32, s as u32);
         }
@@ -54,10 +55,12 @@ pub fn feasible_schedule(inst: &MultiInstance) -> Result<MultiSchedule, Infeasib
     let matching = hopcroft_karp(&graph);
     if matching.is_left_perfect() {
         let times = (0..inst.job_count() as u32)
+            // analyzer: allow(panic-free): is_left_perfect() just confirmed every left vertex is matched
             .map(|j| slots[matching.partner_of_left(j).expect("perfect") as usize])
             .collect();
         Ok(MultiSchedule::new(times))
     } else {
+        // analyzer: allow(panic-free): König/Hall — an imperfect maximum matching always yields a violating set
         let w = hall_violator_from(&graph, &matching).expect("imperfect matching has violator");
         Err(InfeasibilityCertificate {
             jobs: w.lefts.iter().map(|&u| u as usize).collect(),

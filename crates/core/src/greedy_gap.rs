@@ -99,6 +99,7 @@ pub fn greedy_gap_schedule_with_order(
             probes: 0,
         });
     }
+    // analyzer: allow(panic-free): the n == 0 case returned just above, so the instance has jobs
     let horizon = inst.horizon().expect("non-empty");
     let t0 = horizon.start;
     let t_len = (horizon.end - horizon.start + 1) as usize;
@@ -186,6 +187,7 @@ pub fn greedy_gap_schedule_with_order(
             let s = inc
                 .matching()
                 .partner_of_left(j)
+                // analyzer: allow(panic-free): the augmentation loop above returned None unless every job stayed matched
                 .expect("perfect matching maintained");
             Assignment {
                 time: t0 + s as Time,

@@ -183,6 +183,7 @@ impl Instance {
                 MultiJob::new(j.window().iter().collect())
             })
             .collect();
+        // analyzer: allow(panic-free): Job::new enforces release <= deadline, so every expanded window has a slot
         MultiInstance::new(jobs).expect("windows are non-empty")
     }
 
@@ -199,6 +200,7 @@ impl Instance {
     /// Panics if there are no jobs or `period` is not strictly larger than
     /// the horizon length.
     pub fn to_multi_interval_arithmetic(&self, period: Time) -> MultiInstance {
+        // analyzer: allow(panic-free): documented API contract — the doc comment above promises a panic on empty instances
         let horizon = self.horizon().expect("instance has jobs");
         assert!(
             period > horizon.end - horizon.start,
@@ -218,6 +220,7 @@ impl Instance {
                 MultiJob::new(times)
             })
             .collect();
+        // analyzer: allow(panic-free): Job::new enforces release <= deadline, so every shifted copy has a slot
         MultiInstance::new(jobs).expect("windows are non-empty")
     }
 }

@@ -82,7 +82,9 @@ pub fn setcover_spans_relaxation(inst: &MultiInstance) -> u64 {
         })
         .collect();
     let d = sets.iter().map(Vec::len).max().unwrap_or(0);
-    let cover = SetCoverInstance::new(n as u32, sets).expect("jobs index the universe");
+    let Ok(cover) = SetCoverInstance::new(n as u32, sets) else {
+        return 0; // malformed cover instance: keep the bound vacuous
+    };
     let Some(chosen) = greedy_cover(&cover) else {
         return 0; // unreachable for well-formed instances; stay vacuous
     };
@@ -126,6 +128,7 @@ fn min_hosting_runs(inst: &MultiInstance, runs: &[TimeInterval]) -> Option<u64> 
         .map(|&t| {
             runs.iter()
                 .position(|r| r.contains(t))
+                // analyzer: allow(panic-free): runs_of partitions the slot union, so every slot lies in some run
                 .expect("slot in a run")
         })
         .collect();

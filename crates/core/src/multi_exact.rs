@@ -176,6 +176,11 @@ struct Solver {
     twin_before: Vec<Option<u8>>,
     /// Suffix-value memo: `(last slot + 1) << 32 | placed mask` → value.
     memo: FastMap<u64, u64>,
+    /// Re-entrancy guard for the debug-build memo audit: while a hit is
+    /// being re-derived, nested hits must return without re-verifying or
+    /// the recomputation becomes exponential again.
+    #[cfg(debug_assertions)]
+    verifying: bool,
 }
 
 impl Solver {
@@ -185,6 +190,7 @@ impl Solver {
         let mut max_slot = vec![0u16; n];
         for (j, job) in inst.jobs().iter().enumerate() {
             for t in job.times() {
+                // analyzer: allow(panic-free): slot_union() is the sorted set of exactly these job times
                 let s = slots.binary_search(t).expect("slot in union");
                 jobs_at[s].push(j as u8);
                 max_slot[j] = max_slot[j].max(s as u16);
@@ -207,7 +213,27 @@ impl Solver {
             max_slot,
             twin_before,
             memo: FastMap::with_capacity_and_hasher(1 << 10, Default::default()),
+            #[cfg(debug_assertions)]
+            verifying: false,
         }
+    }
+
+    /// Debug-build memo audit: re-derive a hit state once (children are
+    /// served from the memo) and check the cached value is still the
+    /// exact recomputed one — a stale or clobbered entry would silently
+    /// corrupt the optimum and every reconstruction step that follows it.
+    #[cfg(debug_assertions)]
+    fn audit_memo_hit(&mut self, last: Option<u16>, mask: u32, cached: u64) {
+        if self.verifying {
+            return;
+        }
+        self.verifying = true;
+        let fresh = self.suffix_compute(last, mask);
+        debug_assert_eq!(
+            cached, fresh,
+            "multi_exact memo entry diverged from recomputation"
+        );
+        self.verifying = false;
     }
 
     #[inline]
@@ -238,9 +264,18 @@ impl Solver {
         }
         let key = (last.map_or(0, |i| i as u64 + 1)) << 32 | mask as u64;
         if let Some(&v) = self.memo.get(&key) {
+            #[cfg(debug_assertions)]
+            self.audit_memo_hit(last, mask, v);
             return v;
         }
+        let best = self.suffix_compute(last, mask);
+        self.memo.insert(key, best);
+        best
+    }
 
+    /// The uncached body of [`Solver::suffix`]: branch over the next
+    /// occupied slot and the canonical job placed there.
+    fn suffix_compute(&mut self, last: Option<u16>, mask: u32) -> u64 {
         let r = self.n - mask.count_ones() as usize;
         // Every unplaced job lands at or after the *next* occupied slot,
         // so that slot is bounded by the tightest remaining deadline —
@@ -274,7 +309,6 @@ impl Solver {
                 }
             }
         }
-        self.memo.insert(key, best);
         best
     }
 

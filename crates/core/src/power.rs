@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn single_and_f64_agree_on_integers() {
-        let m = crate::schedule::MultiSchedule::new(vec![0, 2, 3, 9]);
+        let m = MultiSchedule::new(vec![0, 2, 3, 9]);
         for alpha in 0u64..8 {
             assert_eq!(
                 power_cost_single(&m, alpha) as f64,
@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn alpha_zero_counts_only_execution() {
-        let m = crate::schedule::MultiSchedule::new(vec![0, 5, 10]);
+        let m = MultiSchedule::new(vec![0, 5, 10]);
         assert_eq!(power_cost_single(&m, 0), 3);
     }
 
@@ -190,6 +190,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must be finite")]
     fn f64_rejects_nan() {
-        power_cost_single_f(&crate::schedule::MultiSchedule::new(vec![0]), f64::NAN);
+        power_cost_single_f(&MultiSchedule::new(vec![0]), f64::NAN);
     }
 }

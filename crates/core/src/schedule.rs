@@ -276,6 +276,7 @@ impl Schedule {
         let close_down_to =
             |open: &mut Vec<(Time, u32)>, level: u32, end: Time, runs: &mut Vec<(Time, Time)>| {
                 while open.len() as u32 > level {
+                    // analyzer: allow(panic-free): the loop condition open.len() > level >= 0 guarantees a poppable element
                     let (s, _) = open.pop().expect("open non-empty");
                     runs.push((s, end));
                 }
@@ -311,6 +312,7 @@ impl Schedule {
             } else {
                 let q = (0..p)
                     .find(|&q| proc_last_end[q] < s)
+                    // analyzer: allow(panic-free): the occupancy profile never exceeds p, so some processor is idle at s
                     .expect("profile respects capacity p, so an idle processor exists");
                 proc_last_end[q] = e;
                 q

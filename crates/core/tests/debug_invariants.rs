@@ -1,0 +1,114 @@
+//! Exercise the debug-build invariant checks (`debug_assert!`) in the
+//! exact solvers: the memo audits in `multi_exact` and `baptiste`, and
+//! the schedule re-validation in the delegating witness functions.
+//!
+//! These tests are meaningful only with `debug_assertions` on (the
+//! default test profile — CI runs them in a dedicated debug job); in a
+//! release-profile test run they still pass, they just stop exercising
+//! the audits.
+
+use gaps_core::baptiste;
+use gaps_core::instance::{Instance, MultiInstance};
+use gaps_core::multi_exact;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+#[cfg(debug_assertions)]
+fn debug_assertions_are_on_in_the_test_profile() {
+    // If this starts failing, the invariant tests below are being
+    // compiled without the checks they exist to exercise — fix the
+    // profile rather than deleting the assertion. Probed at runtime
+    // (not via cfg!) so the assert is on the actual mechanism the
+    // audits use.
+    let mut audits_active = false;
+    debug_assert!({
+        audits_active = true;
+        true
+    });
+    assert!(
+        audits_active,
+        "tier-1 test profile must keep debug_assertions enabled"
+    );
+}
+
+/// Random multi-interval instances hammer the multi_exact memo: every
+/// memo hit re-derives the state and asserts the cached value matches.
+#[test]
+fn multi_exact_memo_audit_passes_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for round in 0..40 {
+        let n = 2 + (round % 5);
+        let jobs: Vec<Vec<i64>> = (0..n)
+            .map(|_| {
+                let mut times: Vec<i64> = (0..3).map(|_| rng.gen_range(0..12)).collect();
+                times.sort_unstable();
+                times.dedup();
+                times
+            })
+            .collect();
+        let Ok(inst) = MultiInstance::from_times(jobs) else {
+            continue;
+        };
+        if let Some((gaps, sched)) = multi_exact::min_gaps_multi(&inst) {
+            assert_eq!(sched.verify(&inst), Ok(()));
+            // Solving twice must be deterministic (and re-runs the
+            // audit over a fresh memo).
+            assert_eq!(
+                multi_exact::min_gaps_multi(&inst).map(|(g, _)| g),
+                Some(gaps)
+            );
+        }
+        if let Some((spans, _)) = multi_exact::min_spans_multi(&inst) {
+            assert!(spans >= 1);
+        }
+        if let Some((power, _)) = multi_exact::min_power_multi(&inst, 3) {
+            assert!(power >= n as u64);
+        }
+    }
+}
+
+/// One-interval instances drive the baptiste window DP through both
+/// objectives; the memo audit re-derives every hit state.
+#[test]
+fn baptiste_memo_audit_passes_on_random_instances() {
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    for round in 0..40 {
+        let n = 2 + (round % 6);
+        let windows: Vec<(i64, i64)> = (0..n)
+            .map(|_| {
+                let r: i64 = rng.gen_range(0..15);
+                (r, r + rng.gen_range(0..6i64))
+            })
+            .collect();
+        let inst = Instance::from_windows(windows, 1).expect("windows are valid");
+        let spans = baptiste::min_spans_value(&inst);
+        let gaps = baptiste::min_gaps_value(&inst);
+        let power = baptiste::min_power_value(&inst, 2);
+        match (spans, gaps, power) {
+            (Some(s), Some(g), Some(p)) => {
+                assert_eq!(g, s.saturating_sub(1));
+                // Power with α = 2 pays n busy slots + α per wake-up at
+                // most: p ≤ n + 2·s, and at least the busy slots + one
+                // wake-up.
+                assert!(p >= n as u64 + 2);
+                assert!(p <= n as u64 + 2 * s);
+            }
+            (None, None, None) => {}
+            other => panic!("objectives disagree on feasibility: {other:?}"),
+        }
+    }
+}
+
+/// The delegating witness functions re-validate the emitted schedule
+/// against the windows and cross-check the value against the window DP.
+#[test]
+fn baptiste_witnesses_are_revalidated() {
+    let inst = Instance::from_windows([(0, 0), (2, 5), (5, 5), (3, 4)], 1).expect("valid");
+    let (gaps, sched) = baptiste::min_gaps_schedule(&inst).expect("feasible");
+    assert_eq!(sched.verify(&inst), Ok(()));
+    assert_eq!(Some(gaps), baptiste::min_gaps_value(&inst));
+    let (power, psched) = baptiste::min_power_schedule(&inst, 3).expect("feasible");
+    assert_eq!(psched.verify(&inst), Ok(()));
+    assert_eq!(Some(power), baptiste::min_power_value(&inst, 3));
+}

@@ -104,11 +104,11 @@ mod tests {
     fn greedy_trap_ratio_grows_with_k() {
         let r3 = {
             let inst = greedy_trap(3);
-            gaps_setcover::greedy_cover(&inst).unwrap().len() as f64 / 2.0
+            greedy_cover(&inst).unwrap().len() as f64 / 2.0
         };
         let r5 = {
             let inst = greedy_trap(5);
-            gaps_setcover::greedy_cover(&inst).unwrap().len() as f64 / 2.0
+            greedy_cover(&inst).unwrap().len() as f64 / 2.0
         };
         assert!(r5 > r3, "ratio grows with k: {r3} vs {r5}");
     }

@@ -7,6 +7,7 @@
 //! gaps approx   --input FILE --alpha F [--rounds N]   Theorem 3 (multi)
 //! gaps simulate --input FILE --alpha N [--policy P]   run on the simulator
 //! gaps generate --kind K --seed S [--n N] ...         emit an instance
+//! gaps lint     [--root DIR] [--format text|json] [--rules]   static analysis
 //! ```
 //!
 //! Instances use the text format of `gaps_workloads::serialize`
@@ -35,6 +36,24 @@ use std::collections::BTreeMap;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `lint` distinguishes "findings" (exit 1) from "usage error"
+    // (exit 2), so it bypasses the plain Ok/Err printing below.
+    if args.first().map(String::as_str) == Some("lint") {
+        match cmd_lint(&args) {
+            Ok((out, clean)) => {
+                print!("{out}");
+                if !clean {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     match run(&args) {
         Ok(out) => print!("{out}"),
         Err(e) => {
@@ -43,6 +62,30 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// `gaps lint`: run the gaps-analyzer rule catalog over the workspace.
+/// Returns the rendered report plus whether the workspace is clean.
+fn cmd_lint(raw: &[String]) -> Result<(String, bool), String> {
+    let args = parse_args(raw)?;
+    if args.get("rules").is_some() {
+        return Ok((gaps_analyzer::rule_catalog_text(), true));
+    }
+    let root = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
+            gaps_analyzer::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root DIR")?
+        }
+    };
+    let analysis = gaps_analyzer::analyze_workspace(&root)?;
+    let out = match args.get("format").unwrap_or("text") {
+        "text" => gaps_analyzer::render_text(&analysis.diagnostics),
+        "json" => gaps_analyzer::render_json(&analysis.diagnostics),
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    };
+    Ok((out, analysis.is_clean()))
 }
 
 const USAGE: &str = "\
@@ -56,7 +99,8 @@ usage:
   gaps approx   --input FILE --alpha F [--rounds N]
   gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
   gaps generate --kind uniform|feasible|bursty|multi|consultant|online
-                [--seed S] [--n N] [--horizon H] [--slack L] [--processors P]";
+                [--seed S] [--n N] [--horizon H] [--slack L] [--processors P]
+  gaps lint     [--root DIR] [--format text|json] [--rules list]";
 
 /// Parsed `--flag value` arguments plus the leading subcommand.
 struct Args {

@@ -80,7 +80,7 @@ fn compression_then_multiproc_dp_on_far_clusters() {
     let (compressed, _) = compress::compress_instance_gap(&inst);
     assert!(compressed.horizon().unwrap().len() < 20);
     let dp = min_span_schedule(&compressed).expect("feasible");
-    let bf = gap_scheduling::brute_force::min_spans_multiproc(&compressed)
+    let bf = brute_force::min_spans_multiproc(&compressed)
         .expect("feasible")
         .0;
     assert_eq!(dp.spans, bf);

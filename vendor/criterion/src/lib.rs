@@ -227,6 +227,9 @@ pub fn black_box<T>(x: T) -> T {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        // Bench binaries never re-export the group fn; silence the
+        // reachability lint at the expansion site, like upstream.
+        #[allow(unreachable_pub)]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
             $( $target(&mut criterion); )+
