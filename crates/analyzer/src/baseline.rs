@@ -1,0 +1,140 @@
+//! Lint baselines: suppress known findings by fingerprint.
+//!
+//! A baseline file is JSON containing `"fingerprint": "<16 hex>"` pairs
+//! anywhere in its structure — both the dedicated
+//! `lint-baseline.json` layout written by [`render`] and a full
+//! `gaps lint --format json` report parse, so a baseline can be
+//! (re)captured by redirecting the lint output. `gaps lint --baseline
+//! FILE` drops findings whose fingerprint appears in the file; because
+//! fingerprints hash the flagged line's *content* (not its number),
+//! baselined findings stay suppressed across unrelated edits, and any
+//! change to the flagged line itself resurfaces the finding.
+
+use crate::diagnostics::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Extract every `"fingerprint": "<value>"` from `text`.
+///
+/// Deliberately lexical (the workspace has no serde): scans for the
+/// quoted key, then reads the quoted value. Escapes never occur in
+/// fingerprints (hex only), so no unescaping is needed.
+pub fn parse(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let key = "\"fingerprint\"";
+    let mut rest = text;
+    while let Some(at) = rest.find(key) {
+        rest = &rest[at + key.len()..];
+        let value = rest
+            .trim_start()
+            .strip_prefix(':')
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.split('"').next());
+        if let Some(v) = value {
+            if !v.is_empty() && v.chars().all(|c| c.is_ascii_hexdigit()) {
+                out.insert(v.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Split `diags` into (kept, suppressed-count) against a baseline.
+pub fn apply(diags: Vec<Diagnostic>, baseline: &BTreeSet<String>) -> (Vec<Diagnostic>, usize) {
+    let before = diags.len();
+    let kept: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| !baseline.contains(&d.fingerprint))
+        .collect();
+    let suppressed = before - kept.len();
+    (kept, suppressed)
+}
+
+/// Render the dedicated baseline layout for the given findings: one
+/// entry per fingerprint with the rule and file kept as human context
+/// (only the fingerprint is consulted when applying).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut seen = BTreeSet::new();
+    let mut out = String::from("{\n  \"fingerprints\": [");
+    let mut first = true;
+    for d in diags {
+        if !seen.insert(&d.fingerprint) {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"fingerprint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\"}}",
+            d.fingerprint, d.rule, d.file
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+
+    fn diag(fp: &str) -> Diagnostic {
+        Diagnostic {
+            file: "crates/core/src/edf.rs".into(),
+            line: 3,
+            rule: "panic-free",
+            severity: Severity::Error,
+            message: "x".into(),
+            fingerprint: fp.into(),
+        }
+    }
+
+    #[test]
+    fn parses_dedicated_layout_and_full_reports() {
+        let dedicated = render(&[diag("00ff00ff00ff00ff"), diag("1234123412341234")]);
+        assert_eq!(
+            parse(&dedicated),
+            BTreeSet::from([
+                "00ff00ff00ff00ff".to_string(),
+                "1234123412341234".to_string()
+            ])
+        );
+        let report = "{\n  \"diagnostics\": [\n    {\"file\": \"a.rs\", \"line\": 1, \
+                      \"rule\": \"x\", \"severity\": \"error\", \
+                      \"fingerprint\": \"deadbeefdeadbeef\", \"message\": \"m\"}\n  ]}\n";
+        assert_eq!(
+            parse(report),
+            BTreeSet::from(["deadbeefdeadbeef".to_string()])
+        );
+    }
+
+    #[test]
+    fn empty_and_malformed_inputs_yield_empty_baselines() {
+        assert!(parse("").is_empty());
+        assert!(parse("{\"fingerprints\": []}").is_empty());
+        assert!(parse("\"fingerprint\": \"not-hex!\"").is_empty());
+        assert!(parse("\"fingerprint\": 12").is_empty());
+    }
+
+    #[test]
+    fn apply_filters_by_fingerprint() {
+        let baseline = BTreeSet::from(["aaaaaaaaaaaaaaaa".to_string()]);
+        let (kept, suppressed) = apply(
+            vec![diag("aaaaaaaaaaaaaaaa"), diag("bbbbbbbbbbbbbbbb")],
+            &baseline,
+        );
+        assert_eq!(suppressed, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].fingerprint, "bbbbbbbbbbbbbbbb");
+    }
+
+    #[test]
+    fn render_dedups_fingerprints() {
+        let text = render(&[diag("cccccccccccccccc"), diag("cccccccccccccccc")]);
+        assert_eq!(text.matches("cccccccccccccccc").count(), 1);
+    }
+}

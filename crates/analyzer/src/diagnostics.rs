@@ -33,6 +33,10 @@ pub struct Diagnostic {
     pub rule: &'static str,
     pub severity: Severity,
     pub message: String,
+    /// Stable identity for baselining: hash of rule + path + the flagged
+    /// line's *content* (so findings survive unrelated edits that shift
+    /// line numbers). Rules leave this empty; `analyze_sources` fills it.
+    pub fingerprint: String,
 }
 
 impl fmt::Display for Diagnostic {
@@ -47,6 +51,27 @@ impl fmt::Display for Diagnostic {
             self.message
         )
     }
+}
+
+/// Compute the stable fingerprint of a finding: 64-bit FNV-1a over
+/// `rule NUL rel_path NUL trimmed-line-text`, rendered as 16 hex digits.
+/// Line *content* (not number) keeps the id stable across unrelated
+/// edits above the flagged site; two identical findings on identical
+/// lines of the same file intentionally collide — suppressing one in a
+/// baseline suppresses its twins.
+pub fn fingerprint(rule: &str, rel_path: &str, line_text: &str) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for part in [rule.as_bytes(), b"\0", rel_path.as_bytes(), b"\0"] {
+        for &b in part {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    for &b in line_text.trim().as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    format!("{h:016x}")
 }
 
 /// Sort diagnostics into the stable reporting order: file, line, rule.
@@ -107,11 +132,12 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}",
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"fingerprint\": \"{}\", \"message\": \"{}\"}}",
             json_escape(&d.file),
             d.line,
             json_escape(d.rule),
             d.severity.as_str(),
+            json_escape(&d.fingerprint),
             json_escape(&d.message),
         ));
     }
@@ -141,7 +167,30 @@ mod tests {
             rule: "panic-free",
             severity: Severity::Error,
             message: msg.into(),
+            fingerprint: String::new(),
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = fingerprint("panic-free", "crates/core/src/edf.rs", "    x.unwrap();");
+        // Indentation-only changes do not move the fingerprint…
+        let b = fingerprint("panic-free", "crates/core/src/edf.rs", "x.unwrap();");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        // …but rule, path, or content changes do.
+        assert_ne!(
+            a,
+            fingerprint("concurrency", "crates/core/src/edf.rs", "x.unwrap();")
+        );
+        assert_ne!(
+            a,
+            fingerprint("panic-free", "crates/core/src/dp.rs", "x.unwrap();")
+        );
+        assert_ne!(
+            a,
+            fingerprint("panic-free", "crates/core/src/edf.rs", "y.unwrap();")
+        );
     }
 
     #[test]

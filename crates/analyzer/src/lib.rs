@@ -12,6 +12,12 @@
 //! | `concurrency` | parking_lot-only locks, pool-only spawns, no lock across send/recv |
 //! | `unsafe-audit` | every `unsafe` carries a `// SAFETY:` comment |
 //! | `determinism` | no wall-clock reads in solver logic |
+//! | `lock-order` | workspace lock-acquisition graph is acyclic; no guard held across a call into channel-blocking code |
+//!
+//! All but the last are per-file lexical checks; `lock-order` is
+//! inter-procedural (per-function summaries propagated over the call
+//! graph to a fixpoint — see [`rules::lock_order`]) and can render its
+//! acquisition graph as Graphviz via `gaps lint --dot`.
 //!
 //! Run it as `gaps lint [--format json]`; it exits non-zero on findings
 //! and is a blocking CI step. Individual sites can be exempted with
@@ -23,9 +29,11 @@
 //! on the hand-rolled tokenizer in [`lexer`]; rules are lexical by
 //! design (see [`rules`] for what that buys and costs).
 
+pub mod baseline;
 pub mod diagnostics;
 pub mod lexer;
 pub mod manifest;
+mod parallel;
 pub mod rules;
 pub mod source;
 
@@ -135,6 +143,7 @@ pub fn analyze_sources(manifests: Manifests, sources: &[SourceFile]) -> Vec<Diag
                     line: allow.line,
                     rule: "allow-directive",
                     severity: Severity::Error,
+                    fingerprint: String::new(),
                     message: format!(
                         "allow directive names unknown rule `{}` (known: {})",
                         allow.rule,
@@ -147,6 +156,7 @@ pub fn analyze_sources(manifests: Manifests, sources: &[SourceFile]) -> Vec<Diag
                     line: allow.line,
                     rule: "allow-directive",
                     severity: Severity::Error,
+                    fingerprint: String::new(),
                     message: format!(
                         "allow({}) requires a justification: \
                          `// analyzer: allow({}): <why this is sound>`",
@@ -156,25 +166,51 @@ pub fn analyze_sources(manifests: Manifests, sources: &[SourceFile]) -> Vec<Diag
             }
         }
     }
+    // The inter-procedural pass sees every file at once.
+    rules::lock_order::check(sources, &mut diags);
+    // Stamp stable fingerprints (rule + path + flagged line content) so
+    // findings can be baselined; see `diagnostics::fingerprint`.
+    let by_path: std::collections::BTreeMap<&str, &SourceFile> =
+        sources.iter().map(|s| (s.rel_path.as_str(), s)).collect();
+    for d in &mut diags {
+        let line_text = by_path
+            .get(d.file.as_str())
+            .map(|s| s.line_text(d.line))
+            .unwrap_or("");
+        d.fingerprint = diagnostics::fingerprint(d.rule, &d.file, line_text);
+    }
     diagnostics::sort(&mut diags);
     diags
+}
+
+/// Read and lex every workspace `.rs` file under `root` (sorted by
+/// workspace-relative path). Exposed so callers that need the parsed
+/// sources themselves — `gaps lint --dot` renders the acquisition graph
+/// from them — can share one scan with [`analyze_sources`].
+///
+/// Files are read and lexed on a scoped worker pool (see [`parallel`]);
+/// the result order is the sorted path order regardless of worker
+/// scheduling, so output stays deterministic.
+pub fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let files = collect_rs_files(root)?;
+    let root = root.to_path_buf();
+    let parsed = parallel::map_ordered(files, parallel::scan_threads(), |_, path| {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        Ok(SourceFile::parse(&rel, &text))
+    });
+    parsed.into_iter().collect()
 }
 
 /// Lint the whole workspace rooted at `root`.
 pub fn analyze_workspace(root: &Path) -> Result<Analysis, String> {
     let manifests = load_manifests(root);
-    let files = collect_rs_files(root)?;
-    let mut sources = Vec::with_capacity(files.len());
-    for path in &files {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        sources.push(SourceFile::parse(&rel, &text));
-    }
+    let sources = load_sources(root)?;
     Ok(Analysis {
         diagnostics: analyze_sources(manifests, &sources),
         files_scanned: sources.len(),
@@ -187,6 +223,11 @@ pub fn rule_catalog_text() -> String {
     for rule in rules::catalog() {
         out.push_str(&format!("{:<14} {}\n", rule.id(), rule.description()));
     }
+    out.push_str(&format!(
+        "{:<14} {}\n",
+        rules::lock_order::ID,
+        rules::lock_order::DESCRIPTION
+    ));
     out.push_str(&format!(
         "{:<14} {}\n",
         "allow-directive",
@@ -251,7 +292,7 @@ mod tests {
     }
 
     #[test]
-    fn rule_catalog_lists_all_five_rules() {
+    fn rule_catalog_lists_all_six_rules() {
         let text = rule_catalog_text();
         for id in [
             "vendor-subset",
@@ -259,6 +300,7 @@ mod tests {
             "concurrency",
             "unsafe-audit",
             "determinism",
+            "lock-order",
             "allow-directive",
         ] {
             assert!(text.contains(id), "missing {id} in:\n{text}");

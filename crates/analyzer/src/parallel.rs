@@ -1,0 +1,102 @@
+//! Ordered parallel map over the vendored `crossbeam` stubs — the same
+//! scoped-worker shape as the engine pool (`crates/engine/src/pool.rs`),
+//! reproduced here because the analyzer sits below the engine in the
+//! build graph and must not depend on it.
+//!
+//! Work fans out through a bounded channel (backpressure caps the
+//! in-flight window), results return over an unbounded channel tagged
+//! with their input index, and the caller-visible order is the input
+//! order — so parallelizing the per-file scan cannot perturb diagnostic
+//! order (which is additionally re-sorted by `diagnostics::sort`).
+
+use crossbeam::channel;
+
+/// Apply `f` to every `(index, item)` on `threads` scoped workers and
+/// return results in input order. Deterministic given a deterministic
+/// `f`; re-raises worker panics after the scope joins.
+pub(crate) fn map_ordered<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, total);
+    if threads == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let (work_tx, work_rx) = channel::bounded::<(usize, T)>(threads * 2);
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+    let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                for (index, item) in work_rx {
+                    // The collector only disappears early if a sibling
+                    // panicked; stop quietly and let the scope re-raise.
+                    if result_tx.send((index, f(index, item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(work_rx);
+        drop(result_tx);
+        for pair in items.into_iter().enumerate() {
+            work_tx.send(pair).expect("a worker is alive to receive");
+        }
+        drop(work_tx);
+        for _ in 0..total {
+            let (index, value) = result_rx.recv().expect("every item yields a result");
+            results[index] = Some(value);
+        }
+    })
+    .expect("worker threads join");
+    results
+        .into_iter()
+        .map(|r| r.expect("every index was filled"))
+        .collect()
+}
+
+/// Worker count for the file scan: the machine's parallelism, capped —
+/// lexing is memory-bound and more than 8 workers just contend.
+pub(crate) fn scan_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..257).collect();
+        let one = map_ordered(items.clone(), 1, |i, x| (i as u64, x * 3));
+        let many = map_ordered(items, 8, |i, x| (i as u64, x * 3));
+        assert_eq!(one, many);
+        assert_eq!(many[256], (256, 768));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = map_ordered(Vec::<u8>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scan_threads_is_at_least_one() {
+        assert!(scan_threads() >= 1);
+    }
+}

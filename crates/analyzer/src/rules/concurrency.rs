@@ -65,6 +65,7 @@ impl Concurrency {
                     line: path.line,
                     rule: self.id(),
                     severity: Severity::Error,
+                    fingerprint: String::new(),
                     message: format!(
                         "`{}`: std sync primitives are banned; use the `parking_lot` \
                          stub (non-poisoning, swaps to the registry crate mechanically)",
@@ -79,6 +80,7 @@ impl Concurrency {
                     line: path.line,
                     rule: self.id(),
                     severity: Severity::Error,
+                    fingerprint: String::new(),
                     message: format!(
                         "`{}`: OS threads may only be spawned by the engine worker pool \
                          ({POOL_MODULE}); route work through `pool::map_ordered` or \
@@ -171,6 +173,7 @@ impl Concurrency {
                                 line: t.line,
                                 rule: self.id(),
                                 severity: Severity::Error,
+                                fingerprint: String::new(),
                                 message: format!(
                                     "channel `.{op}()` while {holder} is held; a blocking \
                                      channel op under a lock stalls every contending worker \

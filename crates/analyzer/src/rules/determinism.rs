@@ -61,6 +61,7 @@ impl Rule for Determinism {
                     line: path.line,
                     rule: self.id(),
                     severity: Severity::Error,
+                    fingerprint: String::new(),
                     message: format!(
                         "`{}` reads the wall clock in solver logic; solvers must be \
                          deterministic (timing belongs in crates/bench or the engine \

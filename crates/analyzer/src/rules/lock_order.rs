@@ -1,0 +1,1023 @@
+//! Rule `lock-order`: inter-procedural deadlock analysis over the whole
+//! workspace.
+//!
+//! Unlike the per-file rules, this pass sees every non-vendor,
+//! non-test source at once:
+//!
+//! 1. **Per-function summaries.** Each `fn` body yields the lock
+//!    acquisition sites it contains (`.lock()` / `.read()` / `.write()`
+//!    receivers, keyed by type + field path — see *keying* below), the
+//!    calls it makes (with the set of guards lexically live at each call
+//!    site), and whether it performs a blocking channel op (`.send(…)` /
+//!    `.recv(…)`; `try_recv` is non-blocking and exempt).
+//! 2. **Call-graph fixpoint.** Calls resolve to workspace functions by
+//!    name — qualified calls (`Type::name`, `Self::name`) filter by impl
+//!    type; unqualified names resolve only when the workspace defines
+//!    exactly one function with that name (ambiguity drops the edge:
+//!    conservative toward false negatives, never false positives).
+//!    Effective lock sets and channel-blocking flags propagate over the
+//!    resolved call graph to a fixpoint.
+//! 3. **Acquisition graph.** Acquiring `B` (directly or via a call)
+//!    while `A` is held adds the edge `A → B` with its first witness
+//!    site. Any edge that lies on a cycle — including self-loops, i.e.
+//!    re-acquiring the same key — is reported at its witness site, one
+//!    diagnostic per edge, so both halves of an inversion are named.
+//!    A guard held across a call into (transitively) channel-blocking
+//!    code is reported as its own finding.
+//!
+//! *Keying.* `self.field` paths key as `ImplType::field` so the same
+//! field unifies across methods (index/call segments collapse:
+//! `self.shards[i]` → `ShardedCache::shards[]`, which deliberately
+//! merges all shards into one node — nested acquisition of two shards
+//! is a real order hazard). `ALL_CAPS` receivers key as globals. Any
+//! other receiver (locals, parameters) keys under the enclosing
+//! function — two functions' locals never unify, again erring toward
+//! false negatives. The `// analyzer: allow(lock-order): <why>` hatch
+//! works at the witness site like every other rule.
+
+use super::CodeView;
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) const ID: &str = "lock-order";
+
+pub(crate) const DESCRIPTION: &str =
+    "workspace-wide lock-acquisition graph stays acyclic and no guard is \
+     held across a call into channel-blocking code (inter-procedural)";
+
+/// Method names that acquire a lock when called with no arguments.
+const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Blocking channel operations (`try_recv` is non-blocking).
+const BLOCKING_CHANNEL_OPS: [&str; 2] = ["send", "recv"];
+
+/// Idents that look like calls (`name(`) but are control-flow keywords.
+const KEYWORDS: [&str; 22] = [
+    "if", "else", "while", "for", "loop", "match", "return", "let", "mut", "move", "unsafe", "in",
+    "as", "where", "impl", "fn", "break", "continue", "await", "ref", "use", "dyn",
+];
+
+/// One lock-acquisition site.
+#[derive(Clone, Debug)]
+struct LockSite {
+    key: String,
+    line: u32,
+}
+
+/// One call made by a function, with the guards live at the call site.
+#[derive(Clone, Debug)]
+struct CallSite {
+    name: String,
+    qualifier: Option<String>,
+    line: u32,
+    held: Vec<LockSite>,
+}
+
+/// Per-function summary extracted from one body.
+struct FnInfo {
+    src: usize,
+    name: String,
+    impl_type: Option<String>,
+    /// Display name: `<rel_path>::[ImplType::]name`.
+    qname: String,
+    direct_locks: Vec<LockSite>,
+    /// Directly observed nested acquisitions: (held, newly acquired).
+    nested: Vec<(LockSite, LockSite)>,
+    calls: Vec<CallSite>,
+    /// Line of the first blocking channel op in the body, if any.
+    channel_line: Option<u32>,
+}
+
+/// One `from → to` edge of the acquisition graph (first witness wins).
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Workspace-relative path of the witness site.
+    pub file: String,
+    /// Line of the acquisition (or of the call the edge flows through).
+    pub line: u32,
+    /// Empty for a direct nested acquisition, else the callee carrying
+    /// the transitive acquisition.
+    pub via: String,
+}
+
+/// The global lock-acquisition graph, ready for cycle reporting or
+/// Graphviz rendering (`gaps lint --dot`).
+pub struct LockGraph {
+    /// Every lock key seen in the workspace (including isolated ones).
+    pub nodes: BTreeSet<String>,
+    /// Deduped edges, sorted by (from, to).
+    pub edges: Vec<LockEdge>,
+}
+
+struct Model {
+    fns: Vec<FnInfo>,
+    /// Resolved call targets: per function, per call, indices into `fns`.
+    targets: Vec<Vec<Vec<usize>>>,
+    /// Fixpoint: every lock key function `f` may acquire, transitively.
+    eff: Vec<BTreeSet<String>>,
+    /// Fixpoint: does `f` (transitively) block on a channel?
+    blocks: Vec<bool>,
+}
+
+impl Model {
+    fn build(sources: &[SourceFile]) -> Model {
+        let mut fns = Vec::new();
+        for (src, file) in sources.iter().enumerate() {
+            if file.is_vendor() || file.is_test_file() {
+                continue;
+            }
+            extract_functions(src, file, &mut fns);
+        }
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+        }
+        let targets: Vec<Vec<Vec<usize>>> = fns
+            .iter()
+            .map(|f| {
+                f.calls
+                    .iter()
+                    .map(|c| resolve(c, f, &by_name, &fns))
+                    .collect()
+            })
+            .collect();
+        let mut eff: Vec<BTreeSet<String>> = fns
+            .iter()
+            .map(|f| f.direct_locks.iter().map(|l| l.key.clone()).collect())
+            .collect();
+        let mut blocks: Vec<bool> = fns.iter().map(|f| f.channel_line.is_some()).collect();
+        // Propagate to a fixpoint (workspace call graphs are small; the
+        // simple worklist-free iteration converges in a few rounds).
+        loop {
+            let mut changed = false;
+            for f in 0..fns.len() {
+                for call_targets in &targets[f] {
+                    for &t in call_targets {
+                        if blocks[t] && !blocks[f] {
+                            blocks[f] = true;
+                            changed = true;
+                        }
+                        if t != f && !eff[t].is_subset(&eff[f]) {
+                            let add: Vec<String> = eff[t].iter().cloned().collect();
+                            for k in add {
+                                changed |= eff[f].insert(k);
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Model {
+            fns,
+            targets,
+            eff,
+            blocks,
+        }
+    }
+
+    /// Internal edge list with source indices for allow-directive lookups.
+    fn edges(&self) -> Vec<(usize, LockEdge)> {
+        let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut out = Vec::new();
+        for (fi, f) in self.fns.iter().enumerate() {
+            for (held, acquired) in &f.nested {
+                if seen.insert((held.key.clone(), acquired.key.clone())) {
+                    out.push((
+                        f.src,
+                        LockEdge {
+                            from: held.key.clone(),
+                            to: acquired.key.clone(),
+                            file: String::new(),
+                            line: acquired.line,
+                            via: String::new(),
+                        },
+                    ));
+                }
+            }
+            for (ci, call) in f.calls.iter().enumerate() {
+                if call.held.is_empty() {
+                    continue;
+                }
+                for &t in &self.targets[fi][ci] {
+                    for key in &self.eff[t] {
+                        for held in &call.held {
+                            if seen.insert((held.key.clone(), key.clone())) {
+                                out.push((
+                                    f.src,
+                                    LockEdge {
+                                        from: held.key.clone(),
+                                        to: key.clone(),
+                                        file: String::new(),
+                                        line: call.line,
+                                        via: self.fns[t].qname.clone(),
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Resolve one call to workspace function indices (empty when unknown
+/// or ambiguous).
+fn resolve(
+    call: &CallSite,
+    caller: &FnInfo,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    fns: &[FnInfo],
+) -> Vec<usize> {
+    let Some(cands) = by_name.get(call.name.as_str()) else {
+        return Vec::new();
+    };
+    if let Some(q) = &call.qualifier {
+        let q = if q == "Self" {
+            caller.impl_type.as_deref().unwrap_or(q)
+        } else {
+            q
+        };
+        let filtered: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].impl_type.as_deref() == Some(q))
+            .collect();
+        if !filtered.is_empty() {
+            return filtered;
+        }
+    }
+    if cands.len() == 1 {
+        cands.clone()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Run the rule over all sources, pushing diagnostics.
+pub(crate) fn check(sources: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    let model = Model::build(sources);
+
+    // Guard held across a call into (transitively) channel-blocking code.
+    for (fi, f) in model.fns.iter().enumerate() {
+        for (ci, call) in f.calls.iter().enumerate() {
+            if call.held.is_empty() {
+                continue;
+            }
+            let Some(&t) = model.targets[fi][ci].iter().find(|&&t| model.blocks[t]) else {
+                continue;
+            };
+            let file = &sources[f.src];
+            if file.allowed(ID, call.line) {
+                continue;
+            }
+            let held = &call.held[call.held.len() - 1];
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: call.line,
+                rule: ID,
+                severity: Severity::Error,
+                fingerprint: String::new(),
+                message: format!(
+                    "guard on `{}` (acquired at line {}) is held across a call to \
+                     `{}`, which blocks on a channel send/recv; a blocked guard \
+                     holder stalls every contending worker",
+                    held.key, held.line, model.fns[t].qname
+                ),
+            });
+        }
+    }
+
+    // Edges on a cycle of the acquisition graph: one finding per edge,
+    // so both halves of an inversion are reported at their own sites.
+    let edges = model.edges();
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (_, e) in &edges {
+        adj.entry(&e.from).or_default().push(&e.to);
+    }
+    for (src, e) in &edges {
+        if !reaches(&adj, &e.to, &e.from) {
+            continue;
+        }
+        let file = &sources[*src];
+        if file.allowed(ID, e.line) {
+            continue;
+        }
+        let shape = if e.from == e.to {
+            "re-acquires a lock already held (self-cycle)".to_string()
+        } else {
+            format!(
+                "closes the cycle `{}` → `{}` → … → `{}`",
+                e.from, e.to, e.from
+            )
+        };
+        let via = if e.via.is_empty() {
+            String::new()
+        } else {
+            format!(" via call to `{}`", e.via)
+        };
+        out.push(Diagnostic {
+            file: file.rel_path.clone(),
+            line: e.line,
+            rule: ID,
+            severity: Severity::Error,
+            fingerprint: String::new(),
+            message: format!(
+                "acquiring `{}` while `{}` is held{via} {shape}; threads taking \
+                 these locks in opposite orders can deadlock",
+                e.to, e.from
+            ),
+        });
+    }
+}
+
+/// Build the acquisition graph for rendering (`gaps lint --dot`).
+pub fn build_graph(sources: &[SourceFile]) -> LockGraph {
+    let model = Model::build(sources);
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for f in &model.fns {
+        for l in &f.direct_locks {
+            nodes.insert(l.key.clone());
+        }
+    }
+    let mut edges: Vec<LockEdge> = model
+        .edges()
+        .into_iter()
+        .map(|(src, mut e)| {
+            e.file = sources[src].rel_path.clone();
+            nodes.insert(e.from.clone());
+            nodes.insert(e.to.clone());
+            e
+        })
+        .collect();
+    edges.sort_by(|a, b| (&a.from, &a.to).cmp(&(&b.from, &b.to)));
+    LockGraph { nodes, edges }
+}
+
+/// Render the acquisition graph as Graphviz DOT.
+pub fn render_dot(graph: &LockGraph) -> String {
+    let mut out = String::from("digraph lock_order {\n  rankdir=LR;\n  node [shape=box];\n");
+    for n in &graph.nodes {
+        out.push_str(&format!("  \"{n}\";\n"));
+    }
+    for e in &graph.edges {
+        let via = if e.via.is_empty() {
+            String::new()
+        } else {
+            format!("\\nvia {}", e.via)
+        };
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}:{}{via}\"];\n",
+            e.from, e.to, e.file, e.line
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Does `from` reach `to` in the edge adjacency map?
+fn reaches(adj: &BTreeMap<&str, Vec<&str>>, from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if seen.insert(n) {
+            if let Some(next) = adj.get(n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Extraction: impl ranges, fn bodies, per-body walk
+// ---------------------------------------------------------------------
+
+/// Skip a balanced `<…>` group starting at code position `i` (which must
+/// be `<`); returns the position just past the matching `>`. `->` arrows
+/// inside the group do not count toward the balance.
+fn skip_angle(code: &CodeView<'_>, i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < code.len() {
+        let t = code.tok(j);
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            let arrow = j >= 1 && {
+                let p = code.tok(j - 1);
+                p.is_punct('-') || p.is_punct('=')
+            };
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        } else if t.is_punct(';') || t.is_punct('{') {
+            // Unbalanced (comparison operator, not generics): bail out.
+            return i + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// `impl` block spans: (range start, range end, implemented type name).
+/// For `impl Trait for Type` the type is the ident after `for`.
+fn impl_ranges(code: &CodeView<'_>) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code.tok(i).is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut ty: Option<String> = None;
+        while j < code.len() {
+            let t = code.tok(j);
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct('<') {
+                j = skip_angle(code, j);
+                continue;
+            }
+            if t.is_ident("for") {
+                ty = None; // the implemented type follows
+            } else if t.is_ident("where") {
+                // The type is fixed by now; scan on to the brace.
+            } else if t.kind == TokKind::Ident && !t.is_ident("dyn") {
+                ty = Some(t.text.clone());
+            }
+            j += 1;
+        }
+        if j >= code.len() {
+            break;
+        }
+        let close = matching_brace(code, j);
+        if let Some(ty) = ty {
+            out.push((i, close, ty));
+        }
+        // Scan inside the impl body for nested impls is unnecessary;
+        // resume right after the header so fns inside are still found
+        // by the caller's own linear scan.
+        i = j + 1;
+    }
+    out
+}
+
+/// Code position of the `}` matching the `{` at `open` (or the last
+/// token on imbalance).
+fn matching_brace(code: &CodeView<'_>, open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < code.len() {
+        let t = code.tok(j);
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Find every `fn` with a body; append summaries for the non-test ones.
+fn extract_functions(src: usize, file: &SourceFile, fns: &mut Vec<FnInfo>) {
+    let code = CodeView::new(file);
+    let impls = impl_ranges(&code);
+
+    // First pass: every fn body span (test ones included, so the walk
+    // below can skip nested fn bodies it does not own).
+    let mut spans: Vec<(usize, usize, usize)> = Vec::new(); // (fn tok, open, close)
+    let mut i = 0usize;
+    while i < code.len() {
+        if code.tok(i).is_ident("fn") {
+            if let Some(name_tok) = code.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let mut j = i + 2;
+                    while j < code.len() {
+                        let t = code.tok(j);
+                        if t.is_punct('{') || t.is_punct(';') {
+                            break;
+                        }
+                        if t.is_punct('<') {
+                            j = skip_angle(&code, j);
+                            continue;
+                        }
+                        j += 1;
+                    }
+                    if j < code.len() && code.tok(j).is_punct('{') {
+                        spans.push((i, j, matching_brace(&code, j)));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    for &(fn_tok, open, close) in &spans {
+        if code.in_test(fn_tok) {
+            continue;
+        }
+        let name = code.tok(fn_tok + 1).text.clone();
+        let impl_type = impls
+            .iter()
+            .filter(|&&(s, e, _)| s < fn_tok && fn_tok < e)
+            .min_by_key(|&&(s, e, _)| e - s)
+            .map(|(_, _, t)| t.clone());
+        let qual = impl_type
+            .as_deref()
+            .map(|t| format!("{t}::"))
+            .unwrap_or_default();
+        let qname = format!("{}::{qual}{name}", file.rel_path);
+        let inner: Vec<(usize, usize)> = spans
+            .iter()
+            .filter(|&&(_, s, e)| open < s && e < close)
+            .map(|&(_, s, e)| (s, e))
+            .collect();
+        let mut info = FnInfo {
+            src,
+            name,
+            impl_type,
+            qname,
+            direct_locks: Vec::new(),
+            nested: Vec::new(),
+            calls: Vec::new(),
+            channel_line: None,
+        };
+        walk_body(&code, &mut info, open, close, &inner);
+        fns.push(info);
+    }
+}
+
+/// Walk one fn body, tracking lexically live guards exactly like the
+/// `concurrency` rule, and record lock sites, nested acquisitions,
+/// calls (with held-guard snapshots), and blocking channel ops.
+fn walk_body(
+    code: &CodeView<'_>,
+    info: &mut FnInfo,
+    open: usize,
+    close: usize,
+    inner: &[(usize, usize)],
+) {
+    let scope = info.qname.clone();
+    let mut depth = 0usize;
+    // Live named guards: (binding, depth at the `let`, site).
+    let mut guards: Vec<(String, usize, LockSite)> = Vec::new();
+    // Statement-temporary guards, live to the end of the statement.
+    let mut temps: Vec<LockSite> = Vec::new();
+    let mut stmt_is_let = false;
+    let mut stmt_let_name: Option<String> = None;
+
+    let mut i = open;
+    while i <= close {
+        // A nested fn owns its own body; skip it here.
+        if let Some(&(_, e)) = inner.iter().find(|&&(s, _)| s == i) {
+            i = e + 1;
+            continue;
+        }
+        let t = code.tok(i);
+        match t.kind {
+            TokKind::Punct => match t.text.as_bytes().first() {
+                Some(b'{') => depth += 1,
+                Some(b'}') => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|&(_, d, _)| d <= depth);
+                    temps.clear();
+                    (stmt_is_let, stmt_let_name) = (false, None);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Some(b';') => {
+                    temps.clear();
+                    (stmt_is_let, stmt_let_name) = (false, None);
+                }
+                _ => {}
+            },
+            TokKind::Ident => {
+                let prev_dot = i >= 1 && code.tok(i - 1).is_punct('.');
+                let next_paren = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+                match t.text.as_str() {
+                    "let" => {
+                        stmt_is_let = true;
+                        stmt_let_name = None;
+                    }
+                    "mut" if stmt_is_let => {}
+                    "drop" if next_paren => {
+                        if let Some(arg) = code.get(i + 2) {
+                            if arg.kind == TokKind::Ident {
+                                guards.retain(|(name, _, _)| *name != arg.text);
+                            }
+                        }
+                    }
+                    m if ACQUIRE_METHODS.contains(&m)
+                        && prev_dot
+                        && next_paren
+                        && code.get(i + 2).is_some_and(|n| n.is_punct(')')) =>
+                    {
+                        let key = lock_key(code, i - 1, info.impl_type.as_deref(), &scope);
+                        let site = LockSite { key, line: t.line };
+                        for (_, _, held) in &guards {
+                            info.nested.push((held.clone(), site.clone()));
+                        }
+                        for held in &temps {
+                            info.nested.push((held.clone(), site.clone()));
+                        }
+                        info.direct_locks.push(site.clone());
+                        match &stmt_let_name {
+                            Some(name) if stmt_is_let => {
+                                guards.push((name.clone(), depth, site));
+                            }
+                            _ => temps.push(site),
+                        }
+                    }
+                    op if BLOCKING_CHANNEL_OPS.contains(&op) && prev_dot && next_paren => {
+                        info.channel_line.get_or_insert(t.line);
+                    }
+                    name if next_paren
+                        && !KEYWORDS.contains(&name)
+                        && !ACQUIRE_METHODS.contains(&name)
+                        && (i == 0 || !code.tok(i - 1).is_ident("fn")) =>
+                    {
+                        let qualifier = if i >= 2 && code.is_path_sep(i - 2) && i >= 3 {
+                            let q = code.tok(i - 3);
+                            (q.kind == TokKind::Ident).then(|| q.text.clone())
+                        } else {
+                            None
+                        };
+                        let mut held: Vec<LockSite> =
+                            guards.iter().map(|(_, _, s)| s.clone()).collect();
+                        held.extend(temps.iter().cloned());
+                        info.calls.push(CallSite {
+                            name: name.to_string(),
+                            qualifier,
+                            line: t.line,
+                            held,
+                        });
+                    }
+                    name if stmt_is_let && stmt_let_name.is_none() => {
+                        stmt_let_name = Some(name.to_string());
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Key the receiver chain ending at the `.` before an acquire method.
+///
+/// `dot` is the code position of that `.`. Walks the chain backwards,
+/// collapsing index (`[…]` → `[]`) and call (`(…)` → `()`) segments.
+fn lock_key(code: &CodeView<'_>, dot: usize, impl_type: Option<&str>, scope: &str) -> String {
+    let mut rev: Vec<String> = Vec::new();
+    let mut p = dot; // position of the `.` we walk back from
+    loop {
+        if p == 0 {
+            break;
+        }
+        let t = code.tok(p - 1);
+        if t.kind == TokKind::Ident || t.kind == TokKind::Num {
+            rev.push(t.text.clone());
+            // Continue only through a `.`; `::`-qualified prefixes keep
+            // just their last segment (enough for the ALL_CAPS check).
+            if p >= 2 && code.tok(p - 2).is_punct('.') {
+                p -= 2;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct(']') {
+            let mut d = 0usize;
+            let mut q = p - 1;
+            loop {
+                let u = code.tok(q);
+                if u.is_punct(']') {
+                    d += 1;
+                } else if u.is_punct('[') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                if q == 0 {
+                    break;
+                }
+                q -= 1;
+            }
+            rev.push("[]".to_string());
+            p = q;
+            continue;
+        }
+        if t.is_punct(')') {
+            let mut d = 0usize;
+            let mut q = p - 1;
+            loop {
+                let u = code.tok(q);
+                if u.is_punct(')') {
+                    d += 1;
+                } else if u.is_punct('(') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                if q == 0 {
+                    break;
+                }
+                q -= 1;
+            }
+            // Only method/fn call segments continue a chain; a grouped
+            // expression `(x).lock()` ends it.
+            if q >= 1 && code.tok(q - 1).kind == TokKind::Ident {
+                rev.push("()".to_string());
+                p = q;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    let mut chain = String::new();
+    for seg in rev.iter().rev() {
+        if seg == "[]" || seg == "()" {
+            chain.push_str(seg);
+        } else {
+            if !chain.is_empty() {
+                chain.push('.');
+            }
+            chain.push_str(seg);
+        }
+    }
+    if chain.is_empty() {
+        return format!("{scope}::<expr>");
+    }
+    if let Some(rest) = chain.strip_prefix("self.") {
+        if let Some(ty) = impl_type {
+            return format!("{ty}::{rest}");
+        }
+    }
+    let first = rev.last().expect("chain is non-empty");
+    let is_global = rev.len() == 1
+        && first.len() >= 2
+        && first
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && first.chars().any(|c| c.is_ascii_uppercase());
+    if is_global {
+        return chain;
+    }
+    format!("{scope}::{chain}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(files: &[(&str, &str)]) -> Vec<(u32, String)> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let mut out = Vec::new();
+        check(&sources, &mut out);
+        out.into_iter().map(|d| (d.line, d.message)).collect()
+    }
+
+    const AB_BA: &str = "struct S { a: parking_lot::Mutex<u64>, b: parking_lot::Mutex<u64> }\n\
+         impl S {\n\
+             fn ab(&self) {\n\
+                 let ga = self.a.lock();\n\
+                 let gb = self.b.lock();\n\
+                 let _ = *ga + *gb;\n\
+             }\n\
+             fn ba(&self) {\n\
+                 let gb = self.b.lock();\n\
+                 let ga = self.a.lock();\n\
+                 let _ = *ga + *gb;\n\
+             }\n\
+         }\n";
+
+    #[test]
+    fn two_field_inversion_reports_both_edges() {
+        let d = lint(&[("crates/engine/src/s.rs", AB_BA)]);
+        let lines: Vec<u32> = d.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lines, vec![5, 10], "{d:?}");
+        assert!(
+            d[0].1.contains("`S::b`") && d[0].1.contains("`S::a`"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_spanning_files_is_found() {
+        let f1 =
+            "impl S {\n    fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n}\n\
+                  struct S { a: parking_lot::Mutex<u64>, b: parking_lot::Mutex<u64> }\n";
+        let f2 =
+            "impl S {\n    fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n}\n";
+        let d = lint(&[
+            ("crates/engine/src/f1.rs", f1),
+            ("crates/engine/src/f2.rs", f2),
+        ]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "impl S {\n\
+             fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             fn ab2(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn inversion_via_helper_call_is_found() {
+        let src = "impl S {\n\
+             fn outer(&self) {\n\
+                 let g = self.a.lock();\n\
+                 self.helper();\n\
+             }\n\
+             fn helper(&self) { let h = self.b.lock(); }\n\
+             fn reverse(&self) { let h = self.b.lock(); let g = self.a.lock(); }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        let lines: Vec<u32> = d.iter().map(|&(l, _)| l).collect();
+        // The call edge (line 4) and the direct reverse edge (line 7).
+        assert_eq!(lines, vec![4, 7], "{d:?}");
+        assert!(d[0].1.contains("via call to"), "{d:?}");
+    }
+
+    #[test]
+    fn transitive_two_hop_call_edge() {
+        let src = "impl S {\n\
+             fn outer(&self) { let g = self.a.lock(); self.mid(); }\n\
+             fn mid(&self) { self.leaf(); }\n\
+             fn leaf(&self) { let h = self.b.lock(); }\n\
+             fn reverse(&self) { let h = self.b.lock(); let g = self.a.lock(); }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn guard_across_call_into_blocking_fn() {
+        let src = "impl S {\n\
+             fn waits(&self) { let v = self.rx.recv(); }\n\
+             fn bad(&self) {\n\
+                 let g = self.state.lock();\n\
+                 self.waits();\n\
+             }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].0, 5);
+        assert!(d[0].1.contains("blocks on a channel"), "{d:?}");
+    }
+
+    #[test]
+    fn ambiguous_callee_names_are_skipped() {
+        let src = "impl A { fn get(&self) { let g = self.x.lock(); } }\n\
+                   impl B { fn get(&self) { let g = self.y.lock(); } }\n\
+                   impl C {\n\
+                       fn f(&self) { let g = self.z.lock(); get(); }\n\
+                   }\n\
+                   fn reverse(c: &C) { }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn qualified_call_resolves_through_ambiguity() {
+        let src = "impl A { fn go(&self) { let g = self.x.lock(); } }\n\
+                   impl B { fn go(&self) {} }\n\
+                   impl C {\n\
+                       fn f(&self, a: &A) { let g = self.z.lock(); A::go(a); }\n\
+                       fn lockz(&self) { let g = self.z.lock(); }\n\
+                   }\n\
+                   impl A { fn rev(&self, c: &C) { let g = self.x.lock(); C::lockz(c); } }\n";
+        // `go` is ambiguous by name but `A::go` resolves by qualifier:
+        // f: C::z -> A::x (via A::go); rev: A::x -> C::z (via C::lockz).
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|(_, m)| m.contains("via call to")), "{d:?}");
+    }
+
+    #[test]
+    fn locals_do_not_unify_across_functions() {
+        let src = "fn f(a: &parking_lot::Mutex<u64>, b: &parking_lot::Mutex<u64>) {\n\
+                       let g = a.lock(); let h = b.lock();\n\
+                   }\n\
+                   fn g(a: &parking_lot::Mutex<u64>, b: &parking_lot::Mutex<u64>) {\n\
+                       let g = b.lock(); let h = a.lock();\n\
+                   }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn global_statics_unify_and_self_cycle_reports() {
+        let src = "fn f() { let g = REGISTRY.lock(); helper(); }\n\
+                   fn helper() { let h = REGISTRY.lock(); }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].1.contains("self-cycle"), "{d:?}");
+    }
+
+    #[test]
+    fn allow_directive_suppresses_edge() {
+        let with_allow = "impl S {\n\
+             fn ab(&self) {\n\
+                 let ga = self.a.lock();\n\
+                 // analyzer: allow(lock-order): startup-only path, never concurrent with ba\n\
+                 let gb = self.b.lock();\n\
+             }\n\
+             fn ba(&self) {\n\
+                 let gb = self.b.lock();\n\
+                 let ga = self.a.lock();\n\
+             }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", with_allow)]);
+        // Only the un-allowed half remains.
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].0, 9);
+    }
+
+    #[test]
+    fn test_code_and_vendor_are_exempt() {
+        let d = lint(&[
+            ("crates/engine/tests/t.rs", AB_BA),
+            ("vendor/parking_lot/src/x.rs", AB_BA),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn shard_indexing_collapses_to_one_node() {
+        let src = "impl Cache {\n\
+             fn rebalance(&self, i: usize, j: usize) {\n\
+                 let a = self.shards[i].lock();\n\
+                 let b = self.shards[j].lock();\n\
+             }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].1.contains("Cache::shards[]"), "{d:?}");
+        assert!(d[0].1.contains("self-cycle"), "{d:?}");
+    }
+
+    #[test]
+    fn graph_and_dot_render() {
+        let sources = vec![SourceFile::parse("crates/engine/src/s.rs", AB_BA)];
+        let g = build_graph(&sources);
+        assert!(g.nodes.contains("S::a") && g.nodes.contains("S::b"));
+        assert_eq!(g.edges.len(), 2);
+        let dot = render_dot(&g);
+        assert!(dot.contains("digraph lock_order"), "{dot}");
+        assert!(
+            dot.contains("\"S::a\" -> \"S::b\" [label=\"crates/engine/src/s.rs:5\"]"),
+            "{dot}"
+        );
+    }
+
+    #[test]
+    fn temporary_guard_nesting_is_tracked() {
+        let src = "impl S {\n\
+             fn f(&self) { self.a.lock().merge(&self.b.lock()); }\n\
+             fn g(&self) { let x = self.b.lock(); let y = self.a.lock(); }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        // f nests b under a (same statement); g reverses.
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn rwlock_read_write_sites_count() {
+        let src = "impl S {\n\
+             fn f(&self) { let r = self.incumbent.read(); let g = self.q.lock(); }\n\
+             fn g(&self) { let w = self.q.lock(); let x = self.incumbent.write(); }\n\
+         }\n";
+        let d = lint(&[("crates/engine/src/s.rs", src)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+}

@@ -9,9 +9,15 @@
 //! Shared machinery lives here: a comment-free code view of the token
 //! stream, maximal qualified-path extraction (`std::sync::Mutex`), and a
 //! `use`-declaration tree parser — the three shapes every rule matches.
+//!
+//! One pass does not fit the per-file trait: the inter-procedural
+//! [`lock_order`] analysis needs every workspace file at once, so it
+//! runs after the catalog (see `analyze_sources`) but shares the same
+//! diagnostic and allow-directive conventions.
 
 mod concurrency;
 mod determinism;
+pub mod lock_order;
 mod panic_free;
 mod unsafe_audit;
 mod vendor_subset;
@@ -47,11 +53,13 @@ pub fn catalog() -> Vec<Box<dyn Rule>> {
     ]
 }
 
-/// Ids of every rule in the catalog plus the framework's own
-/// `allow-directive` pseudo-rule (valid targets for allow directives are
-/// the real rules only).
+/// Ids of every rule allow directives may target: the per-file catalog
+/// plus the workspace-wide [`lock_order`] pass (which runs outside the
+/// catalog because it needs every file at once).
 pub fn known_rule_ids() -> Vec<&'static str> {
-    catalog().iter().map(|r| r.id()).collect()
+    let mut ids: Vec<&'static str> = catalog().iter().map(|r| r.id()).collect();
+    ids.push(lock_order::ID);
+    ids
 }
 
 // ---------------------------------------------------------------------

@@ -70,6 +70,7 @@ impl Rule for PanicFree {
                         line: t.line,
                         rule: self.id(),
                         severity: Severity::Error,
+                        fingerprint: String::new(),
                         message,
                     });
                 }

@@ -51,6 +51,7 @@ impl Rule for UnsafeAudit {
                     line: t.line,
                     rule: self.id(),
                     severity: Severity::Error,
+                    fingerprint: String::new(),
                     message: "`unsafe` without a `// SAFETY:` comment on the same line or \
                               within the 3 lines above; state the invariant that makes \
                               this sound"

@@ -48,6 +48,7 @@ impl Rule for VendorSubset {
                     line: path.line,
                     rule: self.id(),
                     severity: Severity::Error,
+                    fingerprint: String::new(),
                     message: format!(
                         "`{rendered}` references vendored crate `{krate}` which has no \
                          API manifest; add vendor/{krate}/API.txt"
@@ -62,6 +63,7 @@ impl Rule for VendorSubset {
                             line: path.line,
                             rule: self.id(),
                             severity: Severity::Error,
+                            fingerprint: String::new(),
                             message: format!(
                                 "{kind} `{rendered}` is outside the documented API subset of \
                                  the `{krate}` stub; extend the stub and vendor/{krate}/API.txt \

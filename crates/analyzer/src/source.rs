@@ -29,6 +29,9 @@ pub struct SourceFile {
     pub in_test: Vec<bool>,
     /// Escape-hatch directives found in comments.
     pub allows: Vec<AllowDirective>,
+    /// Raw source lines (1-based via [`SourceFile::line_text`]); kept so
+    /// diagnostics can fingerprint the flagged line's content.
+    pub lines: Vec<String>,
 }
 
 impl SourceFile {
@@ -43,7 +46,16 @@ impl SourceFile {
             toks,
             in_test,
             allows,
+            lines: text.lines().map(str::to_string).collect(),
         }
+    }
+
+    /// Text of 1-based `line` (empty for out-of-range lines).
+    pub fn line_text(&self, line: u32) -> &str {
+        line.checked_sub(1)
+            .and_then(|i| self.lines.get(i as usize))
+            .map(String::as_str)
+            .unwrap_or("")
     }
 
     /// First path component (e.g. `crates`, `vendor`, `src`, `tests`).

@@ -1,0 +1,33 @@
+//! Deliberately violating fixture for the `lock-order` rule: `drain`
+//! and `report` take the same two locks in opposite orders (a cycle),
+//! and `submit` holds a guard across a call into channel-blocking code.
+
+pub struct Router {
+    pub queue: parking_lot::Mutex<Vec<u64>>,
+    pub stats: parking_lot::Mutex<u64>,
+    pub rx: crossbeam::channel::Receiver<u64>,
+}
+
+impl Router {
+    pub fn drain(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        let _ = (q.len(), *s);
+    }
+
+    pub fn report(&self) {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+        let _ = (q.len(), *s);
+    }
+
+    pub fn wait_for_ack(&self) {
+        let _ = self.rx.recv();
+    }
+
+    pub fn submit(&self) {
+        let g = self.queue.lock();
+        self.wait_for_ack();
+        let _ = g.len();
+    }
+}

@@ -25,6 +25,11 @@ fn lint_fixture(fixture: &str, virtual_path: &str) -> Vec<(String, u32)> {
         diags.iter().all(|d| d.severity == Severity::Error),
         "all analyzer rules report errors"
     );
+    // Every finding carries a stable 16-hex-digit fingerprint.
+    for d in &diags {
+        assert_eq!(d.fingerprint.len(), 16, "{d:?}");
+        assert!(d.fingerprint.chars().all(|c| c.is_ascii_hexdigit()));
+    }
     // Both renderers must reflect the findings.
     let text_out = render_text(&diags);
     let json_out = render_json(&diags);
@@ -168,6 +173,31 @@ fn allow_directive_fixture() {
     let lines: Vec<u32> = got.iter().map(|&(_, l)| l).collect();
     assert_eq!(lines, vec![3, 5], "{diags:?}");
     assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn lock_order_fixture() {
+    let diags = lint_fixture("lock_order_bad.rs", "crates/engine/src/bad.rs");
+    let got: Vec<(String, u32)> = diags
+        .iter()
+        .filter(|(r, _)| r == "lock-order")
+        .cloned()
+        .collect();
+    // Both halves of the inversion are reported at their own acquisition
+    // sites — `stats` under `queue` (14) and `queue` under `stats` (20)
+    // — plus the guard held across the blocking call in `submit` (30).
+    let lines: Vec<u32> = got.iter().map(|&(_, l)| l).collect();
+    assert_eq!(lines, vec![14, 20, 30], "{diags:?}");
+    assert_eq!(diags.len(), 3, "no other rule fires: {diags:?}");
+}
+
+#[test]
+fn lock_order_fixture_is_exempt_in_tests() {
+    let diags = lint_fixture("lock_order_bad.rs", "crates/engine/tests/bad.rs");
+    assert!(
+        diags.is_empty(),
+        "test code may order locks freely: {diags:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,40 @@
+//! Analyzer throughput: one full `lint_workspace` pass (walk + parallel
+//! read/lex + all six rules, including the inter-procedural lock-order
+//! fixpoint) over the live workspace.
+//!
+//! The lint gate runs on every CI build, so its latency is part of the
+//! edit-compile-lint loop; this smoke bench keeps a timing line for it
+//! next to the solver benches and would surface a superlinear regression
+//! in the call-graph fixpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::Path;
+use std::time::Duration;
+
+fn bench_lint(c: &mut Criterion) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    // The workspace must lint clean — a dirty tree would mean the bench
+    // is timing diagnostic rendering too.
+    let analysis = gaps_analyzer::analyze_workspace(root).expect("workspace scan");
+    assert!(analysis.is_clean(), "workspace must lint clean");
+    assert!(analysis.files_scanned > 50, "scan saw the whole workspace");
+
+    let mut group = c.benchmark_group("lint_workspace");
+    group.bench_function("full_scan_all_rules", |b| {
+        b.iter(|| gaps_analyzer::analyze_workspace(root).expect("workspace scan"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench_lint
+}
+criterion_main!(benches);

@@ -7,7 +7,8 @@
 //! gaps approx   --input FILE --alpha F [--rounds N]   Theorem 3 (multi)
 //! gaps simulate --input FILE --alpha N [--policy P]   run on the simulator
 //! gaps generate --kind K --seed S [--n N] ...         emit an instance
-//! gaps lint     [--root DIR] [--format text|json] [--rules]   static analysis
+//! gaps lint     [--root DIR] [--format text|json] [--rules]
+//!               [--baseline FILE] [--dot FILE|-]    static analysis
 //! ```
 //!
 //! Instances use the text format of `gaps_workloads::serialize`
@@ -71,21 +72,60 @@ fn cmd_lint(raw: &[String]) -> Result<(String, bool), String> {
     if args.get("rules").is_some() {
         return Ok((gaps_analyzer::rule_catalog_text(), true));
     }
-    let root = match args.get("root") {
-        Some(dir) => std::path::PathBuf::from(dir),
-        None => {
-            let cwd = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
-            gaps_analyzer::find_workspace_root(&cwd)
-                .ok_or("no workspace root found above the current directory; pass --root DIR")?
+    // Resolve to the *workspace* root no matter where we were invoked
+    // from or what `--root` points at (a subdirectory resolves up), so
+    // diagnostic paths — and therefore fingerprints — are always
+    // workspace-relative and stable.
+    let start = match args.get("root") {
+        Some(dir) => std::path::PathBuf::from(dir)
+            .canonicalize()
+            .map_err(|e| format!("cannot resolve --root {dir}: {e}"))?,
+        None => std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?,
+    };
+    let root = gaps_analyzer::find_workspace_root(&start)
+        .ok_or("no workspace Cargo.toml found at or above the start directory; pass --root DIR")?;
+    let sources = gaps_analyzer::load_sources(&root)?;
+    let manifests = gaps_analyzer::load_manifests(&root);
+    let mut diags = gaps_analyzer::analyze_sources(manifests, &sources);
+
+    // `--dot FILE` renders the lock-acquisition graph (`-` = stdout).
+    let mut out = String::new();
+    if let Some(target) = args.get("dot") {
+        let graph = gaps_analyzer::rules::lock_order::build_graph(&sources);
+        let dot = gaps_analyzer::rules::lock_order::render_dot(&graph);
+        if target == "-" {
+            out.push_str(&dot);
+        } else {
+            std::fs::write(target, &dot).map_err(|e| format!("cannot write {target}: {e}"))?;
         }
-    };
-    let analysis = gaps_analyzer::analyze_workspace(&root)?;
-    let out = match args.get("format").unwrap_or("text") {
-        "text" => gaps_analyzer::render_text(&analysis.diagnostics),
-        "json" => gaps_analyzer::render_json(&analysis.diagnostics),
+    }
+
+    // `--baseline FILE` drops findings whose fingerprint is baselined.
+    let mut suppressed = 0usize;
+    if let Some(path) = args.get("baseline") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline = gaps_analyzer::baseline::parse(&text);
+        (diags, suppressed) = gaps_analyzer::baseline::apply(diags, &baseline);
+    }
+
+    let clean = !diags
+        .iter()
+        .any(|d| d.severity == gaps_analyzer::Severity::Error);
+    match args.get("format").unwrap_or("text") {
+        "text" => {
+            out.push_str(&gaps_analyzer::render_text(&diags));
+            if suppressed > 0 {
+                out.push_str(&format!(
+                    "gaps lint: {suppressed} baselined finding{} suppressed\n",
+                    if suppressed == 1 { "" } else { "s" }
+                ));
+            }
+        }
+        "json" => out.push_str(&gaps_analyzer::render_json(&diags)),
         other => return Err(format!("unknown --format {other:?} (text|json)")),
-    };
-    Ok((out, analysis.is_clean()))
+    }
+    Ok((out, clean))
 }
 
 const USAGE: &str = "\
@@ -100,7 +140,8 @@ usage:
   gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
   gaps generate --kind uniform|feasible|bursty|multi|consultant|online
                 [--seed S] [--n N] [--horizon H] [--slack L] [--processors P]
-  gaps lint     [--root DIR] [--format text|json] [--rules list]";
+  gaps lint     [--root DIR] [--format text|json] [--rules list]
+                [--baseline FILE] [--dot FILE|-]";
 
 /// Parsed `--flag value` arguments plus the leading subcommand.
 struct Args {
@@ -642,5 +683,54 @@ mod tests {
         let text = run_str(&["generate", "--kind", "online", "--n", "4"]).unwrap();
         let inst = serialize::instance_from_text(&text).unwrap();
         assert_eq!(inst.job_count(), 8);
+    }
+
+    fn lint_str(args: &[&str]) -> Result<(String, bool), String> {
+        cmd_lint(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn lint_rules_catalog_lists_lock_order() {
+        let (out, clean) = lint_str(&["lint", "--rules", "list"]).unwrap();
+        assert!(clean);
+        assert!(out.contains("lock-order"), "catalog lists the new rule");
+        assert!(out.contains("allow("), "catalog documents the escape hatch");
+    }
+
+    #[test]
+    fn lint_resolves_workspace_root_from_a_subdirectory() {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let (from_root, clean) = lint_str(&["lint", "--root", root]).unwrap();
+        assert!(clean, "live workspace must lint clean:\n{from_root}");
+        // Pointing --root at a crate subdirectory must resolve *up* to
+        // the workspace root and produce the identical report.
+        let sub = format!("{root}/crates/engine/src");
+        let (from_sub, sub_clean) = lint_str(&["lint", "--root", &sub]).unwrap();
+        assert!(sub_clean);
+        assert_eq!(from_root, from_sub, "report is invocation-dir independent");
+    }
+
+    #[test]
+    fn lint_dot_renders_the_acquisition_graph() {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let (out, clean) = lint_str(&["lint", "--root", root, "--dot", "-"]).unwrap();
+        assert!(clean);
+        assert!(out.starts_with("digraph lock_order"), "{out}");
+        assert!(out.contains("rankdir"), "{out}");
+    }
+
+    #[test]
+    fn lint_accepts_the_committed_baseline() {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let baseline = format!("{root}/lint-baseline.json");
+        let (out, clean) = lint_str(&["lint", "--root", root, "--baseline", &baseline]).unwrap();
+        assert!(clean, "baseline run stays clean:\n{out}");
+    }
+
+    #[test]
+    fn lint_flags_are_validated() {
+        assert!(lint_str(&["lint", "--root", "/nonexistent/dir"]).is_err());
+        assert!(lint_str(&["lint", "--format", "xml"]).is_err());
+        assert!(lint_str(&["lint", "--baseline", "/nonexistent/base.json"]).is_err());
     }
 }

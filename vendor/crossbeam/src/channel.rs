@@ -26,6 +26,32 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+/// Under `--features sanitize`, panic if the calling thread performs a
+/// blocking channel operation while holding any instrumented
+/// `parking_lot` guard — that shape deadlocks the bounded-buffer pool
+/// (the lock holder blocks; the thread that would unblock it wants the
+/// lock). Named sites: the newest held guard and the channel op.
+#[cfg(feature = "sanitize")]
+#[track_caller]
+fn sanitize_check_unlocked(op: &str) {
+    if std::thread::panicking() {
+        return;
+    }
+    let held = parking_lot::sanitize::held_lock_count();
+    if held > 0 {
+        let site = parking_lot::sanitize::newest_held_site()
+            .unwrap_or_else(|| "<unknown site>".to_string());
+        panic!(
+            "sanitize: blocking channel `{op}` at {} while the thread holds {held} \
+             lock guard(s) (newest: {site}); a channel op under a lock can deadlock",
+            std::panic::Location::caller()
+        );
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+fn sanitize_check_unlocked(_op: &str) {}
+
 /// The sending half was disconnected, returning the unsent message.
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
@@ -154,7 +180,9 @@ fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
 impl<T> Sender<T> {
     /// Block until the message is queued (or every receiver is gone, in
     /// which case the message comes back in the error).
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        sanitize_check_unlocked("send");
         let mut st = self.shared.lock();
         loop {
             if st.receivers == 0 {
@@ -207,7 +235,9 @@ impl<T> fmt::Debug for Sender<T> {
 impl<T> Receiver<T> {
     /// Block until a message arrives (or every sender is gone and the
     /// queue has drained).
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn recv(&self) -> Result<T, RecvError> {
+        sanitize_check_unlocked("recv");
         let mut st = self.shared.lock();
         loop {
             if let Some(value) = st.queue.pop_front() {
@@ -439,5 +469,55 @@ mod tests {
     #[should_panic(expected = "rendezvous")]
     fn zero_capacity_is_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[cfg(feature = "sanitize")]
+    mod sanitize {
+        use super::super::{bounded, unbounded};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+            err.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default()
+        }
+
+        #[test]
+        fn send_under_a_lock_panics() {
+            let (tx, _rx) = bounded::<u8>(1);
+            let m = parking_lot::Mutex::new(());
+            let _g = m.lock();
+            // analyzer: allow(concurrency): deliberately provoking the sanitizer
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _ = tx.send(1);
+            }))
+            .expect_err("sanitizer must refuse send under a guard");
+            let msg = panic_message(err);
+            assert!(msg.contains("channel `send`"), "{msg}");
+            assert!(msg.contains("Mutex::lock"), "{msg}");
+        }
+
+        #[test]
+        fn recv_under_a_lock_panics() {
+            let (_tx, rx) = unbounded::<u8>();
+            let m = parking_lot::Mutex::new(());
+            let _g = m.lock();
+            // analyzer: allow(concurrency): deliberately provoking the sanitizer
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _ = rx.recv();
+            }))
+            .expect_err("sanitizer must refuse recv under a guard");
+            assert!(panic_message(err).contains("channel `recv`"));
+        }
+
+        #[test]
+        fn try_recv_stays_legal_under_a_lock() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(9).unwrap();
+            let m = parking_lot::Mutex::new(());
+            let _g = m.lock();
+            assert_eq!(rx.try_recv(), Ok(9)); // non-blocking: never deadlocks
+        }
     }
 }

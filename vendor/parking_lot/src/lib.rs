@@ -1,17 +1,42 @@
 //! Workspace-local stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no crate registry, so this shim provides the
-//! one type the workspace uses — [`Mutex`] with a non-poisoning `lock()` —
-//! backed by `std::sync::Mutex`. A poisoned std mutex (a panic while the
-//! lock was held) recovers the inner data, matching `parking_lot`'s
-//! semantics of never poisoning.
+//! types the workspace uses — [`Mutex`] and [`RwLock`] with non-poisoning
+//! guards — backed by their `std::sync` counterparts. A poisoned std lock
+//! (a panic while the lock was held) recovers the inner data, matching
+//! `parking_lot`'s semantics of never poisoning.
+//!
+//! # The `sanitize` feature
+//!
+//! With `--features sanitize` every acquisition is instrumented with a
+//! lockdep-style runtime checker (see [`sanitize`]):
+//!
+//! * **same-thread re-entrancy** — re-acquiring a lock the current thread
+//!   already holds panics immediately instead of deadlocking (this
+//!   includes re-entrant `read()`, which can deadlock against a waiting
+//!   writer);
+//! * **order inversion** — acquiring `B` while holding `A` records the
+//!   edge `A → B` in a process-global order graph; a later acquisition
+//!   that would close a cycle panics, naming the acquisition site of
+//!   both conflicting edges;
+//! * **watchdog** — a guard held longer than the configured budget
+//!   (`GAPS_SANITIZE_WATCHDOG_MS` or [`sanitize::set_watchdog`]) panics
+//!   at drop, naming the acquisition site; unset means disabled.
+//!
+//! Without the feature the wrappers compile down to the plain std locks.
 
-use std::sync::{Mutex as StdMutex, MutexGuard};
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
 
 /// Mutual exclusion primitive; `lock()` returns the guard directly rather
 /// than a `Result`, like `parking_lot::Mutex`.
-#[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    id: sanitize::LockId,
     inner: StdMutex<T>,
 }
 
@@ -19,6 +44,8 @@ impl<T> Mutex<T> {
     /// Create a new mutex protecting `value`.
     pub fn new(value: T) -> Self {
         Mutex {
+            #[cfg(feature = "sanitize")]
+            id: sanitize::next_lock_id(),
             inner: StdMutex::new(value),
         }
     }
@@ -34,10 +61,18 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking the current thread until it is available.
+    #[cfg_attr(feature = "sanitize", track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        #[cfg(feature = "sanitize")]
+        let token = sanitize::before_acquire(self.id, "Mutex::lock");
+        let inner = match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard {
+            #[cfg(feature = "sanitize")]
+            _token: token.acquired(),
+            inner,
         }
     }
 
@@ -50,9 +85,169 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("inner", &&self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Declared before `inner` so sanitizer bookkeeping is removed while
+    // the lock is still held (never observes a window where the lock is
+    // free but still recorded as held).
+    #[cfg(feature = "sanitize")]
+    _token: sanitize::HeldToken,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Reader-writer lock; `read()`/`write()` return guards directly rather
+/// than `Result`s, like `parking_lot::RwLock`.
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    id: sanitize::LockId,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            #[cfg(feature = "sanitize")]
+            id: sanitize::next_lock_id(),
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until no writer holds the lock.
+    #[cfg_attr(feature = "sanitize", track_caller)]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        let token = sanitize::before_acquire(self.id, "RwLock::read");
+        let inner = match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockReadGuard {
+            #[cfg(feature = "sanitize")]
+            _token: token.acquired(),
+            inner,
+        }
+    }
+
+    /// Acquire exclusive write access, blocking until the lock is free.
+    #[cfg_attr(feature = "sanitize", track_caller)]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "sanitize")]
+        let token = sanitize::before_acquire(self.id, "RwLock::write");
+        let inner = match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockWriteGuard {
+            #[cfg(feature = "sanitize")]
+            _token: token.acquired(),
+            inner,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock")
+            .field("inner", &&self.inner)
+            .finish()
+    }
+}
+
+/// RAII shared-read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    _token: sanitize::HeldToken,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII exclusive-write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "sanitize")]
+    _token: sanitize::HeldToken,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_returns_guard_directly() {
@@ -73,5 +268,24 @@ mod tests {
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(7u32);
+        {
+            let a = l.read();
+            assert_eq!(*a, 7);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
+    }
+
+    #[test]
+    fn rwlock_get_mut_and_default() {
+        let mut l = RwLock::<Vec<u32>>::default();
+        l.get_mut().push(4);
+        assert_eq!(*l.read(), vec![4]);
     }
 }

@@ -1,0 +1,336 @@
+//! Lockdep-style runtime sanitizer behind the `sanitize` cargo feature.
+//!
+//! Every instrumented lock gets a process-unique [`LockId`] at
+//! construction. Acquisitions record, per thread, a stack of held locks
+//! (id + `#[track_caller]` acquisition site + acquisition instant), and
+//! feed a process-global *order graph*: acquiring `B` while holding `A`
+//! inserts the directed edge `A → B` together with the first pair of
+//! source sites that witnessed it. Before any acquisition the checker
+//! panics — instead of deadlocking — when it observes:
+//!
+//! * **re-entrancy**: the current thread already holds the lock being
+//!   acquired (includes re-entrant `RwLock::read`, which can deadlock
+//!   against a queued writer);
+//! * **order inversion**: the new edge `A → B` would close a cycle in
+//!   the order graph (`B` already reaches `A`); the panic names the
+//!   acquisition sites of both conflicting edges;
+//! * **watchdog overrun** (at guard drop): the guard stayed alive
+//!   longer than the configured budget.
+//!
+//! The watchdog budget comes from `GAPS_SANITIZE_WATCHDOG_MS` (read
+//! once) or [`set_watchdog`]; unset/`None` disables it, so ordinary test
+//! runs cannot flake on scheduler noise unless they opt in.
+//!
+//! All checks are skipped while the current thread is already
+//! panicking, so sanitizer panics never escalate into double-panic
+//! aborts during unwinding.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process-unique identity of one instrumented lock instance.
+pub type LockId = usize;
+
+/// Allocate the id for a newly constructed lock.
+pub(crate) fn next_lock_id() -> LockId {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+struct Held {
+    id: LockId,
+    op: &'static str,
+    site: &'static Location<'static>,
+    since: Instant,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One first-witness order edge `from → to`: the sites where `from` was
+/// held and `to` was acquired under it.
+struct Edge {
+    from_site: &'static Location<'static>,
+    to_site: &'static Location<'static>,
+}
+
+type OrderGraph = HashMap<LockId, HashMap<LockId, Edge>>;
+
+fn graph() -> &'static Mutex<OrderGraph> {
+    static GRAPH: OnceLock<Mutex<OrderGraph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// `u64::MAX` = not yet initialised from the environment; `0` = disabled.
+static WATCHDOG_MS: AtomicU64 = AtomicU64::new(u64::MAX);
+
+fn watchdog_budget() -> Option<Duration> {
+    let mut ms = WATCHDOG_MS.load(Ordering::Relaxed);
+    if ms == u64::MAX {
+        ms = std::env::var("GAPS_SANITIZE_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        WATCHDOG_MS.store(ms, Ordering::Relaxed);
+    }
+    if ms == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(ms))
+    }
+}
+
+/// Set (or with `None`, disable) the guard-lifetime watchdog budget for
+/// the whole process, overriding `GAPS_SANITIZE_WATCHDOG_MS`.
+pub fn set_watchdog(budget: Option<Duration>) {
+    let ms = budget.map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX - 1));
+    WATCHDOG_MS.store(ms, Ordering::Relaxed);
+}
+
+/// Number of instrumented guards the current thread holds right now.
+pub fn held_lock_count() -> usize {
+    HELD.with(|h| h.borrow().len())
+}
+
+/// Acquisition site of the most recently acquired guard still held by
+/// the current thread, rendered as `Op at file:line:col`.
+pub fn newest_held_site() -> Option<String> {
+    HELD.with(|h| {
+        h.borrow()
+            .last()
+            .map(|held| format!("{} at {}", held.op, held.site))
+    })
+}
+
+/// If `from` reaches `to` by following recorded order edges, return the
+/// first hop of one witnessing path (`from → hop → … → to`).
+fn path_first_hop(g: &OrderGraph, from: LockId, to: LockId) -> Option<LockId> {
+    let mut seen = vec![from];
+    let first_hops: Vec<LockId> = g.get(&from).map(|n| n.keys().copied().collect())?;
+    for hop in first_hops {
+        if hop == to {
+            return Some(hop);
+        }
+        let mut stack = vec![hop];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return Some(hop);
+            }
+            if seen.contains(&n) {
+                continue;
+            }
+            seen.push(n);
+            if let Some(next) = g.get(&n) {
+                stack.extend(next.keys().copied());
+            }
+        }
+    }
+    None
+}
+
+/// Acquisition permit: checks ran, the lock may now be blocked on.
+pub(crate) struct PendingAcquire {
+    id: LockId,
+    op: &'static str,
+    site: &'static Location<'static>,
+}
+
+impl PendingAcquire {
+    /// The lock is now held: push it on the thread's acquisition stack.
+    pub(crate) fn acquired(self) -> HeldToken {
+        HELD.with(|h| {
+            h.borrow_mut().push(Held {
+                id: self.id,
+                op: self.op,
+                site: self.site,
+                since: Instant::now(),
+            });
+        });
+        HeldToken { id: self.id }
+    }
+}
+
+/// Run the re-entrancy and order-inversion checks for acquiring `id` at
+/// the caller's site, *before* blocking on the underlying lock (a
+/// would-deadlock acquisition must panic rather than hang).
+#[track_caller]
+pub(crate) fn before_acquire(id: LockId, op: &'static str) -> PendingAcquire {
+    let site = Location::caller();
+    if std::thread::panicking() {
+        return PendingAcquire { id, op, site };
+    }
+    let held: Vec<(LockId, &'static str, &'static Location<'static>)> = HELD.with(|h| {
+        h.borrow()
+            .iter()
+            .map(|held| (held.id, held.op, held.site))
+            .collect()
+    });
+    if let Some(&(_, prev_op, prev_site)) = held.iter().find(|&&(hid, _, _)| hid == id) {
+        panic!(
+            "sanitize: same-thread re-entrant acquisition: {op} at {site} while the \
+             thread already holds this lock ({prev_op} at {prev_site}); this deadlocks \
+             without the sanitizer"
+        );
+    }
+    let mut g = match graph().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let mut violation = None;
+    for &(hid, hop, hsite) in &held {
+        if let Some(first_hop) = path_first_hop(&g, id, hid) {
+            // Name the recorded edge that starts the reverse path
+            // (`id → first_hop → … → hid`); for a two-lock inversion
+            // this is exactly the earlier opposite-order acquisition.
+            let wedge = &g[&id][&first_hop];
+            violation = Some(format!(
+                "sanitize: lock-order inversion: {op} at {site} while holding {hop} at \
+                 {hsite}, but the opposite order was established earlier (lock #{id} \
+                 held at {} when the edge toward #{hid} was taken at {}); cyclic \
+                 acquisition order can deadlock",
+                wedge.from_site, wedge.to_site
+            ));
+            break;
+        }
+        g.entry(hid).or_default().entry(id).or_insert(Edge {
+            from_site: hsite,
+            to_site: site,
+        });
+    }
+    drop(g);
+    if let Some(msg) = violation {
+        panic!("{msg}");
+    }
+    PendingAcquire { id, op, site }
+}
+
+/// RAII record of one held lock; popping it runs the watchdog check.
+pub(crate) struct HeldToken {
+    id: LockId,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        let popped = HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            let pos = held.iter().rposition(|held| held.id == self.id);
+            pos.map(|p| held.remove(p))
+        });
+        if std::thread::panicking() {
+            return;
+        }
+        let (Some(held), Some(budget)) = (popped, watchdog_budget()) else {
+            return;
+        };
+        let alive = held.since.elapsed();
+        if alive > budget {
+            panic!(
+                "sanitize: watchdog: guard from {} at {} stayed alive {alive:?} \
+                 (budget {budget:?}); long-held guards serialize the pool",
+                held.op, held.site
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::set_watchdog;
+    use crate::{Mutex, RwLock};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    fn panic_message(r: Result<(), Box<dyn std::any::Any + Send>>) -> String {
+        let err = r.expect_err("sanitizer must panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn reentrant_lock_panics_instead_of_deadlocking() {
+        let m = Mutex::new(0u32);
+        let _g = m.lock();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _g2 = m.lock();
+        })));
+        assert!(msg.contains("re-entrant"), "{msg}");
+    }
+
+    #[test]
+    fn reentrant_read_panics() {
+        let l = RwLock::new(0u32);
+        let _g = l.read();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _g2 = l.read();
+        })));
+        assert!(msg.contains("re-entrant"), "{msg}");
+    }
+
+    #[test]
+    fn order_inversion_panics_and_names_both_sites() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // establishes a -> b
+        }
+        let _gb = b.lock();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _ga = a.lock(); // b held, would close b -> a -> b
+        })));
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        // Both ends of the earlier witness edge are named (this file).
+        assert!(msg.matches("sanitize.rs").count() >= 3, "{msg}");
+    }
+
+    #[test]
+    fn longer_inversion_cycle_is_caught() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock();
+        }
+        let _gc = c.lock();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _ga = a.lock(); // closes a -> b -> c -> a
+        })));
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+    }
+
+    #[test]
+    fn watchdog_flags_long_held_guard() {
+        let m = Mutex::new(());
+        set_watchdog(Some(Duration::from_millis(10)));
+        let g = m.lock();
+        std::thread::sleep(Duration::from_millis(50));
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(move || drop(g))));
+        set_watchdog(None);
+        assert!(msg.contains("watchdog"), "{msg}");
+    }
+
+    #[test]
+    fn consistent_order_never_trips() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        assert_eq!(super::held_lock_count(), 0);
+    }
+}
