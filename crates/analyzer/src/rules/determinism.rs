@@ -8,6 +8,14 @@
 //! engine's metrics surface (`crates/engine/src/lib.rs` latency
 //! recording, `metrics.rs`) — those locations are exempt, as are tests,
 //! benches, and examples.
+//!
+//! Whole crates whose *purpose* is wall-clock-driven operation are
+//! exempted via [`WALL_CLOCK_CRATES`] rather than per-line `allow`
+//! directives: `crates/serve` is a daemon (report tickers, latency
+//! stamps, drain timers), so every clock read there would need a
+//! directive saying the same thing. An explicit allowlist keeps the
+//! policy reviewable in one place; the fixture suite pins that the rule
+//! still fires everywhere else.
 
 use super::{qualified_paths, CodeView, Context, Rule};
 use crate::diagnostics::{Diagnostic, Severity};
@@ -23,6 +31,13 @@ const EXEMPT_PREFIXES: [&str; 3] = [
     "crates/engine/src/metrics.rs",
 ];
 
+/// Crates allowed to read the wall clock wholesale. Solver results must
+/// never depend on time, but a long-running daemon *is* a clock
+/// consumer: tickers, uptime, request latency. Listing the crate here
+/// is deliberate policy (reviewed in one place), unlike scattered
+/// inline `allow` directives which this rule's exemptions do not need.
+const WALL_CLOCK_CRATES: [&str; 1] = ["crates/serve"];
+
 const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
 
 impl Rule for Determinism {
@@ -32,11 +47,15 @@ impl Rule for Determinism {
 
     fn description(&self) -> &'static str {
         "no Instant::now/SystemTime::now in solver logic (timing lives in \
-         crates/bench and the engine metrics surface)"
+         crates/bench, the engine metrics surface, and the wall-clock \
+         crate allowlist: crates/serve)"
     }
 
     fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
-        if file.is_vendor() || file.is_test_file() || EXEMPT_PREFIXES.iter().any(|p| file.under(p))
+        if file.is_vendor()
+            || file.is_test_file()
+            || EXEMPT_PREFIXES.iter().any(|p| file.under(p))
+            || WALL_CLOCK_CRATES.iter().any(|p| file.under(p))
         {
             return;
         }
@@ -133,6 +152,17 @@ mod tests {
         assert!(diags("crates/engine/src/metrics.rs", src).is_empty());
         // …but the rest of the engine is not.
         assert_eq!(diags("crates/engine/src/router.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn serve_crate_is_allowlisted_for_wall_clock() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert!(diags("crates/serve/src/lib.rs", src).is_empty());
+        assert!(diags("crates/serve/src/session.rs", src).is_empty());
+        // The allowlist is per-crate, not per-pattern: sibling crates
+        // with similar paths still fire.
+        assert_eq!(diags("crates/sim/src/executor.rs", src).len(), 2);
+        assert_eq!(diags("crates/core/src/edf.rs", src).len(), 2);
     }
 
     #[test]

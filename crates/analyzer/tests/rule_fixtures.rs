@@ -160,6 +160,27 @@ fn determinism_fixture_is_exempt_in_bench() {
 }
 
 #[test]
+fn determinism_fixture_is_exempt_in_the_serve_allowlist() {
+    // The serve daemon is on the rule's per-crate wall-clock allowlist
+    // (tickers, uptime); the same snippet stays a violation in any
+    // sibling crate — `determinism_fixture` above pins `crates/sim`,
+    // and the lookalike path here pins that the allowlist does not
+    // bleed past its crate.
+    let diags = lint_fixture("determinism_bad.rs", "crates/serve/src/ticker.rs");
+    assert!(
+        diags.is_empty(),
+        "serve crate may read the clock: {diags:?}"
+    );
+    let diags = lint_fixture("determinism_bad.rs", "crates/setcover/src/serve_like.rs");
+    let lines: Vec<u32> = diags
+        .iter()
+        .filter(|(r, _)| r == "determinism")
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(lines, vec![2, 5, 10], "{diags:?}");
+}
+
+#[test]
 fn allow_directive_fixture() {
     let diags = lint_fixture("allow_directive_bad.rs", "crates/core/src/bad.rs");
     let got: Vec<(String, u32)> = diags

@@ -55,7 +55,9 @@ pub mod pool;
 pub mod router;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use metrics::{summarize_latencies, EngineReport, LatencySummary};
+pub use metrics::{
+    summarize_latencies, EngineReport, Histogram, LatencySummary, MetricsRegistry, MetricsSnapshot,
+};
 pub use router::{FallbackSolver, Features, RouterConfig, SolverKind};
 
 use gaps_core::instance::{Instance, MultiInstance};
@@ -158,27 +160,44 @@ impl Default for EngineConfig {
     }
 }
 
-/// The batch-solving engine. Construct once, feed many batches: the
-/// result cache persists across [`Engine::run_batch`] calls, so repeated
-/// traffic gets warm-cache latencies.
+/// The solving engine. Construct once, feed it forever: the result
+/// cache and the [`MetricsRegistry`] persist across every
+/// [`Engine::run_batch`] / [`Engine::solve_request`] call, so repeated
+/// traffic gets warm-cache latencies and the metrics reflect the whole
+/// lifetime — which is exactly what a long-running service snapshots.
 pub struct Engine {
     config: EngineConfig,
     cache: ShardedCache,
+    metrics: MetricsRegistry,
 }
 
-/// What one worker hands back for one request.
-struct Outcome {
-    line: String,
-    solver: Option<SolverKind>,
-    cache_hit: bool,
-    elapsed: std::time::Duration,
+/// What the engine hands back for one request.
+#[derive(Clone, Debug)]
+pub struct RequestOutcome {
+    /// Result body: `<one|multi> n=<jobs> <payload> solver=<tag>` — the
+    /// batch result line minus its leading index, and the serve `RES`
+    /// body after the request id, so the two surfaces are bit-identical
+    /// by construction.
+    pub body: String,
+    /// Which solver ran (`None` on a cache hit).
+    pub solver: Option<SolverKind>,
+    /// Answered from the result cache.
+    pub cache_hit: bool,
+    /// Served by the degraded shed chain.
+    pub shed: bool,
+    /// Request wall clock.
+    pub elapsed: std::time::Duration,
 }
 
 impl Engine {
     /// Build an engine.
     pub fn new(config: EngineConfig) -> Engine {
         let cache = ShardedCache::new(config.cache_capacity, config.cache_shards);
-        Engine { config, cache }
+        Engine {
+            config,
+            cache,
+            metrics: MetricsRegistry::new(),
+        }
     }
 
     /// The configuration this engine was built with.
@@ -189,6 +208,58 @@ impl Engine {
     /// Lifetime cache statistics (across every batch served so far).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The engine-lifetime metrics registry (every request ever solved,
+    /// whichever surface it arrived on).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Solve one instance through the full canonicalize → cache → route
+    /// pipeline. This is the shared engine loop: `run_batch` fans it out
+    /// over the ordered pool, the serve daemon calls it per request.
+    ///
+    /// With `shed` set the router runs a degraded config
+    /// ([`RouterConfig::shed`]) and the result is **not** cached: a shed
+    /// answer may be approximate where the normal route is exact, and
+    /// caching it would poison later full-service requests for the same
+    /// canonical key. Cache *reads* still happen — an exact answer that
+    /// is already paid for is the cheapest possible response.
+    pub fn solve_request(
+        &self,
+        inst: &BatchInstance,
+        objective: Objective,
+        shed: bool,
+    ) -> RequestOutcome {
+        let request_start = Instant::now();
+        let flavor = inst.kind_label();
+        let jobs = inst.job_count();
+        let form = canonical::canonicalize(inst, objective);
+        let (payload, solver, cache_hit) = match self.cache.get(&form.key) {
+            Some(cached) => (cached, None, true),
+            None if shed => {
+                let (kind, body) =
+                    router::solve(&form.instance, objective, &self.config.router.shed());
+                (format!("{body} solver={}", kind.name()), Some(kind), false)
+            }
+            None => {
+                let (kind, body) = router::solve(&form.instance, objective, &self.config.router);
+                let payload = format!("{body} solver={}", kind.name());
+                self.cache.insert(form.key, payload.clone());
+                (payload, Some(kind), false)
+            }
+        };
+        let elapsed = request_start.elapsed();
+        self.metrics
+            .record_request(solver.map(SolverKind::name), cache_hit, shed, elapsed);
+        RequestOutcome {
+            body: format!("{flavor} n={jobs} {payload}"),
+            solver,
+            cache_hit,
+            shed,
+            elapsed,
+        }
     }
 
     /// Solve a batch, returning one result line per instance — in input
@@ -204,42 +275,23 @@ impl Engine {
         objective: Objective,
     ) -> (Vec<String>, EngineReport) {
         let start = Instant::now();
-        let cache = &self.cache;
-        let router_cfg = &self.config.router;
         let refs: Vec<&BatchInstance> = instances.iter().collect();
         let outcomes = pool::map_ordered(refs, self.config.threads, |index, inst| {
-            let request_start = Instant::now();
-            let flavor = inst.kind_label();
-            let jobs = inst.job_count();
-            let form = canonical::canonicalize(inst, objective);
-            let (payload, solver, cache_hit) = match cache.get(&form.key) {
-                Some(cached) => (cached, None, true),
-                None => {
-                    let (kind, body) = router::solve(&form.instance, objective, router_cfg);
-                    let payload = format!("{body} solver={}", kind.name());
-                    cache.insert(form.key, payload.clone());
-                    (payload, Some(kind), false)
-                }
-            };
-            Outcome {
-                line: format!("{index} {flavor} n={jobs} {payload}"),
-                solver,
-                cache_hit,
-                elapsed: request_start.elapsed(),
-            }
+            let outcome = self.solve_request(inst, objective, false);
+            (format!("{index} {}", outcome.body), outcome)
         });
 
         let mut report = EngineReport {
             requests: outcomes.len(),
             threads: self.config.threads.max(1),
-            cache_entries: cache.len(),
+            cache_entries: self.cache.len(),
             ..EngineReport::default()
         };
         let mut latencies = Vec::with_capacity(outcomes.len());
         let mut lines = Vec::with_capacity(outcomes.len());
         let mut by_solver: std::collections::BTreeMap<&'static str, Vec<std::time::Duration>> =
             std::collections::BTreeMap::new();
-        for outcome in outcomes {
+        for (line, outcome) in outcomes {
             if outcome.cache_hit {
                 report.cache_hits += 1;
             } else {
@@ -253,7 +305,7 @@ impl Engine {
                     .push(outcome.elapsed);
             }
             latencies.push(outcome.elapsed);
-            lines.push(outcome.line);
+            lines.push(line);
         }
         report.solver_latency = by_solver
             .into_iter()
@@ -446,6 +498,62 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(report.requests, 0);
         assert_eq!(report.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn solve_request_body_matches_the_batch_line_tail() {
+        let batch = mixed_stream(25);
+        let batch_engine = Engine::new(EngineConfig::default());
+        let (lines, _) = batch_engine.run_batch(&batch, Objective::Gaps);
+        let request_engine = Engine::new(EngineConfig::default());
+        for (i, inst) in batch.iter().enumerate() {
+            let outcome = request_engine.solve_request(inst, Objective::Gaps, false);
+            assert_eq!(format!("{i} {}", outcome.body), lines[i]);
+        }
+    }
+
+    #[test]
+    fn shed_requests_degrade_and_skip_the_cache_write() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Small multi-interval instance: normal routing is exact
+        // (multi_exact); under shed it must take the fallback chain.
+        let inst = BatchInstance::Multi(multi_interval::feasible_slots(&mut rng, 5, 9, 2));
+        let engine = Engine::new(EngineConfig::default());
+        let shed = engine.solve_request(&inst, Objective::Gaps, true);
+        assert!(shed.shed);
+        assert!(!shed.cache_hit);
+        let solver = shed.solver.expect("shed requests still solve");
+        assert!(
+            matches!(solver, SolverKind::Lemma3Greedy | SolverKind::LowerBound),
+            "shed routed to {solver:?}"
+        );
+        // The shed (possibly inexact) answer must not have been cached:
+        // the same request at full service misses and solves exactly.
+        let full = engine.solve_request(&inst, Objective::Gaps, false);
+        assert!(!full.cache_hit, "shed result must not poison the cache");
+        assert_eq!(full.solver, Some(SolverKind::MultiExact));
+        // …and the exact answer IS cached, and served even to shed
+        // requests (cache reads stay enabled under shed).
+        let warm = engine.solve_request(&inst, Objective::Gaps, true);
+        assert!(warm.cache_hit);
+        assert_eq!(warm.body, full.body);
+    }
+
+    #[test]
+    fn engine_metrics_accumulate_across_calls() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let batch = mixed_stream(30);
+        engine.run_batch(&batch, Objective::Gaps);
+        engine.run_batch(&batch, Objective::Gaps);
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.requests, 60);
+        assert_eq!(snap.cache_hits + snap.cache_misses, 60);
+        assert!(snap.cache_hits >= 30, "second pass should be all hits");
+        assert_eq!(snap.latency.count(), 60);
+        assert!(!snap.per_solver.is_empty());
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! Per-batch observability: latency distribution, cache effectiveness,
-//! and the solver mix, collected into an [`EngineReport`].
+//! Observability for both engine lifecycles: the batch-lifetime
+//! [`EngineReport`] (one summary per finite batch) and the continuously
+//! updated [`MetricsRegistry`] a long-running service snapshots at any
+//! instant (latency histograms per solver, cache hit rate, queue depth,
+//! in-flight gauge).
 //!
-//! The report deliberately travels on a side channel (the CLI prints it
-//! to stderr): result lines on stdout must be byte-identical across
+//! Both deliberately travel on side channels (stderr report, `STATS`
+//! responses): result lines on stdout must be byte-identical across
 //! thread counts, and wall-clock numbers are not.
+//!
+//! The registry never reads a clock itself — callers hand it measured
+//! [`Duration`]s — but this module stays on the determinism-rule exempt
+//! list because the batch report stores wall-clock durations.
 
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::time::Duration;
 
 /// Order statistics over per-request latencies.
@@ -131,6 +140,339 @@ impl fmt::Display for EngineReport {
     }
 }
 
+/// Log₂-bucketed latency histogram over microseconds.
+///
+/// Bucket `b > 0` covers `[2^(b-1), 2^b)` µs; bucket 0 is sub-µs. The
+/// shape makes [`Histogram::merge`] a plain vector add, so per-thread
+/// recorders can be combined without rebanking, and quantiles degrade
+/// gracefully (nearest rank over buckets, reported at the bucket's upper
+/// edge, clamped to the observed min/max).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; Histogram::BUCKETS],
+    count: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; Histogram::BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket count: log₂ µs up to ~2³⁸ µs (≈ 3 days), then saturating.
+    const BUCKETS: usize = 40;
+
+    fn bucket(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(Histogram::BUCKETS - 1)
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, sample: Duration) {
+        let us = u64::try_from(sample.as_micros()).unwrap_or(u64::MAX);
+        self.counts[Histogram::bucket(us)] += 1;
+        self.count += 1;
+        self.sum_us += u128::from(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Fold another histogram into this one (bucket-wise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (into, from) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Duration {
+        if self.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.min_us)
+        }
+    }
+
+    /// Largest recorded sample (zero when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Mean sample (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_micros((self.sum_us / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Nearest-rank quantile `num/den` (e.g. `1/2`, `19/20`), reported
+    /// at the containing bucket's upper edge and clamped to the observed
+    /// range. Zero when empty.
+    pub fn quantile(&self, num: u64, den: u64) -> Duration {
+        assert!(den > 0 && num <= den, "quantile must be within [0, 1]");
+        if self.is_empty() {
+            return Duration::ZERO;
+        }
+        let rank = (num * self.count).div_ceil(den).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if idx == 0 {
+                    0
+                } else if idx >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+                return Duration::from_micros(upper.clamp(self.min_us, self.max_us));
+            }
+        }
+        Duration::from_micros(self.max_us)
+    }
+}
+
+/// Continuously updated service metrics, shared by reference across
+/// recorder threads and snapshotted at any instant by `STATS` / the
+/// stderr ticker.
+///
+/// Counter discipline: a recorder bumps `requests` *first*, then the
+/// breakdown counters (hit/miss/shed); [`MetricsRegistry::snapshot`]
+/// reads the breakdowns *before* `requests`. Every breakdown increment
+/// therefore has its request increment ordered before it, which gives
+/// every snapshot the invariant `cache_hits + cache_misses ≤ requests`
+/// without a global lock around the counters.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    protocol_errors: AtomicU64,
+    in_flight: AtomicU64,
+    queue_depth: AtomicU64,
+    latency: Mutex<Histogram>,
+    per_solver: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Fresh registry, all zeros.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Record one completed request: which solver ran (`None` on a cache
+    /// hit), whether the cache answered, whether the shed chain served
+    /// it, and the measured latency.
+    pub fn record_request(
+        &self,
+        solver: Option<&'static str>,
+        cache_hit: bool,
+        shed: bool,
+        elapsed: Duration,
+    ) {
+        // `requests` first — see the struct docs for the snapshot
+        // invariant this ordering buys.
+        self.requests.fetch_add(1, SeqCst);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, SeqCst);
+        } else {
+            self.cache_misses.fetch_add(1, SeqCst);
+        }
+        if shed {
+            self.shed.fetch_add(1, SeqCst);
+        }
+        self.latency.lock().record(elapsed);
+        if let Some(name) = solver {
+            self.per_solver
+                .lock()
+                .entry(name)
+                .or_default()
+                .record(elapsed);
+        }
+    }
+
+    /// Record an admission refusal (`BUSY`): the queue was full.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, SeqCst);
+    }
+
+    /// Record a malformed frame answered with `ERR`.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, SeqCst);
+    }
+
+    /// A request entered the engine (admitted, not yet answered).
+    pub fn inflight_enter(&self) {
+        self.in_flight.fetch_add(1, SeqCst);
+    }
+
+    /// A request left the engine (answered or failed).
+    pub fn inflight_exit(&self) {
+        // Saturating: a stray exit must never wrap the gauge to 2⁶⁴.
+        let _ = self
+            .in_flight
+            .fetch_update(SeqCst, SeqCst, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Publish the admission queue's current depth.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, SeqCst);
+    }
+
+    /// A consistent point-in-time copy of every counter, gauge, and
+    /// histogram. See the struct docs for the ordering invariant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        // Breakdown counters strictly before `requests`.
+        let cache_hits = self.cache_hits.load(SeqCst);
+        let cache_misses = self.cache_misses.load(SeqCst);
+        let shed = self.shed.load(SeqCst);
+        let requests = self.requests.load(SeqCst);
+        MetricsSnapshot {
+            requests,
+            cache_hits,
+            cache_misses,
+            shed,
+            rejected: self.rejected.load(SeqCst),
+            protocol_errors: self.protocol_errors.load(SeqCst),
+            in_flight: self.in_flight.load(SeqCst),
+            queue_depth: self.queue_depth.load(SeqCst),
+            latency: self.latency.lock().clone(),
+            per_solver: self.per_solver.lock().clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Requests answered (hits + misses, including shed requests).
+    pub requests: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that went to a solver.
+    pub cache_misses: u64,
+    /// Requests served by the degraded (shed) chain.
+    pub shed: u64,
+    /// Admissions refused with `BUSY`.
+    pub rejected: u64,
+    /// Malformed frames answered with `ERR`.
+    pub protocol_errors: u64,
+    /// Requests admitted but not yet answered.
+    pub in_flight: u64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Latency distribution over every answered request.
+    pub latency: Histogram,
+    /// Latency distribution per solver family (cache hits excluded).
+    pub per_solver: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of requests answered from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Flat `(key, value)` rows, stable order — the `STATS` wire body
+    /// and the ticker line are both rendered from this.
+    pub fn stat_rows(&self) -> Vec<(String, String)> {
+        let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let mut rows = vec![
+            ("requests".to_string(), self.requests.to_string()),
+            ("cache_hits".to_string(), self.cache_hits.to_string()),
+            ("cache_misses".to_string(), self.cache_misses.to_string()),
+            (
+                "cache_hit_rate".to_string(),
+                format!("{:.4}", self.hit_rate()),
+            ),
+            ("shed".to_string(), self.shed.to_string()),
+            ("rejected".to_string(), self.rejected.to_string()),
+            (
+                "protocol_errors".to_string(),
+                self.protocol_errors.to_string(),
+            ),
+            ("in_flight".to_string(), self.in_flight.to_string()),
+            ("queue_depth".to_string(), self.queue_depth.to_string()),
+            (
+                "latency_p50_us".to_string(),
+                us(self.latency.quantile(1, 2)).to_string(),
+            ),
+            (
+                "latency_p95_us".to_string(),
+                us(self.latency.quantile(19, 20)).to_string(),
+            ),
+            (
+                "latency_max_us".to_string(),
+                us(self.latency.max()).to_string(),
+            ),
+        ];
+        for (solver, hist) in &self.per_solver {
+            rows.push((format!("solver.{solver}.count"), hist.count().to_string()));
+            rows.push((
+                format!("solver.{solver}.p95_us"),
+                us(hist.quantile(19, 20)).to_string(),
+            ));
+        }
+        rows
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "req={} hit={:.1}% shed={} busy={} err={} inflight={} queue={} \
+             p50={:.1?} p95={:.1?} max={:.1?}",
+            self.requests,
+            100.0 * self.hit_rate(),
+            self.shed,
+            self.rejected,
+            self.protocol_errors,
+            self.in_flight,
+            self.queue_depth,
+            self.latency.quantile(1, 2),
+            self.latency.quantile(19, 20),
+            self.latency.max(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +546,170 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
+    }
+
+    #[test]
+    fn histogram_records_and_bounds_quantiles() {
+        let mut h = Histogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(1, 2), Duration::ZERO);
+        for n in [1u64, 2, 3, 10, 100, 1_000] {
+            h.record(ms(n));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), ms(1));
+        assert_eq!(h.max(), ms(1_000));
+        // Bucketed quantiles over-report by at most 2×, never under min
+        // or over max, and stay monotone in q.
+        let p50 = h.quantile(1, 2);
+        let p95 = h.quantile(19, 20);
+        assert!(p50 >= ms(3) && p50 <= ms(10), "p50 = {p50:?}");
+        assert!(p95 >= ms(100), "p95 = {p95:?}");
+        assert!(p50 <= p95 && p95 <= h.quantile(1, 1));
+        assert_eq!(h.quantile(1, 1), h.max());
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise_add() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for n in 1..=50u64 {
+            a.record(ms(n));
+            both.record(ms(n));
+        }
+        for n in 51..=100u64 {
+            b.record(ms(n));
+            both.record(ms(n));
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.min(), ms(1));
+        assert_eq!(a.max(), ms(100));
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn histogram_mean_and_zero_samples() {
+        let mut h = Histogram::default();
+        h.record(Duration::ZERO);
+        h.record(ms(2));
+        assert_eq!(h.mean(), ms(1));
+        assert_eq!(h.min(), Duration::ZERO);
+        assert!(h.quantile(1, 4) <= h.quantile(3, 4));
+    }
+
+    #[test]
+    fn registry_records_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.record_request(Some("baptiste_dp"), false, false, ms(2));
+        reg.record_request(None, true, false, ms(1));
+        reg.record_request(Some("theorem3_approx"), false, true, ms(3));
+        reg.record_rejected();
+        reg.record_protocol_error();
+        reg.inflight_enter();
+        reg.inflight_enter();
+        reg.inflight_exit();
+        reg.set_queue_depth(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.protocol_errors, 1);
+        assert_eq!(snap.in_flight, 1);
+        assert_eq!(snap.queue_depth, 5);
+        assert_eq!(snap.latency.count(), 3);
+        assert_eq!(snap.per_solver.len(), 2);
+        assert_eq!(snap.per_solver["baptiste_dp"].count(), 1);
+        assert!((snap.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inflight_gauge_saturates_at_zero() {
+        let reg = MetricsRegistry::new();
+        reg.inflight_exit();
+        assert_eq!(reg.snapshot().in_flight, 0);
+    }
+
+    #[test]
+    fn stat_rows_cover_the_wire_keys() {
+        let reg = MetricsRegistry::new();
+        reg.record_request(Some("brute_force"), false, false, ms(1));
+        let rows = reg.snapshot().stat_rows();
+        let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        for key in [
+            "requests",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "shed",
+            "rejected",
+            "protocol_errors",
+            "in_flight",
+            "queue_depth",
+            "latency_p50_us",
+            "latency_p95_us",
+            "latency_max_us",
+            "solver.brute_force.count",
+            "solver.brute_force.p95_us",
+        ] {
+            assert!(keys.contains(&key), "missing {key} in {keys:?}");
+        }
+        // Keys are single tokens: the wire format is `stat <key> <value>`.
+        for (k, v) in &rows {
+            assert!(!k.contains(' ') && !v.contains(' '), "{k}={v}");
+        }
+        let text = reg.snapshot().to_string();
+        assert!(text.contains("req=1"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_breakdowns_never_exceed_requests_under_contention() {
+        let reg = MetricsRegistry::new();
+        crossbeam::scope(|s| {
+            for t in 0..4 {
+                let reg = &reg;
+                s.spawn(move |_| {
+                    for i in 0..500u64 {
+                        reg.record_request(
+                            Some("trivial"),
+                            (i + t) % 3 == 0,
+                            false,
+                            Duration::from_micros(i),
+                        );
+                    }
+                });
+            }
+            // Snapshot concurrently with the recorders: the breakdown
+            // totals must never outrun the request counter, and counters
+            // must be monotone across snapshots.
+            let mut last = 0u64;
+            for _ in 0..200 {
+                let snap = reg.snapshot();
+                assert!(
+                    snap.cache_hits + snap.cache_misses <= snap.requests,
+                    "hits {} + misses {} > requests {}",
+                    snap.cache_hits,
+                    snap.cache_misses,
+                    snap.requests
+                );
+                assert!(snap.requests >= last, "requests went backwards");
+                last = snap.requests;
+            }
+        })
+        .expect("scope join");
+        let final_snap = reg.snapshot();
+        assert_eq!(final_snap.requests, 2_000);
+        assert_eq!(
+            final_snap.cache_hits + final_snap.cache_misses,
+            final_snap.requests
+        );
+        assert_eq!(final_snap.latency.count(), 2_000);
     }
 }

@@ -12,8 +12,25 @@
 //! the way out, so the only backpressure point is work intake and the
 //! pool cannot deadlock (the collector drains exactly `items.len()`
 //! results while the feeder is still pushing).
+//!
+//! For open-ended traffic (the serve daemon) the batch-shaped
+//! [`map_ordered`] is the wrong lifecycle: there is no "end of input" to
+//! join on. [`TaskPool`] keeps the same discipline — bounded intake,
+//! crossbeam-channel fan-out — but lives for the process: submit jobs
+//! with [`TaskPool::try_submit`] (non-blocking, `Full` is the admission
+//! backpressure signal), observe [`TaskPool::queued`] /
+//! [`TaskPool::active`], and drain with [`TaskPool::shutdown`].
+//!
+//! This module is the workspace's only sanctioned `thread::spawn` site
+//! (the analyzer's `concurrency` rule pins that); [`background`] is the
+//! escape hatch for the few long-lived utility threads (report ticker,
+//! connection readers) that are not worker-pool shaped.
 
 use crossbeam::channel;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread;
 
 /// Apply `f` to every `(index, item)` pair on a pool of `threads` workers
 /// (at least one) and return the results in input order.
@@ -74,10 +91,159 @@ where
         .collect()
 }
 
+/// Spawn one named long-lived utility thread. Kept here so the
+/// analyzer's pool-only-spawn rule stays a single-file invariant; every
+/// caller gets a `gaps-`-prefixed thread name for debuggability.
+pub fn background<F>(name: &str, f: F) -> thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    thread::Builder::new()
+        .name(format!("gaps-{name}"))
+        .spawn(f)
+        .expect("spawn background thread")
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`TaskPool::try_submit`] refused a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded intake queue is at capacity — the backpressure signal
+    /// (serve answers `BUSY`).
+    Full,
+    /// The pool has been shut down and accepts nothing.
+    Closed,
+}
+
+/// Gauges shared between the pool handle and its workers.
+#[derive(Debug, Default)]
+struct PoolGauges {
+    queued: AtomicU64,
+    active: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A long-lived worker pool with a bounded intake queue and explicit
+/// backpressure — the serve daemon's execution substrate.
+///
+/// Unlike [`map_ordered`] there is no ordering contract: each job
+/// carries its own reply path (request id), so completions may
+/// interleave freely. Admission is strictly non-blocking
+/// ([`TaskPool::try_submit`] uses `try_send`), so no caller ever stalls
+/// on a full queue — it is told [`SubmitError::Full`] and sheds instead.
+#[derive(Debug)]
+pub struct TaskPool {
+    gauges: Arc<PoolGauges>,
+    sender: Mutex<Option<channel::Sender<Job>>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl TaskPool {
+    /// Start `threads` workers (at least one) behind a bounded intake
+    /// queue of `queue_capacity` jobs (at least one).
+    pub fn new(threads: usize, queue_capacity: usize) -> TaskPool {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::bounded::<Job>(queue_capacity.max(1));
+        let gauges = Arc::new(PoolGauges::default());
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let gauges = Arc::clone(&gauges);
+                thread::Builder::new()
+                    .name(format!("gaps-worker-{i}"))
+                    .spawn(move || {
+                        for job in rx {
+                            gauges.queued.fetch_sub(1, SeqCst);
+                            gauges.active.fetch_add(1, SeqCst);
+                            // A panicking job must not kill the worker:
+                            // the pool would silently shrink and queued
+                            // requests would never be answered.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            gauges.active.fetch_sub(1, SeqCst);
+                            if outcome.is_err() {
+                                gauges.panicked.fetch_add(1, SeqCst);
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        TaskPool {
+            gauges,
+            sender: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a job without blocking. `Err(Full)` is the backpressure
+    /// signal; `Err(Closed)` means the pool was shut down.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        // Clone the sender out of the guard so the (non-blocking) channel
+        // op below runs with no lock held.
+        let sender = match self.sender.lock().as_ref() {
+            Some(tx) => tx.clone(),
+            None => return Err(SubmitError::Closed),
+        };
+        // Count before sending so a worker's decrement (which can only
+        // follow a successful send) never underflows the gauge.
+        self.gauges.queued.fetch_add(1, SeqCst);
+        match sender.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                self.gauges.queued.fetch_sub(1, SeqCst);
+                Err(if err.is_full() {
+                    SubmitError::Full
+                } else {
+                    SubmitError::Closed
+                })
+            }
+        }
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queued(&self) -> u64 {
+        self.gauges.queued.load(SeqCst)
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> u64 {
+        self.gauges.active.load(SeqCst)
+    }
+
+    /// Jobs that panicked (caught; the worker survived).
+    pub fn panicked(&self) -> u64 {
+        self.gauges.panicked.load(SeqCst)
+    }
+
+    /// Stop accepting, run every already-queued job, and join the
+    /// workers. Idempotent; the graceful-shutdown drain.
+    pub fn shutdown(&self) {
+        let sender = self.sender.lock().take();
+        // Dropping the last pool-held sender ends the workers' intake
+        // iterators once the queue drains.
+        drop(sender);
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn preserves_input_order() {
@@ -98,11 +264,11 @@ mod tests {
     fn every_item_is_processed_exactly_once() {
         let calls = AtomicUsize::new(0);
         let results = map_ordered((0..300).collect::<Vec<_>>(), 4, |_, x: i32| {
-            calls.fetch_add(1, Ordering::SeqCst);
+            calls.fetch_add(1, SeqCst);
             x
         });
         assert_eq!(results.len(), 300);
-        assert_eq!(calls.load(Ordering::SeqCst), 300);
+        assert_eq!(calls.load(SeqCst), 300);
     }
 
     #[test]
@@ -129,5 +295,91 @@ mod tests {
         let offsets = &offsets;
         let out = map_ordered(vec![0usize, 1, 2], 3, |_, i| offsets[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn task_pool_runs_submitted_jobs_and_drains_on_shutdown() {
+        let pool = TaskPool::new(2, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, SeqCst);
+            })
+            .expect("queue has room");
+        }
+        pool.shutdown();
+        assert_eq!(done.load(SeqCst), 50);
+        assert_eq!(pool.queued(), 0);
+        assert_eq!(pool.active(), 0);
+        assert_eq!(pool.panicked(), 0);
+    }
+
+    #[test]
+    fn task_pool_reports_full_then_recovers() {
+        let pool = TaskPool::new(1, 1);
+        // Gate the single worker so the queue can actually fill.
+        let (gate_tx, gate_rx) = channel::bounded::<()>(4);
+        pool.try_submit(move || {
+            let _ = gate_rx.recv();
+        })
+        .expect("first job admitted");
+        // Wait for the worker to pick the blocker up, then fill the
+        // one-slot queue; the next submit must refuse, not block.
+        while pool.active() == 0 {
+            std::hint::spin_loop();
+        }
+        pool.try_submit(|| {}).expect("second job fills the queue");
+        let mut saw_full = false;
+        for _ in 0..100 {
+            match pool.try_submit(|| {}) {
+                Err(SubmitError::Full) => {
+                    saw_full = true;
+                    break;
+                }
+                // A race (worker dequeued between submits) re-fills;
+                // keep probing.
+                Ok(()) => {}
+                Err(SubmitError::Closed) => panic!("pool is not closed"),
+            }
+        }
+        assert!(saw_full, "a bounded queue must eventually report Full");
+        gate_tx.send(()).expect("worker is alive");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn task_pool_refuses_after_shutdown() {
+        let pool = TaskPool::new(1, 4);
+        pool.shutdown();
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Closed));
+        // Shutdown twice is fine.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn task_pool_survives_a_panicking_job() {
+        let pool = TaskPool::new(1, 8);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.try_submit(|| panic!("job panics")).expect("admitted");
+        let done2 = Arc::clone(&done);
+        pool.try_submit(move || {
+            done2.fetch_add(1, SeqCst);
+        })
+        .expect("admitted after panic");
+        pool.shutdown();
+        assert_eq!(done.load(SeqCst), 1, "worker survived the panic");
+        assert_eq!(pool.panicked(), 1);
+    }
+
+    #[test]
+    fn background_thread_is_named_and_joinable() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let handle = background("test-util", move || {
+            ran2.fetch_add(1, SeqCst);
+        });
+        handle.join().expect("background thread joins");
+        assert_eq!(ran.load(SeqCst), 1);
     }
 }

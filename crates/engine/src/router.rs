@@ -154,6 +154,22 @@ impl Default for RouterConfig {
     }
 }
 
+impl RouterConfig {
+    /// Degraded copy used under overload shedding: the exponential
+    /// multi-interval exact solvers are switched off entirely, so every
+    /// multi-interval instance flows straight down the (polynomial)
+    /// fallback chain. One-interval routing is untouched — the DPs are
+    /// polynomial and not worth shedding.
+    pub fn shed(&self) -> RouterConfig {
+        RouterConfig {
+            exact_max_slots: 0,
+            exact_max_jobs: 0,
+            use_multi_exact: false,
+            ..self.clone()
+        }
+    }
+}
+
 /// Shape features the router keys on, extracted from a canonical instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Features {

@@ -1,0 +1,164 @@
+//! Per-connection protocol session: read frames, answer them, never
+//! die.
+//!
+//! One reader thread per connection (drawn from the connection pool)
+//! owns the read half; the write half sits behind a `parking_lot` mutex
+//! shared with every solve-pool worker answering this connection's
+//! requests, so responses from different requests interleave whole-line
+//! at a time. The writer lock is a leaf: nothing else is ever acquired
+//! under it, and no channel operation happens while it is held.
+
+use crate::protocol::{self, Frame, FrameError};
+use crate::Shared;
+use gaps_engine::pool::SubmitError;
+use gaps_engine::BatchInstance;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Write one reply line (the text may itself contain newlines for
+/// multi-line blocks like `STATS`). Write errors mean the client went
+/// away; the reader will see EOF and end the session, so they are
+/// deliberately ignored here.
+fn send_line(writer: &Mutex<TcpStream>, text: &str) {
+    let framed = format!("{text}\n");
+    let mut stream = writer.lock();
+    let _ = stream.write_all(framed.as_bytes());
+}
+
+/// Decode a `REQ` payload into exactly one instance.
+fn parse_one_instance(text: &str) -> Result<BatchInstance, String> {
+    // Error text travels on a single `ERR` line.
+    let mut instances = gaps_engine::split_stream(text).map_err(|e| e.replace('\n', "; "))?;
+    match instances.len() {
+        1 => Ok(instances.pop().expect("length checked")),
+        0 => Err("REQ payload contains no instance".to_string()),
+        n => Err(format!(
+            "REQ payload contains {n} instances; exactly one expected"
+        )),
+    }
+}
+
+/// Render and send the `STATS` block.
+fn send_stats(shared: &Shared, writer: &Mutex<TcpStream>) {
+    shared
+        .engine
+        .metrics()
+        .set_queue_depth(shared.pool.queued());
+    let snapshot = shared.engine.metrics().snapshot();
+    let mut block = String::from("STATS v1\n");
+    block.push_str(&format!(
+        "stat uptime_s {}\n",
+        shared.started.elapsed().as_secs()
+    ));
+    for (key, value) in snapshot.stat_rows() {
+        block.push_str(&format!("stat {key} {value}\n"));
+    }
+    block.push_str("STATS end");
+    send_line(writer, &block);
+}
+
+fn handle_req(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    inflight: &Arc<Mutex<HashSet<String>>>,
+    id: String,
+    text: String,
+) {
+    let metrics = shared.engine.metrics();
+    if shared.draining() {
+        send_line(writer, &format!("ERR {id} draining; not accepting work"));
+        return;
+    }
+    let inst = match parse_one_instance(&text) {
+        Ok(inst) => inst,
+        Err(reason) => {
+            metrics.record_protocol_error();
+            send_line(writer, &format!("ERR {id} {reason}"));
+            return;
+        }
+    };
+    if !inflight.lock().insert(id.clone()) {
+        metrics.record_protocol_error();
+        send_line(
+            writer,
+            &format!("ERR {id} duplicate request id; still in flight"),
+        );
+        return;
+    }
+    // The shed decision is made at admission (not inside the worker) so
+    // it reflects the queue state the request actually experienced.
+    let shed = shared.should_shed(inst.job_count());
+    let job = {
+        let shared = Arc::clone(shared);
+        let writer = Arc::clone(writer);
+        let inflight = Arc::clone(inflight);
+        let id = id.clone();
+        move || {
+            let metrics = shared.engine.metrics();
+            metrics.inflight_enter();
+            metrics.set_queue_depth(shared.pool.queued());
+            let outcome = shared.engine.solve_request(&inst, shared.objective, shed);
+            send_line(&writer, &format!("RES {id} {}", outcome.body));
+            metrics.inflight_exit();
+            inflight.lock().remove(&id);
+        }
+    };
+    match shared.pool.try_submit(job) {
+        Ok(()) => metrics.set_queue_depth(shared.pool.queued()),
+        Err(SubmitError::Full) => {
+            metrics.record_rejected();
+            inflight.lock().remove(&id);
+            send_line(writer, &format!("BUSY {id}"));
+        }
+        Err(SubmitError::Closed) => {
+            inflight.lock().remove(&id);
+            send_line(writer, &format!("ERR {id} shutting down"));
+        }
+    }
+}
+
+/// Serve one connection until EOF, a socket error, or server shutdown
+/// (which closes the socket under us). Every malformed frame is
+/// answered with `ERR` and the session continues.
+pub(crate) fn serve_connection(shared: Arc<Shared>, conn_id: u64, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        shared.unregister_conn(conn_id);
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let writer = Arc::new(Mutex::new(stream));
+    let inflight: Arc<Mutex<HashSet<String>>> = Arc::new(Mutex::new(HashSet::new()));
+    // The loop ends on EOF, an io error, or the drain path shutting the
+    // socket down under us — all shapes the `while let` rejects.
+    while let Ok(Some(item)) = protocol::read_line_limited(&mut reader, protocol::MAX_FRAME_BYTES) {
+        let line = match item {
+            Ok(line) => line,
+            Err(line_err) => {
+                shared.engine.metrics().record_protocol_error();
+                send_line(&writer, &format!("ERR - {}", line_err.reason()));
+                continue;
+            }
+        };
+        match protocol::parse_frame(&line) {
+            Ok(None) => {}
+            Ok(Some(Frame::Ping)) => send_line(&writer, "PONG"),
+            Ok(Some(Frame::Stats)) => send_stats(&shared, &writer),
+            Ok(Some(Frame::Drain)) => {
+                shared.request_drain();
+                send_line(&writer, "DRAINING");
+            }
+            Ok(Some(Frame::Req { id, text })) => {
+                handle_req(&shared, &writer, &inflight, id, text);
+            }
+            Err(FrameError { id, reason }) => {
+                shared.engine.metrics().record_protocol_error();
+                let id = id.as_deref().unwrap_or("-");
+                send_line(&writer, &format!("ERR {id} {reason}"));
+            }
+        }
+    }
+    shared.unregister_conn(conn_id);
+}

@@ -1,0 +1,56 @@
+//! SIGTERM/SIGINT → a process-global "please drain" flag.
+//!
+//! The container has no `libc` crate, so the two symbols we need are
+//! declared directly against the platform C library. The handler does
+//! the only async-signal-safe thing it can: store to an atomic that the
+//! accept loop polls. Everything else about shutdown (drain the queue,
+//! join the pool, flush the report) happens on ordinary threads.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// POSIX signal numbers (Linux values; this workspace targets Linux).
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_terminate(_signum: i32) {
+    // A relaxed store would do, but SeqCst costs nothing here and an
+    // atomic store is async-signal-safe either way.
+    TERMINATE.store(true, SeqCst);
+}
+
+// SAFETY: `signal(2)` is in every POSIX C library with exactly this
+// shape (the returned previous-handler pointer is opaque to us, so it
+// is declared as usize and discarded).
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Install the drain-on-SIGTERM/SIGINT handlers. Idempotent.
+pub fn install() {
+    // SAFETY: installing a handler that only stores to a static atomic
+    // is async-signal-safe; `signal` itself has no other preconditions.
+    unsafe {
+        let _ = signal(SIGTERM, on_terminate);
+        let _ = signal(SIGINT, on_terminate);
+    }
+}
+
+/// True once a termination signal has been delivered.
+pub fn termination_requested() -> bool {
+    TERMINATE.load(SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_flag_starts_clear() {
+        install();
+        install();
+        // No signal has been sent to the test process.
+        assert!(!termination_requested());
+    }
+}

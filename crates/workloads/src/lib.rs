@@ -14,7 +14,9 @@
 //! * [`setcover`] — random (B-)set-cover instances feeding the hardness
 //!   gadgets of `gaps-reductions`;
 //! * [`serialize`] — a small line-based text format for instances, so
-//!   experiments can be dumped and replayed.
+//!   experiments can be dumped and replayed;
+//! * [`streams`] — seeded, family-complete serialized streams shared by
+//!   the batch and serve differential suites.
 //!
 //! All generators take a caller-provided RNG; use a seeded
 //! `rand::rngs::StdRng` for reproducibility.
@@ -25,3 +27,4 @@ pub mod multi_interval;
 pub mod one_interval;
 pub mod serialize;
 pub mod setcover;
+pub mod streams;

@@ -156,6 +156,48 @@ mod tests {
     }
 
     #[test]
+    fn malformed_corpus_is_rejected_never_panics() {
+        // Every entry must come back as a clean `Err` from both parsers
+        // — this is the surface the serve daemon exposes to arbitrary
+        // network bytes, so "reject, don't panic" is a hard contract.
+        let corpus = [
+            "",
+            "\n\n\n",
+            "# only comments\n# nothing else\n",
+            "garbage v9\njob 0 1\n",
+            "instance v2\nprocessors 1\n",
+            "instance v1",
+            "instance v1\nprocessors\n",
+            "instance v1\nprocessors -1\n",
+            "instance v1\nprocessors 0\njob 0 1\n",
+            "instance v1\nprocessors 1\njob\n",
+            "instance v1\nprocessors 1\njob 0\n",
+            "instance v1\nprocessors 1\njob zero two\n",
+            "instance v1\nprocessors 1\njob 99999999999999999999 3\n",
+            "instance v1\nprocessors 1\nslot 0 1\n",
+            "instance v1\ninstance v1\nprocessors 1\n",
+            "multi v1\njob\n",
+            "multi v1\njob 1 two\n",
+            "multi v1\njob 1 -\n",
+            "multi v1\nprocessors 2\n",
+            "multi v1\njob 99999999999999999999\n",
+            "processors 1\njob 0 1\n",
+            "instance v1 processors 1 job 0 1",
+            "REQ x instance v1",
+        ];
+        for (i, text) in corpus.iter().enumerate() {
+            assert!(
+                instance_from_text(text).is_err(),
+                "corpus[{i}] must not parse as one-interval: {text:?}"
+            );
+            assert!(
+                multi_from_text(text).is_err(),
+                "corpus[{i}] must not parse as multi-interval: {text:?}"
+            );
+        }
+    }
+
+    #[test]
     fn empty_instances_roundtrip() {
         let inst = Instance::new(vec![], 2).unwrap();
         assert_eq!(instance_from_text(&instance_to_text(&inst)).unwrap(), inst);

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI smoke client for `gaps serve`.
+
+Connects to a running daemon, exercises one of every protocol verb
+(PING, REQ, a malformed frame, STATS, DRAIN), asserts the STATS
+counters reflect what was sent, and exits 0 only if the daemon answered
+everything and acknowledged the drain. Usage:
+
+    serve_smoke.py HOST PORT
+"""
+
+import socket
+import sys
+import time
+
+
+def main() -> None:
+    host, port = sys.argv[1], int(sys.argv[2])
+    sock = socket.create_connection((host, port), timeout=30)
+    stream = sock.makefile("rw", newline="\n")
+
+    def send(line: str) -> None:
+        stream.write(line + "\n")
+        stream.flush()
+
+    def recv() -> str:
+        line = stream.readline()
+        assert line, "daemon closed the connection"
+        return line.rstrip("\n")
+
+    send("PING")
+    assert recv() == "PONG"
+
+    send("REQ a instance v1;processors 1;job 0 1")
+    res = recv()
+    assert res.startswith("RES a one n=1 gaps="), res
+
+    # Malformed input is answered, never fatal.
+    send("FROB")
+    err = recv()
+    assert err.startswith("ERR - unknown verb"), err
+
+    # The same instance again: must be a cache hit, same body.
+    send("REQ b instance v1;processors 1;job 0 1")
+    res_b = recv()
+    assert res_b == "RES b" + res[len("RES a"):], (res, res_b)
+
+    # Let the --report-interval ticker fire at least once (the caller
+    # greps the daemon's stderr for its line) and uptime_s reach 1.
+    time.sleep(1.5)
+
+    send("STATS")
+    assert recv() == "STATS v1"
+    rows = {}
+    while True:
+        line = recv()
+        if line == "STATS end":
+            break
+        _, key, value = line.split(" ", 2)
+        rows[key] = value
+    assert rows["requests"] == "2", rows
+    assert rows["cache_hits"] == "1", rows
+    assert rows["cache_misses"] == "1", rows
+    assert rows["protocol_errors"] == "1", rows
+    assert rows["in_flight"] == "0", rows
+    assert int(rows["uptime_s"]) >= 1, rows
+
+    send("DRAIN")
+    assert recv() == "DRAINING"
+    print("serve smoke OK:", " ".join(f"{k}={v}" for k, v in sorted(rows.items())))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 //! gaps approx   --input FILE --alpha F [--rounds N]   Theorem 3 (multi)
 //! gaps simulate --input FILE --alpha N [--policy P]   run on the simulator
 //! gaps generate --kind K --seed S [--n N] ...         emit an instance
+//! gaps serve    --listen ADDR [--threads N] [--queue N] ...  daemon
 //! gaps lint     [--root DIR] [--format text|json] [--rules]
 //!               [--baseline FILE] [--dot FILE|-]    static analysis
 //! ```
@@ -23,6 +24,14 @@
 //! instance, in input order, byte-identical for any `--threads` value —
 //! and the `EngineReport` (cache hit rate, router mix, latencies) goes to
 //! stderr.
+//!
+//! `gaps serve` runs the same engine loop as a long-lived TCP daemon
+//! (see `gaps_serve::protocol` for the wire format): `REQ <id>
+//! <instance>` frames are answered with `RES <id> <body>` where `<body>`
+//! is byte-identical to the corresponding `gaps batch` result-line tail.
+//! Control frames: `PING`, `STATS`, `DRAIN`. The daemon prints
+//! `listening on <addr>` to stderr once ready and a final metrics report
+//! when drained (by `DRAIN`, SIGTERM, or SIGINT).
 
 use gap_scheduling::instance::{Instance, MultiInstance};
 use gap_scheduling::multi_interval::approx_min_power;
@@ -140,6 +149,10 @@ usage:
   gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
   gaps generate --kind uniform|feasible|bursty|multi|consultant|online
                 [--seed S] [--n N] [--horizon H] [--slack L] [--processors P]
+  gaps serve    [--listen ADDR] [--threads N] [--queue N] [--max-conns N]
+                [--objective gaps|spans|power] [--alpha N]
+                [--shed-jobs N] [--shed-depth N] [--report-interval SECS]
+                [--cache-capacity N]
   gaps lint     [--root DIR] [--format text|json] [--rules list]
                 [--baseline FILE] [--dot FILE|-]";
 
@@ -220,6 +233,7 @@ fn run(raw: &[String]) -> Result<String, String> {
         "approx" => cmd_approx(&args),
         "simulate" => cmd_simulate(&args),
         "generate" => cmd_generate(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -347,6 +361,49 @@ fn cmd_batch(args: &Args) -> Result<String, String> {
     let (out, report) = engine.run_batch_text(&text, objective)?;
     eprintln!("{report}");
     Ok(out)
+}
+
+/// `gaps serve`: run the engine as a long-lived TCP daemon. Blocks
+/// until drained (`DRAIN` frame, SIGTERM, or SIGINT); the ready line
+/// (`listening on <addr>`) and the final metrics report go to stderr so
+/// stdout stays free for redirection.
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    let objective = gap_scheduling::engine::Objective::parse(
+        args.get("objective").unwrap_or("gaps"),
+        args.parse_or("alpha", 1u64)?,
+    )?;
+    let defaults = gap_scheduling::serve::ServeConfig::default();
+    let report_interval = match args.get("report-interval") {
+        None => None,
+        Some(v) => {
+            let secs: u64 = v
+                .parse()
+                .map_err(|_| format!("bad --report-interval value {v:?}"))?;
+            (secs > 0).then(|| std::time::Duration::from_secs(secs))
+        }
+    };
+    let config = gap_scheduling::serve::ServeConfig {
+        listen: args
+            .get("listen")
+            .unwrap_or(defaults.listen.as_str())
+            .to_string(),
+        threads: args.parse_or("threads", defaults.threads)?,
+        queue_capacity: args.parse_or("queue", defaults.queue_capacity)?,
+        max_conns: args.parse_or("max-conns", defaults.max_conns)?,
+        objective,
+        shed_jobs: args.parse_or("shed-jobs", defaults.shed_jobs)?,
+        shed_depth: args.parse_or("shed-depth", defaults.shed_depth)?,
+        report_interval,
+        engine: gap_scheduling::engine::EngineConfig {
+            cache_capacity: args.parse_or("cache-capacity", 4096usize)?,
+            ..gap_scheduling::engine::EngineConfig::default()
+        },
+    };
+    let server = gap_scheduling::serve::Server::bind(config)?;
+    eprintln!("listening on {}", server.local_addr()?);
+    let final_snapshot = server.run()?;
+    eprintln!("serve final: {final_snapshot}");
+    Ok(String::new())
 }
 
 fn cmd_approx(args: &Args) -> Result<String, String> {

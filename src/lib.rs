@@ -29,6 +29,7 @@
 //! | sleep-state processor simulator | [`sim`] |
 //! | workload generators & serialization | [`workloads`] |
 //! | concurrent batch engine (cache + portfolio router) | [`engine`] |
+//! | long-running scheduling service (TCP, metrics, shedding) | [`serve`] |
 //!
 //! ## Quick start
 //!
@@ -56,6 +57,7 @@ pub use gaps_core::*;
 pub use gaps_engine as engine;
 pub use gaps_matching as matching;
 pub use gaps_reductions as reductions;
+pub use gaps_serve as serve;
 pub use gaps_setcover as setcover;
 pub use gaps_sim as sim;
 pub use gaps_workloads as workloads;

@@ -16,44 +16,16 @@
 use gap_scheduling::engine::{
     split_stream, BatchInstance, Engine, EngineConfig, Objective, RouterConfig,
 };
-use gap_scheduling::workloads::{adversarial, arrivals, multi_interval, one_interval, serialize};
+use gap_scheduling::workloads::streams;
 use gap_scheduling::{brute_force, multiproc_dp, power_dp};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::io::Write;
 use std::process::{Command, Stdio};
 
-/// A ~1,000-instance stream touching every generator family in
-/// `gaps-workloads` (one-interval, multi-interval, stochastic arrivals,
-/// adversarial), plus exact duplicates so the cache path is exercised.
-/// Sizes are kept small enough that the multi-interval instances stay
-/// inside the exhaustive-search limits (so values are checkable).
+/// The shared ~1,000-instance family-complete stream. It lives in
+/// `gaps-workloads` (`streams::mixed_stream`) so the serve parity suite
+/// feeds the byte-identical input to the daemon.
 fn mixed_stream_text() -> String {
-    let mut rng = StdRng::seed_from_u64(2026);
-    let mut chunks: Vec<String> = Vec::new();
-    let one = |inst| serialize::instance_to_text(&inst);
-    let multi = |inst| serialize::multi_to_text(&inst);
-    for round in 0..72 {
-        chunks.push(one(one_interval::uniform(&mut rng, 7, 14, 3, 2)));
-        chunks.push(one(one_interval::feasible(&mut rng, 8, 16, 2, 1)));
-        chunks.push(one(one_interval::bursty(&mut rng, 2, 3, 6, 2, 2, 2)));
-        chunks.push(one(one_interval::fixed_laxity(&mut rng, 8, 18, 0, 1)));
-        chunks.push(one(arrivals::bernoulli(&mut rng, 12, 0.4, 2, 2, 2)));
-        chunks.push(one(arrivals::diurnal(&mut rng, 2, 5, 4, 0.7, 0.1, 2, 1)));
-        chunks.push(one(adversarial::online_lower_bound(3 + round % 3)));
-        chunks.push(one(adversarial::online_lower_bound_punisher(3)));
-        chunks.push(multi(multi_interval::random_slots(&mut rng, 6, 12, 2)));
-        chunks.push(multi(multi_interval::feasible_slots(&mut rng, 7, 10, 1)));
-        chunks.push(multi(multi_interval::k_interval(&mut rng, 5, 12, 2, 2)));
-        chunks.push(multi(multi_interval::two_unit(&mut rng, 6, 10)));
-        chunks.push(multi(multi_interval::disjoint_unit(&mut rng, 5, 3, 3)));
-        chunks.push(multi(adversarial::consultant(&mut rng, 3, 5, 6, 2, 2)));
-    }
-    // Duplicates: repeat every 25th chunk verbatim (cache hits must not
-    // perturb output).
-    let dups: Vec<String> = chunks.iter().step_by(25).cloned().collect();
-    chunks.extend(dups);
-    chunks.concat()
+    streams::mixed_stream(72)
 }
 
 fn run_batch_cli(stream: &str, threads: &str, objective: &str) -> String {

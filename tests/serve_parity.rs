@@ -1,0 +1,148 @@
+//! Serve ↔ batch parity through the real binary: a ~1,000-instance
+//! `streams::mixed_stream` fed to `gaps serve` over TCP must produce,
+//! request for request, the byte-identical result bodies `gaps batch`
+//! prints for the same stream — at every thread count.
+//!
+//! This is the acceptance surface of the serving subsystem: the daemon
+//! is a different front end to the same engine loop, not a different
+//! engine.
+
+use gap_scheduling::serve::protocol::encode_payload;
+use gap_scheduling::workloads::streams;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn run_batch_cli(stream: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gaps"))
+        .args([
+            "batch",
+            "--input",
+            "-",
+            "--threads",
+            "1",
+            "--objective",
+            "gaps",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gaps batch");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stream.as_bytes())
+        .expect("write stream");
+    let out = child.wait_with_output().expect("gaps batch runs");
+    assert!(
+        out.status.success(),
+        "gaps batch failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// Start `gaps serve` on an ephemeral port; returns the child and the
+/// address parsed from its `listening on …` stderr banner.
+fn spawn_serve(threads: &str) -> (Child, BufReader<std::process::ChildStderr>, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gaps"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--threads",
+            threads,
+            "--objective",
+            "gaps",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gaps serve");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    (child, stderr, addr)
+}
+
+#[test]
+fn serve_round_trip_bit_matches_gaps_batch_at_every_thread_count() {
+    let stream = streams::mixed_stream(72);
+    let chunks = streams::instance_chunks(&stream);
+    assert!(chunks.len() >= 1_000, "want 1,000+, got {}", chunks.len());
+    let reference = run_batch_cli(&stream);
+    let expected: Vec<&str> = reference
+        .lines()
+        .map(|l| l.split_once(' ').expect("indexed line").1)
+        .collect();
+    assert_eq!(expected.len(), chunks.len(), "one batch line per chunk");
+
+    for threads in ["1", "2", "8"] {
+        let (mut child, mut stderr, addr) = spawn_serve(threads);
+        let conn = TcpStream::connect(&addr).expect("connect to daemon");
+        conn.set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        let mut writer = conn.try_clone().expect("clone write half");
+        let mut reader = BufReader::new(conn);
+        let recv = |reader: &mut BufReader<TcpStream>| {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).expect("read reply") > 0,
+                "daemon closed the connection"
+            );
+            line.trim_end().to_string()
+        };
+
+        // Request in bounded bursts: the admission queue and the socket
+        // buffers never have to hold the whole stream at once.
+        let mut bodies: HashMap<String, String> = HashMap::new();
+        for (burst_no, burst) in chunks.chunks(50).enumerate() {
+            for (offset, chunk) in burst.iter().enumerate() {
+                let id = burst_no * 50 + offset;
+                let payload = encode_payload(chunk);
+                writer
+                    .write_all(format!("REQ i-{id} {payload}\n").as_bytes())
+                    .expect("send request");
+            }
+            for _ in burst {
+                let line = recv(&mut reader);
+                let mut words = line.splitn(3, ' ');
+                assert_eq!(words.next(), Some("RES"), "unexpected reply {line:?}");
+                let id = words.next().expect("id").to_string();
+                let body = words.next().expect("body").to_string();
+                assert!(bodies.insert(id, body).is_none(), "duplicate reply");
+            }
+        }
+        for (index, want) in expected.iter().enumerate() {
+            assert_eq!(
+                bodies.get(&format!("i-{index}")).map(String::as_str),
+                Some(*want),
+                "serve diverged from batch at instance {index} (threads {threads})"
+            );
+        }
+
+        writer.write_all(b"DRAIN\n").expect("send drain");
+        assert_eq!(recv(&mut reader), "DRAINING");
+        let mut rest = String::new();
+        stderr.read_to_string(&mut rest).expect("drain stderr");
+        assert!(
+            rest.contains("serve final:"),
+            "daemon prints its final report: {rest:?}"
+        );
+        let status = child.wait().expect("daemon exits");
+        assert!(
+            status.success(),
+            "clean exit after DRAIN (threads {threads})"
+        );
+    }
+}

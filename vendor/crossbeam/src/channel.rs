@@ -5,14 +5,16 @@
 //!
 //! * [`bounded`] / [`unbounded`] constructors returning
 //!   ([`Sender`], [`Receiver`]) pairs;
-//! * `Sender`: [`Sender::send`], `Clone`;
+//! * `Sender`: [`Sender::send`], [`Sender::try_send`], `Clone`;
 //! * `Receiver`: [`Receiver::recv`], [`Receiver::try_recv`],
 //!   [`Receiver::iter`], [`Receiver::try_iter`], `Clone`, and
 //!   `IntoIterator` for both `Receiver` and `&Receiver`;
-//! * error types [`SendError`], [`RecvError`], [`TryRecvError`] with the
-//!   real crate's disconnect semantics: `send` fails once every receiver
-//!   is gone, `recv` fails once every sender is gone *and* the queue has
-//!   drained.
+//! * error types [`SendError`], [`RecvError`], [`TryRecvError`],
+//!   [`TrySendError`] with the real crate's disconnect semantics: `send`
+//!   fails once every receiver is gone, `recv` fails once every sender
+//!   is gone *and* the queue has drained, `try_send` distinguishes a
+//!   full queue ([`TrySendError::Full`]) from a dead one
+//!   ([`TrySendError::Disconnected`]).
 //!
 //! Known deviation: `bounded(0)` (crossbeam's rendezvous channel) is not
 //! supported and panics; the workspace only uses positive capacities.
@@ -81,6 +83,50 @@ impl fmt::Display for RecvError {
 }
 
 impl std::error::Error for RecvError {}
+
+/// Outcome of a failed non-blocking send attempt, returning the unsent
+/// message.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity right now, but receivers remain.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the message that failed to send.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// True iff the failure was a full queue (backpressure, not death).
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
 
 /// Outcome of a non-blocking receive attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -193,6 +239,26 @@ impl<T> Sender<T> {
                     st = self.shared.wait(&self.shared.not_full, st);
                 }
                 _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking send: queue the message if there is room right now,
+    /// otherwise hand it back immediately. Never blocks, so it is safe to
+    /// call from latency-sensitive admission paths — this is the
+    /// backpressure probe the serve daemon's bounded queue is built on.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
             }
         }
         st.queue.push_back(value);
@@ -469,6 +535,31 @@ mod tests {
     #[should_panic(expected = "rendezvous")]
     fn zero_capacity_is_rejected() {
         let _ = bounded::<u8>(0);
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        let err = tx.try_send(2).unwrap_err();
+        assert!(err.is_full(), "{err:?}");
+        assert_eq!(err.into_inner(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(())); // slot freed by the recv
+        drop(rx);
+        let err = tx.try_send(4).unwrap_err();
+        assert!(!err.is_full(), "{err:?}");
+        assert_eq!(err.into_inner(), 4);
+    }
+
+    #[test]
+    fn try_send_on_unbounded_only_fails_disconnected() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        drop(rx);
+        assert!(tx.try_send(0).is_err());
     }
 
     #[cfg(feature = "sanitize")]
