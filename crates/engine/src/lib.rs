@@ -51,13 +51,16 @@
 pub mod cache;
 pub mod canonical;
 pub mod metrics;
+pub mod online;
 pub mod pool;
 pub mod router;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use metrics::{
     summarize_latencies, EngineReport, Histogram, LatencySummary, MetricsRegistry, MetricsSnapshot,
+    RatioStats,
 };
+pub use online::{OnlineSummary, OnlineTracker, SessionState};
 pub use router::{FallbackSolver, Features, RouterConfig, SolverKind};
 
 use gaps_core::instance::{Instance, MultiInstance};

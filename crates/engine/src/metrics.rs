@@ -249,8 +249,12 @@ impl Histogram {
             if seen >= rank {
                 let upper = if idx == 0 {
                     0
-                } else if idx >= 63 {
-                    u64::MAX
+                } else if idx == Histogram::BUCKETS - 1 {
+                    // The saturating top bucket has no finite upper edge
+                    // (it absorbs everything from 2^(BUCKETS-2) µs up to
+                    // u64::MAX µs), so the only honest report is the
+                    // observed maximum.
+                    self.max_us
                 } else {
                     (1u64 << idx) - 1
                 };
@@ -258,6 +262,37 @@ impl Histogram {
             }
         }
         Duration::from_micros(self.max_us)
+    }
+}
+
+/// Running competitive-ratio statistics for one online policy: session
+/// count, mean, and worst case. Small enough to copy into snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RatioStats {
+    /// Completed online sessions under this policy.
+    pub sessions: u64,
+    sum: f64,
+    /// Worst realized ratio.
+    pub max: f64,
+}
+
+impl RatioStats {
+    /// Fold in one completed session's realized ratio.
+    pub fn record(&mut self, ratio: f64) {
+        self.sessions += 1;
+        self.sum += ratio;
+        if ratio > self.max {
+            self.max = ratio;
+        }
+    }
+
+    /// Mean realized ratio (zero when no sessions completed).
+    pub fn mean(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.sum / self.sessions as f64
+        }
     }
 }
 
@@ -281,8 +316,10 @@ pub struct MetricsRegistry {
     protocol_errors: AtomicU64,
     in_flight: AtomicU64,
     queue_depth: AtomicU64,
+    pool_workers: AtomicU64,
     latency: Mutex<Histogram>,
     per_solver: Mutex<BTreeMap<&'static str, Histogram>>,
+    per_policy: Mutex<BTreeMap<&'static str, RatioStats>>,
 }
 
 impl MetricsRegistry {
@@ -350,6 +387,22 @@ impl MetricsRegistry {
         self.queue_depth.store(depth, SeqCst);
     }
 
+    /// Publish the solve pool's current live worker count (elastic
+    /// pools grow and shrink it between snapshots).
+    pub fn set_pool_workers(&self, workers: u64) {
+        self.pool_workers.store(workers, SeqCst);
+    }
+
+    /// Record one completed online session's realized competitive ratio
+    /// under the named policy.
+    pub fn record_session_ratio(&self, policy: &'static str, ratio: f64) {
+        self.per_policy
+            .lock()
+            .entry(policy)
+            .or_default()
+            .record(ratio);
+    }
+
     /// A consistent point-in-time copy of every counter, gauge, and
     /// histogram. See the struct docs for the ordering invariant.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -367,8 +420,10 @@ impl MetricsRegistry {
             protocol_errors: self.protocol_errors.load(SeqCst),
             in_flight: self.in_flight.load(SeqCst),
             queue_depth: self.queue_depth.load(SeqCst),
+            pool_workers: self.pool_workers.load(SeqCst),
             latency: self.latency.lock().clone(),
             per_solver: self.per_solver.lock().clone(),
+            per_policy: self.per_policy.lock().clone(),
         }
     }
 }
@@ -392,10 +447,15 @@ pub struct MetricsSnapshot {
     pub in_flight: u64,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: u64,
+    /// Live solve-pool workers at snapshot time (0 when no pool
+    /// publishes it).
+    pub pool_workers: u64,
     /// Latency distribution over every answered request.
     pub latency: Histogram,
     /// Latency distribution per solver family (cache hits excluded).
     pub per_solver: BTreeMap<&'static str, Histogram>,
+    /// Competitive-ratio running statistics per online policy.
+    pub per_policy: BTreeMap<&'static str, RatioStats>,
 }
 
 impl MetricsSnapshot {
@@ -429,6 +489,7 @@ impl MetricsSnapshot {
             ),
             ("in_flight".to_string(), self.in_flight.to_string()),
             ("queue_depth".to_string(), self.queue_depth.to_string()),
+            ("pool_workers".to_string(), self.pool_workers.to_string()),
             (
                 "latency_p50_us".to_string(),
                 us(self.latency.quantile(1, 2)).to_string(),
@@ -445,8 +506,26 @@ impl MetricsSnapshot {
         for (solver, hist) in &self.per_solver {
             rows.push((format!("solver.{solver}.count"), hist.count().to_string()));
             rows.push((
+                format!("solver.{solver}.p50_us"),
+                us(hist.quantile(1, 2)).to_string(),
+            ));
+            rows.push((
                 format!("solver.{solver}.p95_us"),
                 us(hist.quantile(19, 20)).to_string(),
+            ));
+        }
+        for (policy, stats) in &self.per_policy {
+            rows.push((
+                format!("policy.{policy}.sessions"),
+                stats.sessions.to_string(),
+            ));
+            rows.push((
+                format!("policy.{policy}.ratio_mean"),
+                format!("{:.4}", stats.mean()),
+            ));
+            rows.push((
+                format!("policy.{policy}.ratio_max"),
+                format!("{:.4}", stats.max),
             ));
         }
         rows
@@ -569,6 +648,49 @@ mod tests {
         assert_eq!(h.quantile(1, 1), h.max());
     }
 
+    /// Pin the bucket boundaries the quantile math leans on: 1µs is the
+    /// sole member of bucket 1 (upper edge 1µs), 2µs opens bucket 2
+    /// (upper edge 3µs, clamped to the observed max), and samples past
+    /// the saturating top bucket's lower edge must be reported at the
+    /// observed maximum — not the former phantom `2^39 - 1` edge.
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        let us = |n: u64| Duration::from_micros(n);
+
+        // 1µs: bucket 1 covers [1, 2); quantile reports its upper edge
+        // (2^1 - 1 = 1µs) exactly.
+        let mut h = Histogram::default();
+        h.record(us(1));
+        assert_eq!(h.quantile(1, 2), us(1));
+        assert_eq!(h.quantile(1, 1), us(1));
+
+        // 2µs: bucket 2 covers [2, 4) with raw upper edge 3µs; the
+        // observed-range clamp pulls the report back to the true max.
+        let mut h = Histogram::default();
+        h.record(us(2));
+        assert_eq!(h.quantile(1, 2), us(2));
+        let mut h = Histogram::default();
+        h.record(us(2));
+        h.record(us(3));
+        assert_eq!(h.quantile(1, 1), us(3));
+
+        // Top-bucket overflow: with {1µs, 2^45µs} the max lands in the
+        // saturating bucket (index BUCKETS-1). Asking for the max
+        // quantile must report 2^45µs; the deleted dead arm used to
+        // leave the raw edge at 2^39 - 1 µs, *below* the sample.
+        let mut h = Histogram::default();
+        h.record(us(1));
+        h.record(us(1 << 45));
+        assert_eq!(h.quantile(1, 1), us(1 << 45));
+        assert_eq!(h.quantile(1, 2), us(1));
+        // Two top-bucket samples: every quantile rank resolves there.
+        let mut h = Histogram::default();
+        h.record(us(1 << 40));
+        h.record(us(1 << 45));
+        assert_eq!(h.quantile(1, 2), us(1 << 45));
+        assert_eq!(h.quantile(1, 1), us(1 << 45));
+    }
+
     #[test]
     fn histogram_merge_is_bucketwise_add() {
         let mut a = Histogram::default();
@@ -638,9 +760,33 @@ mod tests {
     }
 
     #[test]
+    fn ratio_stats_track_mean_and_max() {
+        let mut stats = RatioStats::default();
+        assert_eq!(stats.mean(), 0.0);
+        stats.record(1.0);
+        stats.record(2.0);
+        stats.record(1.5);
+        assert_eq!(stats.sessions, 3);
+        assert!((stats.mean() - 1.5).abs() < 1e-12);
+        assert_eq!(stats.max, 2.0);
+
+        let reg = MetricsRegistry::new();
+        reg.record_session_ratio("timeout", 1.2);
+        reg.record_session_ratio("timeout", 1.8);
+        reg.record_session_ratio("never-sleep", 3.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.per_policy.len(), 2);
+        assert_eq!(snap.per_policy["timeout"].sessions, 2);
+        assert!((snap.per_policy["timeout"].mean() - 1.5).abs() < 1e-12);
+        assert_eq!(snap.per_policy["never-sleep"].max, 3.0);
+    }
+
+    #[test]
     fn stat_rows_cover_the_wire_keys() {
         let reg = MetricsRegistry::new();
         reg.record_request(Some("brute_force"), false, false, ms(1));
+        reg.record_session_ratio("timeout", 1.25);
+        reg.set_pool_workers(4);
         let rows = reg.snapshot().stat_rows();
         let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
         for key in [
@@ -653,11 +799,16 @@ mod tests {
             "protocol_errors",
             "in_flight",
             "queue_depth",
+            "pool_workers",
             "latency_p50_us",
             "latency_p95_us",
             "latency_max_us",
             "solver.brute_force.count",
+            "solver.brute_force.p50_us",
             "solver.brute_force.p95_us",
+            "policy.timeout.sessions",
+            "policy.timeout.ratio_mean",
+            "policy.timeout.ratio_max",
         ] {
             assert!(keys.contains(&key), "missing {key} in {keys:?}");
         }

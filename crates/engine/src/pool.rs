@@ -21,16 +21,28 @@
 //! backpressure signal), observe [`TaskPool::queued`] /
 //! [`TaskPool::active`], and drain with [`TaskPool::shutdown`].
 //!
+//! A [`TaskPool::elastic`] pool additionally grows past its core size
+//! under queue pressure — up to a hard `max_threads` cap — and shrinks
+//! back when the extra workers sit idle past a timeout. Growth happens
+//! on the submit path (all workers busy with jobs waiting, or the
+//! bounded queue momentarily full); shrink is each grown worker retiring
+//! itself after `idle_timeout` with no work. Elasticity never touches
+//! [`map_ordered`], whose index-reassembly determinism is
+//! worker-count-independent by construction. The idle-shrink timer is a
+//! real wall-clock read (`Instant`), which is why this file sits on the
+//! analyzer determinism rule's explicit allowlist.
+//!
 //! This module is the workspace's only sanctioned `thread::spawn` site
 //! (the analyzer's `concurrency` rule pins that); [`background`] is the
 //! escape hatch for the few long-lived utility threads (report ticker,
 //! connection readers) that are not worker-pool shaped.
 
-use crossbeam::channel;
+use crossbeam::channel::{self, RecvTimeoutError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Apply `f` to every `(index, item)` pair on a pool of `threads` workers
 /// (at least one) and return the results in input order.
@@ -122,6 +134,26 @@ struct PoolGauges {
     queued: AtomicU64,
     active: AtomicU64,
     panicked: AtomicU64,
+    /// Live worker threads right now (core + grown, before retirement).
+    workers: AtomicU64,
+    /// High-water mark of `workers`.
+    peak_workers: AtomicU64,
+    /// Monotone spawn counter; names grown workers uniquely.
+    spawn_seq: AtomicU64,
+}
+
+/// Dequeue-and-run one job with the shared gauge discipline; both the
+/// core and the grown worker loops funnel through here.
+fn run_job(gauges: &PoolGauges, job: Job) {
+    gauges.queued.fetch_sub(1, SeqCst);
+    gauges.active.fetch_add(1, SeqCst);
+    // A panicking job must not kill the worker: the pool would silently
+    // shrink and queued requests would never be answered.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    gauges.active.fetch_sub(1, SeqCst);
+    if outcome.is_err() {
+        gauges.panicked.fetch_add(1, SeqCst);
+    }
 }
 
 /// A long-lived worker pool with a bounded intake queue and explicit
@@ -136,36 +168,52 @@ struct PoolGauges {
 pub struct TaskPool {
     gauges: Arc<PoolGauges>,
     sender: Mutex<Option<channel::Sender<Job>>>,
+    /// Kept so grown workers can be attached to the same intake queue
+    /// after construction.
+    receiver: channel::Receiver<Job>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    max_threads: usize,
+    idle_timeout: Duration,
 }
+
+/// How long a grown worker idles before retiring itself.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_millis(500);
 
 impl TaskPool {
     /// Start `threads` workers (at least one) behind a bounded intake
-    /// queue of `queue_capacity` jobs (at least one).
+    /// queue of `queue_capacity` jobs (at least one). The pool stays at
+    /// this size forever — fixed pools are `elastic` with `max ==
+    /// core`.
     pub fn new(threads: usize, queue_capacity: usize) -> TaskPool {
-        let threads = threads.max(1);
+        TaskPool::elastic(threads, threads, queue_capacity, DEFAULT_IDLE_TIMEOUT)
+    }
+
+    /// Start an elastic pool: `core_threads` permanent workers (at
+    /// least one), growing up to `max_threads` under queue pressure,
+    /// with grown workers retiring after `idle_timeout` without work.
+    pub fn elastic(
+        core_threads: usize,
+        max_threads: usize,
+        queue_capacity: usize,
+        idle_timeout: Duration,
+    ) -> TaskPool {
+        let core_threads = core_threads.max(1);
+        let max_threads = max_threads.max(core_threads);
         let (tx, rx) = channel::bounded::<Job>(queue_capacity.max(1));
         let gauges = Arc::new(PoolGauges::default());
-        let workers = (0..threads)
+        let workers = (0..core_threads)
             .map(|i| {
                 let rx = rx.clone();
                 let gauges = Arc::clone(&gauges);
+                gauges.workers.fetch_add(1, SeqCst);
+                gauges.peak_workers.fetch_max(i as u64 + 1, SeqCst);
                 thread::Builder::new()
                     .name(format!("gaps-worker-{i}"))
                     .spawn(move || {
                         for job in rx {
-                            gauges.queued.fetch_sub(1, SeqCst);
-                            gauges.active.fetch_add(1, SeqCst);
-                            // A panicking job must not kill the worker:
-                            // the pool would silently shrink and queued
-                            // requests would never be answered.
-                            let outcome =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                            gauges.active.fetch_sub(1, SeqCst);
-                            if outcome.is_err() {
-                                gauges.panicked.fetch_add(1, SeqCst);
-                            }
+                            run_job(&gauges, job);
                         }
+                        gauges.workers.fetch_sub(1, SeqCst);
                     })
                     .expect("spawn pool worker")
             })
@@ -173,12 +221,86 @@ impl TaskPool {
         TaskPool {
             gauges,
             sender: Mutex::new(Some(tx)),
+            receiver: rx,
             workers: Mutex::new(workers),
+            max_threads,
+            idle_timeout,
+        }
+    }
+
+    /// Spawn one grown worker if the live count is below the cap.
+    /// Returns whether a worker was added. The slot is reserved with an
+    /// atomic compare-and-update, so concurrent submitters never
+    /// overshoot `max_threads`; no lock is held anywhere near the
+    /// worker's channel loop.
+    fn spawn_extra(&self) -> bool {
+        let cap = self.max_threads as u64;
+        if self
+            .gauges
+            .workers
+            .fetch_update(SeqCst, SeqCst, |w| (w < cap).then_some(w + 1))
+            .is_err()
+        {
+            return false;
+        }
+        let rx = self.receiver.clone();
+        let gauges = Arc::clone(&self.gauges);
+        let idle_timeout = self.idle_timeout;
+        let seq = self.gauges.spawn_seq.fetch_add(1, SeqCst);
+        self.gauges
+            .peak_workers
+            .fetch_max(self.gauges.workers.load(SeqCst), SeqCst);
+        let spawned = thread::Builder::new()
+            .name(format!("gaps-worker-x{seq}"))
+            .spawn(move || {
+                // Patience deadline, not a raw recv_timeout: the worker
+                // retires only once it has *accumulated* idle_timeout of
+                // continuous idleness, robust to early condvar wakeups.
+                let mut idle_since = Instant::now();
+                loop {
+                    match rx.recv_timeout(idle_timeout) {
+                        Ok(job) => {
+                            run_job(&gauges, job);
+                            idle_since = Instant::now();
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if idle_since.elapsed() >= idle_timeout {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                gauges.workers.fetch_sub(1, SeqCst);
+            });
+        match spawned {
+            Ok(handle) => {
+                // Retired workers' handles stay in the registry until
+                // shutdown joins them; the threads themselves are gone.
+                self.workers.lock().push(handle);
+                true
+            }
+            Err(_) => {
+                self.gauges.workers.fetch_sub(1, SeqCst);
+                false
+            }
+        }
+    }
+
+    /// Grow if the queue shows pressure: jobs waiting while every live
+    /// worker is busy.
+    fn maybe_grow(&self) {
+        if self.gauges.queued.load(SeqCst) > 0
+            && self.gauges.active.load(SeqCst) >= self.gauges.workers.load(SeqCst)
+        {
+            self.spawn_extra();
         }
     }
 
     /// Submit a job without blocking. `Err(Full)` is the backpressure
-    /// signal; `Err(Closed)` means the pool was shut down.
+    /// signal; `Err(Closed)` means the pool was shut down. On an
+    /// elastic pool a full queue first tries to grow a worker and
+    /// retries the send once before refusing.
     pub fn try_submit<F>(&self, job: F) -> Result<(), SubmitError>
     where
         F: FnOnce() + Send + 'static,
@@ -193,7 +315,25 @@ impl TaskPool {
         // follow a successful send) never underflows the gauge.
         self.gauges.queued.fetch_add(1, SeqCst);
         match sender.try_send(Box::new(job)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.maybe_grow();
+                Ok(())
+            }
+            Err(err) if err.is_full() && self.spawn_extra() => {
+                // Grew under a full queue: retry once so the admission
+                // that *triggered* the growth benefits from it.
+                match sender.try_send(err.into_inner()) {
+                    Ok(()) => Ok(()),
+                    Err(err) => {
+                        self.gauges.queued.fetch_sub(1, SeqCst);
+                        Err(if err.is_full() {
+                            SubmitError::Full
+                        } else {
+                            SubmitError::Closed
+                        })
+                    }
+                }
+            }
             Err(err) => {
                 self.gauges.queued.fetch_sub(1, SeqCst);
                 Err(if err.is_full() {
@@ -208,6 +348,17 @@ impl TaskPool {
     /// Jobs accepted but not yet picked up by a worker.
     pub fn queued(&self) -> u64 {
         self.gauges.queued.load(SeqCst)
+    }
+
+    /// Live worker threads right now (grown workers included until they
+    /// retire).
+    pub fn workers(&self) -> u64 {
+        self.gauges.workers.load(SeqCst)
+    }
+
+    /// High-water mark of live workers over the pool's lifetime.
+    pub fn peak_workers(&self) -> u64 {
+        self.gauges.peak_workers.load(SeqCst)
     }
 
     /// Jobs currently executing.
@@ -370,6 +521,131 @@ mod tests {
         pool.shutdown();
         assert_eq!(done.load(SeqCst), 1, "worker survived the panic");
         assert_eq!(pool.panicked(), 1);
+    }
+
+    /// Spin until `cond` holds or ~2s pass; elastic resize is
+    /// asynchronous, so tests wait on the gauges rather than sleeping
+    /// fixed amounts.
+    fn wait_until(cond: impl Fn() -> bool) -> bool {
+        for _ in 0..2_000 {
+            if cond() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        cond()
+    }
+
+    #[test]
+    fn elastic_pool_grows_under_pressure_and_shrinks_when_idle() {
+        let pool = TaskPool::elastic(1, 3, 8, Duration::from_millis(30));
+        assert_eq!(pool.workers(), 1);
+        let (gate_tx, gate_rx) = channel::bounded::<()>(8);
+        let done = Arc::new(AtomicUsize::new(0));
+        // Submit three blocked jobs, letting each be picked up before
+        // the next: every later submit then observes genuine pressure
+        // (all live workers busy, a job queued) and grows the pool.
+        for n in 1..=3u64 {
+            let gate_rx = gate_rx.clone();
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                let _ = gate_rx.recv();
+                done.fetch_add(1, SeqCst);
+            })
+            .expect("queue has room");
+            assert!(
+                wait_until(|| pool.active() == n),
+                "job {n} picked up (active = {})",
+                pool.active()
+            );
+        }
+        assert_eq!(
+            pool.workers(),
+            3,
+            "three blocked jobs against one core worker grow to the cap"
+        );
+        assert_eq!(pool.peak_workers(), 3);
+        for _ in 0..3 {
+            gate_tx.send(()).expect("a worker is alive");
+        }
+        assert!(wait_until(|| done.load(SeqCst) == 3), "all jobs ran");
+        // Grown workers retire after idling past the timeout; the core
+        // worker stays.
+        assert!(
+            wait_until(|| pool.workers() == 1),
+            "grown workers retired (workers = {})",
+            pool.workers()
+        );
+        // A shrunk pool still accepts and runs work.
+        let done2 = Arc::clone(&done);
+        pool.try_submit(move || {
+            done2.fetch_add(1, SeqCst);
+        })
+        .expect("accepts after shrink");
+        pool.shutdown();
+        assert_eq!(done.load(SeqCst), 4);
+        assert_eq!(pool.workers(), 0, "every worker joined");
+        assert_eq!(pool.peak_workers(), 3);
+    }
+
+    #[test]
+    fn fixed_pool_never_grows() {
+        let pool = TaskPool::new(2, 1);
+        assert_eq!(pool.workers(), 2);
+        let (gate_tx, gate_rx) = channel::bounded::<()>(8);
+        for n in 1..=2u64 {
+            let gate_rx = gate_rx.clone();
+            pool.try_submit(move || {
+                let _ = gate_rx.recv();
+            })
+            .expect("admitted");
+            // Let the one-slot queue drain before the next submit.
+            assert!(wait_until(|| pool.active() == n), "job {n} picked up");
+        }
+        pool.try_submit(|| {}).expect("fills the one-slot queue");
+        // Queue full + all workers busy: a fixed pool must refuse, not
+        // grow.
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::Full));
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.peak_workers(), 2);
+        gate_tx.send(()).expect("alive");
+        gate_tx.send(()).expect("alive");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn elastic_pool_reports_full_only_at_the_cap() {
+        let pool = TaskPool::elastic(1, 2, 1, Duration::from_millis(200));
+        let (gate_tx, gate_rx) = channel::bounded::<()>(8);
+        let submit_blocked = |pool: &TaskPool| {
+            let gate_rx = gate_rx.clone();
+            pool.try_submit(move || {
+                let _ = gate_rx.recv();
+            })
+        };
+        // Saturate: every admission either runs (on a core or grown
+        // worker) or queues; only once workers == cap and the queue is
+        // full may Full surface.
+        let mut admitted = 0;
+        let mut saw_full = false;
+        for _ in 0..50 {
+            match submit_blocked(&pool) {
+                Ok(()) => admitted += 1,
+                Err(SubmitError::Full) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(SubmitError::Closed) => panic!("pool is not closed"),
+            }
+        }
+        assert!(saw_full, "the bounded queue still backpressures");
+        // 2 workers (grown to cap) + 1 queued slot.
+        assert!(admitted >= 3, "admitted {admitted}");
+        assert_eq!(pool.workers(), 2, "grew exactly to the cap");
+        for _ in 0..admitted {
+            gate_tx.send(()).expect("alive");
+        }
+        pool.shutdown();
     }
 
     #[test]

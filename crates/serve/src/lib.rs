@@ -8,11 +8,19 @@
 //!
 //! Clients speak the line-delimited TCP protocol of [`protocol`]
 //! (`REQ`/`RES` with client-chosen correlation ids, plus
-//! `PING`/`STATS`/`DRAIN` control verbs). Every request flows through
-//! the same `canonicalize → cache → route → solve` loop as `gaps
-//! batch` ([`gaps_engine::Engine::solve_request`]), so a serve
+//! `PING`/`STATS`/`DRAIN` control verbs and the `SESSION
+//! begin/arrive/step/end` online-session family). Every request flows
+//! through the same `canonicalize → cache → route → solve` loop as
+//! `gaps batch` ([`gaps_engine::Engine::solve_request`]), so a serve
 //! round-trip is bit-identical to the batch result line for the same
-//! instance.
+//! instance — and an online session drives the same
+//! [`gaps_engine::OnlineTracker`] as `gaps batch --replay-online`, so
+//! its ratio line is bit-identical too.
+//!
+//! The solve pool is *elastic*: [`ServeConfig::threads`] core workers
+//! are always running, and under queue pressure the pool grows up to
+//! [`ServeConfig::max_threads`], shedding the extra workers again once
+//! they sit idle.
 //!
 //! Operationally the daemon is built around three pressure valves:
 //!
@@ -55,8 +63,13 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Listen address (`host:port`; port 0 picks a free port).
     pub listen: String,
-    /// Solve-pool worker threads.
+    /// Core solve-pool worker threads (always running).
     pub threads: usize,
+    /// Elastic solve-pool ceiling: under queue pressure the pool grows
+    /// up to this many workers, and the extras retire after
+    /// [`gaps_engine::pool::DEFAULT_IDLE_TIMEOUT`] idle. Clamped up to
+    /// `threads` (a ceiling below the core count means "fixed pool").
+    pub max_threads: usize,
     /// Bounded admission-queue capacity; a full queue answers `BUSY`.
     pub queue_capacity: usize,
     /// Maximum simultaneously served connections.
@@ -81,6 +94,7 @@ impl Default for ServeConfig {
         ServeConfig {
             listen: "127.0.0.1:7477".to_string(),
             threads: 4,
+            max_threads: 4,
             queue_capacity: 256,
             max_conns: 32,
             objective: Objective::Gaps,
@@ -143,7 +157,12 @@ impl Server {
             .map_err(|e| format!("cannot bind {}: {e}", config.listen))?;
         let shared = Arc::new(Shared {
             engine: Engine::new(config.engine.clone()),
-            pool: TaskPool::new(config.threads, config.queue_capacity),
+            pool: TaskPool::elastic(
+                config.threads,
+                config.max_threads.max(config.threads),
+                config.queue_capacity,
+                pool::DEFAULT_IDLE_TIMEOUT,
+            ),
             objective: config.objective,
             started: Instant::now(),
             shed_jobs: config.shed_jobs,
@@ -189,10 +208,9 @@ impl Server {
                         std::thread::sleep(chunk);
                         slept += chunk;
                     }
-                    shared
-                        .engine
-                        .metrics()
-                        .set_queue_depth(shared.pool.queued());
+                    let metrics = shared.engine.metrics();
+                    metrics.set_queue_depth(shared.pool.queued());
+                    metrics.set_pool_workers(shared.pool.workers());
                     eprintln!(
                         "serve: up={}s {}",
                         shared.started.elapsed().as_secs(),

@@ -9,6 +9,16 @@
 //! STATS                   metrics snapshot
 //! DRAIN                   graceful shutdown: stop accepting, finish
 //!                         in-flight work, flush the final report
+//! SESSION begin <policy> [alpha]
+//!                         open this connection's online session under
+//!                         a sim power policy (timeout|sleep|never;
+//!                         alpha defaults to 1)
+//! SESSION arrive <t>      reveal the next arrival at slot t (≥ the
+//!                         session frontier)
+//! SESSION step [n]        reveal n (default 1) idle slots, no arrival
+//! SESSION end             close the session: solve the revealed
+//!                         instance offline, report the realized
+//!                         competitive ratio
 //! ```
 //!
 //! `<id>` is an opaque client-chosen token (`[A-Za-z0-9_.:-]`, ≤ 64
@@ -27,10 +37,21 @@
 //!                         was too mangled to carry one
 //! BUSY <id>               admission queue full — backpressure, retry
 //! PONG                    PING reply
-//! STATS v1 … STATS end    snapshot block, one `stat <key> <value>`
-//!                         line per metric
+//! STATS v2 … STATS end    snapshot block, one `stat <key> <value>`
+//!                         line per metric (v2 adds pool_workers,
+//!                         per-solver p50, per-policy ratio rows)
 //! DRAINING                DRAIN acknowledged
+//! SESSION begun …         session opened
+//! SESSION t=… …           arrive/step acknowledged with the live state
+//! SESSION end …           closing summary with the competitive ratio
 //! ```
+//!
+//! `SESSION` frames are handled synchronously on the connection's
+//! reader thread (a session is inherently serial — each decision
+//! depends on the previous slot), so they never touch the solve pool's
+//! admission queue; a malformed or out-of-order `SESSION` verb is
+//! answered with `ERR -` and neither the session nor the connection
+//! dies.
 //!
 //! Responses to different requests may interleave in any order; the id
 //! is the only correlation. Malformed input of any shape — truncated
@@ -64,6 +85,35 @@ pub enum Frame {
     Stats,
     /// Graceful-shutdown request.
     Drain,
+    /// Online-session verb (per-connection state machine).
+    Session(SessionCmd),
+}
+
+/// The `SESSION` sub-verbs. Argument validation that needs session
+/// state (frontier ordering, advance caps) happens in the handler; the
+/// parser only guarantees shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionCmd {
+    /// `SESSION begin <policy> [alpha]` — open a session.
+    Begin {
+        /// Online policy wire name (validated against the sim crate's
+        /// roster by the handler).
+        policy: String,
+        /// Wake-up cost α (defaults to 1).
+        alpha: u64,
+    },
+    /// `SESSION arrive <t>` — reveal the next arrival.
+    Arrive {
+        /// Arrival slot.
+        t: i64,
+    },
+    /// `SESSION step [n]` — reveal `n` idle slots (defaults to 1).
+    Step {
+        /// Idle slots to reveal.
+        n: u64,
+    },
+    /// `SESSION end` — close and report the ratio.
+    End,
 }
 
 /// Why a frame was rejected; `id` is present when the frame carried a
@@ -212,8 +262,67 @@ pub fn parse_frame(line: &str) -> Result<Option<Frame>, FrameError> {
                 text: payload.replace(';', "\n"),
             }))
         }
+        "SESSION" => parse_session(rest).map(|cmd| Some(Frame::Session(cmd))),
         other => Err(FrameError::anon(format!("unknown verb {other:?}"))),
     }
+}
+
+/// Parse the words after `SESSION `.
+fn parse_session(rest: &str) -> Result<SessionCmd, FrameError> {
+    let mut words = rest.split_whitespace();
+    let sub = words.next().unwrap_or("");
+    let cmd = match sub {
+        "begin" => {
+            let policy = words
+                .next()
+                .ok_or_else(|| FrameError::anon("SESSION begin needs a policy name"))?;
+            let alpha = match words.next() {
+                None => 1,
+                Some(raw) => raw.parse::<u64>().map_err(|_| {
+                    FrameError::anon(format!("SESSION begin: bad alpha {raw:?} (want a u64)"))
+                })?,
+            };
+            SessionCmd::Begin {
+                policy: policy.to_string(),
+                alpha,
+            }
+        }
+        "arrive" => {
+            let raw = words
+                .next()
+                .ok_or_else(|| FrameError::anon("SESSION arrive needs an arrival slot"))?;
+            let t = raw.parse::<i64>().map_err(|_| {
+                FrameError::anon(format!("SESSION arrive: bad slot {raw:?} (want an i64)"))
+            })?;
+            SessionCmd::Arrive { t }
+        }
+        "step" => {
+            let n = match words.next() {
+                None => 1,
+                Some(raw) => raw.parse::<u64>().map_err(|_| {
+                    FrameError::anon(format!("SESSION step: bad count {raw:?} (want a u64)"))
+                })?,
+            };
+            SessionCmd::Step { n }
+        }
+        "end" => SessionCmd::End,
+        "" => {
+            return Err(FrameError::anon(
+                "SESSION needs a sub-verb (begin|arrive|step|end)",
+            ))
+        }
+        other => {
+            return Err(FrameError::anon(format!(
+                "unknown SESSION sub-verb {other:?} (begin|arrive|step|end)"
+            )))
+        }
+    };
+    if let Some(extra) = words.next() {
+        return Err(FrameError::anon(format!(
+            "SESSION {sub}: unexpected trailing argument {extra:?}"
+        )));
+    }
+    Ok(cmd)
 }
 
 /// Encode an instance's serialized text as a one-line `REQ` payload
@@ -321,6 +430,60 @@ mod tests {
         // Unknown verb.
         let err = parse_frame("SOLVE x instance v1").unwrap_err();
         assert!(err.reason.contains("unknown verb"));
+    }
+
+    #[test]
+    fn parses_session_verbs() {
+        assert_eq!(
+            parse_frame("SESSION begin timeout 3").unwrap(),
+            Some(Frame::Session(SessionCmd::Begin {
+                policy: "timeout".to_string(),
+                alpha: 3,
+            }))
+        );
+        assert_eq!(
+            parse_frame("SESSION begin sleep").unwrap(),
+            Some(Frame::Session(SessionCmd::Begin {
+                policy: "sleep".to_string(),
+                alpha: 1,
+            })),
+            "alpha defaults to 1"
+        );
+        assert_eq!(
+            parse_frame("SESSION arrive 42").unwrap(),
+            Some(Frame::Session(SessionCmd::Arrive { t: 42 }))
+        );
+        assert_eq!(
+            parse_frame("SESSION step").unwrap(),
+            Some(Frame::Session(SessionCmd::Step { n: 1 }))
+        );
+        assert_eq!(
+            parse_frame("SESSION step 7").unwrap(),
+            Some(Frame::Session(SessionCmd::Step { n: 7 }))
+        );
+        assert_eq!(
+            parse_frame("SESSION end").unwrap(),
+            Some(Frame::Session(SessionCmd::End))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_session_verbs() {
+        for (line, needle) in [
+            ("SESSION", "sub-verb"),
+            ("SESSION settle", "unknown SESSION sub-verb"),
+            ("SESSION begin", "needs a policy"),
+            ("SESSION begin timeout nine", "bad alpha"),
+            ("SESSION begin timeout 2 extra", "trailing"),
+            ("SESSION arrive", "needs an arrival"),
+            ("SESSION arrive soon", "bad slot"),
+            ("SESSION step minus", "bad count"),
+            ("SESSION end now", "trailing"),
+        ] {
+            let err = parse_frame(line).unwrap_err();
+            assert_eq!(err.id, None, "{line}");
+            assert!(err.reason.contains(needle), "{line}: {}", err.reason);
+        }
     }
 
     #[test]

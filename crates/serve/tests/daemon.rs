@@ -84,7 +84,7 @@ impl Client {
 
     /// Read until `STATS end`, returning the `stat` rows as a map.
     fn recv_stats(&mut self) -> HashMap<String, String> {
-        assert_eq!(self.recv(), "STATS v1");
+        assert_eq!(self.recv(), "STATS v2");
         let mut rows = HashMap::new();
         loop {
             let line = self.recv();
@@ -338,6 +338,115 @@ fn shed_mode_degrades_oversized_instances_instead_of_refusing() {
     client.send("DRAIN");
     assert_eq!(client.recv(), "DRAINING");
     assert_eq!(daemon.finish().shed, 1);
+}
+
+#[test]
+fn online_session_reports_tracker_ratio_and_stats_v2_rows() {
+    let daemon = start(ServeConfig {
+        threads: 2,
+        max_threads: 4,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(daemon.addr);
+    client.send("SESSION begin timeout 4");
+    assert_eq!(client.recv(), "SESSION begun policy=timeout alpha=4");
+    for (t, expect) in [
+        (0, "SESSION t=1 state=awake online=5"),
+        (2, "SESSION t=3 state=awake online=7"),
+        (20, "SESSION t=21 state=awake online=16"),
+    ] {
+        client.send(&format!("SESSION arrive {t}"));
+        assert_eq!(client.recv(), expect);
+    }
+    // Trailing idle: timeout(4) stays awake 4 slots then sleeps.
+    client.send("SESSION step 6");
+    assert_eq!(client.recv(), "SESSION t=27 state=asleep online=20");
+    client.send("SESSION end");
+    assert_eq!(
+        client.recv(),
+        "SESSION end policy=timeout alpha=4 jobs=3 online=20 offline=12 ratio=1.6667"
+    );
+    // Ordinary requests still work on the same connection, and the
+    // STATS v2 rows carry the per-policy ratio and pool-worker gauges.
+    client.send("REQ after instance v1;processors 1;job 0 1");
+    assert!(client.recv().starts_with("RES after one n=1 "));
+    client.send("STATS");
+    let rows = client.recv_stats();
+    assert_eq!(
+        rows.get("policy.timeout.sessions").map(String::as_str),
+        Some("1")
+    );
+    assert_eq!(
+        rows.get("policy.timeout.ratio_mean").map(String::as_str),
+        Some("1.6667")
+    );
+    assert_eq!(
+        rows.get("policy.timeout.ratio_max").map(String::as_str),
+        Some("1.6667")
+    );
+    assert_eq!(rows.get("pool_workers").map(String::as_str), Some("2"));
+    // The SESSION end offline solve plus the explicit REQ.
+    assert_eq!(rows.get("requests").map(String::as_str), Some("2"));
+    assert!(rows.contains_key("solver.forced_chain.p50_us"), "{rows:?}");
+    client.send("DRAIN");
+    assert_eq!(client.recv(), "DRAINING");
+    daemon.finish();
+}
+
+#[test]
+fn malformed_session_corpus_is_answered_with_err_and_the_session_survives() {
+    let daemon = start(ServeConfig::default());
+    let mut client = Client::connect(daemon.addr);
+
+    // Out-of-order verbs before any session exists.
+    client.send("SESSION arrive 3");
+    assert!(client.recv().starts_with("ERR - no SESSION active"));
+    client.send("SESSION step 1");
+    assert!(client.recv().starts_with("ERR - no SESSION active"));
+    client.send("SESSION end");
+    assert!(client.recv().starts_with("ERR - no SESSION active"));
+    // Parse-level garbage.
+    client.send("SESSION");
+    assert!(client.recv().starts_with("ERR - "));
+    client.send("SESSION commence timeout 2");
+    assert!(client.recv().starts_with("ERR - unknown SESSION sub-verb"));
+    client.send("SESSION begin");
+    assert!(client.recv().starts_with("ERR - "));
+    client.send("SESSION begin timeout nope");
+    assert!(client.recv().starts_with("ERR - "));
+    // Unknown and online-incapable policies.
+    client.send("SESSION begin warp 2");
+    assert!(client.recv().starts_with("ERR - unknown online policy"));
+    client.send("SESSION begin clairvoyant 2");
+    assert!(client.recv().contains("lookahead"));
+
+    // A real session now begins; double-begin is refused without
+    // killing it.
+    client.send("SESSION begin timeout 2");
+    assert_eq!(client.recv(), "SESSION begun policy=timeout alpha=2");
+    client.send("SESSION begin timeout 2");
+    assert!(client.recv().starts_with("ERR - SESSION already active"));
+    client.send("SESSION arrive 5");
+    assert_eq!(client.recv(), "SESSION t=6 state=awake online=3");
+    // Time running backwards is refused; the session keeps going.
+    client.send("SESSION arrive 2");
+    assert!(client.recv().contains("behind the frontier"));
+    client.send("SESSION end");
+    assert!(client.recv().starts_with("SESSION end policy=timeout "));
+    // End-without-begin again now that the session is consumed.
+    client.send("SESSION end");
+    assert!(client.recv().starts_with("ERR - no SESSION active"));
+
+    // The connection still serves everything else.
+    client.send("PING");
+    assert_eq!(client.recv(), "PONG");
+    client.send("DRAIN");
+    assert_eq!(client.recv(), "DRAINING");
+    let snapshot = daemon.finish();
+    assert!(
+        snapshot.protocol_errors >= 12,
+        "every corpus entry is counted: {snapshot}"
+    );
 }
 
 #[test]

@@ -24,7 +24,7 @@ pub mod randomized;
 pub mod trace;
 
 pub use executor::{simulate_multi_schedule, simulate_schedule, ProcReport, SimReport};
-pub use policy::{Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout};
+pub use policy::{Clairvoyant, NeverSleep, OnlineRun, PowerPolicy, SleepImmediately, Timeout};
 pub use processor::{PowerState, ProcessorSim};
 pub use randomized::{ski_rental_randomized_bound, RandomizedTimeout};
 pub use trace::{Trace, TraceEvent, TraceEventKind};

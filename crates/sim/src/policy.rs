@@ -26,6 +26,17 @@ pub trait PowerPolicy {
 
     /// Display name for reports.
     fn name(&self) -> &'static str;
+
+    /// Online entry point: the same decision as [`stay_active`] but with
+    /// no lookahead, for callers that reveal slots one at a time (the
+    /// serve `SESSION` mode and `gaps batch --replay-online`). Online
+    /// policies answer from `idle_so_far` alone; clairvoyant policies
+    /// cannot be driven this way and panic.
+    ///
+    /// [`stay_active`]: PowerPolicy::stay_active
+    fn stay_active_online(&self, idle_so_far: u64) -> bool {
+        self.stay_active(idle_so_far, None)
+    }
 }
 
 /// Go to sleep the moment the processor idles — the paper's *gap
@@ -105,6 +116,87 @@ pub fn gap_cost(policy: &dyn PowerPolicy, g: u64, alpha: u64) -> u64 {
     cost // bridged the whole gap
 }
 
+/// Incremental online execution: feed busy and idle slots one at a time
+/// — no lookahead, no schedule — and accrue energy under a policy's
+/// sleep decisions. This is the slot-by-slot twin of
+/// [`crate::executor`]'s accounting: every active slot (busy or
+/// idle-active) costs 1, every sleep→active transition costs `alpha`
+/// **including the first** (the processor starts asleep), and sleeping
+/// is irrevocable within a gap.
+///
+/// Summing [`gap_cost`] over the gaps of the same arrival sequence,
+/// plus one unit per job and `alpha` for the initial wake, gives the
+/// identical total; `online_run_matches_gap_cost` pins that.
+pub struct OnlineRun {
+    policy: Box<dyn PowerPolicy + Send + Sync>,
+    alpha: u64,
+    awake: bool,
+    idle_run: u64,
+    cost: u64,
+    wakeups: u64,
+}
+
+impl OnlineRun {
+    /// Start a run with the processor asleep (the first job pays the
+    /// wake cost, matching [`crate::processor::ProcessorSim`]).
+    pub fn new(policy: Box<dyn PowerPolicy + Send + Sync>, alpha: u64) -> OnlineRun {
+        OnlineRun {
+            policy,
+            alpha,
+            awake: false,
+            idle_run: 0,
+            cost: 0,
+            wakeups: 0,
+        }
+    }
+
+    /// One slot running a job: wake if asleep (+`alpha`), spend 1 active
+    /// unit, and reset the idle counter — the current gap is over.
+    pub fn job_slot(&mut self) {
+        if !self.awake {
+            self.cost += self.alpha;
+            self.wakeups += 1;
+            self.awake = true;
+        }
+        self.cost += 1;
+        self.idle_run = 0;
+    }
+
+    /// One idle slot: while awake the policy decides (stay → 1 unit,
+    /// sleep → free and irrevocable until the next job); while asleep
+    /// idling is free.
+    pub fn idle_slot(&mut self) {
+        if self.awake {
+            if self.policy.stay_active_online(self.idle_run) {
+                self.cost += 1;
+            } else {
+                self.awake = false;
+            }
+        }
+        self.idle_run += 1;
+    }
+
+    /// Total energy accrued so far.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Is the processor currently in the active state?
+    pub fn awake(&self) -> bool {
+        self.awake
+    }
+
+    /// Sleep→active transitions so far (the first wake counts).
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// The driving policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +239,95 @@ mod tests {
         }
         // And the bound is tight at g slightly above α.
         assert_eq!(gap_cost(&online, alpha + 1, alpha), 2 * alpha);
+    }
+
+    /// Pin the exact `idle_so_far < threshold` boundary against the
+    /// ski-rental argument: with `threshold == α` the policy idles
+    /// active through slots 0..α (α units) and sleeps on the (α+1)-th
+    /// idle slot. A gap of exactly α must therefore be *bridged* at
+    /// cost α — no wake — and any longer gap must cost exactly 2α, not
+    /// 2α ± 1.
+    #[test]
+    fn timeout_boundary_is_exact() {
+        for alpha in [1, 2, 5, 8] {
+            let online = Timeout { threshold: alpha };
+            // Bridged region: g ≤ α costs g, identical to clairvoyant.
+            for g in 0..=alpha {
+                assert_eq!(gap_cost(&online, g, alpha), g, "alpha = {alpha}, g = {g}");
+            }
+            // Sleeping region: every g > α costs exactly α idle-active
+            // slots plus the α wake — the worst case is exactly 2α.
+            for g in alpha + 1..=4 * alpha {
+                assert_eq!(
+                    gap_cost(&online, g, alpha),
+                    2 * alpha,
+                    "alpha = {alpha}, g = {g}"
+                );
+            }
+        }
+        // The decision slots themselves: at idle_so_far = α-1 the
+        // processor is still active, at α it sleeps.
+        let p = Timeout { threshold: 3 };
+        assert!(p.stay_active(2, None));
+        assert!(!p.stay_active(3, None));
+        assert!(p.stay_active_online(2));
+        assert!(!p.stay_active_online(3));
+    }
+
+    /// The incremental walker must agree with the per-gap accounting:
+    /// total = α (initial wake) + one unit per job + Σ gap_cost.
+    #[test]
+    fn online_run_matches_gap_cost() {
+        let alpha = 4;
+        let arrivals: [u64; 6] = [0, 1, 5, 6, 20, 21];
+        let policies: [Box<dyn PowerPolicy + Send + Sync>; 3] = [
+            Box::new(Timeout { threshold: alpha }),
+            Box::new(SleepImmediately),
+            Box::new(NeverSleep),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let reference: u64 = {
+                let jobs = arrivals.len() as u64;
+                let gaps: u64 = arrivals
+                    .windows(2)
+                    .map(|w| gap_cost(&*policy, w[1] - w[0] - 1, alpha))
+                    .sum();
+                alpha + jobs + gaps
+            };
+            let mut run = OnlineRun::new(policy, alpha);
+            let mut now = 0;
+            for &t in &arrivals {
+                while now < t {
+                    run.idle_slot();
+                    now += 1;
+                }
+                run.job_slot();
+                now = t + 1;
+            }
+            assert_eq!(run.cost(), reference, "policy = {name}");
+        }
+    }
+
+    /// Idle slots before the first job and after sleeping are free, and
+    /// trailing idle-active slots are bounded by the threshold.
+    #[test]
+    fn online_run_start_and_trailing_idle() {
+        let alpha = 3;
+        let mut run = OnlineRun::new(Box::new(Timeout { threshold: alpha }), alpha);
+        for _ in 0..10 {
+            run.idle_slot();
+        }
+        assert_eq!(run.cost(), 0, "asleep idling is free");
+        assert!(!run.awake());
+        run.job_slot();
+        assert_eq!(run.cost(), alpha + 1);
+        assert_eq!(run.wakeups(), 1);
+        for _ in 0..100 {
+            run.idle_slot();
+        }
+        // Stays active exactly `threshold` slots, then sleeps.
+        assert_eq!(run.cost(), alpha + 1 + alpha);
+        assert!(!run.awake());
     }
 }

@@ -2,10 +2,19 @@
 //! arrivals with laxity, and diurnal load patterns. These produce the
 //! gap-rich traces that make sleep decisions interesting — the regime the
 //! paper's power model targets.
+//!
+//! The second half of this module generates *online arrival streams*:
+//! bare, strictly increasing arrival times (no windows — an online job
+//! must run the slot it is revealed) for the serve daemon's `SESSION`
+//! verbs and `gaps batch --replay-online`. Both front ends must replay
+//! the identical stream for their ratio lines to compare bit for bit,
+//! so the seeded generator and its text format live here, next to the
+//! other shared workload sources.
 
 use gaps_core::instance::{Instance, Job};
 use gaps_core::time::Time;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Bernoulli arrivals: at every slot of `[0, horizon)`, each of up to
 /// `max_per_slot` independent sources releases a job with probability
@@ -61,6 +70,147 @@ pub fn diurnal(
     Instance::new(jobs, processors).expect("valid windows")
 }
 
+/// Shape of the inter-arrival gaps in a generated online stream. Every
+/// pattern draws gaps ≥ 1, so streams are strictly increasing by
+/// construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// Gaps uniform in `1..=max_gap` — the unstructured baseline.
+    Uniform {
+        /// Largest inter-arrival gap drawn.
+        max_gap: u64,
+    },
+    /// Runs of `burst` back-to-back arrivals (gap 1) separated by long
+    /// pauses uniform in `1..=spread` — the day/night shape where sleep
+    /// decisions pay off.
+    Bursty {
+        /// Arrivals per back-to-back run.
+        burst: usize,
+        /// Largest pause between runs.
+        spread: u64,
+    },
+    /// Power-of-two gaps, each exponent equally likely up to
+    /// `log2(max_gap)` — many tiny gaps, a fat tail of huge ones, so a
+    /// threshold policy sees both sides of its boundary.
+    HeavyTail {
+        /// Cap on the largest gap (rounded down to a power of two).
+        max_gap: u64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Resolve a pattern by its CLI name, with `max_gap` as the single
+    /// shared scale knob (bursty uses it as the pause spread).
+    pub fn parse(name: &str, max_gap: u64) -> Result<ArrivalPattern, String> {
+        if max_gap == 0 {
+            return Err("max gap must be at least 1".to_string());
+        }
+        match name {
+            "uniform" => Ok(ArrivalPattern::Uniform { max_gap }),
+            "bursty" => Ok(ArrivalPattern::Bursty {
+                burst: 4,
+                spread: max_gap,
+            }),
+            "heavy" | "heavy-tail" => Ok(ArrivalPattern::HeavyTail { max_gap }),
+            other => Err(format!(
+                "unknown arrival pattern {other:?} (choose uniform|bursty|heavy)"
+            )),
+        }
+    }
+
+    fn gap(&self, rng: &mut StdRng, index: usize) -> u64 {
+        match *self {
+            ArrivalPattern::Uniform { max_gap } => rng.gen_range(1..=max_gap),
+            ArrivalPattern::Bursty { burst, spread } => {
+                if index.is_multiple_of(burst.max(1)) {
+                    rng.gen_range(1..=spread)
+                } else {
+                    1
+                }
+            }
+            ArrivalPattern::HeavyTail { max_gap } => {
+                let top = 63 - max_gap.leading_zeros();
+                1 << rng.gen_range(0..=top)
+            }
+        }
+    }
+}
+
+/// Generate a strictly increasing online arrival stream: `n` arrival
+/// times starting at slot 0, gaps drawn per `pattern` from a
+/// `StdRng` seeded with `seed`. Deterministic: the same
+/// `(seed, n, pattern)` always yields the same stream, which is what
+/// lets serve and `--replay-online` compare ratio lines byte for byte.
+pub fn seeded_arrivals(seed: u64, n: usize, pattern: &ArrivalPattern) -> Vec<Time> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut t: Time = 0;
+    for index in 0..n {
+        out.push(t);
+        t += pattern.gap(&mut rng, index + 1) as Time;
+    }
+    out
+}
+
+/// Serialize one arrival stream as an `arrivals v1` block — the text
+/// format both `gaps generate --kind arrivals` emits and
+/// `gaps batch --replay-online` consumes.
+pub fn arrivals_to_text(arrivals: &[Time]) -> String {
+    let mut out = String::from("arrivals v1\n");
+    for t in arrivals {
+        out.push_str(&format!("arrive {t}\n"));
+    }
+    out
+}
+
+/// Parse a text of one or more `arrivals v1` blocks back into streams
+/// (one replayed session per block). Blank lines and `#` comments are
+/// skipped; arrivals must be non-negative and strictly increasing
+/// within a block — the same "time only moves forward" rule the live
+/// `SESSION arrive` verb enforces.
+pub fn arrival_streams_from_text(text: &str) -> Result<Vec<Vec<Time>>, String> {
+    let mut streams: Vec<Vec<Time>> = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "arrivals v1" {
+            streams.push(Vec::new());
+            continue;
+        }
+        let Some(value) = line.strip_prefix("arrive ") else {
+            return Err(format!(
+                "line {}: expected `arrivals v1` or `arrive <t>`, got {line:?}",
+                no + 1
+            ));
+        };
+        let t: Time = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad arrival time {value:?}", no + 1))?;
+        if t < 0 {
+            return Err(format!("line {}: arrival time {t} is negative", no + 1));
+        }
+        let Some(stream) = streams.last_mut() else {
+            return Err(format!(
+                "line {}: `arrive` before any `arrivals v1` header",
+                no + 1
+            ));
+        };
+        if let Some(&last) = stream.last() {
+            if t <= last {
+                return Err(format!(
+                    "line {}: arrival {t} does not increase past {last} (streams are strictly increasing)",
+                    no + 1
+                ));
+            }
+        }
+        stream.push(t);
+    }
+    Ok(streams)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +264,94 @@ mod tests {
     fn rejects_bad_rate() {
         let mut rng = StdRng::seed_from_u64(0);
         bernoulli(&mut rng, 10, 1.5, 1, 1, 1);
+    }
+
+    #[test]
+    fn arrival_patterns_parse_by_name() {
+        assert_eq!(
+            ArrivalPattern::parse("uniform", 9),
+            Ok(ArrivalPattern::Uniform { max_gap: 9 })
+        );
+        assert_eq!(
+            ArrivalPattern::parse("bursty", 12),
+            Ok(ArrivalPattern::Bursty {
+                burst: 4,
+                spread: 12
+            })
+        );
+        assert_eq!(
+            ArrivalPattern::parse("heavy", 16),
+            Ok(ArrivalPattern::HeavyTail { max_gap: 16 })
+        );
+        assert!(ArrivalPattern::parse("uniform", 0).is_err());
+        let err = ArrivalPattern::parse("poissonish", 4).unwrap_err();
+        assert!(err.contains("poissonish"), "{err}");
+    }
+
+    #[test]
+    fn seeded_arrivals_are_deterministic_and_strictly_increasing() {
+        for pattern in [
+            ArrivalPattern::Uniform { max_gap: 7 },
+            ArrivalPattern::Bursty {
+                burst: 4,
+                spread: 20,
+            },
+            ArrivalPattern::HeavyTail { max_gap: 64 },
+        ] {
+            let a = seeded_arrivals(41, 200, &pattern);
+            let b = seeded_arrivals(41, 200, &pattern);
+            assert_eq!(a, b, "{pattern:?}");
+            assert_eq!(a.len(), 200);
+            assert_eq!(a[0], 0, "streams start at slot 0");
+            assert!(
+                a.windows(2).all(|w| w[0] < w[1]),
+                "{pattern:?} must be strictly increasing"
+            );
+            let c = seeded_arrivals(42, 200, &pattern);
+            assert_ne!(a, c, "different seeds explore different streams");
+        }
+    }
+
+    #[test]
+    fn bursty_streams_alternate_runs_and_pauses() {
+        let pattern = ArrivalPattern::Bursty {
+            burst: 4,
+            spread: 50,
+        };
+        let stream = seeded_arrivals(7, 40, &pattern);
+        let unit_gaps = stream.windows(2).filter(|w| w[1] - w[0] == 1).count();
+        // 3 of every 4 gaps are within-burst unit gaps.
+        assert!(unit_gaps >= 25, "bursts missing: {unit_gaps} unit gaps");
+    }
+
+    #[test]
+    fn arrival_text_round_trips() {
+        let stream = seeded_arrivals(3, 50, &ArrivalPattern::Uniform { max_gap: 5 });
+        let text = arrivals_to_text(&stream);
+        assert!(text.starts_with("arrivals v1\narrive 0\n"));
+        let parsed = arrival_streams_from_text(&text).expect("own output parses");
+        assert_eq!(parsed, vec![stream.clone()]);
+        // Multiple blocks, comments, and blank lines.
+        let doubled = format!("# seed 3\n{text}\n{}", arrivals_to_text(&stream[..3]));
+        let parsed = arrival_streams_from_text(&doubled).expect("two blocks parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], stream);
+        assert_eq!(parsed[1], stream[..3]);
+    }
+
+    #[test]
+    fn malformed_arrival_text_is_refused_with_line_numbers() {
+        for (text, want) in [
+            ("arrive 3\n", "before any"),
+            ("arrivals v1\narrive x\n", "bad arrival time"),
+            ("arrivals v1\narrive -2\n", "negative"),
+            ("arrivals v1\narrive 5\narrive 5\n", "strictly increasing"),
+            ("arrivals v1\narrive 5\narrive 4\n", "strictly increasing"),
+            ("arrivals v1\ndepart 4\n", "expected"),
+        ] {
+            let err = arrival_streams_from_text(text).unwrap_err();
+            assert!(err.contains(want), "{text:?} -> {err}");
+            assert!(err.starts_with("line "), "{err}");
+        }
     }
 }

@@ -2,7 +2,8 @@
 """CI smoke client for `gaps serve`.
 
 Connects to a running daemon, exercises one of every protocol verb
-(PING, REQ, a malformed frame, STATS, DRAIN), asserts the STATS
+(PING, REQ, a malformed frame, STATS, a full SESSION
+begin/arrive/step/end online session, DRAIN), asserts the STATS v2
 counters reflect what was sent, and exits 0 only if the daemon answered
 everything and acknowledged the drain. Usage:
 
@@ -49,21 +50,53 @@ def main() -> None:
     # greps the daemon's stderr for its line) and uptime_s reach 1.
     time.sleep(1.5)
 
-    send("STATS")
-    assert recv() == "STATS v1"
-    rows = {}
-    while True:
-        line = recv()
-        if line == "STATS end":
-            break
-        _, key, value = line.split(" ", 2)
-        rows[key] = value
+    def recv_stats() -> dict:
+        send("STATS")
+        assert recv() == "STATS v2"
+        rows = {}
+        while True:
+            line = recv()
+            if line == "STATS end":
+                return rows
+            _, key, value = line.split(" ", 2)
+            rows[key] = value
+
+    rows = recv_stats()
     assert rows["requests"] == "2", rows
     assert rows["cache_hits"] == "1", rows
     assert rows["cache_misses"] == "1", rows
     assert rows["protocol_errors"] == "1", rows
     assert rows["in_flight"] == "0", rows
+    assert int(rows["pool_workers"]) >= 1, rows
     assert int(rows["uptime_s"]) >= 1, rows
+
+    # One full online session end to end. The replies are pinned byte
+    # for byte: they must match `gaps batch --replay-online` for the
+    # same arrivals.
+    send("SESSION begin timeout 2")
+    assert recv() == "SESSION begun policy=timeout alpha=2"
+    send("SESSION arrive 0")
+    assert recv() == "SESSION t=1 state=awake online=3"
+    send("SESSION arrive 5")
+    assert recv() == "SESSION t=6 state=awake online=8"
+    send("SESSION end")
+    end = recv()
+    assert end == (
+        "SESSION end policy=timeout alpha=2 jobs=2 online=8 offline=6 ratio=1.3333"
+    ), end
+
+    # Out-of-order SESSION verbs are answered, never fatal.
+    send("SESSION arrive 9")
+    err = recv()
+    assert err.startswith("ERR - no SESSION active"), err
+
+    rows = recv_stats()
+    # The SESSION end offline solve is a real engine request.
+    assert rows["requests"] == "3", rows
+    assert rows["protocol_errors"] == "2", rows
+    assert rows["policy.timeout.sessions"] == "1", rows
+    assert rows["policy.timeout.ratio_mean"] == "1.3333", rows
+    assert rows["policy.timeout.ratio_max"] == "1.3333", rows
 
     send("DRAIN")
     assert recv() == "DRAINING"

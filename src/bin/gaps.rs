@@ -4,6 +4,7 @@
 //! gaps info     --input FILE                       inspect an instance
 //! gaps solve    --input FILE [--objective gaps|spans|power] [--alpha N]
 //! gaps batch    --input FILE [--threads N] [--objective O] ...  bulk solving
+//! gaps batch    --input FILE --replay-online POLICY [--alpha N]  replay arrivals
 //! gaps approx   --input FILE --alpha F [--rounds N]   Theorem 3 (multi)
 //! gaps simulate --input FILE --alpha N [--policy P]   run on the simulator
 //! gaps generate --kind K --seed S [--n N] ...         emit an instance
@@ -25,11 +26,19 @@
 //! and the `EngineReport` (cache hit rate, router mix, latencies) goes to
 //! stderr.
 //!
+//! `gaps batch --replay-online POLICY` switches the input format to
+//! `arrivals v1` blocks (`gaps generate --kind arrivals` emits them) and
+//! replays each block as one online session through
+//! `gaps_engine::OnlineTracker` — the identical code path the serve
+//! daemon's `SESSION` verbs drive — printing one
+//! `policy=… ratio=…` summary line per block.
+//!
 //! `gaps serve` runs the same engine loop as a long-lived TCP daemon
 //! (see `gaps_serve::protocol` for the wire format): `REQ <id>
 //! <instance>` frames are answered with `RES <id> <body>` where `<body>`
 //! is byte-identical to the corresponding `gaps batch` result-line tail.
-//! Control frames: `PING`, `STATS`, `DRAIN`. The daemon prints
+//! Control frames: `PING`, `STATS`, `DRAIN`, and the `SESSION
+//! begin/arrive/step/end` online-session family. The daemon prints
 //! `listening on <addr>` to stderr once ready and a final metrics report
 //! when drained (by `DRAIN`, SIGTERM, or SIGINT).
 
@@ -38,7 +47,7 @@ use gap_scheduling::multi_interval::approx_min_power;
 use gap_scheduling::sim::{
     simulate_schedule, Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout,
 };
-use gap_scheduling::workloads::{adversarial, multi_interval, one_interval, serialize};
+use gap_scheduling::workloads::{adversarial, arrivals, multi_interval, one_interval, serialize};
 use gap_scheduling::{brute_force, edf, lower_bounds, multiproc_dp, power_dp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -145,12 +154,14 @@ usage:
                 [--threads N] [--cache-capacity N] [--exact-slots N]
                 [--exact-jobs N] [--multi-exact true|false]
                 [--fallback approx,greedy,bound]
+                [--replay-online timeout|sleep|never]
   gaps approx   --input FILE --alpha F [--rounds N]
   gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
-  gaps generate --kind uniform|feasible|bursty|multi|consultant|online
+  gaps generate --kind uniform|feasible|bursty|multi|consultant|online|arrivals
                 [--seed S] [--n N] [--horizon H] [--slack L] [--processors P]
-  gaps serve    [--listen ADDR] [--threads N] [--queue N] [--max-conns N]
-                [--objective gaps|spans|power] [--alpha N]
+                [--pattern uniform|bursty|heavy] [--max-gap G]
+  gaps serve    [--listen ADDR] [--threads N] [--max-threads N] [--queue N]
+                [--max-conns N] [--objective gaps|spans|power] [--alpha N]
                 [--shed-jobs N] [--shed-depth N] [--report-interval SECS]
                 [--cache-capacity N]
   gaps lint     [--root DIR] [--format text|json] [--rules list]
@@ -358,8 +369,45 @@ fn cmd_batch(args: &Args) -> Result<String, String> {
         },
     };
     let engine = gap_scheduling::engine::Engine::new(config);
+    if let Some(policy) = args.get("replay-online") {
+        return replay_online(&engine, &text, policy, args.parse_or("alpha", 1u64)?);
+    }
     let (out, report) = engine.run_batch_text(&text, objective)?;
     eprintln!("{report}");
+    Ok(out)
+}
+
+/// `gaps batch --replay-online POLICY`: replay `arrivals v1` blocks as
+/// online sessions through the same [`gap_scheduling::engine::OnlineTracker`]
+/// the serve daemon's `SESSION` verbs drive. One summary line per block
+/// goes to stdout, byte-identical to the corresponding live
+/// `SESSION end` reply for the same stream.
+fn replay_online(
+    engine: &gap_scheduling::engine::Engine,
+    text: &str,
+    policy: &str,
+    alpha: u64,
+) -> Result<String, String> {
+    let streams = arrivals::arrival_streams_from_text(text)?;
+    if streams.is_empty() {
+        return Err("no `arrivals v1` block in the input (generate one with \
+             `gaps generate --kind arrivals`)"
+            .to_string());
+    }
+    let mut out = String::new();
+    for stream in &streams {
+        let mut tracker = gap_scheduling::engine::OnlineTracker::new(policy, alpha)?;
+        for &t in stream {
+            tracker.arrive(t)?;
+        }
+        let summary = tracker.finish(engine)?;
+        out.push_str(&summary.line());
+        out.push('\n');
+    }
+    eprintln!(
+        "replayed {} online session(s) under policy {policy} (alpha {alpha})",
+        streams.len()
+    );
     Ok(out)
 }
 
@@ -388,6 +436,9 @@ fn cmd_serve(args: &Args) -> Result<String, String> {
             .unwrap_or(defaults.listen.as_str())
             .to_string(),
         threads: args.parse_or("threads", defaults.threads)?,
+        // `Server::bind` clamps the ceiling up to `threads`, so a bare
+        // `--threads 8` gets a fixed 8-worker pool.
+        max_threads: args.parse_or("max-threads", defaults.max_threads)?,
         queue_capacity: args.parse_or("queue", defaults.queue_capacity)?,
         max_conns: args.parse_or("max-conns", defaults.max_conns)?,
         objective,
@@ -496,6 +547,13 @@ fn cmd_generate(args: &Args) -> Result<String, String> {
             2,
         )),
         "online" => serialize::instance_to_text(&adversarial::online_lower_bound(n)),
+        "arrivals" => {
+            let pattern = arrivals::ArrivalPattern::parse(
+                args.get("pattern").unwrap_or("uniform"),
+                args.parse_or("max-gap", 8u64)?,
+            )?;
+            arrivals::arrivals_to_text(&arrivals::seeded_arrivals(seed, n, &pattern))
+        }
         other => return Err(format!("unknown --kind {other:?}")),
     };
     Ok(out)
@@ -740,6 +798,88 @@ mod tests {
         let text = run_str(&["generate", "--kind", "online", "--n", "4"]).unwrap();
         let inst = serialize::instance_from_text(&text).unwrap();
         assert_eq!(inst.job_count(), 8);
+    }
+
+    #[test]
+    fn generate_arrivals_emits_a_replayable_stream() {
+        let text = run_str(&[
+            "generate",
+            "--kind",
+            "arrivals",
+            "--seed",
+            "9",
+            "--n",
+            "30",
+            "--pattern",
+            "bursty",
+            "--max-gap",
+            "12",
+        ])
+        .unwrap();
+        assert!(text.starts_with("arrivals v1\narrive 0\n"), "{text}");
+        let streams = arrivals::arrival_streams_from_text(&text).unwrap();
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].len(), 30);
+        // Same flags, same stream.
+        let again = run_str(&[
+            "generate",
+            "--kind",
+            "arrivals",
+            "--seed",
+            "9",
+            "--n",
+            "30",
+            "--pattern",
+            "bursty",
+            "--max-gap",
+            "12",
+        ])
+        .unwrap();
+        assert_eq!(text, again);
+        assert!(run_str(&["generate", "--kind", "arrivals", "--pattern", "psychic"]).is_err());
+    }
+
+    #[test]
+    fn replay_online_reports_one_ratio_line_per_block() {
+        let stream =
+            run_str(&["generate", "--kind", "arrivals", "--seed", "5", "--n", "40"]).unwrap();
+        // Two blocks = two sessions.
+        let path = write_temp("replay.txt", &format!("{stream}{stream}"));
+        let out = run_str(&[
+            "batch",
+            "--input",
+            &path,
+            "--replay-online",
+            "timeout",
+            "--alpha",
+            "3",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], lines[1], "identical blocks replay identically");
+        assert!(
+            lines[0].starts_with("policy=timeout alpha=3 jobs=40 online="),
+            "{}",
+            lines[0]
+        );
+        let ratio: f64 = lines[0]
+            .rsplit("ratio=")
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(
+            (1.0..=2.0).contains(&ratio),
+            "timeout is 2-competitive: {}",
+            lines[0]
+        );
+        // Replay validates its own input and policy names.
+        assert!(run_str(&["batch", "--input", &path, "--replay-online", "clairvoyant"]).is_err());
+        let junk = write_temp("replay-junk.txt", "instance v1\nprocessors 1\njob 0 1\n");
+        assert!(run_str(&["batch", "--input", &junk, "--replay-online", "timeout"]).is_err());
+        let empty = write_temp("replay-empty.txt", "# nothing here\n");
+        let err = run_str(&["batch", "--input", &empty, "--replay-online", "timeout"]).unwrap_err();
+        assert!(err.contains("no `arrivals v1` block"), "{err}");
     }
 
     fn lint_str(args: &[&str]) -> Result<(String, bool), String> {

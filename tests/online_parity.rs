@@ -1,0 +1,178 @@
+//! Online-session parity through the real binary: one seeded 500-job
+//! arrival stream, replayed through both front ends —
+//!
+//! * live, over TCP, via the daemon's `SESSION begin/arrive/step/end`
+//!   verbs (at several `--threads` values), and
+//! * offline, via `gaps batch --replay-online`,
+//!
+//! must produce byte-identical `policy=… ratio=…` summary lines,
+//! because both drive the same `gaps_engine::OnlineTracker`. The
+//! realized ratio itself must respect the paper's ski-rental bound:
+//! `Timeout(α)` never pays more than twice the offline optimum.
+
+use gap_scheduling::workloads::arrivals::{arrivals_to_text, seeded_arrivals, ArrivalPattern};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const SEED: u64 = 2007;
+const JOBS: usize = 500;
+const ALPHA: u64 = 4;
+
+/// The shared stream: gaps uniform in 1..=12 around the α=4 threshold,
+/// so the policy sees bridged, break-even, and sleep-worthy gaps.
+fn arrival_stream() -> Vec<i64> {
+    seeded_arrivals(SEED, JOBS, &ArrivalPattern::Uniform { max_gap: 12 })
+}
+
+fn replay_via_batch(text: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gaps"))
+        .args([
+            "batch",
+            "--input",
+            "-",
+            "--replay-online",
+            "timeout",
+            "--alpha",
+            &ALPHA.to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gaps batch --replay-online");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(text.as_bytes())
+        .expect("write stream");
+    let out = child.wait_with_output().expect("replay runs");
+    assert!(
+        out.status.success(),
+        "replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    let mut lines = stdout.lines();
+    let line = lines.next().expect("one summary line").to_string();
+    assert_eq!(lines.next(), None, "exactly one line per arrivals block");
+    line
+}
+
+/// Start `gaps serve` on an ephemeral port; returns the child and the
+/// address parsed from its `listening on …` stderr banner.
+fn spawn_serve(threads: &str) -> (Child, BufReader<std::process::ChildStderr>, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gaps"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--threads",
+            threads,
+            "--max-threads",
+            "8",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gaps serve");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    (child, stderr, addr)
+}
+
+/// Drive the stream through a live `SESSION` and return the summary
+/// tail of the `SESSION end` reply.
+fn replay_via_session(addr: &str, stream: &[i64]) -> String {
+    let conn = TcpStream::connect(addr).expect("connect to daemon");
+    conn.set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    let mut writer = conn.try_clone().expect("clone write half");
+    let mut reader = BufReader::new(conn);
+    let recv = |reader: &mut BufReader<TcpStream>| {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read reply") > 0,
+            "daemon closed the connection"
+        );
+        line.trim_end().to_string()
+    };
+    writer
+        .write_all(format!("SESSION begin timeout {ALPHA}\n").as_bytes())
+        .expect("begin");
+    assert_eq!(
+        recv(&mut reader),
+        format!("SESSION begun policy=timeout alpha={ALPHA}")
+    );
+    // Bursts of 100 arrivals so neither socket buffer has to hold the
+    // whole session at once.
+    for burst in stream.chunks(100) {
+        let mut lines = String::new();
+        for t in burst {
+            lines.push_str(&format!("SESSION arrive {t}\n"));
+        }
+        writer.write_all(lines.as_bytes()).expect("send arrivals");
+        for _ in burst {
+            let line = recv(&mut reader);
+            assert!(line.starts_with("SESSION t="), "{line:?}");
+        }
+    }
+    writer.write_all(b"SESSION end\n").expect("end");
+    let line = recv(&mut reader);
+    let summary = line
+        .strip_prefix("SESSION end ")
+        .unwrap_or_else(|| panic!("unexpected end reply {line:?}"))
+        .to_string();
+    writer.write_all(b"DRAIN\n").expect("drain");
+    assert_eq!(recv(&mut reader), "DRAINING");
+    summary
+}
+
+#[test]
+fn live_sessions_bit_match_replay_online_at_every_thread_count() {
+    let stream = arrival_stream();
+    assert_eq!(stream.len(), JOBS);
+    let reference = replay_via_batch(&arrivals_to_text(&stream));
+    assert!(
+        reference.starts_with(&format!("policy=timeout alpha={ALPHA} jobs={JOBS} online=")),
+        "{reference}"
+    );
+    let ratio: f64 = reference
+        .rsplit("ratio=")
+        .next()
+        .and_then(|v| v.parse().ok())
+        .expect("ratio field parses");
+    assert!(
+        (1.0..=2.0).contains(&ratio),
+        "Timeout(α) must stay within the ski-rental bound: {reference}"
+    );
+
+    for threads in ["1", "2", "8"] {
+        let (mut child, mut stderr, addr) = spawn_serve(threads);
+        let live = replay_via_session(&addr, &stream);
+        assert_eq!(
+            live, reference,
+            "live SESSION diverged from --replay-online (threads {threads})"
+        );
+        let mut rest = String::new();
+        stderr.read_to_string(&mut rest).expect("drain stderr");
+        assert!(
+            rest.contains("serve final:"),
+            "daemon prints its final report: {rest:?}"
+        );
+        let status = child.wait().expect("daemon exits");
+        assert!(
+            status.success(),
+            "clean exit after DRAIN (threads {threads})"
+        );
+    }
+}

@@ -6,15 +6,16 @@
 //! * [`bounded`] / [`unbounded`] constructors returning
 //!   ([`Sender`], [`Receiver`]) pairs;
 //! * `Sender`: [`Sender::send`], [`Sender::try_send`], `Clone`;
-//! * `Receiver`: [`Receiver::recv`], [`Receiver::try_recv`],
-//!   [`Receiver::iter`], [`Receiver::try_iter`], `Clone`, and
-//!   `IntoIterator` for both `Receiver` and `&Receiver`;
-//! * error types [`SendError`], [`RecvError`], [`TryRecvError`],
-//!   [`TrySendError`] with the real crate's disconnect semantics: `send`
-//!   fails once every receiver is gone, `recv` fails once every sender
-//!   is gone *and* the queue has drained, `try_send` distinguishes a
-//!   full queue ([`TrySendError::Full`]) from a dead one
-//!   ([`TrySendError::Disconnected`]).
+//! * `Receiver`: [`Receiver::recv`], [`Receiver::recv_timeout`],
+//!   [`Receiver::try_recv`], [`Receiver::iter`], [`Receiver::try_iter`],
+//!   `Clone`, and `IntoIterator` for both `Receiver` and `&Receiver`;
+//! * error types [`SendError`], [`RecvError`], [`RecvTimeoutError`],
+//!   [`TryRecvError`], [`TrySendError`] with the real crate's disconnect
+//!   semantics: `send` fails once every receiver is gone, `recv` fails
+//!   once every sender is gone *and* the queue has drained, `try_send`
+//!   distinguishes a full queue ([`TrySendError::Full`]) from a dead one
+//!   ([`TrySendError::Disconnected`]), `recv_timeout` distinguishes a
+//!   deadline miss ([`RecvTimeoutError::Timeout`]) from disconnection.
 //!
 //! Known deviation: `bounded(0)` (crossbeam's rendezvous channel) is not
 //! supported and panics; the workspace only uses positive capacities.
@@ -27,6 +28,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Under `--features sanitize`, panic if the calling thread performs a
 /// blocking channel operation while holding any instrumented
@@ -127,6 +129,28 @@ impl<T> fmt::Display for TrySendError<T> {
 }
 
 impl<T> std::error::Error for TrySendError<T> {}
+
+/// Outcome of a receive attempt with a deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with nothing queued; senders remain.
+    Timeout,
+    /// Nothing queued and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive operation"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 /// Outcome of a non-blocking receive attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -315,6 +339,37 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             st = self.shared.wait(&self.shared.not_empty, st);
+        }
+    }
+
+    /// Block until a message arrives, every sender disconnects, or
+    /// `timeout` elapses — whichever comes first. The real crate's
+    /// deadline semantics: a message already queued is returned even at
+    /// a zero timeout, and disconnection wins over the deadline.
+    #[cfg_attr(feature = "sanitize", track_caller)]
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        sanitize_check_unlocked("recv_timeout");
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            st = match self.shared.not_empty.wait_timeout(st, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
         }
     }
 
@@ -550,6 +605,33 @@ mod tests {
         let err = tx.try_send(4).unwrap_err();
         assert!(!err.is_full(), "{err:?}");
         assert_eq!(err.into_inner(), 4);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_disconnected_or_times_out() {
+        let (tx, rx) = unbounded();
+        tx.send(11).unwrap();
+        // Queued message wins even at a zero deadline.
+        assert_eq!(rx.recv_timeout(Duration::ZERO), Ok(11));
+        // Empty queue with live senders: the deadline fires.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        // A message arriving mid-wait is delivered before the deadline.
+        crate::scope(|s| {
+            s.spawn(|_| {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(12).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(60)), Ok(12));
+        })
+        .expect("threads join");
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(60)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
