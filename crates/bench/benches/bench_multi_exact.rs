@@ -10,7 +10,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gaps_core::instance::MultiInstance;
+use gaps_core::multi_exact::MultiObjective;
 use gaps_core::{brute_force, multi_exact};
+use gaps_engine::parallel::solve_multi_parallel;
 use gaps_workloads::multi_interval;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,12 +53,66 @@ fn bench_multi_exact(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR-10 lever (a): dead-zone decomposition. Clustered instances whose
+/// uncrossed zones peel into independent searches; the decomposed
+/// production path vs a monolithic search over the identical instance.
+fn bench_decomposable(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xDEC0B);
+    let mut group = c.benchmark_group("multi_exact_decomposable");
+    for (label, inst) in [
+        ("c3n18", multi_interval::clustered(&mut rng, 3, 6, 8, 2, 5)),
+        ("c4n24", multi_interval::clustered(&mut rng, 4, 6, 8, 2, 5)),
+    ] {
+        let (dec, stats) = multi_exact::solve_multi_stats(&inst, MultiObjective::Gaps);
+        assert!(stats.component_jobs.len() >= 3, "{label} failed to peel");
+        assert_eq!(
+            dec.as_ref().map(|(v, _)| *v),
+            multi_exact::solve_multi_undecomposed(&inst, MultiObjective::Gaps).map(|(v, _)| v),
+            "optima diverged on {label}"
+        );
+        group.bench_with_input(BenchmarkId::new("decomposed", label), &inst, |b, inst| {
+            b.iter(|| multi_exact::solve_multi_stats(inst, MultiObjective::Gaps))
+        });
+        group.bench_with_input(BenchmarkId::new("undecomposed", label), &inst, |b, inst| {
+            b.iter(|| multi_exact::solve_multi_undecomposed(inst, MultiObjective::Gaps))
+        });
+    }
+    group.finish();
+}
+
+/// PR-10 lever (b): the shared-incumbent parallel branch-and-bound on
+/// coupled cores decomposition cannot split — every iteration re-checks
+/// the bit-identical-optimum contract between worker counts.
+fn bench_coupled_core(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xC09EB);
+    let mut group = c.benchmark_group("multi_exact_coupled");
+    for (label, inst) in [
+        ("n18", multi_interval::banded(&mut rng, 18, 3, 8, 2)),
+        ("n20", multi_interval::banded(&mut rng, 20, 3, 8, 2)),
+    ] {
+        let (reference, _) = solve_multi_parallel(&inst, MultiObjective::Gaps, 1);
+        for threads in [1usize, 2, 8] {
+            let (res, _) = solve_multi_parallel(&inst, MultiObjective::Gaps, threads);
+            assert_eq!(
+                res, reference,
+                "optimum diverged at {threads} workers on {label}"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), label),
+                &inst,
+                |b, inst| b.iter(|| solve_multi_parallel(inst, MultiObjective::Gaps, threads)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_millis(300));
-    targets = bench_multi_exact
+    targets = bench_multi_exact, bench_decomposable, bench_coupled_core
 }
 criterion_main!(benches);

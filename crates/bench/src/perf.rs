@@ -125,6 +125,31 @@ pub fn multi_batch(count: usize) -> Vec<BatchInstance> {
         .collect()
 }
 
+/// Coupled-core family: banded instances whose `extra` slots are drawn
+/// across bands, so the width-3 inter-band zones are (almost always)
+/// crossed and decomposition cannot split the search. At 18 jobs each
+/// instance clears the router's parallel threshold (17), making this the
+/// workload behind `multi_exact_parallel_speedup`: the whole win must
+/// come from the shared-incumbent subtree fan-out, not from peeling.
+pub fn coupled_batch(count: usize) -> Vec<BatchInstance> {
+    let mut rng = StdRng::seed_from_u64(0xC09E);
+    (0..count)
+        .map(|_| BatchInstance::Multi(multi_interval::banded(&mut rng, 18, 3, 8, 2)))
+        .collect()
+}
+
+/// Decomposable family: four 6-job clusters separated by uncrossed dead
+/// zones. The dead-zone decomposition peels each instance into (at
+/// least) four independent searches; `decomposition_speedup` compares
+/// the production decomposed path against a monolithic search over the
+/// same instances.
+pub fn decomposable_batch(count: usize) -> Vec<BatchInstance> {
+    let mut rng = StdRng::seed_from_u64(0xDEC0);
+    (0..count)
+        .map(|_| BatchInstance::Multi(multi_interval::clustered(&mut rng, 4, 6, 8, 2, 5)))
+        .collect()
+}
+
 fn median_wall(samples: usize, mut run: impl FnMut()) -> Duration {
     let mut timings: Vec<Duration> = (0..samples.max(1))
         .map(|_| {
@@ -221,6 +246,77 @@ pub fn engine_trajectory(instances: usize, samples: usize) -> PerfSuite {
         });
     }
 
+    // PR-10 levers, measured solver-side (no engine cache in the way).
+    // (a) Decomposition: the production decomposed path vs a monolithic
+    // search over the same clustered instances.
+    use gaps_core::multi_exact::{self, MultiObjective};
+    let decomposable: Vec<_> = decomposable_batch((instances / 10).max(10))
+        .into_iter()
+        .filter_map(|b| match b {
+            BatchInstance::Multi(m) => Some(m),
+            BatchInstance::One(_) => None,
+        })
+        .collect();
+    let dec = median_wall(samples, || {
+        for inst in &decomposable {
+            let (res, stats) = multi_exact::solve_multi_stats(inst, MultiObjective::Gaps);
+            assert!(res.is_some() && stats.component_jobs.len() >= 4);
+        }
+    });
+    let undec = median_wall(samples, || {
+        for inst in &decomposable {
+            assert!(multi_exact::solve_multi_undecomposed(inst, MultiObjective::Gaps).is_some());
+        }
+    });
+    suite.results.push(PerfResult {
+        name: "multi_decomposed/clustered".to_string(),
+        median_ns: dec.as_nanos(),
+        samples,
+    });
+    suite.results.push(PerfResult {
+        name: "multi_undecomposed/clustered".to_string(),
+        median_ns: undec.as_nanos(),
+        samples,
+    });
+
+    // (b) Parallel branch-and-bound: the shared-incumbent subtree
+    // fan-out at 8 workers vs 1 on coupled cores decomposition cannot
+    // split. Optima and witness schedules must be bit-identical — a
+    // nondeterministic speedup would be worthless.
+    let coupled: Vec<_> = coupled_batch((instances / 10).max(10))
+        .into_iter()
+        .filter_map(|b| match b {
+            BatchInstance::Multi(m) => Some(m),
+            BatchInstance::One(_) => None,
+        })
+        .collect();
+    let reference: Vec<_> = coupled
+        .iter()
+        .map(|inst| gaps_engine::parallel::solve_multi_parallel(inst, MultiObjective::Gaps, 1).0)
+        .collect();
+    let mut parallel_medians = Vec::new();
+    for threads in [1usize, 8] {
+        let median = median_wall(samples, || {
+            for (inst, expect) in coupled.iter().zip(&reference) {
+                let (res, _) = gaps_engine::parallel::solve_multi_parallel(
+                    inst,
+                    MultiObjective::Gaps,
+                    threads,
+                );
+                assert_eq!(
+                    &res, expect,
+                    "parallel optimum diverged at {threads} workers"
+                );
+            }
+        });
+        parallel_medians.push(median);
+        suite.results.push(PerfResult {
+            name: format!("multi_parallel/threads={threads}"),
+            median_ns: median.as_nanos(),
+            samples,
+        });
+    }
+
     let cold1 = cold_medians[0].1.as_secs_f64();
     for &(threads, median) in &cold_medians[1..] {
         suite.derived.push((
@@ -238,6 +334,14 @@ pub fn engine_trajectory(instances: usize, samples: usize) -> PerfSuite {
     suite.derived.push((
         "multi_exact_speedup_over_brute_force".to_string(),
         exact_medians[1].as_secs_f64() / exact_medians[0].as_secs_f64().max(f64::EPSILON),
+    ));
+    suite.derived.push((
+        "decomposition_speedup".to_string(),
+        undec.as_secs_f64() / dec.as_secs_f64().max(f64::EPSILON),
+    ));
+    suite.derived.push((
+        "multi_exact_parallel_speedup".to_string(),
+        parallel_medians[0].as_secs_f64() / parallel_medians[1].as_secs_f64().max(f64::EPSILON),
     ));
     suite
 }
@@ -259,12 +363,14 @@ mod tests {
     fn trajectory_produces_benchmarks_and_derived_metrics() {
         let suite = engine_trajectory(20, 1);
         assert_eq!(suite.suite, "engine");
-        assert_eq!(suite.results.len(), 6);
+        assert_eq!(suite.results.len(), 10);
         assert!(suite.results.iter().all(|r| r.median_ns > 0));
         let names: Vec<&str> = suite.derived.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"warm_hit_rate"));
         assert!(names.contains(&"speedup_threads4_over_threads1"));
         assert!(names.contains(&"multi_exact_speedup_over_brute_force"));
+        assert!(names.contains(&"decomposition_speedup"));
+        assert!(names.contains(&"multi_exact_parallel_speedup"));
         let hit_rate = suite
             .derived
             .iter()

@@ -53,6 +53,14 @@ impl Hasher for FastHasher {
     }
 
     #[inline]
+    fn write_u128(&mut self, v: u128) {
+        // Two-word keys (the multi-exact memo packs `(slot, 64-job mask)`
+        // into a `u128`) skip the byte-chunking fallback.
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
     fn write_usize(&mut self, v: usize) {
         self.mix(v as u64);
     }

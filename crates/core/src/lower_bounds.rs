@@ -35,13 +35,68 @@ pub fn min_spans_lower_bound(inst: &MultiInstance) -> u64 {
     let longest = runs.iter().map(|r| r.len()).max().unwrap_or(1);
     let by_capacity = n.div_ceil(longest);
 
+    let by_skeleton = skeleton_spans_lower_bound(inst);
     if runs.len() > 20 {
-        return by_capacity;
+        return by_capacity.max(by_skeleton);
     }
     match min_hosting_runs(inst, &runs) {
-        Some(k) => by_capacity.max(k),
+        Some(k) => by_capacity.max(k).max(by_skeleton),
         None => by_capacity, // infeasible instance: any bound is vacuous
     }
+}
+
+/// Skeleton lower bound on the minimum number of **spans**, after
+/// Antoniadis–Kumar–Kumar's *skeleton* structure: jobs with a single
+/// allowed slot are **mandatory** — every schedule occupies their slot —
+/// so the sorted mandatory times form a fixed backbone. Two consecutive
+/// mandatory times `t < t'` with `d = t' − t − 1 > 0` intermediate slots
+/// can share a span only if the span covers all of `(t, t')`, which
+/// requires every intermediate time to be an allowed slot of the union
+/// *and* at least `d` distinct other jobs with an allowed slot strictly
+/// inside `(t, t')` (each busy slot of a valid schedule hosts a job).
+/// When either fails, a span break between `t` and `t'` is forced; the
+/// bound is `forced breaks + 1`. Returns 0 when no job is mandatory (the
+/// skeleton is empty and says nothing).
+///
+/// This is incomparable to the hosting-runs bound: it sees breaks
+/// *inside* one run (too few jobs to pave the backbone) that run
+/// structure alone cannot, which is exactly the regime the
+/// [`crate::multi_exact`] branch-and-bound hits after decomposition.
+pub fn skeleton_spans_lower_bound(inst: &MultiInstance) -> u64 {
+    let mut mandatory: Vec<i64> = inst
+        .jobs()
+        .iter()
+        .filter(|j| j.times().len() == 1)
+        .map(|j| j.times()[0])
+        .collect();
+    if mandatory.is_empty() {
+        return 0;
+    }
+    mandatory.sort_unstable();
+    mandatory.dedup();
+    let slots = inst.slot_union();
+    let mut breaks = 0u64;
+    for w in mandatory.windows(2) {
+        let (t, next) = (w[0], w[1]);
+        let d = (next - t - 1) as u64;
+        if d == 0 {
+            continue;
+        }
+        // Same span ⇒ all of (t, t') is busy ⇒ every intermediate time is
+        // an allowed slot…
+        let all_allowed = (t + 1..next).all(|u| slots.binary_search(&u).is_ok());
+        // …and d distinct jobs fill them (mandatory jobs at t/t' cannot:
+        // their only slot is outside the open interval).
+        let fillers = inst
+            .jobs()
+            .iter()
+            .filter(|j| j.times().iter().any(|&u| u > t && u < next))
+            .count() as u64;
+        if !all_allowed || fillers < d {
+            breaks += 1;
+        }
+    }
+    breaks + 1
 }
 
 /// Lower bound on the minimum number of **gaps** (spans − 1 convention).
@@ -299,6 +354,53 @@ mod tests {
             assert!(
                 setcover_spans_relaxation(&inst) <= opt_spans,
                 "seed {seed}: set-cover relaxation unsound"
+            );
+        }
+    }
+
+    #[test]
+    fn skeleton_bound_sees_breaks_inside_a_single_run() {
+        // One contiguous run 0..=4; mandatory jobs at 0 and 4 with only
+        // one flexible job between them: the 3 intermediate slots cannot
+        // all be busy, so the backbone must break. Hosting-runs says 1.
+        let inst = MultiInstance::from_times([vec![0], vec![4], vec![1, 2, 3]]).unwrap();
+        assert_eq!(skeleton_spans_lower_bound(&inst), 2);
+        assert_eq!(min_spans_lower_bound(&inst), 2);
+        let (opt, _) = min_spans_multi(&inst).unwrap();
+        assert_eq!(opt, 2);
+    }
+
+    #[test]
+    fn skeleton_bound_accepts_paveable_backbones() {
+        // Mandatory at 0 and 3 with two flexible fillers covering 1, 2:
+        // one span is genuinely possible; the skeleton must not break.
+        let inst = MultiInstance::from_times([vec![0], vec![3], vec![1, 2], vec![1, 2]]).unwrap();
+        assert_eq!(skeleton_spans_lower_bound(&inst), 1);
+        let (opt, _) = min_spans_multi(&inst).unwrap();
+        assert_eq!(opt, 1);
+    }
+
+    #[test]
+    fn skeleton_bound_is_sound_randomized() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
+            // Bias toward singleton jobs so the skeleton is non-trivial.
+            let jobs: Vec<Vec<i64>> = (0..rng.gen_range(1..=6))
+                .map(|_| {
+                    (0..rng.gen_range(1..=2))
+                        .map(|_| rng.gen_range(0..12))
+                        .collect()
+                })
+                .collect();
+            let inst = MultiInstance::from_times(jobs).unwrap();
+            let Some((opt_spans, _)) = min_spans_multi(&inst) else {
+                continue;
+            };
+            assert!(
+                skeleton_spans_lower_bound(&inst) <= opt_spans,
+                "seed {seed}: skeleton bound unsound"
             );
         }
     }

@@ -15,17 +15,27 @@
 //!   zone of any width contributes only its capped cost `min(width, α)`
 //!   through the distance — the same argument `crate::compress` proves
 //!   for the compression bijections, applied implicitly.
-//! * **Left-to-right branch and bound.** Occupied slots are chosen in
-//!   increasing time order, branching on *(next occupied slot, job placed
-//!   there)*. Objective costs accrue incrementally per consecutive pair
-//!   (`+1` span when a hole opens; `min(hole, α)` for power), so there is
-//!   no per-leaf cost evaluation, and distinct slots are guaranteed by
-//!   construction — no occupancy bitmask over slots.
+//! * **Connected-component decomposition.** Before any search opens, the
+//!   timeline is cut at dead zones that no job's allowed window crosses
+//!   (and, under power, that are at least `α` wide — see
+//!   [`Cost::min_zone`]). No span of any schedule crosses such a zone and
+//!   the crossing pair cost equals the split-off side's own
+//!   first-placement cost, so the components solve independently and
+//!   their optima **add** exactly. Exponential cost is paid only by the
+//!   coupled core, never by the instance's full job count.
+//! * **Left-to-right branch and bound.** Within a component, occupied
+//!   slots are chosen in increasing time order, branching on *(next
+//!   occupied slot, job placed there)*. Objective costs accrue
+//!   incrementally per consecutive pair (`+1` span when a hole opens;
+//!   `min(hole, α)` for power), so there is no per-leaf cost evaluation,
+//!   and distinct slots are guaranteed by construction — no occupancy
+//!   bitmask over slots.
 //! * **Memoization keyed by [`crate::fasthash`].** The suffix value
 //!   depends only on *(last occupied slot, set of placed jobs)*, packed
-//!   into one `u64` key. That flips `brute_force`'s
-//!   `jobs × 2^slots` state space to `slots × 2^jobs` — exponential in
-//!   the (small, router-capped) job count instead of the slot count.
+//!   into one `u128` key (16-bit slot, 64-bit job mask). That flips
+//!   `brute_force`'s `jobs × 2^slots` state space to `slots × 2^jobs` —
+//!   exponential in the (component-local, router-capped) job count
+//!   instead of the slot count.
 //! * **Dominance pruning between interchangeable jobs.** Jobs with
 //!   identical allowed-interval sets are interchangeable; branching
 //!   places them in canonical index order, collapsing the `c!`
@@ -33,13 +43,32 @@
 //! * **Admissible lower bounds for early cutoff.** Feasibility is decided
 //!   up front by matching (no tree exhaustion on infeasible instances);
 //!   a Lemma 3 completion supplies an upper bound, and when the best of
-//!   [`crate::lower_bounds`] and the set-cover greedy relaxation
+//!   [`crate::lower_bounds`] (including the skeleton bound
+//!   [`crate::lower_bounds::skeleton_spans_lower_bound`]) and the
+//!   set-cover greedy relaxation
 //!   ([`crate::lower_bounds::setcover_spans_relaxation`]) meets it, the
 //!   search is skipped entirely. Inside the search, branches iterate in
 //!   non-decreasing pair-cost order and cut off against the incumbent of
 //!   their own state plus an admissible suffix bound (remaining busy
 //!   cost) — exact, because a skipped branch provably cannot improve the
 //!   state's minimum.
+//!
+//! # Parallelism
+//!
+//! The module spawns no threads (the analyzer pins thread creation to
+//! the engine's worker pool). Instead [`ParallelPlan`] exposes the
+//! search as data: the decomposition, each component's **root frontier**
+//! (the canonical first-placement branches), and a shared [`AtomicU64`]
+//! incumbent per component. An external driver — `gaps_engine`'s
+//! work-stealing pool — runs [`ParallelPlan::run_task`] on each
+//! [`SubtreeTask`] in any order on any thread and folds the outcomes
+//! with [`ParallelPlan::finish`]. The result is bit-identical to the
+//! sequential solver for every thread count: each non-skipped subtree
+//! reports its *exact* optimum, root-level skipping is strict
+//! (`bound > incumbent`), so every subtree attaining the component
+//! optimum always reports it, and the winner is the first such root in
+//! canonical order — precisely the branch sequential reconstruction
+//! takes.
 
 use crate::fasthash::FastMap;
 use crate::instance::MultiInstance;
@@ -48,32 +77,172 @@ use crate::multi_interval::complete_schedule;
 use crate::power::power_cost_single;
 use crate::schedule::MultiSchedule;
 use crate::time::Time;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const INF: u64 = u64::MAX;
 
-/// Hard cap on jobs (placed-job sets are packed into a `u32` mask).
-const MAX_JOBS: usize = 32;
+/// Hard cap on jobs: placed-job sets are packed into a `u64` mask, and
+/// the router caps multi-exact routing at exactly this job count.
+const MAX_JOBS: usize = 64;
 /// Hard cap on distinct slots (slot indices are packed into `u16`).
 const MAX_SLOTS: usize = 4096;
+
+// The branching masks and the memo key layout both encode "one bit per
+// job in a u64"; widening MAX_JOBS past the mask width would silently
+// truncate placed-job sets.
+const _: () = assert!(
+    MAX_JOBS <= u64::BITS as usize,
+    "MAX_JOBS must fit the u64 placed-job mask"
+);
+
+/// The objective a multi-interval solve minimizes — the public selector
+/// for the decomposed/parallel entry points ([`solve_multi_stats`],
+/// [`ParallelPlan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultiObjective {
+    /// Idle periods (spans − 1, Theorem 6's convention).
+    Gaps,
+    /// Wake-ups (Section 5's "gaps" = spans convention).
+    Spans,
+    /// Busy slots + `alpha` per wake-up, holes capped at `alpha`.
+    Power {
+        /// Transition (wake-up) cost.
+        alpha: u64,
+    },
+}
+
+impl MultiObjective {
+    fn cost(self) -> Cost {
+        match self {
+            // Gaps reuse the span minimizer: gaps = spans − 1.
+            MultiObjective::Gaps | MultiObjective::Spans => Cost::Spans,
+            MultiObjective::Power { alpha } => Cost::Power { alpha },
+        }
+    }
+
+    fn finalize(self, spans_or_power: u64) -> u64 {
+        match self {
+            MultiObjective::Gaps => spans_or_power.saturating_sub(1),
+            _ => spans_or_power,
+        }
+    }
+}
+
+/// Counters describing one solve's search effort — the observability
+/// feed for `STATS v3` (`search.*` rows) and `EngineReport`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Branch-and-bound states expanded (memo misses).
+    pub nodes_expanded: u64,
+    /// Job count of each decomposed component, left to right.
+    pub component_jobs: Vec<usize>,
+    /// Root-frontier subtree tasks enumerated (0 on the sequential path).
+    pub subtree_tasks: u64,
+    /// Subtree tasks executed by a worker other than the first — filled
+    /// in by the engine driver; always 0 from the core solver.
+    pub subtree_steals: u64,
+    /// Times a shared incumbent bound was tightened (parallel path).
+    pub incumbent_updates: u64,
+}
+
+impl SearchStats {
+    fn note_components(&mut self, comps: &[Vec<usize>]) {
+        self.component_jobs = comps.iter().map(Vec::len).collect();
+    }
+}
 
 /// Minimum-gap schedule of a multi-interval instance, or `None` if
 /// infeasible. Gaps are counted as spans − 1 (Theorem 6's convention),
 /// so the span minimizer is the gap minimizer.
 pub fn min_gaps_multi(inst: &MultiInstance) -> Option<(u64, MultiSchedule)> {
-    let (spans, sched) = min_spans_multi(inst)?;
-    Some((spans.saturating_sub(1), sched))
+    solve_multi_stats(inst, MultiObjective::Gaps).0
 }
 
 /// Minimum number of spans (Section 5 convention: "gaps" = spans), or
 /// `None` if infeasible.
 pub fn min_spans_multi(inst: &MultiInstance) -> Option<(u64, MultiSchedule)> {
-    solve(inst, Cost::Spans)
+    solve_multi_stats(inst, MultiObjective::Spans).0
 }
 
 /// Minimum-power schedule under transition cost `alpha` (Theorem 3's
 /// problem, solved exactly), or `None` if infeasible.
 pub fn min_power_multi(inst: &MultiInstance, alpha: u64) -> Option<(u64, MultiSchedule)> {
-    solve(inst, Cost::Power { alpha })
+    solve_multi_stats(inst, MultiObjective::Power { alpha }).0
+}
+
+/// Decomposed sequential solve with search statistics: cut the timeline
+/// into independent components, solve each with the branch-and-bound,
+/// and add the optima (spans and power both add across qualifying dead
+/// zones; gaps are finalized as spans − 1).
+pub fn solve_multi_stats(
+    inst: &MultiInstance,
+    objective: MultiObjective,
+) -> (Option<(u64, MultiSchedule)>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let cost = objective.cost();
+    let n = inst.job_count();
+    if n == 0 {
+        return (
+            Some((objective.finalize(0), MultiSchedule::new(vec![]))),
+            stats,
+        );
+    }
+    check_caps(inst);
+    let comps = decompose_jobs(inst, cost.min_zone());
+    stats.note_components(&comps);
+    if comps.len() == 1 {
+        let solved = solve_component(inst, cost, &mut stats)
+            .map(|(v, sched)| (objective.finalize(v), sched));
+        return (solved, stats);
+    }
+    let mut times = vec![0; n];
+    let mut total = 0u64;
+    for jobs in &comps {
+        let sub = sub_instance(inst, jobs);
+        let Some((value, sched)) = solve_component(&sub, cost, &mut stats) else {
+            // One infeasible component makes the whole instance
+            // infeasible (the matching decomposes along the same cuts).
+            return (None, stats);
+        };
+        total += value;
+        for (local, &j) in jobs.iter().enumerate() {
+            times[j] = sched.times()[local];
+        }
+    }
+    (
+        Some((objective.finalize(total), MultiSchedule::new(times))),
+        stats,
+    )
+}
+
+/// The pre-decomposition solver: one branch-and-bound over the whole
+/// instance. Kept public as the **differential reference** that pins the
+/// decomposition's exactness (`tests/solver_differential.rs` asserts
+/// equal optima against [`solve_multi_stats`] and `brute_force`).
+pub fn solve_multi_undecomposed(
+    inst: &MultiInstance,
+    objective: MultiObjective,
+) -> Option<(u64, MultiSchedule)> {
+    let cost = objective.cost();
+    if inst.job_count() == 0 {
+        return Some((objective.finalize(0), MultiSchedule::new(vec![])));
+    }
+    check_caps(inst);
+    let mut stats = SearchStats::default();
+    solve_component(inst, cost, &mut stats).map(|(v, sched)| (objective.finalize(v), sched))
+}
+
+fn check_caps(inst: &MultiInstance) {
+    let n = inst.job_count();
+    assert!(
+        n <= MAX_JOBS,
+        "multi_exact supports at most {MAX_JOBS} jobs, got {n}"
+    );
+    let slots = inst.slot_union().len();
+    assert!(
+        slots <= MAX_SLOTS,
+        "multi_exact supports at most {MAX_SLOTS} distinct slots, got {slots}"
+    );
 }
 
 /// The objective being minimized. Gaps reuse the span minimizer.
@@ -111,6 +280,21 @@ impl Cost {
         }
     }
 
+    /// Minimum dead-zone width at which the timeline may be cut exactly.
+    ///
+    /// Spans: any dead zone (width ≥ 1) — no span crosses it, and the
+    /// crossing pair cost (1) equals the right side's first-placement
+    /// cost. Power: the crossing pair costs `1 + min(hole, α)`; with
+    /// `hole ≥ width ≥ α` that is `1 + α`, exactly the split-off side's
+    /// own wake-up, so cuts are exact only at zones of width ≥ `α`.
+    #[inline]
+    fn min_zone(self) -> u64 {
+        match self {
+            Cost::Spans => 1,
+            Cost::Power { alpha } => alpha.max(1),
+        }
+    }
+
     fn of_schedule(self, sched: &MultiSchedule) -> u64 {
         match self {
             Cost::Spans => sched.span_count(),
@@ -127,22 +311,67 @@ impl Cost {
     }
 }
 
-fn solve(inst: &MultiInstance, cost: Cost) -> Option<(u64, MultiSchedule)> {
-    let n = inst.job_count();
-    if n == 0 {
-        return Some((0, MultiSchedule::new(vec![])));
-    }
-    assert!(
-        n <= MAX_JOBS,
-        "multi_exact supports at most {MAX_JOBS} jobs, got {n}"
-    );
+/// Cut the instance at dead zones of width ≥ `min_zone` that no job's
+/// allowed window crosses; returns original job indices grouped per
+/// component, left to right (each job's relative order preserved).
+fn decompose_jobs(inst: &MultiInstance, min_zone: u64) -> Vec<Vec<usize>> {
     let slots = inst.slot_union();
-    assert!(
-        slots.len() <= MAX_SLOTS,
-        "multi_exact supports at most {MAX_SLOTS} distinct slots, got {}",
-        slots.len()
-    );
+    let n = inst.job_count();
+    if slots.is_empty() {
+        return Vec::new();
+    }
+    // Job windows [first, last allowed time]; every valid job has ≥ 1
+    // slot, so first/last exist.
+    let mut firsts: Vec<(Time, usize)> = (0..n).map(|j| (inst.jobs()[j].times()[0], j)).collect();
+    firsts.sort_unstable();
+    // Sweep the union left to right. A cut between consecutive union
+    // slots is valid iff the zone is wide enough AND no started job's
+    // window reaches past it.
+    let mut cuts: Vec<Time> = Vec::new(); // cut = last slot time before the zone
+    let mut started = 0usize;
+    let mut reach = Time::MIN; // max last-allowed-time over started jobs
+    for w in slots.windows(2) {
+        let (here, next) = (w[0], w[1]);
+        while started < n && firsts[started].0 <= here {
+            let job = firsts[started].1;
+            // analyzer: allow(panic-free): every valid MultiJob has ≥ 1 slot
+            let last = *inst.jobs()[job].times().last().expect("job has slots");
+            reach = reach.max(last);
+            started += 1;
+        }
+        let width = (next - here - 1) as u64;
+        if width >= min_zone && reach <= here {
+            cuts.push(here);
+        }
+    }
+    let mut comps: Vec<Vec<usize>> = vec![Vec::new(); cuts.len() + 1];
+    for j in 0..n {
+        let first = inst.jobs()[j].times()[0];
+        // Segment = number of cuts strictly left of the job's window.
+        let seg = cuts.partition_point(|&c| c < first);
+        comps[seg].push(j);
+    }
+    // Every segment holds ≥ 1 job (each union slot belongs to some job
+    // that lies entirely within its segment), but keep this robust.
+    comps.retain(|c| !c.is_empty());
+    comps
+}
 
+/// Sub-instance over the given original job indices.
+fn sub_instance(inst: &MultiInstance, jobs: &[usize]) -> MultiInstance {
+    let times = jobs.iter().map(|&j| inst.jobs()[j].times().to_vec());
+    // analyzer: allow(panic-free): sub-jobs of a valid instance each keep ≥ 1 slot
+    MultiInstance::from_times(times).expect("component jobs are valid")
+}
+
+/// Solve one (already connected) component: matching feasibility, early
+/// lower-bound cutoff, then the memoized branch-and-bound.
+fn solve_component(
+    inst: &MultiInstance,
+    cost: Cost,
+    stats: &mut SearchStats,
+) -> Option<(u64, MultiSchedule)> {
+    let n = inst.job_count();
     // Exact feasibility + upper bound in one matching pass (Lemma 3).
     let greedy = complete_schedule(inst, &vec![None; n])?;
     let upper = cost.of_schedule(&greedy);
@@ -152,10 +381,12 @@ fn solve(inst: &MultiInstance, cost: Cost) -> Option<(u64, MultiSchedule)> {
         return Some((upper, greedy));
     }
 
+    let slots = inst.slot_union();
     let mut solver = Solver::new(inst, &slots, cost);
     let best = solver.suffix(None, 0);
     assert_ne!(best, INF, "matching said feasible, search must agree");
     let times = solver.reconstruct(best);
+    stats.nodes_expanded += solver.nodes;
     let sched = MultiSchedule::new(times);
     debug_assert_eq!(sched.verify(inst), Ok(()));
     debug_assert_eq!(cost.of_schedule(&sched), best);
@@ -174,8 +405,10 @@ struct Solver {
     /// For each job, the previous job with the identical allowed set
     /// (duplicate-class chain used by the dominance pruning).
     twin_before: Vec<Option<u8>>,
-    /// Suffix-value memo: `(last slot + 1) << 32 | placed mask` → value.
-    memo: FastMap<u64, u64>,
+    /// Suffix-value memo: `(last slot + 1) << 64 | placed mask` → value.
+    memo: FastMap<u128, u64>,
+    /// Branch-and-bound states expanded (memo misses).
+    nodes: u64,
     /// Re-entrancy guard for the debug-build memo audit: while a hit is
     /// being re-derived, nested hits must return without re-verifying or
     /// the recomputation becomes exponential again.
@@ -213,6 +446,7 @@ impl Solver {
             max_slot,
             twin_before,
             memo: FastMap::with_capacity_and_hasher(1 << 10, Default::default()),
+            nodes: 0,
             #[cfg(debug_assertions)]
             verifying: false,
         }
@@ -223,7 +457,7 @@ impl Solver {
     /// exact recomputed one — a stale or clobbered entry would silently
     /// corrupt the optimum and every reconstruction step that follows it.
     #[cfg(debug_assertions)]
-    fn audit_memo_hit(&mut self, last: Option<u16>, mask: u32, cached: u64) {
+    fn audit_memo_hit(&mut self, last: Option<u16>, mask: u64, cached: u64) {
         if self.verifying {
             return;
         }
@@ -237,32 +471,32 @@ impl Solver {
     }
 
     #[inline]
-    fn full(&self) -> u32 {
-        if self.n == 32 {
-            u32::MAX
+    fn full(&self) -> u64 {
+        if self.n == MAX_JOBS {
+            u64::MAX
         } else {
-            (1u32 << self.n) - 1
+            (1u64 << self.n) - 1
         }
     }
 
     /// A job may be branched on only if every unplaced twin with a
     /// smaller index is gone — interchangeable jobs go in index order.
     #[inline]
-    fn canonical(&self, job: u8, mask: u32) -> bool {
+    fn canonical(&self, job: u8, mask: u64) -> bool {
         match self.twin_before[job as usize] {
             None => true,
-            Some(prev) => mask & (1 << prev) != 0,
+            Some(prev) => mask & (1u64 << prev) != 0,
         }
     }
 
     /// Exact minimum cost of placing every job not in `mask` at slots
     /// strictly after `last`, including the pair cost back to `last`.
     /// `INF` iff no completion exists.
-    fn suffix(&mut self, last: Option<u16>, mask: u32) -> u64 {
+    fn suffix(&mut self, last: Option<u16>, mask: u64) -> u64 {
         if mask == self.full() {
             return 0;
         }
-        let key = (last.map_or(0, |i| i as u64 + 1)) << 32 | mask as u64;
+        let key = (last.map_or(0, |i| i as u128 + 1)) << 64 | mask as u128;
         if let Some(&v) = self.memo.get(&key) {
             #[cfg(debug_assertions)]
             self.audit_memo_hit(last, mask, v);
@@ -275,14 +509,15 @@ impl Solver {
 
     /// The uncached body of [`Solver::suffix`]: branch over the next
     /// occupied slot and the canonical job placed there.
-    fn suffix_compute(&mut self, last: Option<u16>, mask: u32) -> u64 {
+    fn suffix_compute(&mut self, last: Option<u16>, mask: u64) -> u64 {
+        self.nodes += 1;
         let r = self.n - mask.count_ones() as usize;
         // Every unplaced job lands at or after the *next* occupied slot,
         // so that slot is bounded by the tightest remaining deadline —
         // and must leave r − 1 free slots behind it.
         let mut hi = (self.times.len() - r) as u16;
         for j in 0..self.n {
-            if mask & (1 << j) == 0 {
+            if mask & (1u64 << j) == 0 {
                 hi = hi.min(self.max_slot[j]);
             }
         }
@@ -300,10 +535,10 @@ impl Solver {
             }
             for k in 0..self.jobs_at[s as usize].len() {
                 let job = self.jobs_at[s as usize][k];
-                if mask & (1 << job) != 0 || !self.canonical(job, mask) {
+                if mask & (1u64 << job) != 0 || !self.canonical(job, mask) {
                     continue;
                 }
-                let v = self.suffix(Some(s), mask | 1 << job);
+                let v = self.suffix(Some(s), mask | 1u64 << job);
                 if v != INF {
                     best = best.min(pair + v);
                 }
@@ -315,10 +550,22 @@ impl Solver {
     /// Re-walk the memoized search along an optimal branch, returning the
     /// per-job times (original job order).
     fn reconstruct(&mut self, total: u64) -> Vec<Time> {
-        let mut times = vec![0; self.n];
-        let mut mask = 0u32;
-        let mut last: Option<u16> = None;
-        let mut target = total;
+        self.reconstruct_from(None, 0, vec![0; self.n], total)
+    }
+
+    /// [`Solver::reconstruct`] continued from a mid-search state: `last`
+    /// slot placed, `mask` of placed jobs, their `times` filled in, and
+    /// the remaining `target` cost. The walk always takes the *first*
+    /// `(slot, job)` branch in canonical scan order that attains the
+    /// target, which is what makes reconstruction deterministic — and
+    /// identical between the sequential solver and a parallel subtree.
+    fn reconstruct_from(
+        &mut self,
+        mut last: Option<u16>,
+        mut mask: u64,
+        mut times: Vec<Time>,
+        mut target: u64,
+    ) -> Vec<Time> {
         while mask != self.full() {
             let prev_time = last.map(|i| self.times[i as usize]);
             let lo = last.map_or(0, |i| i + 1);
@@ -330,13 +577,13 @@ impl Solver {
                 }
                 for k in 0..self.jobs_at[s as usize].len() {
                     let job = self.jobs_at[s as usize][k];
-                    if mask & (1 << job) != 0 || !self.canonical(job, mask) {
+                    if mask & (1u64 << job) != 0 || !self.canonical(job, mask) {
                         continue;
                     }
-                    let v = self.suffix(Some(s), mask | 1 << job);
+                    let v = self.suffix(Some(s), mask | 1u64 << job);
                     if v != INF && pair + v == target {
                         times[job as usize] = self.times[s as usize];
-                        mask |= 1 << job;
+                        mask |= 1u64 << job;
                         last = Some(s);
                         target -= pair;
                         stepped = true;
@@ -353,6 +600,250 @@ impl Solver {
     }
 }
 
+/// One unit of parallel work: one root branch (first occupied slot and
+/// the job placed there) of one component's search tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubtreeTask {
+    /// Component index within the plan.
+    pub component: usize,
+    /// Root index within the component's canonical frontier.
+    pub root: usize,
+}
+
+/// What one subtree task produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubtreeOutcome {
+    /// Pruned at the root against the shared incumbent (strict
+    /// comparison, so a subtree attaining the optimum is never skipped).
+    Skipped,
+    /// Explored to its exact subtree optimum. `value` is `None` when
+    /// the subtree admits no completion; `times` is the canonical
+    /// witness (component-local job order), `nodes` the states expanded.
+    Solved {
+        /// Exact subtree optimum (root pair cost included).
+        value: Option<u64>,
+        /// Canonical witness times, component-local job order.
+        times: Vec<Time>,
+        /// Branch-and-bound states expanded by this task.
+        nodes: u64,
+    },
+}
+
+struct PlanComponent {
+    /// Original job indices, relative order preserved.
+    jobs: Vec<usize>,
+    inst: MultiInstance,
+    slots: Vec<Time>,
+    /// Lemma 3 feasible completion — the initial incumbent witness.
+    greedy: MultiSchedule,
+    upper: u64,
+    /// Lower bound met the greedy witness: certified optimal, no tasks.
+    closed: bool,
+    /// Root frontier `(slot index, job)` in canonical scan order.
+    roots: Vec<(u16, u8)>,
+    /// Shared best-so-far (monotone non-increasing). Relaxed ordering is
+    /// sound: the bound is the only datum transferred, staleness only
+    /// weakens pruning, and exactness never depends on reading the
+    /// latest value — see DESIGN.md §13.
+    incumbent: AtomicU64,
+    updates: AtomicU64,
+}
+
+/// The decomposed search, exposed as data for an external parallel
+/// driver (see the module docs' *Parallelism* section). Usage:
+/// [`ParallelPlan::new`] → [`ParallelPlan::tasks`] → run each task (any
+/// order, any thread) via [`ParallelPlan::run_task`] →
+/// [`ParallelPlan::finish`] with the outcomes in task order.
+pub struct ParallelPlan {
+    objective: MultiObjective,
+    cost: Cost,
+    n: usize,
+    components: Vec<PlanComponent>,
+}
+
+impl ParallelPlan {
+    /// Decompose and prepare the instance; `None` iff infeasible (some
+    /// component has no complete matching).
+    pub fn new(inst: &MultiInstance, objective: MultiObjective) -> Option<ParallelPlan> {
+        let cost = objective.cost();
+        let n = inst.job_count();
+        if n > 0 {
+            check_caps(inst);
+        }
+        let mut components = Vec::new();
+        if n > 0 {
+            for jobs in decompose_jobs(inst, cost.min_zone()) {
+                let sub = sub_instance(inst, &jobs);
+                let greedy = complete_schedule(&sub, &vec![None; jobs.len()])?;
+                let upper = cost.of_schedule(&greedy);
+                let closed = cost.instance_bound(&sub) >= upper;
+                let slots = sub.slot_union();
+                let roots = if closed {
+                    Vec::new()
+                } else {
+                    root_frontier(&sub, &slots, cost)
+                };
+                components.push(PlanComponent {
+                    jobs,
+                    inst: sub,
+                    slots,
+                    greedy,
+                    upper,
+                    closed,
+                    roots,
+                    incumbent: AtomicU64::new(upper),
+                    updates: AtomicU64::new(0),
+                });
+            }
+        }
+        Some(ParallelPlan {
+            objective,
+            cost,
+            n,
+            components,
+        })
+    }
+
+    /// Every subtree task, component by component, roots in canonical
+    /// order. Outcomes must be handed back to [`ParallelPlan::finish`]
+    /// in exactly this order.
+    pub fn tasks(&self) -> Vec<SubtreeTask> {
+        let mut out = Vec::new();
+        for (component, comp) in self.components.iter().enumerate() {
+            for root in 0..comp.roots.len() {
+                out.push(SubtreeTask { component, root });
+            }
+        }
+        out
+    }
+
+    /// Explore one subtree to its exact optimum (or skip it when even
+    /// the admissible floor cannot beat the shared incumbent). Safe to
+    /// call concurrently from any thread.
+    pub fn run_task(&self, task: &SubtreeTask) -> SubtreeOutcome {
+        let comp = &self.components[task.component];
+        let (s, job) = comp.roots[task.root];
+        let nc = comp.inst.job_count();
+        let pair = self.cost.pair(None, comp.slots[s as usize]);
+        let floor = self.cost.suffix_floor(nc - 1);
+        // Strict `>`: a subtree whose exact optimum equals the incumbent
+        // still runs, so every optimum-attaining root reports its value
+        // — that is what keeps the winner choice timing-independent.
+        if pair.saturating_add(floor) > comp.incumbent.load(Ordering::Relaxed) {
+            return SubtreeOutcome::Skipped;
+        }
+        let mut solver = Solver::new(&comp.inst, &comp.slots, self.cost);
+        let mask = 1u64 << job;
+        let suffix = solver.suffix(Some(s), mask);
+        if suffix == INF {
+            return SubtreeOutcome::Solved {
+                value: None,
+                times: Vec::new(),
+                nodes: solver.nodes,
+            };
+        }
+        let value = pair + suffix;
+        let prev = comp.incumbent.fetch_min(value, Ordering::Relaxed);
+        if value < prev {
+            comp.updates.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut times = vec![0; nc];
+        times[job as usize] = comp.slots[s as usize];
+        let times = solver.reconstruct_from(Some(s), mask, times, suffix);
+        SubtreeOutcome::Solved {
+            value: Some(value),
+            times,
+            nodes: solver.nodes,
+        }
+    }
+
+    /// Fold the per-task outcomes (in [`ParallelPlan::tasks`] order)
+    /// into the instance optimum, its canonical witness, and the search
+    /// statistics. Per component the winner is the **first** root in
+    /// canonical order attaining the component optimum — the same branch
+    /// sequential reconstruction takes, which is why the result is
+    /// bit-identical to the sequential solver for any thread count.
+    pub fn finish(&self, outcomes: &[SubtreeOutcome]) -> (u64, MultiSchedule, SearchStats) {
+        let mut stats = SearchStats {
+            component_jobs: self.components.iter().map(|c| c.jobs.len()).collect(),
+            subtree_tasks: outcomes.len() as u64,
+            ..SearchStats::default()
+        };
+        let mut times = vec![0; self.n];
+        let mut total = 0u64;
+        let mut offset = 0usize;
+        for comp in &self.components {
+            let slice = &outcomes[offset..offset + comp.roots.len()];
+            offset += comp.roots.len();
+            stats.incumbent_updates += comp.updates.load(Ordering::Relaxed);
+            if comp.closed {
+                total += comp.upper;
+                for (local, &j) in comp.jobs.iter().enumerate() {
+                    times[j] = comp.greedy.times()[local];
+                }
+                continue;
+            }
+            let mut best = INF;
+            let mut winner: Option<&[Time]> = None;
+            for outcome in slice {
+                if let SubtreeOutcome::Solved {
+                    value,
+                    times: sub_times,
+                    nodes,
+                } = outcome
+                {
+                    stats.nodes_expanded += nodes;
+                    // Strictly `<`, so the first root keeps ties — the
+                    // canonical winner.
+                    if let Some(v) = value {
+                        if *v < best {
+                            best = *v;
+                            winner = Some(sub_times);
+                        }
+                    }
+                }
+            }
+            // A feasible, non-closed component always yields a finite
+            // winner: a subtree attaining the optimum is never skipped
+            // (strict root pruning) and never returns `None`.
+            // analyzer: allow(panic-free): see the invariant above
+            let winner = winner.expect("some subtree attains the component optimum");
+            assert!(best <= comp.upper, "subtree optimum beat by greedy?");
+            total += best;
+            for (local, &j) in comp.jobs.iter().enumerate() {
+                times[j] = winner[local];
+            }
+        }
+        assert_eq!(offset, outcomes.len(), "outcomes misaligned with tasks");
+        (
+            self.objective.finalize(total),
+            MultiSchedule::new(times),
+            stats,
+        )
+    }
+}
+
+/// The canonical root frontier of one component: every `(first slot,
+/// job)` branch the sequential search's root state would scan, in scan
+/// order.
+fn root_frontier(inst: &MultiInstance, slots: &[Time], cost: Cost) -> Vec<(u16, u8)> {
+    let seed = Solver::new(inst, slots, cost);
+    let n = inst.job_count();
+    let mut hi = (slots.len() - n) as u16;
+    for j in 0..n {
+        hi = hi.min(seed.max_slot[j]);
+    }
+    let mut roots = Vec::new();
+    for s in 0..=hi {
+        for &job in &seed.jobs_at[s as usize] {
+            if seed.canonical(job, 0) {
+                roots.push((s, job));
+            }
+        }
+    }
+    roots
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +851,15 @@ mod tests {
 
     fn inst(times: &[Vec<i64>]) -> MultiInstance {
         MultiInstance::from_times(times.to_vec()).unwrap()
+    }
+
+    /// Sequential reference driver for [`ParallelPlan`]: run every task
+    /// inline, in order.
+    fn run_plan(i: &MultiInstance, obj: MultiObjective) -> Option<(u64, MultiSchedule)> {
+        let plan = ParallelPlan::new(i, obj)?;
+        let outcomes: Vec<_> = plan.tasks().iter().map(|t| plan.run_task(t)).collect();
+        let (value, sched, _) = plan.finish(&outcomes);
+        Some((value, sched))
     }
 
     #[test]
@@ -411,6 +911,7 @@ mod tests {
         assert_eq!(min_gaps_multi(&i), None);
         assert_eq!(min_spans_multi(&i), None);
         assert_eq!(min_power_multi(&i, 4), None);
+        assert!(run_plan(&i, MultiObjective::Spans).is_none());
     }
 
     #[test]
@@ -418,6 +919,7 @@ mod tests {
         let i = MultiInstance::new(vec![]).unwrap();
         assert_eq!(min_gaps_multi(&i).unwrap().0, 0);
         assert_eq!(min_power_multi(&i, 7).unwrap().0, 0);
+        assert_eq!(run_plan(&i, MultiObjective::Gaps).unwrap().0, 0);
     }
 
     #[test]
@@ -441,6 +943,125 @@ mod tests {
             min_spans_multi(&i).unwrap().0,
             brute_force::min_spans_multi(&i).unwrap().0
         );
+    }
+
+    #[test]
+    fn decomposition_cuts_at_uncrossed_dead_zones() {
+        // Three bands nobody crosses → three components for spans.
+        let i = inst(&[
+            vec![0, 1],
+            vec![1, 2],
+            vec![10, 11],
+            vec![20, 21],
+            vec![21, 22],
+        ]);
+        let comps = decompose_jobs(&i, 1);
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+        // A job bridging the first zone glues the first two bands.
+        let bridged = inst(&[
+            vec![0, 1],
+            vec![1, 2],
+            vec![10, 11],
+            vec![20, 21],
+            vec![21, 22],
+            vec![2, 10],
+        ]);
+        let comps = decompose_jobs(&bridged, 1);
+        assert_eq!(comps, vec![vec![0, 1, 2, 5], vec![3, 4]]);
+    }
+
+    #[test]
+    fn power_decomposition_respects_the_alpha_zone_width() {
+        // Zone widths 7 (between 1 and 9) and 2 (between 10 and 13).
+        let i = inst(&[vec![0, 1], vec![9, 10], vec![13]]);
+        // α = 2: both zones qualify → 3 components.
+        assert_eq!(decompose_jobs(&i, 2).len(), 3);
+        // α = 5: only the width-7 zone qualifies → 2 components.
+        assert_eq!(decompose_jobs(&i, 5), vec![vec![0], vec![1, 2]]);
+        // The optima stay exact either way (vs. the undecomposed search).
+        for alpha in [0u64, 1, 2, 3, 5, 8, 20] {
+            let obj = MultiObjective::Power { alpha };
+            assert_eq!(
+                solve_multi_stats(&i, obj).0.map(|(v, _)| v),
+                solve_multi_undecomposed(&i, obj).map(|(v, _)| v),
+                "power decomposition diverged at α={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposed_solves_report_component_stats() {
+        let i = inst(&[vec![0, 1], vec![1, 2], vec![50, 51], vec![100]]);
+        let (res, stats) = solve_multi_stats(&i, MultiObjective::Spans);
+        let (spans, sched) = res.unwrap();
+        sched.verify(&i).unwrap();
+        assert_eq!(spans, 3);
+        assert_eq!(stats.component_jobs, vec![2, 1, 1]);
+        assert_eq!(stats.subtree_steals, 0, "core never records steals");
+    }
+
+    #[test]
+    fn parallel_plan_is_bit_identical_to_the_sequential_solver() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA5A5));
+            let jobs: Vec<Vec<i64>> = (0..rng.gen_range(1..=8))
+                .map(|_| {
+                    (0..rng.gen_range(1..=3))
+                        .map(|_| rng.gen_range(0..24))
+                        .collect()
+                })
+                .collect();
+            let i = inst(&jobs);
+            for obj in [
+                MultiObjective::Gaps,
+                MultiObjective::Spans,
+                MultiObjective::Power { alpha: 3 },
+            ] {
+                let seq = solve_multi_stats(&i, obj).0;
+                let par = run_plan(&i, obj);
+                match (seq, par) {
+                    (None, None) => {}
+                    (Some((sv, ss)), Some((pv, ps))) => {
+                        assert_eq!(sv, pv, "seed {seed}: value diverged on {jobs:?}");
+                        assert_eq!(
+                            ss.times(),
+                            ps.times(),
+                            "seed {seed}: schedule diverged on {jobs:?}"
+                        );
+                    }
+                    (s, p) => panic!("seed {seed}: feasibility diverged: {s:?} vs {p:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_outcomes_fold_regardless_of_execution_order() {
+        // Run the tasks in reverse order (worst-case steal pattern);
+        // outcomes are folded by position, so the result must not move.
+        let i = inst(&[
+            vec![0, 2, 5],
+            vec![1, 3],
+            vec![4, 6],
+            vec![20, 21],
+            vec![21, 22],
+        ]);
+        let obj = MultiObjective::Spans;
+        let plan = ParallelPlan::new(&i, obj).unwrap();
+        let tasks = plan.tasks();
+        assert!(tasks.len() > 1, "expected a real frontier");
+        let mut outcomes: Vec<Option<SubtreeOutcome>> = vec![None; tasks.len()];
+        for (idx, task) in tasks.iter().enumerate().rev() {
+            outcomes[idx] = Some(plan.run_task(task));
+        }
+        let outcomes: Vec<_> = outcomes.into_iter().map(Option::unwrap).collect();
+        let (value, sched, stats) = plan.finish(&outcomes);
+        let (seq_value, seq_sched) = solve_multi_stats(&i, obj).0.unwrap();
+        assert_eq!(value, seq_value);
+        assert_eq!(sched.times(), seq_sched.times());
+        assert_eq!(stats.subtree_tasks, tasks.len() as u64);
     }
 
     #[test]
@@ -470,5 +1091,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn wide_job_counts_fit_the_u64_mask() {
+        // 33+ jobs would have overflowed the old u32 mask; keep them
+        // decomposable so the test stays fast.
+        let times: Vec<Vec<i64>> = (0..36).map(|j| vec![10 * j, 10 * j + 1]).collect();
+        let i = inst(&times);
+        let (spans, sched) = min_spans_multi(&i).unwrap();
+        assert_eq!(spans, 36);
+        sched.verify(&i).unwrap();
     }
 }

@@ -52,13 +52,14 @@ pub mod cache;
 pub mod canonical;
 pub mod metrics;
 pub mod online;
+pub mod parallel;
 pub mod pool;
 pub mod router;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use metrics::{
     summarize_latencies, EngineReport, Histogram, LatencySummary, MetricsRegistry, MetricsSnapshot,
-    RatioStats,
+    RatioStats, SearchTotals,
 };
 pub use online::{OnlineSummary, OnlineTracker, SessionState};
 pub use router::{FallbackSolver, Features, RouterConfig, SolverKind};
@@ -193,8 +194,14 @@ pub struct RequestOutcome {
 }
 
 impl Engine {
-    /// Build an engine.
-    pub fn new(config: EngineConfig) -> Engine {
+    /// Build an engine. A router `multi_exact_threads` of 0 ("inherit")
+    /// resolves to the engine's worker-thread count here, so big
+    /// multi-interval instances get intra-instance parallelism from the
+    /// same `--threads` knob that fans batches out.
+    pub fn new(mut config: EngineConfig) -> Engine {
+        if config.router.multi_exact_threads == 0 {
+            config.router.multi_exact_threads = config.threads.max(1);
+        }
         let cache = ShardedCache::new(config.cache_capacity, config.cache_shards);
         Engine {
             config,
@@ -242,12 +249,21 @@ impl Engine {
         let (payload, solver, cache_hit) = match self.cache.get(&form.key) {
             Some(cached) => (cached, None, true),
             None if shed => {
-                let (kind, body) =
-                    router::solve(&form.instance, objective, &self.config.router.shed());
+                let (kind, body) = router::solve_observed(
+                    &form.instance,
+                    objective,
+                    &self.config.router.shed(),
+                    Some(&self.metrics),
+                );
                 (format!("{body} solver={}", kind.name()), Some(kind), false)
             }
             None => {
-                let (kind, body) = router::solve(&form.instance, objective, &self.config.router);
+                let (kind, body) = router::solve_observed(
+                    &form.instance,
+                    objective,
+                    &self.config.router,
+                    Some(&self.metrics),
+                );
                 let payload = format!("{body} solver={}", kind.name());
                 self.cache.insert(form.key, payload.clone());
                 (payload, Some(kind), false)
@@ -278,6 +294,7 @@ impl Engine {
         objective: Objective,
     ) -> (Vec<String>, EngineReport) {
         let start = Instant::now();
+        let search_before = self.metrics.search_totals();
         let refs: Vec<&BatchInstance> = instances.iter().collect();
         let outcomes = pool::map_ordered(refs, self.config.threads, |index, inst| {
             let outcome = self.solve_request(inst, objective, false);
@@ -315,6 +332,7 @@ impl Engine {
             .map(|(name, samples)| (name, summarize_latencies(samples)))
             .collect();
         report.latency = summarize_latencies(latencies);
+        report.search = self.metrics.search_totals().since(&search_before);
         report.wall = start.elapsed();
         (lines, report)
     }
@@ -557,6 +575,46 @@ mod tests {
         assert!(snap.cache_hits >= 30, "second pass should be all hits");
         assert_eq!(snap.latency.count(), 60);
         assert!(!snap.per_solver.is_empty());
+    }
+
+    #[test]
+    fn batch_report_scopes_search_effort_to_the_batch() {
+        use gaps_core::instance::MultiInstance;
+        // A coupled core whose span optimum (2) strictly beats every
+        // lower bound (the union is one run, so hosting/skeleton say 1):
+        // the early-closed shortcut cannot fire and the search must open.
+        // Satellites push the job count past the parallel threshold (17)
+        // while staying inside the raised 64-job multi-exact cap.
+        let mut jobs: Vec<Vec<i64>> = vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![8, 9],
+            vec![8, 9],
+            vec![2, 3, 4, 5, 6, 7],
+        ];
+        for k in 0..12 {
+            jobs.push(vec![100 + 3 * k, 101 + 3 * k]);
+        }
+        let inst = BatchInstance::Multi(MultiInstance::from_times(jobs).unwrap());
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let (lines, report) = engine.run_batch(std::slice::from_ref(&inst), Objective::Gaps);
+        assert!(
+            lines[0].contains("solver=multi_exact"),
+            "raised caps should keep this on the exact path: {}",
+            lines[0]
+        );
+        assert!(report.search.nodes_expanded > 0);
+        assert!(report.search.subtree_tasks > 0, "parallel path should run");
+        assert!(report.search.components.iter().sum::<u64>() > 0);
+        // A second identical batch is a pure cache hit: its report must
+        // show zero *new* search effort even though the lifetime totals
+        // kept their history.
+        let (_, warm) = engine.run_batch(std::slice::from_ref(&inst), Objective::Gaps);
+        assert!(warm.search.is_empty(), "cache hit must not re-search");
+        assert!(!engine.metrics().search_totals().is_empty());
     }
 
     #[test]

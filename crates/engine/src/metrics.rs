@@ -12,11 +12,75 @@
 //! [`Duration`]s — but this module stays on the determinism-rule exempt
 //! list because the batch report stores wall-clock durations.
 
+use gaps_core::multi_exact::SearchStats;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::time::Duration;
+
+/// Upper edges of the per-component job-count histogram buckets
+/// (log₂-spaced up to the solver's 64-job mask cap).
+pub const COMPONENT_BUCKET_EDGES: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Accumulated branch-and-bound search effort across multi-exact solves:
+/// the aggregate view of [`gaps_core::multi_exact::SearchStats`] that
+/// `STATS v3` and the batch report print.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchTotals {
+    /// Branch-and-bound states expanded (memo misses) across solves.
+    pub nodes_expanded: u64,
+    /// Subtree tasks enumerated by parallel solves.
+    pub subtree_tasks: u64,
+    /// Subtree tasks executed by a non-primary worker (stolen).
+    pub subtree_steals: u64,
+    /// Shared-incumbent tightenings across parallel solves.
+    pub incumbent_updates: u64,
+    /// Decomposed-component size histogram; bucket `i` counts components
+    /// with at most [`COMPONENT_BUCKET_EDGES`]`[i]` jobs (first bucket
+    /// that fits).
+    pub components: [u64; COMPONENT_BUCKET_EDGES.len()],
+}
+
+impl SearchTotals {
+    /// Fold one solve's statistics in.
+    pub fn record(&mut self, stats: &SearchStats) {
+        self.nodes_expanded += stats.nodes_expanded;
+        self.subtree_tasks += stats.subtree_tasks;
+        self.subtree_steals += stats.subtree_steals;
+        self.incumbent_updates += stats.incumbent_updates;
+        for &jobs in &stats.component_jobs {
+            let bucket = COMPONENT_BUCKET_EDGES
+                .iter()
+                .position(|&edge| jobs as u64 <= edge)
+                .unwrap_or(COMPONENT_BUCKET_EDGES.len() - 1);
+            self.components[bucket] += 1;
+        }
+    }
+
+    /// Componentwise difference (`self − earlier`), used to scope the
+    /// lifetime registry's totals down to one batch.
+    pub fn since(&self, earlier: &SearchTotals) -> SearchTotals {
+        let mut components = [0u64; COMPONENT_BUCKET_EDGES.len()];
+        for (i, slot) in components.iter_mut().enumerate() {
+            *slot = self.components[i].saturating_sub(earlier.components[i]);
+        }
+        SearchTotals {
+            nodes_expanded: self.nodes_expanded.saturating_sub(earlier.nodes_expanded),
+            subtree_tasks: self.subtree_tasks.saturating_sub(earlier.subtree_tasks),
+            subtree_steals: self.subtree_steals.saturating_sub(earlier.subtree_steals),
+            incumbent_updates: self
+                .incumbent_updates
+                .saturating_sub(earlier.incumbent_updates),
+            components,
+        }
+    }
+
+    /// True iff no search effort was recorded.
+    pub fn is_empty(&self) -> bool {
+        *self == SearchTotals::default()
+    }
+}
 
 /// Order statistics over per-request latencies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -71,6 +135,9 @@ pub struct EngineReport {
     pub solver_latency: BTreeMap<&'static str, LatencySummary>,
     /// Per-request latency order statistics.
     pub latency: LatencySummary,
+    /// Branch-and-bound search effort spent by this batch's multi-exact
+    /// solves (all zeros when none ran).
+    pub search: SearchTotals,
     /// End-to-end batch wall clock.
     pub wall: Duration,
 }
@@ -131,6 +198,22 @@ impl fmt::Display for EngineReport {
                 "        {solver}: median {:.1?} / p95 {:.1?} / max {:.1?}",
                 lat.median, lat.p95, lat.max
             )?;
+        }
+        if !self.search.is_empty() {
+            write!(
+                f,
+                "search: {} node(s) expanded, {} subtree task(s) ({} stolen), {} incumbent update(s), components",
+                self.search.nodes_expanded,
+                self.search.subtree_tasks,
+                self.search.subtree_steals,
+                self.search.incumbent_updates,
+            )?;
+            for (edge, count) in COMPONENT_BUCKET_EDGES.iter().zip(&self.search.components) {
+                if *count > 0 {
+                    write!(f, " le{edge}={count}")?;
+                }
+            }
+            writeln!(f)?;
         }
         write!(
             f,
@@ -320,6 +403,7 @@ pub struct MetricsRegistry {
     latency: Mutex<Histogram>,
     per_solver: Mutex<BTreeMap<&'static str, Histogram>>,
     per_policy: Mutex<BTreeMap<&'static str, RatioStats>>,
+    search: Mutex<SearchTotals>,
 }
 
 impl MetricsRegistry {
@@ -393,6 +477,19 @@ impl MetricsRegistry {
         self.pool_workers.store(workers, SeqCst);
     }
 
+    /// Record one multi-exact solve's branch-and-bound effort (nodes
+    /// expanded, component histogram, subtree tasks/steals, incumbent
+    /// updates). Once per solve, so a plain mutex is fine.
+    pub fn record_search(&self, stats: &SearchStats) {
+        self.search.lock().record(stats);
+    }
+
+    /// The lifetime search-effort totals (batch reports subtract two of
+    /// these to scope effort down to one batch).
+    pub fn search_totals(&self) -> SearchTotals {
+        self.search.lock().clone()
+    }
+
     /// Record one completed online session's realized competitive ratio
     /// under the named policy.
     pub fn record_session_ratio(&self, policy: &'static str, ratio: f64) {
@@ -424,6 +521,7 @@ impl MetricsRegistry {
             latency: self.latency.lock().clone(),
             per_solver: self.per_solver.lock().clone(),
             per_policy: self.per_policy.lock().clone(),
+            search: self.search.lock().clone(),
         }
     }
 }
@@ -456,6 +554,8 @@ pub struct MetricsSnapshot {
     pub per_solver: BTreeMap<&'static str, Histogram>,
     /// Competitive-ratio running statistics per online policy.
     pub per_policy: BTreeMap<&'static str, RatioStats>,
+    /// Lifetime branch-and-bound search effort (multi-exact solves).
+    pub search: SearchTotals,
 }
 
 impl MetricsSnapshot {
@@ -513,6 +613,25 @@ impl MetricsSnapshot {
                 format!("solver.{solver}.p95_us"),
                 us(hist.quantile(19, 20)).to_string(),
             ));
+        }
+        rows.push((
+            "search.nodes_expanded".to_string(),
+            self.search.nodes_expanded.to_string(),
+        ));
+        rows.push((
+            "search.subtree_tasks".to_string(),
+            self.search.subtree_tasks.to_string(),
+        ));
+        rows.push((
+            "search.subtree_steals".to_string(),
+            self.search.subtree_steals.to_string(),
+        ));
+        rows.push((
+            "search.incumbent_updates".to_string(),
+            self.search.incumbent_updates.to_string(),
+        ));
+        for (edge, count) in COMPONENT_BUCKET_EDGES.iter().zip(&self.search.components) {
+            rows.push((format!("search.components_le_{edge}"), count.to_string()));
         }
         for (policy, stats) in &self.per_policy {
             rows.push((
@@ -809,6 +928,12 @@ mod tests {
             "policy.timeout.sessions",
             "policy.timeout.ratio_mean",
             "policy.timeout.ratio_max",
+            "search.nodes_expanded",
+            "search.subtree_tasks",
+            "search.subtree_steals",
+            "search.incumbent_updates",
+            "search.components_le_1",
+            "search.components_le_64",
         ] {
             assert!(keys.contains(&key), "missing {key} in {keys:?}");
         }
@@ -818,6 +943,89 @@ mod tests {
         }
         let text = reg.snapshot().to_string();
         assert!(text.contains("req=1"), "{text}");
+    }
+
+    #[test]
+    fn search_totals_bucket_components_and_diff() {
+        let mut totals = SearchTotals::default();
+        totals.record(&SearchStats {
+            nodes_expanded: 100,
+            component_jobs: vec![1, 2, 3, 9, 64],
+            subtree_tasks: 7,
+            subtree_steals: 2,
+            incumbent_updates: 3,
+        });
+        assert_eq!(totals.nodes_expanded, 100);
+        // 1 → le1, 2 → le2, 3 → le4, 9 → le16, 64 → le64.
+        assert_eq!(totals.components, [1, 1, 1, 0, 1, 0, 1]);
+
+        let mut later = totals.clone();
+        later.record(&SearchStats {
+            nodes_expanded: 50,
+            component_jobs: vec![5],
+            subtree_tasks: 1,
+            subtree_steals: 0,
+            incumbent_updates: 1,
+        });
+        let delta = later.since(&totals);
+        assert_eq!(delta.nodes_expanded, 50);
+        assert_eq!(delta.subtree_tasks, 1);
+        assert_eq!(delta.incumbent_updates, 1);
+        assert_eq!(delta.components, [0, 0, 0, 1, 0, 0, 0]);
+        assert!(!delta.is_empty());
+        assert!(later.since(&later).is_empty());
+    }
+
+    #[test]
+    fn registry_accumulates_search_effort() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.search_totals().is_empty());
+        reg.record_search(&SearchStats {
+            nodes_expanded: 10,
+            component_jobs: vec![4],
+            subtree_tasks: 0,
+            subtree_steals: 0,
+            incumbent_updates: 0,
+        });
+        reg.record_search(&SearchStats {
+            nodes_expanded: 5,
+            component_jobs: vec![30],
+            subtree_tasks: 12,
+            subtree_steals: 4,
+            incumbent_updates: 2,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.search.nodes_expanded, 15);
+        assert_eq!(snap.search.subtree_steals, 4);
+        let rows = snap.stat_rows();
+        let get = |key: &str| {
+            rows.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("search.nodes_expanded"), "15");
+        assert_eq!(get("search.subtree_tasks"), "12");
+        assert_eq!(get("search.components_le_4"), "1");
+        assert_eq!(get("search.components_le_32"), "1");
+    }
+
+    #[test]
+    fn report_display_includes_search_only_when_present() {
+        let quiet = EngineReport::default();
+        assert!(!quiet.to_string().contains("search:"));
+        let mut busy = EngineReport::default();
+        busy.search.record(&SearchStats {
+            nodes_expanded: 42,
+            component_jobs: vec![2, 2],
+            subtree_tasks: 6,
+            subtree_steals: 1,
+            incumbent_updates: 2,
+        });
+        let text = busy.to_string();
+        assert!(text.contains("search: 42 node(s) expanded"), "{text}");
+        assert!(text.contains("6 subtree task(s) (1 stolen)"), "{text}");
+        assert!(text.contains("le2=2"), "{text}");
     }
 
     #[test]

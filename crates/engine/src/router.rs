@@ -127,10 +127,22 @@ pub struct RouterConfig {
     /// differential experiments).
     pub use_multi_exact: bool,
     /// The optimized exact solver's state space is exponential in the
-    /// *job* count, not the slot count, so it accepts more slots…
+    /// *job* count, not the slot count — and component decomposition
+    /// means only the largest coupled core pays that cost — so it
+    /// accepts far more slots…
     pub multi_exact_max_slots: usize,
-    /// …and slightly more jobs than the brute-force ceiling.
+    /// …and far more jobs than the brute-force ceiling (64 is the
+    /// solver's hard mask-width cap).
     pub multi_exact_max_jobs: usize,
+    /// Intra-instance workers for the parallel branch-and-bound. `0`
+    /// means *inherit the engine's worker-thread count* (resolved by
+    /// `Engine::new`); `1` forces the sequential path.
+    pub multi_exact_threads: usize,
+    /// Smallest job count worth fanning a single instance's subtrees out
+    /// over the pool; below it the sequential solve wins on overhead.
+    /// The default (one above the old 16-job cap) parallelizes exactly
+    /// the instances this ceiling-raise admits.
+    pub multi_exact_parallel_min_jobs: usize,
     /// Local-search rounds for the Theorem 3 set packing (the paper's ε).
     pub approx_rounds: usize,
     /// Tried in order for multi-interval instances too large for
@@ -146,8 +158,10 @@ impl Default for RouterConfig {
             exact_max_slots: 64,
             exact_max_jobs: 14,
             use_multi_exact: true,
-            multi_exact_max_slots: 96,
-            multi_exact_max_jobs: 16,
+            multi_exact_max_slots: 384,
+            multi_exact_max_jobs: 64,
+            multi_exact_threads: 0,
+            multi_exact_parallel_min_jobs: 17,
             approx_rounds: 64,
             fallback: vec![FallbackSolver::Theorem3Approx, FallbackSolver::Lemma3Greedy],
         }
@@ -249,12 +263,28 @@ pub fn route(feat: &Features, objective: Objective, cfg: &RouterConfig) -> Solve
 /// and the result payload (e.g. `gaps=2`, `power<=9.50`, `infeasible`).
 ///
 /// The payload is a pure function of `(instance, objective, cfg)` — no
-/// randomness, clocks, or thread-dependence — which is what makes both
-/// the result cache and the deterministic batch output sound.
+/// randomness, clocks, or thread-dependence (the parallel
+/// branch-and-bound is bit-deterministic by construction) — which is
+/// what makes both the result cache and the deterministic batch output
+/// sound.
 pub fn solve(
     inst: &BatchInstance,
     objective: Objective,
     cfg: &RouterConfig,
+) -> (SolverKind, String) {
+    solve_observed(inst, objective, cfg, None)
+}
+
+/// [`solve`] with search-effort observation: multi-exact solves report
+/// their [`gaps_core::multi_exact::SearchStats`] (nodes expanded,
+/// component histogram, subtree tasks/steals, incumbent updates) into
+/// the registry. The payload is unaffected — observation never alters
+/// routing or results.
+pub fn solve_observed(
+    inst: &BatchInstance,
+    objective: Objective,
+    cfg: &RouterConfig,
+    observer: Option<&crate::metrics::MetricsRegistry>,
 ) -> (SolverKind, String) {
     let kind = route(&features(inst), objective, cfg);
     let payload = match (kind, inst) {
@@ -283,14 +313,30 @@ pub fn solve(
             exact(objective.label(), power_dp::min_power_value(one, alpha))
         }
         (SolverKind::MultiExact, BatchInstance::Multi(multi)) => {
-            let value = match objective {
-                Objective::Gaps => multi_exact::min_gaps_multi(multi).map(|(v, _)| v),
-                Objective::Spans => multi_exact::min_spans_multi(multi).map(|(v, _)| v),
-                Objective::Power { alpha } => {
-                    multi_exact::min_power_multi(multi, alpha).map(|(v, _)| v)
-                }
+            let multi_objective = match objective {
+                Objective::Gaps => multi_exact::MultiObjective::Gaps,
+                Objective::Spans => multi_exact::MultiObjective::Spans,
+                Objective::Power { alpha } => multi_exact::MultiObjective::Power { alpha },
             };
-            exact(objective.label(), value)
+            // Fan the branch-and-bound out across intra-instance workers
+            // only where the subtree overhead pays for itself: several
+            // configured threads *and* a job count above the sequential
+            // sweet spot. Both paths are bit-identical.
+            let parallel = cfg.multi_exact_threads > 1
+                && multi.job_count() >= cfg.multi_exact_parallel_min_jobs;
+            let (result, stats) = if parallel {
+                crate::parallel::solve_multi_parallel(
+                    multi,
+                    multi_objective,
+                    cfg.multi_exact_threads,
+                )
+            } else {
+                multi_exact::solve_multi_stats(multi, multi_objective)
+            };
+            if let Some(metrics) = observer {
+                metrics.record_search(&stats);
+            }
+            exact(objective.label(), result.map(|(v, _)| v))
         }
         (SolverKind::BruteForce, BatchInstance::Multi(multi)) => {
             let value = match objective {
@@ -414,7 +460,8 @@ mod tests {
             SolverKind::BruteForce
         );
 
-        let big: Vec<Vec<i64>> = (0..40).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        // 80 jobs clears even the raised 64-job multi-exact ceiling.
+        let big: Vec<Vec<i64>> = (0..80).map(|i| vec![2 * i, 2 * i + 1]).collect();
         assert_eq!(pick(&multi(&big), power), SolverKind::Theorem3Approx);
         assert_eq!(pick(&multi(&big), gaps), SolverKind::Lemma3Greedy);
 
@@ -425,6 +472,28 @@ mod tests {
         assert_eq!(
             route(&features(&multi(&big)), gaps, &no_fallback),
             SolverKind::LowerBound
+        );
+    }
+
+    #[test]
+    fn raised_caps_keep_multi_exact_routing_at_64_jobs_384_slots() {
+        let cfg = RouterConfig::default();
+        assert_eq!(cfg.multi_exact_max_jobs, 64);
+        assert_eq!(cfg.multi_exact_max_slots, 384);
+        // Exactly at the ceiling: 64 jobs, 384 distinct slots.
+        let at_cap: Vec<Vec<i64>> = (0..64)
+            .map(|i| (0..6).map(|k| 6 * i + k).collect())
+            .collect();
+        let at_cap = multi(&at_cap);
+        assert_eq!(
+            route(&features(&at_cap), Objective::Gaps, &cfg),
+            SolverKind::MultiExact
+        );
+        // One past either cap falls to the fallback chain.
+        let too_many_jobs: Vec<Vec<i64>> = (0..65).map(|i| vec![2 * i]).collect();
+        assert_eq!(
+            route(&features(&multi(&too_many_jobs)), Objective::Gaps, &cfg),
+            SolverKind::Lemma3Greedy
         );
     }
 
@@ -484,7 +553,7 @@ mod tests {
         assert_eq!(kind, SolverKind::BruteForce);
         assert_eq!(oracle_payload, "gaps=0");
 
-        let big: Vec<Vec<i64>> = (0..40).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        let big: Vec<Vec<i64>> = (0..80).map(|i| vec![2 * i, 2 * i + 1]).collect();
         let big = multi(&big);
         let (kind, payload) = solve(&big, Objective::Power { alpha: 2 }, &cfg);
         assert_eq!(kind, SolverKind::Theorem3Approx);

@@ -155,8 +155,15 @@ impl Server {
     pub fn bind(config: ServeConfig) -> Result<Server, String> {
         let listener = TcpListener::bind(&config.listen)
             .map_err(|e| format!("cannot bind {}: {e}", config.listen))?;
+        // `--threads` doubles as the intra-instance worker count for big
+        // multi-interval instances: an "inherit" (0) router setting picks
+        // up the serve pool's core size rather than the engine default.
+        let mut engine_config = config.engine.clone();
+        if engine_config.router.multi_exact_threads == 0 {
+            engine_config.router.multi_exact_threads = config.threads.max(1);
+        }
         let shared = Arc::new(Shared {
-            engine: Engine::new(config.engine.clone()),
+            engine: Engine::new(engine_config),
             pool: TaskPool::elastic(
                 config.threads,
                 config.max_threads.max(config.threads),

@@ -37,9 +37,12 @@
 //!                         was too mangled to carry one
 //! BUSY <id>               admission queue full — backpressure, retry
 //! PONG                    PING reply
-//! STATS v2 … STATS end    snapshot block, one `stat <key> <value>`
-//!                         line per metric (v2 adds pool_workers,
-//!                         per-solver p50, per-policy ratio rows)
+//! STATS v3 … STATS end    snapshot block, one `stat <key> <value>`
+//!                         line per metric (v2 added pool_workers,
+//!                         per-solver p50, per-policy ratio rows; v3
+//!                         adds the `search.*` branch-and-bound rows:
+//!                         nodes expanded, subtree tasks/steals,
+//!                         incumbent updates, component histogram)
 //! DRAINING                DRAIN acknowledged
 //! SESSION begun …         session opened
 //! SESSION t=… …           arrive/step acknowledged with the live state

@@ -84,7 +84,7 @@ impl Client {
 
     /// Read until `STATS end`, returning the `stat` rows as a map.
     fn recv_stats(&mut self) -> HashMap<String, String> {
-        assert_eq!(self.recv(), "STATS v2");
+        assert_eq!(self.recv(), "STATS v3");
         let mut rows = HashMap::new();
         loop {
             let line = self.recv();
@@ -367,7 +367,7 @@ fn online_session_reports_tracker_ratio_and_stats_v2_rows() {
         "SESSION end policy=timeout alpha=4 jobs=3 online=20 offline=12 ratio=1.6667"
     );
     // Ordinary requests still work on the same connection, and the
-    // STATS v2 rows carry the per-policy ratio and pool-worker gauges.
+    // STATS v3 rows carry the per-policy ratio and pool-worker gauges.
     client.send("REQ after instance v1;processors 1;job 0 1");
     assert!(client.recv().starts_with("RES after one n=1 "));
     client.send("STATS");
@@ -388,6 +388,13 @@ fn online_session_reports_tracker_ratio_and_stats_v2_rows() {
     // The SESSION end offline solve plus the explicit REQ.
     assert_eq!(rows.get("requests").map(String::as_str), Some("2"));
     assert!(rows.contains_key("solver.forced_chain.p50_us"), "{rows:?}");
+    // v3: the search.* rows are always present (zero here — no
+    // multi-exact branch-and-bound ran on this connection).
+    assert_eq!(
+        rows.get("search.nodes_expanded").map(String::as_str),
+        Some("0")
+    );
+    assert!(rows.contains_key("search.subtree_steals"), "{rows:?}");
     client.send("DRAIN");
     assert_eq!(client.recv(), "DRAINING");
     daemon.finish();

@@ -94,6 +94,45 @@ pub fn banded(
     inst
 }
 
+/// Clustered decomposable family — the PR-10 decomposition bench
+/// workload.
+///
+/// `clusters` independent banded sub-instances (each `n_per` jobs over
+/// two `band_len`-slot bands) separated by dead zones at least `zone`
+/// wide that **no** job window crosses. The exact solver's dead-zone
+/// decomposition must peel this into at least `clusters` components (more
+/// when an intra-cluster band boundary also goes uncrossed); an
+/// undecomposed search faces the product state space. Feasible by
+/// construction (each cluster is).
+///
+/// # Panics
+/// Panics if two bands cannot seat `n_per` anchors, or `zone == 0`.
+pub fn clustered(
+    rng: &mut impl Rng,
+    clusters: usize,
+    n_per: usize,
+    band_len: Time,
+    extra: usize,
+    zone: Time,
+) -> MultiInstance {
+    assert!(clusters >= 1 && zone >= 1);
+    let stride = band_len + 3;
+    let cluster_width = 2 * stride + zone;
+    let mut jobs = Vec::with_capacity(clusters * n_per);
+    for c in 0..clusters {
+        let base = c as Time * cluster_width;
+        let sub = banded(rng, n_per, 2, band_len, extra);
+        jobs.extend(
+            sub.jobs()
+                .iter()
+                .map(|j| MultiJob::new(j.times().iter().map(|&t| t + base).collect())),
+        );
+    }
+    let inst = MultiInstance::new(jobs).expect("non-empty");
+    debug_assert!(gaps_core::feasibility::is_feasible(&inst));
+    inst
+}
+
 /// k-interval jobs: each job gets `intervals` maximal intervals of length
 /// `interval_len`, with starts drawn from `[0, t_max]` (deduplicated and
 /// possibly merging — the *at most* k of the paper's problem statements).
@@ -209,6 +248,26 @@ mod tests {
     fn banded_rejects_undersized_bands() {
         let mut rng = StdRng::seed_from_u64(0);
         banded(&mut rng, 10, 2, 4, 1);
+    }
+
+    #[test]
+    fn clustered_is_feasible_and_separated_by_uncrossed_zones() {
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = clustered(&mut rng, 4, 6, 8, 2, 5);
+            assert_eq!(inst.job_count(), 24);
+            assert!(gaps_core::feasibility::is_feasible(&inst), "seed {seed}");
+            // No job reaches across a cluster boundary.
+            let width = 2 * 11 + 5;
+            for j in inst.jobs() {
+                let cluster = j.times()[0] / width;
+                assert!(
+                    j.times().iter().all(|&t| t / width == cluster),
+                    "seed {seed}: job crosses clusters: {:?}",
+                    j.times()
+                );
+            }
+        }
     }
 
     #[test]

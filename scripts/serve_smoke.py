@@ -3,9 +3,10 @@
 
 Connects to a running daemon, exercises one of every protocol verb
 (PING, REQ, a malformed frame, STATS, a full SESSION
-begin/arrive/step/end online session, DRAIN), asserts the STATS v2
-counters reflect what was sent, and exits 0 only if the daemon answered
-everything and acknowledged the drain. Usage:
+begin/arrive/step/end online session, DRAIN), asserts the STATS v3
+counters — including the `search.*` branch-and-bound rows — reflect
+what was sent, and exits 0 only if the daemon answered everything and
+acknowledged the drain. Usage:
 
     serve_smoke.py HOST PORT
 """
@@ -52,7 +53,7 @@ def main() -> None:
 
     def recv_stats() -> dict:
         send("STATS")
-        assert recv() == "STATS v2"
+        assert recv() == "STATS v3"
         rows = {}
         while True:
             line = recv()
@@ -69,6 +70,33 @@ def main() -> None:
     assert rows["in_flight"] == "0", rows
     assert int(rows["pool_workers"]) >= 1, rows
     assert int(rows["uptime_s"]) >= 1, rows
+    # v3 search rows exist from the first snapshot (zero until a
+    # multi-exact branch-and-bound actually runs).
+    for key in (
+        "search.nodes_expanded",
+        "search.subtree_tasks",
+        "search.subtree_steals",
+        "search.incumbent_updates",
+        "search.components_le_1",
+        "search.components_le_64",
+    ):
+        assert key in rows, (key, rows)
+
+    # A multi-interval instance whose span optimum (2) beats every lower
+    # bound (single-run union): the branch-and-bound must actually open,
+    # so the search counters move.
+    send(
+        "REQ c multi v1;job 0 1;job 0 1;job 8 9;job 8 9;job 2 3 4 5 6 7"
+    )
+    res_c = recv()
+    assert res_c.startswith("RES c multi n=5 gaps="), res_c
+    assert "solver=multi_exact" in res_c, res_c
+    rows = recv_stats()
+    assert int(rows["search.nodes_expanded"]) > 0, rows
+    components = sum(
+        int(v) for k, v in rows.items() if k.startswith("search.components_le_")
+    )
+    assert components > 0, rows
 
     # One full online session end to end. The replies are pinned byte
     # for byte: they must match `gaps batch --replay-online` for the
@@ -92,7 +120,7 @@ def main() -> None:
 
     rows = recv_stats()
     # The SESSION end offline solve is a real engine request.
-    assert rows["requests"] == "3", rows
+    assert rows["requests"] == "4", rows
     assert rows["protocol_errors"] == "2", rows
     assert rows["policy.timeout.sessions"] == "1", rows
     assert rows["policy.timeout.ratio_mean"] == "1.3333", rows

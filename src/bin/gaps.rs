@@ -48,7 +48,7 @@ use gap_scheduling::sim::{
     simulate_schedule, Clairvoyant, NeverSleep, PowerPolicy, SleepImmediately, Timeout,
 };
 use gap_scheduling::workloads::{adversarial, arrivals, multi_interval, one_interval, serialize};
-use gap_scheduling::{brute_force, edf, lower_bounds, multiproc_dp, power_dp};
+use gap_scheduling::{edf, lower_bounds, multi_exact, multiproc_dp, power_dp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -155,6 +155,8 @@ usage:
                 [--exact-jobs N] [--multi-exact true|false]
                 [--fallback approx,greedy,bound]
                 [--replay-online timeout|sleep|never]
+                (--threads N also parallelises branch-and-bound inside
+                 each large multi-interval instance)
   gaps approx   --input FILE --alpha F [--rounds N]
   gaps simulate --input FILE --alpha N [--policy clairvoyant|timeout|sleep|never]
   gaps generate --kind uniform|feasible|bursty|multi|consultant|online|arrivals
@@ -307,9 +309,10 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
             other => return Err(format!("unknown --objective {other:?}")),
         },
         AnyInstance::Multi(inst) => {
-            // Exact solving is exponential; guard with the brute-force
-            // slot limit and be explicit about it.
-            if inst.slot_union().len() > 96 || inst.job_count() > 16 {
+            // Exact solving is exponential in the (decomposed) job
+            // count; guard with the multi-exact solver's router caps and
+            // be explicit about it.
+            if inst.slot_union().len() > 384 || inst.job_count() > 64 {
                 return Err(
                     "multi-interval exact solving is exponential; instance too large \
                      (use `gaps approx` for the Theorem 3 approximation)"
@@ -317,9 +320,9 @@ fn cmd_solve(args: &Args) -> Result<String, String> {
                 );
             }
             let result = match objective {
-                "gaps" => brute_force::min_gaps_multi(&inst),
-                "spans" => brute_force::min_spans_multi(&inst),
-                "power" => brute_force::min_power_multi(&inst, alpha),
+                "gaps" => multi_exact::min_gaps_multi(&inst),
+                "spans" => multi_exact::min_spans_multi(&inst),
+                "power" => multi_exact::min_power_multi(&inst, alpha),
                 other => return Err(format!("unknown --objective {other:?}")),
             };
             match result {
@@ -364,6 +367,11 @@ fn cmd_batch(args: &Args) -> Result<String, String> {
             use_multi_exact: args.parse_or("multi-exact", defaults.use_multi_exact)?,
             multi_exact_max_slots: defaults.multi_exact_max_slots,
             multi_exact_max_jobs: defaults.multi_exact_max_jobs,
+            // 0 = inherit `--threads`: `Engine::new` resolves it, so the
+            // same knob that fans the batch out also powers the
+            // intra-instance parallel branch-and-bound on big instances.
+            multi_exact_threads: defaults.multi_exact_threads,
+            multi_exact_parallel_min_jobs: defaults.multi_exact_parallel_min_jobs,
             approx_rounds: args.parse_or("rounds", defaults.approx_rounds)?,
             fallback,
         },
@@ -687,8 +695,10 @@ mod tests {
 
     #[test]
     fn solve_multi_guard_rejects_large() {
+        // 80 jobs / ~480 union slots: past both raised caps (64 jobs,
+        // 384 slots), so the exact solver must still refuse.
         let mut rng = StdRng::seed_from_u64(1);
-        let inst = multi_interval::feasible_slots(&mut rng, 30, 200, 2);
+        let inst = multi_interval::feasible_slots(&mut rng, 80, 600, 2);
         let path = write_temp("big.txt", &serialize::multi_to_text(&inst));
         let err = run_str(&["solve", "--input", &path]).unwrap_err();
         assert!(err.contains("exponential"));

@@ -1,0 +1,133 @@
+//! Golden pins for the PR-10 exact-solver levers: dead-zone component
+//! decomposition and the work-stealing parallel branch-and-bound.
+//!
+//! The instance below is hand-built so every structural claim is
+//! checkable on paper: three components separated by dead zones no job
+//! window crosses, a coupled 5-job core whose every lower bound (the
+//! union is one contiguous run) sits strictly below its optimum — so the
+//! branch-and-bound *must* open nodes and cannot take the closed-form
+//! shortcut — and two trivial satellites that decomposition should peel
+//! off without search. Optima on all three objectives are pinned as
+//! literals and cross-checked against the exhaustive reference.
+
+use gap_scheduling::brute_force;
+use gap_scheduling::engine::parallel::solve_multi_parallel;
+use gap_scheduling::instance::MultiInstance;
+use gap_scheduling::multi_exact::{self, MultiObjective};
+
+/// Core: slots 0,1,8,9 are forced; one job covers the middle; the union
+/// 0..=9 is contiguous, so span lower bounds say 1 while the optimum is
+/// 2 ({0,1,2} + {8,9}). Satellites: a 2-job cluster at 40..=42 and a
+/// singleton at 60, across dead zones of width 30 and 17.
+fn coupled_instance() -> MultiInstance {
+    MultiInstance::from_times([
+        vec![0, 1],
+        vec![0, 1],
+        vec![8, 9],
+        vec![8, 9],
+        vec![2, 3, 4, 5, 6, 7],
+        vec![40, 41],
+        vec![41, 42],
+        vec![60],
+    ])
+    .unwrap()
+}
+
+#[test]
+fn golden_component_structure_and_optima() {
+    let inst = coupled_instance();
+    // Spans: core 2 + cluster 1 + singleton 1.
+    let (res, stats) = multi_exact::solve_multi_stats(&inst, MultiObjective::Spans);
+    let (spans, sched) = res.expect("feasible");
+    assert_eq!(spans, 4);
+    sched.verify(&inst).unwrap();
+    assert_eq!(sched.span_count(), 4);
+    assert_eq!(stats.component_jobs, vec![5, 2, 1], "decomposition shape");
+    assert!(
+        stats.nodes_expanded > 0,
+        "the coupled core must defeat the closed-form shortcut: {stats:?}"
+    );
+
+    // Gaps = spans - 1 on a single processor.
+    let (res, stats) = multi_exact::solve_multi_stats(&inst, MultiObjective::Gaps);
+    let (gaps, _) = res.expect("feasible");
+    assert_eq!(gaps, 3);
+    assert_eq!(stats.component_jobs, vec![5, 2, 1]);
+
+    // Power, α = 2: 8 busy slots + α for the first wake + three
+    // between-span holes each clipped to α: 8 + 2 + 3·2 = 16.
+    let (res, stats) = multi_exact::solve_multi_stats(&inst, MultiObjective::Power { alpha: 2 });
+    let (power, sched) = res.expect("feasible");
+    assert_eq!(power, 16);
+    assert_eq!(gap_scheduling::power::power_cost_single(&sched, 2), 16);
+    assert_eq!(stats.component_jobs, vec![5, 2, 1]);
+
+    // Every pinned literal re-derived by the exhaustive reference.
+    assert_eq!(brute_force::min_spans_multi(&inst).unwrap().0, 4);
+    assert_eq!(brute_force::min_gaps_multi(&inst).unwrap().0, 3);
+    assert_eq!(brute_force::min_power_multi(&inst, 2).unwrap().0, 16);
+}
+
+#[test]
+fn thread_counts_one_two_eight_are_bit_identical() {
+    let inst = coupled_instance();
+    for objective in [
+        MultiObjective::Gaps,
+        MultiObjective::Spans,
+        MultiObjective::Power { alpha: 2 },
+    ] {
+        let (sequential, _) = multi_exact::solve_multi_stats(&inst, objective);
+        for threads in [1usize, 2, 8] {
+            let (parallel, stats) = solve_multi_parallel(&inst, objective, threads);
+            // Values AND witness schedules: the determinism contract is
+            // byte-identical `gaps batch` output at any --threads.
+            assert_eq!(
+                parallel, sequential,
+                "--threads {threads} diverged on {objective:?}"
+            );
+            if threads == 1 {
+                assert_eq!(stats.subtree_steals, 0, "one worker cannot steal");
+            }
+            assert_eq!(stats.component_jobs, vec![5, 2, 1]);
+        }
+    }
+}
+
+#[test]
+fn parallel_stats_account_for_the_subtree_fan_out() {
+    let inst = coupled_instance();
+    let (res, stats) = solve_multi_parallel(&inst, MultiObjective::Spans, 8);
+    assert_eq!(res.expect("feasible").0, 4);
+    // The coupled core's root frontier fans out into at least one
+    // subtree task per root (closed satellite components contribute
+    // none), every task expands nodes, and steals never exceed tasks.
+    assert!(stats.subtree_tasks >= 1, "{stats:?}");
+    assert!(stats.nodes_expanded > 0, "{stats:?}");
+    assert!(stats.subtree_steals <= stats.subtree_tasks, "{stats:?}");
+    assert!(stats.incumbent_updates <= stats.subtree_tasks, "{stats:?}");
+}
+
+/// A dead zone narrower than α must *not* be cut for the power
+/// objective (a sleep decision spans it), while the span objective cuts
+/// it — and both still agree with the exhaustive reference.
+#[test]
+fn objective_dependent_cuts_stay_exact() {
+    let inst = MultiInstance::from_times([vec![0, 1], vec![4, 5], vec![5, 6]]).unwrap();
+    let alpha = 6;
+    let (_, span_stats) = multi_exact::solve_multi_stats(&inst, MultiObjective::Spans);
+    assert_eq!(
+        span_stats.component_jobs,
+        vec![1, 2],
+        "spans cut at the 2-wide zone"
+    );
+    let (res, power_stats) = multi_exact::solve_multi_stats(&inst, MultiObjective::Power { alpha });
+    assert_eq!(
+        power_stats.component_jobs,
+        vec![3],
+        "a zone narrower than α stays coupled under power"
+    );
+    assert_eq!(
+        res.map(|(v, _)| v),
+        brute_force::min_power_multi(&inst, alpha).map(|(v, _)| v)
+    );
+}

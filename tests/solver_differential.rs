@@ -158,6 +158,65 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The two PR-10 levers — dead-zone component decomposition and the
+    /// work-stealing parallel branch-and-bound — must be invisible in the
+    /// answers. 200 instances per run, each solved on all three
+    /// objectives four ways: decomposed (the production path),
+    /// undecomposed (single monolithic search), parallel at 2 and at 8
+    /// workers. Values must agree everywhere; the parallel solver must
+    /// additionally reproduce the sequential *schedule* bit for bit —
+    /// that is the determinism contract `gaps batch --threads N` rests
+    /// on. The wide `t_max` makes multi-component draws common.
+    #[test]
+    fn decomposition_and_parallelism_preserve_the_optimum(
+        inst in arb_multi(7, 24, 3),
+        alpha in 0u64..8,
+    ) {
+        use gap_scheduling::multi_exact::MultiObjective;
+        for objective in [
+            MultiObjective::Gaps,
+            MultiObjective::Spans,
+            MultiObjective::Power { alpha },
+        ] {
+            let (dec, stats) = multi_exact::solve_multi_stats(&inst, objective);
+            let undec = multi_exact::solve_multi_undecomposed(&inst, objective);
+            prop_assert_eq!(
+                dec.as_ref().map(|(v, _)| *v),
+                undec.as_ref().map(|(v, _)| *v),
+                "decomposed vs undecomposed diverged ({:?})",
+                objective
+            );
+            if let Some((value, sched)) = &dec {
+                sched.verify(&inst).unwrap();
+                prop_assert!(stats.component_jobs.iter().sum::<usize>() == inst.job_count());
+                // Witness attains the claimed value under the objective.
+                let attained = match objective {
+                    MultiObjective::Gaps => sched.gap_count(),
+                    MultiObjective::Spans => sched.span_count(),
+                    MultiObjective::Power { alpha } => {
+                        gap_scheduling::power::power_cost_single(sched, alpha)
+                    }
+                };
+                prop_assert_eq!(attained, *value, "witness misses its value ({:?})", objective);
+            }
+            for threads in [2usize, 8] {
+                let (par, _) =
+                    gap_scheduling::engine::parallel::solve_multi_parallel(&inst, objective, threads);
+                prop_assert_eq!(
+                    &par,
+                    &dec,
+                    "parallel ({} workers) diverged from sequential ({:?})",
+                    threads,
+                    objective
+                );
+            }
+        }
+    }
+}
+
 /// The multi-interval exhaustive reference itself is pinned against the
 /// matching-based feasibility oracle: whenever `brute_force` says
 /// infeasible, the Hall-violator certificate must exist, and vice versa.
